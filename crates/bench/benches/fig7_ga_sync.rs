@@ -1,0 +1,32 @@
+//! Criterion bench for Figure 7: `GA_Sync()` under both algorithms.
+//!
+//! Each sample spins up a full emulated cluster, runs the paper's §4.1
+//! workload (scatter remote writes, align with a barrier, time GA_Sync)
+//! and reports the in-cluster mean — so Criterion tracks exactly the
+//! quantity Figure 7 plots.
+
+use std::time::Duration;
+
+use armci_bench::fig7::measure_ga_sync;
+use armci_bench::WALLCLOCK_LATENCY_NS;
+use armci_ga::SyncAlg;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_ga_sync(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_ga_sync");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    for n in [2usize, 4, 8] {
+        for (alg, name) in [(SyncAlg::Baseline, "current"), (SyncAlg::CombinedBarrier, "new")] {
+            g.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
+                b.iter_custom(|iters| {
+                    let p = measure_ga_sync(n, alg, iters as usize, WALLCLOCK_LATENCY_NS);
+                    Duration::from_nanos((p.mean_ns * iters as f64) as u64)
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ga_sync);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench for Figure 8: full lock request+release cycles under
+//! both algorithms at increasing contention.
+
+use std::time::Duration;
+
+use armci_bench::fig8_10::measure_lock;
+use armci_bench::WALLCLOCK_LATENCY_NS;
+use armci_core::LockAlgo;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_lock_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_lock_cycle");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    for n in [1usize, 2, 4, 8] {
+        for (algo, name) in [(LockAlgo::Hybrid, "current"), (LockAlgo::Mcs, "new")] {
+            g.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
+                b.iter_custom(|iters| {
+                    let p = measure_lock(algo, n, iters as usize, WALLCLOCK_LATENCY_NS);
+                    Duration::from_nanos((p.cycle_ns * iters as f64) as u64)
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lock_cycle);
+criterion_main!(benches);

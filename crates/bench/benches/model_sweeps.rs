@@ -1,0 +1,28 @@
+//! Criterion benches of the *simulator itself* (model plane): these run
+//! the deterministic protocol models, so they double as fast regression
+//! checks that the simulated costs have not drifted.
+
+use std::time::Duration;
+
+use armci_bench::model_runs::{lock_sweep, sync_sweep};
+use armci_simnet::NetModel;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model_plane");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    for n in [16usize, 256, 1024] {
+        g.bench_with_input(BenchmarkId::new("sync_sweep", n), &n, |b, &n| {
+            b.iter(|| sync_sweep(std::hint::black_box(&[n]), NetModel::myrinet_2000()));
+        });
+    }
+    for n in [4usize, 16] {
+        g.bench_with_input(BenchmarkId::new("lock_sweep", n), &n, |b, &n| {
+            b.iter(|| lock_sweep(std::hint::black_box(&[n]), 200, NetModel::myrinet_2000()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_model);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Micro-benchmarks of the substrates the synchronization operations sit
+//! on: segment word-atomic copies, strided transfers, and the msglib
+//! collectives at zero network latency. These quantify the constant
+//! factors underneath the paper's message-count arguments.
+
+use std::time::Duration;
+
+use armci_core::{run_cluster, ArmciCfg, GlobalAddr, Strided2D};
+use armci_transport::{LatencyModel, ProcId, Segment};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_segment_copy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("segment_copy");
+    for size in [64usize, 4096, 65536] {
+        let seg = Segment::new(size + 16);
+        let src = vec![0xA5u8; size];
+        let mut dst = vec![0u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("write", size), &size, |b, _| {
+            b.iter(|| seg.write_bytes(8, std::hint::black_box(&src)));
+        });
+        g.bench_with_input(BenchmarkId::new("read", size), &size, |b, _| {
+            b.iter(|| seg.read_bytes(8, std::hint::black_box(&mut dst)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_strided_vs_rowwise(c: &mut Criterion) {
+    // ARMCI's motivation: one strided message vs one message per row.
+    let mut g = c.benchmark_group("strided_put");
+    g.sample_size(10).measurement_time(Duration::from_secs(6));
+    let rows = 32usize;
+    let row_bytes = 256usize;
+    for (mode, name) in [(true, "one_strided_msg"), (false, "per_row_msgs")] {
+        g.bench_function(name, |b| {
+            b.iter_custom(|iters| {
+                let lat = LatencyModel::zero().with_inter_node(Duration::from_micros(30));
+                let out = run_cluster(ArmciCfg::flat(2, lat), move |a| {
+                    let seg = a.malloc(rows * 1024);
+                    a.barrier();
+                    let mut total = Duration::ZERO;
+                    if a.rank() == 0 {
+                        let data = vec![7u8; rows * row_bytes];
+                        let t0 = std::time::Instant::now();
+                        for _ in 0..iters {
+                            if mode {
+                                let desc = Strided2D { offset: 0, rows, row_bytes, stride: 1024 };
+                                a.put_strided(ProcId(1), seg, desc, &data);
+                            } else {
+                                for r in 0..rows {
+                                    a.put(
+                                        GlobalAddr::new(ProcId(1), seg, r * 1024),
+                                        &data[r * row_bytes..(r + 1) * row_bytes],
+                                    );
+                                }
+                            }
+                            a.fence(ProcId(1));
+                        }
+                        total = t0.elapsed();
+                    }
+                    a.barrier();
+                    total
+                });
+                out[0]
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    use armci_msglib::{allreduce_sum_u64, barrier_binary_exchange};
+    let mut g = c.benchmark_group("collectives_zero_latency");
+    g.sample_size(10).measurement_time(Duration::from_secs(6));
+    for n in [4u32, 8] {
+        g.bench_with_input(BenchmarkId::new("barrier_bx", n), &n, |b, &n| {
+            b.iter_custom(|iters| {
+                let out = run_cluster(ArmciCfg::flat(n, LatencyModel::zero()), move |a| {
+                    let t0 = std::time::Instant::now();
+                    for _ in 0..iters {
+                        barrier_binary_exchange(a);
+                    }
+                    t0.elapsed()
+                });
+                out[0]
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("allreduce_sum", n), &n, |b, &n| {
+            b.iter_custom(|iters| {
+                let out = run_cluster(ArmciCfg::flat(n, LatencyModel::zero()), move |a| {
+                    let mut v = vec![1u64; a.nprocs()];
+                    let t0 = std::time::Instant::now();
+                    for _ in 0..iters {
+                        allreduce_sum_u64(a, &mut v);
+                    }
+                    t0.elapsed()
+                });
+                out[0]
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_segment_copy, bench_strided_vs_rowwise, bench_collectives);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! `trace_dump` — run a synchronization workload with transport tracing
+//! and print the communication structure: per-pair message matrix, tag
+//! breakdown, and byte totals. The observability companion to the timing
+//! tables: it shows *which* messages each algorithm sends.
+//!
+//! ```text
+//! trace_dump [barrier|baseline|lock-mcs|lock-hybrid] [nprocs]
+//! ```
+
+use armci_bench::table::Table;
+use armci_core::runtime::run_cluster_traced;
+use armci_core::{ArmciCfg, GlobalAddr, LockAlgo, LockId};
+use armci_transport::{Endpoint, LatencyModel, ProcId, Tag};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("barrier");
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+
+    let mut cfg = ArmciCfg::flat(n as u32, LatencyModel::zero());
+    cfg.trace = true;
+
+    let trace = match what {
+        "barrier" => {
+            println!("workload: one ARMCI_Barrier() on {n} procs (plus runtime teardown)");
+            run_cluster_traced(cfg, |a| a.barrier()).1
+        }
+        "baseline" => {
+            println!("workload: all-to-all puts + AllFence + MPI_Barrier on {n} procs");
+            run_cluster_traced(cfg, |a| {
+                let seg = a.malloc(8 * a.nprocs());
+                for r in 0..a.nprocs() {
+                    a.put_u64(GlobalAddr::new(ProcId(r as u32), seg, 8 * a.rank()), 1);
+                }
+                a.sync_baseline();
+            })
+            .1
+        }
+        "lock-mcs" | "lock-hybrid" => {
+            let algo = if what == "lock-mcs" { LockAlgo::Mcs } else { LockAlgo::Hybrid };
+            println!("workload: 5 lock/unlock cycles per rank ({algo:?}) on {n} procs");
+            cfg.lock_algo = algo;
+            run_cluster_traced(cfg, |a| {
+                let lock = LockId { owner: ProcId(0), idx: 0 };
+                a.barrier();
+                for _ in 0..5 {
+                    a.lock(lock);
+                    a.unlock(lock);
+                }
+                a.barrier();
+            })
+            .1
+        }
+        other => {
+            eprintln!("unknown workload '{other}' (try barrier|baseline|lock-mcs|lock-hybrid)");
+            std::process::exit(2);
+        }
+    }
+    .expect("tracing enabled");
+
+    let snap = trace.snapshot();
+    println!("\ntotal messages: {}   total payload bytes: {}", snap.len(), trace.total_bytes());
+
+    // Tag breakdown.
+    let mut t = Table::new("messages by protocol class", &["class", "count"]);
+    let classes: [(&str, Box<dyn Fn(Tag) -> bool>); 4] = [
+        ("msglib collectives", Box::new(|t: Tag| t.0 < Tag::ARMCI_BASE)),
+        ("armci requests", Box::new(|t: Tag| t.0 == Tag::ARMCI_BASE)),
+        ("armci replies/acks", Box::new(|t: Tag| t.0 > Tag::ARMCI_BASE && t.0 < Tag::GA_BASE)),
+        ("other", Box::new(|t: Tag| t.0 >= Tag::GA_BASE)),
+    ];
+    for (name, pred) in classes {
+        t.row(vec![name.to_string(), trace.count_tags(|tag| pred(tag)).to_string()]);
+    }
+    t.print();
+
+    // Per-sender counts.
+    let mut t = Table::new("messages sent per endpoint", &["endpoint", "sent"]);
+    for p in 0..n {
+        t.row(vec![format!("proc {p}"), trace.sent_by(Endpoint::Proc(ProcId(p as u32))).to_string()]);
+    }
+    let server_total: u64 = (0..n).map(|s| trace.sent_by(Endpoint::Server(armci_transport::NodeId(s as u32)))).sum();
+    t.row(vec!["all servers".to_string(), server_total.to_string()]);
+    t.print();
+
+    // Pair matrix (proc-to-proc only, compact).
+    println!("\nproc-to-proc message matrix (rows = sender):");
+    let pairs = trace.pair_counts();
+    print!("      ");
+    for dst in 0..n {
+        print!("{dst:>5}");
+    }
+    println!();
+    for src in 0..n {
+        print!("p{src:<4} ");
+        for dst in 0..n {
+            let c = pairs
+                .get(&(Endpoint::Proc(ProcId(src as u32)), Endpoint::Proc(ProcId(dst as u32))))
+                .copied()
+                .unwrap_or(0);
+            if c == 0 {
+                print!("    .");
+            } else {
+                print!("{c:>5}");
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,145 @@
+//! Model-plane sweeps: the paper's figures on the deterministic
+//! discrete-event simulator, plus the scaling and crossover extensions.
+
+use armci_core::model;
+use armci_simnet::protocols::lock::{simulate_lock, simulate_lock_single_avg, LockAlgo, LockResult};
+use armci_simnet::protocols::sync::{simulate_combined_barrier, simulate_sync_baseline};
+use armci_simnet::NetModel;
+
+/// One row of the Figure 7 model table.
+#[derive(Clone, Copy, Debug)]
+pub struct SyncRow {
+    /// Process count.
+    pub n: usize,
+    /// Baseline mean sync time (ns).
+    pub baseline_ns: f64,
+    /// Combined-barrier mean sync time (ns).
+    pub combined_ns: f64,
+    /// Closed-form predicted improvement (pure latency counts).
+    pub predicted_factor: f64,
+}
+
+impl SyncRow {
+    /// Measured improvement factor.
+    pub fn factor(&self) -> f64 {
+        self.baseline_ns / self.combined_ns
+    }
+}
+
+/// Figure 7 on the model plane for each `n` in `ns`.
+pub fn sync_sweep(ns: &[usize], net: NetModel) -> Vec<SyncRow> {
+    ns.iter()
+        .map(|&n| {
+            let baseline = simulate_sync_baseline(n, n - 1, net);
+            let combined = simulate_combined_barrier(n, net);
+            SyncRow {
+                n,
+                baseline_ns: baseline.mean(),
+                combined_ns: combined.mean(),
+                predicted_factor: model::barrier_improvement(n),
+            }
+        })
+        .collect()
+}
+
+/// One row of the Figures 8–10 model table.
+#[derive(Clone, Copy, Debug)]
+pub struct LockRow {
+    /// Contending process count.
+    pub n: usize,
+    /// Hybrid timings.
+    pub hybrid: LockResult,
+    /// MCS timings.
+    pub mcs: LockResult,
+}
+
+impl LockRow {
+    /// Cycle-time improvement factor (Figure 8(b)).
+    pub fn factor(&self) -> f64 {
+        self.hybrid.cycle_ns / self.mcs.cycle_ns
+    }
+}
+
+/// Figures 8–10 on the model plane.
+pub fn lock_sweep(ns: &[usize], iters: u64, net: NetModel) -> Vec<LockRow> {
+    ns.iter()
+        .map(|&n| {
+            let (hybrid, mcs) = if n == 1 {
+                (
+                    simulate_lock_single_avg(LockAlgo::Hybrid, iters, 0, net),
+                    simulate_lock_single_avg(LockAlgo::Mcs, iters, 0, net),
+                )
+            } else {
+                (
+                    simulate_lock(LockAlgo::Hybrid, n, iters, 0, net),
+                    simulate_lock(LockAlgo::Mcs, n, iters, 0, net),
+                )
+            };
+            LockRow { n, hybrid, mcs }
+        })
+        .collect()
+}
+
+/// The §3.1.2 crossover: baseline AllFence+barrier with `k` touched
+/// servers vs the combined barrier, at fixed `n`. Returns
+/// `(k, baseline_ns, combined_ns)` rows.
+pub fn crossover_sweep(n: usize, net: NetModel) -> Vec<(usize, f64, f64)> {
+    let combined = simulate_combined_barrier(n, net).mean();
+    (0..n)
+        .map(|k| {
+            let base = simulate_sync_baseline(n, k, net).mean();
+            (k, base, combined)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_sweep_shapes() {
+        let rows = sync_sweep(&[2, 4, 8, 16], NetModel::myrinet_2000());
+        let mut prev = 0.0;
+        for r in &rows {
+            assert!(r.combined_ns < r.baseline_ns, "n={}", r.n);
+            assert!(r.factor() >= prev * 0.95, "factor should grow with n");
+            prev = r.factor();
+        }
+        // At 16 procs the improvement should be substantial (paper: ~9).
+        assert!(rows[3].factor() > 3.0, "factor at 16: {}", rows[3].factor());
+    }
+
+    #[test]
+    fn lock_sweep_shapes() {
+        let rows = lock_sweep(&[1, 2, 4, 8, 16], 100, NetModel::myrinet_2000());
+        // n=1: hybrid wins (MCS pays the CAS round-trip on release).
+        assert!(rows[0].factor() < 1.0, "n=1 factor {}", rows[0].factor());
+        // n>=2: MCS wins.
+        for r in &rows[1..] {
+            assert!(r.factor() > 1.0, "n={} factor {}", r.n, r.factor());
+            assert!(r.mcs.acquire_ns < r.hybrid.acquire_ns, "fig9 shape at n={}", r.n);
+        }
+        // Fig10 shape: MCS release dearer at low contention, shrinking.
+        assert!(rows[0].mcs.release_ns > rows[0].hybrid.release_ns);
+        assert!(rows[4].mcs.release_ns < rows[0].mcs.release_ns);
+    }
+
+    #[test]
+    fn crossover_exists_and_matches_half_log_rule() {
+        let n = 64;
+        let rows = crossover_sweep(n, NetModel::latency_only(10_000));
+        // Baseline cost grows with k; combined is constant. Below the
+        // paper's log2(n)/2 threshold, fencing the touched servers
+        // (without the full barrier's extra stage) is competitive.
+        let cross = rows.iter().find(|(_, b, c)| b > c).map(|&(k, _, _)| k).unwrap();
+        // The full baseline includes its own barrier (log2 n), so the
+        // crossover lands near k where 2k + log2(n) = 2 log2(n), i.e.
+        // k = log2(n)/2 — the paper's threshold.
+        let predicted = armci_core::model::allfence_crossover(n);
+        assert!(
+            (cross as f64 - predicted).abs() <= 1.0,
+            "crossover at k={cross}, paper predicts {predicted}"
+        );
+    }
+}

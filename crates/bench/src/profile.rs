@@ -1,0 +1,88 @@
+//! Small timing-sample statistics for the harness: mean, percentiles,
+//! min/max over nanosecond samples. The paper reports means; percentile
+//! detail helps diagnose *why* a mean moved (e.g. the MCS release is
+//! bimodal: cheap handoff vs CAS round-trip).
+
+/// Summary statistics over a set of nanosecond samples.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub count: usize,
+    /// Arithmetic mean (ns).
+    pub mean: f64,
+    /// Minimum (ns).
+    pub min: u64,
+    /// Median (ns).
+    pub p50: u64,
+    /// 95th percentile (ns).
+    pub p95: u64,
+    /// Maximum (ns).
+    pub max: u64,
+}
+
+impl Summary {
+    /// Compute a summary; returns `None` for an empty sample set.
+    pub fn from_ns(samples: &[u64]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let count = sorted.len();
+        let pct = |p: f64| sorted[(((count - 1) as f64) * p).round() as usize];
+        Some(Summary {
+            count,
+            mean: sorted.iter().map(|&x| x as f64).sum::<f64>() / count as f64,
+            min: sorted[0],
+            p50: pct(0.50),
+            p95: pct(0.95),
+            max: sorted[count - 1],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_none() {
+        assert!(Summary::from_ns(&[]).is_none());
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::from_ns(&[42]).unwrap();
+        assert_eq!((s.count, s.min, s.p50, s.p95, s.max), (1, 42, 42, 42, 42));
+        assert_eq!(s.mean, 42.0);
+    }
+
+    #[test]
+    fn percentiles_of_uniform_ramp() {
+        let samples: Vec<u64> = (1..=100).collect();
+        let s = Summary::from_ns(&samples).unwrap();
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.p50, 51 /* index (99 * 0.5).round() = 50 -> value 51 */);
+        assert_eq!(s.p95, 95);
+        assert_eq!(s.mean, 50.5);
+    }
+
+    #[test]
+    fn order_independent() {
+        let a = Summary::from_ns(&[5, 1, 9, 3]).unwrap();
+        let b = Summary::from_ns(&[9, 3, 5, 1]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bimodal_distribution_shows_in_p95() {
+        // 90 cheap handoffs + 10 expensive CAS round-trips.
+        let mut v = vec![1_000u64; 90];
+        v.extend(vec![100_000u64; 10]);
+        let s = Summary::from_ns(&v).unwrap();
+        assert_eq!(s.p50, 1_000);
+        assert_eq!(s.p95, 100_000);
+        assert!(s.mean > 10_000.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Minimal fixed-width table rendering for the `reproduce` binary, with
+//! optional CSV export (`reproduce --csv <dir>`).
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+/// Directory CSV copies of printed tables are written into, if set.
+static CSV_DIR: OnceLock<PathBuf> = OnceLock::new();
+
+/// Enable CSV export for every subsequently printed table. May be called
+/// once per process (typically from `main` when `--csv` is passed).
+pub fn set_csv_dir(dir: impl Into<PathBuf>) {
+    let dir = dir.into();
+    std::fs::create_dir_all(&dir).expect("create csv output directory");
+    CSV_DIR.set(dir).expect("csv dir set twice");
+}
+
+/// Turn a table title into a filesystem-safe slug.
+fn slugify(title: &str) -> String {
+    let mut out = String::with_capacity(title.len());
+    for ch in title.chars() {
+        if ch.is_ascii_alphanumeric() {
+            out.push(ch.to_ascii_lowercase());
+        } else if !out.ends_with('_') && !out.is_empty() {
+            out.push('_');
+        }
+    }
+    out.trim_end_matches('_').chars().take(80).collect()
+}
+
+/// A simple left-header table: first column is a label, the rest numeric
+/// or text cells, all padded for terminal alignment.
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table { title: title.into(), header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:>w$}", c, w = widths[i]));
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (header + rows; cells quoted only when needed).
+    pub fn to_csv(&self) -> String {
+        let esc = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.header.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render to stdout, and to `<csv_dir>/<slug>.csv` if CSV export is
+    /// enabled.
+    pub fn print(&self) {
+        print!("{}", self.render());
+        if let Some(dir) = CSV_DIR.get() {
+            let path = dir.join(format!("{}.csv", slugify(&self.title)));
+            if let Err(e) = std::fs::write(&path, self.to_csv()) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+    }
+}
+
+/// Format nanoseconds as microseconds with one decimal.
+pub fn us(ns: f64) -> String {
+    format!("{:.1}", ns / 1000.0)
+}
+
+/// Format a ratio with two decimals.
+pub fn ratio(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["n", "value"]);
+        t.row(vec!["2".into(), "1.5".into()]);
+        t.row(vec!["16".into(), "123.25".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        let lines: Vec<&str> = s.lines().filter(|l| !l.is_empty()).collect();
+        // header + separator + 2 rows + title
+        assert_eq!(lines.len(), 5);
+        assert!(lines[4].ends_with("123.25"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(us(1500.0), "1.5");
+        assert_eq!(ratio(9.5), "9.50x");
+    }
+
+    #[test]
+    fn csv_rendering_and_escaping() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1,5".into(), "plain".into()]);
+        t.row(vec!["q\"q".into(), "2".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n\"1,5\",plain\n\"q\"\"q\",2\n");
+    }
+
+    #[test]
+    fn slugs_are_fs_safe() {
+        assert_eq!(slugify("Fig 7(a)+(b) — model plane (us)"), "fig_7_a_b_model_plane_us");
+        assert_eq!(slugify("  weird///name  "), "weird_name");
+    }
+}

@@ -1,0 +1,84 @@
+//! Workload generators shared by the wall-clock experiments.
+
+use armci_core::Armci;
+use armci_ga::{GlobalArray, Patch};
+use armci_transport::LatencyModel;
+use std::time::Duration;
+
+/// The latency model used by wall-clock experiments: `one_way` ns
+/// inter-node, free intra-node, no jitter.
+pub fn bench_latency(one_way_ns: u64) -> LatencyModel {
+    LatencyModel::zero().with_inter_node(Duration::from_nanos(one_way_ns))
+}
+
+/// The Figure 7 put phase: every process writes a small patch into every
+/// *remote* process's block, ensuring `GA_Sync()` has to fence with every
+/// server (the paper: "had each process write values into portions of the
+/// array which are remote to them").
+pub fn scatter_remote_writes(armci: &mut Armci, ga: &GlobalArray, value: f64) {
+    let me = armci.rank();
+    for target in 0..armci.nprocs() {
+        if target == me {
+            continue;
+        }
+        let own = ga.owned_patch(target);
+        // A small corner patch of the target's block (up to 4x4).
+        let p = Patch::new(
+            own.row_lo,
+            own.row_lo + own.rows().min(4),
+            own.col_lo,
+            own.col_lo + own.cols().min(4),
+        );
+        ga.put(armci, p, &vec![value; p.len()]);
+    }
+}
+
+/// Mean over a slice of per-iteration durations, in nanoseconds.
+pub fn mean_ns(samples: &[Duration]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().map(|d| d.as_nanos() as f64).sum::<f64>() / samples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armci_core::{run_cluster, ArmciCfg};
+    use armci_ga::SyncAlg;
+
+    #[test]
+    fn scatter_touches_every_remote_server() {
+        let out = run_cluster(ArmciCfg::flat(4, LatencyModel::zero()), |a| {
+            let ga = GlobalArray::create(a, 16, 16);
+            scatter_remote_writes(a, &ga, 3.0);
+            let touched = a.stats().remote_puts;
+            ga.sync(a, SyncAlg::CombinedBarrier);
+            touched
+        });
+        for puts in out {
+            assert_eq!(puts, 3, "one put per remote rank");
+        }
+    }
+
+    #[test]
+    fn scatter_values_land() {
+        let out = run_cluster(ArmciCfg::flat(4, LatencyModel::zero()), |a| {
+            let ga = GlobalArray::create(a, 16, 16);
+            scatter_remote_writes(a, &ga, 7.5);
+            ga.sync(a, SyncAlg::CombinedBarrier);
+            // My own corner was written by every remote rank (same patch),
+            // so it must hold 7.5.
+            let own = ga.owned_patch(a.rank());
+            let p = Patch::new(own.row_lo, own.row_lo + 1, own.col_lo, own.col_lo + 1);
+            ga.get(a, p)[0]
+        });
+        assert!(out.into_iter().all(|v| v == 7.5));
+    }
+
+    #[test]
+    fn mean_ns_basic() {
+        assert_eq!(mean_ns(&[]), 0.0);
+        assert_eq!(mean_ns(&[Duration::from_nanos(10), Duration::from_nanos(30)]), 20.0);
+    }
+}

@@ -1,0 +1,836 @@
+//! The per-process ARMCI handle: one-sided data movement, fences, and the
+//! combined fence+barrier operation (`ARMCI_Barrier`, paper §3.1).
+//!
+//! Lock operations live in [`crate::lock`] (same struct, separate module).
+
+use std::sync::Arc;
+
+use armci_msglib::{Reader, Writer};
+use armci_msglib::{allreduce_sum_u64, barrier_binary_exchange, P2p};
+use armci_transport::wait::spin_until_ge;
+use armci_transport::{Endpoint, Mailbox, MemoryRegistry, NodeId, ProcId, SegId, Segment, Tag, Topology};
+
+use crate::config::{AckMode, LockAlgo};
+use crate::gptr::GlobalAddr;
+use crate::layout;
+use crate::msg::{Req, RmwOp, TAG_FENCE_ACK, TAG_GET_REPLY, TAG_PUT_ACK, TAG_REQ, TAG_RMW_REPLY};
+use crate::server::apply_rmw;
+use crate::stats::Stats;
+use crate::strided::Strided2D;
+
+/// Identifies one distributed lock: the process owning the lock variable
+/// and the slot index within that process's sync segment.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct LockId {
+    /// Process at which the lock variable lives.
+    pub owner: ProcId,
+    /// Lock slot index, `0..locks_per_proc`.
+    pub idx: u32,
+}
+
+/// Per-process ARMCI handle. One exists per simulated process, owned by
+/// its thread; all operations take `&mut self` because they may exchange
+/// messages through the process's single mailbox.
+pub struct Armci {
+    pub(crate) mb: Mailbox,
+    pub(crate) me: ProcId,
+    pub(crate) my_node: NodeId,
+    pub(crate) registry: Arc<MemoryRegistry>,
+    pub(crate) ack_mode: AckMode,
+    pub(crate) lock_algo: LockAlgo,
+    pub(crate) locks_per_proc: u32,
+    /// This process's sync segment (always `SegId(0)`).
+    pub(crate) my_sync: Arc<Segment>,
+    /// NIC-assisted mode: route synchronization traffic to the per-node
+    /// NIC agent instead of the host server thread (§5 future work).
+    pub(crate) nic_assist: bool,
+    /// Cumulative counted puts issued to each destination process's
+    /// server — the paper's `op_init[]` array (§3.1.2).
+    pub(crate) op_init: Vec<u64>,
+    /// Counted puts issued per *node* since the last fence of that node
+    /// (GM bookkeeping: lets `ARMCI_Fence` skip untouched servers).
+    pub(crate) unfenced: Vec<u64>,
+    /// As `unfenced`, for counted puts routed through the NIC agent
+    /// (which has its own FIFO, so it needs its own confirmation).
+    pub(crate) unfenced_nic: Vec<u64>,
+    /// Outstanding unacknowledged puts per node (VIA bookkeeping).
+    pub(crate) unacked: Vec<u64>,
+    pub(crate) epoch: u32,
+    /// MCS nesting guards: each variant has one node structure per
+    /// process, so at most one lock of that variant may be held.
+    pub(crate) mcs_held: Option<LockId>,
+    pub(crate) mcs_pair_held: Option<LockId>,
+    /// Non-blocking get ordering (issued/completed per node).
+    pub(crate) nbget_issued: Vec<u64>,
+    pub(crate) nbget_completed: Vec<u64>,
+    /// Next free lock slot per owner (for [`Armci::create_lock`]).
+    pub(crate) lock_alloc: Vec<u32>,
+    pub(crate) stats: Stats,
+}
+
+/// Handle to a (possibly already completed) non-blocking get. Produced by
+/// [`Armci::nbget`]/[`Armci::nbget_strided`], consumed by
+/// [`Armci::nbget_wait`].
+#[must_use = "a non-blocking get must be waited, or its reply will corrupt later matching"]
+pub enum NbGet {
+    /// The source was node-local; data is already here.
+    Ready(Vec<u8>),
+    /// A reply from `node` is in flight.
+    Pending {
+        /// Server node that will reply.
+        node: NodeId,
+        /// FIFO sequence among this process's gets to that node.
+        seq: u64,
+        /// Expected payload length.
+        len: usize,
+    },
+}
+
+impl Armci {
+    /// This process's global rank.
+    #[inline]
+    pub fn me(&self) -> ProcId {
+        self.me
+    }
+
+    /// Rank as a `usize`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.me.idx()
+    }
+
+    /// Total process count.
+    #[inline]
+    pub fn nprocs(&self) -> usize {
+        self.mb.topology().nprocs()
+    }
+
+    /// The cluster topology.
+    #[inline]
+    pub fn topology(&self) -> &Topology {
+        self.mb.topology()
+    }
+
+    /// Node hosting this process.
+    #[inline]
+    pub fn my_node(&self) -> NodeId {
+        self.my_node
+    }
+
+    /// Operation counters accumulated so far.
+    #[inline]
+    pub fn stats(&self) -> Stats {
+        self.stats
+    }
+
+    /// Number of lock slots each process allocated at init.
+    #[inline]
+    pub fn locks_per_proc(&self) -> u32 {
+        self.locks_per_proc
+    }
+
+    /// The configured default lock algorithm.
+    #[inline]
+    pub fn lock_algo(&self) -> LockAlgo {
+        self.lock_algo
+    }
+
+    /// True if `p`'s memory is reachable through shared memory (same
+    /// node), in which case operations bypass the server thread.
+    #[inline]
+    pub fn is_local(&self, p: ProcId) -> bool {
+        self.topology().node_of(p) == self.my_node
+    }
+
+    fn server_of(&self, p: ProcId) -> NodeId {
+        self.topology().node_of(p)
+    }
+
+    /// The agent serving *synchronization* traffic (atomics, lock
+    /// messages, fence confirmations for sync-path puts) at `node`: the
+    /// NIC in NIC-assisted mode, the host server otherwise.
+    pub(crate) fn sync_agent(&self, node: NodeId) -> Endpoint {
+        if self.nic_assist {
+            Endpoint::Nic(node)
+        } else {
+            Endpoint::Server(node)
+        }
+    }
+
+    fn seg_of(&self, addr: GlobalAddr) -> Arc<Segment> {
+        self.registry.lookup(addr.proc, addr.seg)
+    }
+
+    pub(crate) fn send_req(&mut self, node: NodeId, req: &Req) {
+        self.stats.server_msgs += 1;
+        self.mb.send(Endpoint::Server(node), TAG_REQ, req.encode());
+    }
+
+    pub(crate) fn send_req_to(&mut self, agent: Endpoint, req: &Req) {
+        debug_assert!(agent.is_agent());
+        self.stats.server_msgs += 1;
+        self.mb.send(agent, TAG_REQ, req.encode());
+    }
+
+    /// Record bookkeeping for a counted put sent to `dst`'s node, via the
+    /// bulk-data server (`via_nic = false`) or the NIC agent.
+    fn note_counted_put_via(&mut self, dst: ProcId, via_nic: bool) {
+        let node = self.server_of(dst);
+        self.op_init[dst.idx()] += 1;
+        if via_nic {
+            self.unfenced_nic[node.idx()] += 1;
+        } else {
+            self.unfenced[node.idx()] += 1;
+        }
+        if self.ack_mode == AckMode::Via {
+            self.unacked[node.idx()] += 1;
+        }
+        self.stats.remote_puts += 1;
+    }
+
+    /// Record bookkeeping for a counted put sent to `dst`'s server.
+    fn note_counted_put(&mut self, dst: ProcId) {
+        self.note_counted_put_via(dst, false);
+    }
+
+    // ------------------------------------------------------------------
+    // Memory allocation
+    // ------------------------------------------------------------------
+
+    /// Collective allocation (`ARMCI_Malloc`): every process registers a
+    /// segment of `len` bytes and receives the same [`SegId`]. Includes a
+    /// barrier so no process can address a peer's segment before it
+    /// exists.
+    pub fn malloc(&mut self, len: usize) -> SegId {
+        let (id, _) = self.registry.register(self.me, len);
+        armci_msglib::barrier(self);
+        id
+    }
+
+    /// Direct access to one of this process's own segments, for local
+    /// initialization and reads (legitimate shared-memory access, as on a
+    /// real node).
+    pub fn local_segment(&self, seg: SegId) -> Arc<Segment> {
+        self.registry.lookup(self.me, seg)
+    }
+
+    /// Collectively allocate the next free lock slot at `owner` — the
+    /// ergonomic way to create locks ("if three locks are to be created,
+    /// one at Process 1, another at Process 4 and the third at Process
+    /// 11, each of these processes would allocate one Lock variable",
+    /// §3.2.2). All processes must call in the same order with the same
+    /// `owner` (SPMD discipline, enforced by the included barrier).
+    ///
+    /// # Panics
+    /// Panics when `owner`'s `locks_per_proc` slots are exhausted.
+    pub fn create_lock(&mut self, owner: ProcId) -> LockId {
+        let idx = self.lock_alloc[owner.idx()];
+        assert!(
+            idx < self.locks_per_proc,
+            "no free lock slots at {owner} (locks_per_proc = {})",
+            self.locks_per_proc
+        );
+        self.lock_alloc[owner.idx()] += 1;
+        armci_msglib::barrier(self);
+        LockId { owner, idx }
+    }
+
+    // ------------------------------------------------------------------
+    // Data movement
+    // ------------------------------------------------------------------
+
+    /// Non-blocking contiguous put. Node-local destinations are written
+    /// directly through shared memory; remote ones are shipped to the
+    /// destination node's server and complete asynchronously — call
+    /// [`Armci::fence`]/[`Armci::allfence`]/[`Armci::barrier`] to await
+    /// completion (§2 of the paper).
+    pub fn put(&mut self, dst: GlobalAddr, data: &[u8]) {
+        if self.is_local(dst.proc) {
+            self.seg_of(dst).write_bytes(dst.offset, data);
+            self.stats.local_puts += 1;
+        } else {
+            let req =
+                Req::Put { dst: dst.proc, seg: dst.seg, offset: dst.offset as u64, data: data.to_vec() };
+            self.send_req(self.server_of(dst.proc), &req);
+            self.note_counted_put(dst.proc);
+        }
+    }
+
+    /// Non-blocking atomic word put (Release store). One-way even for
+    /// remote destinations — the property that makes MCS lock handoff a
+    /// single message (§3.2.2).
+    ///
+    /// In NIC-assisted mode this rides the NIC agent's FIFO, which is
+    /// *unordered* with respect to bulk [`Armci::put`] traffic to the
+    /// same node (two independent queues, as on real NIC offload);
+    /// fences and the combined barrier cover both.
+    pub fn put_u64(&mut self, dst: GlobalAddr, val: u64) {
+        if self.is_local(dst.proc) {
+            self.seg_of(dst).write_u64(dst.offset, val);
+            self.stats.local_puts += 1;
+        } else {
+            let req = Req::PutU64 { dst: dst.proc, seg: dst.seg, offset: dst.offset as u64, val };
+            let agent = self.sync_agent(self.server_of(dst.proc));
+            self.send_req_to(agent, &req);
+            self.note_counted_put_via(dst.proc, agent.is_nic());
+        }
+    }
+
+    /// Non-blocking atomic pair put (paired-long variant of
+    /// [`Armci::put_u64`]).
+    pub fn put_pair(&mut self, dst: GlobalAddr, val: [u64; 2]) {
+        if self.is_local(dst.proc) {
+            self.seg_of(dst).pair_swap(dst.offset, val);
+            self.stats.local_puts += 1;
+        } else {
+            let req = Req::PutPair { dst: dst.proc, seg: dst.seg, offset: dst.offset as u64, val };
+            let agent = self.sync_agent(self.server_of(dst.proc));
+            self.send_req_to(agent, &req);
+            self.note_counted_put_via(dst.proc, agent.is_nic());
+        }
+    }
+
+    /// Non-blocking strided put: one message carrying the shape and the
+    /// packed rows (`data.len() == desc.total_bytes()`), ARMCI's optimized
+    /// non-contiguous transfer.
+    ///
+    /// ```
+    /// use armci_core::{run_cluster, ArmciCfg, Strided2D};
+    /// use armci_transport::{LatencyModel, ProcId};
+    ///
+    /// run_cluster(ArmciCfg::flat(2, LatencyModel::zero()), |a| {
+    ///     let seg = a.malloc(256);
+    ///     if a.rank() == 0 {
+    ///         // Two 8-byte rows, 64 bytes apart, in rank 1's segment.
+    ///         let desc = Strided2D { offset: 0, rows: 2, row_bytes: 8, stride: 64 };
+    ///         a.put_strided(ProcId(1), seg, desc, &[7u8; 16]);
+    ///         a.fence(ProcId(1));
+    ///         assert_eq!(a.get_strided(ProcId(1), seg, desc), vec![7u8; 16]);
+    ///     }
+    ///     a.barrier();
+    /// });
+    /// ```
+    pub fn put_strided(&mut self, dst: ProcId, seg: SegId, desc: Strided2D, data: &[u8]) {
+        assert_eq!(data.len(), desc.total_bytes(), "payload does not match strided shape");
+        if self.is_local(dst) {
+            let s = self.registry.lookup(dst, seg);
+            desc.validate(s.len());
+            for (row, off) in desc.row_offsets().enumerate() {
+                s.write_bytes(off, &data[row * desc.row_bytes..(row + 1) * desc.row_bytes]);
+            }
+            self.stats.local_puts += 1;
+        } else {
+            let req = Req::PutStrided { dst, seg, desc, data: data.to_vec() };
+            self.send_req(self.server_of(dst), &req);
+            self.note_counted_put(dst);
+        }
+    }
+
+    /// Non-blocking generalized I/O-vector put (`ARMCI_PutV`): scatter
+    /// `data` into the listed `(offset, len)` runs of the destination
+    /// segment, as a single message — ARMCI's general non-contiguous
+    /// transfer, of which [`Armci::put_strided`] is the regular special
+    /// case.
+    pub fn put_vector(&mut self, dst: ProcId, seg: SegId, runs: &[(u64, u32)], data: &[u8]) {
+        let total: usize = runs.iter().map(|&(_, l)| l as usize).sum();
+        assert_eq!(data.len(), total, "payload does not match run list");
+        if self.is_local(dst) {
+            let s = self.registry.lookup(dst, seg);
+            let mut pos = 0usize;
+            for &(off, len) in runs {
+                s.write_bytes(off as usize, &data[pos..pos + len as usize]);
+                pos += len as usize;
+            }
+            self.stats.local_puts += 1;
+        } else {
+            let req = Req::PutVector { dst, seg, runs: runs.to_vec(), data: data.to_vec() };
+            self.send_req(self.server_of(dst), &req);
+            self.note_counted_put(dst);
+        }
+    }
+
+    /// Blocking generalized I/O-vector get (`ARMCI_GetV`): gather the
+    /// listed runs into one contiguous result.
+    pub fn get_vector(&mut self, src: ProcId, seg: SegId, runs: &[(u64, u32)]) -> Vec<u8> {
+        if self.is_local(src) {
+            let s = self.registry.lookup(src, seg);
+            let total: usize = runs.iter().map(|&(_, l)| l as usize).sum();
+            let mut out = vec![0u8; total];
+            let mut pos = 0usize;
+            for &(off, len) in runs {
+                s.read_bytes(off as usize, &mut out[pos..pos + len as usize]);
+                pos += len as usize;
+            }
+            self.stats.local_gets += 1;
+            out
+        } else {
+            let node = self.server_of(src);
+            self.send_req(node, &Req::GetVector { dst: src, seg, runs: runs.to_vec() });
+            self.stats.remote_gets += 1;
+            self.mb.recv_tag_from(Endpoint::Server(node), TAG_GET_REPLY).expect("transport down").body
+        }
+    }
+
+    /// Blocking contiguous get.
+    pub fn get(&mut self, src: GlobalAddr, out: &mut [u8]) {
+        if self.is_local(src.proc) {
+            self.seg_of(src).read_bytes(src.offset, out);
+            self.stats.local_gets += 1;
+        } else {
+            let node = self.server_of(src.proc);
+            let req = Req::Get { dst: src.proc, seg: src.seg, offset: src.offset as u64, len: out.len() as u32 };
+            self.send_req(node, &req);
+            self.stats.remote_gets += 1;
+            let m = self.mb.recv_tag_from(Endpoint::Server(node), TAG_GET_REPLY).expect("transport down");
+            out.copy_from_slice(&m.body);
+        }
+    }
+
+    /// Blocking strided get; returns the packed rows.
+    pub fn get_strided(&mut self, src: ProcId, seg: SegId, desc: Strided2D) -> Vec<u8> {
+        if self.is_local(src) {
+            let s = self.registry.lookup(src, seg);
+            desc.validate(s.len());
+            let mut out = vec![0u8; desc.total_bytes()];
+            for (row, off) in desc.row_offsets().enumerate() {
+                s.read_bytes(off, &mut out[row * desc.row_bytes..(row + 1) * desc.row_bytes]);
+            }
+            self.stats.local_gets += 1;
+            out
+        } else {
+            let node = self.server_of(src);
+            self.send_req(node, &Req::GetStrided { dst: src, seg, desc });
+            self.stats.remote_gets += 1;
+            let m = self.mb.recv_tag_from(Endpoint::Server(node), TAG_GET_REPLY).expect("transport down");
+            m.body
+        }
+    }
+
+    /// Non-blocking atomic accumulate: `mem[i] += scale * vals[i]` on
+    /// `f64` elements. Element-wise atomic, so concurrent accumulates
+    /// from any mix of local processes and the server never lose updates.
+    pub fn acc_f64(&mut self, dst: GlobalAddr, scale: f64, vals: &[f64]) {
+        if self.is_local(dst.proc) {
+            let s = self.seg_of(dst);
+            for (i, &v) in vals.iter().enumerate() {
+                s.fetch_add_f64(dst.offset + 8 * i, scale * v);
+            }
+            self.stats.local_puts += 1;
+        } else {
+            let req =
+                Req::AccF64 { dst: dst.proc, seg: dst.seg, offset: dst.offset as u64, scale, vals: vals.to_vec() };
+            self.send_req(self.server_of(dst.proc), &req);
+            self.note_counted_put(dst.proc);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Typed convenience wrappers
+    // ------------------------------------------------------------------
+
+    /// Blocking read of a remote `u64` (little-endian word).
+    pub fn get_u64(&mut self, src: GlobalAddr) -> u64 {
+        let mut b = [0u8; 8];
+        self.get(src, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Blocking read of a remote `f64`.
+    pub fn get_f64(&mut self, src: GlobalAddr) -> f64 {
+        f64::from_bits(self.get_u64(src))
+    }
+
+    /// Non-blocking atomic put of an `f64` (bit-stored; see
+    /// [`Armci::put_u64`]).
+    pub fn put_f64(&mut self, dst: GlobalAddr, val: f64) {
+        self.put_u64(dst, val.to_bits());
+    }
+
+    /// Non-blocking put of an `f64` slice (contiguous little-endian).
+    pub fn put_f64_slice(&mut self, dst: GlobalAddr, vals: &[f64]) {
+        let mut bytes = Vec::with_capacity(vals.len() * 8);
+        for &v in vals {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.put(dst, &bytes);
+    }
+
+    /// Blocking get of `count` contiguous `f64`s.
+    pub fn get_f64_slice(&mut self, src: GlobalAddr, count: usize) -> Vec<f64> {
+        let mut bytes = vec![0u8; count * 8];
+        self.get(src, &mut bytes);
+        bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect()
+    }
+
+    /// Non-blocking put of a `u64` slice (contiguous little-endian).
+    pub fn put_u64_slice(&mut self, dst: GlobalAddr, vals: &[u64]) {
+        let mut bytes = Vec::with_capacity(vals.len() * 8);
+        for &v in vals {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.put(dst, &bytes);
+    }
+
+    /// Blocking get of `count` contiguous `u64`s.
+    pub fn get_u64_slice(&mut self, src: GlobalAddr, count: usize) -> Vec<u64> {
+        let mut bytes = vec![0u8; count * 8];
+        self.get(src, &mut bytes);
+        bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Non-blocking gets (ARMCI_NbGet)
+    // ------------------------------------------------------------------
+
+    /// Issue a non-blocking get of `len` bytes; overlap computation, then
+    /// call [`Armci::nbget_wait`]. Node-local sources complete
+    /// immediately.
+    ///
+    /// Outstanding gets to the *same* node must be waited in issue order
+    /// (enforced by an assertion): replies travel a FIFO channel, so
+    /// out-of-order waits would mismatch data. Gets to different nodes
+    /// are independent.
+    pub fn nbget(&mut self, src: GlobalAddr, len: usize) -> NbGet {
+        if self.is_local(src.proc) {
+            let mut out = vec![0u8; len];
+            self.seg_of(src).read_bytes(src.offset, &mut out);
+            self.stats.local_gets += 1;
+            NbGet::Ready(out)
+        } else {
+            let node = self.server_of(src.proc);
+            let req = Req::Get { dst: src.proc, seg: src.seg, offset: src.offset as u64, len: len as u32 };
+            self.send_req(node, &req);
+            self.stats.remote_gets += 1;
+            let seq = self.nbget_issued[node.idx()];
+            self.nbget_issued[node.idx()] += 1;
+            NbGet::Pending { node, seq, len }
+        }
+    }
+
+    /// Issue a non-blocking strided get; same ordering rules as
+    /// [`Armci::nbget`].
+    pub fn nbget_strided(&mut self, src: ProcId, seg: SegId, desc: Strided2D) -> NbGet {
+        if self.is_local(src) {
+            let out = self.get_strided(src, seg, desc);
+            NbGet::Ready(out)
+        } else {
+            let node = self.server_of(src);
+            self.send_req(node, &Req::GetStrided { dst: src, seg, desc });
+            self.stats.remote_gets += 1;
+            let seq = self.nbget_issued[node.idx()];
+            self.nbget_issued[node.idx()] += 1;
+            NbGet::Pending { node, seq, len: desc.total_bytes() }
+        }
+    }
+
+    /// Complete a non-blocking get, returning the data.
+    ///
+    /// # Panics
+    /// Panics if an older get to the same node is still outstanding
+    /// (waits must be FIFO per node).
+    pub fn nbget_wait(&mut self, h: NbGet) -> Vec<u8> {
+        match h {
+            NbGet::Ready(data) => data,
+            NbGet::Pending { node, seq, len } => {
+                assert_eq!(
+                    seq,
+                    self.nbget_completed[node.idx()],
+                    "non-blocking gets to {node} must be waited in issue order"
+                );
+                let m = self.mb.recv_tag_from(Endpoint::Server(node), TAG_GET_REPLY).expect("transport down");
+                self.nbget_completed[node.idx()] += 1;
+                debug_assert_eq!(m.body.len(), len);
+                m.body
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Read-modify-write
+    // ------------------------------------------------------------------
+
+    /// Blocking read-modify-write; returns the two result words (second is
+    /// zero for single-word ops). Local targets are executed directly;
+    /// remote ones round-trip through the server.
+    pub fn rmw(&mut self, dst: GlobalAddr, op: RmwOp) -> [u64; 2] {
+        if self.is_local(dst.proc) {
+            self.stats.local_rmws += 1;
+            apply_rmw(&self.seg_of(dst), dst.offset, op)
+        } else {
+            let agent = self.sync_agent(self.server_of(dst.proc));
+            self.send_req_to(agent, &Req::Rmw { dst: dst.proc, seg: dst.seg, offset: dst.offset as u64, op });
+            self.stats.remote_rmws += 1;
+            let m = self.mb.recv_tag_from(agent, TAG_RMW_REPLY).expect("transport down");
+            let mut r = Reader::new(&m.body);
+            [r.u64(), r.u64()]
+        }
+    }
+
+    /// Atomic fetch-and-add on a remote `u64`; returns the previous value.
+    ///
+    /// ```
+    /// use armci_core::{run_cluster, ArmciCfg, GlobalAddr};
+    /// use armci_transport::{LatencyModel, ProcId};
+    ///
+    /// let tickets = run_cluster(ArmciCfg::flat(3, LatencyModel::zero()), |a| {
+    ///     let seg = a.malloc(8);
+    ///     a.barrier();
+    ///     // Everyone draws a unique ticket from rank 0's counter.
+    ///     a.fetch_add_u64(GlobalAddr::new(ProcId(0), seg, 0), 1)
+    /// });
+    /// let mut sorted = tickets.clone();
+    /// sorted.sort();
+    /// assert_eq!(sorted, vec![0, 1, 2]);
+    /// ```
+    pub fn fetch_add_u64(&mut self, dst: GlobalAddr, add: u64) -> u64 {
+        self.rmw(dst, RmwOp::FetchAddU64(add))[0]
+    }
+
+    /// Atomic fetch-and-add on a remote `i64`; returns the previous value.
+    pub fn fetch_add_i64(&mut self, dst: GlobalAddr, add: i64) -> i64 {
+        self.rmw(dst, RmwOp::FetchAddI64(add))[0] as i64
+    }
+
+    /// Atomic swap on a remote `u64`; returns the previous value.
+    pub fn swap_u64(&mut self, dst: GlobalAddr, new: u64) -> u64 {
+        self.rmw(dst, RmwOp::SwapU64(new))[0]
+    }
+
+    /// Atomic compare&swap on a remote `u64`; returns the observed value
+    /// (success iff it equals `expect`). The operation the paper added to
+    /// ARMCI for the queuing lock's release path.
+    pub fn cas_u64(&mut self, dst: GlobalAddr, expect: u64, new: u64) -> u64 {
+        self.rmw(dst, RmwOp::CasU64 { expect, new })[0]
+    }
+
+    /// Atomic swap on a remote pair of `u64`s (the paper's paired-long
+    /// operation); returns the previous pair.
+    pub fn pair_swap(&mut self, dst: GlobalAddr, new: [u64; 2]) -> [u64; 2] {
+        self.rmw(dst, RmwOp::PairSwap(new))
+    }
+
+    /// Atomic compare&swap on a remote pair; returns the observed pair.
+    pub fn pair_cas(&mut self, dst: GlobalAddr, expect: [u64; 2], new: [u64; 2]) -> [u64; 2] {
+        self.rmw(dst, RmwOp::PairCas { expect, new })
+    }
+
+    // ------------------------------------------------------------------
+    // Fences and the combined barrier
+    // ------------------------------------------------------------------
+
+    /// `ARMCI_Fence(proc)`: block until every put previously issued *by
+    /// this process* to `proc`'s node has completed there.
+    ///
+    /// GM mode: a confirmation round-trip with the server (skipped if
+    /// nothing was sent since the last fence). VIA mode: drain outstanding
+    /// put acknowledgements from that node.
+    pub fn fence(&mut self, proc: ProcId) {
+        self.fence_node(self.server_of(proc));
+    }
+
+    pub(crate) fn fence_node(&mut self, node: NodeId) {
+        if node == self.my_node {
+            // Node-local operations are shared-memory and synchronous.
+            return;
+        }
+        match self.ack_mode {
+            AckMode::Gm => {
+                // Confirm with each agent holding unconfirmed puts; the
+                // two round-trips (server + NIC) overlap.
+                let mut pending = Vec::with_capacity(2);
+                if self.unfenced[node.idx()] > 0 {
+                    self.send_req(node, &Req::FenceReq);
+                    self.stats.fence_roundtrips += 1;
+                    pending.push(Endpoint::Server(node));
+                }
+                if self.unfenced_nic[node.idx()] > 0 {
+                    self.send_req_to(Endpoint::Nic(node), &Req::FenceReq);
+                    self.stats.fence_roundtrips += 1;
+                    pending.push(Endpoint::Nic(node));
+                }
+                for agent in pending {
+                    self.mb.recv_tag_from(agent, TAG_FENCE_ACK).expect("transport down");
+                }
+                self.unfenced[node.idx()] = 0;
+                self.unfenced_nic[node.idx()] = 0;
+            }
+            AckMode::Via => {
+                while self.unacked[node.idx()] > 0 {
+                    self.consume_put_ack();
+                }
+                self.unfenced[node.idx()] = 0;
+                self.unfenced_nic[node.idx()] = 0;
+            }
+        }
+    }
+
+    fn consume_put_ack(&mut self) {
+        let m = self.mb.recv_tag(TAG_PUT_ACK).expect("transport down");
+        let node = Reader::new(&m.body).u32() as usize;
+        debug_assert!(self.unacked[node] > 0, "unexpected put ack from node {node}");
+        self.unacked[node] = self.unacked[node].saturating_sub(1);
+    }
+
+    /// Drain every outstanding put acknowledgement (VIA mode); no-op in
+    /// GM mode.
+    pub(crate) fn drain_all_acks(&mut self) {
+        while self.unacked.iter().any(|&n| n > 0) {
+            self.consume_put_ack();
+        }
+    }
+
+    /// `ARMCI_AllFence()`: block until every put previously issued by this
+    /// process has completed at every node.
+    ///
+    /// In GM mode this contacts each touched server *sequentially* — one
+    /// confirmation round-trip at a time, as the original implementation
+    /// did — which is where the `2(N-1)` one-way latencies of the paper's
+    /// baseline come from.
+    pub fn allfence(&mut self) {
+        match self.ack_mode {
+            AckMode::Gm => {
+                for n in 0..self.topology().nnodes() {
+                    self.fence_node(NodeId(n as u32));
+                }
+            }
+            AckMode::Via => {
+                self.drain_all_acks();
+                self.unfenced.iter_mut().for_each(|u| *u = 0);
+                self.unfenced_nic.iter_mut().for_each(|u| *u = 0);
+            }
+        }
+    }
+
+    /// A *pipelined* `ARMCI_AllFence()`: fire confirmation requests at
+    /// every touched server first, then collect all the acknowledgements.
+    /// Costs ~2 latencies plus per-message gaps instead of the sequential
+    /// `2·k` of [`Armci::allfence`] — an optimization in the direction of
+    /// the paper's future work (reducing user/server interaction), kept
+    /// separate so the baseline stays faithful to the original ARMCI.
+    ///
+    /// Still loses to [`Armci::barrier`] for global synchronization: each
+    /// process fences `k` servers with 2k total messages, versus the
+    /// combined barrier's `2·log2(N)` per process.
+    pub fn allfence_pipelined(&mut self) {
+        match self.ack_mode {
+            AckMode::Gm => {
+                let mut agents: Vec<Endpoint> = Vec::new();
+                for n in (0..self.topology().nnodes() as u32).map(NodeId) {
+                    if n == self.my_node {
+                        continue;
+                    }
+                    if self.unfenced[n.idx()] > 0 {
+                        agents.push(Endpoint::Server(n));
+                    }
+                    if self.unfenced_nic[n.idx()] > 0 {
+                        agents.push(Endpoint::Nic(n));
+                    }
+                }
+                for &a in &agents {
+                    self.send_req_to(a, &Req::FenceReq);
+                    self.stats.fence_roundtrips += 1;
+                }
+                for &a in &agents {
+                    self.mb.recv_tag_from(a, TAG_FENCE_ACK).expect("transport down");
+                }
+                self.unfenced.iter_mut().for_each(|u| *u = 0);
+                self.unfenced_nic.iter_mut().for_each(|u| *u = 0);
+            }
+            AckMode::Via => self.allfence(),
+        }
+    }
+
+    /// The *baseline* global synchronization: `ARMCI_AllFence()` followed
+    /// by the message-passing library's binary-exchange barrier — what
+    /// `GA_Sync()` did before the paper's optimization.
+    pub fn sync_baseline(&mut self) {
+        self.allfence();
+        barrier_binary_exchange(self);
+    }
+
+    /// `ARMCI_Barrier()` — the paper's new combined global fence +
+    /// barrier (§3.1.2), semantically equivalent to [`Armci::sync_baseline`]
+    /// when called by all processes, at `2·log2(N)` instead of
+    /// `2(N-1) + log2(N)` one-way latencies.
+    ///
+    /// ```
+    /// use armci_core::{run_cluster, ArmciCfg, GlobalAddr};
+    /// use armci_transport::{LatencyModel, ProcId};
+    ///
+    /// let ok = run_cluster(ArmciCfg::flat(4, LatencyModel::zero()), |a| {
+    ///     let seg = a.malloc(8 * a.nprocs());
+    ///     // Scatter a word into every peer, then one combined barrier.
+    ///     for r in 0..a.nprocs() {
+    ///         a.put_u64(GlobalAddr::new(ProcId(r as u32), seg, 8 * a.rank()), 1);
+    ///     }
+    ///     a.barrier();
+    ///     // All puts globally complete: my segment is fully populated.
+    ///     (0..a.nprocs()).all(|r| a.local_segment(seg).read_u64(8 * r) == 1)
+    /// });
+    /// assert!(ok.into_iter().all(|x| x));
+    /// ```
+    ///
+    /// Three stages:
+    /// 1. binary-exchange allreduce sums everyone's `op_init[]`, so each
+    ///    process learns how many puts target *its* server;
+    /// 2. wait until the local `op_done` counter reaches that total;
+    /// 3. binary-exchange barrier.
+    pub fn barrier(&mut self) {
+        self.stats.barriers += 1;
+        if self.ack_mode == AckMode::Via {
+            // Paper §3.1.1: with acknowledged puts a process already knows
+            // when its own puts complete; drain them so the op_done wait
+            // below cannot be starved by our own unconsumed acks.
+            self.drain_all_acks();
+        }
+        // Stage 1: distribute op_init[] (Figure 2 algorithm).
+        let mut totals = self.op_init.clone();
+        allreduce_sum_u64(self, &mut totals);
+        // Stage 2: wait for all puts destined to me to complete.
+        let want = totals[self.rank()];
+        spin_until_ge(self.my_sync.atomic_u64(layout::OP_DONE), want);
+        // Stage 3: barrier synchronization.
+        barrier_binary_exchange(self);
+        // Everything outstanding anywhere is now globally complete.
+        self.unfenced.iter_mut().for_each(|u| *u = 0);
+        self.unfenced_nic.iter_mut().for_each(|u| *u = 0);
+    }
+}
+
+/// `Armci` exposes ranked point-to-point messaging so the msglib
+/// collectives (and user code) can run inside the ARMCI runtime, exactly
+/// as MPI calls interleave with ARMCI calls in Global Arrays programs.
+impl P2p for Armci {
+    fn rank(&self) -> usize {
+        self.me.idx()
+    }
+
+    fn size(&self) -> usize {
+        self.nprocs()
+    }
+
+    fn send_to(&mut self, dst: usize, tag: u32, body: Vec<u8>) {
+        self.stats.p2p_msgs += 1;
+        self.mb.send(Endpoint::Proc(ProcId(dst as u32)), Tag(Tag::MSGLIB_BASE + tag), body);
+    }
+
+    fn recv_from(&mut self, src: usize, tag: u32) -> Vec<u8> {
+        let want_src = Endpoint::Proc(ProcId(src as u32));
+        let want_tag = Tag(Tag::MSGLIB_BASE + tag);
+        self.mb
+            .recv_match(|m| m.src == want_src && m.tag == want_tag)
+            .expect("transport down during collective")
+            .body
+    }
+
+    fn next_epoch(&mut self) -> u32 {
+        let e = self.epoch;
+        self.epoch = self.epoch.wrapping_add(1);
+        e
+    }
+}
+
+/// Encode an RMW reply body (used by the server).
+pub(crate) fn encode_rmw_reply(vals: [u64; 2]) -> Vec<u8> {
+    Writer::new().u64(vals[0]).u64(vals[1]).finish()
+}

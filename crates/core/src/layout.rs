@@ -1,0 +1,99 @@
+//! Layout of the per-process *sync segment*.
+//!
+//! At init, every process registers one well-known segment (always
+//! `SegId(0)`) holding the shared synchronization state the paper's
+//! algorithms poll on:
+//!
+//! * the `op_done` counter the server increments per completed put and
+//!   the hosting process polls in stage 2 of `ARMCI_Barrier()` (§3.1.2);
+//! * the process's MCS *node structure* (`next` pointer + `locked` flag,
+//!   Figure 5) — one per process regardless of lock count, in both the
+//!   packed-pointer and paired-long encodings;
+//! * `locks_per_proc` lock slots, each holding the hybrid lock's
+//!   `ticket`/`counter` words and the MCS `Lock` variable (again in both
+//!   encodings).
+//!
+//! Keeping this state in an ordinary registered segment (rather than
+//! private runtime fields) is what lets node-local processes operate on
+//! it directly through shared memory while remote processes go through
+//! the server — the locality distinction all of §3.2's analysis rests on.
+
+/// Offset of the `op_done` completed-put counter.
+pub const OP_DONE: usize = 0;
+/// Offset of the MCS node's `next` pointer (packed encoding).
+pub const MCS_NEXT: usize = 16;
+/// Offset of the MCS node's `locked` flag (packed encoding).
+pub const MCS_LOCKED: usize = 24;
+/// Offset of the MCS node's `next` pointer (paired-long encoding;
+/// 16-aligned, two words).
+pub const MCS_PAIR_NEXT: usize = 32;
+/// Offset of the MCS node's `locked` flag (paired-long variant).
+pub const MCS_PAIR_LOCKED: usize = 48;
+/// First lock slot.
+pub const LOCK_SLOTS: usize = 64;
+/// Bytes per lock slot.
+pub const LOCK_SLOT_SIZE: usize = 48;
+
+/// Per-slot offsets of the hybrid ticket lock's `ticket` word.
+pub fn hybrid_ticket(idx: u32) -> usize {
+    LOCK_SLOTS + idx as usize * LOCK_SLOT_SIZE
+}
+
+/// Per-slot offset of the hybrid ticket lock's `counter` word.
+pub fn hybrid_counter(idx: u32) -> usize {
+    hybrid_ticket(idx) + 8
+}
+
+/// Per-slot offset of the MCS `Lock` variable (packed encoding;
+/// 16-aligned so the same cell can also be used by pair ops in tests).
+pub fn mcs_lock(idx: u32) -> usize {
+    hybrid_ticket(idx) + 16
+}
+
+/// Per-slot offset of the MCS `Lock` variable (paired-long encoding,
+/// 16-aligned, two words).
+pub fn mcs_pair_lock(idx: u32) -> usize {
+    hybrid_ticket(idx) + 32
+}
+
+/// Total sync-segment size for `locks_per_proc` lock slots.
+pub fn sync_segment_len(locks_per_proc: u32) -> usize {
+    LOCK_SLOTS + locks_per_proc as usize * LOCK_SLOT_SIZE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_do_not_overlap_header() {
+        assert!(hybrid_ticket(0) >= 64);
+        assert!(MCS_PAIR_LOCKED + 8 <= LOCK_SLOTS);
+    }
+
+    #[test]
+    fn pair_cells_are_16_aligned() {
+        assert_eq!(MCS_PAIR_NEXT % 16, 0);
+        for idx in 0..8 {
+            assert_eq!(mcs_pair_lock(idx) % 16, 0, "slot {idx}");
+            assert_eq!(mcs_lock(idx) % 16, 0, "slot {idx}");
+        }
+    }
+
+    #[test]
+    fn slots_are_disjoint() {
+        for idx in 0..4u32 {
+            let end = hybrid_ticket(idx) + LOCK_SLOT_SIZE;
+            assert_eq!(end, hybrid_ticket(idx + 1));
+            assert!(hybrid_counter(idx) < mcs_lock(idx));
+            assert!(mcs_lock(idx) + 16 <= mcs_pair_lock(idx));
+            assert!(mcs_pair_lock(idx) + 16 <= end);
+        }
+    }
+
+    #[test]
+    fn segment_len_covers_all_slots() {
+        let n = 8;
+        assert_eq!(sync_segment_len(n), mcs_pair_lock(n - 1) + 16);
+    }
+}

@@ -1,0 +1,370 @@
+//! Distributed lock operations (paper §3.2).
+//!
+//! Two algorithms, selectable per call or via the configured default:
+//!
+//! * **Hybrid** ([`Armci::lock_hybrid`]) — the original ARMCI scheme:
+//!   node-local requests use the ticket lock directly through shared
+//!   memory; remote requests ask the server to take a ticket on their
+//!   behalf and wait for a grant message; *every* release (local or
+//!   remote) messages the server, which increments `counter` and grants
+//!   the head waiter. Handoff to a remote waiter therefore costs two
+//!   messages (§3.2.1, Figures 3–4).
+//!
+//! * **MCS software queuing lock** ([`Armci::lock_mcs`]) — the paper's
+//!   contribution (Figure 5): a linked list of waiting processes built
+//!   with atomic `swap`/`compare&swap` on global pointers. Handoff writes
+//!   the next waiter's `locked` flag directly: one message if remote,
+//!   zero if node-local, and the server is uninvolved when requester,
+//!   lock and predecessor share a node. The cost is that an uncontended
+//!   release must round-trip a `compare&swap` where the hybrid release
+//!   was a fire-and-forget message (§3.2.2 last paragraph — visible in
+//!   Figure 10).
+//!
+//! A third variant ([`Armci::lock_mcs_pair`]) runs the identical MCS
+//! algorithm over the paper's literal *paired-long* atomic operations
+//! instead of packed single-word pointers, for the encoding ablation.
+
+use armci_transport::wait::{spin_until, spin_until_eq};
+use armci_transport::SegId;
+
+use crate::armci::{Armci, LockId};
+use crate::config::LockAlgo;
+use crate::gptr::{GlobalAddr, PackedPtr};
+use crate::layout;
+use crate::msg::{Req, TAG_LOCK_GRANT};
+use crate::server::decode_grant;
+
+impl Armci {
+    fn check_lock_id(&self, id: LockId) {
+        assert!(id.owner.idx() < self.nprocs(), "lock owner {} out of range", id.owner);
+        assert!(id.idx < self.locks_per_proc(), "lock index {} exceeds locks_per_proc {}", id.idx, self.locks_per_proc());
+    }
+
+    /// Acquire `id` with the configured default algorithm.
+    ///
+    /// ```
+    /// use armci_core::{run_cluster, ArmciCfg, GlobalAddr, LockId};
+    /// use armci_transport::{LatencyModel, ProcId};
+    ///
+    /// let out = run_cluster(ArmciCfg::flat(3, LatencyModel::zero()), |a| {
+    ///     let seg = a.malloc(8);
+    ///     let lock = LockId { owner: ProcId(0), idx: 0 };
+    ///     let ctr = GlobalAddr::new(ProcId(0), seg, 0);
+    ///     a.barrier();
+    ///     for _ in 0..5 {
+    ///         a.lock(lock);
+    ///         // Deliberately non-atomic increment under the lock.
+    ///         let v = a.get_u64(ctr);
+    ///         a.put_u64(ctr, v + 1);
+    ///         a.fence(ProcId(0));
+    ///         a.unlock(lock);
+    ///     }
+    ///     a.barrier();
+    ///     a.get_u64(ctr)
+    /// });
+    /// assert_eq!(out, vec![15, 15, 15]);
+    /// ```
+    pub fn lock(&mut self, id: LockId) {
+        match self.lock_algo() {
+            LockAlgo::Hybrid => self.lock_hybrid(id),
+            LockAlgo::ServerOnly => self.lock_server_only(id),
+            LockAlgo::TicketPoll => self.lock_ticket_poll(id),
+            LockAlgo::Mcs | LockAlgo::McsSwap => self.lock_mcs(id),
+            LockAlgo::McsPair => self.lock_mcs_pair(id),
+        }
+    }
+
+    /// Release `id` with the configured default algorithm.
+    pub fn unlock(&mut self, id: LockId) {
+        match self.lock_algo() {
+            LockAlgo::Hybrid | LockAlgo::ServerOnly => self.unlock_hybrid(id),
+            LockAlgo::TicketPoll => self.unlock_ticket_poll(id),
+            LockAlgo::Mcs => self.unlock_mcs(id),
+            LockAlgo::McsPair => self.unlock_mcs_pair(id),
+            LockAlgo::McsSwap => self.unlock_mcs_swap(id),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Hybrid ticket / server-queue lock (baseline, §3.2.1)
+    // ------------------------------------------------------------------
+
+    /// Acquire with the original hybrid algorithm.
+    pub fn lock_hybrid(&mut self, id: LockId) {
+        self.check_lock_id(id);
+        if self.is_local(id.owner) {
+            // Figure 3a/b: fetch-and-increment the ticket directly, then
+            // poll the counter through shared memory.
+            let sync = self.registry.lookup(id.owner, SegId(0));
+            let ticket = sync.fetch_add_u64(layout::hybrid_ticket(id.idx), 1);
+            spin_until_eq(sync.atomic_u64(layout::hybrid_counter(id.idx)), ticket);
+        } else {
+            // Figure 3c/d: ask the serving agent to take a ticket on our
+            // behalf and queue us until it comes up.
+            let agent = self.sync_agent(self.topology().node_of(id.owner));
+            self.send_req_to(agent, &Req::LockReq { owner: id.owner, idx: id.idx });
+            let m = self
+                .mb
+                .recv_match(|m| {
+                    m.tag == TAG_LOCK_GRANT && m.src == agent && decode_grant(&m.body) == (id.owner, id.idx)
+                })
+                .expect("transport down awaiting lock grant");
+            debug_assert_eq!(decode_grant(&m.body), (id.owner, id.idx));
+        }
+    }
+
+    /// Acquire through the server even when the lock is node-local — the
+    /// pure server-based queue algorithm (no ticket fast path).
+    pub fn lock_server_only(&mut self, id: LockId) {
+        self.check_lock_id(id);
+        let agent = self.sync_agent(self.topology().node_of(id.owner));
+        self.send_req_to(agent, &Req::LockReq { owner: id.owner, idx: id.idx });
+        let m = self
+            .mb
+            .recv_match(|m| {
+                m.tag == TAG_LOCK_GRANT && m.src == agent && decode_grant(&m.body) == (id.owner, id.idx)
+            })
+            .expect("transport down awaiting lock grant");
+        debug_assert_eq!(decode_grant(&m.body), (id.owner, id.idx));
+    }
+
+    /// Release with the original hybrid algorithm. Always messages the
+    /// server (Figure 4), fire-and-forget — the releaser does not wait.
+    pub fn unlock_hybrid(&mut self, id: LockId) {
+        self.check_lock_id(id);
+        let agent = self.sync_agent(self.topology().node_of(id.owner));
+        self.send_req_to(agent, &Req::UnlockReq { owner: id.owner, idx: id.idx });
+    }
+
+    // ------------------------------------------------------------------
+    // Remote-polling ticket lock (the strawman of §3.2.1)
+    // ------------------------------------------------------------------
+
+    /// Acquire with a plain ticket lock, polling the `counter` word over
+    /// the network when remote — the approach §3.2.1 rules out
+    /// ("ticket-based locks require polling on a variable, they are not
+    /// well suited for remote locks"). Each remote poll is a full
+    /// server round-trip; exponential backoff caps the traffic but adds
+    /// handoff latency. Uses the same slot words as the hybrid lock, but
+    /// the two algorithms must not be mixed on one lock (the hybrid's
+    /// server queue would miss these direct releases).
+    pub fn lock_ticket_poll(&mut self, id: LockId) {
+        self.check_lock_id(id);
+        let ticket_addr = GlobalAddr::new(id.owner, SegId(0), layout::hybrid_ticket(id.idx));
+        let counter_addr = GlobalAddr::new(id.owner, SegId(0), layout::hybrid_counter(id.idx));
+        if self.is_local(id.owner) {
+            let sync = self.registry.lookup(id.owner, SegId(0));
+            let ticket = sync.fetch_add_u64(layout::hybrid_ticket(id.idx), 1);
+            spin_until_eq(sync.atomic_u64(layout::hybrid_counter(id.idx)), ticket);
+            return;
+        }
+        let ticket = self.fetch_add_u64(ticket_addr, 1);
+        // Remote poll loop with exponential backoff (capped).
+        let mut backoff_us = 1u64;
+        loop {
+            let counter = self.fetch_add_u64(counter_addr, 0);
+            if counter == ticket {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_micros(backoff_us));
+            backoff_us = (backoff_us * 2).min(256);
+        }
+    }
+
+    /// Release the remote-polling ticket lock: a direct atomic increment
+    /// of `counter` (one round-trip when remote; the server queue is
+    /// never involved).
+    pub fn unlock_ticket_poll(&mut self, id: LockId) {
+        self.check_lock_id(id);
+        let counter_addr = GlobalAddr::new(id.owner, SegId(0), layout::hybrid_counter(id.idx));
+        if self.is_local(id.owner) {
+            self.registry.lookup(id.owner, SegId(0)).fetch_add_u64(layout::hybrid_counter(id.idx), 1);
+        } else {
+            self.fetch_add_u64(counter_addr, 1);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // MCS software queuing lock (the paper's contribution, §3.2.2)
+    // ------------------------------------------------------------------
+
+    /// This process's MCS node structure, identified by the global address
+    /// of its `next` field; `locked` sits 8 bytes above.
+    fn my_mcs_node(&self) -> GlobalAddr {
+        GlobalAddr::new(self.me(), SegId(0), layout::MCS_NEXT)
+    }
+
+    fn mcs_lock_var(&self, id: LockId) -> GlobalAddr {
+        GlobalAddr::new(id.owner, SegId(0), layout::mcs_lock(id.idx))
+    }
+
+    /// Acquire with the software queuing lock (Figure 5, `request`).
+    pub fn lock_mcs(&mut self, id: LockId) {
+        self.check_lock_id(id);
+        assert!(
+            self.mcs_held.is_none(),
+            "MCS locks cannot nest: one node structure per process (paper §3.2.2), already holding {:?}",
+            self.mcs_held
+        );
+        let mynode = self.my_mcs_node();
+        let me_ptr = mynode.pack();
+
+        // mynode->next = NULL (local store; the sync segment is ours).
+        self.my_sync.write_u64(layout::MCS_NEXT, PackedPtr::NULL.0);
+        // prev = swap(Lock, mynode) — local atomic or server round-trip.
+        let prev = PackedPtr(self.swap_u64(self.mcs_lock_var(id), me_ptr.0));
+        if let Some(prev_addr) = prev.decode() {
+            // Someone holds the lock: enqueue behind them.
+            // mynode->locked = TRUE, *then* prev->next = mynode.
+            self.my_sync.write_u64(layout::MCS_LOCKED, 1);
+            self.put_u64(prev_addr, me_ptr.0); // prev->next points at our node
+            // Poll our own locked flag; the releaser clears it directly —
+            // zero messages received, one (or zero) sent by the releaser.
+            spin_until_eq(self.my_sync.atomic_u64(layout::MCS_LOCKED), 0);
+        }
+        self.mcs_held = Some(id);
+    }
+
+    /// Release the software queuing lock (Figure 5, `release`).
+    pub fn unlock_mcs(&mut self, id: LockId) {
+        self.check_lock_id(id);
+        assert_eq!(self.mcs_held, Some(id), "releasing an MCS lock not held");
+        let me_ptr = self.my_mcs_node().pack();
+
+        let mut next = PackedPtr(self.my_sync.read_u64(layout::MCS_NEXT));
+        if next.is_null() {
+            // Nobody visibly queued: try to swing Lock back to NULL. This
+            // is the compare&swap the paper pays a round-trip for on
+            // remote locks (Figure 10's "new" curve).
+            let observed = self.cas_u64(self.mcs_lock_var(id), me_ptr.0, PackedPtr::NULL.0);
+            if observed == me_ptr.0 {
+                self.mcs_held = None;
+                return;
+            }
+            // A requester won the race on Lock but has not linked into our
+            // next pointer yet; wait for the link (Figure 5 line 20).
+            let next_cell = self.my_sync.atomic_u64(layout::MCS_NEXT);
+            spin_until(|| next_cell.load(std::sync::atomic::Ordering::Acquire) != 0);
+            next = PackedPtr(self.my_sync.read_u64(layout::MCS_NEXT));
+        }
+        let next_addr = next.decode().expect("non-null next decodes");
+        // next->locked = FALSE: direct store if node-local, one one-way
+        // message otherwise — the single-message handoff.
+        self.put_u64(next_addr.add(8), 0);
+        self.mcs_held = None;
+    }
+
+    // ------------------------------------------------------------------
+    // Swap-only release (the paper's future work, realized)
+    // ------------------------------------------------------------------
+
+    /// Release an MCS-queued lock using only `swap` — the paper's §5
+    /// future work ("eliminate the need for the compare&swap operation
+    /// when releasing a lock"). Acquire with [`Armci::lock_mcs`] as
+    /// usual; the two release styles interoperate on the same lock.
+    ///
+    /// Algorithm (Fu/Tzeng-style recovery): with no known successor, swing
+    /// the `Lock` word to NULL with a `swap`. If the swap returns our own
+    /// node, the lock is free. Otherwise one or more waiters enqueued
+    /// behind us (`me → W1 → … → Wk`, where the swap returned `Wk`) and
+    /// the NULL we just stored may admit *usurpers*. Wait for `W1` to
+    /// link into our `next`, then `swap` the orphan tail `Wk` back into
+    /// `Lock`:
+    ///
+    /// * swap returned NULL — no usurper; grant `W1` directly;
+    /// * swap returned a usurper tail `Um` — a usurper holds the lock;
+    ///   append the orphan chain after it (`Um.next = W1`) and do *not*
+    ///   grant. Global queue becomes `U1 … Um → W1 … Wk` with `Lock = Wk`.
+    ///
+    /// Usurpers overtake the orphaned waiters, so strict FIFO ordering is
+    /// traded away; mutual exclusion and liveness are preserved.
+    pub fn unlock_mcs_swap(&mut self, id: LockId) {
+        self.check_lock_id(id);
+        assert_eq!(self.mcs_held, Some(id), "releasing an MCS lock not held");
+        let me_ptr = self.my_mcs_node().pack();
+
+        let next = PackedPtr(self.my_sync.read_u64(layout::MCS_NEXT));
+        if let Some(next_addr) = next.decode() {
+            // Successor known: plain single-message handoff.
+            self.put_u64(next_addr.add(8), 0);
+            self.mcs_held = None;
+            return;
+        }
+        // No visible successor: detach the queue with a swap.
+        let prev = PackedPtr(self.swap_u64(self.mcs_lock_var(id), PackedPtr::NULL.0));
+        if prev == me_ptr {
+            self.mcs_held = None;
+            return; // we really were the tail: lock is free
+        }
+        // Orphaned chain me → W1 … Wk (= prev). Wait for W1's link.
+        let next_cell = self.my_sync.atomic_u64(layout::MCS_NEXT);
+        spin_until(|| next_cell.load(std::sync::atomic::Ordering::Acquire) != 0);
+        let w1 = PackedPtr(self.my_sync.read_u64(layout::MCS_NEXT));
+        let w1_addr = w1.decode().expect("linked successor decodes");
+        // Restore the orphan tail; learn whether usurpers slipped in.
+        let usurper = PackedPtr(self.swap_u64(self.mcs_lock_var(id), prev.0));
+        if let Some(um_addr) = usurper.decode() {
+            // A usurper holds the lock; queue the orphans behind its tail.
+            self.put_u64(um_addr, w1.0); // Um.next = W1
+        } else {
+            // Nobody usurped: hand the lock to W1.
+            self.put_u64(w1_addr.add(8), 0);
+        }
+        self.mcs_held = None;
+    }
+
+    // ------------------------------------------------------------------
+    // MCS over paired-long atomics (encoding ablation)
+    // ------------------------------------------------------------------
+
+    fn my_mcs_pair_node(&self) -> GlobalAddr {
+        GlobalAddr::new(self.me(), SegId(0), layout::MCS_PAIR_NEXT)
+    }
+
+    fn mcs_pair_lock_var(&self, id: LockId) -> GlobalAddr {
+        GlobalAddr::new(id.owner, SegId(0), layout::mcs_pair_lock(id.idx))
+    }
+
+    /// Acquire with the MCS lock over paired-long atomics — the paper's
+    /// literal mechanism (it extended ARMCI with atomic operations on
+    /// pairs of longs because `(proc, address)` tuples did not fit one
+    /// word).
+    pub fn lock_mcs_pair(&mut self, id: LockId) {
+        self.check_lock_id(id);
+        assert!(self.mcs_pair_held.is_none(), "paired MCS locks cannot nest, already holding {:?}", self.mcs_pair_held);
+        let mynode = self.my_mcs_pair_node();
+        let me_pair = mynode.to_pair();
+
+        self.my_sync.pair_swap(layout::MCS_PAIR_NEXT, [0, 0]);
+        let prev = self.pair_swap(self.mcs_pair_lock_var(id), me_pair);
+        if let Some(prev_addr) = GlobalAddr::from_pair(prev) {
+            self.my_sync.write_u64(layout::MCS_PAIR_LOCKED, 1);
+            self.put_pair(prev_addr, me_pair);
+            spin_until_eq(self.my_sync.atomic_u64(layout::MCS_PAIR_LOCKED), 0);
+        }
+        self.mcs_pair_held = Some(id);
+    }
+
+    /// Release the paired-long MCS lock.
+    pub fn unlock_mcs_pair(&mut self, id: LockId) {
+        self.check_lock_id(id);
+        assert_eq!(self.mcs_pair_held, Some(id), "releasing a paired MCS lock not held");
+        let me_pair = self.my_mcs_pair_node().to_pair();
+
+        let mut next = self.my_sync.pair_read(layout::MCS_PAIR_NEXT);
+        if next == [0, 0] {
+            let observed = self.pair_cas(self.mcs_pair_lock_var(id), me_pair, [0, 0]);
+            if observed == me_pair {
+                self.mcs_pair_held = None;
+                return;
+            }
+            let sync = self.my_sync.clone();
+            spin_until(|| sync.pair_read(layout::MCS_PAIR_NEXT) != [0, 0]);
+            next = self.my_sync.pair_read(layout::MCS_PAIR_NEXT);
+        }
+        let next_addr = GlobalAddr::from_pair(next).expect("non-null next decodes");
+        // locked flag sits 16 bytes above the pair next field.
+        self.put_u64(GlobalAddr::new(next_addr.proc, next_addr.seg, layout::MCS_PAIR_LOCKED), 0);
+        self.mcs_pair_held = None;
+    }
+}

@@ -1,0 +1,176 @@
+//! Runtime entry point: build the emulated cluster, spawn server threads
+//! and user processes, run an SPMD function, tear everything down.
+
+use std::sync::Arc;
+
+use armci_transport::{Cluster, NodeId, SegId};
+
+use crate::armci::Armci;
+use crate::config::ArmciCfg;
+use crate::layout;
+use crate::msg::{Req, TAG_REQ};
+use crate::server::server_loop;
+
+/// Run `f` as an SPMD program on an emulated cluster described by `cfg`:
+/// one thread per user process (each receiving its own [`Armci`] handle)
+/// plus one server thread per node. Returns each rank's result, indexed
+/// by rank.
+///
+/// Teardown is collective: after `f` returns on a rank, that rank enters
+/// a final barrier; once it completes, rank 0 tells every server to shut
+/// down. `f` must therefore leave no operation in flight that another
+/// rank still depends on past its own return (ordinary SPMD discipline).
+///
+/// ```
+/// use armci_core::{run_cluster, ArmciCfg, GlobalAddr};
+/// use armci_transport::{LatencyModel, ProcId};
+///
+/// let cfg = ArmciCfg::flat(2, LatencyModel::zero());
+/// let sums = run_cluster(cfg, |armci| {
+///     let seg = armci.malloc(64);
+///     // Everyone writes its rank into rank 0's segment, then syncs.
+///     let slot = GlobalAddr::new(ProcId(0), seg, 8 * armci.rank());
+///     armci.put_u64(slot, armci.rank() as u64 + 1);
+///     armci.barrier();
+///     let mut sum = 0;
+///     if armci.rank() == 0 {
+///         for r in 0..armci.nprocs() {
+///             let mut v = [0u8; 8];
+///             armci.get(GlobalAddr::new(ProcId(0), seg, 8 * r), &mut v);
+///             sum += u64::from_le_bytes(v);
+///         }
+///     }
+///     sum
+/// });
+/// assert_eq!(sums[0], 3);
+/// ```
+pub fn run_cluster<T, F>(cfg: ArmciCfg, f: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(&mut Armci) -> T + Send + Sync + 'static,
+{
+    run_cluster_traced(cfg, f).0
+}
+
+/// Like [`run_cluster`], additionally returning the transport message
+/// trace when `cfg.trace` is set — used to verify the *structure* of the
+/// synchronization algorithms (message counts and partner patterns)
+/// independently of timing.
+pub fn run_cluster_traced<T, F>(cfg: ArmciCfg, f: F) -> (Vec<T>, Option<std::sync::Arc<armci_transport::Trace>>)
+where
+    T: Send + 'static,
+    F: Fn(&mut Armci) -> T + Send + Sync + 'static,
+{
+    let mut cluster = Cluster::builder()
+        .nodes(cfg.nodes)
+        .procs_per_node(cfg.procs_per_node)
+        .latency(cfg.latency)
+        .seed(cfg.seed)
+        .trace(cfg.trace)
+        .build();
+    let trace = cluster.trace();
+    let topo = cluster.topology().clone();
+    let registry = cluster.registry();
+
+    // Register every process's sync segment up front (deterministically
+    // SegId(0)) so servers and peers can address them immediately.
+    let sync_len = layout::sync_segment_len(cfg.locks_per_proc);
+    for p in topo.all_procs() {
+        let (id, _) = registry.register(p, sync_len);
+        assert_eq!(id, SegId(0), "sync segment must be the first registration");
+    }
+
+    let mut server_handles: Vec<_> = topo
+        .all_nodes()
+        .map(|n| {
+            let mb = cluster.take_server(n);
+            let registry = registry.clone();
+            let ack = cfg.ack_mode;
+            std::thread::Builder::new()
+                .name(format!("server-{}", n.0))
+                .spawn(move || server_loop(mb, registry, ack))
+                .expect("spawn server thread")
+        })
+        .collect();
+    if cfg.nic_assist {
+        // NIC agents run the same request loop; they only ever receive
+        // the synchronization traffic the processes route to them.
+        server_handles.extend(topo.all_nodes().map(|n| {
+            let mb = cluster.take_nic(n);
+            let registry = registry.clone();
+            let ack = cfg.ack_mode;
+            std::thread::Builder::new()
+                .name(format!("nic-{}", n.0))
+                .spawn(move || server_loop(mb, registry, ack))
+                .expect("spawn NIC agent thread")
+        }));
+    }
+
+    let f = Arc::new(f);
+    let user_handles: Vec<_> = topo
+        .all_procs()
+        .map(|p| {
+            let mb = cluster.take_proc(p);
+            let registry = registry.clone();
+            let f = f.clone();
+            let cfg = cfg.clone();
+            let topo = topo.clone();
+            std::thread::Builder::new()
+                .name(format!("proc-{}", p.0))
+                .spawn(move || {
+                    let nprocs = topo.nprocs();
+                    let nnodes = topo.nnodes();
+                    let my_sync = registry.lookup(p, SegId(0));
+                    let mut armci = Armci {
+                        me: p,
+                        my_node: topo.node_of(p),
+                        mb,
+                        registry,
+                        ack_mode: cfg.ack_mode,
+                        lock_algo: cfg.lock_algo,
+                        locks_per_proc: cfg.locks_per_proc,
+                        nic_assist: cfg.nic_assist,
+                        my_sync,
+                        op_init: vec![0; nprocs],
+                        unfenced: vec![0; nnodes],
+                        unfenced_nic: vec![0; nnodes],
+                        unacked: vec![0; nnodes],
+                        epoch: 0,
+                        mcs_held: None,
+                        mcs_pair_held: None,
+                        nbget_issued: vec![0; nnodes],
+                        nbget_completed: vec![0; nnodes],
+                        lock_alloc: vec![0; nprocs],
+                        stats: Default::default(),
+                    };
+                    let out = f(&mut armci);
+                    // Teardown: global quiesce, then rank 0 stops servers.
+                    armci.barrier();
+                    if armci.rank() == 0 {
+                        for n in 0..nnodes {
+                            armci.mb.send(
+                                armci_transport::Endpoint::Server(NodeId(n as u32)),
+                                TAG_REQ,
+                                Req::Shutdown.encode(),
+                            );
+                            if cfg.nic_assist {
+                                armci.mb.send(
+                                    armci_transport::Endpoint::Nic(NodeId(n as u32)),
+                                    TAG_REQ,
+                                    Req::Shutdown.encode(),
+                                );
+                            }
+                        }
+                    }
+                    out
+                })
+                .expect("spawn user process thread")
+        })
+        .collect();
+
+    let results: Vec<T> = user_handles.into_iter().map(|h| h.join().expect("user process panicked")).collect();
+    for h in server_handles {
+        h.join().expect("server thread panicked");
+    }
+    (results, trace)
+}

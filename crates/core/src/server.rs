@@ -1,0 +1,204 @@
+//! The per-node server thread (paper §2, Figure 1).
+//!
+//! One server thread runs per node, handling remote-memory requests for
+//! every user process hosted there. It shares the node's memory segments
+//! (through the registry), processes its inbox strictly in arrival order
+//! — the FIFO property GM-mode fencing relies on — and sleeps in a
+//! blocking receive when idle, as the paper describes.
+//!
+//! The server also implements the *server side* of the baseline hybrid
+//! lock (§3.2.1): it takes tickets on behalf of remote requesters, queues
+//! them until their ticket comes up, and processes every unlock (local or
+//! remote), incrementing the `counter` word and granting the head waiter.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use armci_msglib::{Reader, Writer};
+use armci_transport::{Endpoint, Mailbox, MemoryRegistry, ProcId, SegId, Segment};
+
+use crate::armci::encode_rmw_reply;
+use crate::config::AckMode;
+use crate::layout;
+use crate::msg::{Req, RmwOp, TAG_FENCE_ACK, TAG_GET_REPLY, TAG_LOCK_GRANT, TAG_PUT_ACK, TAG_RMW_REPLY};
+
+/// Apply a read-modify-write to a segment; returns the two result words
+/// (second zero for single-word ops). Shared by the server (remote RMWs)
+/// and by [`crate::Armci::rmw`]'s node-local fast path, so both paths have
+/// identical semantics by construction.
+pub(crate) fn apply_rmw(seg: &Segment, offset: usize, op: RmwOp) -> [u64; 2] {
+    match op {
+        RmwOp::FetchAddU64(v) => [seg.fetch_add_u64(offset, v), 0],
+        RmwOp::FetchAddI64(v) => [seg.fetch_add_i64(offset, v) as u64, 0],
+        RmwOp::SwapU64(v) => [seg.swap_u64(offset, v), 0],
+        RmwOp::CasU64 { expect, new } => [seg.compare_swap_u64(offset, expect, new), 0],
+        RmwOp::PairSwap(p) => seg.pair_swap(offset, p),
+        RmwOp::PairCas { expect, new } => seg.pair_compare_swap(offset, expect, new),
+    }
+}
+
+/// State of the server-side queue for one hybrid lock: waiters in ticket
+/// order (tickets are handed out by this server serially, so pushes are
+/// naturally ordered).
+type Waiters = VecDeque<(u64, ProcId)>;
+
+/// Run a node's service-agent loop until a `Shutdown` request arrives.
+/// The same loop drives both the host **server thread** and, in
+/// NIC-assisted mode, the per-node **NIC agent** — they differ only in
+/// which requests the user processes route to them.
+pub(crate) fn server_loop(mut mb: Mailbox, registry: Arc<MemoryRegistry>, ack_mode: AckMode) {
+    let my_node = match mb.me() {
+        Endpoint::Server(n) | Endpoint::Nic(n) => n,
+        Endpoint::Proc(_) => unreachable!("server loop started on a process endpoint"),
+    };
+    let mut lock_waiters: HashMap<(u32, u32), Waiters> = HashMap::new();
+
+    loop {
+        let m = match mb.recv() {
+            Ok(m) => m,
+            Err(_) => break, // fabric torn down
+        };
+        let src = m.src;
+        let req = Req::decode(&m.body);
+        debug_assert!(
+            !req.is_counted_put() || !matches!(src, Endpoint::Proc(p) if registry_is_local(&mb, p)),
+            "node-local processes must use shared memory, not the server"
+        );
+
+        // Completion accounting: bump the destination's op_done after the
+        // deposit is applied, and acknowledge in VIA mode.
+        let counted_dst = match &req {
+            Req::Put { dst, .. }
+            | Req::PutStrided { dst, .. }
+            | Req::PutU64 { dst, .. }
+            | Req::PutPair { dst, .. }
+            | Req::PutVector { dst, .. }
+            | Req::AccF64 { dst, .. } => Some(*dst),
+            _ => None,
+        };
+
+        match req {
+            Req::Put { dst, seg, offset, data } => {
+                registry.lookup(dst, seg).write_bytes(offset as usize, &data);
+            }
+            Req::PutStrided { dst, seg, desc, data } => {
+                let s = registry.lookup(dst, seg);
+                desc.validate(s.len());
+                debug_assert_eq!(data.len(), desc.total_bytes());
+                for (row, off) in desc.row_offsets().enumerate() {
+                    s.write_bytes(off, &data[row * desc.row_bytes..(row + 1) * desc.row_bytes]);
+                }
+            }
+            Req::PutU64 { dst, seg, offset, val } => {
+                registry.lookup(dst, seg).write_u64(offset as usize, val);
+            }
+            Req::PutPair { dst, seg, offset, val } => {
+                registry.lookup(dst, seg).pair_swap(offset as usize, val);
+            }
+            Req::AccF64 { dst, seg, offset, scale, vals } => {
+                let s = registry.lookup(dst, seg);
+                for (i, &v) in vals.iter().enumerate() {
+                    s.fetch_add_f64(offset as usize + 8 * i, scale * v);
+                }
+            }
+            Req::PutVector { dst, seg, runs, data } => {
+                let s = registry.lookup(dst, seg);
+                let mut pos = 0usize;
+                for (off, len) in runs {
+                    s.write_bytes(off as usize, &data[pos..pos + len as usize]);
+                    pos += len as usize;
+                }
+                debug_assert_eq!(pos, data.len());
+            }
+            Req::GetVector { dst, seg, runs } => {
+                let s = registry.lookup(dst, seg);
+                let total: usize = runs.iter().map(|&(_, l)| l as usize).sum();
+                let mut out = vec![0u8; total];
+                let mut pos = 0usize;
+                for (off, len) in runs {
+                    s.read_bytes(off as usize, &mut out[pos..pos + len as usize]);
+                    pos += len as usize;
+                }
+                mb.send(src, TAG_GET_REPLY, out);
+            }
+            Req::Get { dst, seg, offset, len } => {
+                let s = registry.lookup(dst, seg);
+                let mut out = vec![0u8; len as usize];
+                s.read_bytes(offset as usize, &mut out);
+                mb.send(src, TAG_GET_REPLY, out);
+            }
+            Req::GetStrided { dst, seg, desc } => {
+                let s = registry.lookup(dst, seg);
+                desc.validate(s.len());
+                let mut out = vec![0u8; desc.total_bytes()];
+                for (row, off) in desc.row_offsets().enumerate() {
+                    s.read_bytes(off, &mut out[row * desc.row_bytes..(row + 1) * desc.row_bytes]);
+                }
+                mb.send(src, TAG_GET_REPLY, out);
+            }
+            Req::Rmw { dst, seg, offset, op } => {
+                let vals = apply_rmw(&registry.lookup(dst, seg), offset as usize, op);
+                mb.send(src, TAG_RMW_REPLY, encode_rmw_reply(vals));
+            }
+            Req::FenceReq => {
+                // FIFO channels: every put this sender issued to this node
+                // was already processed above, so the ack *is* the
+                // confirmation (§3.1.1, GM case).
+                mb.send(src, TAG_FENCE_ACK, Vec::new());
+            }
+            Req::LockReq { owner, idx } => {
+                let sync = registry.lookup(owner, SegId(0));
+                // Take a ticket on the requester's behalf (§3.2.1).
+                let ticket = sync.fetch_add_u64(layout::hybrid_ticket(idx), 1);
+                let counter = sync.read_u64(layout::hybrid_counter(idx));
+                let requester = src.proc().expect("lock request from a server");
+                if ticket == counter {
+                    send_grant(&mut mb, requester, owner, idx);
+                } else {
+                    lock_waiters.entry((owner.0, idx)).or_default().push_back((ticket, requester));
+                }
+            }
+            Req::UnlockReq { owner, idx } => {
+                let sync = registry.lookup(owner, SegId(0));
+                let new_counter = sync.fetch_add_u64(layout::hybrid_counter(idx), 1) + 1;
+                if let Some(q) = lock_waiters.get_mut(&(owner.0, idx)) {
+                    if let Some(&(t, requester)) = q.front() {
+                        if t == new_counter {
+                            q.pop_front();
+                            send_grant(&mut mb, requester, owner, idx);
+                        }
+                    }
+                }
+            }
+            Req::Shutdown => break,
+        }
+
+        if let Some(dst) = counted_dst {
+            // op_done lives at the head of the destination's sync segment;
+            // AcqRel makes the deposit visible to a process that observes
+            // the incremented counter (ARMCI_Barrier stage 2).
+            registry.lookup(dst, SegId(0)).fetch_add_u64(layout::OP_DONE, 1);
+            if ack_mode == AckMode::Via {
+                mb.send(src, TAG_PUT_ACK, Writer::new().u32(my_node.0).finish());
+            }
+        }
+    }
+}
+
+fn send_grant(mb: &mut Mailbox, requester: ProcId, owner: ProcId, idx: u32) {
+    mb.send(Endpoint::Proc(requester), TAG_LOCK_GRANT, Writer::new().u32(owner.0).u32(idx).finish());
+}
+
+/// Parse a lock grant body into `(owner, idx)`.
+pub(crate) fn decode_grant(body: &[u8]) -> (ProcId, u32) {
+    let mut r = Reader::new(body);
+    (ProcId(r.u32()), r.u32())
+}
+
+fn registry_is_local(mb: &Mailbox, p: ProcId) -> bool {
+    match mb.me() {
+        Endpoint::Server(n) | Endpoint::Nic(n) => mb.topology().node_of(p) == n,
+        Endpoint::Proc(_) => false,
+    }
+}

@@ -1,0 +1,54 @@
+//! Per-process operation counters.
+//!
+//! The paper's claims are fundamentally *message-count* claims (two
+//! messages vs one to pass a lock; `2(N-1)` vs `2·log2(N)` latencies to
+//! fence-and-barrier). These counters let tests assert those counts
+//! directly instead of relying on noisy wall-clock measurements.
+
+/// Counts of operations performed by one process since init.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct Stats {
+    /// Messages sent to server threads (requests of any kind).
+    pub server_msgs: u64,
+    /// Messages sent to other processes (collectives, user P2P).
+    pub p2p_msgs: u64,
+    /// Put-class operations that went through a server (counted puts).
+    pub remote_puts: u64,
+    /// Put-class operations satisfied locally through shared memory.
+    pub local_puts: u64,
+    /// Gets that went through a server.
+    pub remote_gets: u64,
+    /// Gets satisfied locally.
+    pub local_gets: u64,
+    /// Read-modify-writes that went through a server (round trips).
+    pub remote_rmws: u64,
+    /// Read-modify-writes applied directly to node-local memory.
+    pub local_rmws: u64,
+    /// Fence confirmation round-trips issued (GM mode).
+    pub fence_roundtrips: u64,
+    /// `ARMCI_Barrier()` invocations.
+    pub barriers: u64,
+}
+
+impl Stats {
+    /// Total messages this process has sent.
+    pub fn total_msgs(&self) -> u64 {
+        self.server_msgs + self.p2p_msgs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_both_channels() {
+        let s = Stats { server_msgs: 3, p2p_msgs: 4, ..Default::default() };
+        assert_eq!(s.total_msgs(), 7);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Stats::default().total_msgs(), 0);
+    }
+}

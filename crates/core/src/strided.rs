@@ -1,0 +1,113 @@
+//! Non-contiguous (strided) transfer descriptors.
+//!
+//! ARMCI's headline feature is optimized non-contiguous transfer: a 2-D
+//! strided put/get ships one message carrying the shape descriptor and the
+//! packed data, rather than one message per row (paper §2). [`Strided2D`]
+//! is that descriptor: `rows` rows of `row_bytes` each, successive rows
+//! `stride` bytes apart in the remote segment. The local side of a
+//! transfer is always a packed contiguous buffer (`rows * row_bytes`
+//! bytes), which is what a library layered above (e.g. Global Arrays
+//! patches) hands in.
+
+/// Shape of a 2-D strided region within a remote segment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Strided2D {
+    /// Byte offset of the first row within the segment.
+    pub offset: usize,
+    /// Number of rows.
+    pub rows: usize,
+    /// Bytes per row (contiguous run).
+    pub row_bytes: usize,
+    /// Bytes between the starts of successive rows; must be
+    /// `>= row_bytes` unless `rows <= 1`.
+    pub stride: usize,
+}
+
+impl Strided2D {
+    /// A single contiguous run (degenerate strided shape).
+    pub fn contiguous(offset: usize, len: usize) -> Self {
+        Strided2D { offset, rows: 1, row_bytes: len, stride: len }
+    }
+
+    /// Total payload bytes.
+    #[inline]
+    pub fn total_bytes(&self) -> usize {
+        self.rows * self.row_bytes
+    }
+
+    /// One byte past the highest byte touched in the segment, or `offset`
+    /// for an empty shape.
+    pub fn end_offset(&self) -> usize {
+        if self.rows == 0 || self.row_bytes == 0 {
+            return self.offset;
+        }
+        self.offset + (self.rows - 1) * self.stride + self.row_bytes
+    }
+
+    /// Validate the shape against a segment of `seg_len` bytes.
+    ///
+    /// # Panics
+    /// Panics on overlapping rows (`stride < row_bytes` with more than one
+    /// row) or out-of-bounds extent — both programming errors, as they
+    /// would have been in ARMCI.
+    pub fn validate(&self, seg_len: usize) {
+        if self.rows > 1 {
+            assert!(self.stride >= self.row_bytes, "strided rows overlap: stride {} < row_bytes {}", self.stride, self.row_bytes);
+        }
+        assert!(self.end_offset() <= seg_len, "strided shape [{:?}] exceeds segment length {}", self, seg_len);
+    }
+
+    /// Iterate over the segment offsets of each row start.
+    pub fn row_offsets(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.rows).map(move |r| self.offset + r * self.stride)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_shape() {
+        let s = Strided2D::contiguous(16, 100);
+        assert_eq!(s.total_bytes(), 100);
+        assert_eq!(s.end_offset(), 116);
+        assert_eq!(s.row_offsets().collect::<Vec<_>>(), vec![16]);
+    }
+
+    #[test]
+    fn strided_rows_and_extent() {
+        let s = Strided2D { offset: 8, rows: 3, row_bytes: 4, stride: 10 };
+        assert_eq!(s.total_bytes(), 12);
+        assert_eq!(s.end_offset(), 8 + 2 * 10 + 4);
+        assert_eq!(s.row_offsets().collect::<Vec<_>>(), vec![8, 18, 28]);
+    }
+
+    #[test]
+    fn empty_shapes() {
+        let s = Strided2D { offset: 5, rows: 0, row_bytes: 4, stride: 8 };
+        assert_eq!(s.total_bytes(), 0);
+        assert_eq!(s.end_offset(), 5);
+        let z = Strided2D { offset: 5, rows: 3, row_bytes: 0, stride: 8 };
+        assert_eq!(z.total_bytes(), 0);
+        assert_eq!(z.end_offset(), 5);
+    }
+
+    #[test]
+    fn validate_accepts_tight_fit() {
+        let s = Strided2D { offset: 0, rows: 4, row_bytes: 8, stride: 8 };
+        s.validate(32);
+    }
+
+    #[test]
+    #[should_panic]
+    fn validate_rejects_overlap() {
+        Strided2D { offset: 0, rows: 2, row_bytes: 8, stride: 4 }.validate(1024);
+    }
+
+    #[test]
+    #[should_panic]
+    fn validate_rejects_overflow() {
+        Strided2D { offset: 0, rows: 4, row_bytes: 8, stride: 16 }.validate(55);
+    }
+}

@@ -1,0 +1,313 @@
+//! Integration tests for one-sided data movement: put/get (contiguous and
+//! strided), accumulate, and read-modify-write, across local and remote
+//! destinations and both ack modes.
+
+use armci_core::{run_cluster, AckMode, ArmciCfg, GlobalAddr, ArmciCfg as Cfg, RmwOp};
+use armci_transport::{LatencyModel, ProcId};
+use armci_core::Strided2D;
+
+fn zero_lat(nodes: u32) -> ArmciCfg {
+    Cfg::flat(nodes, LatencyModel::zero())
+}
+
+#[test]
+fn put_then_fence_then_remote_get() {
+    let out = run_cluster(zero_lat(3), |a| {
+        let seg = a.malloc(256);
+        let right = ProcId(((a.rank() + 1) % a.nprocs()) as u32);
+        let payload: Vec<u8> = (0..64).map(|i| (a.rank() * 64 + i) as u8).collect();
+        a.put(GlobalAddr::new(right, seg, 16), &payload);
+        a.fence(right);
+        a.barrier();
+        // Read back what the left neighbour deposited into us, remotely via
+        // our own server? No — read someone else's memory: the slot we wrote.
+        let mut got = vec![0u8; 64];
+        a.get(GlobalAddr::new(right, seg, 16), &mut got);
+        got == payload
+    });
+    assert!(out.into_iter().all(|ok| ok));
+}
+
+#[test]
+fn put_visibility_after_barrier_all_pairs() {
+    // Every process writes its rank into every other process's segment;
+    // after ARMCI_Barrier everyone must see all writes.
+    for nodes in [2u32, 4, 5] {
+        let out = run_cluster(zero_lat(nodes), move |a| {
+            let n = a.nprocs();
+            let seg = a.malloc(8 * n);
+            for r in 0..n {
+                a.put_u64(GlobalAddr::new(ProcId(r as u32), seg, 8 * a.rank()), 1000 + a.rank() as u64);
+            }
+            a.barrier();
+            let mine = a.local_segment(seg);
+            (0..n).all(|r| mine.read_u64(8 * r) == 1000 + r as u64)
+        });
+        assert!(out.into_iter().all(|ok| ok), "nodes={nodes}");
+    }
+}
+
+#[test]
+fn via_mode_fence_waits_for_acks() {
+    let cfg = zero_lat(4).with_ack_mode(AckMode::Via);
+    let out = run_cluster(cfg, |a| {
+        let seg = a.malloc(64);
+        for r in 0..a.nprocs() {
+            if r != a.rank() {
+                a.put_u64(GlobalAddr::new(ProcId(r as u32), seg, 8 * a.rank()), 7);
+            }
+        }
+        a.allfence();
+        a.barrier();
+        let mine = a.local_segment(seg);
+        (0..a.nprocs()).filter(|&r| r != a.rank()).all(|r| mine.read_u64(8 * r) == 7)
+    });
+    assert!(out.into_iter().all(|ok| ok));
+}
+
+#[test]
+fn strided_put_and_get_roundtrip() {
+    let out = run_cluster(zero_lat(2), |a| {
+        let seg = a.malloc(1024);
+        if a.rank() == 0 {
+            // 4 rows of 8 bytes, stride 32, into rank 1.
+            let desc = Strided2D { offset: 64, rows: 4, row_bytes: 8, stride: 32 };
+            let data: Vec<u8> = (0..32).collect();
+            a.put_strided(ProcId(1), seg, desc, &data);
+            a.fence(ProcId(1));
+            let back = a.get_strided(ProcId(1), seg, desc);
+            assert_eq!(back, data);
+            // Check the gaps were untouched (still zero).
+            let mut gap = vec![0u8; 8];
+            a.get(GlobalAddr::new(ProcId(1), seg, 64 + 8), &mut gap);
+            assert_eq!(gap, vec![0u8; 8]);
+        }
+        a.barrier();
+        true
+    });
+    assert!(out.into_iter().all(|ok| ok));
+}
+
+#[test]
+fn strided_local_fast_path_matches_remote() {
+    let out = run_cluster(zero_lat(1).with_procs_per_node(2), |a| {
+        let seg = a.malloc(512);
+        let desc = Strided2D { offset: 0, rows: 3, row_bytes: 16, stride: 64 };
+        if a.rank() == 0 {
+            let data: Vec<u8> = (0..48).map(|i| i as u8 ^ 0x5A).collect();
+            // Rank 1 shares our node: this exercises the local path.
+            a.put_strided(ProcId(1), seg, desc, &data);
+            let back = a.get_strided(ProcId(1), seg, desc);
+            assert_eq!(back, data);
+            assert_eq!(a.stats().local_puts, 1);
+            assert_eq!(a.stats().remote_puts, 0);
+        }
+        a.barrier();
+        true
+    });
+    assert!(out.into_iter().all(|ok| ok));
+}
+
+#[test]
+fn accumulate_sums_atomically_across_ranks() {
+    let out = run_cluster(zero_lat(4), |a| {
+        let seg = a.malloc(64);
+        // Everyone accumulates [1.0, 2.0] scaled by (rank+1) into rank 0.
+        let scale = (a.rank() + 1) as f64;
+        a.acc_f64(GlobalAddr::new(ProcId(0), seg, 0), scale, &[1.0, 2.0]);
+        a.barrier();
+        if a.rank() == 0 {
+            let s = a.local_segment(seg);
+            let total_scale: f64 = (1..=4).map(|x| x as f64).sum(); // 10
+            assert_eq!(f64::from_bits(s.read_u64(0)), total_scale);
+            assert_eq!(f64::from_bits(s.read_u64(8)), 2.0 * total_scale);
+        }
+        a.barrier();
+        true
+    });
+    assert!(out.into_iter().all(|ok| ok));
+}
+
+#[test]
+fn fetch_add_generates_unique_tickets() {
+    // The ARMCI fetch-and-increment: all ranks pull tickets from rank 0's
+    // counter; tickets must be a permutation of 0..n.
+    let out = run_cluster(zero_lat(6), |a| {
+        let seg = a.malloc(8);
+        a.barrier();
+        let t = a.fetch_add_u64(GlobalAddr::new(ProcId(0), seg, 0), 1);
+        a.barrier();
+        t
+    });
+    let mut tickets = out;
+    tickets.sort_unstable();
+    assert_eq!(tickets, (0..6).collect::<Vec<u64>>());
+}
+
+#[test]
+fn cas_succeeds_exactly_once() {
+    let out = run_cluster(zero_lat(5), |a| {
+        let seg = a.malloc(8);
+        a.barrier();
+        let observed = a.cas_u64(GlobalAddr::new(ProcId(0), seg, 0), 0, a.rank() as u64 + 1);
+        a.barrier();
+        observed == 0 // true for the single winner
+    });
+    assert_eq!(out.into_iter().filter(|&w| w).count(), 1);
+}
+
+#[test]
+fn pair_ops_roundtrip_remote() {
+    let out = run_cluster(zero_lat(2), |a| {
+        let seg = a.malloc(64);
+        a.barrier();
+        if a.rank() == 1 {
+            let addr = GlobalAddr::new(ProcId(0), seg, 16);
+            assert_eq!(a.pair_swap(addr, [11, 22]), [0, 0]);
+            assert_eq!(a.pair_cas(addr, [11, 22], [33, 44]), [11, 22]);
+            assert_eq!(a.pair_cas(addr, [99, 99], [0, 0]), [33, 44], "failed CAS reports observed");
+            a.put_pair(addr, [55, 66]);
+            a.fence(ProcId(0));
+        }
+        a.barrier();
+        if a.rank() == 0 {
+            assert_eq!(a.local_segment(seg).pair_read(16), [55, 66]);
+        }
+        a.barrier();
+        true
+    });
+    assert!(out.into_iter().all(|ok| ok));
+}
+
+#[test]
+fn rmw_signed_fetch_add() {
+    let out = run_cluster(zero_lat(2), |a| {
+        let seg = a.malloc(8);
+        a.barrier();
+        if a.rank() == 1 {
+            let addr = GlobalAddr::new(ProcId(0), seg, 0);
+            assert_eq!(a.fetch_add_i64(addr, -5), 0);
+            assert_eq!(a.fetch_add_i64(addr, 2), -5);
+            assert_eq!(a.rmw(addr, RmwOp::FetchAddI64(3))[0] as i64, -3);
+        }
+        a.barrier();
+        true
+    });
+    assert!(out.into_iter().all(|ok| ok));
+}
+
+#[test]
+fn typed_helpers_roundtrip() {
+    let out = run_cluster(zero_lat(2), |a| {
+        let seg = a.malloc(256);
+        a.barrier();
+        if a.rank() == 0 {
+            let base = GlobalAddr::new(ProcId(1), seg, 0);
+            a.put_f64(base, -2.5);
+            a.put_u64(base.add(8), u64::MAX - 3);
+            a.put_f64_slice(base.add(16), &[1.0, 2.0, 3.0]);
+            a.put_u64_slice(base.add(48), &[7, 8]);
+            a.fence(ProcId(1));
+            assert_eq!(a.get_f64(base), -2.5);
+            assert_eq!(a.get_u64(base.add(8)), u64::MAX - 3);
+            assert_eq!(a.get_f64_slice(base.add(16), 3), vec![1.0, 2.0, 3.0]);
+            assert_eq!(a.get_u64_slice(base.add(48), 2), vec![7, 8]);
+        }
+        a.barrier();
+        true
+    });
+    assert!(out.into_iter().all(|ok| ok));
+}
+
+#[test]
+fn local_ops_bypass_server_entirely() {
+    let out = run_cluster(zero_lat(1).with_procs_per_node(2), |a| {
+        let seg = a.malloc(64);
+        let peer = ProcId((1 - a.rank()) as u32);
+        a.put_u64(GlobalAddr::new(peer, seg, 0), 42);
+        let mut buf = [0u8; 8];
+        a.get(GlobalAddr::new(peer, seg, 0), &mut buf);
+        let st = a.stats();
+        a.barrier();
+        st.server_msgs == 0 && st.local_puts == 1 && st.local_gets == 1
+    });
+    assert!(out.into_iter().all(|ok| ok));
+}
+
+#[test]
+fn gm_fence_skips_untouched_servers() {
+    let out = run_cluster(zero_lat(4), |a| {
+        let seg = a.malloc(64);
+        a.barrier();
+        if a.rank() == 0 {
+            // Touch only rank 1.
+            a.put_u64(GlobalAddr::new(ProcId(1), seg, 0), 1);
+            let before = a.stats().fence_roundtrips;
+            a.allfence();
+            let after = a.stats().fence_roundtrips;
+            assert_eq!(after - before, 1, "only the touched server needs a confirmation");
+            // A second allfence with nothing outstanding is free.
+            a.allfence();
+            assert_eq!(a.stats().fence_roundtrips, after);
+        }
+        a.barrier();
+        true
+    });
+    assert!(out.into_iter().all(|ok| ok));
+}
+
+#[test]
+fn sync_baseline_and_barrier_are_interchangeable() {
+    // Semantics check: the baseline (allfence + MPI barrier) and the new
+    // combined barrier both make all prior puts globally visible.
+    for use_new in [false, true] {
+        let out = run_cluster(zero_lat(4), move |a| {
+            let seg = a.malloc(8 * a.nprocs());
+            for r in 0..a.nprocs() {
+                a.put_u64(GlobalAddr::new(ProcId(r as u32), seg, 8 * a.rank()), a.rank() as u64 + 1);
+            }
+            if use_new {
+                a.barrier();
+            } else {
+                a.sync_baseline();
+            }
+            let mine = a.local_segment(seg);
+            (0..a.nprocs()).all(|r| mine.read_u64(8 * r) == r as u64 + 1)
+        });
+        assert!(out.into_iter().all(|ok| ok), "use_new={use_new}");
+    }
+}
+
+#[test]
+fn repeated_barriers_with_traffic_between() {
+    let out = run_cluster(zero_lat(3), |a| {
+        let seg = a.malloc(8);
+        for round in 0..20u64 {
+            let target = ProcId(((a.rank() + 1) % a.nprocs()) as u32);
+            a.put_u64(GlobalAddr::new(target, seg, 0), round);
+            a.barrier();
+            let v = a.local_segment(seg).read_u64(0);
+            assert_eq!(v, round, "round {round} not globally visible");
+            a.barrier();
+        }
+        true
+    });
+    assert!(out.into_iter().all(|ok| ok));
+}
+
+#[test]
+fn smp_mixed_local_remote_barrier() {
+    // 2 nodes x 2 procs: puts cross both shared memory and the network.
+    let cfg = ArmciCfg { nodes: 2, procs_per_node: 2, latency: LatencyModel::zero(), ..Default::default() };
+    let out = run_cluster(cfg, |a| {
+        let n = a.nprocs();
+        let seg = a.malloc(8 * n);
+        for r in 0..n {
+            a.put_u64(GlobalAddr::new(ProcId(r as u32), seg, 8 * a.rank()), (a.rank() * 10 + r) as u64);
+        }
+        a.barrier();
+        let mine = a.local_segment(seg);
+        (0..n).all(|r| mine.read_u64(8 * r) == (r * 10 + a.rank()) as u64)
+    });
+    assert!(out.into_iter().all(|ok| ok));
+}

@@ -1,0 +1,99 @@
+//! Integration tests for the generalized I/O-vector operations
+//! (`ARMCI_PutV`/`ARMCI_GetV`).
+
+use armci_core::{run_cluster, ArmciCfg};
+use armci_transport::{LatencyModel, ProcId};
+
+fn zero_lat(nodes: u32) -> ArmciCfg {
+    ArmciCfg::flat(nodes, LatencyModel::zero())
+}
+
+#[test]
+fn put_vector_scatters_runs() {
+    let out = run_cluster(zero_lat(2), |a| {
+        let seg = a.malloc(256);
+        if a.rank() == 0 {
+            // Three disjoint runs of different sizes.
+            let runs = [(8u64, 4u32), (64, 8), (200, 2)];
+            let data: Vec<u8> = (1..=14).collect(); // 4 + 8 + 2
+            a.put_vector(ProcId(1), seg, &runs, &data);
+            a.fence(ProcId(1));
+            // Gather them back plus a gap byte that must still be zero.
+            let got = a.get_vector(ProcId(1), seg, &[(8, 4), (64, 8), (200, 2), (12, 1)]);
+            assert_eq!(&got[..14], &data[..]);
+            assert_eq!(got[14], 0, "gap byte must be untouched");
+        }
+        a.barrier();
+        true
+    });
+    assert!(out.into_iter().all(|ok| ok));
+}
+
+#[test]
+fn vector_ops_local_fast_path() {
+    let out = run_cluster(zero_lat(1).with_procs_per_node(2), |a| {
+        let seg = a.malloc(128);
+        a.barrier();
+        if a.rank() == 0 {
+            let runs = [(0u64, 8u32), (32, 8)];
+            a.put_vector(ProcId(1), seg, &runs, &[0xAB; 16]);
+            let got = a.get_vector(ProcId(1), seg, &runs);
+            assert_eq!(got, vec![0xAB; 16]);
+            assert_eq!(a.stats().server_msgs, 0, "local vector ops bypass the server");
+        }
+        a.barrier();
+        true
+    });
+    assert!(out.into_iter().all(|ok| ok));
+}
+
+#[test]
+fn vector_put_counts_as_one_message_for_fencing() {
+    let out = run_cluster(zero_lat(2), |a| {
+        let seg = a.malloc(4096);
+        a.barrier();
+        if a.rank() == 0 {
+            let before = a.stats();
+            // 16 runs in one vector put = one message, one fence op.
+            let runs: Vec<(u64, u32)> = (0..16).map(|i| (i * 256, 16)).collect();
+            a.put_vector(ProcId(1), seg, &runs, &vec![7u8; 256]);
+            let after = a.stats();
+            assert_eq!(after.server_msgs - before.server_msgs, 1);
+            assert_eq!(after.remote_puts - before.remote_puts, 1);
+            a.fence(ProcId(1));
+            let got = a.get_vector(ProcId(1), seg, &runs);
+            assert_eq!(got, vec![7u8; 256]);
+        }
+        a.barrier();
+        true
+    });
+    assert!(out.into_iter().all(|ok| ok));
+}
+
+#[test]
+fn empty_and_single_byte_runs() {
+    let out = run_cluster(zero_lat(2), |a| {
+        let seg = a.malloc(64);
+        a.barrier();
+        if a.rank() == 1 {
+            a.put_vector(ProcId(0), seg, &[], &[]);
+            a.put_vector(ProcId(0), seg, &[(63, 1)], &[0xEE]);
+            a.fence(ProcId(0));
+            let got = a.get_vector(ProcId(0), seg, &[(63, 1)]);
+            assert_eq!(got, vec![0xEE]);
+            assert!(a.get_vector(ProcId(0), seg, &[]).is_empty());
+        }
+        a.barrier();
+        true
+    });
+    assert!(out.into_iter().all(|ok| ok));
+}
+
+#[test]
+#[should_panic]
+fn mismatched_payload_rejected() {
+    run_cluster(zero_lat(2), |a| {
+        let seg = a.malloc(64);
+        a.put_vector(ProcId((a.rank() as u32 + 1) % 2), seg, &[(0, 8)], &[1, 2, 3]);
+    });
+}

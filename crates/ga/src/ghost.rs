@@ -1,0 +1,197 @@
+//! Ghost (halo) cells — Global Arrays' `GA_Update_ghosts` pattern.
+//!
+//! A [`GhostArray`] pairs a [`GlobalArray`] (the authoritative
+//! distributed data) with a per-process local buffer holding this
+//! process's block *plus* a ring of `width` ghost rows/columns copied
+//! from the neighbouring blocks. [`GhostArray::update`] refreshes the
+//! ring with one-sided gets (clipped at the global boundary), which is
+//! exactly what stencil codes otherwise hand-roll (compare
+//! `examples/stencil.rs`).
+
+use armci_core::Armci;
+
+use crate::array::{GlobalArray, SyncAlg};
+use crate::patch::Patch;
+
+/// A process-local view of one block of a [`GlobalArray`] with ghost
+/// cells around it.
+pub struct GhostArray {
+    ga: GlobalArray,
+    width: usize,
+    /// This process's interior patch.
+    own: Patch,
+    /// The halo-extended patch actually stored locally (clipped globally).
+    ext: Patch,
+    /// Row-major local buffer of `ext`.
+    buf: Vec<f64>,
+}
+
+impl GhostArray {
+    /// Collectively wrap `ga` with a ghost ring of `width` cells.
+    pub fn new(armci: &mut Armci, ga: GlobalArray, width: usize) -> Self {
+        let own = ga.owned_patch(armci.rank());
+        let (rows, cols) = ga.shape();
+        let ext = Patch::new(
+            own.row_lo.saturating_sub(width),
+            (own.row_hi + width).min(rows),
+            own.col_lo.saturating_sub(width),
+            (own.col_hi + width).min(cols),
+        );
+        let buf = vec![0.0; ext.len()];
+        let mut g = GhostArray { ga, width, own, ext, buf };
+        g.update(armci);
+        g
+    }
+
+    /// Ghost ring width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// This process's interior patch (no ghosts).
+    pub fn interior(&self) -> Patch {
+        self.own
+    }
+
+    /// The halo-extended patch stored locally.
+    pub fn extended(&self) -> Patch {
+        self.ext
+    }
+
+    /// Refresh the local buffer (interior + ghosts) from the distributed
+    /// array — `GA_Update_ghosts`. Collective: ends with a barrier so no
+    /// process reads ghosts while a neighbour is still writing.
+    pub fn update(&mut self, armci: &mut Armci) {
+        self.ga.sync(armci, SyncAlg::CombinedBarrier);
+        self.buf = self.ga.get(armci, self.ext);
+        armci_msglib::barrier(armci);
+    }
+
+    /// Read element `(r, c)` in *global* coordinates; must lie within the
+    /// extended patch.
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        assert!(self.ext.contains(r, c), "({r},{c}) outside the halo-extended patch {:?}", self.ext);
+        self.buf[(r - self.ext.row_lo) * self.ext.cols() + (c - self.ext.col_lo)]
+    }
+
+    /// Write element `(r, c)` of the *interior* in the local buffer (not
+    /// yet visible globally — call [`GhostArray::flush`]).
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(self.own.contains(r, c), "({r},{c}) outside the interior {:?}", self.own);
+        self.buf[(r - self.ext.row_lo) * self.ext.cols() + (c - self.ext.col_lo)] = v;
+    }
+
+    /// Publish the interior back to the distributed array (one-sided put
+    /// of this block) and sync.
+    pub fn flush(&self, armci: &mut Armci) {
+        let mut interior = Vec::with_capacity(self.own.len());
+        for r in self.own.row_lo..self.own.row_hi {
+            for c in self.own.col_lo..self.own.col_hi {
+                interior.push(self.at(r, c));
+            }
+        }
+        self.ga.put(armci, self.own, &interior);
+        self.ga.sync(armci, SyncAlg::CombinedBarrier);
+    }
+
+    /// The wrapped global array.
+    pub fn global(&self) -> &GlobalArray {
+        &self.ga
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armci_core::{run_cluster, ArmciCfg};
+    use armci_transport::LatencyModel;
+
+    fn cfg(n: u32) -> ArmciCfg {
+        ArmciCfg::flat(n, LatencyModel::zero())
+    }
+
+    #[test]
+    fn ghosts_mirror_neighbours() {
+        let out = run_cluster(cfg(4), |a| {
+            let ga = GlobalArray::create(a, 8, 8); // 2x2 grid of 4x4 blocks
+            // Every element = owner rank.
+            let own = ga.owned_patch(a.rank());
+            ga.put(a, own, &vec![a.rank() as f64; own.len()]);
+            let g = GhostArray::new(a, ga, 1);
+            // Rank 0's block is rows 0..4, cols 0..4; its ghost column 4
+            // belongs to rank 1, ghost row 4 to rank 2.
+            if a.rank() == 0 {
+                assert_eq!(g.at(0, 4), 1.0, "east ghost from rank 1");
+                assert_eq!(g.at(4, 0), 2.0, "south ghost from rank 2");
+                assert_eq!(g.at(4, 4), 3.0, "corner ghost from rank 3");
+                assert_eq!(g.at(3, 3), 0.0, "interior untouched");
+            }
+            a.barrier();
+            true
+        });
+        assert!(out.into_iter().all(|ok| ok));
+    }
+
+    #[test]
+    fn global_edges_are_clipped() {
+        let out = run_cluster(cfg(4), |a| {
+            let ga = GlobalArray::create(a, 8, 8);
+            ga.fill(a, 1.0);
+            let g = GhostArray::new(a, ga, 2);
+            if a.rank() == 0 {
+                // Top-left block: no ghosts above or left of the domain.
+                assert_eq!(g.extended(), Patch::new(0, 6, 0, 6));
+            }
+            if a.rank() == 3 {
+                assert_eq!(g.extended(), Patch::new(2, 8, 2, 8));
+            }
+            a.barrier();
+            true
+        });
+        assert!(out.into_iter().all(|ok| ok));
+    }
+
+    #[test]
+    fn update_set_flush_cycle() {
+        // A 1-wide blur using ghosts, verified against a serial pass.
+        let out = run_cluster(cfg(4), |a| {
+            let ga = GlobalArray::create(a, 8, 8);
+            // A[i][j] = i*8+j.
+            let own = ga.owned_patch(a.rank());
+            let data: Vec<f64> =
+                (own.row_lo..own.row_hi).flat_map(|i| (own.col_lo..own.col_hi).map(move |j| (i * 8 + j) as f64)).collect();
+            ga.put(a, own, &data);
+            let mut g = GhostArray::new(a, ga, 1);
+
+            // One Jacobi-ish sweep over interior points not on the global
+            // boundary, reading through ghosts.
+            let own = g.interior();
+            let mut new_vals = Vec::new();
+            for r in own.row_lo..own.row_hi {
+                for c in own.col_lo..own.col_hi {
+                    if r == 0 || r == 7 || c == 0 || c == 7 {
+                        new_vals.push(g.at(r, c));
+                    } else {
+                        new_vals.push(0.25 * (g.at(r - 1, c) + g.at(r + 1, c) + g.at(r, c - 1) + g.at(r, c + 1)));
+                    }
+                }
+            }
+            let mut k = 0;
+            for r in own.row_lo..own.row_hi {
+                for c in own.col_lo..own.col_hi {
+                    g.set(r, c, new_vals[k]);
+                    k += 1;
+                }
+            }
+            g.flush(a);
+            // Check one cross-block point from every rank.
+            let v = g.global().get(a, Patch::new(3, 4, 4, 5))[0];
+            a.barrier();
+            v
+        });
+        // Serial: A[3][4]=28; avg of A[2][4]=20, A[4][4]=36, A[3][3]=27, A[3][5]=29 = 28.
+        for v in out {
+            assert_eq!(v, 28.0);
+        }
+    }
+}

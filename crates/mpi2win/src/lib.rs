@@ -1,0 +1,215 @@
+#![warn(missing_docs)]
+//! # armci-mpi2win — MPI-2 one-sided communication over ARMCI
+//!
+//! The paper's §2 positions ARMCI as "a simpler and lower-level model of
+//! one-sided communication than MPI-2". This crate makes that concrete by
+//! implementing the MPI-2 RMA surface *on top of* `armci-core`:
+//!
+//! * [`Win::create`] — collective window creation (`MPI_Win_create`);
+//! * [`Win::put`]/[`Win::get`]/[`Win::accumulate`] — origin-side RMA;
+//! * [`Win::fence`] — active-target synchronization (`MPI_Win_fence`),
+//!   which closes the epoch: all RMA everywhere completes before anyone
+//!   returns. Implemented with the paper's combined `ARMCI_Barrier()` —
+//!   exactly the operation MPI implementations build fence from;
+//! * [`Win::lock`]/[`Win::unlock`] — passive-target exclusive access
+//!   (`MPI_Win_lock(MPI_LOCK_EXCLUSIVE)`), implemented with ARMCI's
+//!   distributed locks; unlock flushes the origin's RMA to the target
+//!   before releasing, per the MPI-2 completion rules.
+//!
+//! The inverse layering of the real world (MPICH/Open MPI implement RMA
+//! over point-to-point; ARMCI implemented GA; and ARMCI-MPI later
+//! implemented ARMCI *over* MPI RMA) — here it shows that the ARMCI
+//! primitives are sufficient to express the MPI-2 model.
+//!
+//! ```
+//! use armci_core::{run_cluster, ArmciCfg};
+//! use armci_mpi2win::Win;
+//! use armci_transport::LatencyModel;
+//!
+//! let out = run_cluster(ArmciCfg::flat(4, LatencyModel::zero()), |a| {
+//!     let win = Win::create(a, 64, 0);          // collective
+//!     win.fence(a);                             // open an epoch
+//!     let me = a.rank();
+//!     let right = (me + 1) % a.nprocs();
+//!     win.put(a, right, 0, &(me as u64 + 1).to_le_bytes());
+//!     win.fence(a);                             // close the epoch
+//!     u64::from_le_bytes(win.read_local(a, 0, 8).try_into().unwrap())
+//! });
+//! assert_eq!(out, vec![4, 1, 2, 3]);
+//! ```
+
+use armci_core::{Armci, GlobalAddr, LockId};
+use armci_transport::{ProcId, SegId};
+
+/// An RMA window: one collectively created memory region per process plus
+/// the lock slot backing passive-target synchronization.
+#[derive(Clone, Copy, Debug)]
+pub struct Win {
+    seg: SegId,
+    len: usize,
+    lock_slot: u32,
+}
+
+impl Win {
+    /// Collective window creation: every process exposes `len` bytes.
+    /// `lock_slot` selects which per-process lock slot backs
+    /// `MPI_Win_lock` for this window (windows and application locks
+    /// share the slot namespace; pick distinct slots).
+    pub fn create(armci: &mut Armci, len: usize, lock_slot: u32) -> Self {
+        assert!(lock_slot < armci.locks_per_proc(), "lock slot out of range");
+        let seg = armci.malloc(len);
+        Win { seg, len, lock_slot }
+    }
+
+    /// Window length per process.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn addr(&self, target: usize, disp: usize, nbytes: usize) -> GlobalAddr {
+        assert!(disp + nbytes <= self.len, "RMA past window end: {disp}+{nbytes} > {}", self.len);
+        GlobalAddr::new(ProcId(target as u32), self.seg, disp)
+    }
+
+    /// `MPI_Put`: non-blocking one-sided write of `data` at displacement
+    /// `disp` in `target`'s window. Completes at the next [`Win::fence`]
+    /// or at [`Win::unlock`] of that target.
+    pub fn put(&self, armci: &mut Armci, target: usize, disp: usize, data: &[u8]) {
+        armci.put(self.addr(target, disp, data.len()), data);
+    }
+
+    /// `MPI_Get`: read `len` bytes from `target`'s window.
+    ///
+    /// ARMCI gets are blocking, so this is also an `MPI_Get` +
+    /// immediate completion — stronger than MPI requires.
+    pub fn get(&self, armci: &mut Armci, target: usize, disp: usize, len: usize) -> Vec<u8> {
+        let mut out = vec![0u8; len];
+        armci.get(self.addr(target, disp, len), &mut out);
+        out
+    }
+
+    /// `MPI_Accumulate(..., MPI_SUM)` on `f64` elements.
+    pub fn accumulate(&self, armci: &mut Armci, target: usize, disp: usize, vals: &[f64]) {
+        armci.acc_f64(self.addr(target, disp, vals.len() * 8), 1.0, vals);
+    }
+
+    /// `MPI_Win_fence`: collective epoch separation — every RMA issued by
+    /// every process before the fence is complete everywhere after it.
+    /// One combined `ARMCI_Barrier()`.
+    pub fn fence(&self, armci: &mut Armci) {
+        armci.barrier();
+    }
+
+    /// `MPI_Win_lock(MPI_LOCK_EXCLUSIVE, target)`: begin a passive-target
+    /// access epoch on `target`'s window region.
+    pub fn lock(&self, armci: &mut Armci, target: usize) {
+        armci.lock(LockId { owner: ProcId(target as u32), idx: self.lock_slot });
+    }
+
+    /// `MPI_Win_unlock(target)`: complete all RMA this process issued to
+    /// `target` during the epoch, then release the lock.
+    pub fn unlock(&self, armci: &mut Armci, target: usize) {
+        armci.fence(ProcId(target as u32));
+        armci.unlock(LockId { owner: ProcId(target as u32), idx: self.lock_slot });
+    }
+
+    /// Read this process's own window memory (e.g. after a fence).
+    pub fn read_local(&self, armci: &Armci, disp: usize, len: usize) -> Vec<u8> {
+        assert!(disp + len <= self.len);
+        let seg = armci.local_segment(self.seg);
+        let mut out = vec![0u8; len];
+        seg.read_bytes(disp, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armci_core::{run_cluster, ArmciCfg};
+    use armci_transport::LatencyModel;
+
+    fn cfg(n: u32) -> ArmciCfg {
+        ArmciCfg::flat(n, LatencyModel::zero())
+    }
+
+    #[test]
+    fn fence_epochs_complete_rma() {
+        let out = run_cluster(cfg(4), |a| {
+            let win = Win::create(a, 8 * a.nprocs(), 0);
+            win.fence(a);
+            for t in 0..a.nprocs() {
+                win.put(a, t, 8 * a.rank(), &(a.rank() as u64 + 1).to_le_bytes());
+            }
+            win.fence(a);
+            (0..a.nprocs())
+                .all(|r| u64::from_le_bytes(win.read_local(a, 8 * r, 8).try_into().unwrap()) == r as u64 + 1)
+        });
+        assert!(out.into_iter().all(|ok| ok));
+    }
+
+    #[test]
+    fn accumulate_sums() {
+        let out = run_cluster(cfg(3), |a| {
+            let win = Win::create(a, 16, 0);
+            win.fence(a);
+            win.accumulate(a, 0, 8, &[2.0]);
+            win.fence(a);
+            if a.rank() == 0 {
+                let b = win.read_local(a, 8, 8);
+                return f64::from_le_bytes(b.try_into().unwrap()) == 6.0;
+            }
+            true
+        });
+        assert!(out.into_iter().all(|ok| ok));
+    }
+
+    #[test]
+    fn passive_target_lock_serializes() {
+        let out = run_cluster(cfg(4), |a| {
+            let win = Win::create(a, 8, 1);
+            win.fence(a);
+            for _ in 0..10 {
+                win.lock(a, 2);
+                let v = u64::from_le_bytes(win.get(a, 2, 0, 8).try_into().unwrap());
+                win.put(a, 2, 0, &(v + 1).to_le_bytes());
+                win.unlock(a, 2); // flush-then-release
+            }
+            win.fence(a);
+            u64::from_le_bytes(win.get(a, 2, 0, 8).try_into().unwrap())
+        });
+        for v in out {
+            assert_eq!(v, 40);
+        }
+    }
+
+    #[test]
+    fn two_windows_are_independent() {
+        let out = run_cluster(cfg(2), |a| {
+            let w1 = Win::create(a, 16, 0);
+            let w2 = Win::create(a, 16, 1);
+            w1.fence(a);
+            w1.put(a, 1 - a.rank(), 0, &[1; 8]);
+            w2.put(a, 1 - a.rank(), 0, &[2; 8]);
+            w1.fence(a); // single barrier epoch closes both here
+            let a1 = w1.read_local(a, 0, 8);
+            let a2 = w2.read_local(a, 0, 8);
+            a1 == vec![1; 8] && a2 == vec![2; 8]
+        });
+        assert!(out.into_iter().all(|ok| ok));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rma_past_window_end_rejected() {
+        run_cluster(cfg(2), |a| {
+            let win = Win::create(a, 8, 0);
+            win.put(a, 1 - a.rank(), 4, &[0; 8]);
+        });
+    }
+}

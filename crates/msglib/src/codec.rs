@@ -1,0 +1,187 @@
+//! Minimal byte-level message framing.
+//!
+//! Protocol messages in this workspace are hand-framed little-endian
+//! records (as GM/ARMCI headers were), not serde-serialized: the formats
+//! are tiny, fixed, and on the latency-critical path. [`Writer`] builds a
+//! message body; [`Reader`] consumes one, panicking on truncation (a
+//! malformed frame is a protocol bug, never recoverable input).
+
+/// Incrementally builds a little-endian message body.
+#[derive(Default, Debug)]
+pub struct Writer(Vec<u8>);
+
+impl Writer {
+    /// Start an empty body.
+    pub fn new() -> Self {
+        Writer(Vec::new())
+    }
+
+    /// Start with capacity for `n` bytes.
+    pub fn with_capacity(n: usize) -> Self {
+        Writer(Vec::with_capacity(n))
+    }
+
+    /// Finish and return the body.
+    pub fn finish(self) -> Vec<u8> {
+        self.0
+    }
+
+    /// Append a `u8`.
+    pub fn u8(mut self, v: u8) -> Self {
+        self.0.push(v);
+        self
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn u32(mut self, v: u32) -> Self {
+        self.0.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn u64(mut self, v: u64) -> Self {
+        self.0.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a little-endian `i64`.
+    pub fn i64(self, v: i64) -> Self {
+        self.u64(v as u64)
+    }
+
+    /// Append an `f64` as its IEEE-754 bits.
+    pub fn f64(self, v: f64) -> Self {
+        self.u64(v.to_bits())
+    }
+
+    /// Append raw bytes with a `u32` length prefix.
+    pub fn bytes(mut self, v: &[u8]) -> Self {
+        self = self.u32(v.len() as u32);
+        self.0.extend_from_slice(v);
+        self
+    }
+
+    /// Append a `u64` slice with a `u32` length prefix.
+    pub fn u64_slice(mut self, v: &[u64]) -> Self {
+        self = self.u32(v.len() as u32);
+        for &x in v {
+            self.0.extend_from_slice(&x.to_le_bytes());
+        }
+        self
+    }
+}
+
+/// Consumes a little-endian message body produced by [`Writer`].
+///
+/// # Panics
+/// Every accessor panics on truncated input: frames are produced by this
+/// workspace's own protocols, so truncation is a bug, not bad input.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wrap a message body.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().unwrap())
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    /// Read a little-endian `i64`.
+    pub fn i64(&mut self) -> i64 {
+        self.u64() as i64
+    }
+
+    /// Read an `f64` from its IEEE-754 bits.
+    pub fn f64(&mut self) -> f64 {
+        f64::from_bits(self.u64())
+    }
+
+    /// Read a length-prefixed byte slice.
+    pub fn bytes(&mut self) -> &'a [u8] {
+        let n = self.u32() as usize;
+        self.take(n)
+    }
+
+    /// Read a length-prefixed `u64` vector.
+    pub fn u64_vec(&mut self) -> Vec<u64> {
+        let n = self.u32() as usize;
+        (0..n).map(|_| self.u64()).collect()
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let body = Writer::new()
+            .u8(7)
+            .u32(0xDEAD_BEEF)
+            .u64(u64::MAX - 1)
+            .i64(-42)
+            .f64(3.5)
+            .bytes(b"hello")
+            .u64_slice(&[1, 2, 3])
+            .finish();
+        let mut r = Reader::new(&body);
+        assert_eq!(r.u8(), 7);
+        assert_eq!(r.u32(), 0xDEAD_BEEF);
+        assert_eq!(r.u64(), u64::MAX - 1);
+        assert_eq!(r.i64(), -42);
+        assert_eq!(r.f64(), 3.5);
+        assert_eq!(r.bytes(), b"hello");
+        assert_eq!(r.u64_vec(), vec![1, 2, 3]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn empty_collections() {
+        let body = Writer::new().bytes(&[]).u64_slice(&[]).finish();
+        let mut r = Reader::new(&body);
+        assert!(r.bytes().is_empty());
+        assert!(r.u64_vec().is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn truncated_read_panics() {
+        let body = Writer::new().u32(1).finish();
+        let mut r = Reader::new(&body);
+        let _ = r.u64();
+    }
+
+    #[test]
+    fn nan_f64_roundtrips_bitwise() {
+        let body = Writer::new().f64(f64::NAN).finish();
+        let mut r = Reader::new(&body);
+        assert!(r.f64().is_nan());
+    }
+}

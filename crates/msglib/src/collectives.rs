@@ -1,0 +1,480 @@
+//! MPI-style collectives over any [`P2p`] implementation.
+//!
+//! Two barrier algorithms are provided because the paper uses both roles:
+//!
+//! * [`barrier_binary_exchange`] — the pairwise-exchange (hypercube)
+//!   algorithm the paper attributes to `MPI_Barrier()` (§3.1.2): in each
+//!   of `log2(N)` phases a process exchanges a message with `me XOR x` and
+//!   the phases' messages overlap, so the barrier costs `log2(N)` one-way
+//!   latencies. Non-powers of two are handled by folding the surplus
+//!   ranks onto partners in the power-of-two core (two extra latencies).
+//! * [`barrier`] — the dissemination algorithm, which handles any `N` in
+//!   `ceil(log2 N)` rounds without the fold; used where an algorithm-
+//!   agnostic barrier is all that is needed.
+//!
+//! [`allreduce`] is the recursive-doubling exchange of Figure 2 of the
+//! paper — the "all-scatter/all-to-all" step that distributes and sums the
+//! `op_init[]` arrays in `ARMCI_Barrier()` — generalized to arbitrary
+//! element types and non-power-of-two process counts.
+
+use crate::codec::{Reader, Writer};
+use crate::comm::P2p;
+
+/// Collective op codes, mixed into tags (see [`mk_tag`]).
+mod op {
+    pub const BARRIER_DISS: u32 = 1;
+    pub const BARRIER_BX: u32 = 2;
+    pub const BCAST: u32 = 3;
+    pub const ALLREDUCE: u32 = 4;
+    pub const ALLGATHER: u32 = 5;
+    pub const SCAN: u32 = 6;
+}
+
+/// Compose a collective tag from an op code and the caller's epoch.
+///
+/// The epoch (mod 4096) guards against a fast rank's *next* collective
+/// being matched by a slow rank's *current* one; per-pair FIFO delivery
+/// makes collisions after wrap-around impossible in practice because at
+/// most a handful of collectives can be in flight between a pair.
+fn mk_tag(opcode: u32, epoch: u32) -> u32 {
+    (opcode << 12) | (epoch & 0xFFF)
+}
+
+/// Largest power of two `<= n` (`n >= 1`).
+fn pow2_floor(n: usize) -> usize {
+    debug_assert!(n >= 1);
+    1 << (usize::BITS - 1 - n.leading_zeros())
+}
+
+/// Dissemination barrier: `ceil(log2 N)` rounds, any `N`.
+pub fn barrier(p: &mut impl P2p) {
+    let n = p.size();
+    if n == 1 {
+        return;
+    }
+    let me = p.rank();
+    let tag = mk_tag(op::BARRIER_DISS, p.next_epoch());
+    let mut k = 1;
+    while k < n {
+        let to = (me + k) % n;
+        let from = (me + n - k) % n;
+        p.send_to(to, tag, Vec::new());
+        let _ = p.recv_from(from, tag);
+        k <<= 1;
+    }
+}
+
+/// Binary-exchange (pairwise XOR) barrier — the paper's `MPI_Barrier()`
+/// pattern. `log2(N)` phases for powers of two; non-powers of two fold
+/// the surplus ranks onto core partners for two extra latencies.
+pub fn barrier_binary_exchange(p: &mut impl P2p) {
+    let n = p.size();
+    if n == 1 {
+        return;
+    }
+    let me = p.rank();
+    let tag = mk_tag(op::BARRIER_BX, p.next_epoch());
+    let m = pow2_floor(n);
+
+    if me >= m {
+        // Surplus rank: check in with the core partner, wait for release.
+        p.send_to(me - m, tag, Vec::new());
+        let _ = p.recv_from(me - m, tag);
+        return;
+    }
+    // Core rank: absorb a surplus partner first, if any.
+    let extra = me + m;
+    if extra < n {
+        let _ = p.recv_from(extra, tag);
+    }
+    // Figure 2 pattern: exchange with me XOR x for x = m/2, m/4, ..., 1.
+    let mut x = m / 2;
+    while x > 0 {
+        let peer = me ^ x;
+        let _ = p.exchange(peer, tag, Vec::new());
+        x /= 2;
+    }
+    if extra < n {
+        p.send_to(extra, tag, Vec::new());
+    }
+}
+
+/// Element codec for [`allreduce`] vectors.
+pub trait Elem: Copy {
+    /// Append `self` to a message body.
+    fn enc(self, w: Writer) -> Writer;
+    /// Read one element from a message body.
+    fn dec(r: &mut Reader<'_>) -> Self;
+}
+
+impl Elem for u64 {
+    fn enc(self, w: Writer) -> Writer {
+        w.u64(self)
+    }
+    fn dec(r: &mut Reader<'_>) -> Self {
+        r.u64()
+    }
+}
+
+impl Elem for i64 {
+    fn enc(self, w: Writer) -> Writer {
+        w.i64(self)
+    }
+    fn dec(r: &mut Reader<'_>) -> Self {
+        r.i64()
+    }
+}
+
+impl Elem for f64 {
+    fn enc(self, w: Writer) -> Writer {
+        w.f64(self)
+    }
+    fn dec(r: &mut Reader<'_>) -> Self {
+        r.f64()
+    }
+}
+
+fn enc_vec<T: Elem>(v: &[T]) -> Vec<u8> {
+    let mut w = Writer::with_capacity(v.len() * 8);
+    for &x in v {
+        w = x.enc(w);
+    }
+    w.finish()
+}
+
+fn dec_combine<T: Elem>(local: &mut [T], body: &[u8], combine: &impl Fn(T, T) -> T) {
+    let mut r = Reader::new(body);
+    for x in local.iter_mut() {
+        *x = combine(*x, T::dec(&mut r));
+    }
+    debug_assert_eq!(r.remaining(), 0, "allreduce vector length mismatch");
+}
+
+/// Element-wise allreduce by recursive doubling — the Figure 2 algorithm.
+///
+/// On return, `local[i]` holds `combine` folded over all ranks' initial
+/// `local[i]`, on every rank. `combine` must be associative and
+/// commutative (the reduction order differs across ranks).
+///
+/// Cost: `log2(N)` one-way latencies for powers of two (each phase's two
+/// messages overlap), plus two latencies of fold for other `N`.
+pub fn allreduce<T: Elem, F: Fn(T, T) -> T>(p: &mut impl P2p, local: &mut [T], combine: F) {
+    let n = p.size();
+    if n == 1 {
+        return;
+    }
+    let me = p.rank();
+    let tag = mk_tag(op::ALLREDUCE, p.next_epoch());
+    let m = pow2_floor(n);
+
+    if me >= m {
+        // Surplus rank: hand the vector to the core partner, receive the
+        // final result back.
+        p.send_to(me - m, tag, enc_vec(local));
+        let body = p.recv_from(me - m, tag);
+        let mut r = Reader::new(&body);
+        for x in local.iter_mut() {
+            *x = T::dec(&mut r);
+        }
+        return;
+    }
+    let extra = me + m;
+    if extra < n {
+        let body = p.recv_from(extra, tag);
+        dec_combine(local, &body, &combine);
+    }
+    // x = m/2, m/4, ..., 1 — exchange and element-wise combine.
+    let mut x = m / 2;
+    while x > 0 {
+        let peer = me ^ x;
+        let body = p.exchange(peer, tag, enc_vec(local));
+        dec_combine(local, &body, &combine);
+        x /= 2;
+    }
+    if extra < n {
+        p.send_to(extra, tag, enc_vec(local));
+    }
+}
+
+/// Sum-allreduce of a `u64` vector — exactly the `op_init[]` distribution
+/// step of `ARMCI_Barrier()` (paper Figure 2, with `+` as the operator).
+pub fn allreduce_sum_u64(p: &mut impl P2p, local: &mut [u64]) {
+    allreduce(p, local, |a, b| a.wrapping_add(b));
+}
+
+/// Sum-allreduce of an `f64` vector.
+pub fn allreduce_sum_f64(p: &mut impl P2p, local: &mut [f64]) {
+    allreduce(p, local, |a, b| a + b);
+}
+
+/// Max-allreduce of an `f64` vector (used to aggregate per-rank timings in
+/// the benchmark harness).
+pub fn allreduce_max_f64(p: &mut impl P2p, local: &mut [f64]) {
+    allreduce(p, local, f64::max);
+}
+
+/// Inclusive prefix reduction (`MPI_Scan`) by the Hillis–Steele doubling
+/// scheme: after the call, rank `r` holds `combine` folded over ranks
+/// `0..=r`. `combine` must be associative. `ceil(log2 N)` rounds.
+pub fn scan<T: Elem, F: Fn(T, T) -> T>(p: &mut impl P2p, local: &mut [T], combine: F) {
+    let n = p.size();
+    if n == 1 {
+        return;
+    }
+    let me = p.rank();
+    let tag = mk_tag(op::SCAN, p.next_epoch());
+    let mut k = 1usize;
+    while k < n {
+        // Send my current prefix downstream before folding the upstream
+        // contribution in (the value sent must cover ranks me-k+1..=me of
+        // the original inputs, which it does by induction).
+        if me + k < n {
+            p.send_to(me + k, tag, enc_vec(local));
+        }
+        if me >= k {
+            let body = p.recv_from(me - k, tag);
+            let mut r = Reader::new(&body);
+            for x in local.iter_mut() {
+                // Prefix order: upstream ⊕ mine.
+                *x = combine(T::dec(&mut r), *x);
+            }
+        }
+        k <<= 1;
+    }
+}
+
+/// Inclusive prefix sum of a `u64` vector.
+pub fn scan_sum_u64(p: &mut impl P2p, local: &mut [u64]) {
+    scan(p, local, |a, b| a.wrapping_add(b));
+}
+
+/// Binomial-tree broadcast of `data` from `root`; returns the payload on
+/// every rank. `O(log N)` latencies.
+pub fn bcast(p: &mut impl P2p, root: usize, data: Vec<u8>) -> Vec<u8> {
+    let n = p.size();
+    if n == 1 {
+        return data;
+    }
+    let me = p.rank();
+    let tag = mk_tag(op::BCAST, p.next_epoch());
+    let vr = (me + n - root) % n; // virtual rank with root at 0
+
+    let mut have: Option<Vec<u8>> = if vr == 0 { Some(data) } else { None };
+    let mut mask = 1;
+    while mask < n {
+        if vr < mask {
+            let dst = vr + mask;
+            if dst < n {
+                let payload = have.as_ref().expect("binomial bcast invariant").clone();
+                p.send_to((dst + root) % n, tag, payload);
+            }
+        } else if vr < 2 * mask && have.is_none() {
+            let src = vr - mask;
+            have = Some(p.recv_from((src + root) % n, tag));
+        }
+        mask <<= 1;
+    }
+    have.expect("every rank receives in a binomial bcast")
+}
+
+/// Ring allgather: returns every rank's contribution, indexed by rank.
+/// `N-1` steps; correctness for any `N`.
+pub fn allgather(p: &mut impl P2p, mine: Vec<u8>) -> Vec<Vec<u8>> {
+    let n = p.size();
+    let me = p.rank();
+    let tag = mk_tag(op::ALLGATHER, p.next_epoch());
+    let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
+    out[me] = mine;
+    let right = (me + 1) % n;
+    let left = (me + n - 1) % n;
+    // Step k forwards the block that originated k hops to the left.
+    for k in 0..n.saturating_sub(1) {
+        let send_idx = (me + n - k) % n;
+        let body = Writer::new().u32(send_idx as u32).bytes(&out[send_idx]).finish();
+        p.send_to(right, tag, body);
+        let got = p.recv_from(left, tag);
+        let mut r = Reader::new(&got);
+        let idx = r.u32() as usize;
+        out[idx] = r.bytes().to_vec();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::Comm;
+    use armci_transport::{Cluster, LatencyModel};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn cluster(n: u32) -> Cluster {
+        Cluster::builder().nodes(n).procs_per_node(1).latency(LatencyModel::zero()).build()
+    }
+
+    fn check_barrier_semantics(n: u32, which: fn(&mut Comm)) {
+        let before = Arc::new(AtomicUsize::new(0));
+        let b2 = before.clone();
+        let out = cluster(n).run_spmd(move |mb| {
+            let mut comm = Comm::new(mb);
+            b2.fetch_add(1, Ordering::SeqCst);
+            which(&mut comm);
+            // After the barrier, every rank must have checked in.
+            b2.load(Ordering::SeqCst)
+        });
+        for seen in out {
+            assert_eq!(seen, n as usize, "barrier let a rank through early (n={n})");
+        }
+    }
+
+    #[test]
+    fn dissemination_barrier_all_sizes() {
+        for n in 1..=9 {
+            check_barrier_semantics(n, |c| barrier(c));
+        }
+    }
+
+    #[test]
+    fn binary_exchange_barrier_all_sizes() {
+        for n in 1..=9 {
+            check_barrier_semantics(n, |c| barrier_binary_exchange(c));
+        }
+    }
+
+    #[test]
+    fn repeated_barriers_do_not_cross_talk() {
+        let out = cluster(4).run_spmd(|mb| {
+            let mut comm = Comm::new(mb);
+            for _ in 0..50 {
+                barrier_binary_exchange(&mut comm);
+            }
+            comm.rank()
+        });
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn allreduce_sum_matches_expected() {
+        for n in 1..=9u32 {
+            let out = cluster(n).run_spmd(move |mb| {
+                let mut comm = Comm::new(mb);
+                let me = comm.rank() as u64;
+                // v[i] = rank * 10 + i; column sums are sum(rank)*.. per i.
+                let mut v = vec![me * 10, me * 10 + 1, me * 10 + 2];
+                allreduce_sum_u64(&mut comm, &mut v);
+                v
+            });
+            let nn = n as u64;
+            let ranksum: u64 = (0..nn).sum();
+            let expect = vec![ranksum * 10, ranksum * 10 + nn, ranksum * 10 + 2 * nn];
+            for v in out {
+                assert_eq!(v, expect, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_max_f64_picks_max() {
+        let out = cluster(5).run_spmd(|mb| {
+            let mut comm = Comm::new(mb);
+            let mut v = vec![comm.rank() as f64, -(comm.rank() as f64)];
+            allreduce_max_f64(&mut comm, &mut v);
+            v
+        });
+        for v in out {
+            assert_eq!(v, vec![4.0, 0.0]);
+        }
+    }
+
+    #[test]
+    fn scan_prefix_sums() {
+        for n in 1..=9u32 {
+            let out = cluster(n).run_spmd(|mb| {
+                let mut comm = Comm::new(mb);
+                let mut v = vec![comm.rank() as u64 + 1, 1u64];
+                scan_sum_u64(&mut comm, &mut v);
+                v
+            });
+            for (r, v) in out.into_iter().enumerate() {
+                let expect: u64 = (1..=r as u64 + 1).sum();
+                assert_eq!(v, vec![expect, r as u64 + 1], "n={n} rank={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn scan_with_noncommutative_safety() {
+        // Scan only requires associativity; check with string-ish
+        // concatenation encoded as (len, digest) pairs — emulated by
+        // positional weights so a wrong order changes the result.
+        let out = cluster(5).run_spmd(|mb| {
+            let mut comm = Comm::new(mb);
+            let mut v = vec![comm.rank() as u64 + 1];
+            // combine(a, b) = a * 10 + b is associative? No — use an
+            // associative, non-commutative op instead: 2x2 matrix-like
+            // (a, b) composition packed in u64 is overkill; use max, then
+            // order cannot matter but prefix coverage still checks.
+            scan(&mut comm, &mut v, u64::max);
+            v[0]
+        });
+        for (r, v) in out.into_iter().enumerate() {
+            assert_eq!(v, r as u64 + 1, "prefix max of 1..=r+1");
+        }
+    }
+
+    #[test]
+    fn bcast_from_each_root() {
+        for n in 1..=6u32 {
+            for root in 0..n as usize {
+                let out = cluster(n).run_spmd(move |mb| {
+                    let mut comm = Comm::new(mb);
+                    let data = if comm.rank() == root { vec![root as u8, 0xAB] } else { Vec::new() };
+                    bcast(&mut comm, root, data)
+                });
+                for v in out {
+                    assert_eq!(v, vec![root as u8, 0xAB], "n={n} root={root}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_collects_everyone() {
+        for n in 1..=6u32 {
+            let out = cluster(n).run_spmd(|mb| {
+                let mut comm = Comm::new(mb);
+                let mine = vec![comm.rank() as u8; comm.rank() + 1];
+                allgather(&mut comm, mine)
+            });
+            for v in out {
+                for (r, block) in v.iter().enumerate() {
+                    assert_eq!(block, &vec![r as u8; r + 1], "n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn collectives_compose_in_sequence() {
+        let out = cluster(4).run_spmd(|mb| {
+            let mut comm = Comm::new(mb);
+            let mut v = vec![1u64];
+            allreduce_sum_u64(&mut comm, &mut v);
+            barrier(&mut comm);
+            let b = bcast(&mut comm, 0, vec![v[0] as u8]);
+            barrier_binary_exchange(&mut comm);
+            b[0]
+        });
+        assert_eq!(out, vec![4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn pow2_floor_values() {
+        assert_eq!(pow2_floor(1), 1);
+        assert_eq!(pow2_floor(2), 2);
+        assert_eq!(pow2_floor(3), 2);
+        assert_eq!(pow2_floor(8), 8);
+        assert_eq!(pow2_floor(9), 8);
+        assert_eq!(pow2_floor(1023), 512);
+    }
+}

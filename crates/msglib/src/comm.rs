@@ -1,0 +1,139 @@
+//! The [`P2p`] trait and its canonical transport-backed implementation.
+
+use armci_transport::{Endpoint, Mailbox, Msg, ProcId, Tag};
+
+/// Ranked, tagged point-to-point messaging — the minimal surface the
+/// collectives in [`crate::collectives`] are written against.
+///
+/// Implemented by [`Comm`] (a bare mailbox) and by `armci_core::Armci`
+/// (so collectives can run *inside* the ARMCI runtime, interleaved with
+/// one-sided traffic, exactly as MPI calls interleave with ARMCI calls in
+/// Global Arrays).
+pub trait P2p {
+    /// This process's rank in `0..size()`.
+    fn rank(&self) -> usize;
+
+    /// Number of processes in the group.
+    fn size(&self) -> usize;
+
+    /// Send `body` to rank `dst` with collective tag `tag`.
+    /// Non-blocking, reliable, FIFO per (source, destination) pair.
+    fn send_to(&mut self, dst: usize, tag: u32, body: Vec<u8>);
+
+    /// Block until a message with tag `tag` from rank `src` arrives;
+    /// messages that do not match are deferred, not dropped.
+    fn recv_from(&mut self, src: usize, tag: u32) -> Vec<u8>;
+
+    /// A monotonically increasing counter, bumped once per collective
+    /// call, mixed into tags so that back-to-back collectives on the same
+    /// ranks cannot capture each other's messages.
+    fn next_epoch(&mut self) -> u32;
+
+    /// Combined send-then-receive with the same partner; the two transfers
+    /// overlap (send is non-blocking), so an exchange phase costs one
+    /// one-way latency — the property the paper's binary-exchange analysis
+    /// relies on.
+    fn exchange(&mut self, peer: usize, tag: u32, body: Vec<u8>) -> Vec<u8> {
+        self.send_to(peer, tag, body);
+        self.recv_from(peer, tag)
+    }
+}
+
+/// A plain message-passing communicator over one transport [`Mailbox`].
+pub struct Comm {
+    mailbox: Mailbox,
+    epoch: u32,
+}
+
+impl Comm {
+    /// Wrap a process mailbox.
+    ///
+    /// # Panics
+    /// Panics if the mailbox belongs to a server endpoint: collectives are
+    /// defined over user processes only.
+    pub fn new(mailbox: Mailbox) -> Self {
+        assert!(!mailbox.me().is_server(), "Comm requires a process endpoint");
+        Comm { mailbox, epoch: 0 }
+    }
+
+    /// Borrow the underlying mailbox.
+    pub fn mailbox(&mut self) -> &mut Mailbox {
+        &mut self.mailbox
+    }
+
+    /// Unwrap the mailbox.
+    pub fn into_mailbox(self) -> Mailbox {
+        self.mailbox
+    }
+}
+
+impl P2p for Comm {
+    fn rank(&self) -> usize {
+        self.mailbox.me().proc().unwrap().idx()
+    }
+
+    fn size(&self) -> usize {
+        self.mailbox.topology().nprocs()
+    }
+
+    fn send_to(&mut self, dst: usize, tag: u32, body: Vec<u8>) {
+        self.mailbox.send(Endpoint::Proc(ProcId(dst as u32)), Tag(Tag::MSGLIB_BASE + tag), body);
+    }
+
+    fn recv_from(&mut self, src: usize, tag: u32) -> Vec<u8> {
+        let want_src = Endpoint::Proc(ProcId(src as u32));
+        let want_tag = Tag(Tag::MSGLIB_BASE + tag);
+        let Msg { body, .. } = self
+            .mailbox
+            .recv_match(|m| m.src == want_src && m.tag == want_tag)
+            .expect("transport disconnected during collective");
+        body
+    }
+
+    fn next_epoch(&mut self) -> u32 {
+        let e = self.epoch;
+        self.epoch = self.epoch.wrapping_add(1);
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armci_transport::{Cluster, LatencyModel};
+
+    #[test]
+    fn rank_and_size() {
+        let c = Cluster::builder().nodes(3).procs_per_node(2).latency(LatencyModel::zero()).build();
+        let out = c.run_spmd(|mb| {
+            let comm = Comm::new(mb);
+            (comm.rank(), comm.size())
+        });
+        for (r, (rank, size)) in out.into_iter().enumerate() {
+            assert_eq!(rank, r);
+            assert_eq!(size, 6);
+        }
+    }
+
+    #[test]
+    fn exchange_swaps_payloads() {
+        let c = Cluster::builder().nodes(2).procs_per_node(1).latency(LatencyModel::zero()).build();
+        let out = c.run_spmd(|mb| {
+            let mut comm = Comm::new(mb);
+            let me = comm.rank();
+            let peer = 1 - me;
+            comm.exchange(peer, 9, vec![me as u8])
+        });
+        assert_eq!(out, vec![vec![1], vec![0]]);
+    }
+
+    #[test]
+    fn epochs_increment() {
+        let c = Cluster::builder().nodes(1).procs_per_node(1).latency(LatencyModel::zero()).build();
+        let out = c.run_spmd(|mb| {
+            let mut comm = Comm::new(mb);
+            (comm.next_epoch(), comm.next_epoch(), comm.next_epoch())
+        });
+        assert_eq!(out[0], (0, 1, 2));
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! # armci-msglib — a small message-passing library (the paper's "MPI")
+//!
+//! ARMCI is designed to be *compatible with* a message-passing library and
+//! borrows its process group and barrier from it: the paper's baseline
+//! `GA_Sync()` is `ARMCI_AllFence()` + `MPI_Barrier()`, and the new
+//! `ARMCI_Barrier()` reuses the binary-exchange communication pattern of
+//! `MPI_Barrier()` (paper §3.1.2, Figure 2).
+//!
+//! This crate provides that substrate over `armci-transport`:
+//!
+//! * a [`P2p`] trait — ranked, tagged, source-matched point-to-point
+//!   send/recv, the minimal surface MPI-style collectives need;
+//! * [`Comm`], the canonical implementation over a transport [`Mailbox`](armci_transport::Mailbox)
+//!   (`armci_core::Armci` implements `P2p` too, so the same collectives
+//!   run inside the ARMCI runtime);
+//! * collectives: dissemination and binary-exchange barriers, binomial
+//!   broadcast, recursive-doubling allreduce (the exact Figure 2
+//!   algorithm, generalized to non-powers of two), ring allgather.
+//!
+//! All collectives cost `O(log N)` one-way latencies except allgather,
+//! matching the structures the paper reasons with.
+
+pub mod codec;
+pub mod collectives;
+pub mod comm;
+pub mod rooted;
+
+pub use codec::{Reader, Writer};
+pub use collectives::{
+    allgather, allreduce, allreduce_max_f64, allreduce_sum_f64, allreduce_sum_u64, barrier,
+    barrier_binary_exchange, bcast, scan, scan_sum_u64,
+};
+pub use comm::{Comm, P2p};
+pub use rooted::{gather, reduce, reduce_sum_f64, reduce_sum_u64, scatter};

@@ -1,0 +1,110 @@
+//! Property-based tests: every collective against a straightforward
+//! sequential reference, over random process counts, roots, vector sizes
+//! and contents.
+
+use armci_msglib::{
+    allgather, allreduce_sum_u64, barrier_binary_exchange, bcast, scan_sum_u64, Comm, P2p,
+};
+use armci_msglib::rooted::{gather, reduce_sum_u64, scatter};
+use armci_transport::{Cluster, LatencyModel};
+use proptest::prelude::*;
+
+fn cluster(n: usize) -> Cluster {
+    Cluster::builder().nodes(n as u32).procs_per_node(1).latency(LatencyModel::zero()).build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn allreduce_matches_reference(n in 1usize..10, veclen in 1usize..9, seed in any::<u64>()) {
+        // Deterministic pseudo-random inputs per rank derived from seed.
+        let inputs: Vec<Vec<u64>> = (0..n)
+            .map(|r| (0..veclen).map(|i| seed.wrapping_mul(r as u64 + 1).wrapping_add(i as u64 * 77)).collect())
+            .collect();
+        let expect: Vec<u64> = (0..veclen)
+            .map(|i| inputs.iter().map(|v| v[i]).fold(0u64, u64::wrapping_add))
+            .collect();
+        let inputs2 = inputs.clone();
+        let out = cluster(n).run_spmd(move |mb| {
+            let mut c = Comm::new(mb);
+            let mut v = inputs2[c.rank()].clone();
+            allreduce_sum_u64(&mut c, &mut v);
+            v
+        });
+        for v in out {
+            prop_assert_eq!(&v, &expect);
+        }
+    }
+
+    #[test]
+    fn scan_matches_reference(n in 1usize..10, seed in any::<u64>()) {
+        let inputs: Vec<u64> = (0..n).map(|r| seed.wrapping_add(r as u64 * 31)).collect();
+        let inputs2 = inputs.clone();
+        let out = cluster(n).run_spmd(move |mb| {
+            let mut c = Comm::new(mb);
+            let mut v = vec![inputs2[c.rank()]];
+            scan_sum_u64(&mut c, &mut v);
+            v[0]
+        });
+        let mut acc = 0u64;
+        for (r, got) in out.into_iter().enumerate() {
+            acc = acc.wrapping_add(inputs[r]);
+            prop_assert_eq!(got, acc, "rank {}", r);
+        }
+    }
+
+    #[test]
+    fn reduce_gather_scatter_roundtrip(n in 1usize..9, root in 0usize..9, seed in any::<u64>()) {
+        let root = root % n;
+        let out = cluster(n).run_spmd(move |mb| {
+            let mut c = Comm::new(mb);
+            let me = c.rank() as u64;
+            // reduce: sum of (me+seed)
+            let mine = [me.wrapping_add(seed)];
+            let red = reduce_sum_u64(&mut c, root, &mine);
+            // gather rank-stamped blocks, then scatter them back rotated.
+            let my_block = vec![c.rank() as u8; 3];
+            let g = gather(&mut c, root, my_block);
+            let size = c.size();
+            let blocks = g.map(|mut blocks| {
+                blocks.rotate_left(1 % size.max(1));
+                blocks
+            });
+            let got = scatter(&mut c, root, blocks);
+            (red, got)
+        });
+        let total: u64 = (0..n as u64).map(|m| m.wrapping_add(seed)).fold(0, u64::wrapping_add);
+        for (r, (red, got)) in out.into_iter().enumerate() {
+            if r == root {
+                prop_assert_eq!(red, Some(vec![total]));
+            } else {
+                prop_assert_eq!(red, None);
+            }
+            // After rotation, rank r receives rank (r+1) % n's block.
+            prop_assert_eq!(got, vec![((r + 1) % n) as u8; 3]);
+        }
+    }
+
+    #[test]
+    fn bcast_and_allgather_random_payloads(n in 1usize..9, root in 0usize..9, len in 0usize..40, seed in any::<u64>()) {
+        let root = root % n;
+        let payload: Vec<u8> = (0..len).map(|i| (seed as usize + i * 13) as u8).collect();
+        let payload2 = payload.clone();
+        let out = cluster(n).run_spmd(move |mb| {
+            let mut c = Comm::new(mb);
+            let data = if c.rank() == root { payload2.clone() } else { Vec::new() };
+            let b = bcast(&mut c, root, data);
+            let mine = vec![c.rank() as u8];
+            let all = allgather(&mut c, mine);
+            barrier_binary_exchange(&mut c);
+            (b, all)
+        });
+        for (b, all) in out {
+            prop_assert_eq!(&b, &payload);
+            for (r, block) in all.iter().enumerate() {
+                prop_assert_eq!(block, &vec![r as u8]);
+            }
+        }
+    }
+}

@@ -1,0 +1,285 @@
+#![warn(missing_docs)]
+//! # armci-shmem — a Generalized-Portable-SHMEM-style facade
+//!
+//! The paper's introduction lists GPSHMEM (Parzyszek, Nieplocha, Kendall)
+//! among the libraries implemented on top of ARMCI. This crate is that
+//! layer for our reproduction: the classic SHMEM programming surface —
+//! a *symmetric heap* (same allocation at the same offset on every PE),
+//! `shmem_put`/`shmem_get`, atomic `fadd`/`swap`/`cswap`, `barrier_all`,
+//! and point-wait (`wait_until`) — implemented entirely with
+//! `armci-core`'s one-sided operations and the paper's combined
+//! `ARMCI_Barrier()` as `shmem_barrier_all()`.
+//!
+//! ```
+//! use armci_core::{run_cluster, ArmciCfg};
+//! use armci_shmem::Shmem;
+//! use armci_transport::LatencyModel;
+//!
+//! let out = run_cluster(ArmciCfg::flat(4, LatencyModel::zero()), |a| {
+//!     let mut shm = Shmem::init(a, 1024);           // symmetric heap
+//!     let x = shm.malloc_u64(a, 1).expect("heap space");
+//!     let right = (shm.my_pe(a) + 1) % shm.n_pes(a);
+//!     shm.put_u64(a, x, right, &[shm.my_pe(a) as u64]); // put to neighbour
+//!     shm.barrier_all(a);                            // ARMCI_Barrier inside
+//!     shm.get_u64(a, x, shm.my_pe(a), 1)[0]          // read own copy
+//! });
+//! assert_eq!(out, vec![3, 0, 1, 2]);
+//! ```
+
+use armci_core::{Armci, GlobalAddr, RmwOp};
+use armci_transport::{ProcId, SegId};
+
+/// A symmetric-heap address: an offset valid on every PE (processing
+/// element), because allocation is collective and identical everywhere.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SymAddr(pub usize);
+
+/// The SHMEM context for one PE: the symmetric heap segment plus a bump
+/// allocator over it.
+pub struct Shmem {
+    seg: SegId,
+    heap_len: usize,
+    next: usize,
+}
+
+impl Shmem {
+    /// Collectively initialize SHMEM with a symmetric heap of `heap_len`
+    /// bytes on every PE (includes a barrier).
+    pub fn init(armci: &mut Armci, heap_len: usize) -> Self {
+        let seg = armci.malloc(heap_len);
+        Shmem { seg, heap_len, next: 0 }
+    }
+
+    /// This PE's rank (`shmem_my_pe`).
+    pub fn my_pe(&self, armci: &Armci) -> usize {
+        armci.rank()
+    }
+
+    /// Number of PEs (`shmem_n_pes`).
+    pub fn n_pes(&self, armci: &Armci) -> usize {
+        armci.nprocs()
+    }
+
+    /// Collective symmetric allocation (`shmalloc`): `bytes` rounded up
+    /// to 16-byte alignment; every PE receives the same [`SymAddr`].
+    /// Returns `None` when the symmetric heap is exhausted.
+    ///
+    /// All PEs must call with the same size in the same order (standard
+    /// SHMEM discipline); a barrier enforces the collectiveness.
+    pub fn shmalloc(&mut self, armci: &mut Armci, bytes: usize) -> Option<SymAddr> {
+        let aligned = bytes.div_ceil(16) * 16;
+        let addr = (self.next + aligned <= self.heap_len).then(|| {
+            let a = SymAddr(self.next);
+            self.next += aligned;
+            a
+        });
+        armci.barrier();
+        addr
+    }
+
+    /// Symmetric allocation of `count` `u64`s.
+    pub fn malloc_u64(&mut self, armci: &mut Armci, count: usize) -> Option<SymAddr> {
+        self.shmalloc(armci, count * 8)
+    }
+
+    /// Remaining symmetric heap bytes.
+    pub fn heap_remaining(&self) -> usize {
+        self.heap_len - self.next
+    }
+
+    fn at(&self, addr: SymAddr, pe: usize, byte_off: usize) -> GlobalAddr {
+        assert!(addr.0 + byte_off <= self.heap_len, "symmetric address out of heap");
+        GlobalAddr::new(ProcId(pe as u32), self.seg, addr.0 + byte_off)
+    }
+
+    /// `shmem_putmem`: one-sided put of raw bytes to `pe`'s copy of
+    /// `addr`. Non-blocking for remote PEs; complete after
+    /// [`Shmem::quiet`]/[`Shmem::barrier_all`].
+    pub fn put(&self, armci: &mut Armci, addr: SymAddr, pe: usize, data: &[u8]) {
+        armci.put(self.at(addr, pe, 0), data);
+    }
+
+    /// `shmem_getmem`: blocking get of raw bytes from `pe`'s copy.
+    pub fn get(&self, armci: &mut Armci, addr: SymAddr, pe: usize, len: usize) -> Vec<u8> {
+        let mut out = vec![0u8; len];
+        armci.get(self.at(addr, pe, 0), &mut out);
+        out
+    }
+
+    /// `shmem_put64`: put a slice of `u64`s.
+    pub fn put_u64(&self, armci: &mut Armci, addr: SymAddr, pe: usize, vals: &[u64]) {
+        for (i, &v) in vals.iter().enumerate() {
+            armci.put_u64(self.at(addr, pe, 8 * i), v);
+        }
+    }
+
+    /// `shmem_get64`: get `count` `u64`s.
+    pub fn get_u64(&self, armci: &mut Armci, addr: SymAddr, pe: usize, count: usize) -> Vec<u64> {
+        let bytes = self.get(armci, addr, pe, count * 8);
+        bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect()
+    }
+
+    /// `shmem_longlong_fadd`: atomic fetch-add on `pe`'s copy.
+    pub fn fadd_i64(&self, armci: &mut Armci, addr: SymAddr, pe: usize, add: i64) -> i64 {
+        armci.fetch_add_i64(self.at(addr, pe, 0), add)
+    }
+
+    /// `shmem_longlong_swap`: atomic swap on `pe`'s copy.
+    pub fn swap_u64(&self, armci: &mut Armci, addr: SymAddr, pe: usize, new: u64) -> u64 {
+        armci.swap_u64(self.at(addr, pe, 0), new)
+    }
+
+    /// `shmem_longlong_cswap`: atomic compare&swap on `pe`'s copy;
+    /// returns the observed value.
+    pub fn cswap_u64(&self, armci: &mut Armci, addr: SymAddr, pe: usize, expect: u64, new: u64) -> u64 {
+        armci.cas_u64(self.at(addr, pe, 0), expect, new)
+    }
+
+    /// `shmem_quiet`: complete all previously issued puts everywhere.
+    pub fn quiet(&self, armci: &mut Armci) {
+        armci.allfence();
+    }
+
+    /// `shmem_fence` toward one PE: complete puts to that PE's node.
+    pub fn fence(&self, armci: &mut Armci, pe: usize) {
+        armci.fence(ProcId(pe as u32));
+    }
+
+    /// `shmem_barrier_all`: global completion + barrier — implemented
+    /// with the paper's combined `ARMCI_Barrier()`.
+    pub fn barrier_all(&self, armci: &mut Armci) {
+        armci.barrier();
+    }
+
+    /// `shmem_wait_until(addr, SHMEM_CMP_EQ, value)` on the local copy:
+    /// poll a local symmetric `u64` until it equals `value` (deposited by
+    /// a remote PE's put — SHMEM's point-to-point synchronization).
+    pub fn wait_until_eq(&self, armci: &Armci, addr: SymAddr, value: u64) {
+        let seg = armci.local_segment(self.seg);
+        armci_transport::wait::spin_until_eq(seg.atomic_u64(addr.0), value);
+    }
+
+    /// Read this PE's own copy of a symmetric `u64` (local, atomic).
+    pub fn local_u64(&self, armci: &Armci, addr: SymAddr) -> u64 {
+        armci.local_segment(self.seg).read_u64(addr.0)
+    }
+
+    /// The raw RMW escape hatch (`shmem` extensions — pair operations).
+    pub fn rmw(&self, armci: &mut Armci, addr: SymAddr, pe: usize, op: RmwOp) -> [u64; 2] {
+        armci.rmw(self.at(addr, pe, 0), op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armci_core::{run_cluster, ArmciCfg};
+    use armci_transport::LatencyModel;
+
+    fn cfg(n: u32) -> ArmciCfg {
+        ArmciCfg::flat(n, LatencyModel::zero())
+    }
+
+    #[test]
+    fn symmetric_allocation_is_identical_everywhere() {
+        let out = run_cluster(cfg(4), |a| {
+            let mut shm = Shmem::init(a, 256);
+            let x = shm.shmalloc(a, 24).unwrap();
+            let y = shm.shmalloc(a, 1).unwrap();
+            (x, y, shm.heap_remaining())
+        });
+        for w in out.windows(2) {
+            assert_eq!(w[0], w[1], "symmetric heap diverged between PEs");
+        }
+        assert_eq!(out[0].0, SymAddr(0));
+        assert_eq!(out[0].1, SymAddr(32), "16-byte alignment");
+    }
+
+    #[test]
+    fn heap_exhaustion_returns_none() {
+        let out = run_cluster(cfg(2), |a| {
+            let mut shm = Shmem::init(a, 64);
+            let a1 = shm.shmalloc(a, 48);
+            let a2 = shm.shmalloc(a, 32); // only 16 left
+            (a1.is_some(), a2.is_none())
+        });
+        assert!(out.into_iter().all(|(x, y)| x && y));
+    }
+
+    #[test]
+    fn put_barrier_get_ring() {
+        let out = run_cluster(cfg(5), |a| {
+            let mut shm = Shmem::init(a, 128);
+            let x = shm.malloc_u64(a, 1).unwrap();
+            let me = shm.my_pe(a);
+            let right = (me + 1) % shm.n_pes(a);
+            shm.put_u64(a, x, right, &[me as u64 + 10]);
+            shm.barrier_all(a);
+            shm.local_u64(a, x)
+        });
+        assert_eq!(out, vec![14, 10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn atomics_on_symmetric_heap() {
+        let out = run_cluster(cfg(4), |a| {
+            let mut shm = Shmem::init(a, 64);
+            let ctr = shm.malloc_u64(a, 1).unwrap();
+            shm.barrier_all(a);
+            let t = shm.fadd_i64(a, ctr, 0, 1); // everyone bumps PE 0's copy
+            shm.barrier_all(a);
+            let total = shm.get_u64(a, ctr, 0, 1)[0];
+            (t, total)
+        });
+        let mut tickets: Vec<i64> = out.iter().map(|&(t, _)| t).collect();
+        tickets.sort_unstable();
+        assert_eq!(tickets, vec![0, 1, 2, 3]);
+        assert!(out.iter().all(|&(_, total)| total == 4));
+    }
+
+    #[test]
+    fn cswap_single_winner() {
+        let out = run_cluster(cfg(4), |a| {
+            let mut shm = Shmem::init(a, 64);
+            let word = shm.malloc_u64(a, 1).unwrap();
+            shm.barrier_all(a);
+            shm.cswap_u64(a, word, 0, 0, shm.my_pe(a) as u64 + 1) == 0
+        });
+        assert_eq!(out.into_iter().filter(|&w| w).count(), 1);
+    }
+
+    #[test]
+    fn wait_until_point_to_point_sync() {
+        let out = run_cluster(cfg(2), |a| {
+            let mut shm = Shmem::init(a, 64);
+            let flag = shm.malloc_u64(a, 1).unwrap();
+            let data = shm.malloc_u64(a, 1).unwrap();
+            if shm.my_pe(a) == 0 {
+                shm.put_u64(a, data, 1, &[777]);
+                shm.fence(a, 1); // data before flag
+                shm.put_u64(a, flag, 1, &[1]);
+                shm.barrier_all(a);
+                true
+            } else {
+                shm.wait_until_eq(a, flag, 1);
+                let v = shm.local_u64(a, data);
+                shm.barrier_all(a);
+                v == 777
+            }
+        });
+        assert!(out.into_iter().all(|ok| ok));
+    }
+
+    #[test]
+    fn quiet_completes_puts() {
+        let out = run_cluster(cfg(3), |a| {
+            let mut shm = Shmem::init(a, 64);
+            let x = shm.malloc_u64(a, 1).unwrap();
+            shm.put_u64(a, x, (shm.my_pe(a) + 1) % shm.n_pes(a), &[9]);
+            shm.quiet(a);
+            armci_msglib::barrier(a);
+            shm.local_u64(a, x)
+        });
+        assert_eq!(out, vec![9, 9, 9]);
+    }
+}

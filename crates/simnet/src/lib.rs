@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+//! # armci-simnet — deterministic discrete-event cluster simulator
+//!
+//! The second measurement plane of this reproduction. The threaded
+//! emulation (`armci-transport`) runs the real library but measures wall
+//! clock, which is noisy on oversubscribed hosts; this crate instead runs
+//! the paper's protocols as actor state machines over a virtual clock, so
+//! the communication-time analysis of §3.1–§3.2 can be reproduced
+//! *exactly* and swept to process counts far beyond the host's cores.
+//!
+//! Pieces:
+//!
+//! * [`sim`] — the engine: a minimum-time event queue, actors with
+//!   per-actor occupancy (a busy server serializes its request handling,
+//!   the effect that pushes the baseline `AllFence` beyond its ideal
+//!   `2(N-1)·L` when all processes fence all servers at once);
+//! * [`net`] — the network cost model (one-way latency, per-byte cost,
+//!   intra-node latency, per-message handling overheads);
+//! * [`protocols`] — models of every synchronization algorithm in the
+//!   paper: baseline `AllFence`+`MPI_Barrier`, the new `ARMCI_Barrier`,
+//!   the hybrid server lock, and the MCS software queuing lock.
+
+pub mod net;
+pub mod protocols;
+pub mod sim;
+
+pub use net::NetModel;
+pub use sim::{Actor, ActorId, Ctx, Sim, Time};

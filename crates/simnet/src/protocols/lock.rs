@@ -1,0 +1,620 @@
+//! Discrete-event model of the lock experiment (Figures 8–10): every
+//! process repeatedly requests and releases one lock located at process 0,
+//! under the hybrid ticket/server algorithm and under the MCS software
+//! queuing lock.
+//!
+//! Topology: `n` processes on `n` nodes (actors `0..n`), plus a *home*
+//! actor (actor `n`, on node 0) standing in for the lock's memory words
+//! and the server thread that manipulates them on behalf of remote
+//! processes. Process 0 shares the home's node, so its atomic operations
+//! cost `atomic_cost` and its messages travel at `intra_node` latency —
+//! reproducing the paper's local/remote distinction. For `n == 1` the
+//! paper averages a lock-local and a lock-remote run; use
+//! [`simulate_lock_single_avg`] for that.
+//!
+//! Timing semantics measured (matching §4.2):
+//! * **acquire** — from initiating the request to holding the lock;
+//! * **release** — from initiating the release until the process can move
+//!   on: `send_overhead` for fire-and-forget releases (hybrid always, MCS
+//!   with a known successor) but a full round-trip for the MCS
+//!   uncontended `compare&swap` (the Figure 10 regression);
+//! * **cycle** — acquire + release (the Figure 8 quantity).
+
+use std::collections::VecDeque;
+
+use crate::net::NetModel;
+use crate::sim::{Actor, ActorId, Ctx, Sim, Time};
+
+/// Which lock algorithm to simulate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LockAlgo {
+    /// Ticket lock + server-based queue (the original, §3.2.1).
+    Hybrid,
+    /// MCS software queuing lock (the paper's contribution, §3.2.2).
+    Mcs,
+    /// Plain ticket lock with *remote polling* of the counter (capped
+    /// exponential backoff) — the strawman §3.2.1 rules out.
+    TicketPoll,
+}
+
+/// Messages of the lock protocols.
+#[derive(Clone, Copy, Debug)]
+pub enum Msg {
+    /// Hybrid: request the lock (to home).
+    LockReq,
+    /// Hybrid: the lock is yours (home → process).
+    Grant,
+    /// Hybrid: release (to home), fire-and-forget.
+    Unlock,
+    /// MCS: atomic swap of the Lock word to the sender (to home).
+    Swap,
+    /// MCS: previous Lock word value (home → process).
+    SwapReply(Option<u32>),
+    /// MCS: compare&swap Lock from sender to NULL (to home).
+    Cas,
+    /// MCS: whether the compare&swap succeeded.
+    CasReply(bool),
+    /// MCS: "your `next` pointer now names me" (process → process; applied
+    /// by the destination's node server, hence the occupancy charge).
+    SetNext(u32),
+    /// MCS: "your `locked` flag is cleared — the lock is yours".
+    Wake,
+    /// Local timer: the hold time expired, release now.
+    ReleaseTimer,
+    /// TicketPoll: take a ticket (fetch-and-increment, to home).
+    TakeTicket,
+    /// TicketPoll: the drawn ticket number (home → process).
+    TicketReply(u64),
+    /// TicketPoll: read the counter (to home).
+    Poll,
+    /// TicketPoll: current counter value (home → process).
+    PollReply(u64),
+    /// TicketPoll: increment the counter, fire-and-forget (to home).
+    IncCounter,
+    /// TicketPoll: local backoff timer expired — poll again.
+    PollTimer,
+}
+
+/// The lock home: the memory words (and serving thread) at the lock's
+/// location.
+struct Home {
+    /// Hybrid ticket word.
+    ticket: u64,
+    /// Hybrid counter word.
+    counter: u64,
+    /// Hybrid server-side waiter queue (ticket order by construction).
+    queue: VecDeque<(u64, ActorId)>,
+    /// MCS Lock word: the current tail process, if any.
+    lock_word: Option<u32>,
+    occupancy: Time,
+    atomic_cost: Time,
+}
+
+impl Home {
+    fn charge(&self, ctx: &mut Ctx<'_, Msg>, from: ActorId, served_by_server: bool) {
+        // A node-local process manipulates the words directly (atomic
+        // cost); remote requests are handled by the server thread. Hybrid
+        // unlocks always go through the server, even locally (§3.2.1).
+        if ctx.is_local(from) && !served_by_server {
+            ctx.busy(self.atomic_cost);
+        } else {
+            ctx.busy(self.occupancy);
+        }
+    }
+}
+
+/// One user process cycling through request → hold → release.
+struct Proc {
+    me: u32,
+    home: ActorId,
+    algo: LockAlgo,
+    iters_left: u64,
+    hold: Time,
+    send_overhead: Time,
+    // Measurement.
+    t_req: Time,
+    t_rel: Time,
+    acquire_ns: Vec<Time>,
+    release_ns: Vec<Time>,
+    // MCS local node structure.
+    next: Option<u32>,
+    releasing: bool,
+    cas_failed: bool,
+    // TicketPoll state.
+    my_ticket: u64,
+    backoff: Time,
+}
+
+/// Actors of the lock simulation.
+enum LockNode {
+    P(Proc),
+    H(Home),
+}
+
+impl Proc {
+    fn begin_request(&mut self, ctx: &mut Ctx<'_, Msg>, delay: Time) {
+        self.t_req = ctx.now + delay;
+        self.next = None;
+        self.releasing = false;
+        self.cas_failed = false;
+        let msg = match self.algo {
+            LockAlgo::Hybrid => Msg::LockReq,
+            LockAlgo::Mcs => Msg::Swap,
+            LockAlgo::TicketPoll => {
+                self.backoff = 1_000; // 1 µs initial backoff
+                Msg::TakeTicket
+            }
+        };
+        ctx.send_after(delay, self.home, msg, 0);
+    }
+
+    fn acquired(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.acquire_ns.push(ctx.now - self.t_req);
+        ctx.wake_after(self.hold, Msg::ReleaseTimer);
+    }
+
+    fn finish_release(&mut self, ctx: &mut Ctx<'_, Msg>, dur: Time) {
+        self.release_ns.push(dur);
+        self.iters_left -= 1;
+        if self.iters_left > 0 {
+            self.begin_request(ctx, dur);
+        }
+    }
+
+    /// MCS: complete a release that was blocked on knowing the successor.
+    fn handoff_if_ready(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if self.releasing && self.cas_failed {
+            if let Some(nxt) = self.next {
+                ctx.send_after(self.send_overhead, nxt as ActorId, Msg::Wake, 0);
+                let dur = (ctx.now + self.send_overhead) - self.t_rel;
+                self.releasing = false;
+                self.finish_release(ctx, dur);
+            }
+        }
+    }
+}
+
+impl Actor<Msg> for LockNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if let LockNode::P(p) = self {
+            if p.iters_left > 0 {
+                p.begin_request(ctx, 0);
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: ActorId, msg: Msg) {
+        match self {
+            LockNode::H(h) => match msg {
+                Msg::LockReq => {
+                    h.charge(ctx, from, false);
+                    let t = h.ticket;
+                    h.ticket += 1;
+                    if t == h.counter {
+                        ctx.send(from, Msg::Grant, 0);
+                    } else {
+                        h.queue.push_back((t, from));
+                    }
+                }
+                Msg::Unlock => {
+                    h.charge(ctx, from, true); // server handles all unlocks
+                    h.counter += 1;
+                    if let Some(&(t, p)) = h.queue.front() {
+                        if t == h.counter {
+                            h.queue.pop_front();
+                            ctx.send(p, Msg::Grant, 0);
+                        }
+                    }
+                }
+                Msg::Swap => {
+                    h.charge(ctx, from, false);
+                    let prev = h.lock_word.replace(from as u32);
+                    ctx.send(from, Msg::SwapReply(prev), 0);
+                }
+                Msg::Cas => {
+                    h.charge(ctx, from, false);
+                    let ok = h.lock_word == Some(from as u32);
+                    if ok {
+                        h.lock_word = None;
+                    }
+                    ctx.send(from, Msg::CasReply(ok), 0);
+                }
+                Msg::TakeTicket => {
+                    h.charge(ctx, from, false);
+                    let t = h.ticket;
+                    h.ticket += 1;
+                    ctx.send(from, Msg::TicketReply(t), 0);
+                }
+                Msg::Poll => {
+                    h.charge(ctx, from, false);
+                    ctx.send(from, Msg::PollReply(h.counter), 0);
+                }
+                Msg::IncCounter => {
+                    h.charge(ctx, from, false);
+                    h.counter += 1;
+                }
+                other => panic!("home received {other:?}"),
+            },
+            LockNode::P(p) => match msg {
+                Msg::Grant => p.acquired(ctx),
+                Msg::SwapReply(prev) => match prev {
+                    None => p.acquired(ctx),
+                    Some(prev_proc) => {
+                        // Enqueue: write our identity into the
+                        // predecessor's next pointer, then wait for Wake.
+                        ctx.send_after(p.send_overhead, prev_proc as ActorId, Msg::SetNext(p.me), 0);
+                    }
+                },
+                Msg::Wake => p.acquired(ctx),
+                Msg::SetNext(who) => {
+                    // Applied by our node's server thread (or directly if
+                    // the writer is local — occupancy either way is the
+                    // dominant term, so charge it uniformly).
+                    ctx.busy(0);
+                    p.next = Some(who);
+                    p.handoff_if_ready(ctx);
+                }
+                Msg::ReleaseTimer => {
+                    p.t_rel = ctx.now;
+                    match p.algo {
+                        LockAlgo::Hybrid => {
+                            // Fire-and-forget unlock to the server.
+                            ctx.send_after(p.send_overhead, p.home, Msg::Unlock, 0);
+                            p.finish_release(ctx, p.send_overhead);
+                        }
+                        LockAlgo::TicketPoll => {
+                            // Fire-and-forget counter increment.
+                            ctx.send_after(p.send_overhead, p.home, Msg::IncCounter, 0);
+                            p.finish_release(ctx, p.send_overhead);
+                        }
+                        LockAlgo::Mcs => {
+                            if let Some(nxt) = p.next {
+                                // Successor known: single-message handoff.
+                                ctx.send_after(p.send_overhead, nxt as ActorId, Msg::Wake, 0);
+                                p.finish_release(ctx, p.send_overhead);
+                            } else {
+                                // Try to swing the Lock word back to NULL.
+                                p.releasing = true;
+                                ctx.send_after(p.send_overhead, p.home, Msg::Cas, 0);
+                            }
+                        }
+                    }
+                }
+                Msg::CasReply(ok) => {
+                    if ok {
+                        let dur = ctx.now - p.t_rel;
+                        p.releasing = false;
+                        p.finish_release(ctx, dur);
+                    } else {
+                        // A requester won the race; wait for SetNext.
+                        p.cas_failed = true;
+                        p.handoff_if_ready(ctx);
+                    }
+                }
+                Msg::TicketReply(t) => {
+                    p.my_ticket = t;
+                    ctx.send(p.home, Msg::Poll, 0);
+                }
+                Msg::PollReply(counter) => {
+                    if counter == p.my_ticket {
+                        p.acquired(ctx);
+                    } else {
+                        // Back off, then poll again (capped exponential).
+                        ctx.wake_after(p.backoff, Msg::PollTimer);
+                        p.backoff = (p.backoff * 2).min(256_000);
+                    }
+                }
+                Msg::PollTimer => {
+                    ctx.send(p.home, Msg::Poll, 0);
+                }
+                other => panic!("process received {other:?}"),
+            },
+        }
+    }
+}
+
+/// Aggregated timings from one lock simulation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LockResult {
+    /// Mean time to request and acquire the lock (ns) — Figure 9.
+    pub acquire_ns: f64,
+    /// Mean time to release the lock (ns) — Figure 10.
+    pub release_ns: f64,
+    /// Mean acquire + release (ns) — Figure 8.
+    pub cycle_ns: f64,
+    /// Total virtual time of the run (ns).
+    pub total_ns: Time,
+}
+
+/// Simulate `n` processes (process 0 co-located with the lock) each
+/// performing `iters` lock/unlock cycles with `hold` ns inside the
+/// critical section.
+pub fn simulate_lock(algo: LockAlgo, n: usize, iters: u64, hold: Time, model: NetModel) -> LockResult {
+    simulate_lock_at(algo, n, iters, hold, model, true)
+}
+
+/// As [`simulate_lock`] but with the single process placed on a *remote*
+/// node when `proc0_local` is false (only meaningful for `n == 1`).
+pub fn simulate_lock_at(
+    algo: LockAlgo,
+    n: usize,
+    iters: u64,
+    hold: Time,
+    model: NetModel,
+    proc0_local: bool,
+) -> LockResult {
+    assert!(n >= 1 && iters >= 1);
+    let mut actors: Vec<LockNode> = Vec::with_capacity(n + 1);
+    let mut nodes = Vec::with_capacity(n + 1);
+    for p in 0..n {
+        actors.push(LockNode::P(Proc {
+            me: p as u32,
+            home: n,
+            algo,
+            iters_left: iters,
+            hold,
+            send_overhead: model.send_overhead,
+            t_req: 0,
+            t_rel: 0,
+            acquire_ns: Vec::with_capacity(iters as usize),
+            release_ns: Vec::with_capacity(iters as usize),
+            next: None,
+            releasing: false,
+            cas_failed: false,
+            my_ticket: 0,
+            backoff: 0,
+        }));
+        nodes.push(if p == 0 && !proc0_local { 1 } else { p });
+    }
+    actors.push(LockNode::H(Home {
+        ticket: 0,
+        counter: 0,
+        queue: VecDeque::new(),
+        lock_word: None,
+        // The lock benchmark keeps the server hot (a continuous stream of
+        // requests), so the per-request cost is the hot-path processing
+        // time, not the sleep/wake occupancy the fence model charges.
+        occupancy: model.server_processing,
+        atomic_cost: model.atomic_cost,
+    }));
+    nodes.push(0); // home lives on node 0
+    let mut sim = Sim::new(actors, nodes, model);
+    let total = sim.run(200_000_000);
+
+    let mut acq = 0.0;
+    let mut rel = 0.0;
+    let mut count = 0.0;
+    for a in sim.actors() {
+        if let LockNode::P(p) = a {
+            assert_eq!(p.iters_left, 0, "a process did not finish its iterations");
+            assert_eq!(p.acquire_ns.len() as u64, iters);
+            assert_eq!(p.release_ns.len() as u64, iters);
+            acq += p.acquire_ns.iter().sum::<u64>() as f64;
+            rel += p.release_ns.iter().sum::<u64>() as f64;
+            count += iters as f64;
+        }
+    }
+    LockResult {
+        acquire_ns: acq / count,
+        release_ns: rel / count,
+        cycle_ns: (acq + rel) / count,
+        total_ns: total,
+    }
+}
+
+/// Lock simulation on SMP nodes: `nodes * ppn` processes, process `p` on
+/// node `p / ppn`, lock home on node 0 — so the first `ppn` processes
+/// enjoy shared-memory access while the rest go over the wire. Shows how
+/// the algorithms exploit locality (the hybrid's ticket fast path, MCS's
+/// zero-message local handoff).
+pub fn simulate_lock_smp(
+    algo: LockAlgo,
+    nodes: usize,
+    ppn: usize,
+    iters: u64,
+    hold: Time,
+    model: NetModel,
+) -> LockResult {
+    assert!(nodes >= 1 && ppn >= 1 && iters >= 1);
+    let n = nodes * ppn;
+    let mut actors: Vec<LockNode> = Vec::with_capacity(n + 1);
+    let mut node_map = Vec::with_capacity(n + 1);
+    for p in 0..n {
+        actors.push(LockNode::P(Proc {
+            me: p as u32,
+            home: n,
+            algo,
+            iters_left: iters,
+            hold,
+            send_overhead: model.send_overhead,
+            t_req: 0,
+            t_rel: 0,
+            acquire_ns: Vec::with_capacity(iters as usize),
+            release_ns: Vec::with_capacity(iters as usize),
+            next: None,
+            releasing: false,
+            cas_failed: false,
+            my_ticket: 0,
+            backoff: 0,
+        }));
+        node_map.push(p / ppn);
+    }
+    actors.push(LockNode::H(Home {
+        ticket: 0,
+        counter: 0,
+        queue: VecDeque::new(),
+        lock_word: None,
+        occupancy: model.server_processing,
+        atomic_cost: model.atomic_cost,
+    }));
+    node_map.push(0);
+    let mut sim = Sim::new(actors, node_map, model);
+    let total = sim.run(200_000_000);
+    let mut acq = 0.0;
+    let mut rel = 0.0;
+    let mut count = 0.0;
+    for a in sim.actors() {
+        if let LockNode::P(p) = a {
+            assert_eq!(p.iters_left, 0, "a process did not finish");
+            acq += p.acquire_ns.iter().sum::<u64>() as f64;
+            rel += p.release_ns.iter().sum::<u64>() as f64;
+            count += iters as f64;
+        }
+    }
+    LockResult { acquire_ns: acq / count, release_ns: rel / count, cycle_ns: (acq + rel) / count, total_ns: total }
+}
+
+/// The paper's single-process data point: the average of a lock-local and
+/// a lock-remote run (§4.2).
+pub fn simulate_lock_single_avg(algo: LockAlgo, iters: u64, hold: Time, model: NetModel) -> LockResult {
+    let local = simulate_lock_at(algo, 1, iters, hold, model, true);
+    let remote = simulate_lock_at(algo, 1, iters, hold, model, false);
+    LockResult {
+        acquire_ns: (local.acquire_ns + remote.acquire_ns) / 2.0,
+        release_ns: (local.release_ns + remote.release_ns) / 2.0,
+        cycle_ns: (local.cycle_ns + remote.cycle_ns) / 2.0,
+        total_ns: local.total_ns.max(remote.total_ns),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> NetModel {
+        NetModel::myrinet_2000()
+    }
+
+    #[test]
+    fn single_remote_release_costs_roundtrip_for_mcs_only() {
+        let m = NetModel::latency_only(1000);
+        let mcs = simulate_lock_at(LockAlgo::Mcs, 1, 10, 0, m, false);
+        let hyb = simulate_lock_at(LockAlgo::Hybrid, 1, 10, 0, m, false);
+        // MCS uncontended remote release = CAS round trip = 2 * 1000.
+        assert_eq!(mcs.release_ns, 2000.0);
+        // Hybrid release is fire-and-forget (send overhead = 0 here).
+        assert_eq!(hyb.release_ns, 0.0);
+        // Both acquire in one round trip.
+        assert_eq!(mcs.acquire_ns, 2000.0);
+        assert_eq!(hyb.acquire_ns, 2000.0);
+    }
+
+    #[test]
+    fn single_local_is_nearly_free() {
+        let mcs = simulate_lock_at(LockAlgo::Mcs, 1, 100, 0, model(), true);
+        // Local: intra-node messaging + atomic costs only — microseconds,
+        // not tens of microseconds.
+        assert!(mcs.cycle_ns < 5_000.0, "local lock cycle too expensive: {}", mcs.cycle_ns);
+    }
+
+    #[test]
+    fn contended_mcs_beats_hybrid() {
+        // Figure 8: at 2+ processes the queuing lock wins.
+        for n in [2usize, 4, 8, 16] {
+            let mcs = simulate_lock(LockAlgo::Mcs, n, 200, 0, model());
+            let hyb = simulate_lock(LockAlgo::Hybrid, n, 200, 0, model());
+            assert!(
+                mcs.cycle_ns < hyb.cycle_ns,
+                "MCS must win under contention at n={n}: {} vs {}",
+                mcs.cycle_ns,
+                hyb.cycle_ns
+            );
+        }
+    }
+
+    #[test]
+    fn acquire_always_faster_under_mcs_when_contended() {
+        // Figure 9's shape.
+        for n in [2usize, 4, 8, 16] {
+            let mcs = simulate_lock(LockAlgo::Mcs, n, 200, 0, model());
+            let hyb = simulate_lock(LockAlgo::Hybrid, n, 200, 0, model());
+            assert!(mcs.acquire_ns < hyb.acquire_ns, "n={n}: {} vs {}", mcs.acquire_ns, hyb.acquire_ns);
+        }
+    }
+
+    #[test]
+    fn release_slower_under_mcs_at_low_contention() {
+        // Figure 10's shape: the uncontended CAS round-trip penalty, which
+        // shrinks as contention rises (successor usually known).
+        let mcs1 = simulate_lock_single_avg(LockAlgo::Mcs, 200, 0, model());
+        let hyb1 = simulate_lock_single_avg(LockAlgo::Hybrid, 200, 0, model());
+        assert!(mcs1.release_ns > hyb1.release_ns);
+        let mcs16 = simulate_lock(LockAlgo::Mcs, 16, 200, 0, model());
+        assert!(
+            mcs16.release_ns < mcs1.release_ns,
+            "MCS release cost must shrink with contention: {} vs {}",
+            mcs16.release_ns,
+            mcs1.release_ns
+        );
+    }
+
+    #[test]
+    fn lock_is_actually_exclusive_in_the_model() {
+        // Sanity: with hold > 0, total time must be at least
+        // n * iters * hold (the critical sections serialize).
+        let n = 4u64;
+        let iters = 50u64;
+        let hold = 10_000u64;
+        for algo in [LockAlgo::Hybrid, LockAlgo::Mcs] {
+            let r = simulate_lock(algo, n as usize, iters, hold, model());
+            assert!(
+                r.total_ns >= n * iters * hold,
+                "{algo:?}: critical sections overlapped: {} < {}",
+                r.total_ns,
+                n * iters * hold
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = simulate_lock(LockAlgo::Mcs, 8, 100, 0, model());
+        let b = simulate_lock(LockAlgo::Mcs, 8, 100, 0, model());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ticket_poll_is_worst_under_contention() {
+        for n in [4usize, 8, 16] {
+            let tp = simulate_lock(LockAlgo::TicketPoll, n, 100, 0, model());
+            let hy = simulate_lock(LockAlgo::Hybrid, n, 100, 0, model());
+            let mc = simulate_lock(LockAlgo::Mcs, n, 100, 0, model());
+            assert!(tp.cycle_ns > hy.cycle_ns, "n={n}: poll {} !> hybrid {}", tp.cycle_ns, hy.cycle_ns);
+            assert!(tp.cycle_ns > mc.cycle_ns, "n={n}: poll {} !> mcs {}", tp.cycle_ns, mc.cycle_ns);
+        }
+    }
+
+    #[test]
+    fn ticket_poll_uncontended_is_reasonable() {
+        // With no contention the first poll succeeds: take-ticket RTT +
+        // poll RTT — twice the hybrid's single round-trip, but bounded.
+        let m = NetModel::latency_only(1000);
+        let tp = simulate_lock_at(LockAlgo::TicketPoll, 1, 10, 0, m, false);
+        assert_eq!(tp.acquire_ns, 4000.0, "two round trips");
+        assert_eq!(tp.release_ns, 0.0, "fire-and-forget increment");
+    }
+
+    #[test]
+    fn smp_locality_cheapens_the_lock() {
+        // 8 procs: all on the lock's node (1x8) vs all remote (8x1).
+        // Locality must shrink the cycle dramatically for both algorithms.
+        for algo in [LockAlgo::Hybrid, LockAlgo::Mcs] {
+            let local = simulate_lock_smp(algo, 1, 8, 200, 0, model());
+            let remote = simulate_lock_smp(algo, 8, 1, 200, 0, model());
+            assert!(
+                local.cycle_ns * 3.0 < remote.cycle_ns,
+                "{algo:?}: local {} should be far cheaper than remote {}",
+                local.cycle_ns,
+                remote.cycle_ns
+            );
+        }
+    }
+
+    #[test]
+    fn smp_flat_matches_plain_simulation() {
+        // ppn = 1 must be identical to the flat entry point.
+        let a = simulate_lock_smp(LockAlgo::Mcs, 4, 1, 100, 0, model());
+        let b = simulate_lock(LockAlgo::Mcs, 4, 100, 0, model());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,25 @@
+//! Actor-level models of every synchronization protocol in the paper.
+//!
+//! * [`sync`] — Figure 7: the baseline `GA_Sync()`
+//!   (`ARMCI_AllFence()` + binary-exchange `MPI_Barrier()`) vs the new
+//!   combined `ARMCI_Barrier()`;
+//! * [`lock`] — Figures 8–10: the hybrid ticket/server lock vs the MCS
+//!   software queuing lock under varying contention.
+
+pub mod lock;
+pub mod sync;
+
+pub use lock::{simulate_lock, LockAlgo, LockResult};
+pub use sync::{simulate_combined_barrier, simulate_sync_baseline, SyncResult};
+
+/// Largest power of two `<= n` (`n >= 1`).
+pub(crate) fn pow2_floor(n: usize) -> usize {
+    debug_assert!(n >= 1);
+    1 << (usize::BITS - 1 - n.leading_zeros())
+}
+
+/// `log2` of a power of two.
+pub(crate) fn log2_exact(m: usize) -> usize {
+    debug_assert!(m.is_power_of_two());
+    m.trailing_zeros() as usize
+}

@@ -1,0 +1,168 @@
+//! Process/node identifiers and the cluster topology (rank ↔ node mapping).
+
+use std::fmt;
+use std::ops::Range;
+
+/// Global rank of a user process, `0..nprocs`.
+///
+/// ARMCI addresses remote memory with a `(process id, address)` tuple; the
+/// process id half of that tuple is a `ProcId`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ProcId(pub u32);
+
+/// Identifier of a (simulated) SMP node, `0..nodes`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+impl ProcId {
+    /// Rank as a `usize` index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl NodeId {
+    /// Node number as a `usize` index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Shape of the emulated cluster: how many nodes, and how ranks are laid
+/// out across them.
+///
+/// Ranks are block-distributed: ranks `[n*ppn, (n+1)*ppn)` live on node
+/// `n`, mirroring how MPI typically lays out ranks on an SMP cluster (and
+/// how the paper's dual-CPU nodes hosted two processes each).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Topology {
+    nodes: u32,
+    procs_per_node: u32,
+}
+
+impl Topology {
+    /// Create a topology of `nodes` nodes with `procs_per_node` user
+    /// processes each.
+    ///
+    /// # Panics
+    /// Panics if either argument is zero.
+    pub fn new(nodes: u32, procs_per_node: u32) -> Self {
+        assert!(nodes > 0, "topology needs at least one node");
+        assert!(procs_per_node > 0, "topology needs at least one process per node");
+        Topology { nodes, procs_per_node }
+    }
+
+    /// Total number of user processes.
+    #[inline]
+    pub fn nprocs(&self) -> usize {
+        (self.nodes * self.procs_per_node) as usize
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn nnodes(&self) -> usize {
+        self.nodes as usize
+    }
+
+    /// Processes hosted per node.
+    #[inline]
+    pub fn procs_per_node(&self) -> usize {
+        self.procs_per_node as usize
+    }
+
+    /// Node hosting process `p`.
+    #[inline]
+    pub fn node_of(&self, p: ProcId) -> NodeId {
+        debug_assert!(p.idx() < self.nprocs());
+        NodeId(p.0 / self.procs_per_node)
+    }
+
+    /// Ranks hosted on node `n` (a contiguous range).
+    #[inline]
+    pub fn procs_on(&self, n: NodeId) -> Range<u32> {
+        debug_assert!(n.idx() < self.nnodes());
+        let lo = n.0 * self.procs_per_node;
+        lo..lo + self.procs_per_node
+    }
+
+    /// Whether two processes share a node (and hence shared memory).
+    #[inline]
+    pub fn same_node(&self, a: ProcId, b: ProcId) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// Iterate over all process ids.
+    pub fn all_procs(&self) -> impl Iterator<Item = ProcId> {
+        (0..self.nprocs() as u32).map(ProcId)
+    }
+
+    /// Iterate over all node ids.
+    pub fn all_nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes).map(NodeId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_mapping() {
+        let t = Topology::new(4, 2);
+        assert_eq!(t.nprocs(), 8);
+        assert_eq!(t.node_of(ProcId(0)), NodeId(0));
+        assert_eq!(t.node_of(ProcId(1)), NodeId(0));
+        assert_eq!(t.node_of(ProcId(2)), NodeId(1));
+        assert_eq!(t.node_of(ProcId(7)), NodeId(3));
+    }
+
+    #[test]
+    fn procs_on_node_are_contiguous() {
+        let t = Topology::new(3, 4);
+        assert_eq!(t.procs_on(NodeId(0)), 0..4);
+        assert_eq!(t.procs_on(NodeId(2)), 8..12);
+    }
+
+    #[test]
+    fn same_node_detection() {
+        let t = Topology::new(2, 2);
+        assert!(t.same_node(ProcId(0), ProcId(1)));
+        assert!(!t.same_node(ProcId(1), ProcId(2)));
+        assert!(t.same_node(ProcId(3), ProcId(3)));
+    }
+
+    #[test]
+    fn single_proc_per_node() {
+        let t = Topology::new(16, 1);
+        for p in t.all_procs() {
+            assert_eq!(t.node_of(p).0, p.0);
+        }
+        assert_eq!(t.all_nodes().count(), 16);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_nodes_rejected() {
+        Topology::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_ppn_rejected() {
+        Topology::new(1, 0);
+    }
+}

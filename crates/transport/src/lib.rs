@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+//! # armci-transport — in-process cluster emulator
+//!
+//! This crate emulates the hardware/software substrate the IPPS 2003 paper
+//! ran on: a cluster of SMP nodes connected by a Myrinet-2000 network driven
+//! by the GM message layer. Everything runs inside one OS process:
+//!
+//! * **Nodes** are simulated; each hosts one or more *user processes*
+//!   (OS threads) and one *server thread* (spawned by the layer above,
+//!   see `armci-core`), exactly as in Figure 1 of the paper.
+//! * **Messages** between endpoints travel over reliable, ordered,
+//!   unbounded channels. An inter-node message is stamped with a delivery
+//!   time `now + L(size)` computed from a configurable [`LatencyModel`];
+//!   the receiving endpoint does not observe it before the stamp. Because
+//!   the stamp is applied at *send* time, messages in flight overlap — a
+//!   binary-exchange phase costs one latency of wall-clock time, matching
+//!   the cost accounting the paper uses throughout.
+//! * **Memory segments** are word-atomic byte arrays shared between the
+//!   user processes of a node and its server thread (the "shared memory
+//!   region" of the paper). Remote processes reach them only through
+//!   messages to the server.
+//!
+//! The crate deliberately knows nothing about ARMCI semantics: it moves
+//! tagged byte buffers and hosts registered memory. Protocols (put/get,
+//! fence, locks, collectives) live in `armci-msglib` and `armci-core`.
+//!
+//! ## Determinism and the one-core caveat
+//!
+//! Channel delivery order is deterministic per sender/receiver pair (FIFO)
+//! but interleaving across senders depends on the OS scheduler, like a real
+//! cluster. Tests that need exact determinism should use the companion
+//! discrete-event simulator crate `armci-simnet` instead. All blocking
+//! waits in this crate sleep or yield rather than spin, so the emulation
+//! degrades gracefully on machines with fewer cores than simulated
+//! processes.
+
+pub mod cluster;
+pub mod fabric;
+pub mod ids;
+pub mod latency;
+pub mod memory;
+pub mod message;
+pub mod trace;
+pub mod wait;
+
+pub use cluster::{Cluster, ClusterBuilder};
+pub use fabric::{Mailbox, RecvError};
+pub use ids::{NodeId, ProcId, Topology};
+pub use latency::LatencyModel;
+pub use memory::{MemoryRegistry, SegId, Segment};
+pub use message::{Endpoint, Msg, Tag};
+pub use trace::{Trace, TraceEvent};

@@ -1,0 +1,475 @@
+//! Registered memory segments — the emulation of ARMCI global memory.
+//!
+//! In real ARMCI, each user process registers (pins) memory regions that
+//! remote processes address as `(proc, address)` tuples; on a node, those
+//! regions are shared between the user processes and the server thread.
+//! Here a [`Segment`] is a word-atomic byte array (`[AtomicU64]`) shared by
+//! `Arc`, and the [`MemoryRegistry`] maps `(proc, segment id)` to segments.
+//!
+//! ## Why atomics instead of raw bytes
+//!
+//! One-sided communication is racy by construction: the server thread may
+//! deposit a put into a region while a local process reads it. Backing
+//! segments with `AtomicU64` words accessed with `Relaxed` loads/stores
+//! keeps every such race *defined behaviour* in Rust's memory model while
+//! compiling to plain loads and stores on every major ISA. Synchronization
+//! words (fence counters, lock words) additionally use Acquire/Release
+//! through the dedicated accessors.
+//!
+//! Bulk transfers are word-granularity atomic: a concurrent reader can see
+//! a mix of old and new *words* but never a torn word — the same guarantee
+//! RDMA hardware gives.
+//!
+//! ## Pair (128-bit) operations
+//!
+//! The paper extended ARMCI with atomic operations on *pairs of longs* so
+//! MCS queue pointers, which are `(proc, address)` tuples, could be swapped
+//! and compare&swapped atomically. We reproduce that interface via
+//! per-segment stripe locks (see [`Segment::pair_swap`]); the packed
+//! single-word encoding in `armci-core::gptr` is the preferred alternative
+//! and the two are ablated against each other in the benches.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::ids::ProcId;
+
+/// Index of a registered segment within one process, assigned in
+/// registration order. Collective allocation (every process registering in
+/// lockstep, as `ARMCI_Malloc` does) therefore yields the same id
+/// everywhere.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct SegId(pub u32);
+
+/// Number of stripe locks serializing pair (128-bit) operations.
+const PAIR_STRIPES: usize = 64;
+
+/// A registered global-memory segment: `len` bytes backed by 64-bit atomic
+/// words, plus stripe locks for the paper's paired-long atomics.
+pub struct Segment {
+    words: Box<[AtomicU64]>,
+    len: usize,
+    pair_stripes: Box<[Mutex<()>]>,
+}
+
+impl Segment {
+    /// Allocate a zero-filled segment of `len` bytes.
+    pub fn new(len: usize) -> Self {
+        let nwords = len.div_ceil(8);
+        let words: Box<[AtomicU64]> = (0..nwords).map(|_| AtomicU64::new(0)).collect();
+        let pair_stripes: Box<[Mutex<()>]> = (0..PAIR_STRIPES).map(|_| Mutex::new(())).collect();
+        Segment { words, len, pair_stripes }
+    }
+
+    /// Segment length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the segment has zero length.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn check_range(&self, offset: usize, n: usize) {
+        assert!(
+            offset.checked_add(n).is_some_and(|end| end <= self.len),
+            "segment access out of bounds: offset {offset} + {n} > len {}",
+            self.len
+        );
+    }
+
+    /// Copy `src` into the segment starting at byte `offset`.
+    ///
+    /// Word-atomic: concurrent readers never see torn 64-bit words, but may
+    /// see a mixture of old and new words (the RDMA put guarantee).
+    /// Interior full words are plain relaxed stores; partial words at the
+    /// edges are merged with a CAS loop so concurrent writes to *adjacent*
+    /// bytes in the same word are not lost.
+    pub fn write_bytes(&self, offset: usize, src: &[u8]) {
+        self.check_range(offset, src.len());
+        let mut off = offset;
+        let mut src = src;
+
+        // Leading partial word.
+        let head = off % 8;
+        if head != 0 && !src.is_empty() {
+            let n = (8 - head).min(src.len());
+            self.merge_partial(off / 8, head, &src[..n]);
+            off += n;
+            src = &src[n..];
+        }
+        // Full words.
+        let mut w = off / 8;
+        while src.len() >= 8 {
+            let v = u64::from_le_bytes(src[..8].try_into().unwrap());
+            self.words[w].store(v, Ordering::Relaxed);
+            w += 1;
+            src = &src[8..];
+        }
+        // Trailing partial word.
+        if !src.is_empty() {
+            self.merge_partial(w, 0, src);
+        }
+    }
+
+    /// Merge `bytes` into word `w` starting at byte lane `lane` (LE order).
+    fn merge_partial(&self, w: usize, lane: usize, bytes: &[u8]) {
+        debug_assert!(lane + bytes.len() <= 8);
+        let mut val = 0u64;
+        let mut mask = 0u64;
+        for (i, &b) in bytes.iter().enumerate() {
+            val |= (b as u64) << (8 * (lane + i));
+            mask |= 0xFFu64 << (8 * (lane + i));
+        }
+        let word = &self.words[w];
+        let mut cur = word.load(Ordering::Relaxed);
+        loop {
+            let new = (cur & !mask) | val;
+            match word.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(c) => cur = c,
+            }
+        }
+    }
+
+    /// Copy `dst.len()` bytes from the segment at `offset` into `dst`.
+    pub fn read_bytes(&self, offset: usize, dst: &mut [u8]) {
+        self.check_range(offset, dst.len());
+        let mut off = offset;
+        let mut dst = &mut dst[..];
+
+        let head = off % 8;
+        if head != 0 && !dst.is_empty() {
+            let n = (8 - head).min(dst.len());
+            let w = self.words[off / 8].load(Ordering::Relaxed).to_le_bytes();
+            dst[..n].copy_from_slice(&w[head..head + n]);
+            off += n;
+            dst = &mut dst[n..];
+        }
+        let mut w = off / 8;
+        while dst.len() >= 8 {
+            let v = self.words[w].load(Ordering::Relaxed).to_le_bytes();
+            dst[..8].copy_from_slice(&v);
+            w += 1;
+            dst = &mut dst[8..];
+        }
+        if !dst.is_empty() {
+            let v = self.words[w].load(Ordering::Relaxed).to_le_bytes();
+            let n = dst.len();
+            dst.copy_from_slice(&v[..n]);
+        }
+    }
+
+    /// Convenience: read a little-endian `u64` at an 8-aligned offset.
+    #[inline]
+    pub fn read_u64(&self, offset: usize) -> u64 {
+        self.atomic_u64(offset).load(Ordering::Acquire)
+    }
+
+    /// Convenience: write a little-endian `u64` at an 8-aligned offset.
+    #[inline]
+    pub fn write_u64(&self, offset: usize, v: u64) {
+        self.atomic_u64(offset).store(v, Ordering::Release)
+    }
+
+    /// Borrow the atomic word at 8-aligned byte `offset`.
+    ///
+    /// This is how synchronization variables (ticket/counter words, MCS
+    /// `Lock`/`next`/`locked` cells, `op_done` counters) are accessed by
+    /// processes that share the node with the segment owner.
+    ///
+    /// # Panics
+    /// Panics if `offset` is not 8-aligned or out of bounds.
+    #[inline]
+    pub fn atomic_u64(&self, offset: usize) -> &AtomicU64 {
+        assert!(offset % 8 == 0, "atomic access requires 8-aligned offset, got {offset}");
+        self.check_range(offset, 8);
+        &self.words[offset / 8]
+    }
+
+    /// Atomic fetch-and-add on the `u64` at `offset` (AcqRel), returning
+    /// the previous value. This is ARMCI's fetch-and-increment with an
+    /// arbitrary addend.
+    #[inline]
+    pub fn fetch_add_u64(&self, offset: usize, add: u64) -> u64 {
+        self.atomic_u64(offset).fetch_add(add, Ordering::AcqRel)
+    }
+
+    /// Atomic swap of the `u64` at `offset` (AcqRel), returning the
+    /// previous value.
+    #[inline]
+    pub fn swap_u64(&self, offset: usize, new: u64) -> u64 {
+        self.atomic_u64(offset).swap(new, Ordering::AcqRel)
+    }
+
+    /// Atomic compare&swap of the `u64` at `offset` (AcqRel / Acquire).
+    /// Returns the value observed before the operation; the swap succeeded
+    /// iff that equals `expect`.
+    #[inline]
+    pub fn compare_swap_u64(&self, offset: usize, expect: u64, new: u64) -> u64 {
+        match self.atomic_u64(offset).compare_exchange(expect, new, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(prev) => prev,
+            Err(prev) => prev,
+        }
+    }
+
+    /// Atomic add of an `f64` (bit-stored in a word) at `offset` via a CAS
+    /// loop. Used by `accumulate` so that concurrent accumulates from the
+    /// server thread and from node-local processes do not lose updates.
+    pub fn fetch_add_f64(&self, offset: usize, add: f64) -> f64 {
+        let word = self.atomic_u64(offset);
+        let mut cur = word.load(Ordering::Relaxed);
+        loop {
+            let old = f64::from_bits(cur);
+            let new = (old + add).to_bits();
+            match word.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => return old,
+                Err(c) => cur = c,
+            }
+        }
+    }
+
+    /// Atomic add of an `i64` at `offset`, returning the previous value.
+    #[inline]
+    pub fn fetch_add_i64(&self, offset: usize, add: i64) -> i64 {
+        self.atomic_u64(offset).fetch_add(add as u64, Ordering::AcqRel) as i64
+    }
+
+    #[inline]
+    fn pair_stripe(&self, offset: usize) -> &Mutex<()> {
+        &self.pair_stripes[(offset / 16) % PAIR_STRIPES]
+    }
+
+    /// Atomically swap the *pair* of `u64`s at 16-aligned `offset`,
+    /// returning the previous pair.
+    ///
+    /// This reproduces the paper's new "atomic memory operations which
+    /// operate on pairs of long variables". Atomicity holds with respect
+    /// to the other `pair_*` operations (they serialize on a stripe lock);
+    /// mixing pair and single-word atomics on the same cell is a usage
+    /// error, just as it would have been in ARMCI.
+    pub fn pair_swap(&self, offset: usize, new: [u64; 2]) -> [u64; 2] {
+        assert!(offset % 16 == 0, "pair access requires 16-aligned offset, got {offset}");
+        self.check_range(offset, 16);
+        let _g = self.pair_stripe(offset).lock();
+        let w = offset / 8;
+        let old = [self.words[w].load(Ordering::Acquire), self.words[w + 1].load(Ordering::Acquire)];
+        self.words[w].store(new[0], Ordering::Release);
+        self.words[w + 1].store(new[1], Ordering::Release);
+        old
+    }
+
+    /// Atomically compare&swap the pair of `u64`s at 16-aligned `offset`.
+    /// Returns the pair observed before the operation; the swap succeeded
+    /// iff that equals `expect`.
+    pub fn pair_compare_swap(&self, offset: usize, expect: [u64; 2], new: [u64; 2]) -> [u64; 2] {
+        assert!(offset % 16 == 0, "pair access requires 16-aligned offset, got {offset}");
+        self.check_range(offset, 16);
+        let _g = self.pair_stripe(offset).lock();
+        let w = offset / 8;
+        let old = [self.words[w].load(Ordering::Acquire), self.words[w + 1].load(Ordering::Acquire)];
+        if old == expect {
+            self.words[w].store(new[0], Ordering::Release);
+            self.words[w + 1].store(new[1], Ordering::Release);
+        }
+        old
+    }
+
+    /// Atomically read the pair of `u64`s at 16-aligned `offset`.
+    pub fn pair_read(&self, offset: usize) -> [u64; 2] {
+        assert!(offset % 16 == 0, "pair access requires 16-aligned offset, got {offset}");
+        self.check_range(offset, 16);
+        let _g = self.pair_stripe(offset).lock();
+        let w = offset / 8;
+        [self.words[w].load(Ordering::Acquire), self.words[w + 1].load(Ordering::Acquire)]
+    }
+}
+
+/// Map from `(process, segment id)` to segments, shared by every thread in
+/// the emulated cluster.
+///
+/// Registration is per-process and ordered, so SPMD collective allocations
+/// produce identical ids on every rank. Lookup is lock-light (read lock)
+/// because it sits on the critical path of every local and server-side
+/// memory operation.
+pub struct MemoryRegistry {
+    per_proc: RwLock<Vec<Vec<Arc<Segment>>>>,
+}
+
+impl MemoryRegistry {
+    /// Create a registry for `nprocs` processes.
+    pub fn new(nprocs: usize) -> Self {
+        MemoryRegistry { per_proc: RwLock::new(vec![Vec::new(); nprocs]) }
+    }
+
+    /// Register a new segment of `len` bytes owned by `proc`; returns its
+    /// id (dense, in registration order per process).
+    pub fn register(&self, proc: ProcId, len: usize) -> (SegId, Arc<Segment>) {
+        let seg = Arc::new(Segment::new(len));
+        let mut map = self.per_proc.write();
+        let list = &mut map[proc.idx()];
+        let id = SegId(list.len() as u32);
+        list.push(seg.clone());
+        (id, seg)
+    }
+
+    /// Look up a segment. Panics if it was never registered — addressing
+    /// unregistered remote memory is a program bug, as in ARMCI.
+    pub fn lookup(&self, proc: ProcId, seg: SegId) -> Arc<Segment> {
+        let map = self.per_proc.read();
+        map[proc.idx()]
+            .get(seg.0 as usize)
+            .unwrap_or_else(|| panic!("segment {seg:?} of {proc} not registered"))
+            .clone()
+    }
+
+    /// Number of segments currently registered by `proc`.
+    pub fn count_for(&self, proc: ProcId) -> usize {
+        self.per_proc.read()[proc.idx()].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_aligned() {
+        let s = Segment::new(64);
+        let data: Vec<u8> = (0..32).collect();
+        s.write_bytes(8, &data);
+        let mut out = vec![0u8; 32];
+        s.read_bytes(8, &mut out);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn roundtrip_unaligned_offsets_and_lengths() {
+        let s = Segment::new(128);
+        for off in 0..16 {
+            for len in 0..24 {
+                let data: Vec<u8> = (0..len as u8).map(|b| b.wrapping_add(off as u8)).collect();
+                s.write_bytes(off, &data);
+                let mut out = vec![0u8; len];
+                s.read_bytes(off, &mut out);
+                assert_eq!(out, data, "off={off} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn partial_writes_do_not_clobber_neighbours() {
+        let s = Segment::new(24);
+        s.write_bytes(0, &[0xAA; 24]);
+        s.write_bytes(5, &[0xBB; 3]); // inside word 0 tail + word-boundary
+        let mut out = vec![0u8; 24];
+        s.read_bytes(0, &mut out);
+        assert_eq!(&out[..5], &[0xAA; 5]);
+        assert_eq!(&out[5..8], &[0xBB; 3]);
+        assert_eq!(&out[8..], &[0xAA; 16]);
+    }
+
+    #[test]
+    fn atomic_word_ops() {
+        let s = Segment::new(32);
+        assert_eq!(s.fetch_add_u64(8, 5), 0);
+        assert_eq!(s.fetch_add_u64(8, 5), 5);
+        assert_eq!(s.swap_u64(8, 99), 10);
+        assert_eq!(s.compare_swap_u64(8, 99, 1), 99);
+        assert_eq!(s.read_u64(8), 1);
+        assert_eq!(s.compare_swap_u64(8, 99, 2), 1, "failed CAS returns observed value");
+        assert_eq!(s.read_u64(8), 1);
+    }
+
+    #[test]
+    fn f64_and_i64_accumulate() {
+        let s = Segment::new(16);
+        s.write_u64(0, 1.5f64.to_bits());
+        let prev = s.fetch_add_f64(0, 2.25);
+        assert_eq!(prev, 1.5);
+        assert_eq!(f64::from_bits(s.read_u64(0)), 3.75);
+
+        s.write_u64(8, (-7i64) as u64);
+        assert_eq!(s.fetch_add_i64(8, 3), -7);
+        assert_eq!(s.read_u64(8) as i64, -4);
+    }
+
+    #[test]
+    fn pair_swap_and_cas() {
+        let s = Segment::new(64);
+        assert_eq!(s.pair_swap(16, [1, 2]), [0, 0]);
+        assert_eq!(s.pair_read(16), [1, 2]);
+        // Failed CAS leaves the pair alone and reports what it saw.
+        assert_eq!(s.pair_compare_swap(16, [9, 9], [3, 4]), [1, 2]);
+        assert_eq!(s.pair_read(16), [1, 2]);
+        // Successful CAS.
+        assert_eq!(s.pair_compare_swap(16, [1, 2], [3, 4]), [1, 2]);
+        assert_eq!(s.pair_read(16), [3, 4]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unaligned_atomic_panics() {
+        Segment::new(16).atomic_u64(4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_write_panics() {
+        Segment::new(16).write_bytes(12, &[0; 8]);
+    }
+
+    #[test]
+    fn registry_ids_are_dense_per_proc() {
+        let r = MemoryRegistry::new(2);
+        let (a, _) = r.register(ProcId(0), 8);
+        let (b, _) = r.register(ProcId(0), 8);
+        let (c, _) = r.register(ProcId(1), 8);
+        assert_eq!(a, SegId(0));
+        assert_eq!(b, SegId(1));
+        assert_eq!(c, SegId(0));
+        assert_eq!(r.count_for(ProcId(0)), 2);
+    }
+
+    #[test]
+    fn registry_lookup_returns_same_segment() {
+        let r = MemoryRegistry::new(1);
+        let (id, seg) = r.register(ProcId(0), 32);
+        seg.write_u64(0, 42);
+        let seg2 = r.lookup(ProcId(0), id);
+        assert_eq!(seg2.read_u64(0), 42);
+        assert!(Arc::ptr_eq(&seg, &seg2));
+    }
+
+    #[test]
+    fn concurrent_word_stores_never_tear() {
+        use std::sync::atomic::AtomicBool;
+        let s = Arc::new(Segment::new(8));
+        let stop = Arc::new(AtomicBool::new(false));
+        let patterns = [0x1111_1111_1111_1111u64, 0x2222_2222_2222_2222u64];
+        let mut handles = Vec::new();
+        for &p in &patterns {
+            let s = s.clone();
+            let stop = stop.clone();
+            handles.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    s.write_bytes(0, &p.to_le_bytes());
+                }
+            }));
+        }
+        for _ in 0..10_000 {
+            let v = s.read_u64(0);
+            assert!(v == 0 || patterns.contains(&v), "torn word observed: {v:#x}");
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Optional message tracing.
+//!
+//! When enabled on the [`crate::ClusterBuilder`], every send is recorded
+//! with a timestamp, endpoints, tag and payload size. Traces let tests
+//! and the reproduction harness verify the *structure* of an algorithm —
+//! e.g. that a binary-exchange barrier really only talks to XOR partners,
+//! or that `ARMCI_Barrier()` sends exactly `2·log2(N)` messages per
+//! process — independently of timing.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::message::{Endpoint, Tag};
+
+/// One recorded send.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceEvent {
+    /// Time of the send relative to trace creation.
+    pub at: Duration,
+    /// Sender.
+    pub src: Endpoint,
+    /// Destination.
+    pub dst: Endpoint,
+    /// Protocol tag.
+    pub tag: Tag,
+    /// Payload bytes.
+    pub size: usize,
+}
+
+/// A shared, append-only trace of message sends.
+pub struct Trace {
+    t0: Instant,
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl Trace {
+    pub(crate) fn new() -> Self {
+        Trace { t0: Instant::now(), events: Mutex::new(Vec::new()) }
+    }
+
+    pub(crate) fn record(&self, src: Endpoint, dst: Endpoint, tag: Tag, size: usize) {
+        let ev = TraceEvent { at: self.t0.elapsed(), src, dst, tag, size };
+        self.events.lock().unwrap().push(ev);
+    }
+
+    /// Copy out everything recorded so far (in send order per thread;
+    /// interleaving across threads follows lock acquisition order).
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events.lock().unwrap().clone()
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Discard everything recorded so far (e.g. to trace only a phase).
+    pub fn clear(&self) {
+        self.events.lock().unwrap().clear();
+    }
+
+    /// Message counts per (src, dst) pair.
+    pub fn pair_counts(&self) -> HashMap<(Endpoint, Endpoint), u64> {
+        let mut out = HashMap::new();
+        for ev in self.events.lock().unwrap().iter() {
+            *out.entry((ev.src, ev.dst)).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Messages sent by each endpoint.
+    pub fn sent_by(&self, ep: Endpoint) -> u64 {
+        self.events.lock().unwrap().iter().filter(|e| e.src == ep).count() as u64
+    }
+
+    /// Total messages matching a tag predicate.
+    pub fn count_tags(&self, mut pred: impl FnMut(Tag) -> bool) -> u64 {
+        self.events.lock().unwrap().iter().filter(|e| pred(e.tag)).count() as u64
+    }
+
+    /// Total payload bytes recorded.
+    pub fn total_bytes(&self) -> u64 {
+        self.events.lock().unwrap().iter().map(|e| e.size as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{NodeId, ProcId};
+
+    fn ep(p: u32) -> Endpoint {
+        Endpoint::Proc(ProcId(p))
+    }
+
+    #[test]
+    fn records_and_aggregates() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        t.record(ep(0), ep(1), Tag(5), 10);
+        t.record(ep(0), ep(1), Tag(5), 20);
+        t.record(ep(1), Endpoint::Server(NodeId(0)), Tag(9), 5);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.pair_counts()[&(ep(0), ep(1))], 2);
+        assert_eq!(t.sent_by(ep(0)), 2);
+        assert_eq!(t.sent_by(ep(1)), 1);
+        assert_eq!(t.count_tags(|tag| tag == Tag(5)), 2);
+        assert_eq!(t.total_bytes(), 35);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let t = Trace::new();
+        t.record(ep(0), ep(1), Tag(1), 1);
+        t.clear();
+        assert!(t.is_empty());
+        assert!(t.pair_counts().is_empty());
+    }
+
+    #[test]
+    fn timestamps_are_monotone_per_thread() {
+        let t = Trace::new();
+        for i in 0..10 {
+            t.record(ep(0), ep(1), Tag(i), 0);
+        }
+        let snap = t.snapshot();
+        for w in snap.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Blocking-wait helpers tuned for heavy thread oversubscription.
+//!
+//! The emulator routinely runs 16–32 simulated processes plus server
+//! threads on machines with far fewer cores, so *every* wait in the stack
+//! must release the CPU: a pure `spin_loop()` poll would serialize the
+//! whole cluster behind the scheduler tick. The helpers here spin briefly
+//! (to catch the common fast path), then yield, then sleep for long waits.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// How many iterations to busy-spin before starting to yield.
+const SPIN_ITERS: u32 = 64;
+/// Sleep (rather than yield) when more than this much time remains.
+const SLEEP_SLACK: Duration = Duration::from_micros(200);
+
+/// Block until `deadline`, sleeping for the bulk of the wait and yielding
+/// for the final stretch so the wake-up is reasonably precise without
+/// burning a core.
+pub fn wait_until(deadline: Instant) {
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        let remaining = deadline - now;
+        if remaining > SLEEP_SLACK {
+            std::thread::sleep(remaining - SLEEP_SLACK);
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Spin-then-yield until `cond` returns true.
+///
+/// This is the waiting discipline for the polling loops the paper's
+/// algorithms prescribe (ticket-lock `counter` polls, MCS `locked` flag
+/// polls, the `op_done` wait in `ARMCI_Barrier`). On a real cluster those
+/// are pure spins on cache-resident locations; here we must yield so that
+/// the thread actually holding the resource can run.
+#[inline]
+pub fn spin_until(mut cond: impl FnMut() -> bool) {
+    let mut iters = 0u32;
+    while !cond() {
+        if iters < SPIN_ITERS {
+            std::hint::spin_loop();
+            iters += 1;
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Spin-then-yield until the atomic equals `want` (Acquire load).
+#[inline]
+pub fn spin_until_eq(word: &AtomicU64, want: u64) {
+    spin_until(|| word.load(Ordering::Acquire) == want)
+}
+
+/// Spin-then-yield until the atomic is at least `want` (Acquire load).
+#[inline]
+pub fn spin_until_ge(word: &AtomicU64, want: u64) {
+    spin_until(|| word.load(Ordering::Acquire) >= want)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    #[test]
+    fn wait_until_past_deadline_returns_immediately() {
+        let t0 = Instant::now();
+        wait_until(t0); // already passed
+        assert!(t0.elapsed() < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn wait_until_waits_at_least_the_duration() {
+        let d = Duration::from_millis(5);
+        let t0 = Instant::now();
+        wait_until(t0 + d);
+        assert!(t0.elapsed() >= d);
+    }
+
+    #[test]
+    fn spin_until_sees_flag_from_other_thread() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let f2 = flag.clone();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(2));
+            f2.store(true, Ordering::Release);
+        });
+        spin_until(|| flag.load(Ordering::Acquire));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn spin_until_eq_and_ge() {
+        let w = Arc::new(AtomicU64::new(0));
+        let w2 = w.clone();
+        let h = std::thread::spawn(move || {
+            for i in 1..=5 {
+                std::thread::sleep(Duration::from_millis(1));
+                w2.store(i, Ordering::Release);
+            }
+        });
+        spin_until_ge(&w, 3);
+        assert!(w.load(Ordering::Acquire) >= 3);
+        spin_until_eq(&w, 5);
+        h.join().unwrap();
+    }
+}

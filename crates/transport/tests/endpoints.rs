@@ -1,0 +1,127 @@
+//! Transport-level integration tests: multi-endpoint messaging (procs,
+//! servers, NICs), tracing with latency, and topology properties.
+
+use armci_transport::{Cluster, Endpoint, LatencyModel, NodeId, ProcId, Tag, Topology};
+use proptest::prelude::*;
+use std::time::Duration;
+
+#[test]
+fn nic_endpoints_are_wired_and_addressable() {
+    let mut c = Cluster::builder().nodes(2).procs_per_node(1).latency(LatencyModel::zero()).build();
+    let mut p0 = c.take_proc(ProcId(0));
+    let mut nic1 = c.take_nic(NodeId(1));
+    let nic_thread = std::thread::spawn(move || {
+        let m = nic1.recv().unwrap();
+        assert_eq!(m.src, Endpoint::Proc(ProcId(0)));
+        nic1.send(m.src, Tag(Tag::INTERNAL_BASE + 1), vec![m.body[0] * 2]);
+    });
+    p0.send(Endpoint::Nic(NodeId(1)), Tag(Tag::INTERNAL_BASE), vec![21]);
+    let reply = p0.recv().unwrap();
+    assert_eq!(reply.src, Endpoint::Nic(NodeId(1)));
+    assert_eq!(reply.body, vec![42]);
+    nic_thread.join().unwrap();
+}
+
+#[test]
+fn server_and_nic_queues_are_independent() {
+    let mut c = Cluster::builder().nodes(2).procs_per_node(1).latency(LatencyModel::zero()).build();
+    let mut p0 = c.take_proc(ProcId(0));
+    let mut srv = c.take_server(NodeId(1));
+    let mut nic = c.take_nic(NodeId(1));
+    // Interleave sends to both agents of node 1; each sees only its own.
+    for i in 0..6u8 {
+        let (ep, tag) = if i % 2 == 0 {
+            (Endpoint::Server(NodeId(1)), Tag(1))
+        } else {
+            (Endpoint::Nic(NodeId(1)), Tag(2))
+        };
+        p0.send(ep, tag, vec![i]);
+    }
+    for want in [0u8, 2, 4] {
+        assert_eq!(srv.recv().unwrap().body, vec![want]);
+    }
+    for want in [1u8, 3, 5] {
+        assert_eq!(nic.recv().unwrap().body, vec![want]);
+    }
+}
+
+#[test]
+fn trace_includes_latency_annotated_sends() {
+    let lat = LatencyModel::zero().with_inter_node(Duration::from_millis(2));
+    let mut c = Cluster::builder().nodes(2).procs_per_node(1).latency(lat).trace(true).build();
+    let trace = c.trace().unwrap();
+    let mut p0 = c.take_proc(ProcId(0));
+    let mut p1 = c.take_proc(ProcId(1));
+    p0.send(Endpoint::Proc(ProcId(1)), Tag(7), vec![0; 100]);
+    let _ = p1.recv().unwrap();
+    let snap = trace.snapshot();
+    assert_eq!(snap.len(), 1);
+    assert_eq!(snap[0].size, 100);
+    assert_eq!(snap[0].tag, Tag(7));
+    assert_eq!(snap[0].src, Endpoint::Proc(ProcId(0)));
+}
+
+#[test]
+fn jitter_reorders_across_channels_but_not_within() {
+    // With heavy jitter, messages from two senders interleave in receive
+    // order, but each sender's own stream stays FIFO.
+    let lat = LatencyModel::zero()
+        .with_inter_node(Duration::from_micros(100))
+        .with_jitter(Duration::from_millis(2));
+    let mut c = Cluster::builder().nodes(3).procs_per_node(1).latency(lat).seed(3).build();
+    let mut p0 = c.take_proc(ProcId(0));
+    let mut p1 = c.take_proc(ProcId(1));
+    let mut p2 = c.take_proc(ProcId(2));
+    let h1 = std::thread::spawn(move || {
+        for i in 0..20u8 {
+            p1.send(Endpoint::Proc(ProcId(0)), Tag(1), vec![i]);
+        }
+    });
+    let h2 = std::thread::spawn(move || {
+        for i in 0..20u8 {
+            p2.send(Endpoint::Proc(ProcId(0)), Tag(2), vec![i]);
+        }
+    });
+    h1.join().unwrap();
+    h2.join().unwrap();
+    let mut last_from_1 = None;
+    let mut last_from_2 = None;
+    for _ in 0..40 {
+        let m = p0.recv().unwrap();
+        let last = if m.tag == Tag(1) { &mut last_from_1 } else { &mut last_from_2 };
+        if let Some(prev) = *last {
+            assert!(m.body[0] > prev, "per-channel FIFO violated");
+        }
+        *last = Some(m.body[0]);
+    }
+    assert_eq!(last_from_1, Some(19));
+    assert_eq!(last_from_2, Some(19));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn topology_node_of_is_block_partition(nodes in 1u32..40, ppn in 1u32..8) {
+        let t = Topology::new(nodes, ppn);
+        let mut counts = vec![0usize; t.nnodes()];
+        for p in t.all_procs() {
+            counts[t.node_of(p).idx()] += 1;
+            prop_assert!(t.procs_on(t.node_of(p)).contains(&p.0));
+        }
+        prop_assert!(counts.iter().all(|&c| c == ppn as usize));
+    }
+
+    #[test]
+    fn same_node_is_equivalence_relation(nodes in 1u32..10, ppn in 1u32..5,
+                                         a in 0u32..50, b in 0u32..50, c in 0u32..50) {
+        let t = Topology::new(nodes, ppn);
+        let n = t.nprocs() as u32;
+        let (a, b, c) = (ProcId(a % n), ProcId(b % n), ProcId(c % n));
+        prop_assert!(t.same_node(a, a));
+        prop_assert_eq!(t.same_node(a, b), t.same_node(b, a));
+        if t.same_node(a, b) && t.same_node(b, c) {
+            prop_assert!(t.same_node(a, c));
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Lock-free task farming with `GA_Read_inc` (the NXTVAL pattern) —
+//! the classic Global Arrays alternative to a lock-protected queue:
+//! workers draw task indices from a shared atomic counter with a single
+//! one-sided fetch-and-add, so there is no lock handoff at all.
+//!
+//! The farm evaluates a toy quadrature (∫₀¹ 4/(1+x²) dx = π) split into
+//! many strips; each worker repeatedly draws the next strip index.
+//! Compare with `examples/work_queue.rs`, which does the same dynamic
+//! balancing through the paper's locks — the counter version is what GA
+//! applications actually converged on, and it shows why fast one-sided
+//! RMW operations matter as much as fast locks.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example nxtval_farm
+//! ```
+
+use armci_repro::prelude::*;
+use armci_repro::armci_ga::SharedCounters;
+
+const STRIPS: i64 = 400;
+/// Quadrature points per strip — enough compute per task that drawing
+/// the next index (a ~2x100us round trip for remote workers) does not
+/// dominate, so the farm balances instead of the counter-local worker
+/// taking everything.
+const POINTS_PER_STRIP: i64 = 200_000;
+
+fn main() {
+    let cfg = ArmciCfg::flat(4, LatencyModel::myrinet_like());
+    let results = armci_repro::armci_core::run_cluster(cfg, |armci| {
+        // One shared task counter plus one result accumulator per run.
+        let counter = SharedCounters::create(armci, 1);
+        let acc_seg = armci.malloc(8);
+        let acc = GlobalAddr::new(ProcId(0), acc_seg, 0);
+        armci.barrier();
+
+        let h = 1.0 / STRIPS as f64;
+        let mut partial = 0.0f64;
+        let mut drawn = 0u64;
+        loop {
+            // NXTVAL: one one-sided fetch-and-add draws the next strip.
+            let strip = counter.read_inc(armci, 0, 1);
+            if strip >= STRIPS {
+                break;
+            }
+            let sub_h = h / POINTS_PER_STRIP as f64;
+            for k in 0..POINTS_PER_STRIP {
+                let x = strip as f64 * h + (k as f64 + 0.5) * sub_h;
+                partial += 4.0 / (1.0 + x * x) * sub_h;
+            }
+            drawn += 1;
+        }
+        // Publish the partial sum with an atomic accumulate.
+        armci.acc_f64(acc, 1.0, &[partial]);
+        armci.barrier();
+
+        let mut buf = [0u8; 8];
+        armci.get(acc, &mut buf);
+        (f64::from_le_bytes(buf), drawn)
+    });
+
+    let (pi, _) = results[0];
+    let total_drawn: u64 = results.iter().map(|&(_, d)| d).sum();
+    println!("nxtval farm: {STRIPS} strips over {} workers", results.len());
+    for (r, &(_, d)) in results.iter().enumerate() {
+        println!("  worker {r}: drew {d} strips");
+    }
+    println!("  estimate of pi = {pi:.10} (err {:.2e})", (pi - std::f64::consts::PI).abs());
+    assert_eq!(total_drawn, STRIPS as u64, "every strip processed exactly once");
+    assert!(results.iter().all(|&(_, d)| d > 0), "dynamic balancing must feed every worker");
+    assert!((pi - std::f64::consts::PI).abs() < 1e-6, "quadrature diverged");
+    println!("nxtval farm OK — every strip drawn exactly once, no locks involved");
+}

@@ -1,0 +1,86 @@
+//! A lock-protected distributed work queue — dynamic load balancing in
+//! the style of Global Arrays applications (e.g. NWChem task pools),
+//! exercising the paper's MCS software queuing lock under real
+//! contention.
+//!
+//! A task pool lives at process 0: a head index plus a results area.
+//! Workers repeatedly take the lock, pop a chunk of tasks, release, and
+//! process the chunk (summing squares). The mutual-exclusion and progress
+//! properties of the lock are verified by checking the exact final sum.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example work_queue
+//! ```
+
+use std::time::Instant;
+
+use armci_repro::prelude::*;
+
+const TASKS: u64 = 4000;
+const CHUNK: u64 = 64;
+
+fn run_with(algo: LockAlgo) -> (u64, f64) {
+    let cfg = ArmciCfg::flat(4, LatencyModel::myrinet_like()).with_lock_algo(algo);
+    let out = run_cluster(cfg, |armci| {
+        // Pool layout at proc 0: [head, grand_total]
+        let seg = armci.malloc(16);
+        let head = GlobalAddr::new(ProcId(0), seg, 0);
+        let total = GlobalAddr::new(ProcId(0), seg, 8);
+        let lock = LockId { owner: ProcId(0), idx: 0 };
+        armci.barrier();
+
+        let t0 = Instant::now();
+        let mut my_sum = 0u64;
+        let mut my_tasks = 0u64;
+        loop {
+            // Critical section: pop a chunk [lo, hi) off the shared head.
+            armci.lock(lock);
+            let mut buf = [0u8; 8];
+            armci.get(head, &mut buf);
+            let lo = u64::from_le_bytes(buf);
+            let hi = (lo + CHUNK).min(TASKS);
+            if hi > lo {
+                armci.put(head, &hi.to_le_bytes());
+                armci.fence(ProcId(0));
+            }
+            armci.unlock(lock);
+            if hi == lo {
+                break; // pool drained
+            }
+            // Process outside the lock.
+            for t in lo..hi {
+                my_sum += t * t;
+                my_tasks += 1;
+            }
+        }
+        // Publish per-worker partial sums with an atomic accumulate.
+        armci.fetch_add_u64(total, my_sum);
+        armci.barrier();
+
+        let mut buf = [0u8; 8];
+        armci.get(total, &mut buf);
+        let grand = u64::from_le_bytes(buf);
+        (grand, my_tasks, t0.elapsed().as_secs_f64() * 1e6)
+    });
+
+    let expect: u64 = (0..TASKS).map(|t| t * t).sum();
+    let mut tasks_done = 0;
+    let mut worst_us = 0.0f64;
+    for &(grand, my_tasks, us) in &out {
+        assert_eq!(grand, expect, "lost or duplicated tasks under {algo:?}");
+        tasks_done += my_tasks;
+        worst_us = worst_us.max(us);
+    }
+    assert_eq!(tasks_done, TASKS, "every task processed exactly once under {algo:?}");
+    (tasks_done, worst_us)
+}
+
+fn main() {
+    println!("distributed work queue: {TASKS} tasks, chunks of {CHUNK}, 4 workers");
+    for algo in [LockAlgo::Hybrid, LockAlgo::Mcs] {
+        let (done, us) = run_with(algo);
+        println!("  {algo:?}: {done} tasks, makespan {us:9.0} us — verified");
+    }
+    println!("work queue OK under both lock algorithms");
+}
