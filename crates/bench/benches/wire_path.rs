@@ -1,0 +1,155 @@
+//! Wire-path throughput: the cost of moving one put through the full
+//! client-encode → transport → server-decode → segment-apply pipeline,
+//! plus codec-level before/after micro-benches isolating what the
+//! zero-copy work changed (owned `encode()`/`decode()` versus pooled
+//! `encode_into` / borrowed `ReqView::decode`).
+//!
+//! Besides the usual console report, this bench emits its numbers to
+//! `BENCH_wire_path.json` at the repository root so the perf trajectory
+//! of the wire path is tracked from PR to PR.
+
+use std::time::{Duration, Instant};
+
+use armci_core::msg::{Req, ReqView};
+use armci_core::{run_cluster, ArmciCfg, GlobalAddr};
+use armci_transport::{LatencyModel, ProcId, SegId};
+use criterion::{black_box, BenchmarkGroup, Criterion};
+
+/// End-to-end rounds on a 2-node zero-latency cluster: each round is one
+/// remote put (8 B via `put_u64`, or a 64 KiB `put`) followed by a fence,
+/// so the timing covers encode, both channel hops, decode, the segment
+/// write and the ack.
+fn cluster_put_round(iters: u64, payload: usize) -> Duration {
+    let out = run_cluster(ArmciCfg::flat(2, LatencyModel::zero()), move |a| {
+        let seg = a.malloc(payload.max(64));
+        let dst = GlobalAddr::new(ProcId(1), seg, 0);
+        a.barrier();
+        let mut total = Duration::ZERO;
+        if a.rank() == 0 {
+            let data = vec![0xA5u8; payload];
+            for i in 0..32u64 {
+                if payload == 8 {
+                    a.put_u64(dst, i);
+                } else {
+                    a.put(dst, &data);
+                }
+            }
+            a.fence(ProcId(1));
+            let t0 = Instant::now();
+            for i in 0..iters {
+                if payload == 8 {
+                    a.put_u64(dst, i);
+                } else {
+                    a.put(dst, &data);
+                }
+                a.fence(ProcId(1));
+            }
+            total = t0.elapsed();
+        }
+        a.barrier();
+        total
+    });
+    out[0]
+}
+
+/// The pre-optimization client encode: a fresh heap `Vec` per request.
+fn encode_small_owned(iters: u64) -> Duration {
+    let req = Req::PutU64 { dst: ProcId(1), seg: SegId(0), offset: 16, val: 42 };
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        black_box(black_box(&req).encode());
+    }
+    t0.elapsed()
+}
+
+/// The new client encode: frame into a reused buffer, zero heap traffic.
+fn encode_small_pooled(iters: u64) -> Duration {
+    let req = Req::PutU64 { dst: ProcId(1), seg: SegId(0), offset: 16, val: 42 };
+    let mut buf = Vec::with_capacity(64);
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        buf.clear();
+        black_box(&req).encode_into(&mut buf);
+        black_box(&buf);
+    }
+    t0.elapsed()
+}
+
+/// The pre-optimization server decode: `Req::decode` copies the payload
+/// into an owned `Vec` before the segment write.
+fn decode_64k_owned(iters: u64, frame: &[u8]) -> Duration {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        black_box(Req::decode(black_box(frame)));
+    }
+    t0.elapsed()
+}
+
+/// The new server decode: `ReqView::decode` borrows the payload straight
+/// out of the message body.
+fn decode_64k_borrowed(iters: u64, frame: &[u8]) -> Duration {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        black_box(ReqView::decode(black_box(frame)));
+    }
+    t0.elapsed()
+}
+
+struct Rec {
+    name: &'static str,
+    bytes: u64,
+    ns_per_op: f64,
+}
+
+fn bench_into(
+    g: &mut BenchmarkGroup<'_>,
+    recs: &mut Vec<Rec>,
+    name: &'static str,
+    bytes: u64,
+    f: impl Fn(u64) -> Duration,
+) {
+    g.bench_function(name, |b| {
+        b.iter_custom(|iters| {
+            let d = f(iters);
+            recs.push(Rec { name, bytes, ns_per_op: d.as_nanos() as f64 / iters as f64 });
+            d
+        })
+    });
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    let mut recs: Vec<Rec> = Vec::new();
+
+    let frame_64k = Req::Put { dst: ProcId(1), seg: SegId(0), offset: 0, data: vec![0xA5u8; 64 * 1024] }.encode();
+
+    {
+        let mut g = c.benchmark_group("wire_path");
+        g.sample_size(400).measurement_time(Duration::from_secs(4));
+        bench_into(&mut g, &mut recs, "small_put_round", 8, |iters| cluster_put_round(iters, 8));
+        bench_into(&mut g, &mut recs, "put_64k_round", 64 * 1024, |iters| cluster_put_round(iters, 64 * 1024));
+        g.sample_size(20000);
+        bench_into(&mut g, &mut recs, "encode_small_owned_before", 25, encode_small_owned);
+        bench_into(&mut g, &mut recs, "encode_small_pooled_after", 25, encode_small_pooled);
+        bench_into(&mut g, &mut recs, "decode_64k_owned_before", frame_64k.len() as u64, |iters| {
+            decode_64k_owned(iters, &frame_64k)
+        });
+        bench_into(&mut g, &mut recs, "decode_64k_borrowed_after", frame_64k.len() as u64, |iters| {
+            decode_64k_borrowed(iters, &frame_64k)
+        });
+        g.finish();
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"wire_path\",\n  \"unit\": \"ns_per_op\",\n  \"results\": [\n");
+    for (i, r) in recs.iter().enumerate() {
+        let sep = if i + 1 == recs.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"bytes\": {}, \"ns_per_op\": {:.1}}}{}\n",
+            r.name, r.bytes, r.ns_per_op, sep
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_wire_path.json");
+    std::fs::write(path, &json).expect("write BENCH_wire_path.json");
+    println!("wrote {path}");
+}

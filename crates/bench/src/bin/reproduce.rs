@@ -35,7 +35,7 @@ fn main() {
     let what = args
         .iter()
         .enumerate()
-        .filter(|&(i, a)| !a.starts_with("--") && !(i > 0 && args[i - 1] == "--csv"))
+        .filter(|&(i, a)| !(a.starts_with("--") || i > 0 && args[i - 1] == "--csv"))
         .map(|(_, a)| a.as_str())
         .next()
         .unwrap_or("all");
@@ -137,12 +137,7 @@ fn fig7(quick: bool) {
     for &n in &PAPER_PROCS {
         let base = measure_ga_sync(n, SyncAlg::Baseline, iters, WALLCLOCK_LATENCY_NS);
         let new = measure_ga_sync(n, SyncAlg::CombinedBarrier, iters, WALLCLOCK_LATENCY_NS);
-        t.row(vec![
-            n.to_string(),
-            us(base.mean_ns),
-            us(new.mean_ns),
-            ratio(base.mean_ns / new.mean_ns),
-        ]);
+        t.row(vec![n.to_string(), us(base.mean_ns), us(new.mean_ns), ratio(base.mean_ns / new.mean_ns)]);
     }
     t.print();
 }
@@ -151,7 +146,10 @@ fn fig7(quick: bool) {
 // Figures 8-10: locks
 // ---------------------------------------------------------------------
 
-fn lock_tables(quick: bool) -> (Vec<armci_bench::model_runs::LockRow>, Vec<(usize, f64, f64, f64, f64)>) {
+/// Wall-clock lock numbers per proc count: `(n, hybrid acquire, hybrid release, mcs acquire, mcs release)`.
+type WallLockRow = (usize, f64, f64, f64, f64);
+
+fn lock_tables(quick: bool) -> (Vec<armci_bench::model_runs::LockRow>, Vec<WallLockRow>) {
     let ns = [1usize, 2, 4, 8, 16];
     let model_rows = lock_sweep(&ns, if quick { 200 } else { 2000 }, NetModel::myrinet_2000());
     let iters = lock_iters(quick);
@@ -260,10 +258,8 @@ fn ablation_ack(quick: bool) {
     println!("# every fence is an explicit confirmation round-trip per server.");
     let iters = wall_iters(quick);
     let n = 8usize;
-    let mut t = Table::new(
-        format!("AllFence after scattering puts to all peers, {n} procs (us)"),
-        &["mode", "allfence(us)"],
-    );
+    let mut t =
+        Table::new(format!("AllFence after scattering puts to all peers, {n} procs (us)"), &["mode", "allfence(us)"]);
     for (mode, name) in [(AckMode::Gm, "GM (no acks)"), (AckMode::Via, "VIA (acked)")] {
         let cfg = ArmciCfg::flat(n as u32, lat_model()).with_ack_mode(mode);
         let out = run_cluster(cfg, move |a| {
@@ -338,10 +334,8 @@ fn ablation_atomics(quick: bool) {
     println!("# single-word atomics. Same algorithm, different encoding.");
     let iters = lock_iters(quick);
     let n = 4usize;
-    let mut t = Table::new(
-        format!("{n} procs contending, wall-clock (us)"),
-        &["encoding", "acquire", "release", "cycle"],
-    );
+    let mut t =
+        Table::new(format!("{n} procs contending, wall-clock (us)"), &["encoding", "acquire", "release", "cycle"]);
     for (algo, name) in [(LockAlgo::Mcs, "packed u64"), (LockAlgo::McsPair, "paired longs")] {
         let p = measure_lock(algo, n, iters, WALLCLOCK_LATENCY_NS);
         t.row(vec![name.to_string(), us(p.acquire_ns), us(p.release_ns), us(p.cycle_ns)]);
@@ -359,14 +353,9 @@ fn ablation_pipelined() {
     println!("# requests, then collect acks) — the paper's future-work direction of");
     println!("# reducing user/server interaction. Still loses to the combined");
     println!("# barrier: 2(N-1) messages per process vs 2*log2(N).");
-    use armci_simnet::protocols::sync::{
-        simulate_combined_barrier, simulate_sync_baseline, simulate_sync_pipelined,
-    };
+    use armci_simnet::protocols::sync::{simulate_combined_barrier, simulate_sync_baseline, simulate_sync_pipelined};
     let net = armci_simnet::NetModel::myrinet_2000();
-    let mut t = Table::new(
-        "GA_Sync variants — model plane (us)",
-        &["procs", "sequential", "pipelined", "combined"],
-    );
+    let mut t = Table::new("GA_Sync variants — model plane (us)", &["procs", "sequential", "pipelined", "combined"]);
     for n in [4usize, 8, 16, 32, 64] {
         t.row(vec![
             n.to_string(),
@@ -389,10 +378,7 @@ fn ablation_swap_release(quick: bool) {
     println!("# re-appending the orphaned waiter chain; both must preserve mutual");
     println!("# exclusion, and their costs are compared here.");
     let iters = lock_iters(quick);
-    let mut t = Table::new(
-        "lock cycle, wall-clock (us)",
-        &["procs", "MCS (cas release)", "MCS (swap release)"],
-    );
+    let mut t = Table::new("lock cycle, wall-clock (us)", &["procs", "MCS (cas release)", "MCS (swap release)"]);
     for n in [1usize, 4, 8] {
         let cas = measure_lock(LockAlgo::Mcs, n, iters, WALLCLOCK_LATENCY_NS);
         let swp = measure_lock(LockAlgo::McsSwap, n, iters, WALLCLOCK_LATENCY_NS);
@@ -412,10 +398,7 @@ fn ablation_strawman(quick: bool) {
     println!("# poll is a server round-trip, so waiters flood the lock home and");
     println!("# handoff latency includes the backoff interval.");
     let iters = lock_iters(quick).min(60); // polling is slow by design
-    let mut t = Table::new(
-        "lock cycle, wall-clock (us)",
-        &["procs", "ticket-poll", "hybrid", "MCS"],
-    );
+    let mut t = Table::new("lock cycle, wall-clock (us)", &["procs", "ticket-poll", "hybrid", "MCS"]);
     for n in [2usize, 4, 8] {
         let tp = measure_lock(LockAlgo::TicketPoll, n, iters, WALLCLOCK_LATENCY_NS);
         let hy = measure_lock(LockAlgo::Hybrid, n, iters, WALLCLOCK_LATENCY_NS);
@@ -447,10 +430,7 @@ fn ablation_nic(quick: bool) {
     println!("# Here: ranks 1-2 cycle a lock at rank 0 while rank 3 streams large");
     println!("# puts into rank 0's node, saturating its host server thread.");
     let iters = lock_iters(quick).min(100);
-    let mut t = Table::new(
-        "contended lock cycle under bulk-put interference (us)",
-        &["mode", "cycle(us)"],
-    );
+    let mut t = Table::new("contended lock cycle under bulk-put interference (us)", &["mode", "cycle(us)"]);
     for nic in [false, true] {
         let cfg = ArmciCfg::flat(4, lat_model()).with_lock_algo(LockAlgo::Mcs).with_nic_assist(nic);
         let out = run_cluster(cfg, move |a| {
@@ -507,10 +487,7 @@ fn lock_hold_sweep() {
     println!("# messages) amortizes: the algorithms converge. Model plane, 8 procs.");
     use armci_simnet::protocols::lock::{simulate_lock, LockAlgo as SimAlgo};
     let net = armci_simnet::NetModel::myrinet_2000();
-    let mut t = Table::new(
-        "mean cycle incl. hold (us), 8 procs",
-        &["hold(us)", "current", "new", "factor"],
-    );
+    let mut t = Table::new("mean cycle incl. hold (us), 8 procs", &["hold(us)", "current", "new", "factor"]);
     for hold_us in [0u64, 10, 50, 200, 1000] {
         let h = simulate_lock(SimAlgo::Hybrid, 8, 300, hold_us * 1000, net);
         let m = simulate_lock(SimAlgo::Mcs, 8, 300, hold_us * 1000, net);
@@ -533,22 +510,13 @@ fn lock_detail(quick: bool) {
     use armci_bench::fig8_10::measure_lock_samples;
     use armci_bench::profile::Summary;
     let iters = if quick { 60 } else { 400 };
-    let mut t = Table::new(
-        "release time percentiles, remote rank (us)",
-        &["procs", "algo", "p50", "p95", "mean"],
-    );
+    let mut t = Table::new("release time percentiles, remote rank (us)", &["procs", "algo", "p50", "p95", "mean"]);
     for n in [2usize, 8] {
         for (algo, name) in [(LockAlgo::Hybrid, "current"), (LockAlgo::Mcs, "new")] {
             let samples = measure_lock_samples(algo, n, iters, WALLCLOCK_LATENCY_NS);
             let rel: Vec<u64> = samples.iter().map(|&(_, r)| r).collect();
             let s = Summary::from_ns(&rel).unwrap();
-            t.row(vec![
-                n.to_string(),
-                name.to_string(),
-                us(s.p50 as f64),
-                us(s.p95 as f64),
-                us(s.mean),
-            ]);
+            t.row(vec![n.to_string(), name.to_string(), us(s.p50 as f64), us(s.p95 as f64), us(s.mean)]);
         }
     }
     t.print();
@@ -568,10 +536,8 @@ fn smp_and_skew() {
     };
     let net = armci_simnet::NetModel::myrinet_2000();
 
-    let mut t = Table::new(
-        "16 processes: flat (16x1) vs SMP (8x2) layout (us)",
-        &["layout", "current", "new", "factor"],
-    );
+    let mut t =
+        Table::new("16 processes: flat (16x1) vs SMP (8x2) layout (us)", &["layout", "current", "new", "factor"]);
     for (nodes, ppn, name) in [(16usize, 1usize, "16 nodes x 1"), (8, 2, "8 nodes x 2")] {
         let base = simulate_sync_baseline_smp(nodes, ppn, net).mean();
         let comb = simulate_combined_barrier_smp(nodes, ppn, net).mean();
@@ -580,10 +546,8 @@ fn smp_and_skew() {
     t.print();
 
     use armci_simnet::protocols::lock::{simulate_lock_smp, LockAlgo as SimAlgo};
-    let mut t = Table::new(
-        "8 contending processes: lock cycle by layout (us, model plane)",
-        &["layout", "current", "new"],
-    );
+    let mut t =
+        Table::new("8 contending processes: lock cycle by layout (us, model plane)", &["layout", "current", "new"]);
     for (nodes, ppn, name) in [(8usize, 1usize, "8 nodes x 1"), (4, 2, "4 nodes x 2"), (1, 8, "1 node x 8")] {
         let h = simulate_lock_smp(SimAlgo::Hybrid, nodes, ppn, 300, 0, net);
         let m = simulate_lock_smp(SimAlgo::Mcs, nodes, ppn, 300, 0, net);
@@ -597,12 +561,7 @@ fn smp_and_skew() {
     );
     for step_us in [0u64, 50, 200, 1000] {
         let r = simulate_combined_barrier_skewed(16, step_us * 1000, net);
-        t.row(vec![
-            step_us.to_string(),
-            us(r.per_proc[0] as f64),
-            us(r.per_proc[15] as f64),
-            us(r.mean()),
-        ]);
+        t.row(vec![step_us.to_string(), us(r.per_proc[0] as f64), us(r.per_proc[15] as f64), us(r.mean())]);
     }
     t.print();
     println!("(the paper's pre-timing MPI_Barrier exists exactly to zero this skew)");

@@ -63,14 +63,15 @@ fn main() {
 
     // Tag breakdown.
     let mut t = Table::new("messages by protocol class", &["class", "count"]);
-    let classes: [(&str, Box<dyn Fn(Tag) -> bool>); 4] = [
+    type TagPred = Box<dyn Fn(Tag) -> bool>;
+    let classes: [(&str, TagPred); 4] = [
         ("msglib collectives", Box::new(|t: Tag| t.0 < Tag::ARMCI_BASE)),
         ("armci requests", Box::new(|t: Tag| t.0 == Tag::ARMCI_BASE)),
         ("armci replies/acks", Box::new(|t: Tag| t.0 > Tag::ARMCI_BASE && t.0 < Tag::GA_BASE)),
         ("other", Box::new(|t: Tag| t.0 >= Tag::GA_BASE)),
     ];
     for (name, pred) in classes {
-        t.row(vec![name.to_string(), trace.count_tags(|tag| pred(tag)).to_string()]);
+        t.row(vec![name.to_string(), trace.count_tags(pred).to_string()]);
     }
     t.print();
 

@@ -58,12 +58,7 @@ mod tests {
         // barrier must win by a clear margin.
         let base = measure_ga_sync(8, SyncAlg::Baseline, 4, 100_000);
         let new = measure_ga_sync(8, SyncAlg::CombinedBarrier, 4, 100_000);
-        assert!(
-            new.mean_ns < base.mean_ns,
-            "combined {} ns should beat baseline {} ns",
-            new.mean_ns,
-            base.mean_ns
-        );
+        assert!(new.mean_ns < base.mean_ns, "combined {} ns should beat baseline {} ns", new.mean_ns, base.mean_ns);
     }
 
     #[test]

@@ -70,10 +70,7 @@ pub fn lock_sweep(ns: &[usize], iters: u64, net: NetModel) -> Vec<LockRow> {
                     simulate_lock_single_avg(LockAlgo::Mcs, iters, 0, net),
                 )
             } else {
-                (
-                    simulate_lock(LockAlgo::Hybrid, n, iters, 0, net),
-                    simulate_lock(LockAlgo::Mcs, n, iters, 0, net),
-                )
+                (simulate_lock(LockAlgo::Hybrid, n, iters, 0, net), simulate_lock(LockAlgo::Mcs, n, iters, 0, net))
             };
             LockRow { n, hybrid, mcs }
         })
@@ -137,9 +134,6 @@ mod tests {
         // crossover lands near k where 2k + log2(n) = 2 log2(n), i.e.
         // k = log2(n)/2 — the paper's threshold.
         let predicted = armci_core::model::allfence_crossover(n);
-        assert!(
-            (cross as f64 - predicted).abs() <= 1.0,
-            "crossover at k={cross}, paper predicts {predicted}"
-        );
+        assert!((cross as f64 - predicted).abs() <= 1.0, "crossover at k={cross}, paper predicts {predicted}");
     }
 }

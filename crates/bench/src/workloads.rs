@@ -23,12 +23,7 @@ pub fn scatter_remote_writes(armci: &mut Armci, ga: &GlobalArray, value: f64) {
         }
         let own = ga.owned_patch(target);
         // A small corner patch of the target's block (up to 4x4).
-        let p = Patch::new(
-            own.row_lo,
-            own.row_lo + own.rows().min(4),
-            own.col_lo,
-            own.col_lo + own.cols().min(4),
-        );
+        let p = Patch::new(own.row_lo, own.row_lo + own.rows().min(4), own.col_lo, own.col_lo + own.cols().min(4));
         ga.put(armci, p, &vec![value; p.len()]);
     }
 }

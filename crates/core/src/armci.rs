@@ -5,15 +5,17 @@
 
 use std::sync::Arc;
 
-use armci_msglib::{Reader, Writer};
+use armci_msglib::Reader;
 use armci_msglib::{allreduce_sum_u64, barrier_binary_exchange, P2p};
 use armci_transport::wait::spin_until_ge;
-use armci_transport::{Endpoint, Mailbox, MemoryRegistry, NodeId, ProcId, SegId, Segment, Tag, Topology};
+use armci_transport::{
+    Body, BodyPool, Endpoint, Mailbox, MemoryRegistry, NodeId, ProcId, SegId, Segment, Tag, Topology,
+};
 
 use crate::config::{AckMode, LockAlgo};
 use crate::gptr::GlobalAddr;
 use crate::layout;
-use crate::msg::{Req, RmwOp, TAG_FENCE_ACK, TAG_GET_REPLY, TAG_PUT_ACK, TAG_REQ, TAG_RMW_REPLY};
+use crate::msg::{enc, Req, RmwOp, TAG_FENCE_ACK, TAG_GET_REPLY, TAG_PUT_ACK, TAG_REQ, TAG_RMW_REPLY};
 use crate::server::apply_rmw;
 use crate::stats::Stats;
 use crate::strided::Strided2D;
@@ -66,6 +68,10 @@ pub struct Armci {
     /// Next free lock slot per owner (for [`Armci::create_lock`]).
     pub(crate) lock_alloc: Vec<u32>,
     pub(crate) stats: Stats,
+    /// Reusable request-encode buffers: every outgoing request is framed
+    /// into a pooled (or inline) [`Body`], so steady-state sends do not
+    /// allocate (see [`BodyPool`]).
+    pub(crate) encode_pool: BodyPool,
 }
 
 /// Handle to a (possibly already completed) non-blocking get. Produced by
@@ -161,15 +167,23 @@ impl Armci {
         self.registry.lookup(addr.proc, addr.seg)
     }
 
-    pub(crate) fn send_req(&mut self, node: NodeId, req: &Req) {
+    /// Frame a request into a pooled buffer (or inline body) and send it —
+    /// the choke point every outgoing request passes through, so all of
+    /// them get the zero-allocation encode path and are counted in
+    /// [`Stats::server_msgs`].
+    pub(crate) fn send_req_framed(&mut self, agent: Endpoint, frame: impl FnOnce(&mut Vec<u8>)) {
+        debug_assert!(agent.is_agent());
         self.stats.server_msgs += 1;
-        self.mb.send(Endpoint::Server(node), TAG_REQ, req.encode());
+        let body = self.encode_pool.with_buf(frame);
+        self.mb.send(agent, TAG_REQ, body);
+    }
+
+    pub(crate) fn send_req(&mut self, node: NodeId, req: &Req) {
+        self.send_req_to(Endpoint::Server(node), req);
     }
 
     pub(crate) fn send_req_to(&mut self, agent: Endpoint, req: &Req) {
-        debug_assert!(agent.is_agent());
-        self.stats.server_msgs += 1;
-        self.mb.send(agent, TAG_REQ, req.encode());
+        self.send_req_framed(agent, |buf| req.encode_into(buf));
     }
 
     /// Record bookkeeping for a counted put sent to `dst`'s node, via the
@@ -225,11 +239,7 @@ impl Armci {
     /// Panics when `owner`'s `locks_per_proc` slots are exhausted.
     pub fn create_lock(&mut self, owner: ProcId) -> LockId {
         let idx = self.lock_alloc[owner.idx()];
-        assert!(
-            idx < self.locks_per_proc,
-            "no free lock slots at {owner} (locks_per_proc = {})",
-            self.locks_per_proc
-        );
+        assert!(idx < self.locks_per_proc, "no free lock slots at {owner} (locks_per_proc = {})", self.locks_per_proc);
         self.lock_alloc[owner.idx()] += 1;
         armci_msglib::barrier(self);
         LockId { owner, idx }
@@ -249,9 +259,12 @@ impl Armci {
             self.seg_of(dst).write_bytes(dst.offset, data);
             self.stats.local_puts += 1;
         } else {
-            let req =
-                Req::Put { dst: dst.proc, seg: dst.seg, offset: dst.offset as u64, data: data.to_vec() };
-            self.send_req(self.server_of(dst.proc), &req);
+            let node = self.server_of(dst.proc);
+            // Frame the user's slice straight into a pooled buffer: no
+            // intermediate `data.to_vec()`, no per-request body allocation.
+            self.send_req_framed(Endpoint::Server(node), |buf| {
+                enc::put(buf, dst.proc, dst.seg, dst.offset as u64, data)
+            });
             self.note_counted_put(dst.proc);
         }
     }
@@ -320,8 +333,8 @@ impl Armci {
             }
             self.stats.local_puts += 1;
         } else {
-            let req = Req::PutStrided { dst, seg, desc, data: data.to_vec() };
-            self.send_req(self.server_of(dst), &req);
+            let node = self.server_of(dst);
+            self.send_req_framed(Endpoint::Server(node), |buf| enc::put_strided(buf, dst, seg, &desc, data));
             self.note_counted_put(dst);
         }
     }
@@ -343,8 +356,8 @@ impl Armci {
             }
             self.stats.local_puts += 1;
         } else {
-            let req = Req::PutVector { dst, seg, runs: runs.to_vec(), data: data.to_vec() };
-            self.send_req(self.server_of(dst), &req);
+            let node = self.server_of(dst);
+            self.send_req_framed(Endpoint::Server(node), |buf| enc::put_vector(buf, dst, seg, runs, data));
             self.note_counted_put(dst);
         }
     }
@@ -367,7 +380,7 @@ impl Armci {
             let node = self.server_of(src);
             self.send_req(node, &Req::GetVector { dst: src, seg, runs: runs.to_vec() });
             self.stats.remote_gets += 1;
-            self.mb.recv_tag_from(Endpoint::Server(node), TAG_GET_REPLY).expect("transport down").body
+            self.mb.recv_tag_from(Endpoint::Server(node), TAG_GET_REPLY).expect("transport down").body.into_vec()
         }
     }
 
@@ -402,7 +415,7 @@ impl Armci {
             self.send_req(node, &Req::GetStrided { dst: src, seg, desc });
             self.stats.remote_gets += 1;
             let m = self.mb.recv_tag_from(Endpoint::Server(node), TAG_GET_REPLY).expect("transport down");
-            m.body
+            m.body.into_vec()
         }
     }
 
@@ -417,9 +430,10 @@ impl Armci {
             }
             self.stats.local_puts += 1;
         } else {
-            let req =
-                Req::AccF64 { dst: dst.proc, seg: dst.seg, offset: dst.offset as u64, scale, vals: vals.to_vec() };
-            self.send_req(self.server_of(dst.proc), &req);
+            let node = self.server_of(dst.proc);
+            self.send_req_framed(Endpoint::Server(node), |buf| {
+                enc::acc_f64(buf, dst.proc, dst.seg, dst.offset as u64, scale, vals)
+            });
             self.note_counted_put(dst.proc);
         }
     }
@@ -540,7 +554,7 @@ impl Armci {
                 let m = self.mb.recv_tag_from(Endpoint::Server(node), TAG_GET_REPLY).expect("transport down");
                 self.nbget_completed[node.idx()] += 1;
                 debug_assert_eq!(m.body.len(), len);
-                m.body
+                m.body.into_vec()
             }
         }
     }
@@ -821,6 +835,7 @@ impl P2p for Armci {
             .recv_match(|m| m.src == want_src && m.tag == want_tag)
             .expect("transport down during collective")
             .body
+            .into_vec()
     }
 
     fn next_epoch(&mut self) -> u32 {
@@ -830,7 +845,11 @@ impl P2p for Armci {
     }
 }
 
-/// Encode an RMW reply body (used by the server).
-pub(crate) fn encode_rmw_reply(vals: [u64; 2]) -> Vec<u8> {
-    Writer::new().u64(vals[0]).u64(vals[1]).finish()
+/// Encode an RMW reply body (used by the server). Sixteen bytes, so the
+/// returned [`Body`] is inline — no heap traffic.
+pub(crate) fn encode_rmw_reply(vals: [u64; 2]) -> Body {
+    let mut b = [0u8; 16];
+    b[..8].copy_from_slice(&vals[0].to_le_bytes());
+    b[8..].copy_from_slice(&vals[1].to_le_bytes());
+    Body::from(b)
 }

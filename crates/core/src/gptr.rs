@@ -80,6 +80,7 @@ impl GlobalAddr {
 
     /// The same address shifted by `delta` bytes.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // pointer-arithmetic naming, like `<*const T>::add`
     pub fn add(self, delta: usize) -> Self {
         GlobalAddr { offset: self.offset + delta, ..self }
     }

@@ -68,7 +68,9 @@ mod tests {
     #[test]
     fn slots_do_not_overlap_header() {
         assert!(hybrid_ticket(0) >= 64);
-        assert!(MCS_PAIR_LOCKED + 8 <= LOCK_SLOTS);
+        const {
+            assert!(MCS_PAIR_LOCKED + 8 <= LOCK_SLOTS);
+        }
     }
 
     #[test]

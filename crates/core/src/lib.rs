@@ -8,9 +8,9 @@
 //! one-sided communication library, extended with the paper's two
 //! contributions —
 //!
-//! 1. **`ARMCI_Barrier()`** ([`Armci::barrier`]): a combined global fence
-//!    + barrier costing `2·log2(N)` one-way latencies instead of the
-//!    `2(N-1) + log2(N)` of `ARMCI_AllFence()` + `MPI_Barrier()`
+//! 1. **`ARMCI_Barrier()`** ([`Armci::barrier`]): a combined global
+//!    fence-plus-barrier costing `2·log2(N)` one-way latencies instead of
+//!    the `2(N-1) + log2(N)` of `ARMCI_AllFence()` then `MPI_Barrier()`
 //!    ([`Armci::sync_baseline`]);
 //! 2. **MCS software queuing locks** ([`Armci::lock_mcs`]) replacing the
 //!    hybrid ticket/server lock ([`Armci::lock_hybrid`]), cutting lock
@@ -54,7 +54,7 @@ pub mod strided;
 pub use armci::{Armci, LockId};
 pub use config::{AckMode, ArmciCfg, LockAlgo};
 pub use gptr::{GlobalAddr, PackedPtr};
-pub use msg::RmwOp;
+pub use msg::{Req, ReqView, RmwOp};
 pub use runtime::run_cluster;
 pub use stats::Stats;
 pub use strided::Strided2D;

@@ -37,7 +37,12 @@ use crate::server::decode_grant;
 impl Armci {
     fn check_lock_id(&self, id: LockId) {
         assert!(id.owner.idx() < self.nprocs(), "lock owner {} out of range", id.owner);
-        assert!(id.idx < self.locks_per_proc(), "lock index {} exceeds locks_per_proc {}", id.idx, self.locks_per_proc());
+        assert!(
+            id.idx < self.locks_per_proc(),
+            "lock index {} exceeds locks_per_proc {}",
+            id.idx,
+            self.locks_per_proc()
+        );
     }
 
     /// Acquire `id` with the configured default algorithm.
@@ -121,9 +126,7 @@ impl Armci {
         self.send_req_to(agent, &Req::LockReq { owner: id.owner, idx: id.idx });
         let m = self
             .mb
-            .recv_match(|m| {
-                m.tag == TAG_LOCK_GRANT && m.src == agent && decode_grant(&m.body) == (id.owner, id.idx)
-            })
+            .recv_match(|m| m.tag == TAG_LOCK_GRANT && m.src == agent && decode_grant(&m.body) == (id.owner, id.idx))
             .expect("transport down awaiting lock grant");
         debug_assert_eq!(decode_grant(&m.body), (id.owner, id.idx));
     }
@@ -218,8 +221,8 @@ impl Armci {
             // mynode->locked = TRUE, *then* prev->next = mynode.
             self.my_sync.write_u64(layout::MCS_LOCKED, 1);
             self.put_u64(prev_addr, me_ptr.0); // prev->next points at our node
-            // Poll our own locked flag; the releaser clears it directly —
-            // zero messages received, one (or zero) sent by the releaser.
+                                               // Poll our own locked flag; the releaser clears it directly —
+                                               // zero messages received, one (or zero) sent by the releaser.
             spin_until_eq(self.my_sync.atomic_u64(layout::MCS_LOCKED), 0);
         }
         self.mcs_held = Some(id);

@@ -7,7 +7,7 @@
 //! a blocked caller can match exactly the reply it is waiting for while
 //! unrelated traffic (e.g. VIA-mode put acks) is deferred.
 
-use armci_msglib::{Reader, Writer};
+use armci_msglib::{BufWriter, Reader};
 use armci_transport::{ProcId, SegId, Tag};
 
 use crate::strided::Strided2D;
@@ -215,7 +215,10 @@ mod opcode {
     pub const GET_VECTOR: u8 = 14;
 }
 
-fn enc_runs(mut w: Writer, runs: &[(u64, u32)]) -> Writer {
+/// Bytes of one encoded `(offset, len)` run record.
+const RUN_RECORD_BYTES: usize = 12;
+
+fn enc_runs<'a>(mut w: BufWriter<'a>, runs: &[(u64, u32)]) -> BufWriter<'a> {
     w = w.u32(runs.len() as u32);
     for &(off, len) in runs {
         w = w.u64(off).u32(len);
@@ -228,6 +231,13 @@ fn dec_runs(r: &mut Reader<'_>) -> Vec<(u64, u32)> {
     (0..n).map(|_| (r.u64(), r.u32())).collect()
 }
 
+/// Borrow the runs region without materializing a `Vec` (the records are
+/// fixed-stride, so a view over the raw bytes suffices).
+fn dec_runs_view<'a>(r: &mut Reader<'a>) -> RunsView<'a> {
+    let n = r.u32() as usize;
+    RunsView { raw: r.raw(n * RUN_RECORD_BYTES) }
+}
+
 mod rmw_code {
     pub const FETCH_ADD_U64: u8 = 1;
     pub const FETCH_ADD_I64: u8 = 2;
@@ -237,7 +247,7 @@ mod rmw_code {
     pub const PAIR_CAS: u8 = 6;
 }
 
-fn enc_desc(w: Writer, d: &Strided2D) -> Writer {
+fn enc_desc<'a>(w: BufWriter<'a>, d: &Strided2D) -> BufWriter<'a> {
     w.u64(d.offset as u64).u64(d.rows as u64).u64(d.row_bytes as u64).u64(d.stride as u64)
 }
 
@@ -247,6 +257,35 @@ fn dec_desc(r: &mut Reader<'_>) -> Strided2D {
         rows: r.u64() as usize,
         row_bytes: r.u64() as usize,
         stride: r.u64() as usize,
+    }
+}
+
+/// Borrowed-payload encoders for the bulk-data requests: the hot put
+/// paths in [`crate::Armci`] call these with the *user's* slice, writing
+/// the frame straight into a pooled buffer — no intermediate
+/// `data.to_vec()`. [`Req::encode_into`] delegates here, so each format
+/// is still defined exactly once.
+pub(crate) mod enc {
+    use super::*;
+
+    pub(crate) fn put(out: &mut Vec<u8>, dst: ProcId, seg: SegId, offset: u64, data: &[u8]) {
+        out.reserve(data.len() + 25);
+        BufWriter::new(out).u8(opcode::PUT).u32(dst.0).u32(seg.0).u64(offset).bytes(data);
+    }
+
+    pub(crate) fn put_strided(out: &mut Vec<u8>, dst: ProcId, seg: SegId, desc: &Strided2D, data: &[u8]) {
+        out.reserve(data.len() + 45);
+        enc_desc(BufWriter::new(out).u8(opcode::PUT_STRIDED).u32(dst.0).u32(seg.0), desc).bytes(data);
+    }
+
+    pub(crate) fn put_vector(out: &mut Vec<u8>, dst: ProcId, seg: SegId, runs: &[(u64, u32)], data: &[u8]) {
+        out.reserve(data.len() + runs.len() * RUN_RECORD_BYTES + 17);
+        enc_runs(BufWriter::new(out).u8(opcode::PUT_VECTOR).u32(dst.0).u32(seg.0), runs).bytes(data);
+    }
+
+    pub(crate) fn acc_f64(out: &mut Vec<u8>, dst: ProcId, seg: SegId, offset: u64, scale: f64, vals: &[f64]) {
+        out.reserve(vals.len() * 8 + 29);
+        BufWriter::new(out).u8(opcode::ACC_F64).u32(dst.0).u32(seg.0).u64(offset).f64(scale).f64_slice(vals);
     }
 }
 
@@ -266,54 +305,29 @@ impl Req {
         )
     }
 
-    /// Encode to a message body.
-    pub fn encode(&self) -> Vec<u8> {
+    /// Encode onto the end of `out`. Callers pass a pooled buffer to
+    /// encode with zero heap traffic ([`Req::encode`] wraps this for the
+    /// owned-`Vec` case); bulk-data variants delegate to the
+    /// borrowed-payload encoders in [`enc`].
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
         match self {
-            Req::Put { dst, seg, offset, data } => Writer::with_capacity(data.len() + 32)
-                .u8(opcode::PUT)
-                .u32(dst.0)
-                .u32(seg.0)
-                .u64(*offset)
-                .bytes(data)
-                .finish(),
-            Req::PutStrided { dst, seg, desc, data } => enc_desc(
-                Writer::with_capacity(data.len() + 64).u8(opcode::PUT_STRIDED).u32(dst.0).u32(seg.0),
-                desc,
-            )
-            .bytes(data)
-            .finish(),
+            Req::Put { dst, seg, offset, data } => enc::put(out, *dst, *seg, *offset, data),
+            Req::PutStrided { dst, seg, desc, data } => enc::put_strided(out, *dst, *seg, desc, data),
             Req::PutU64 { dst, seg, offset, val } => {
-                Writer::new().u8(opcode::PUT_U64).u32(dst.0).u32(seg.0).u64(*offset).u64(*val).finish()
+                BufWriter::new(out).u8(opcode::PUT_U64).u32(dst.0).u32(seg.0).u64(*offset).u64(*val);
             }
-            Req::PutPair { dst, seg, offset, val } => Writer::new()
-                .u8(opcode::PUT_PAIR)
-                .u32(dst.0)
-                .u32(seg.0)
-                .u64(*offset)
-                .u64(val[0])
-                .u64(val[1])
-                .finish(),
-            Req::AccF64 { dst, seg, offset, scale, vals } => {
-                let mut w = Writer::with_capacity(vals.len() * 8 + 32)
-                    .u8(opcode::ACC_F64)
-                    .u32(dst.0)
-                    .u32(seg.0)
-                    .u64(*offset)
-                    .f64(*scale)
-                    .u32(vals.len() as u32);
-                for &v in vals {
-                    w = w.f64(v);
-                }
-                w.finish()
+            Req::PutPair { dst, seg, offset, val } => {
+                BufWriter::new(out).u8(opcode::PUT_PAIR).u32(dst.0).u32(seg.0).u64(*offset).u64(val[0]).u64(val[1]);
             }
+            Req::AccF64 { dst, seg, offset, scale, vals } => enc::acc_f64(out, *dst, *seg, *offset, *scale, vals),
             Req::Get { dst, seg, offset, len } => {
-                Writer::new().u8(opcode::GET).u32(dst.0).u32(seg.0).u64(*offset).u32(*len).finish()
+                BufWriter::new(out).u8(opcode::GET).u32(dst.0).u32(seg.0).u64(*offset).u32(*len);
             }
             Req::GetStrided { dst, seg, desc } => {
-                enc_desc(Writer::new().u8(opcode::GET_STRIDED).u32(dst.0).u32(seg.0), desc).finish()
+                enc_desc(BufWriter::new(out).u8(opcode::GET_STRIDED).u32(dst.0).u32(seg.0), desc);
             }
             Req::Rmw { dst, seg, offset, op } => {
-                let w = Writer::new().u8(opcode::RMW).u32(dst.0).u32(seg.0).u64(*offset);
+                let w = BufWriter::new(out).u8(opcode::RMW).u32(dst.0).u32(seg.0).u64(*offset);
                 match *op {
                     RmwOp::FetchAddU64(v) => w.u8(rmw_code::FETCH_ADD_U64).u64(v),
                     RmwOp::FetchAddI64(v) => w.u8(rmw_code::FETCH_ADD_I64).i64(v),
@@ -323,26 +337,33 @@ impl Req {
                     RmwOp::PairCas { expect, new } => {
                         w.u8(rmw_code::PAIR_CAS).u64(expect[0]).u64(expect[1]).u64(new[0]).u64(new[1])
                     }
-                }
-                .finish()
+                };
             }
-            Req::PutVector { dst, seg, runs, data } => enc_runs(
-                Writer::with_capacity(data.len() + runs.len() * 12 + 16)
-                    .u8(opcode::PUT_VECTOR)
-                    .u32(dst.0)
-                    .u32(seg.0),
-                runs,
-            )
-            .bytes(data)
-            .finish(),
+            Req::PutVector { dst, seg, runs, data } => enc::put_vector(out, *dst, *seg, runs, data),
             Req::GetVector { dst, seg, runs } => {
-                enc_runs(Writer::new().u8(opcode::GET_VECTOR).u32(dst.0).u32(seg.0), runs).finish()
+                out.reserve(runs.len() * RUN_RECORD_BYTES + 13);
+                enc_runs(BufWriter::new(out).u8(opcode::GET_VECTOR).u32(dst.0).u32(seg.0), runs);
             }
-            Req::FenceReq => Writer::new().u8(opcode::FENCE).finish(),
-            Req::LockReq { owner, idx } => Writer::new().u8(opcode::LOCK).u32(owner.0).u32(*idx).finish(),
-            Req::UnlockReq { owner, idx } => Writer::new().u8(opcode::UNLOCK).u32(owner.0).u32(*idx).finish(),
-            Req::Shutdown => Writer::new().u8(opcode::SHUTDOWN).finish(),
+            Req::FenceReq => {
+                BufWriter::new(out).u8(opcode::FENCE);
+            }
+            Req::LockReq { owner, idx } => {
+                BufWriter::new(out).u8(opcode::LOCK).u32(owner.0).u32(*idx);
+            }
+            Req::UnlockReq { owner, idx } => {
+                BufWriter::new(out).u8(opcode::UNLOCK).u32(owner.0).u32(*idx);
+            }
+            Req::Shutdown => {
+                BufWriter::new(out).u8(opcode::SHUTDOWN);
+            }
         }
+    }
+
+    /// Encode to a freshly allocated message body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
     }
 
     /// Decode a message body.
@@ -408,12 +429,312 @@ impl Req {
     }
 }
 
+/// A borrowed view over the encoded `(offset, len)` run records of a
+/// vector request — fixed-stride records read in place, never collected.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct RunsView<'a> {
+    raw: &'a [u8],
+}
+
+impl<'a> RunsView<'a> {
+    /// Number of runs.
+    pub fn len(&self) -> usize {
+        self.raw.len() / RUN_RECORD_BYTES
+    }
+
+    /// Whether there are no runs.
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// Iterate the `(offset, len)` records.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u32)> + 'a {
+        self.raw.chunks_exact(RUN_RECORD_BYTES).map(|rec| {
+            (u64::from_le_bytes(rec[..8].try_into().unwrap()), u32::from_le_bytes(rec[8..].try_into().unwrap()))
+        })
+    }
+
+    /// Materialize an owned run list.
+    pub fn to_vec(&self) -> Vec<(u64, u32)> {
+        self.iter().collect()
+    }
+}
+
+/// A borrowed view over an encoded `f64` array (IEEE-754 bits in place).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct F64sView<'a> {
+    raw: &'a [u8],
+}
+
+impl<'a> F64sView<'a> {
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.raw.len() / 8
+    }
+
+    /// Whether there are no values.
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// Iterate the values.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + 'a {
+        self.raw.chunks_exact(8).map(|b| f64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Materialize an owned value list.
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.iter().collect()
+    }
+}
+
+/// A request decoded *in place*: payload fields borrow the message body
+/// instead of being copied out, so a server can apply a put or accumulate
+/// directly from the wire buffer into the target segment.
+///
+/// Mirrors [`Req`] variant-for-variant; [`ReqView::decode`] is written
+/// independently of [`Req::decode`] so property tests can cross-check the
+/// two against each other.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum ReqView<'a> {
+    /// See [`Req::Put`]; `data` borrows the body.
+    Put {
+        /// Destination process.
+        dst: ProcId,
+        /// Destination segment.
+        seg: SegId,
+        /// Destination byte offset.
+        offset: u64,
+        /// Payload, borrowed from the message body.
+        data: &'a [u8],
+    },
+    /// See [`Req::PutStrided`]; `data` borrows the body.
+    PutStrided {
+        /// Destination process.
+        dst: ProcId,
+        /// Destination segment.
+        seg: SegId,
+        /// Remote shape.
+        desc: Strided2D,
+        /// Packed payload, borrowed from the message body.
+        data: &'a [u8],
+    },
+    /// See [`Req::PutU64`].
+    PutU64 {
+        /// Destination process.
+        dst: ProcId,
+        /// Destination segment.
+        seg: SegId,
+        /// Destination byte offset (8-aligned).
+        offset: u64,
+        /// Value to store.
+        val: u64,
+    },
+    /// See [`Req::PutPair`].
+    PutPair {
+        /// Destination process.
+        dst: ProcId,
+        /// Destination segment.
+        seg: SegId,
+        /// Destination byte offset (16-aligned).
+        offset: u64,
+        /// Pair to store.
+        val: [u64; 2],
+    },
+    /// See [`Req::AccF64`]; `vals` reads the body in place.
+    AccF64 {
+        /// Destination process.
+        dst: ProcId,
+        /// Destination segment.
+        seg: SegId,
+        /// Destination byte offset (8-aligned).
+        offset: u64,
+        /// Scale factor applied to each value.
+        scale: f64,
+        /// Values to accumulate, read in place from the body.
+        vals: F64sView<'a>,
+    },
+    /// See [`Req::Get`].
+    Get {
+        /// Source process.
+        dst: ProcId,
+        /// Source segment.
+        seg: SegId,
+        /// Source byte offset.
+        offset: u64,
+        /// Bytes to read.
+        len: u32,
+    },
+    /// See [`Req::GetStrided`].
+    GetStrided {
+        /// Source process.
+        dst: ProcId,
+        /// Source segment.
+        seg: SegId,
+        /// Remote shape.
+        desc: Strided2D,
+    },
+    /// See [`Req::Rmw`].
+    Rmw {
+        /// Target process.
+        dst: ProcId,
+        /// Target segment.
+        seg: SegId,
+        /// Target byte offset.
+        offset: u64,
+        /// The operation.
+        op: RmwOp,
+    },
+    /// See [`Req::PutVector`]; `runs` and `data` borrow the body.
+    PutVector {
+        /// Destination process.
+        dst: ProcId,
+        /// Destination segment.
+        seg: SegId,
+        /// Destination runs, read in place from the body.
+        runs: RunsView<'a>,
+        /// Concatenated payload, borrowed from the body.
+        data: &'a [u8],
+    },
+    /// See [`Req::GetVector`]; `runs` borrows the body.
+    GetVector {
+        /// Source process.
+        dst: ProcId,
+        /// Source segment.
+        seg: SegId,
+        /// Source runs, read in place from the body.
+        runs: RunsView<'a>,
+    },
+    /// See [`Req::FenceReq`].
+    FenceReq,
+    /// See [`Req::LockReq`].
+    LockReq {
+        /// Process owning the lock variable.
+        owner: ProcId,
+        /// Lock slot index.
+        idx: u32,
+    },
+    /// See [`Req::UnlockReq`].
+    UnlockReq {
+        /// Process owning the lock variable.
+        owner: ProcId,
+        /// Lock slot index.
+        idx: u32,
+    },
+    /// See [`Req::Shutdown`].
+    Shutdown,
+}
+
+impl<'a> ReqView<'a> {
+    /// Decode a message body without copying payloads (zero-copy
+    /// counterpart of [`Req::decode`]).
+    ///
+    /// # Panics
+    /// Panics on malformed input — requests are produced by this library
+    /// only, so corruption is a bug.
+    pub fn decode(body: &'a [u8]) -> ReqView<'a> {
+        let mut r = Reader::new(body);
+        match r.u8() {
+            opcode::PUT => {
+                let (dst, seg, offset) = (ProcId(r.u32()), SegId(r.u32()), r.u64());
+                ReqView::Put { dst, seg, offset, data: r.bytes() }
+            }
+            opcode::PUT_STRIDED => {
+                let (dst, seg) = (ProcId(r.u32()), SegId(r.u32()));
+                let desc = dec_desc(&mut r);
+                ReqView::PutStrided { dst, seg, desc, data: r.bytes() }
+            }
+            opcode::PUT_U64 => {
+                ReqView::PutU64 { dst: ProcId(r.u32()), seg: SegId(r.u32()), offset: r.u64(), val: r.u64() }
+            }
+            opcode::PUT_PAIR => {
+                ReqView::PutPair { dst: ProcId(r.u32()), seg: SegId(r.u32()), offset: r.u64(), val: [r.u64(), r.u64()] }
+            }
+            opcode::ACC_F64 => {
+                let (dst, seg, offset, scale) = (ProcId(r.u32()), SegId(r.u32()), r.u64(), r.f64());
+                let n = r.u32() as usize;
+                ReqView::AccF64 { dst, seg, offset, scale, vals: F64sView { raw: r.raw(n * 8) } }
+            }
+            opcode::GET => ReqView::Get { dst: ProcId(r.u32()), seg: SegId(r.u32()), offset: r.u64(), len: r.u32() },
+            opcode::GET_STRIDED => {
+                let (dst, seg) = (ProcId(r.u32()), SegId(r.u32()));
+                ReqView::GetStrided { dst, seg, desc: dec_desc(&mut r) }
+            }
+            opcode::RMW => {
+                let (dst, seg, offset) = (ProcId(r.u32()), SegId(r.u32()), r.u64());
+                let op = match r.u8() {
+                    rmw_code::FETCH_ADD_U64 => RmwOp::FetchAddU64(r.u64()),
+                    rmw_code::FETCH_ADD_I64 => RmwOp::FetchAddI64(r.i64()),
+                    rmw_code::SWAP_U64 => RmwOp::SwapU64(r.u64()),
+                    rmw_code::CAS_U64 => RmwOp::CasU64 { expect: r.u64(), new: r.u64() },
+                    rmw_code::PAIR_SWAP => RmwOp::PairSwap([r.u64(), r.u64()]),
+                    rmw_code::PAIR_CAS => RmwOp::PairCas { expect: [r.u64(), r.u64()], new: [r.u64(), r.u64()] },
+                    c => panic!("unknown rmw code {c}"),
+                };
+                ReqView::Rmw { dst, seg, offset, op }
+            }
+            opcode::PUT_VECTOR => {
+                let (dst, seg) = (ProcId(r.u32()), SegId(r.u32()));
+                let runs = dec_runs_view(&mut r);
+                ReqView::PutVector { dst, seg, runs, data: r.bytes() }
+            }
+            opcode::GET_VECTOR => {
+                let (dst, seg) = (ProcId(r.u32()), SegId(r.u32()));
+                ReqView::GetVector { dst, seg, runs: dec_runs_view(&mut r) }
+            }
+            opcode::FENCE => ReqView::FenceReq,
+            opcode::LOCK => ReqView::LockReq { owner: ProcId(r.u32()), idx: r.u32() },
+            opcode::UNLOCK => ReqView::UnlockReq { owner: ProcId(r.u32()), idx: r.u32() },
+            opcode::SHUTDOWN => ReqView::Shutdown,
+            c => panic!("unknown opcode {c}"),
+        }
+    }
+
+    /// Same classification as [`Req::is_counted_put`].
+    pub fn is_counted_put(&self) -> bool {
+        matches!(
+            self,
+            ReqView::Put { .. }
+                | ReqView::PutStrided { .. }
+                | ReqView::PutU64 { .. }
+                | ReqView::PutPair { .. }
+                | ReqView::PutVector { .. }
+                | ReqView::AccF64 { .. }
+        )
+    }
+
+    /// Materialize an owned [`Req`] (copies borrowed payloads).
+    pub fn to_owned(&self) -> Req {
+        match *self {
+            ReqView::Put { dst, seg, offset, data } => Req::Put { dst, seg, offset, data: data.to_vec() },
+            ReqView::PutStrided { dst, seg, desc, data } => Req::PutStrided { dst, seg, desc, data: data.to_vec() },
+            ReqView::PutU64 { dst, seg, offset, val } => Req::PutU64 { dst, seg, offset, val },
+            ReqView::PutPair { dst, seg, offset, val } => Req::PutPair { dst, seg, offset, val },
+            ReqView::AccF64 { dst, seg, offset, scale, vals } => {
+                Req::AccF64 { dst, seg, offset, scale, vals: vals.to_vec() }
+            }
+            ReqView::Get { dst, seg, offset, len } => Req::Get { dst, seg, offset, len },
+            ReqView::GetStrided { dst, seg, desc } => Req::GetStrided { dst, seg, desc },
+            ReqView::Rmw { dst, seg, offset, op } => Req::Rmw { dst, seg, offset, op },
+            ReqView::PutVector { dst, seg, runs, data } => {
+                Req::PutVector { dst, seg, runs: runs.to_vec(), data: data.to_vec() }
+            }
+            ReqView::GetVector { dst, seg, runs } => Req::GetVector { dst, seg, runs: runs.to_vec() },
+            ReqView::FenceReq => Req::FenceReq,
+            ReqView::LockReq { owner, idx } => Req::LockReq { owner, idx },
+            ReqView::UnlockReq { owner, idx } => Req::UnlockReq { owner, idx },
+            ReqView::Shutdown => Req::Shutdown,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn roundtrip(r: Req) {
         assert_eq!(Req::decode(&r.encode()), r);
+        assert_eq!(ReqView::decode(&r.encode()).to_owned(), r);
     }
 
     #[test]
@@ -434,12 +755,7 @@ mod tests {
             seg: SegId(0),
             desc: Strided2D { offset: 0, rows: 2, row_bytes: 8, stride: 8 },
         });
-        roundtrip(Req::PutVector {
-            dst: ProcId(2),
-            seg: SegId(1),
-            runs: vec![(0, 4), (100, 8)],
-            data: vec![1; 12],
-        });
+        roundtrip(Req::PutVector { dst: ProcId(2), seg: SegId(1), runs: vec![(0, 4), (100, 8)], data: vec![1; 12] });
         roundtrip(Req::GetVector { dst: ProcId(2), seg: SegId(1), runs: vec![(8, 16)] });
         roundtrip(Req::FenceReq);
         roundtrip(Req::LockReq { owner: ProcId(5), idx: 2 });

@@ -8,7 +8,7 @@ use armci_transport::{Cluster, NodeId, SegId};
 use crate::armci::Armci;
 use crate::config::ArmciCfg;
 use crate::layout;
-use crate::msg::{Req, TAG_REQ};
+use crate::msg::Req;
 use crate::server::server_loop;
 
 /// Run `f` as an SPMD program on an emulated cluster described by `cfg`:
@@ -142,23 +142,19 @@ where
                         nbget_completed: vec![0; nnodes],
                         lock_alloc: vec![0; nprocs],
                         stats: Default::default(),
+                        encode_pool: armci_transport::BodyPool::new(8),
                     };
                     let out = f(&mut armci);
                     // Teardown: global quiesce, then rank 0 stops servers.
+                    // Shutdowns go through the same counted send path as
+                    // every other request, so `Stats::server_msgs` and the
+                    // transport trace agree message-for-message.
                     armci.barrier();
                     if armci.rank() == 0 {
                         for n in 0..nnodes {
-                            armci.mb.send(
-                                armci_transport::Endpoint::Server(NodeId(n as u32)),
-                                TAG_REQ,
-                                Req::Shutdown.encode(),
-                            );
+                            armci.send_req_to(armci_transport::Endpoint::Server(NodeId(n as u32)), &Req::Shutdown);
                             if cfg.nic_assist {
-                                armci.mb.send(
-                                    armci_transport::Endpoint::Nic(NodeId(n as u32)),
-                                    TAG_REQ,
-                                    Req::Shutdown.encode(),
-                                );
+                                armci.send_req_to(armci_transport::Endpoint::Nic(NodeId(n as u32)), &Req::Shutdown);
                             }
                         }
                     }

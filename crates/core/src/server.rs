@@ -15,13 +15,13 @@ use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use armci_msglib::{Reader, Writer};
-use armci_transport::{Endpoint, Mailbox, MemoryRegistry, ProcId, SegId, Segment};
+use armci_msglib::Reader;
+use armci_transport::{Body, BodyPool, Endpoint, Mailbox, MemoryRegistry, ProcId, SegId, Segment};
 
 use crate::armci::encode_rmw_reply;
 use crate::config::AckMode;
 use crate::layout;
-use crate::msg::{Req, RmwOp, TAG_FENCE_ACK, TAG_GET_REPLY, TAG_LOCK_GRANT, TAG_PUT_ACK, TAG_RMW_REPLY};
+use crate::msg::{ReqView, RmwOp, TAG_FENCE_ACK, TAG_GET_REPLY, TAG_LOCK_GRANT, TAG_PUT_ACK, TAG_RMW_REPLY};
 
 /// Apply a read-modify-write to a segment; returns the two result words
 /// (second zero for single-word ops). Shared by the server (remote RMWs)
@@ -53,14 +53,19 @@ pub(crate) fn server_loop(mut mb: Mailbox, registry: Arc<MemoryRegistry>, ack_mo
         Endpoint::Proc(_) => unreachable!("server loop started on a process endpoint"),
     };
     let mut lock_waiters: HashMap<(u32, u32), Waiters> = HashMap::new();
+    // Scratch buffers for Get replies: reused across requests instead of a
+    // fresh `vec![0u8; len]` per reply (reclaimed once the requester has
+    // consumed the message).
+    let mut reply_pool = BodyPool::new(4);
 
-    loop {
-        let m = match mb.recv() {
-            Ok(m) => m,
-            Err(_) => break, // fabric torn down
-        };
+    // Serve until a Shutdown request arrives or the fabric is torn down
+    // (every sender dropped).
+    while let Ok(m) = mb.recv() {
         let src = m.src;
-        let req = Req::decode(&m.body);
+        // Borrowed decode: put/accumulate payloads are applied straight
+        // from the message body into the target segment — no intermediate
+        // copy (the tentpole zero-copy path).
+        let req = ReqView::decode(&m.body);
         debug_assert!(
             !req.is_counted_put() || !matches!(src, Endpoint::Proc(p) if registry_is_local(&mb, p)),
             "node-local processes must use shared memory, not the server"
@@ -69,20 +74,20 @@ pub(crate) fn server_loop(mut mb: Mailbox, registry: Arc<MemoryRegistry>, ack_mo
         // Completion accounting: bump the destination's op_done after the
         // deposit is applied, and acknowledge in VIA mode.
         let counted_dst = match &req {
-            Req::Put { dst, .. }
-            | Req::PutStrided { dst, .. }
-            | Req::PutU64 { dst, .. }
-            | Req::PutPair { dst, .. }
-            | Req::PutVector { dst, .. }
-            | Req::AccF64 { dst, .. } => Some(*dst),
+            ReqView::Put { dst, .. }
+            | ReqView::PutStrided { dst, .. }
+            | ReqView::PutU64 { dst, .. }
+            | ReqView::PutPair { dst, .. }
+            | ReqView::PutVector { dst, .. }
+            | ReqView::AccF64 { dst, .. } => Some(*dst),
             _ => None,
         };
 
         match req {
-            Req::Put { dst, seg, offset, data } => {
-                registry.lookup(dst, seg).write_bytes(offset as usize, &data);
+            ReqView::Put { dst, seg, offset, data } => {
+                registry.lookup(dst, seg).write_bytes(offset as usize, data);
             }
-            Req::PutStrided { dst, seg, desc, data } => {
+            ReqView::PutStrided { dst, seg, desc, data } => {
                 let s = registry.lookup(dst, seg);
                 desc.validate(s.len());
                 debug_assert_eq!(data.len(), desc.total_bytes());
@@ -90,64 +95,70 @@ pub(crate) fn server_loop(mut mb: Mailbox, registry: Arc<MemoryRegistry>, ack_mo
                     s.write_bytes(off, &data[row * desc.row_bytes..(row + 1) * desc.row_bytes]);
                 }
             }
-            Req::PutU64 { dst, seg, offset, val } => {
+            ReqView::PutU64 { dst, seg, offset, val } => {
                 registry.lookup(dst, seg).write_u64(offset as usize, val);
             }
-            Req::PutPair { dst, seg, offset, val } => {
+            ReqView::PutPair { dst, seg, offset, val } => {
                 registry.lookup(dst, seg).pair_swap(offset as usize, val);
             }
-            Req::AccF64 { dst, seg, offset, scale, vals } => {
+            ReqView::AccF64 { dst, seg, offset, scale, vals } => {
                 let s = registry.lookup(dst, seg);
-                for (i, &v) in vals.iter().enumerate() {
+                for (i, v) in vals.iter().enumerate() {
                     s.fetch_add_f64(offset as usize + 8 * i, scale * v);
                 }
             }
-            Req::PutVector { dst, seg, runs, data } => {
+            ReqView::PutVector { dst, seg, runs, data } => {
                 let s = registry.lookup(dst, seg);
                 let mut pos = 0usize;
-                for (off, len) in runs {
+                for (off, len) in runs.iter() {
                     s.write_bytes(off as usize, &data[pos..pos + len as usize]);
                     pos += len as usize;
                 }
                 debug_assert_eq!(pos, data.len());
             }
-            Req::GetVector { dst, seg, runs } => {
+            ReqView::GetVector { dst, seg, runs } => {
                 let s = registry.lookup(dst, seg);
-                let total: usize = runs.iter().map(|&(_, l)| l as usize).sum();
-                let mut out = vec![0u8; total];
-                let mut pos = 0usize;
-                for (off, len) in runs {
-                    s.read_bytes(off as usize, &mut out[pos..pos + len as usize]);
-                    pos += len as usize;
-                }
+                let total: usize = runs.iter().map(|(_, l)| l as usize).sum();
+                let out = reply_pool.with_buf(|buf| {
+                    buf.resize(total, 0);
+                    let mut pos = 0usize;
+                    for (off, len) in runs.iter() {
+                        s.read_bytes(off as usize, &mut buf[pos..pos + len as usize]);
+                        pos += len as usize;
+                    }
+                });
                 mb.send(src, TAG_GET_REPLY, out);
             }
-            Req::Get { dst, seg, offset, len } => {
+            ReqView::Get { dst, seg, offset, len } => {
                 let s = registry.lookup(dst, seg);
-                let mut out = vec![0u8; len as usize];
-                s.read_bytes(offset as usize, &mut out);
+                let out = reply_pool.with_buf(|buf| {
+                    buf.resize(len as usize, 0);
+                    s.read_bytes(offset as usize, buf);
+                });
                 mb.send(src, TAG_GET_REPLY, out);
             }
-            Req::GetStrided { dst, seg, desc } => {
+            ReqView::GetStrided { dst, seg, desc } => {
                 let s = registry.lookup(dst, seg);
                 desc.validate(s.len());
-                let mut out = vec![0u8; desc.total_bytes()];
-                for (row, off) in desc.row_offsets().enumerate() {
-                    s.read_bytes(off, &mut out[row * desc.row_bytes..(row + 1) * desc.row_bytes]);
-                }
+                let out = reply_pool.with_buf(|buf| {
+                    buf.resize(desc.total_bytes(), 0);
+                    for (row, off) in desc.row_offsets().enumerate() {
+                        s.read_bytes(off, &mut buf[row * desc.row_bytes..(row + 1) * desc.row_bytes]);
+                    }
+                });
                 mb.send(src, TAG_GET_REPLY, out);
             }
-            Req::Rmw { dst, seg, offset, op } => {
+            ReqView::Rmw { dst, seg, offset, op } => {
                 let vals = apply_rmw(&registry.lookup(dst, seg), offset as usize, op);
                 mb.send(src, TAG_RMW_REPLY, encode_rmw_reply(vals));
             }
-            Req::FenceReq => {
+            ReqView::FenceReq => {
                 // FIFO channels: every put this sender issued to this node
                 // was already processed above, so the ack *is* the
                 // confirmation (§3.1.1, GM case).
-                mb.send(src, TAG_FENCE_ACK, Vec::new());
+                mb.send(src, TAG_FENCE_ACK, Body::empty());
             }
-            Req::LockReq { owner, idx } => {
+            ReqView::LockReq { owner, idx } => {
                 let sync = registry.lookup(owner, SegId(0));
                 // Take a ticket on the requester's behalf (§3.2.1).
                 let ticket = sync.fetch_add_u64(layout::hybrid_ticket(idx), 1);
@@ -159,7 +170,7 @@ pub(crate) fn server_loop(mut mb: Mailbox, registry: Arc<MemoryRegistry>, ack_mo
                     lock_waiters.entry((owner.0, idx)).or_default().push_back((ticket, requester));
                 }
             }
-            Req::UnlockReq { owner, idx } => {
+            ReqView::UnlockReq { owner, idx } => {
                 let sync = registry.lookup(owner, SegId(0));
                 let new_counter = sync.fetch_add_u64(layout::hybrid_counter(idx), 1) + 1;
                 if let Some(q) = lock_waiters.get_mut(&(owner.0, idx)) {
@@ -171,7 +182,7 @@ pub(crate) fn server_loop(mut mb: Mailbox, registry: Arc<MemoryRegistry>, ack_mo
                     }
                 }
             }
-            Req::Shutdown => break,
+            ReqView::Shutdown => break,
         }
 
         if let Some(dst) = counted_dst {
@@ -180,14 +191,17 @@ pub(crate) fn server_loop(mut mb: Mailbox, registry: Arc<MemoryRegistry>, ack_mo
             // the incremented counter (ARMCI_Barrier stage 2).
             registry.lookup(dst, SegId(0)).fetch_add_u64(layout::OP_DONE, 1);
             if ack_mode == AckMode::Via {
-                mb.send(src, TAG_PUT_ACK, Writer::new().u32(my_node.0).finish());
+                mb.send(src, TAG_PUT_ACK, Body::from(my_node.0.to_le_bytes()));
             }
         }
     }
 }
 
 fn send_grant(mb: &mut Mailbox, requester: ProcId, owner: ProcId, idx: u32) {
-    mb.send(Endpoint::Proc(requester), TAG_LOCK_GRANT, Writer::new().u32(owner.0).u32(idx).finish());
+    let mut b = [0u8; 8];
+    b[..4].copy_from_slice(&owner.0.to_le_bytes());
+    b[4..].copy_from_slice(&idx.to_le_bytes());
+    mb.send(Endpoint::Proc(requester), TAG_LOCK_GRANT, Body::from(b));
 }
 
 /// Parse a lock grant body into `(owner, idx)`.

@@ -52,7 +52,12 @@ impl Strided2D {
     /// would have been in ARMCI.
     pub fn validate(&self, seg_len: usize) {
         if self.rows > 1 {
-            assert!(self.stride >= self.row_bytes, "strided rows overlap: stride {} < row_bytes {}", self.stride, self.row_bytes);
+            assert!(
+                self.stride >= self.row_bytes,
+                "strided rows overlap: stride {} < row_bytes {}",
+                self.stride,
+                self.row_bytes
+            );
         }
         assert!(self.end_offset() <= seg_len, "strided shape [{:?}] exceeds segment length {}", self, seg_len);
     }

@@ -1,0 +1,93 @@
+//! Allocation-budget regression test for the zero-copy wire path.
+//!
+//! Before the pooled-encode/borrowed-decode work, one remote `put_u64`
+//! cost three heap allocations: the encode `Vec` on the client, the
+//! owned payload `Vec` from `Req::decode` on the server, and the ack
+//! body. All three are gone — the request encodes into an inline `Body`
+//! (or a pooled buffer), the server decodes a borrowed [`ReqView`] and
+//! applies it straight into the segment, and the ack is inline. What
+//! remains is the amortized block allocation inside the transport
+//! channel (one block per ~32 sends), so the budget below — **one**
+//! allocation per put, down from three-plus — still leaves an order of
+//! magnitude of headroom while catching any reintroduced per-message
+//! `Vec`.
+//!
+//! This test lives in its own binary so the counting `#[global_allocator]`
+//! observes only this scenario, and so no sibling test thread allocates
+//! concurrently during the measured window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use armci_core::runtime::run_cluster;
+use armci_core::{ArmciCfg, GlobalAddr};
+use armci_transport::{LatencyModel, ProcId};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const WARMUP: usize = 2000;
+const MEASURED: usize = 1000;
+
+/// A steady stream of remote `put_u64` + one fence must average at most
+/// one heap allocation per put *process-wide* (client, server and ack
+/// path combined).
+#[test]
+fn remote_put_stays_within_allocation_budget() {
+    let cfg = ArmciCfg::flat(2, LatencyModel::zero());
+    let deltas = run_cluster(cfg, |a| {
+        let seg = a.malloc(1 << 12);
+        let peer = ProcId(((a.rank() + 1) % a.nprocs()) as u32);
+        a.barrier();
+        // Warm every lazy path: encode pool slots, channel blocks, thread
+        // parkers, the server's reply pool, segment page faults.
+        for i in 0..WARMUP {
+            a.put_u64(GlobalAddr::new(peer, seg, 8 * (i % 64)), i as u64);
+        }
+        a.fence(peer);
+        a.barrier();
+        let delta = if a.rank() == 0 {
+            let before = ALLOCS.load(Ordering::SeqCst);
+            for i in 0..MEASURED {
+                a.put_u64(GlobalAddr::new(peer, seg, 8 * (i % 64)), i as u64);
+            }
+            a.fence(peer);
+            Some(ALLOCS.load(Ordering::SeqCst) - before)
+        } else {
+            None
+        };
+        a.barrier();
+        delta
+    });
+    let delta = deltas[0].expect("rank 0 measured");
+    eprintln!("{MEASURED} remote put_u64 + fence: {delta} allocations process-wide");
+    assert!(
+        delta <= MEASURED as u64,
+        "allocation budget exceeded: {delta} allocations for {MEASURED} puts (budget: 1 per put)"
+    );
+}

@@ -2,9 +2,9 @@
 //! strided), accumulate, and read-modify-write, across local and remote
 //! destinations and both ack modes.
 
-use armci_core::{run_cluster, AckMode, ArmciCfg, GlobalAddr, ArmciCfg as Cfg, RmwOp};
-use armci_transport::{LatencyModel, ProcId};
 use armci_core::Strided2D;
+use armci_core::{run_cluster, AckMode, ArmciCfg, ArmciCfg as Cfg, GlobalAddr, RmwOp};
+use armci_transport::{LatencyModel, ProcId};
 
 fn zero_lat(nodes: u32) -> ArmciCfg {
     Cfg::flat(nodes, LatencyModel::zero())

@@ -6,13 +6,7 @@ use armci_core::{run_cluster, ArmciCfg, GlobalAddr, LockAlgo, LockId};
 use armci_transport::{LatencyModel, ProcId};
 
 fn cfg(nodes: u32, ppn: u32, algo: LockAlgo) -> ArmciCfg {
-    ArmciCfg {
-        nodes,
-        procs_per_node: ppn,
-        latency: LatencyModel::zero(),
-        lock_algo: algo,
-        ..Default::default()
-    }
+    ArmciCfg { nodes, procs_per_node: ppn, latency: LatencyModel::zero(), lock_algo: algo, ..Default::default() }
 }
 
 /// Classic mutual-exclusion torture: a critical section performs a

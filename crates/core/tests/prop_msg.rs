@@ -2,7 +2,7 @@
 //! round-trip bit-exactly (a malformed frame would corrupt remote memory,
 //! the worst possible failure mode for a one-sided library).
 
-use armci_core::msg::{Req, RmwOp};
+use armci_core::msg::{Req, ReqView, RmwOp};
 use armci_core::Strided2D;
 use armci_transport::{ProcId, SegId};
 use proptest::prelude::*;
@@ -19,8 +19,12 @@ fn arb_rmw() -> impl Strategy<Value = RmwOp> {
 }
 
 fn arb_desc() -> impl Strategy<Value = Strided2D> {
-    (0usize..1 << 20, 0usize..64, 0usize..256, 0usize..512)
-        .prop_map(|(offset, rows, row_bytes, stride)| Strided2D { offset, rows, row_bytes, stride })
+    (0usize..1 << 20, 0usize..64, 0usize..256, 0usize..512).prop_map(|(offset, rows, row_bytes, stride)| Strided2D {
+        offset,
+        rows,
+        row_bytes,
+        stride,
+    })
 }
 
 fn arb_req() -> impl Strategy<Value = Req> {
@@ -34,26 +38,18 @@ fn arb_req() -> impl Strategy<Value = Req> {
             offset: offset as u64,
             data
         }),
-        (proc.clone(), seg.clone(), arb_desc(), data.clone()).prop_map(|(dst, seg, desc, data)| {
-            Req::PutStrided { dst, seg, desc, data }
-        }),
+        (proc.clone(), seg.clone(), arb_desc(), data.clone())
+            .prop_map(|(dst, seg, desc, data)| { Req::PutStrided { dst, seg, desc, data } }),
         (proc.clone(), seg.clone(), any::<u32>(), any::<u64>()).prop_map(|(dst, seg, offset, val)| Req::PutU64 {
             dst,
             seg,
             offset: offset as u64,
             val
         }),
-        (proc.clone(), seg.clone(), any::<u32>(), any::<[u64; 2]>()).prop_map(|(dst, seg, offset, val)| {
-            Req::PutPair { dst, seg, offset: offset as u64, val }
-        }),
+        (proc.clone(), seg.clone(), any::<u32>(), any::<[u64; 2]>())
+            .prop_map(|(dst, seg, offset, val)| { Req::PutPair { dst, seg, offset: offset as u64, val } }),
         (proc.clone(), seg.clone(), any::<u32>(), any::<f64>(), proptest::collection::vec(any::<f64>(), 0..20))
-            .prop_map(|(dst, seg, offset, scale, vals)| Req::AccF64 {
-                dst,
-                seg,
-                offset: offset as u64,
-                scale,
-                vals
-            }),
+            .prop_map(|(dst, seg, offset, scale, vals)| Req::AccF64 { dst, seg, offset: offset as u64, scale, vals }),
         (proc.clone(), seg.clone(), any::<u32>(), any::<u32>()).prop_map(|(dst, seg, offset, len)| Req::Get {
             dst,
             seg,
@@ -67,20 +63,12 @@ fn arb_req() -> impl Strategy<Value = Req> {
             offset: offset as u64,
             op
         }),
-        (
-            proc.clone(),
-            seg.clone(),
-            proptest::collection::vec((any::<u32>().prop_map(|o| o as u64), 0u32..64), 0..16)
-        )
+        (proc.clone(), seg.clone(), proptest::collection::vec((any::<u32>().prop_map(|o| o as u64), 0u32..64), 0..16))
             .prop_map(|(dst, seg, runs)| {
                 let total: usize = runs.iter().map(|&(_, l)| l as usize).sum();
                 Req::PutVector { dst, seg, runs, data: vec![0xCD; total] }
             }),
-        (
-            proc.clone(),
-            seg.clone(),
-            proptest::collection::vec((any::<u32>().prop_map(|o| o as u64), 0u32..64), 0..16)
-        )
+        (proc.clone(), seg.clone(), proptest::collection::vec((any::<u32>().prop_map(|o| o as u64), 0u32..64), 0..16))
             .prop_map(|(dst, seg, runs)| Req::GetVector { dst, seg, runs }),
         Just(Req::FenceReq),
         (proc.clone(), 0u32..8).prop_map(|(owner, idx)| Req::LockReq { owner, idx }),
@@ -107,5 +95,29 @@ proptest! {
         // op_done — a mismatch would desynchronize ARMCI_Barrier.
         let decoded = Req::decode(&req.encode());
         prop_assert_eq!(decoded.is_counted_put(), req.is_counted_put());
+    }
+
+    #[test]
+    fn borrowed_decode_agrees_with_owned(req in arb_req()) {
+        // The server's zero-copy decode (`ReqView`) is written
+        // independently of `Req::decode`; they must see the identical
+        // request in every frame. Compare via re-encoding (bit-exact even
+        // for NaN-bearing floats).
+        let encoded = req.encode();
+        let owned = Req::decode(&encoded);
+        let view = ReqView::decode(&encoded);
+        prop_assert_eq!(view.to_owned().encode(), owned.encode());
+        prop_assert_eq!(view.is_counted_put(), owned.is_counted_put());
+    }
+
+    #[test]
+    fn encode_into_reused_buffer_matches_fresh_encode(req in arb_req()) {
+        // Pooled buffers arrive with stale capacity; framing into one must
+        // produce exactly the bytes of a fresh `encode()`.
+        let fresh = req.encode();
+        let mut pooled = vec![0xAA; 64];
+        pooled.clear();
+        req.encode_into(&mut pooled);
+        prop_assert_eq!(pooled, fresh);
     }
 }

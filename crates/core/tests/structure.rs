@@ -25,16 +25,9 @@ fn armci_barrier_sends_2logn_messages_per_proc() {
         let logn = n.trailing_zeros() as u64;
         // Proc-to-proc traffic only (excludes rank 0's shutdown requests
         // to the servers at teardown).
-        let proc_msgs: u64 = trace
-            .snapshot()
-            .iter()
-            .filter(|e| !e.src.is_server() && !e.dst.is_server())
-            .count() as u64;
-        assert_eq!(
-            proc_msgs,
-            2 * (n as u64) * (2 * logn),
-            "n={n}: two combined barriers at 2*log2(n) msgs/proc each"
-        );
+        let proc_msgs: u64 =
+            trace.snapshot().iter().filter(|e| !e.src.is_server() && !e.dst.is_server()).count() as u64;
+        assert_eq!(proc_msgs, 2 * (n as u64) * (2 * logn), "n={n}: two combined barriers at 2*log2(n) msgs/proc each");
     }
 }
 
@@ -53,15 +46,12 @@ fn allfence_sends_one_request_per_touched_server() {
         });
         let trace = trace.unwrap();
         // Requests to servers: n-1 puts + n-1 fence confirmations per proc.
-        let to_servers: u64 = trace
-            .snapshot()
-            .iter()
-            .filter(|e| e.dst.is_server() && e.tag == Tag(Tag::ARMCI_BASE))
-            .count() as u64
-            - n as u64; // minus rank 0's shutdown + (n-1)? shutdown is rank 0 only
-        // Rank 0 sends n shutdown messages at teardown; subtract them
-        // above (they carry the same request tag). Each proc sent
-        // (n-1) puts + (n-1) fences.
+        let to_servers: u64 =
+            trace.snapshot().iter().filter(|e| e.dst.is_server() && e.tag == Tag(Tag::ARMCI_BASE)).count() as u64
+                - n as u64; // minus rank 0's shutdown + (n-1)? shutdown is rank 0 only
+                            // Rank 0 sends n shutdown messages at teardown; subtract them
+                            // above (they carry the same request tag). Each proc sent
+                            // (n-1) puts + (n-1) fences.
         assert_eq!(to_servers, (n as u64) * 2 * (n as u64 - 1), "n={n}");
     }
 }
@@ -78,6 +68,42 @@ fn binary_exchange_partner_pattern() {
         if let (Endpoint::Proc(s), Endpoint::Proc(d)) = (ev.src, ev.dst) {
             let x = (s.0 ^ d.0) as usize;
             assert!(x.is_power_of_two(), "non-hypercube message {s} -> {d}");
+        }
+    }
+}
+
+/// Every message a process puts on the wire is counted in its [`Stats`]:
+/// the per-rank transport trace and `stats.total_msgs()` must agree
+/// exactly, modulo the teardown traffic the runtime sends *after* the
+/// user function returned (one combined barrier = 2·log2(N) messages per
+/// process, plus rank 0's one shutdown per server).
+///
+/// [`Stats`]: armci_core::Stats
+#[test]
+fn stats_count_every_wire_message() {
+    for n in [2usize, 4] {
+        let (stats, trace) = run_cluster_traced(traced_cfg(n as u32), |a| {
+            let seg = a.malloc(64);
+            let peer = ProcId(((a.rank() + 1) % a.nprocs()) as u32);
+            // A mix of counted operations: put + fence, RMW round trip,
+            // blocking get, and a combined barrier.
+            a.put_u64(GlobalAddr::new(peer, seg, 8 * a.rank()), 7);
+            a.fence(peer);
+            a.fetch_add_u64(GlobalAddr::new(peer, seg, 0), 1);
+            let mut out = [0u8; 8];
+            a.get(GlobalAddr::new(peer, seg, 0), &mut out);
+            a.barrier();
+            a.stats()
+        });
+        let trace = trace.unwrap();
+        let logn = n.trailing_zeros() as u64;
+        for (r, s) in stats.iter().enumerate() {
+            let teardown = 2 * logn + if r == 0 { n as u64 } else { 0 };
+            assert_eq!(
+                trace.sent_by(Endpoint::Proc(ProcId(r as u32))),
+                s.total_msgs() + teardown,
+                "rank {r} of {n}: stats must count every message on the wire"
+            );
         }
     }
 }
@@ -111,11 +137,8 @@ fn lock_handoff_message_counts() {
         // We verify the *total* server->proc grant traffic instead, which
         // is algorithm-discriminating: hybrid grants = number of remote
         // acquisitions; MCS grants = 0 (handoff writes memory directly).
-        let grants = trace
-            .snapshot()
-            .iter()
-            .filter(|e| e.src.is_server() && e.tag == Tag(Tag::ARMCI_BASE + 5))
-            .count() as u64;
+        let grants =
+            trace.snapshot().iter().filter(|e| e.src.is_server() && e.tag == Tag(Tag::ARMCI_BASE + 5)).count() as u64;
         match algo {
             LockAlgo::Hybrid => assert_eq!(grants, expect_extra, "hybrid: two remote grants (r1, r2)"),
             _ => assert_eq!(grants, 0, "MCS never needs a server grant message"),

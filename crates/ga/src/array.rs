@@ -82,12 +82,7 @@ impl GlobalArray {
             .into_iter()
             .map(|(rank, piece)| {
                 let (offset, ld) = self.dist.local_layout(rank, piece.row_lo, piece.col_lo);
-                let desc = Strided2D {
-                    offset,
-                    rows: piece.rows(),
-                    row_bytes: piece.cols() * 8,
-                    stride: ld * 8,
-                };
+                let desc = Strided2D { offset, rows: piece.rows(), row_bytes: piece.cols() * 8, stride: ld * 8 };
                 (ProcId(rank as u32), desc, piece)
             })
             .collect()

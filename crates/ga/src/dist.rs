@@ -21,7 +21,7 @@ impl ProcGrid {
     pub fn near_square(nprocs: usize) -> Self {
         assert!(nprocs > 0);
         let mut pr = (nprocs as f64).sqrt() as usize;
-        while pr > 1 && nprocs % pr != 0 {
+        while pr > 1 && !nprocs.is_multiple_of(pr) {
             pr -= 1;
         }
         let pr = pr.max(1);
@@ -75,13 +75,7 @@ impl Distribution {
             grid.pr,
             grid.pc
         );
-        Distribution {
-            rows,
-            cols,
-            grid,
-            block_rows: rows.div_ceil(grid.pr),
-            block_cols: cols.div_ceil(grid.pc),
-        }
+        Distribution { rows, cols, grid, block_rows: rows.div_ceil(grid.pr), block_cols: cols.div_ceil(grid.pc) }
     }
 
     /// The patch owned by `rank` (possibly smaller at the grid edges).
@@ -158,6 +152,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // (r, c) grid indexing mirrors the patch bounds
     fn blocks_partition_the_array() {
         let d = Distribution::new(10, 12, 6); // 2x3 grid, 5x4 blocks
         let mut covered = vec![vec![0u32; 12]; 10];

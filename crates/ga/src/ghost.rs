@@ -114,7 +114,7 @@ mod tests {
     fn ghosts_mirror_neighbours() {
         let out = run_cluster(cfg(4), |a| {
             let ga = GlobalArray::create(a, 8, 8); // 2x2 grid of 4x4 blocks
-            // Every element = owner rank.
+                                                   // Every element = owner rank.
             let own = ga.owned_patch(a.rank());
             ga.put(a, own, &vec![a.rank() as f64; own.len()]);
             let g = GhostArray::new(a, ga, 1);
@@ -158,8 +158,9 @@ mod tests {
             let ga = GlobalArray::create(a, 8, 8);
             // A[i][j] = i*8+j.
             let own = ga.owned_patch(a.rank());
-            let data: Vec<f64> =
-                (own.row_lo..own.row_hi).flat_map(|i| (own.col_lo..own.col_hi).map(move |j| (i * 8 + j) as f64)).collect();
+            let data: Vec<f64> = (own.row_lo..own.row_hi)
+                .flat_map(|i| (own.col_lo..own.col_hi).map(move |j| (i * 8 + j) as f64))
+                .collect();
             ga.put(a, own, &data);
             let mut g = GhostArray::new(a, ga, 1);
 

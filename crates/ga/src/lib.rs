@@ -38,8 +38,8 @@ pub mod patch;
 pub mod vector;
 
 pub use array::{GlobalArray, SyncAlg};
-pub use ghost::GhostArray;
 pub use dist::{Distribution, ProcGrid};
+pub use ghost::GhostArray;
 pub use nxtval::SharedCounters;
 pub use patch::Patch;
 pub use vector::GlobalVector;

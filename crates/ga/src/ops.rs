@@ -114,10 +114,7 @@ mod tests {
     use armci_core::{run_cluster, ArmciCfg};
     use armci_transport::LatencyModel;
 
-    fn with_cluster<T: Send + 'static>(
-        n: u32,
-        f: impl Fn(&mut Armci) -> T + Send + Sync + 'static,
-    ) -> Vec<T> {
+    fn with_cluster<T: Send + 'static>(n: u32, f: impl Fn(&mut Armci) -> T + Send + Sync + 'static) -> Vec<T> {
         run_cluster(ArmciCfg::flat(n, LatencyModel::zero()), f)
     }
 

@@ -10,6 +10,9 @@ use armci_transport::{ProcId, SegId};
 
 use crate::array::SyncAlg;
 
+/// Element positions grouped by owning rank: `(input position, (byte offset, len))`.
+type RunsByOwner = BTreeMap<u32, Vec<(usize, (u64, u32))>>;
+
 /// A dense 1-D array of `f64`, block-distributed: process `p` owns the
 /// contiguous range `[p*block, min((p+1)*block, len))`.
 #[derive(Clone, Copy, Debug)]
@@ -70,8 +73,8 @@ impl GlobalVector {
 
     /// Group arbitrary element indices by owner, preserving input order
     /// within each owner (ARMCI vector-op batching).
-    fn runs_by_owner(&self, idx: &[usize]) -> BTreeMap<u32, Vec<(usize, (u64, u32))>> {
-        let mut by_owner: BTreeMap<u32, Vec<(usize, (u64, u32))>> = BTreeMap::new();
+    fn runs_by_owner(&self, idx: &[usize]) -> RunsByOwner {
+        let mut by_owner: RunsByOwner = BTreeMap::new();
         for (pos, &i) in idx.iter().enumerate() {
             let (p, off) = self.locate(i);
             by_owner.entry(p.0).or_default().push((pos, (off as u64, 8)));

@@ -147,8 +147,7 @@ mod tests {
                 win.put(a, t, 8 * a.rank(), &(a.rank() as u64 + 1).to_le_bytes());
             }
             win.fence(a);
-            (0..a.nprocs())
-                .all(|r| u64::from_le_bytes(win.read_local(a, 8 * r, 8).try_into().unwrap()) == r as u64 + 1)
+            (0..a.nprocs()).all(|r| u64::from_le_bytes(win.read_local(a, 8 * r, 8).try_into().unwrap()) == r as u64 + 1)
         });
         assert!(out.into_iter().all(|ok| ok));
     }

@@ -71,6 +71,76 @@ impl Writer {
     }
 }
 
+/// Builds a little-endian message body *into a borrowed buffer* — the
+/// zero-allocation counterpart of [`Writer`], used with pooled encode
+/// buffers (the caller owns and reuses the `Vec`).
+///
+/// Method-for-method identical to [`Writer`], so an encoder can be written
+/// once against either interface.
+#[derive(Debug)]
+pub struct BufWriter<'a>(&'a mut Vec<u8>);
+
+impl<'a> BufWriter<'a> {
+    /// Append to `buf` (existing contents are kept; callers clear first
+    /// when reusing a pooled buffer).
+    pub fn new(buf: &'a mut Vec<u8>) -> Self {
+        BufWriter(buf)
+    }
+
+    /// Append a `u8`.
+    pub fn u8(self, v: u8) -> Self {
+        self.0.push(v);
+        self
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn u32(self, v: u32) -> Self {
+        self.0.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn u64(self, v: u64) -> Self {
+        self.0.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a little-endian `i64`.
+    pub fn i64(self, v: i64) -> Self {
+        self.u64(v as u64)
+    }
+
+    /// Append an `f64` as its IEEE-754 bits.
+    pub fn f64(self, v: f64) -> Self {
+        self.u64(v.to_bits())
+    }
+
+    /// Append raw bytes with a `u32` length prefix.
+    pub fn bytes(self, v: &[u8]) -> Self {
+        let s = self.u32(v.len() as u32);
+        s.0.extend_from_slice(v);
+        s
+    }
+
+    /// Append a `u64` slice with a `u32` length prefix.
+    pub fn u64_slice(self, v: &[u64]) -> Self {
+        let s = self.u32(v.len() as u32);
+        for &x in v {
+            s.0.extend_from_slice(&x.to_le_bytes());
+        }
+        s
+    }
+
+    /// Append an `f64` slice with a `u32` length prefix.
+    pub fn f64_slice(self, v: &[f64]) -> Self {
+        let s = self.u32(v.len() as u32);
+        for &x in v {
+            s.0.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        s
+    }
+}
+
 /// Consumes a little-endian message body produced by [`Writer`].
 ///
 /// # Panics
@@ -121,6 +191,12 @@ impl<'a> Reader<'a> {
     /// Read a length-prefixed byte slice.
     pub fn bytes(&mut self) -> &'a [u8] {
         let n = self.u32() as usize;
+        self.take(n)
+    }
+
+    /// Read exactly `n` raw bytes (no length prefix) — for borrowing a
+    /// fixed-stride region (e.g. an array of records) out of the body.
+    pub fn raw(&mut self, n: usize) -> &'a [u8] {
         self.take(n)
     }
 
@@ -183,5 +259,39 @@ mod tests {
         let body = Writer::new().f64(f64::NAN).finish();
         let mut r = Reader::new(&body);
         assert!(r.f64().is_nan());
+    }
+
+    #[test]
+    fn buf_writer_matches_writer() {
+        let owned = Writer::new()
+            .u8(7)
+            .u32(0xDEAD_BEEF)
+            .u64(u64::MAX - 1)
+            .i64(-42)
+            .f64(3.5)
+            .bytes(b"hello")
+            .u64_slice(&[1, 2, 3])
+            .finish();
+        let mut buf = vec![0xFF]; // stale pooled contents
+        buf.clear();
+        BufWriter::new(&mut buf)
+            .u8(7)
+            .u32(0xDEAD_BEEF)
+            .u64(u64::MAX - 1)
+            .i64(-42)
+            .f64(3.5)
+            .bytes(b"hello")
+            .u64_slice(&[1, 2, 3]);
+        assert_eq!(buf, owned);
+    }
+
+    #[test]
+    fn f64_slice_is_bytewise_f64s() {
+        let mut buf = Vec::new();
+        BufWriter::new(&mut buf).f64_slice(&[1.5, -2.5]);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u32(), 2);
+        assert_eq!(r.f64(), 1.5);
+        assert_eq!(r.f64(), -2.5);
     }
 }

@@ -330,14 +330,14 @@ mod tests {
     #[test]
     fn dissemination_barrier_all_sizes() {
         for n in 1..=9 {
-            check_barrier_semantics(n, |c| barrier(c));
+            check_barrier_semantics(n, barrier);
         }
     }
 
     #[test]
     fn binary_exchange_barrier_all_sizes() {
         for n in 1..=9 {
-            check_barrier_semantics(n, |c| barrier_binary_exchange(c));
+            check_barrier_semantics(n, barrier_binary_exchange);
         }
     }
 

@@ -87,7 +87,7 @@ impl P2p for Comm {
             .mailbox
             .recv_match(|m| m.src == want_src && m.tag == want_tag)
             .expect("transport disconnected during collective");
-        body
+        body.into_vec()
     }
 
     fn next_epoch(&mut self) -> u32 {

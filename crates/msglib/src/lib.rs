@@ -26,10 +26,10 @@ pub mod collectives;
 pub mod comm;
 pub mod rooted;
 
-pub use codec::{Reader, Writer};
+pub use codec::{BufWriter, Reader, Writer};
 pub use collectives::{
-    allgather, allreduce, allreduce_max_f64, allreduce_sum_f64, allreduce_sum_u64, barrier,
-    barrier_binary_exchange, bcast, scan, scan_sum_u64,
+    allgather, allreduce, allreduce_max_f64, allreduce_sum_f64, allreduce_sum_u64, barrier, barrier_binary_exchange,
+    bcast, scan, scan_sum_u64,
 };
 pub use comm::{Comm, P2p};
 pub use rooted::{gather, reduce, reduce_sum_f64, reduce_sum_u64, scatter};

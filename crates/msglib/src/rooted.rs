@@ -20,12 +20,7 @@ fn mk_tag(opcode: u32, epoch: u32) -> u32 {
 /// Reduce `local` element-wise onto `root` with `combine` (associative &
 /// commutative) via a binomial tree. Returns `Some(result)` on the root,
 /// `None` elsewhere.
-pub fn reduce<T: Elem, F: Fn(T, T) -> T>(
-    p: &mut impl P2p,
-    root: usize,
-    local: &[T],
-    combine: F,
-) -> Option<Vec<T>> {
+pub fn reduce<T: Elem, F: Fn(T, T) -> T>(p: &mut impl P2p, root: usize, local: &[T], combine: F) -> Option<Vec<T>> {
     let n = p.size();
     let me = p.rank();
     let tag = mk_tag(op::REDUCE, p.next_epoch());
@@ -130,15 +125,18 @@ pub fn scatter(p: &mut impl P2p, root: usize, blocks: Option<Vec<Vec<u8>>>) -> V
         let body = p.recv_from((parent_vr + root) % n, tag);
         let mut r = Reader::new(&body);
         let cnt = r.u32();
-        (0..cnt).map(|_| {
-            let v = r.u32() as usize;
-            (v, r.bytes().to_vec())
-        }).collect()
+        (0..cnt)
+            .map(|_| {
+                let v = r.u32() as usize;
+                (v, r.bytes().to_vec())
+            })
+            .collect()
     };
 
     // Forward sub-bundles to children: child vr = vr + 2^k for each k
     // above my lowest set bit (root: all k).
-    let lowest = if vr == 0 { n.next_power_of_two().trailing_zeros() as usize + 1 } else { vr.trailing_zeros() as usize };
+    let lowest =
+        if vr == 0 { n.next_power_of_two().trailing_zeros() as usize + 1 } else { vr.trailing_zeros() as usize };
     let mut k = 0usize;
     while (1usize << k) < n {
         if vr == 0 || k < lowest {
@@ -234,8 +232,7 @@ mod tests {
                 let out = cluster(n).run_spmd(move |mb| {
                     let mut c = Comm::new(mb);
                     let size = c.size();
-                    let blocks = (c.rank() == root)
-                        .then(|| (0..size).map(|r| vec![r as u8, 0xEE]).collect());
+                    let blocks = (c.rank() == root).then(|| (0..size).map(|r| vec![r as u8, 0xEE]).collect());
                     scatter(&mut c, root, blocks)
                 });
                 for (r, b) in out.into_iter().enumerate() {

@@ -2,10 +2,8 @@
 //! sequential reference, over random process counts, roots, vector sizes
 //! and contents.
 
-use armci_msglib::{
-    allgather, allreduce_sum_u64, barrier_binary_exchange, bcast, scan_sum_u64, Comm, P2p,
-};
 use armci_msglib::rooted::{gather, reduce_sum_u64, scatter};
+use armci_msglib::{allgather, allreduce_sum_u64, barrier_binary_exchange, bcast, scan_sum_u64, Comm, P2p};
 use armci_transport::{Cluster, LatencyModel};
 use proptest::prelude::*;
 

@@ -394,12 +394,7 @@ pub fn simulate_lock_at(
             count += iters as f64;
         }
     }
-    LockResult {
-        acquire_ns: acq / count,
-        release_ns: rel / count,
-        cycle_ns: (acq + rel) / count,
-        total_ns: total,
-    }
+    LockResult { acquire_ns: acq / count, release_ns: rel / count, cycle_ns: (acq + rel) / count, total_ns: total }
 }
 
 /// Lock simulation on SMP nodes: `nodes * ppn` processes, process `p` on

@@ -232,9 +232,8 @@ impl ProcActor {
             // entered.
             if let Stage::Exchange(x) = &mut self.stages[self.cur] {
                 let stage = x.stage;
-                let (mine, rest): (Vec<_>, Vec<_>) = std::mem::take(&mut self.stash)
-                    .into_iter()
-                    .partition(|m| msg_stage(m) == Some(stage));
+                let (mine, rest): (Vec<_>, Vec<_>) =
+                    std::mem::take(&mut self.stash).into_iter().partition(|m| msg_stage(m) == Some(stage));
                 self.stash = rest;
                 for m in &mine {
                     assert!(x.on_msg(m), "stashed message {m:?} not consumed by its stage");
@@ -393,7 +392,7 @@ struct RunCfg {
 
 fn run_cfg(cfg: RunCfg, mk_stages: impl Fn(usize) -> Vec<Stage>) -> SyncResult {
     let n = cfg.nprocs;
-    assert!(n >= 1 && cfg.ppn >= 1 && n % cfg.ppn == 0, "nprocs must be a multiple of ppn");
+    assert!(n >= 1 && cfg.ppn >= 1 && n.is_multiple_of(cfg.ppn), "nprocs must be a multiple of ppn");
     let nnodes = n / cfg.ppn;
     // Actors 0..n = procs (node p/ppn); actors n..n+nnodes = servers.
     let mut actors = Vec::with_capacity(n + nnodes);
@@ -439,8 +438,7 @@ pub fn simulate_sync_baseline(n: usize, targets_per_proc: usize, model: NetModel
         // own), so under concurrent AllFences every process converges on
         // the same servers — the convoy that makes the measured baseline
         // worse than its ideal 2(n-1)·L once server occupancy is nonzero.
-        let targets: Vec<ActorId> =
-            (0..n).filter(|&s| s != p).take(targets_per_proc).map(|s| n + s).collect();
+        let targets: Vec<ActorId> = (0..n).filter(|&s| s != p).take(targets_per_proc).map(|s| n + s).collect();
         vec![Stage::SeqFence { targets, next: 0 }, Stage::Exchange(Exchange::new(1, 0, n, p))]
     })
 }
@@ -451,21 +449,15 @@ pub fn simulate_sync_baseline(n: usize, targets_per_proc: usize, model: NetModel
 pub fn simulate_sync_pipelined(n: usize, targets_per_proc: usize, model: NetModel) -> SyncResult {
     assert!(targets_per_proc < n, "cannot fence more than n-1 remote servers");
     run(n, model, |p| {
-        let targets: Vec<ActorId> =
-            (0..n).filter(|&s| s != p).take(targets_per_proc).map(|s| n + s).collect();
-        vec![
-            Stage::PipeFence { targets, fired: false, acks: 0 },
-            Stage::Exchange(Exchange::new(1, 0, n, p)),
-        ]
+        let targets: Vec<ActorId> = (0..n).filter(|&s| s != p).take(targets_per_proc).map(|s| n + s).collect();
+        vec![Stage::PipeFence { targets, fired: false, acks: 0 }, Stage::Exchange(Exchange::new(1, 0, n, p))]
     })
 }
 
 /// Simulate the paper's combined `ARMCI_Barrier()`: allreduce of the
 /// `8·n`-byte `op_init[]` vector, (zero-cost) `op_done` wait, barrier.
 pub fn simulate_combined_barrier(n: usize, model: NetModel) -> SyncResult {
-    run(n, model, |p| {
-        vec![Stage::Exchange(Exchange::new(0, 8 * n, n, p)), Stage::Exchange(Exchange::new(1, 0, n, p))]
-    })
+    run(n, model, |p| vec![Stage::Exchange(Exchange::new(0, 8 * n, n, p)), Stage::Exchange(Exchange::new(1, 0, n, p))])
 }
 
 /// Baseline `GA_Sync()` on SMP nodes (`ppn` processes per node): each
@@ -611,12 +603,7 @@ mod tests {
         for n in [4usize, 8, 16] {
             let base = simulate_sync_baseline(n, n - 1, model);
             let new = simulate_combined_barrier(n, model);
-            assert!(
-                new.mean() < base.mean(),
-                "combined barrier must win at n={n}: {} vs {}",
-                new.mean(),
-                base.mean()
-            );
+            assert!(new.mean() < base.mean(), "combined barrier must win at n={n}: {} vs {}", new.mean(), base.mean());
         }
     }
 

@@ -122,16 +122,7 @@ impl<M, A: Actor<M>> Sim<M, A> {
     pub fn new(actors: Vec<A>, node_of: Vec<usize>, model: NetModel) -> Self {
         assert_eq!(actors.len(), node_of.len());
         let n = actors.len();
-        Sim {
-            actors,
-            node_of,
-            model,
-            queue: BinaryHeap::new(),
-            ready_at: vec![0; n],
-            now: 0,
-            seq: 0,
-            delivered: 0,
-        }
+        Sim { actors, node_of, model, queue: BinaryHeap::new(), ready_at: vec![0; n], now: 0, seq: 0, delivered: 0 }
     }
 
     fn flush(&mut self, pending: Vec<(Time, ActorId, ActorId, M)>) {
@@ -147,14 +138,8 @@ impl<M, A: Actor<M>> Sim<M, A> {
     /// Returns the final virtual time.
     pub fn run(&mut self, max_events: u64) -> Time {
         for i in 0..self.actors.len() {
-            let mut ctx = Ctx {
-                now: 0,
-                me: i,
-                model: &self.model,
-                node_of: &self.node_of,
-                pending: Vec::new(),
-                busy: 0,
-            };
+            let mut ctx =
+                Ctx { now: 0, me: i, model: &self.model, node_of: &self.node_of, pending: Vec::new(), busy: 0 };
             self.actors[i].on_start(&mut ctx);
             let busy = ctx.busy;
             let pending = std::mem::take(&mut ctx.pending);

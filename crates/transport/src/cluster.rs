@@ -67,7 +67,7 @@ impl ClusterBuilder {
         let topology = Topology::new(self.nodes, self.procs_per_node);
         let n_endpoints = topology.nprocs() + 2 * topology.nnodes();
         let (txs, rxs): (Vec<_>, Vec<_>) = (0..n_endpoints).map(|_| crossbeam_channel::unbounded()).unzip();
-        let trace = self.trace.then(|| Arc::new(crate::trace::Trace::new()));
+        let trace = self.trace.then(|| Arc::new(crate::trace::Trace::new(n_endpoints)));
         let inner = Arc::new(FabricInner {
             topology: topology.clone(),
             latency: self.latency,

@@ -120,6 +120,9 @@ impl XorShift64 {
 /// or a server thread); not `Clone`.
 pub struct Mailbox {
     me: Endpoint,
+    /// `me`'s dense endpoint index — the trace shard this mailbox's sends
+    /// are recorded into.
+    my_index: usize,
     inner: Arc<FabricInner>,
     rx: Receiver<Envelope>,
     /// Messages popped from `rx` but not matched by a `recv_match`
@@ -133,8 +136,9 @@ pub struct Mailbox {
 
 impl Mailbox {
     pub(crate) fn new(me: Endpoint, inner: Arc<FabricInner>, rx: Receiver<Envelope>) -> Self {
-        let seed = inner.seed ^ ((endpoint_index(&inner.topology, me) as u64 + 1) << 32);
-        Mailbox { me, inner, rx, deferred: VecDeque::new(), pending: None, rng: XorShift64::new(seed) }
+        let my_index = endpoint_index(&inner.topology, me);
+        let seed = inner.seed ^ ((my_index as u64 + 1) << 32);
+        Mailbox { me, my_index, inner, rx, deferred: VecDeque::new(), pending: None, rng: XorShift64::new(seed) }
     }
 
     /// This mailbox's endpoint identity.
@@ -161,10 +165,15 @@ impl Mailbox {
     /// entirely on the receive side via the delivery stamp. Sending to a
     /// torn-down endpoint is silently dropped, which only happens during
     /// cluster teardown.
-    pub fn send(&mut self, dst: Endpoint, tag: Tag, body: Vec<u8>) {
+    ///
+    /// `body` is anything convertible to [`crate::Body`]: a `Vec<u8>`
+    /// (moved, no copy), a pooled shared buffer, or a small slice
+    /// (stored inline, no allocation).
+    pub fn send(&mut self, dst: Endpoint, tag: Tag, body: impl Into<crate::Body>) {
+        let body = body.into();
         let topo = &self.inner.topology;
         if let Some(trace) = &self.inner.trace {
-            trace.record(self.me, dst, tag, body.len());
+            trace.record(self.my_index, self.me, dst, tag, body.len());
         }
         let same_node = node_of_endpoint(topo, self.me) == node_of_endpoint(topo, dst);
         let mut lat = self.inner.latency.one_way(same_node, body.len());
@@ -253,7 +262,7 @@ impl Mailbox {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ids::{NodeId, ProcId};
+    use crate::ids::ProcId;
     use std::time::Duration;
 
     fn fabric_pair(latency: LatencyModel) -> (Mailbox, Mailbox) {
@@ -343,12 +352,27 @@ mod tests {
 
     #[test]
     fn disconnect_reported() {
-        let (a, mut b) = fabric_pair(LatencyModel::zero());
-        drop(a);
-        // All senders live in the shared FabricInner, which `a`'s drop does
-        // not tear down (b still holds it) — so emulate teardown by
-        // dropping b's view only after checking behaviour is Empty.
-        assert!(b.try_recv().unwrap().is_none());
+        // Build a mailbox whose every sender handle is dropped — the state
+        // an endpoint observes at cluster teardown. In-flight messages
+        // must still drain before the disconnect is reported.
+        let topo = Topology::new(2, 1);
+        let n = topo.nprocs() + topo.nnodes();
+        let (txs, _rxs): (Vec<_>, Vec<_>) = (0..n).map(|_| crossbeam_channel::unbounded()).unzip();
+        let inner = Arc::new(FabricInner { topology: topo, latency: LatencyModel::zero(), txs, seed: 7, trace: None });
+        let (tx, rx) = crossbeam_channel::unbounded::<Envelope>();
+        let mut b = Mailbox::new(Endpoint::Proc(ProcId(1)), inner, rx);
+        let sent = tx.send(Envelope {
+            msg: Msg { src: Endpoint::Proc(ProcId(0)), tag: Tag(3), body: vec![9].into() },
+            deliver_at: Instant::now(),
+        });
+        assert!(sent.is_ok());
+        drop(tx);
+        // The already-sent message drains first...
+        assert_eq!(b.recv().unwrap().body, vec![9]);
+        // ...then every receive flavour reports the torn-down fabric.
+        assert!(matches!(b.recv(), Err(RecvError)));
+        assert!(matches!(b.try_recv(), Err(RecvError)));
+        assert!(matches!(b.recv_tag(Tag(3)), Err(RecvError)));
     }
 
     #[test]

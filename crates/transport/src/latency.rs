@@ -145,9 +145,7 @@ mod tests {
 
     #[test]
     fn builder_chain_overrides() {
-        let m = LatencyModel::myrinet_like()
-            .with_inter_node(Duration::from_millis(1))
-            .with_intra_node(Duration::ZERO);
+        let m = LatencyModel::myrinet_like().with_inter_node(Duration::from_millis(1)).with_intra_node(Duration::ZERO);
         assert_eq!(m.one_way(false, 0), Duration::from_millis(1));
         assert_eq!(m.one_way(true, 0), Duration::ZERO);
     }

@@ -34,6 +34,7 @@
 //! degrades gracefully on machines with fewer cores than simulated
 //! processes.
 
+pub mod body;
 pub mod cluster;
 pub mod fabric;
 pub mod ids;
@@ -43,6 +44,7 @@ pub mod message;
 pub mod trace;
 pub mod wait;
 
+pub use body::{Body, BodyPool};
 pub use cluster::{Cluster, ClusterBuilder};
 pub use fabric::{Mailbox, RecvError};
 pub use ids::{NodeId, ProcId, Topology};

@@ -188,7 +188,7 @@ impl Segment {
     /// Panics if `offset` is not 8-aligned or out of bounds.
     #[inline]
     pub fn atomic_u64(&self, offset: usize) -> &AtomicU64 {
-        assert!(offset % 8 == 0, "atomic access requires 8-aligned offset, got {offset}");
+        assert!(offset.is_multiple_of(8), "atomic access requires 8-aligned offset, got {offset}");
         self.check_range(offset, 8);
         &self.words[offset / 8]
     }
@@ -255,7 +255,7 @@ impl Segment {
     /// mixing pair and single-word atomics on the same cell is a usage
     /// error, just as it would have been in ARMCI.
     pub fn pair_swap(&self, offset: usize, new: [u64; 2]) -> [u64; 2] {
-        assert!(offset % 16 == 0, "pair access requires 16-aligned offset, got {offset}");
+        assert!(offset.is_multiple_of(16), "pair access requires 16-aligned offset, got {offset}");
         self.check_range(offset, 16);
         let _g = self.pair_stripe(offset).lock();
         let w = offset / 8;
@@ -269,7 +269,7 @@ impl Segment {
     /// Returns the pair observed before the operation; the swap succeeded
     /// iff that equals `expect`.
     pub fn pair_compare_swap(&self, offset: usize, expect: [u64; 2], new: [u64; 2]) -> [u64; 2] {
-        assert!(offset % 16 == 0, "pair access requires 16-aligned offset, got {offset}");
+        assert!(offset.is_multiple_of(16), "pair access requires 16-aligned offset, got {offset}");
         self.check_range(offset, 16);
         let _g = self.pair_stripe(offset).lock();
         let w = offset / 8;
@@ -283,7 +283,7 @@ impl Segment {
 
     /// Atomically read the pair of `u64`s at 16-aligned `offset`.
     pub fn pair_read(&self, offset: usize) -> [u64; 2] {
-        assert!(offset % 16 == 0, "pair access requires 16-aligned offset, got {offset}");
+        assert!(offset.is_multiple_of(16), "pair access requires 16-aligned offset, got {offset}");
         self.check_range(offset, 16);
         let _g = self.pair_stripe(offset).lock();
         let w = offset / 8;

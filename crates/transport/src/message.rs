@@ -5,6 +5,7 @@
 //! meaning is assigned entirely by the layers above (tag ranges are
 //! documented on [`Tag`]).
 
+use crate::body::Body;
 use crate::ids::{NodeId, ProcId};
 
 /// A message destination or source.
@@ -82,8 +83,11 @@ pub struct Msg {
     pub src: Endpoint,
     /// Protocol tag.
     pub tag: Tag,
-    /// Opaque payload.
-    pub body: Vec<u8>,
+    /// Opaque payload. [`Body`] dereferences to `[u8]` and is built from a
+    /// `Vec<u8>` at no cost, so most code treats it exactly like the
+    /// `Vec<u8>` it used to be; see [`crate::body`] for the zero-copy
+    /// representations.
+    pub body: Body,
 }
 
 impl Msg {
@@ -111,15 +115,17 @@ mod tests {
 
     #[test]
     fn tag_ranges_are_disjoint_and_ordered() {
-        assert!(Tag::MSGLIB_BASE < Tag::ARMCI_BASE);
-        assert!(Tag::ARMCI_BASE < Tag::GA_BASE);
-        assert!(Tag::GA_BASE < Tag::INTERNAL_BASE);
+        const {
+            assert!(Tag::MSGLIB_BASE < Tag::ARMCI_BASE);
+            assert!(Tag::ARMCI_BASE < Tag::GA_BASE);
+            assert!(Tag::GA_BASE < Tag::INTERNAL_BASE);
+        }
     }
 
     #[test]
     #[should_panic]
     fn src_proc_panics_for_server() {
-        let m = Msg { src: Endpoint::Server(NodeId(0)), tag: Tag(0), body: vec![] };
+        let m = Msg { src: Endpoint::Server(NodeId(0)), tag: Tag(0), body: Body::empty() };
         let _ = m.src_proc();
     }
 }

@@ -29,30 +29,53 @@ pub struct TraceEvent {
 }
 
 /// A shared, append-only trace of message sends.
+///
+/// Storage is sharded per sending endpoint: each sender appends to its own
+/// buffer under an uncontended lock, so tracing never serializes the hot
+/// send path across threads. Shards are merged (sorted by timestamp) on
+/// every read-side query.
 pub struct Trace {
     t0: Instant,
-    events: Mutex<Vec<TraceEvent>>,
+    shards: Vec<Mutex<Vec<TraceEvent>>>,
 }
 
 impl Trace {
-    pub(crate) fn new() -> Self {
-        Trace { t0: Instant::now(), events: Mutex::new(Vec::new()) }
+    /// A trace with one shard per sending endpoint (`shards` =
+    /// `endpoint_index` domain size).
+    pub(crate) fn new(shards: usize) -> Self {
+        Trace { t0: Instant::now(), shards: (0..shards.max(1)).map(|_| Mutex::new(Vec::new())).collect() }
     }
 
-    pub(crate) fn record(&self, src: Endpoint, dst: Endpoint, tag: Tag, size: usize) {
+    /// Record one send into the sender's shard (`shard` is the sender's
+    /// dense endpoint index).
+    pub(crate) fn record(&self, shard: usize, src: Endpoint, dst: Endpoint, tag: Tag, size: usize) {
         let ev = TraceEvent { at: self.t0.elapsed(), src, dst, tag, size };
-        self.events.lock().unwrap().push(ev);
+        self.shards[shard].lock().unwrap().push(ev);
     }
 
-    /// Copy out everything recorded so far (in send order per thread;
-    /// interleaving across threads follows lock acquisition order).
+    /// Visit every event recorded so far, shard by shard (each shard in
+    /// send order).
+    fn for_each(&self, mut f: impl FnMut(&TraceEvent)) {
+        for shard in &self.shards {
+            for ev in shard.lock().unwrap().iter() {
+                f(ev);
+            }
+        }
+    }
+
+    /// Copy out everything recorded so far, merged across senders in
+    /// timestamp order (ties keep per-sender send order — the sort is
+    /// stable and each shard is already ordered).
     pub fn snapshot(&self) -> Vec<TraceEvent> {
-        self.events.lock().unwrap().clone()
+        let mut out = Vec::new();
+        self.for_each(|ev| out.push(*ev));
+        out.sort_by_key(|ev| ev.at);
+        out
     }
 
     /// Number of events recorded.
     pub fn len(&self) -> usize {
-        self.events.lock().unwrap().len()
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
     }
 
     /// True if nothing was recorded.
@@ -62,31 +85,37 @@ impl Trace {
 
     /// Discard everything recorded so far (e.g. to trace only a phase).
     pub fn clear(&self) {
-        self.events.lock().unwrap().clear();
+        for shard in &self.shards {
+            shard.lock().unwrap().clear();
+        }
     }
 
     /// Message counts per (src, dst) pair.
     pub fn pair_counts(&self) -> HashMap<(Endpoint, Endpoint), u64> {
         let mut out = HashMap::new();
-        for ev in self.events.lock().unwrap().iter() {
-            *out.entry((ev.src, ev.dst)).or_insert(0) += 1;
-        }
+        self.for_each(|ev| *out.entry((ev.src, ev.dst)).or_insert(0) += 1);
         out
     }
 
     /// Messages sent by each endpoint.
     pub fn sent_by(&self, ep: Endpoint) -> u64 {
-        self.events.lock().unwrap().iter().filter(|e| e.src == ep).count() as u64
+        let mut n = 0;
+        self.for_each(|ev| n += u64::from(ev.src == ep));
+        n
     }
 
     /// Total messages matching a tag predicate.
     pub fn count_tags(&self, mut pred: impl FnMut(Tag) -> bool) -> u64 {
-        self.events.lock().unwrap().iter().filter(|e| pred(e.tag)).count() as u64
+        let mut n = 0;
+        self.for_each(|ev| n += u64::from(pred(ev.tag)));
+        n
     }
 
     /// Total payload bytes recorded.
     pub fn total_bytes(&self) -> u64 {
-        self.events.lock().unwrap().iter().map(|e| e.size as u64).sum()
+        let mut n = 0;
+        self.for_each(|ev| n += ev.size as u64);
+        n
     }
 }
 
@@ -101,11 +130,11 @@ mod tests {
 
     #[test]
     fn records_and_aggregates() {
-        let t = Trace::new();
+        let t = Trace::new(2);
         assert!(t.is_empty());
-        t.record(ep(0), ep(1), Tag(5), 10);
-        t.record(ep(0), ep(1), Tag(5), 20);
-        t.record(ep(1), Endpoint::Server(NodeId(0)), Tag(9), 5);
+        t.record(0, ep(0), ep(1), Tag(5), 10);
+        t.record(0, ep(0), ep(1), Tag(5), 20);
+        t.record(1, ep(1), Endpoint::Server(NodeId(0)), Tag(9), 5);
         assert_eq!(t.len(), 3);
         assert_eq!(t.pair_counts()[&(ep(0), ep(1))], 2);
         assert_eq!(t.sent_by(ep(0)), 2);
@@ -116,20 +145,24 @@ mod tests {
 
     #[test]
     fn clear_resets() {
-        let t = Trace::new();
-        t.record(ep(0), ep(1), Tag(1), 1);
+        let t = Trace::new(2);
+        t.record(0, ep(0), ep(1), Tag(1), 1);
+        t.record(1, ep(1), ep(0), Tag(1), 1);
         t.clear();
         assert!(t.is_empty());
         assert!(t.pair_counts().is_empty());
     }
 
     #[test]
-    fn timestamps_are_monotone_per_thread() {
-        let t = Trace::new();
+    fn snapshot_merges_shards_in_timestamp_order() {
+        let t = Trace::new(3);
+        // Interleave shards; per-shard order plus the timestamp sort must
+        // yield a globally monotone snapshot.
         for i in 0..10 {
-            t.record(ep(0), ep(1), Tag(i), 0);
+            t.record((i % 3) as usize, ep(i % 3), ep(1), Tag(i), 0);
         }
         let snap = t.snapshot();
+        assert_eq!(snap.len(), 10);
         for w in snap.windows(2) {
             assert!(w[0].at <= w[1].at);
         }

@@ -30,11 +30,8 @@ fn server_and_nic_queues_are_independent() {
     let mut nic = c.take_nic(NodeId(1));
     // Interleave sends to both agents of node 1; each sees only its own.
     for i in 0..6u8 {
-        let (ep, tag) = if i % 2 == 0 {
-            (Endpoint::Server(NodeId(1)), Tag(1))
-        } else {
-            (Endpoint::Nic(NodeId(1)), Tag(2))
-        };
+        let (ep, tag) =
+            if i % 2 == 0 { (Endpoint::Server(NodeId(1)), Tag(1)) } else { (Endpoint::Nic(NodeId(1)), Tag(2)) };
         p0.send(ep, tag, vec![i]);
     }
     for want in [0u8, 2, 4] {
@@ -65,9 +62,7 @@ fn trace_includes_latency_annotated_sends() {
 fn jitter_reorders_across_channels_but_not_within() {
     // With heavy jitter, messages from two senders interleave in receive
     // order, but each sender's own stream stays FIFO.
-    let lat = LatencyModel::zero()
-        .with_inter_node(Duration::from_micros(100))
-        .with_jitter(Duration::from_millis(2));
+    let lat = LatencyModel::zero().with_inter_node(Duration::from_micros(100)).with_jitter(Duration::from_millis(2));
     let mut c = Cluster::builder().nodes(3).procs_per_node(1).latency(lat).seed(3).build();
     let mut p0 = c.take_proc(ProcId(0));
     let mut p1 = c.take_proc(ProcId(1));

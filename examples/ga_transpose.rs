@@ -28,9 +28,8 @@ fn main() {
 
         // Fill A with A[i][j] = i * N + j, collectively.
         let own = a.owned_patch(armci.rank());
-        let data: Vec<f64> = (own.row_lo..own.row_hi)
-            .flat_map(|i| (own.col_lo..own.col_hi).map(move |j| (i * N + j) as f64))
-            .collect();
+        let data: Vec<f64> =
+            (own.row_lo..own.row_hi).flat_map(|i| (own.col_lo..own.col_hi).map(move |j| (i * N + j) as f64)).collect();
         a.put(armci, own, &data);
         a.sync(armci, SyncAlg::CombinedBarrier);
 

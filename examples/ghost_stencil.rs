@@ -18,9 +18,7 @@ const ITERS: usize = 20;
 
 fn reference() -> Vec<f64> {
     let mut cur = vec![0.0f64; N * N];
-    for j in 0..N {
-        cur[j] = 100.0; // hot top edge
-    }
+    cur[..N].fill(100.0); // hot top edge
     let mut next = cur.clone();
     for _ in 0..ITERS {
         for i in 1..N - 1 {
@@ -70,8 +68,9 @@ fn main() {
         }
         // Return my interior for stitching.
         let own = g.interior();
-        let vals: Vec<f64> =
-            (own.row_lo..own.row_hi).flat_map(|r| (own.col_lo..own.col_hi).map(|c| g.at(r, c)).collect::<Vec<_>>()).collect();
+        let vals: Vec<f64> = (own.row_lo..own.row_hi)
+            .flat_map(|r| (own.col_lo..own.col_hi).map(|c| g.at(r, c)).collect::<Vec<_>>())
+            .collect();
         (own, vals)
     });
 

@@ -15,8 +15,8 @@
 //! cargo run --release --example nxtval_farm
 //! ```
 
-use armci_repro::prelude::*;
 use armci_repro::armci_ga::SharedCounters;
+use armci_repro::prelude::*;
 
 const STRIPS: i64 = 400;
 /// Quadrature points per strip — enough compute per task that drawing

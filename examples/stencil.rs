@@ -38,9 +38,7 @@ fn reference() -> Vec<f64> {
 /// Boundary = 100.0 on the top edge, 0 elsewhere.
 fn init_grid() -> Vec<f64> {
     let mut g = vec![0.0f64; N * N];
-    for j in 0..N {
-        g[j] = 100.0;
-    }
+    g[..N].fill(100.0);
     g
 }
 
@@ -100,15 +98,13 @@ fn main() {
             // into my neighbours' `nxt` halo slots, one-sidedly.
             let halo_off = |r: usize| (nxt * buf_rows + r) * row_bytes;
             if me > 0 {
-                let row: Vec<u8> =
-                    read_row(nxt, 1).iter().flat_map(|v| v.to_le_bytes()).collect();
+                let row: Vec<u8> = read_row(nxt, 1).iter().flat_map(|v| v.to_le_bytes()).collect();
                 // My row `lo` is neighbour's halo row (their r = nrows+1).
                 let their_nrows = ((1 + (me - 1) * rows_per + rows_per).min(N - 1)) - (1 + (me - 1) * rows_per);
                 armci.put(GlobalAddr::new(ProcId(me as u32 - 1), seg, halo_off(their_nrows + 1)), &row);
             }
             if me < n - 1 {
-                let row: Vec<u8> =
-                    read_row(nxt, nrows).iter().flat_map(|v| v.to_le_bytes()).collect();
+                let row: Vec<u8> = read_row(nxt, nrows).iter().flat_map(|v| v.to_le_bytes()).collect();
                 armci.put(GlobalAddr::new(ProcId(me as u32 + 1), seg, halo_off(0)), &row);
             }
             // One combined fence+barrier completes the halos everywhere

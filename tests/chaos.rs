@@ -150,7 +150,9 @@ fn chaos_nic_assist() {
         let mut mine = 0u64;
         for _ in 0..40 {
             match rng.gen_range(0..3u32) {
-                0 => a.put_u64(GlobalAddr::new(ProcId(rng.gen_range(0..4)), seg, 256 + 8 * rng.gen_range(0..8usize)), 1),
+                0 => {
+                    a.put_u64(GlobalAddr::new(ProcId(rng.gen_range(0..4)), seg, 256 + 8 * rng.gen_range(0..8usize)), 1)
+                }
                 1 => {
                     let _ = a.fetch_add_u64(GlobalAddr::new(ProcId(rng.gen_range(0..4)), seg, 128), 1);
                 }

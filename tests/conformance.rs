@@ -69,13 +69,7 @@ fn visibility_matrix_ack_modes_x_topologies() {
 #[test]
 fn lock_matrix_algos_x_topologies() {
     for (nodes, ppn) in topologies() {
-        for algo in [
-            LockAlgo::Hybrid,
-            LockAlgo::TicketPoll,
-            LockAlgo::Mcs,
-            LockAlgo::McsPair,
-            LockAlgo::McsSwap,
-        ] {
+        for algo in [LockAlgo::Hybrid, LockAlgo::TicketPoll, LockAlgo::Mcs, LockAlgo::McsPair, LockAlgo::McsSwap] {
             let cfg = ArmciCfg {
                 nodes,
                 procs_per_node: ppn,
@@ -90,7 +84,7 @@ fn lock_matrix_algos_x_topologies() {
 
 #[test]
 fn sync_algorithms_equivalent_across_matrix() {
-    use armci_repro::armci_ga::{GlobalArray, Patch, SyncAlg};
+    use armci_repro::armci_ga::{GlobalArray, SyncAlg};
     for (nodes, ppn) in [(4u32, 1u32), (2, 2)] {
         for alg in [SyncAlg::Baseline, SyncAlg::CombinedBarrier] {
             let cfg = ArmciCfg { nodes, procs_per_node: ppn, latency: LatencyModel::zero(), ..Default::default() };

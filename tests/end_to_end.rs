@@ -8,12 +8,7 @@ use std::time::Duration;
 #[test]
 fn full_stack_ga_plus_locks_plus_barriers() {
     // 2 nodes x 2 procs: shared-memory and network paths both exercised.
-    let cfg = ArmciCfg {
-        nodes: 2,
-        procs_per_node: 2,
-        latency: LatencyModel::zero(),
-        ..Default::default()
-    };
+    let cfg = ArmciCfg { nodes: 2, procs_per_node: 2, latency: LatencyModel::zero(), ..Default::default() };
     let out = armci_core::run_cluster(cfg, |a| {
         let ga = GlobalArray::create(a, 16, 16);
         ga.fill(a, 0.0);
@@ -44,9 +39,8 @@ fn jitter_injection_does_not_break_protocols() {
     // inter-node message reorders deliveries *across* channels (never
     // within one), shaking out ordering assumptions.
     for seed in [1u64, 7, 42] {
-        let lat = LatencyModel::zero()
-            .with_inter_node(Duration::from_micros(20))
-            .with_jitter(Duration::from_micros(200));
+        let lat =
+            LatencyModel::zero().with_inter_node(Duration::from_micros(20)).with_jitter(Duration::from_micros(200));
         let cfg = ArmciCfg { nodes: 4, procs_per_node: 1, latency: lat, seed, ..Default::default() };
         let out = armci_core::run_cluster(cfg, |a| {
             let seg = a.malloc(8 * a.nprocs());

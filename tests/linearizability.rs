@@ -10,13 +10,8 @@ use armci_repro::prelude::*;
 use std::time::Instant;
 
 fn record_intervals(algo: LockAlgo, nodes: u32, ppn: u32, iters: usize) -> Vec<Vec<(u128, u128)>> {
-    let cfg = ArmciCfg {
-        nodes,
-        procs_per_node: ppn,
-        latency: LatencyModel::zero(),
-        lock_algo: algo,
-        ..Default::default()
-    };
+    let cfg =
+        ArmciCfg { nodes, procs_per_node: ppn, latency: LatencyModel::zero(), lock_algo: algo, ..Default::default() };
     let t0 = Instant::now();
     armci_repro::armci_core::run_cluster(cfg, move |a| {
         let lock = LockId { owner: ProcId(0), idx: 0 };

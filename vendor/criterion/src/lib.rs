@@ -1,0 +1,237 @@
+//! Minimal offline stand-in for the `criterion` crate (see the
+//! `[patch.crates-io]` table in the root `Cargo.toml`).
+//!
+//! Implements exactly the API surface the workspace's benches use:
+//! `Criterion::benchmark_group`, `BenchmarkGroup::{throughput, sample_size,
+//! measurement_time, bench_function, bench_with_input, finish}`,
+//! `Bencher::{iter, iter_custom}`, `BenchmarkId`, `Throughput`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is a deliberately simple warmup + adaptive-batch timer: it
+//! produces stable ns/iter numbers for the repo's relative comparisons
+//! without criterion's statistical machinery. Results print as
+//! `<group>/<name> ... <ns> ns/iter` lines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque hint preventing the optimizer from deleting a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark (stored; used for MB/s reporting).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier composed of a function name and a parameter.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("write", 4096)` → `write/4096`.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Identifier consisting of the parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    measured_ns: f64,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Time `f` with a warmup pass then adaptive batches until the
+    /// measurement budget (or a fixed iteration cap) is reached.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warmup
+        let budget = self.measurement_time.min(Duration::from_millis(200));
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= budget || iters >= 1 << 24 {
+                self.measured_ns = elapsed.as_nanos() as f64 / iters as f64;
+                return;
+            }
+            iters *= 2;
+        }
+    }
+
+    /// Hand full control of iteration to `f`, which returns the elapsed
+    /// time for the requested number of iterations.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        let iters = self.sample_size.max(2) as u64 / 2;
+        let total = f(iters);
+        self.measured_ns = total.as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _c: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the nominal sample count (scales `iter_custom` iterations).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Set the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run a benchmark closure under `id`.
+    pub fn bench_function<S: Display, F: FnMut(&mut Bencher)>(&mut self, id: S, mut f: F) -> &mut Self {
+        let mut b =
+            Bencher { measured_ns: 0.0, sample_size: self.sample_size, measurement_time: self.measurement_time };
+        f(&mut b);
+        self.report(&id.to_string(), b.measured_ns);
+        self
+    }
+
+    /// Run a benchmark closure that also receives `input`.
+    pub fn bench_with_input<S: Display, I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: S,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b =
+            Bencher { measured_ns: 0.0, sample_size: self.sample_size, measurement_time: self.measurement_time };
+        f(&mut b, input);
+        self.report(&id.to_string(), b.measured_ns);
+        self
+    }
+
+    /// Finish the group (reporting is incremental, so this is a no-op).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, ns: f64) {
+        match self.throughput {
+            Some(Throughput::Bytes(bytes)) if ns > 0.0 => {
+                let mibps = bytes as f64 / (ns * 1e-9) / (1024.0 * 1024.0);
+                println!("{}/{:<28} {:>14.1} ns/iter {:>12.1} MiB/s", self.name, id, ns, mibps);
+            }
+            Some(Throughput::Elements(elems)) if ns > 0.0 => {
+                let eps = elems as f64 / (ns * 1e-9);
+                println!("{}/{:<28} {:>14.1} ns/iter {:>12.0} elem/s", self.name, id, ns, eps);
+            }
+            _ => println!("{}/{:<28} {:>14.1} ns/iter", self.name, id, ns),
+        }
+    }
+}
+
+/// Top-level benchmark driver (stand-in for criterion's `Criterion`).
+pub struct Criterion {}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {}
+    }
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_millis(100),
+            throughput: None,
+            _c: self,
+        }
+    }
+
+    /// Run a stand-alone benchmark (no group).
+    pub fn bench_function<S: Display, F: FnMut(&mut Bencher)>(&mut self, id: S, mut f: F) {
+        let mut b = Bencher { measured_ns: 0.0, sample_size: 10, measurement_time: Duration::from_millis(100) };
+        f(&mut b);
+        println!("{:<32} {:>14.1} ns/iter", id.to_string(), b.measured_ns);
+    }
+}
+
+/// Define a function running each benchmark target with a fresh `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `main` invoking each `criterion_group!`-defined group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(10).measurement_time(Duration::from_millis(5));
+        g.throughput(Throughput::Bytes(64));
+        let mut x = 0u64;
+        g.bench_function("add", |b| b.iter(|| x = x.wrapping_add(1)));
+        g.bench_with_input(BenchmarkId::new("id", 4), &4u32, |b, &n| {
+            b.iter_custom(|iters| {
+                let t = Instant::now();
+                for _ in 0..iters * n as u64 {
+                    black_box(n);
+                }
+                t.elapsed().max(Duration::from_nanos(1))
+            })
+        });
+        g.finish();
+        assert!(x > 0);
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter(9).to_string(), "9");
+    }
+}

@@ -1,0 +1,89 @@
+//! Minimal offline stand-in for the `crossbeam-channel` crate.
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so the workspace vendors tiny API-compatible shims for its external
+//! dependencies (see the `[patch.crates-io]` table in the root
+//! `Cargo.toml`). This one maps the subset of crossbeam-channel the
+//! transport uses onto `std::sync::mpsc` — which, since Rust 1.67, *is*
+//! a port of crossbeam-channel's unbounded channel, so the performance
+//! characteristics (lock-free block-linked list, blocking recv with
+//! thread parking) are the same.
+
+use std::sync::mpsc;
+
+/// Error returned by [`Sender::send`] when the receiver has been dropped.
+#[derive(PartialEq, Eq, Clone, Copy, Debug)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Receiver::recv`] when every sender has been dropped.
+#[derive(PartialEq, Eq, Clone, Copy, Debug)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(PartialEq, Eq, Clone, Copy, Debug)]
+pub enum TryRecvError {
+    /// The channel is currently empty (but senders remain).
+    Empty,
+    /// Every sender has been dropped and the buffer is drained.
+    Disconnected,
+}
+
+/// The sending half of an unbounded channel.
+pub struct Sender<T>(mpsc::Sender<T>);
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender(self.0.clone())
+    }
+}
+
+impl<T> Sender<T> {
+    /// Send `msg`; never blocks (the channel is unbounded).
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        self.0.send(msg).map_err(|mpsc::SendError(v)| SendError(v))
+    }
+}
+
+/// The receiving half of an unbounded channel.
+pub struct Receiver<T>(mpsc::Receiver<T>);
+
+impl<T> Receiver<T> {
+    /// Block until a message is available or all senders are gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.0.recv().map_err(|_| RecvError)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.0.try_recv().map_err(|e| match e {
+            mpsc::TryRecvError::Empty => TryRecvError::Empty,
+            mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+        })
+    }
+}
+
+/// Create an unbounded MPSC channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender(tx), Receiver(rx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_disconnect() {
+        let (tx, rx) = unbounded();
+        tx.send(1u32).unwrap();
+        let tx2 = tx.clone();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+}

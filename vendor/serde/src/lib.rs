@@ -1,0 +1,5 @@
+//! Offline placeholder for `serde` (see `[patch.crates-io]` in the root
+//! `Cargo.toml`). The workspace lists serde as a dependency of the bench
+//! crate but no code path serializes with it — the wire formats are all
+//! hand-framed via msglib — so an empty crate declaring the `derive`
+//! feature satisfies resolution without pulling in proc-macros.
