@@ -1,0 +1,71 @@
+//! `armci-launch` — run an SPMD netfab program with one OS process per
+//! *node* (node-local ranks stay threads inside each process, sharing
+//! memory segments — the paper's SMP-node model).
+//!
+//! ```text
+//! armci-launch --nodes N [--ppn P] -- program [program args...]
+//! ```
+//!
+//! The launcher binds the rendezvous listener, spawns `program` once per
+//! node with the `ARMCI_NETFAB_*` environment set (node id, rendezvous
+//! address, and the serialized cluster config as the payload), runs the
+//! bootstrap coordinator, and waits for every node process. The program
+//! must build its cluster with `armci_core::run_cluster_spawned`, which
+//! detects the environment and joins the mesh as the assigned node; node
+//! 0's process produces the program's normal output.
+//!
+//! Exit status: 0 when every node process succeeds, 1 otherwise.
+
+use armci_core::ArmciCfg;
+use armci_netfab::{bind_rendezvous, coordinate, spawn_nodes, wait_nodes};
+use armci_transport::LatencyModel;
+
+fn usage() -> ! {
+    eprintln!("usage: armci-launch --nodes N [--ppn P] -- program [args...]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut nodes: u32 = 0;
+    let mut ppn: u32 = 1;
+    let mut program: Option<String> = None;
+    let mut prog_args: Vec<String> = Vec::new();
+
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--nodes" => nodes = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--ppn" => ppn = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--" => {
+                program = it.next();
+                prog_args = it.collect();
+                break;
+            }
+            _ => usage(),
+        }
+    }
+    let Some(program) = program else { usage() };
+    if nodes == 0 || ppn == 0 {
+        usage();
+    }
+
+    // The payload config is authoritative in the node processes; latency
+    // models are meaningless on a real network, so ship zero.
+    let cfg = ArmciCfg { nodes, procs_per_node: ppn, latency: LatencyModel::zero(), ..Default::default() };
+    let payload = serde::to_string(&cfg);
+
+    let (listener, addr) = bind_rendezvous().expect("bind rendezvous listener");
+    let nnodes = nodes as usize;
+    // A single node never dials the coordinator (its mesh is empty).
+    let coord = (nnodes > 1).then(|| std::thread::spawn(move || coordinate(&listener, nnodes)));
+
+    let children = spawn_nodes(&program, &prog_args, 0..nodes, &addr, Some(&payload)).expect("spawn node processes");
+    if let Some(h) = coord {
+        h.join().expect("coordinator panicked").expect("rendezvous failed");
+    }
+    if let Err(e) = wait_nodes(children) {
+        eprintln!("armci-launch: {e}");
+        std::process::exit(1);
+    }
+}

@@ -4,43 +4,57 @@
 //! tables: it shows *which* messages each algorithm sends.
 //!
 //! ```text
-//! trace_dump [barrier|baseline|lock-mcs|lock-hybrid] [nprocs]
+//! trace_dump [barrier|baseline|lock-mcs|lock-hybrid] [nprocs] [--net]
 //! ```
+//!
+//! With `--net` the workload runs over netfab loopback TCP instead of the
+//! emulator: the same per-sender trace shards are filled by real socket
+//! traffic, so the two backends' structures can be diffed directly.
 
 use armci_bench::table::Table;
-use armci_core::runtime::run_cluster_traced;
-use armci_core::{ArmciCfg, GlobalAddr, LockAlgo, LockId};
+use armci_core::runtime::{run_cluster_net_loopback_traced, run_cluster_traced};
+use armci_core::{Armci, ArmciCfg, GlobalAddr, LockAlgo, LockId};
 use armci_transport::{Endpoint, LatencyModel, ProcId, Tag};
+
+fn run_traced(net: bool, cfg: ArmciCfg, f: fn(&mut Armci)) -> Option<std::sync::Arc<armci_transport::Trace>> {
+    if net {
+        run_cluster_net_loopback_traced(cfg, f).1
+    } else {
+        run_cluster_traced(cfg, f).1
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let what = args.first().map(String::as_str).unwrap_or("barrier");
-    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let net = args.iter().any(|a| a == "--net");
+    let mut positional = args.iter().filter(|a| !a.starts_with("--"));
+    let what = positional.next().map(String::as_str).unwrap_or("barrier");
+    let n: usize = positional.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let backend = if net { "netfab loopback TCP" } else { "emulator" };
 
     let mut cfg = ArmciCfg::flat(n as u32, LatencyModel::zero());
     cfg.trace = true;
 
     let trace = match what {
         "barrier" => {
-            println!("workload: one ARMCI_Barrier() on {n} procs (plus runtime teardown)");
-            run_cluster_traced(cfg, |a| a.barrier()).1
+            println!("workload: one ARMCI_Barrier() on {n} procs over {backend} (plus runtime teardown)");
+            run_traced(net, cfg, |a| a.barrier())
         }
         "baseline" => {
-            println!("workload: all-to-all puts + AllFence + MPI_Barrier on {n} procs");
-            run_cluster_traced(cfg, |a| {
+            println!("workload: all-to-all puts + AllFence + MPI_Barrier on {n} procs over {backend}");
+            run_traced(net, cfg, |a| {
                 let seg = a.malloc(8 * a.nprocs());
                 for r in 0..a.nprocs() {
                     a.put_u64(GlobalAddr::new(ProcId(r as u32), seg, 8 * a.rank()), 1);
                 }
                 a.sync_baseline();
             })
-            .1
         }
         "lock-mcs" | "lock-hybrid" => {
             let algo = if what == "lock-mcs" { LockAlgo::Mcs } else { LockAlgo::Hybrid };
-            println!("workload: 5 lock/unlock cycles per rank ({algo:?}) on {n} procs");
+            println!("workload: 5 lock/unlock cycles per rank ({algo:?}) on {n} procs over {backend}");
             cfg.lock_algo = algo;
-            run_cluster_traced(cfg, |a| {
+            run_traced(net, cfg, |a| {
                 let lock = LockId { owner: ProcId(0), idx: 0 };
                 a.barrier();
                 for _ in 0..5 {
@@ -49,10 +63,9 @@ fn main() {
                 }
                 a.barrier();
             })
-            .1
         }
         other => {
-            eprintln!("unknown workload '{other}' (try barrier|baseline|lock-mcs|lock-hybrid)");
+            eprintln!("unknown workload '{other}' (try barrier|baseline|lock-mcs|lock-hybrid, optionally --net)");
             std::process::exit(2);
         }
     }

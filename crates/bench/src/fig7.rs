@@ -8,9 +8,10 @@
 
 use std::time::Instant;
 
-use armci_core::{run_cluster, ArmciCfg};
+use armci_core::{run_cluster, run_cluster_spawned, ArmciCfg};
 use armci_ga::{GlobalArray, SyncAlg};
 use armci_msglib::{allreduce_sum_f64, barrier_binary_exchange};
+use armci_transport::LatencyModel;
 
 use crate::workloads::{bench_latency, scatter_remote_writes};
 
@@ -46,6 +47,48 @@ pub fn measure_ga_sync(n: usize, alg: SyncAlg, iters: usize, latency_ns: u64) ->
         v[0] / a.nprocs() as f64
     });
     Fig7Point { n, mean_ns: out[0] }
+}
+
+/// Measure **both** `GA_Sync()` algorithms over netfab, one OS process
+/// per node, inside a single spawned cluster run. Returns
+/// `(baseline_ns, combined_ns)` — the per-iteration means averaged over
+/// processes, as observed by rank 0.
+///
+/// Both algorithms run in one `run_cluster_spawned` call because the
+/// spawned node processes re-enter `main` with `child_args` and must
+/// route back to exactly one call site; measuring the algorithms in two
+/// separate cluster runs from the same argv would break that rule.
+/// Timing here is real socket latency (no injected model), so absolute
+/// values depend on the host; the *shape* (combined barrier ahead of the
+/// sequential allfence) is what carries over.
+pub fn measure_ga_sync_net_pair(n: usize, iters: usize, child_args: &[String]) -> (f64, f64) {
+    let cfg = ArmciCfg::flat(n as u32, LatencyModel::zero());
+    let out = run_cluster_spawned(cfg, child_args, move |a| {
+        let rows = 8 * a.nprocs();
+        let ga = GlobalArray::create(a, rows, rows);
+        let warmup = (iters / 4).max(2);
+        let mut means = [0.0f64; 2];
+        for (i, alg) in [SyncAlg::Baseline, SyncAlg::CombinedBarrier].into_iter().enumerate() {
+            let mut total_ns = 0.0f64;
+            // Untimed warmup settles socket buffers, branch predictors and
+            // the OS scheduler before anything counts — real-network runs
+            // have cold-start noise the emulator planes never see.
+            for it in 0..warmup + iters {
+                scatter_remote_writes(a, &ga, it as f64);
+                barrier_binary_exchange(a);
+                let t0 = Instant::now();
+                ga.sync(a, alg);
+                if it >= warmup {
+                    total_ns += t0.elapsed().as_nanos() as f64;
+                }
+            }
+            let mut v = [total_ns / iters as f64];
+            allreduce_sum_f64(a, &mut v);
+            means[i] = v[0] / a.nprocs() as f64;
+        }
+        means
+    });
+    (out[0][0], out[0][1])
 }
 
 #[cfg(test)]

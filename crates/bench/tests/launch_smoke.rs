@@ -1,0 +1,28 @@
+//! End-to-end launcher smoke test: `armci-launch` spawns the `reproduce`
+//! binary's `net-selftest` across two real OS processes, which form a TCP
+//! mesh, exchange data, and report.
+
+use std::process::Command;
+
+#[test]
+fn armci_launch_runs_net_selftest_across_processes() {
+    let out = Command::new(env!("CARGO_BIN_EXE_armci-launch"))
+        .args(["--nodes", "2", "--ppn", "2", "--"])
+        .arg(env!("CARGO_BIN_EXE_reproduce"))
+        .arg("net-selftest")
+        .output()
+        .expect("run armci-launch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "launch failed: {out:?}\nstdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("net-selftest ok"), "missing selftest marker\nstdout: {stdout}\nstderr: {stderr}");
+}
+
+#[test]
+fn armci_launch_rejects_bad_usage() {
+    let out = Command::new(env!("CARGO_BIN_EXE_armci-launch"))
+        .args(["--nodes", "2"]) // no `-- program`
+        .output()
+        .expect("run armci-launch");
+    assert_eq!(out.status.code(), Some(2));
+}

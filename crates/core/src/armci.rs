@@ -123,10 +123,16 @@ impl Armci {
         self.my_node
     }
 
-    /// Operation counters accumulated so far.
+    /// Operation counters accumulated so far. The wire counters come from
+    /// the transport backend at call time, so they include every message
+    /// this endpoint has put on the inter-node wire so far.
     #[inline]
     pub fn stats(&self) -> Stats {
-        self.stats
+        let mut s = self.stats;
+        let w = self.mb.wire_counters();
+        s.wire_msgs = w.msgs;
+        s.wire_bytes = w.bytes;
+        s
     }
 
     /// Number of lock slots each process allocated at init.

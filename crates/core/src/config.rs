@@ -2,6 +2,7 @@
 //! lock algorithm.
 
 use armci_transport::LatencyModel;
+use serde::{Deserialize, Error, Serialize, Value};
 
 /// Whether the communication subsystem acknowledges put messages —
 /// the distinction §3.1.1 of the paper draws between LAPI/VIA-style
@@ -142,6 +143,100 @@ impl ArmciCfg {
     }
 }
 
+// serde impls, written out by hand (the vendored shim has no derive
+// macro). The launcher ships an `ArmciCfg` to spawned node processes in
+// an environment variable, so the whole config must round-trip.
+
+impl AckMode {
+    fn name(self) -> &'static str {
+        match self {
+            AckMode::Gm => "gm",
+            AckMode::Via => "via",
+        }
+    }
+}
+
+impl Serialize for AckMode {
+    fn to_value(&self) -> Value {
+        Value::Str(self.name().to_string())
+    }
+}
+
+impl Deserialize for AckMode {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v.as_str()? {
+            "gm" => Ok(AckMode::Gm),
+            "via" => Ok(AckMode::Via),
+            other => Err(Error::new(format!("unknown ack mode {other:?}"))),
+        }
+    }
+}
+
+impl LockAlgo {
+    fn name(self) -> &'static str {
+        match self {
+            LockAlgo::Hybrid => "hybrid",
+            LockAlgo::Mcs => "mcs",
+            LockAlgo::McsPair => "mcs_pair",
+            LockAlgo::ServerOnly => "server_only",
+            LockAlgo::TicketPoll => "ticket_poll",
+            LockAlgo::McsSwap => "mcs_swap",
+        }
+    }
+}
+
+impl Serialize for LockAlgo {
+    fn to_value(&self) -> Value {
+        Value::Str(self.name().to_string())
+    }
+}
+
+impl Deserialize for LockAlgo {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v.as_str()? {
+            "hybrid" => Ok(LockAlgo::Hybrid),
+            "mcs" => Ok(LockAlgo::Mcs),
+            "mcs_pair" => Ok(LockAlgo::McsPair),
+            "server_only" => Ok(LockAlgo::ServerOnly),
+            "ticket_poll" => Ok(LockAlgo::TicketPoll),
+            "mcs_swap" => Ok(LockAlgo::McsSwap),
+            other => Err(Error::new(format!("unknown lock algorithm {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for ArmciCfg {
+    fn to_value(&self) -> Value {
+        Value::map(vec![
+            ("nodes", Value::U64(self.nodes as u64)),
+            ("procs_per_node", Value::U64(self.procs_per_node as u64)),
+            ("latency", self.latency.to_value()),
+            ("ack_mode", self.ack_mode.to_value()),
+            ("lock_algo", self.lock_algo.to_value()),
+            ("locks_per_proc", Value::U64(self.locks_per_proc as u64)),
+            ("seed", Value::U64(self.seed)),
+            ("trace", Value::Bool(self.trace)),
+            ("nic_assist", Value::Bool(self.nic_assist)),
+        ])
+    }
+}
+
+impl Deserialize for ArmciCfg {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(ArmciCfg {
+            nodes: u32::from_value(v.field("nodes")?)?,
+            procs_per_node: u32::from_value(v.field("procs_per_node")?)?,
+            latency: LatencyModel::from_value(v.field("latency")?)?,
+            ack_mode: AckMode::from_value(v.field("ack_mode")?)?,
+            lock_algo: LockAlgo::from_value(v.field("lock_algo")?)?,
+            locks_per_proc: u32::from_value(v.field("locks_per_proc")?)?,
+            seed: u64::from_value(v.field("seed")?)?,
+            trace: bool::from_value(v.field("trace")?)?,
+            nic_assist: bool::from_value(v.field("nic_assist")?)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,5 +257,46 @@ mod tests {
         assert_eq!(c.procs_per_node, 1);
         assert_eq!(c.ack_mode, AckMode::Via);
         assert_eq!(c.locks_per_proc, 2);
+    }
+
+    #[test]
+    fn cfg_roundtrips_through_json() {
+        let cfg = ArmciCfg {
+            nodes: 4,
+            procs_per_node: 2,
+            latency: armci_transport::LatencyModel::myrinet_like(),
+            ack_mode: AckMode::Via,
+            lock_algo: LockAlgo::McsSwap,
+            locks_per_proc: 7,
+            seed: 99,
+            trace: true,
+            nic_assist: true,
+        };
+        let json = serde::to_string(&cfg);
+        let back: ArmciCfg = serde::from_str(&json).unwrap();
+        assert_eq!(back.nodes, 4);
+        assert_eq!(back.procs_per_node, 2);
+        assert_eq!(back.latency, cfg.latency);
+        assert_eq!(back.ack_mode, AckMode::Via);
+        assert_eq!(back.lock_algo, LockAlgo::McsSwap);
+        assert_eq!(back.locks_per_proc, 7);
+        assert_eq!(back.seed, 99);
+        assert!(back.trace);
+        assert!(back.nic_assist);
+    }
+
+    #[test]
+    fn every_lock_algo_roundtrips() {
+        for algo in [
+            LockAlgo::Hybrid,
+            LockAlgo::Mcs,
+            LockAlgo::McsPair,
+            LockAlgo::ServerOnly,
+            LockAlgo::TicketPoll,
+            LockAlgo::McsSwap,
+        ] {
+            let json = serde::to_string(&algo);
+            assert_eq!(serde::from_str::<LockAlgo>(&json), Ok(algo));
+        }
     }
 }

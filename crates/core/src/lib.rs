@@ -55,6 +55,9 @@ pub use armci::{Armci, LockId};
 pub use config::{AckMode, ArmciCfg, LockAlgo};
 pub use gptr::{GlobalAddr, PackedPtr};
 pub use msg::{Req, ReqView, RmwOp};
-pub use runtime::run_cluster;
+pub use runtime::{
+    run_cluster, run_cluster_net, run_cluster_net_loopback, run_cluster_net_loopback_traced, run_cluster_spawned,
+    run_cluster_traced,
+};
 pub use stats::Stats;
 pub use strided::Strided2D;

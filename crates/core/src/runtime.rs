@@ -1,9 +1,24 @@
-//! Runtime entry point: build the emulated cluster, spawn server threads
-//! and user processes, run an SPMD function, tear everything down.
+//! Runtime entry points: build a cluster, spawn server threads and user
+//! processes, run an SPMD function, tear everything down.
+//!
+//! Two transport backends share all of the machinery here:
+//!
+//! * the **emulator** ([`run_cluster`] / [`run_cluster_traced`]):
+//!   in-process channels with a deterministic latency model — every node
+//!   lives in this process;
+//! * **netfab** ([`run_cluster_net`] and friends): real TCP sockets, one
+//!   OS process per node. [`run_cluster_net_loopback`] keeps all the node
+//!   processes as threads of this process (connected over loopback TCP —
+//!   the unit-test mode), while [`run_cluster_spawned`] actually spawns
+//!   one child process per extra node.
+//!
+//! Either way, a node's endpoints are identical: one thread per user
+//! process (each receiving its own [`Armci`] handle), a server thread,
+//! and optionally a NIC agent, all sharing the node's `Segment`s.
 
 use std::sync::Arc;
 
-use armci_transport::{Cluster, NodeId, SegId};
+use armci_transport::{Cluster, Endpoint, Mailbox, MemoryRegistry, NodeId, ProcId, SegId, Topology};
 
 use crate::armci::Armci;
 use crate::config::ArmciCfg;
@@ -80,93 +95,306 @@ where
         assert_eq!(id, SegId(0), "sync segment must be the first registration");
     }
 
-    let mut server_handles: Vec<_> = topo
+    let f = Arc::new(f);
+    let nodes: Vec<NodeThreads<T>> = topo
         .all_nodes()
         .map(|n| {
-            let mb = cluster.take_server(n);
-            let registry = registry.clone();
-            let ack = cfg.ack_mode;
-            std::thread::Builder::new()
-                .name(format!("server-{}", n.0))
-                .spawn(move || server_loop(mb, registry, ack))
-                .expect("spawn server thread")
+            let procs = topo.procs_on(n).map(|r| (ProcId(r), cluster.take_proc(ProcId(r)))).collect();
+            let nic = cfg.nic_assist.then(|| cluster.take_nic(n));
+            spawn_node(n, procs, cluster.take_server(n), nic, &registry, &cfg, &f)
         })
         .collect();
-    if cfg.nic_assist {
+    (join_nodes(nodes), trace)
+}
+
+/// The threads of one node: its server(s) and its user processes.
+struct NodeThreads<T> {
+    servers: Vec<std::thread::JoinHandle<()>>,
+    users: Vec<std::thread::JoinHandle<T>>,
+}
+
+/// Spawn one node's endpoint threads over already-taken mailboxes: the
+/// host server, the NIC agent when enabled, and one user-process thread
+/// per local rank. Backend-agnostic — the mailboxes may be emulator or
+/// netfab ones.
+fn spawn_node<T, F>(
+    node: NodeId,
+    procs: Vec<(ProcId, Mailbox)>,
+    server_mb: Mailbox,
+    nic_mb: Option<Mailbox>,
+    registry: &Arc<MemoryRegistry>,
+    cfg: &ArmciCfg,
+    f: &Arc<F>,
+) -> NodeThreads<T>
+where
+    T: Send + 'static,
+    F: Fn(&mut Armci) -> T + Send + Sync + 'static,
+{
+    let mut servers = Vec::new();
+    {
+        let registry = registry.clone();
+        let ack = cfg.ack_mode;
+        servers.push(
+            std::thread::Builder::new()
+                .name(format!("server-{}", node.0))
+                .spawn(move || server_loop(server_mb, registry, ack))
+                .expect("spawn server thread"),
+        );
+    }
+    if let Some(mb) = nic_mb {
         // NIC agents run the same request loop; they only ever receive
         // the synchronization traffic the processes route to them.
-        server_handles.extend(topo.all_nodes().map(|n| {
-            let mb = cluster.take_nic(n);
-            let registry = registry.clone();
-            let ack = cfg.ack_mode;
+        let registry = registry.clone();
+        let ack = cfg.ack_mode;
+        servers.push(
             std::thread::Builder::new()
-                .name(format!("nic-{}", n.0))
+                .name(format!("nic-{}", node.0))
                 .spawn(move || server_loop(mb, registry, ack))
-                .expect("spawn NIC agent thread")
-        }));
+                .expect("spawn NIC agent thread"),
+        );
     }
 
-    let f = Arc::new(f);
-    let user_handles: Vec<_> = topo
-        .all_procs()
-        .map(|p| {
-            let mb = cluster.take_proc(p);
+    let users = procs
+        .into_iter()
+        .map(|(p, mb)| {
             let registry = registry.clone();
             let f = f.clone();
             let cfg = cfg.clone();
-            let topo = topo.clone();
             std::thread::Builder::new()
                 .name(format!("proc-{}", p.0))
-                .spawn(move || {
-                    let nprocs = topo.nprocs();
-                    let nnodes = topo.nnodes();
-                    let my_sync = registry.lookup(p, SegId(0));
-                    let mut armci = Armci {
-                        me: p,
-                        my_node: topo.node_of(p),
-                        mb,
-                        registry,
-                        ack_mode: cfg.ack_mode,
-                        lock_algo: cfg.lock_algo,
-                        locks_per_proc: cfg.locks_per_proc,
-                        nic_assist: cfg.nic_assist,
-                        my_sync,
-                        op_init: vec![0; nprocs],
-                        unfenced: vec![0; nnodes],
-                        unfenced_nic: vec![0; nnodes],
-                        unacked: vec![0; nnodes],
-                        epoch: 0,
-                        mcs_held: None,
-                        mcs_pair_held: None,
-                        nbget_issued: vec![0; nnodes],
-                        nbget_completed: vec![0; nnodes],
-                        lock_alloc: vec![0; nprocs],
-                        stats: Default::default(),
-                        encode_pool: armci_transport::BodyPool::new(8),
-                    };
-                    let out = f(&mut armci);
-                    // Teardown: global quiesce, then rank 0 stops servers.
-                    // Shutdowns go through the same counted send path as
-                    // every other request, so `Stats::server_msgs` and the
-                    // transport trace agree message-for-message.
-                    armci.barrier();
-                    if armci.rank() == 0 {
-                        for n in 0..nnodes {
-                            armci.send_req_to(armci_transport::Endpoint::Server(NodeId(n as u32)), &Req::Shutdown);
-                            if cfg.nic_assist {
-                                armci.send_req_to(armci_transport::Endpoint::Nic(NodeId(n as u32)), &Req::Shutdown);
-                            }
-                        }
-                    }
-                    out
-                })
+                .spawn(move || user_proc_main(p, mb, registry, &cfg, &*f))
                 .expect("spawn user process thread")
         })
         .collect();
 
-    let results: Vec<T> = user_handles.into_iter().map(|h| h.join().expect("user process panicked")).collect();
-    for h in server_handles {
+    NodeThreads { servers, users }
+}
+
+/// The body of one user-process thread: build the [`Armci`] handle, run
+/// the SPMD function, then the collective teardown (global quiesce, rank
+/// 0 stops every server). Shutdowns go through the same counted send path
+/// as every other request, so `Stats::server_msgs` and the transport
+/// trace agree message-for-message.
+fn user_proc_main<T, F>(p: ProcId, mb: Mailbox, registry: Arc<MemoryRegistry>, cfg: &ArmciCfg, f: &F) -> T
+where
+    F: Fn(&mut Armci) -> T,
+{
+    let topo = mb.topology().clone();
+    let nprocs = topo.nprocs();
+    let nnodes = topo.nnodes();
+    let my_sync = registry.lookup(p, SegId(0));
+    let mut armci = Armci {
+        me: p,
+        my_node: topo.node_of(p),
+        mb,
+        registry,
+        ack_mode: cfg.ack_mode,
+        lock_algo: cfg.lock_algo,
+        locks_per_proc: cfg.locks_per_proc,
+        nic_assist: cfg.nic_assist,
+        my_sync,
+        op_init: vec![0; nprocs],
+        unfenced: vec![0; nnodes],
+        unfenced_nic: vec![0; nnodes],
+        unacked: vec![0; nnodes],
+        epoch: 0,
+        mcs_held: None,
+        mcs_pair_held: None,
+        nbget_issued: vec![0; nnodes],
+        nbget_completed: vec![0; nnodes],
+        lock_alloc: vec![0; nprocs],
+        stats: Default::default(),
+        encode_pool: armci_transport::BodyPool::new(8),
+    };
+    let out = f(&mut armci);
+    armci.barrier();
+    if armci.rank() == 0 {
+        for n in 0..nnodes {
+            armci.send_req_to(Endpoint::Server(NodeId(n as u32)), &Req::Shutdown);
+            if cfg.nic_assist {
+                armci.send_req_to(Endpoint::Nic(NodeId(n as u32)), &Req::Shutdown);
+            }
+        }
+    }
+    out
+}
+
+/// Join every node's user threads (collecting results in rank order —
+/// ranks are node-major, so node order is rank order), then the servers.
+fn join_nodes<T>(nodes: Vec<NodeThreads<T>>) -> Vec<T> {
+    let mut results = Vec::new();
+    let mut servers = Vec::new();
+    for nt in nodes {
+        results.extend(nt.users.into_iter().map(|h| h.join().expect("user process panicked")));
+        servers.extend(nt.servers);
+    }
+    for h in servers {
         h.join().expect("server thread panicked");
     }
+    results
+}
+
+// ----------------------------------------------------------------------
+// netfab: the TCP backend
+// ----------------------------------------------------------------------
+
+/// Run this *node's* share of an SPMD program over an established netfab
+/// fabric: spawn the node's server (and NIC agent when enabled) plus one
+/// thread per local rank, run `f` on each, tear down collectively.
+///
+/// Returns the results of the ranks hosted on this node, in rank order.
+/// Teardown matches the emulator path — after the final barrier, rank 0
+/// (wherever it lives) sends `Shutdown` to every server over the wire —
+/// so every node process converges on [`armci_netfab::NodeFabric::shutdown`]
+/// together.
+///
+/// Unlike the emulator, each node process holds a *per-node* memory
+/// registry: only local ranks' segments are registered. That is safe
+/// because every registry access in the library is node-local (remote
+/// memory is only ever reached by messaging the owning node's server).
+pub fn run_cluster_net<T, F>(cfg: ArmciCfg, fabric: armci_netfab::NodeFabric, f: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(&mut Armci) -> T + Send + Sync + 'static,
+{
+    run_cluster_net_arc(cfg, fabric, Arc::new(f))
+}
+
+fn run_cluster_net_arc<T, F>(cfg: ArmciCfg, mut fabric: armci_netfab::NodeFabric, f: Arc<F>) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(&mut Armci) -> T + Send + Sync + 'static,
+{
+    let topo = fabric.topology().clone();
+    assert_eq!(
+        (topo.nnodes(), topo.procs_per_node()),
+        (cfg.nodes as usize, cfg.procs_per_node as usize),
+        "fabric topology must match the cluster config"
+    );
+    let node = fabric.node();
+
+    let registry = Arc::new(MemoryRegistry::new(topo.nprocs()));
+    let sync_len = layout::sync_segment_len(cfg.locks_per_proc);
+    for r in topo.procs_on(node) {
+        let (id, _) = registry.register(ProcId(r), sync_len);
+        assert_eq!(id, SegId(0), "sync segment must be the first registration");
+    }
+
+    let procs = topo.procs_on(node).map(|r| (ProcId(r), fabric.take_proc(ProcId(r)))).collect();
+    let nic = cfg.nic_assist.then(|| fabric.take_nic());
+    let nt = spawn_node(node, procs, fabric.take_server(), nic, &registry, &cfg, &f);
+    let results = join_nodes(vec![nt]);
+    fabric.shutdown();
+    results
+}
+
+/// Run a full SPMD program over netfab with every node inside this
+/// process, connected over loopback TCP — real sockets, frames, reader
+/// and writer threads, no process spawning. The netfab testing mode.
+/// Returns each rank's result, indexed by rank.
+pub fn run_cluster_net_loopback<T, F>(cfg: ArmciCfg, f: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(&mut Armci) -> T + Send + Sync + 'static,
+{
+    run_cluster_net_loopback_traced(cfg, f).0
+}
+
+/// Like [`run_cluster_net_loopback`], additionally returning the shared
+/// transport trace when `cfg.trace` is set. Wire sends are recorded into
+/// the same per-sender shards the emulator uses, so trace tooling works
+/// identically on both backends.
+pub fn run_cluster_net_loopback_traced<T, F>(
+    cfg: ArmciCfg,
+    f: F,
+) -> (Vec<T>, Option<std::sync::Arc<armci_transport::Trace>>)
+where
+    T: Send + 'static,
+    F: Fn(&mut Armci) -> T + Send + Sync + 'static,
+{
+    let topo = Topology::new(cfg.nodes, cfg.procs_per_node);
+    let fabrics = armci_netfab::NodeFabric::loopback(&topo, cfg.trace).expect("loopback fabric");
+    let trace = fabrics[0].trace();
+    let f = Arc::new(f);
+    // One runner thread per node process-equivalent; teardown inside
+    // run_cluster_net is collective, so the runners must overlap.
+    let handles: Vec<_> = fabrics
+        .into_iter()
+        .map(|fab| {
+            let cfg = cfg.clone();
+            let f = f.clone();
+            std::thread::Builder::new()
+                .name(format!("netnode-{}", fab.node().0))
+                .spawn(move || run_cluster_net_arc(cfg, fab, f))
+                .expect("spawn node runner thread")
+        })
+        .collect();
+    let mut results = Vec::new();
+    for h in handles {
+        results.extend(h.join().expect("node runner panicked"));
+    }
     (results, trace)
+}
+
+/// Run a full SPMD program over netfab with **one OS process per node**:
+/// the calling process hosts node 0 (and the bootstrap coordinator), and
+/// re-executes its own binary once per extra node. Returns node 0's local
+/// results, in rank order; the child processes exit after teardown.
+///
+/// The child processes re-enter `main` with `child_args` as their argv
+/// and the launch environment set ([`armci_netfab::launch`]), then must
+/// reach this same call site: `child_args` must therefore route the
+/// program back here and to nowhere else. The serialized `cfg` travels in
+/// the environment payload and is authoritative in the children, so the
+/// routing must not depend on flags the config already carries.
+///
+/// Programs launched externally by `armci-launch` also land here: every
+/// node (including 0) then has the environment set, node 0's process
+/// returns its results normally, and the others exit.
+pub fn run_cluster_spawned<T, F>(cfg: ArmciCfg, child_args: &[String], f: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(&mut Armci) -> T + Send + Sync + 'static,
+{
+    use armci_netfab::{bind_rendezvous, coordinate, node_spec_from_env, spawn_nodes, wait_nodes, NetOpts, NodeFabric};
+
+    if let Some(spec) = node_spec_from_env() {
+        // We are a spawned node process. The payload config is
+        // authoritative — the parent serialized exactly what it ran with.
+        let payload = spec.payload.as_deref().expect("spawned node process missing config payload");
+        let cfg: ArmciCfg =
+            serde::from_str(payload).unwrap_or_else(|e| panic!("bad config payload {payload:?}: {e:?}"));
+        let topo = Topology::new(cfg.nodes, cfg.procs_per_node);
+        let fabric =
+            NodeFabric::bootstrap(&spec.rendezvous, &topo, spec.node, NetOpts::default()).expect("netfab bootstrap");
+        let results = run_cluster_net(cfg, fabric, f);
+        if spec.node == NodeId(0) {
+            return results;
+        }
+        drop(results);
+        std::process::exit(0);
+    }
+
+    let topo = Topology::new(cfg.nodes, cfg.procs_per_node);
+    let nnodes = topo.nnodes();
+    if nnodes == 1 {
+        let mut fabrics = armci_netfab::NodeFabric::loopback(&topo, false).expect("loopback fabric");
+        return run_cluster_net(cfg, fabrics.pop().unwrap(), f);
+    }
+
+    let (listener, addr) = bind_rendezvous().expect("bind rendezvous listener");
+    let coord = std::thread::Builder::new()
+        .name("netfab-coord".into())
+        .spawn(move || coordinate(&listener, nnodes))
+        .expect("spawn coordinator thread");
+    let payload = serde::to_string(&cfg);
+    let exe = std::env::current_exe().expect("current_exe");
+    let exe = exe.to_str().expect("non-UTF-8 executable path");
+    let children = spawn_nodes(exe, child_args, 1..nnodes as u32, &addr, Some(&payload)).expect("spawn node processes");
+
+    let fabric = NodeFabric::bootstrap(&addr, &topo, NodeId(0), NetOpts::default()).expect("netfab bootstrap");
+    let results = run_cluster_net(cfg, fabric, f);
+    coord.join().expect("coordinator panicked").expect("rendezvous failed");
+    wait_nodes(children).expect("node process failed");
+    results
 }

@@ -28,6 +28,14 @@ pub struct Stats {
     pub fence_roundtrips: u64,
     /// `ARMCI_Barrier()` invocations.
     pub barriers: u64,
+    /// Messages this endpoint put on the inter-node wire (a subset of
+    /// `server_msgs + p2p_msgs`: node-local traffic never hits the wire).
+    /// Counted by the transport backend — emulated hops on the emulator,
+    /// framed TCP sends on netfab — so the two backends can be compared
+    /// message-for-message.
+    pub wire_msgs: u64,
+    /// Payload bytes those wire messages carried (excluding framing).
+    pub wire_bytes: u64,
 }
 
 impl Stats {

@@ -1,0 +1,34 @@
+//! Multi-process smoke test: `run_cluster_spawned` re-executes this test
+//! binary once per extra node. The child processes re-enter the libtest
+//! harness with `["spawn_smoke", "--exact"]` as argv, which routes them
+//! straight back to this single test — the one call site rule.
+//!
+//! Kept to exactly one test function so the child's filter can never
+//! match anything else.
+
+use armci_core::{run_cluster_spawned, Armci, ArmciCfg, GlobalAddr};
+use armci_transport::{LatencyModel, ProcId};
+
+fn everyone_reports_to_rank0(a: &mut Armci) -> u64 {
+    let seg = a.malloc(8 * a.nprocs());
+    a.barrier();
+    a.put_u64(GlobalAddr::new(ProcId(0), seg, 8 * a.rank()), a.rank() as u64 + 1);
+    a.barrier();
+    if a.rank() == 0 {
+        let mine = a.local_segment(seg);
+        (0..a.nprocs()).map(|r| mine.read_u64(8 * r)).sum()
+    } else {
+        0
+    }
+}
+
+#[test]
+fn spawn_smoke() {
+    let cfg = ArmciCfg { nodes: 2, procs_per_node: 2, latency: LatencyModel::zero(), ..Default::default() };
+    let child_args: Vec<String> =
+        ["spawn_smoke", "--exact", "--test-threads=1"].iter().map(|s| s.to_string()).collect();
+    let out = run_cluster_spawned(cfg, &child_args, everyone_reports_to_rank0);
+    // This process hosts node 0 = ranks 0 and 1; ranks 2 and 3 lived in
+    // the spawned child. Rank 0 saw every rank's contribution: 1+2+3+4.
+    assert_eq!(out, vec![10, 0]);
+}

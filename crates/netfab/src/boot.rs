@@ -1,0 +1,202 @@
+//! Bootstrap rendezvous: building the full TCP mesh between node
+//! processes before any ARMCI traffic flows.
+//!
+//! Roles:
+//!
+//! * a **coordinator** (the launcher process, or a thread in node 0's
+//!   process for self-spawned runs) owns a listener at a known address,
+//!   collects one registration per node — `(node id, that node's own
+//!   listener address)` — and broadcasts the completed address table to
+//!   everyone;
+//! * every **node** binds its own ephemeral listener, registers with the
+//!   coordinator, receives the table, then completes the mesh: node `j`
+//!   dials every node `i < j` (a hello frame identifies the dialer) and
+//!   accepts a connection from every node `k > j`.
+//!
+//! Dials happen before accepts everywhere, which cannot deadlock: a TCP
+//! connect succeeds against a bound listener's backlog without the owner
+//! having reached `accept` yet. The coordinator address is the only
+//! out-of-band input (an argument or the `ARMCI_NETFAB_RENDEZVOUS`
+//! environment variable); everything else is exchanged in-band.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+
+use armci_transport::{NodeId, Topology};
+
+/// Registration magic word (node → coordinator).
+const MAGIC_REG: u32 = 0x4152_4d01;
+/// Mesh hello magic word (dialing node → accepting node).
+const MAGIC_HELLO: u32 = 0x4152_4d02;
+
+/// One fully connected node: a stream per peer node (`None` at our own
+/// index), each carrying framed traffic in both directions.
+pub struct Mesh {
+    /// This node's id.
+    pub node: NodeId,
+    /// `streams[i]` connects to node `i`; `None` for `i == node.idx()`.
+    pub streams: Vec<Option<TcpStream>>,
+}
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn write_str(w: &mut impl Write, s: &str) -> io::Result<()> {
+    let bytes = s.as_bytes();
+    write_u32(w, bytes.len() as u32)?;
+    w.write_all(bytes)
+}
+
+fn read_str(r: &mut impl Read) -> io::Result<String> {
+    let len = read_u32(r)? as usize;
+    if len > 4096 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "oversized rendezvous string"));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 rendezvous string"))
+}
+
+fn expect_magic(r: &mut impl Read, want: u32, what: &str) -> io::Result<()> {
+    let got = read_u32(r)?;
+    if got != want {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, format!("bad {what} magic {got:#x}")));
+    }
+    Ok(())
+}
+
+/// Run the coordinator: accept one registration per node on `listener`,
+/// then send every node the full `node id → listener address` table.
+///
+/// Returns once the table has been delivered; the mesh itself forms
+/// directly between the nodes afterwards.
+pub fn coordinate(listener: &TcpListener, nnodes: usize) -> io::Result<()> {
+    let mut regs: Vec<Option<(TcpStream, String)>> = (0..nnodes).map(|_| None).collect();
+    let mut seen = 0;
+    while seen < nnodes {
+        let (mut s, _) = listener.accept()?;
+        expect_magic(&mut s, MAGIC_REG, "registration")?;
+        let node = read_u32(&mut s)? as usize;
+        let addr = read_str(&mut s)?;
+        if node >= nnodes {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, format!("registration from unknown node {node}")));
+        }
+        if regs[node].replace((s, addr)).is_some() {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, format!("node {node} registered twice")));
+        }
+        seen += 1;
+    }
+    let table: Vec<String> = regs.iter().map(|r| r.as_ref().unwrap().1.clone()).collect();
+    for (s, _) in regs.iter_mut().map(|r| r.as_mut().unwrap()) {
+        for addr in &table {
+            write_str(s, addr)?;
+        }
+        s.flush()?;
+    }
+    Ok(())
+}
+
+/// Join the mesh as `node`: register with the coordinator at
+/// `rendezvous`, learn every peer's listener address, dial the lower
+/// nodes, accept the higher ones.
+pub fn join_mesh(rendezvous: &str, topo: &Topology, node: NodeId) -> io::Result<Mesh> {
+    let nnodes = topo.nnodes();
+    let mut streams: Vec<Option<TcpStream>> = (0..nnodes).map(|_| None).collect();
+    if nnodes == 1 {
+        return Ok(Mesh { node, streams });
+    }
+
+    // Bind our own listener first so its address can be registered.
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let my_addr = listener.local_addr()?.to_string();
+
+    let mut coord = TcpStream::connect(rendezvous)?;
+    write_u32(&mut coord, MAGIC_REG)?;
+    write_u32(&mut coord, node.0)?;
+    write_str(&mut coord, &my_addr)?;
+    coord.flush()?;
+    let table: Vec<String> = (0..nnodes).map(|_| read_str(&mut coord)).collect::<io::Result<_>>()?;
+    drop(coord);
+
+    // Dial every lower node (connect succeeds against their backlog even
+    // before they reach accept)...
+    for (i, addr) in table.iter().enumerate().take(node.idx()) {
+        let mut s = TcpStream::connect(addr.as_str())?;
+        s.set_nodelay(true)?;
+        write_u32(&mut s, MAGIC_HELLO)?;
+        write_u32(&mut s, node.0)?;
+        s.flush()?;
+        streams[i] = Some(s);
+    }
+    // ...then accept every higher one, identified by its hello.
+    for _ in node.idx() + 1..nnodes {
+        let (mut s, _) = listener.accept()?;
+        s.set_nodelay(true)?;
+        expect_magic(&mut s, MAGIC_HELLO, "hello")?;
+        let peer = read_u32(&mut s)? as usize;
+        if peer <= node.idx() || peer >= nnodes {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, format!("unexpected hello from node {peer}")));
+        }
+        if streams[peer].replace(s).is_some() {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, format!("node {peer} connected twice")));
+        }
+    }
+    Ok(Mesh { node, streams })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_node_mesh_forms_and_carries_bytes() {
+        let topo = Topology::new(3, 1);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let coord = std::thread::spawn(move || coordinate(&listener, 3).unwrap());
+        let joiners: Vec<_> = (0..3u32)
+            .map(|i| {
+                let addr = addr.clone();
+                let topo = topo.clone();
+                std::thread::spawn(move || join_mesh(&addr, &topo, NodeId(i)).unwrap())
+            })
+            .collect();
+        let mut meshes: Vec<Mesh> = joiners.into_iter().map(|h| h.join().unwrap()).collect();
+        coord.join().unwrap();
+
+        for (i, m) in meshes.iter().enumerate() {
+            assert_eq!(m.node, NodeId(i as u32));
+            for (j, s) in m.streams.iter().enumerate() {
+                assert_eq!(s.is_some(), i != j, "stream {i}->{j}");
+            }
+        }
+        // Every pair's streams are cross-connected: a byte written by i to
+        // j arrives on j's stream for i.
+        for i in 0..3 {
+            for j in 0..3 {
+                if i == j {
+                    continue;
+                }
+                let payload = [(10 * i + j) as u8];
+                meshes[i].streams[j].as_mut().unwrap().write_all(&payload).unwrap();
+                let mut got = [0u8; 1];
+                meshes[j].streams[i].as_mut().unwrap().read_exact(&mut got).unwrap();
+                assert_eq!(got, payload);
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_needs_no_network() {
+        let topo = Topology::new(1, 4);
+        let m = join_mesh("unused:0", &topo, NodeId(0)).unwrap();
+        assert!(m.streams.iter().all(Option::is_none));
+    }
+}

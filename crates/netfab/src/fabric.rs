@@ -1,0 +1,548 @@
+//! The per-node network fabric: endpoint mailboxes backed by TCP.
+//!
+//! One OS process hosts one *node* — its user processes (threads), its
+//! server thread, and its NIC agent, exactly the SMP-node model of the
+//! emulator. Intra-node messages hop directly between in-process channels
+//! (node-local endpoints share `Segment`s anyway); inter-node messages go
+//! through:
+//!
+//! ```text
+//! sender thread ── peer_txs[n] ──▶ writer thread ──▶ TCP ──▶ reader thread ── local_txs[ep] ──▶ inbox
+//! ```
+//!
+//! * one **writer thread per peer node**: blocks on its channel, then
+//!   drains whatever else is queued (up to a batch cap) before a single
+//!   flush — write coalescing, so a fence's burst of puts costs one
+//!   syscall, not one per message;
+//! * one **reader thread per peer node**: decodes frames into [`BodyPool`]
+//!   buffers and demuxes them by the header's destination endpoint into
+//!   the per-endpoint inboxes.
+//!
+//! Teardown is EOF-driven: when a node drops its fabric (all mailboxes
+//! already returned), the writer channels disconnect, each writer drains,
+//! flushes, and shuts down the socket's write half; the peer's reader
+//! sees clean EOF and exits, dropping its inbox senders. An endpoint
+//! blocked in `recv` then gets [`RecvError`] exactly as on the emulator.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use armci_transport::{
+    endpoint_count, endpoint_index, node_of_endpoint, Body, BodyPool, Endpoint, LatencyModel, Mailbox, MailboxBackend,
+    Msg, NodeId, ProcId, RecvError, Tag, Topology, Trace, WireCounters,
+};
+use crossbeam_channel::{Receiver, Sender};
+
+use crate::boot::{self, Mesh};
+use crate::wire;
+
+/// Options for building a [`NodeFabric`].
+pub struct NetOpts {
+    /// Record sends into this trace (shard = sender's dense endpoint
+    /// index, as on the emulator). For loopback runs one trace is shared
+    /// by every node; in multi-process runs each process naturally traces
+    /// only its own senders.
+    pub trace: Option<Arc<Trace>>,
+    /// Maximum frames a writer batches into one flush (write coalescing).
+    pub coalesce: usize,
+}
+
+impl Default for NetOpts {
+    fn default() -> Self {
+        NetOpts { trace: None, coalesce: 64 }
+    }
+}
+
+/// A message bound for another node, queued to that peer's writer thread.
+struct WireMsg {
+    dst: Endpoint,
+    src: Endpoint,
+    tag: Tag,
+    body: Body,
+}
+
+/// State shared by every local endpoint's mailbox (and nothing else: the
+/// IO threads deliberately hold only what they need, so dropping the
+/// fabric and its mailboxes is what disconnects the writer channels).
+struct NodeShared {
+    topo: Topology,
+    node: NodeId,
+    /// Zero: the real wire charges its own latency.
+    latency: LatencyModel,
+    /// Inbox senders, indexed by dense endpoint index; `Some` only for
+    /// this node's endpoints.
+    local_txs: Vec<Option<Sender<Msg>>>,
+    /// Writer-thread channels, indexed by peer node; `None` at our index.
+    peer_txs: Vec<Option<Sender<WireMsg>>>,
+    /// Per-endpoint wire counters (messages / payload bytes sent across
+    /// the network), indexed by dense endpoint index.
+    wire_msgs: Vec<AtomicU64>,
+    wire_bytes: Vec<AtomicU64>,
+    trace: Option<Arc<Trace>>,
+}
+
+/// The TCP implementation of [`MailboxBackend`].
+pub struct NetMailbox {
+    me: Endpoint,
+    my_index: usize,
+    shared: Arc<NodeShared>,
+    rx: Receiver<Msg>,
+}
+
+impl MailboxBackend for NetMailbox {
+    fn me(&self) -> Endpoint {
+        self.me
+    }
+
+    fn topology(&self) -> &Topology {
+        &self.shared.topo
+    }
+
+    fn latency_model(&self) -> &LatencyModel {
+        &self.shared.latency
+    }
+
+    fn send(&mut self, dst: Endpoint, tag: Tag, body: Body) {
+        let sh = &self.shared;
+        if let Some(trace) = &sh.trace {
+            trace.record(self.my_index, self.me, dst, tag, body.len());
+        }
+        let dst_node = node_of_endpoint(&sh.topo, dst);
+        if dst_node == sh.node {
+            // Node-local: straight into the destination inbox, no wire.
+            if let Some(tx) = &sh.local_txs[endpoint_index(&sh.topo, dst)] {
+                let _ = tx.send(Msg { src: self.me, tag, body });
+            }
+        } else {
+            sh.wire_msgs[self.my_index].fetch_add(1, Ordering::Relaxed);
+            sh.wire_bytes[self.my_index].fetch_add(body.len() as u64, Ordering::Relaxed);
+            if let Some(tx) = &sh.peer_txs[dst_node.idx()] {
+                let _ = tx.send(WireMsg { dst, src: self.me, tag, body });
+            }
+        }
+    }
+
+    fn recv_raw(&mut self) -> Result<Msg, RecvError> {
+        self.rx.recv().map_err(|_| RecvError)
+    }
+
+    fn try_recv_raw(&mut self) -> Result<Option<Msg>, RecvError> {
+        match self.rx.try_recv() {
+            Ok(m) => Ok(Some(m)),
+            Err(crossbeam_channel::TryRecvError::Empty) => Ok(None),
+            Err(crossbeam_channel::TryRecvError::Disconnected) => Err(RecvError),
+        }
+    }
+
+    fn recv_deadline_raw(&mut self, deadline: Instant) -> Result<Option<Msg>, RecvError> {
+        match self.rx.recv_deadline(deadline) {
+            Ok(m) => Ok(Some(m)),
+            Err(crossbeam_channel::RecvTimeoutError::Timeout) => Ok(None),
+            Err(crossbeam_channel::RecvTimeoutError::Disconnected) => Err(RecvError),
+        }
+    }
+
+    fn wire_counters(&self) -> WireCounters {
+        WireCounters {
+            msgs: self.shared.wire_msgs[self.my_index].load(Ordering::Relaxed),
+            bytes: self.shared.wire_bytes[self.my_index].load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn writer_loop(rx: Receiver<WireMsg>, stream: TcpStream, coalesce: usize) {
+    let mut w = BufWriter::with_capacity(64 * 1024, stream);
+    'conn: while let Ok(first) = rx.recv() {
+        let mut m = first;
+        let mut batched = 0;
+        loop {
+            if wire::write_frame(&mut w, m.dst, m.src, m.tag, &m.body).is_err() {
+                break 'conn; // peer gone; sends are fire-and-forget
+            }
+            batched += 1;
+            if batched >= coalesce {
+                break;
+            }
+            match rx.try_recv() {
+                Ok(next) => m = next,
+                Err(_) => break,
+            }
+        }
+        if w.flush().is_err() {
+            break;
+        }
+    }
+    // Channel disconnected (fabric dropped) after draining everything
+    // buffered: flush and half-close so the peer's reader sees clean EOF.
+    let _ = w.flush();
+    let _ = w.get_ref().shutdown(Shutdown::Write);
+}
+
+fn reader_loop(stream: TcpStream, topo: Topology, local_txs: Vec<Option<Sender<Msg>>>) {
+    let mut r = BufReader::with_capacity(64 * 1024, stream);
+    let mut pool = BodyPool::new(8);
+    // Runs until clean EOF (the peer tore down after flushing) or a read
+    // error; either way the resulting inbox disconnect is how endpoints
+    // observe the end of the connection (same RecvError as emulator
+    // teardown).
+    while let Ok(Some(f)) = wire::read_frame(&mut r, &topo, &mut pool) {
+        if let Some(tx) = &local_txs[endpoint_index(&topo, f.dst)] {
+            let _ = tx.send(Msg { src: f.src, tag: f.tag, body: f.body });
+        }
+    }
+}
+
+/// One node's endpoints and IO threads, built over a bootstrap [`Mesh`].
+///
+/// Hand out each local endpoint's [`Mailbox`] exactly once, run the node,
+/// then call [`NodeFabric::shutdown`] after every mailbox is dropped.
+pub struct NodeFabric {
+    topo: Topology,
+    node: NodeId,
+    shared: Arc<NodeShared>,
+    /// Local endpoints' mailboxes by dense endpoint index.
+    mailboxes: Vec<Option<Mailbox>>,
+    io_threads: Vec<JoinHandle<()>>,
+}
+
+impl NodeFabric {
+    /// Wire a node over an established mesh.
+    pub fn from_mesh(topo: Topology, mesh: Mesh, opts: NetOpts) -> std::io::Result<Self> {
+        let node = mesh.node;
+        let n_endpoints = endpoint_count(&topo);
+
+        let mut local_txs: Vec<Option<Sender<Msg>>> = (0..n_endpoints).map(|_| None).collect();
+        let mut local_rxs: Vec<Option<Receiver<Msg>>> = (0..n_endpoints).map(|_| None).collect();
+        let local_endpoints: Vec<Endpoint> = topo
+            .procs_on(node)
+            .map(|p| Endpoint::Proc(ProcId(p)))
+            .chain([Endpoint::Server(node), Endpoint::Nic(node)])
+            .collect();
+        for &ep in &local_endpoints {
+            let (tx, rx) = crossbeam_channel::unbounded();
+            let i = endpoint_index(&topo, ep);
+            local_txs[i] = Some(tx);
+            local_rxs[i] = Some(rx);
+        }
+
+        let mut io_threads = Vec::new();
+        let mut peer_txs: Vec<Option<Sender<WireMsg>>> = (0..topo.nnodes()).map(|_| None).collect();
+        for (peer, stream) in mesh.streams.into_iter().enumerate() {
+            let Some(stream) = stream else { continue };
+            let read_half = stream.try_clone()?;
+            let (tx, rx) = crossbeam_channel::unbounded();
+            peer_txs[peer] = Some(tx);
+            let coalesce = opts.coalesce.max(1);
+            io_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("netfab-w{}-{}", node.0, peer))
+                    .spawn(move || writer_loop(rx, stream, coalesce))?,
+            );
+            let topo2 = topo.clone();
+            let txs2 = local_txs.clone();
+            io_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("netfab-r{}-{}", node.0, peer))
+                    .spawn(move || reader_loop(read_half, topo2, txs2))?,
+            );
+        }
+
+        let shared = Arc::new(NodeShared {
+            topo: topo.clone(),
+            node,
+            latency: LatencyModel::zero(),
+            local_txs,
+            peer_txs,
+            wire_msgs: (0..n_endpoints).map(|_| AtomicU64::new(0)).collect(),
+            wire_bytes: (0..n_endpoints).map(|_| AtomicU64::new(0)).collect(),
+            trace: opts.trace,
+        });
+
+        let mut mailboxes: Vec<Option<Mailbox>> = (0..n_endpoints).map(|_| None).collect();
+        for &ep in &local_endpoints {
+            let i = endpoint_index(&topo, ep);
+            let backend = NetMailbox { me: ep, my_index: i, shared: shared.clone(), rx: local_rxs[i].take().unwrap() };
+            mailboxes[i] = Some(Mailbox::from_backend(Box::new(backend)));
+        }
+
+        Ok(NodeFabric { topo, node, shared, mailboxes, io_threads })
+    }
+
+    /// Bootstrap this node against a coordinator at `rendezvous` (see
+    /// [`crate::boot`]) and wire the fabric.
+    pub fn bootstrap(rendezvous: &str, topo: &Topology, node: NodeId, opts: NetOpts) -> std::io::Result<Self> {
+        let mesh = boot::join_mesh(rendezvous, topo, node)?;
+        Self::from_mesh(topo.clone(), mesh, opts)
+    }
+
+    /// Build every node's fabric inside one process, connected over
+    /// loopback TCP — real sockets, framing and IO threads, no spawning.
+    /// This is the netfab testing mode; `trace` shares one [`Trace`]
+    /// across all nodes so `trace_dump`-style tooling sees the global
+    /// picture.
+    pub fn loopback(topo: &Topology, trace: bool) -> std::io::Result<Vec<Self>> {
+        let nnodes = topo.nnodes();
+        let shared_trace = trace.then(|| Arc::new(Trace::new(endpoint_count(topo))));
+        if nnodes == 1 {
+            // Single node: no coordinator, no sockets (join_mesh
+            // short-circuits too, keeping the two paths consistent).
+            let mesh = boot::join_mesh("", topo, NodeId(0))?;
+            let opts = NetOpts { trace: shared_trace, ..NetOpts::default() };
+            return Ok(vec![Self::from_mesh(topo.clone(), mesh, opts)?]);
+        }
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?.to_string();
+        let coord = std::thread::Builder::new()
+            .name("netfab-coord".into())
+            .spawn(move || boot::coordinate(&listener, nnodes))?;
+        let peers: Vec<_> = (1..nnodes as u32)
+            .map(|i| {
+                let addr = addr.clone();
+                let topo = topo.clone();
+                let opts = NetOpts { trace: shared_trace.clone(), ..NetOpts::default() };
+                std::thread::Builder::new()
+                    .name(format!("netfab-boot{i}"))
+                    .spawn(move || Self::bootstrap(&addr, &topo, NodeId(i), opts))
+            })
+            .collect::<std::io::Result<_>>()?;
+        let opts0 = NetOpts { trace: shared_trace, ..NetOpts::default() };
+        let root = Self::bootstrap(&addr, topo, NodeId(0), opts0)?;
+        coord.join().expect("coordinator panicked")?;
+        let mut out = vec![root];
+        for h in peers {
+            out.push(h.join().expect("bootstrap thread panicked")?);
+        }
+        Ok(out)
+    }
+
+    /// The cluster topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The node this fabric hosts.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The shared trace, if one was configured.
+    pub fn trace(&self) -> Option<Arc<Trace>> {
+        self.shared.trace.clone()
+    }
+
+    fn take(&mut self, ep: Endpoint) -> Mailbox {
+        assert_eq!(node_of_endpoint(&self.topo, ep), self.node, "{ep:?} is not hosted on {}", self.node);
+        self.mailboxes[endpoint_index(&self.topo, ep)]
+            .take()
+            .unwrap_or_else(|| panic!("mailbox of {ep:?} already taken"))
+    }
+
+    /// Take ownership of local process `p`'s mailbox (panics if `p` is on
+    /// another node or already taken).
+    pub fn take_proc(&mut self, p: ProcId) -> Mailbox {
+        self.take(Endpoint::Proc(p))
+    }
+
+    /// Take ownership of this node's server mailbox.
+    pub fn take_server(&mut self) -> Mailbox {
+        self.take(Endpoint::Server(self.node))
+    }
+
+    /// Take ownership of this node's NIC-agent mailbox.
+    pub fn take_nic(&mut self) -> Mailbox {
+        self.take(Endpoint::Nic(self.node))
+    }
+
+    /// Total wire traffic sent by this node's endpoints.
+    pub fn wire_totals(&self) -> WireCounters {
+        WireCounters {
+            msgs: self.shared.wire_msgs.iter().map(|c| c.load(Ordering::Relaxed)).sum(),
+            bytes: self.shared.wire_bytes.iter().map(|c| c.load(Ordering::Relaxed)).sum(),
+        }
+    }
+
+    /// Tear down: disconnect the writer channels (draining and
+    /// half-closing each socket) and join the IO threads.
+    ///
+    /// Call only after every mailbox taken from this fabric has been
+    /// dropped — a live mailbox keeps the writer channels connected, and
+    /// this node's readers only exit once the *peers* have torn down
+    /// their write halves too, so shutdown is effectively collective
+    /// (like the barrier-then-shutdown teardown of the layer above).
+    pub fn shutdown(mut self) {
+        self.mailboxes.clear();
+        let threads = std::mem::take(&mut self.io_threads);
+        // Dropping `self` drops the last local `Arc<NodeShared>`, which
+        // disconnects the writer channels.
+        drop(self);
+        for h in threads {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for NodeFabric {
+    fn drop(&mut self) {
+        // If shutdown() was not called, detach the IO threads rather than
+        // risk joining while mailboxes are still alive; they exit when the
+        // channels and sockets die with the process.
+        for h in self.io_threads.drain(..) {
+            drop(h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loopback(nodes: u32, ppn: u32) -> Vec<NodeFabric> {
+        NodeFabric::loopback(&Topology::new(nodes, ppn), false).unwrap()
+    }
+
+    /// Shutdown is collective (a node's readers exit when its *peers*
+    /// half-close), so fabrics are torn down concurrently, as the SPMD
+    /// runners do.
+    fn shutdown_all(fabrics: impl IntoIterator<Item = NodeFabric>) {
+        let handles: Vec<_> = fabrics.into_iter().map(|f| std::thread::spawn(move || f.shutdown())).collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn cross_node_ping_pong() {
+        let mut fabrics = loopback(2, 1);
+        let mut f1 = fabrics.pop().unwrap();
+        let mut f0 = fabrics.pop().unwrap();
+        let mut a = f0.take_proc(ProcId(0));
+        let mut b = f1.take_proc(ProcId(1));
+        let t = std::thread::spawn(move || {
+            let m = b.recv().unwrap();
+            assert_eq!(m.src, Endpoint::Proc(ProcId(0)));
+            assert_eq!(m.tag, Tag(5));
+            let echoed: Vec<u8> = m.body.iter().map(|&x| x + 1).collect();
+            b.send(m.src, Tag(6), echoed);
+            b
+        });
+        a.send(Endpoint::Proc(ProcId(1)), Tag(5), vec![1, 2, 3]);
+        let r = a.recv().unwrap();
+        assert_eq!(r.tag, Tag(6));
+        assert_eq!(r.body, vec![2, 3, 4]);
+        let b = t.join().unwrap();
+        assert_eq!(b.wire_counters(), WireCounters { msgs: 1, bytes: 3 });
+        assert_eq!(a.wire_counters(), WireCounters { msgs: 1, bytes: 3 });
+        drop(a);
+        drop(b);
+        shutdown_all([f0, f1]);
+    }
+
+    #[test]
+    fn intra_node_send_skips_the_wire() {
+        let mut fabrics = loopback(1, 2);
+        let mut f0 = fabrics.pop().unwrap();
+        let mut a = f0.take_proc(ProcId(0));
+        let mut b = f0.take_proc(ProcId(1));
+        a.send(Endpoint::Proc(ProcId(1)), Tag(1), vec![42]);
+        assert_eq!(b.recv().unwrap().body, vec![42]);
+        assert_eq!(a.wire_counters(), WireCounters::default());
+        drop(a);
+        drop(b);
+        f0.shutdown(); // single node: no peers, non-collective
+    }
+
+    #[test]
+    fn per_pair_fifo_and_demux() {
+        // Two endpoints on node 1 each get an interleaved stream from one
+        // sender on node 0; per-destination order must hold after demux.
+        let mut fabrics = loopback(2, 2);
+        let mut f1 = fabrics.pop().unwrap();
+        let mut f0 = fabrics.pop().unwrap();
+        let mut a = f0.take_proc(ProcId(0));
+        let mut p2 = f1.take_proc(ProcId(2));
+        let mut p3 = f1.take_proc(ProcId(3));
+        for i in 0..50u8 {
+            a.send(Endpoint::Proc(ProcId(2)), Tag(0), vec![i]);
+            a.send(Endpoint::Proc(ProcId(3)), Tag(0), vec![100 + i]);
+        }
+        for i in 0..50u8 {
+            assert_eq!(p2.recv().unwrap().body, vec![i]);
+            assert_eq!(p3.recv().unwrap().body, vec![100 + i]);
+        }
+        drop(a);
+        drop(p2);
+        drop(p3);
+        shutdown_all([f0, f1]);
+    }
+
+    #[test]
+    fn teardown_drains_in_flight_traffic() {
+        let mut fabrics = loopback(2, 1);
+        let mut f1 = fabrics.pop().unwrap();
+        let mut f0 = fabrics.pop().unwrap();
+        let mut a = f0.take_proc(ProcId(0));
+        let mut b = f1.take_proc(ProcId(1));
+        // The message is still queued at the writer when node 0 tears
+        // down; the writer must drain and flush it before half-closing.
+        a.send(Endpoint::Proc(ProcId(1)), Tag(9), vec![7]);
+        drop(a);
+        let h0 = std::thread::spawn(move || f0.shutdown());
+        assert_eq!(b.recv().unwrap().body, vec![7]);
+        drop(b);
+        f1.shutdown();
+        h0.join().unwrap();
+    }
+
+    #[test]
+    fn recv_deadline_times_out_then_delivers() {
+        let mut fabrics = loopback(2, 1);
+        let mut f1 = fabrics.pop().unwrap();
+        let mut f0 = fabrics.pop().unwrap();
+        let mut a = f0.take_proc(ProcId(0));
+        let mut b = f1.take_proc(ProcId(1));
+        let none = b.recv_timeout(std::time::Duration::from_millis(20)).unwrap();
+        assert!(none.is_none());
+        a.send(Endpoint::Proc(ProcId(1)), Tag(3), vec![5]);
+        let got = b.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+        assert_eq!(got.unwrap().body, vec![5]);
+        drop(a);
+        drop(b);
+        shutdown_all([f0, f1]);
+    }
+
+    #[test]
+    fn loopback_trace_is_shared() {
+        let mut fabrics = NodeFabric::loopback(&Topology::new(2, 1), true).unwrap();
+        let trace = fabrics[0].trace().unwrap();
+        let mut f1 = fabrics.pop().unwrap();
+        let mut f0 = fabrics.pop().unwrap();
+        let mut a = f0.take_proc(ProcId(0));
+        let mut b = f1.take_proc(ProcId(1));
+        a.send(Endpoint::Proc(ProcId(1)), Tag(2), vec![0; 10]);
+        b.recv().unwrap();
+        b.send(Endpoint::Proc(ProcId(0)), Tag(2), vec![0; 4]);
+        a.recv().unwrap();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.total_bytes(), 14);
+        assert_eq!(trace.sent_by(Endpoint::Proc(ProcId(0))), 1);
+        drop(a);
+        drop(b);
+        shutdown_all([f0, f1]);
+    }
+
+    #[test]
+    fn take_rejects_foreign_and_double_takes() {
+        let mut fabrics = loopback(2, 1);
+        let f1 = fabrics.pop().unwrap();
+        let mut f0 = fabrics.pop().unwrap();
+        let a = f0.take_proc(ProcId(0));
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f0.take_proc(ProcId(0)))).is_err());
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f0.take_proc(ProcId(1)))).is_err());
+        drop(a);
+        shutdown_all([f0, f1]);
+    }
+}

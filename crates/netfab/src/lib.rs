@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+//! # armci-netfab — TCP transport backend for `armci-transport`
+//!
+//! The emulator in `armci-transport` moves messages over in-process
+//! channels with injected latency stamps; this crate moves the same
+//! messages over real TCP sockets, one OS process per *node*. Everything
+//! above the [`armci_transport::Mailbox`] surface — ARMCI puts/gets,
+//! fence/barrier combining, MCS locks, the msglib collectives — runs
+//! unchanged on either backend.
+//!
+//! Pieces:
+//!
+//! * [`wire`] — length-prefixed framing (destination + source endpoint,
+//!   tag, body length, body); received bodies land in
+//!   [`armci_transport::BodyPool`] buffers so the zero-copy apply path
+//!   downstream works on network traffic too;
+//! * [`boot`] — rendezvous bootstrap: a coordinator collects each node's
+//!   listener address and broadcasts the table, then the nodes form a
+//!   full TCP mesh directly;
+//! * [`fabric`] — [`NodeFabric`]: per-peer reader threads demuxing
+//!   frames into per-endpoint inboxes and per-peer writer threads with
+//!   write coalescing, behind the [`armci_transport::MailboxBackend`]
+//!   contract;
+//! * [`launch`] — helpers for spawning one process per node (used by the
+//!   `armci-launch` tool and `armci-core`'s self-spawning
+//!   `run_cluster_spawned`).
+//!
+//! Determinism caveat: the emulator's latency stamps make timing
+//! *models* reproducible; a socket backend inherits the host network
+//! scheduler instead, so only message *structure* (counts, partners,
+//! FIFO per pair) is deterministic here. Functional tests run equally on
+//! both; timing assertions belong on the emulator or the `armci-simnet`
+//! discrete-event simulator.
+
+pub mod boot;
+pub mod fabric;
+pub mod launch;
+pub mod wire;
+
+pub use boot::{coordinate, join_mesh, Mesh};
+pub use fabric::{NetMailbox, NetOpts, NodeFabric};
+pub use launch::{bind_rendezvous, node_spec_from_env, spawn_nodes, wait_nodes, NodeSpec};

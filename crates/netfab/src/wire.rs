@@ -1,0 +1,181 @@
+//! Length-prefixed wire framing.
+//!
+//! Every inter-node message travels as one frame on the TCP stream
+//! connecting the two nodes:
+//!
+//! ```text
+//! offset  size  field
+//!      0     1  dst kind   (0 = Proc, 1 = Server, 2 = Nic)
+//!      1     4  dst id     (rank or node number, little-endian)
+//!      5     1  src kind
+//!      6     4  src id
+//!     10     4  tag
+//!     14     4  body length
+//!     18   len  body bytes
+//! ```
+//!
+//! The destination endpoint is part of the header because one socket
+//! carries traffic for *all* endpoints of the destination node (its
+//! processes, its server thread, its NIC agent): the per-peer reader
+//! thread demuxes frames into per-endpoint inboxes by this field.
+//! Received bodies land in [`BodyPool`] buffers, so the zero-copy apply
+//! path downstream (borrowed decode, direct-to-segment writes) works
+//! unchanged on the network path.
+
+use std::io::{self, Read, Write};
+
+use armci_transport::{Body, BodyPool, Endpoint, NodeId, ProcId, Tag, Topology};
+
+/// Bytes of the fixed frame header.
+pub const HEADER_LEN: usize = 18;
+
+const KIND_PROC: u8 = 0;
+const KIND_SERVER: u8 = 1;
+const KIND_NIC: u8 = 2;
+
+/// Sanity cap on body length (1 GiB): a corrupt or misaligned header is
+/// reported as an error instead of an absurd allocation.
+const MAX_BODY: u32 = 1 << 30;
+
+fn encode_endpoint(ep: Endpoint) -> (u8, u32) {
+    match ep {
+        Endpoint::Proc(p) => (KIND_PROC, p.0),
+        Endpoint::Server(n) => (KIND_SERVER, n.0),
+        Endpoint::Nic(n) => (KIND_NIC, n.0),
+    }
+}
+
+fn decode_endpoint(kind: u8, id: u32, topo: &Topology) -> io::Result<Endpoint> {
+    let ep = match kind {
+        KIND_PROC if (id as usize) < topo.nprocs() => Endpoint::Proc(ProcId(id)),
+        KIND_SERVER if (id as usize) < topo.nnodes() => Endpoint::Server(NodeId(id)),
+        KIND_NIC if (id as usize) < topo.nnodes() => Endpoint::Nic(NodeId(id)),
+        _ => {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, format!("bad wire endpoint: kind {kind}, id {id}")))
+        }
+    };
+    Ok(ep)
+}
+
+/// A decoded incoming frame.
+#[derive(Debug)]
+pub struct Frame {
+    /// The endpoint on this node the frame is addressed to.
+    pub dst: Endpoint,
+    /// The sending endpoint on the peer node.
+    pub src: Endpoint,
+    /// Protocol tag.
+    pub tag: Tag,
+    /// Payload, in a pooled (or inline) buffer.
+    pub body: Body,
+}
+
+/// Serialize one frame into `w` (no flush — the writer thread batches).
+pub fn write_frame(w: &mut impl Write, dst: Endpoint, src: Endpoint, tag: Tag, body: &[u8]) -> io::Result<()> {
+    let mut hdr = [0u8; HEADER_LEN];
+    let (dk, di) = encode_endpoint(dst);
+    let (sk, si) = encode_endpoint(src);
+    hdr[0] = dk;
+    hdr[1..5].copy_from_slice(&di.to_le_bytes());
+    hdr[5] = sk;
+    hdr[6..10].copy_from_slice(&si.to_le_bytes());
+    hdr[10..14].copy_from_slice(&tag.0.to_le_bytes());
+    hdr[14..18].copy_from_slice(&(body.len() as u32).to_le_bytes());
+    w.write_all(&hdr)?;
+    w.write_all(body)
+}
+
+/// Read one frame from `r`, landing the body in a buffer from `pool`.
+///
+/// Returns `Ok(None)` on a clean EOF at a frame boundary (the peer shut
+/// down its write side after flushing everything — normal teardown). EOF
+/// mid-frame is an error.
+pub fn read_frame(r: &mut impl Read, topo: &Topology, pool: &mut BodyPool) -> io::Result<Option<Frame>> {
+    let mut hdr = [0u8; HEADER_LEN];
+    // Distinguish clean EOF (0 bytes of a new frame) from truncation.
+    let mut got = 0;
+    while got < HEADER_LEN {
+        let n = r.read(&mut hdr[got..])?;
+        if n == 0 {
+            if got == 0 {
+                return Ok(None);
+            }
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed mid-frame"));
+        }
+        got += n;
+    }
+    let dst = decode_endpoint(hdr[0], u32::from_le_bytes(hdr[1..5].try_into().unwrap()), topo)?;
+    let src = decode_endpoint(hdr[5], u32::from_le_bytes(hdr[6..10].try_into().unwrap()), topo)?;
+    let tag = Tag(u32::from_le_bytes(hdr[10..14].try_into().unwrap()));
+    let len = u32::from_le_bytes(hdr[14..18].try_into().unwrap());
+    if len > MAX_BODY {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, format!("frame body of {len} bytes")));
+    }
+    let mut read_err = Ok(());
+    let body = pool.with_buf(|buf| {
+        buf.resize(len as usize, 0);
+        read_err = r.read_exact(buf);
+    });
+    read_err?;
+    Ok(Some(Frame { dst, src, tag, body }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let topo = Topology::new(2, 2);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, Endpoint::Server(NodeId(1)), Endpoint::Proc(ProcId(0)), Tag(0x0001_0000), &[1, 2, 3])
+            .unwrap();
+        write_frame(&mut buf, Endpoint::Proc(ProcId(3)), Endpoint::Nic(NodeId(0)), Tag(7), &[]).unwrap();
+        let mut pool = BodyPool::new(2);
+        let mut r = &buf[..];
+        let f1 = read_frame(&mut r, &topo, &mut pool).unwrap().unwrap();
+        assert_eq!(f1.dst, Endpoint::Server(NodeId(1)));
+        assert_eq!(f1.src, Endpoint::Proc(ProcId(0)));
+        assert_eq!(f1.tag, Tag(0x0001_0000));
+        assert_eq!(&*f1.body, &[1, 2, 3]);
+        let f2 = read_frame(&mut r, &topo, &mut pool).unwrap().unwrap();
+        assert_eq!(f2.dst, Endpoint::Proc(ProcId(3)));
+        assert_eq!(f2.body.len(), 0);
+        // Clean EOF at the boundary.
+        assert!(read_frame(&mut r, &topo, &mut pool).unwrap().is_none());
+    }
+
+    #[test]
+    fn large_body_lands_in_pool_buffer() {
+        let topo = Topology::new(1, 1);
+        let payload: Vec<u8> = (0..200u8).collect();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, Endpoint::Proc(ProcId(0)), Endpoint::Server(NodeId(0)), Tag(1), &payload).unwrap();
+        let mut pool = BodyPool::new(2);
+        let f = read_frame(&mut &buf[..], &topo, &mut pool).unwrap().unwrap();
+        assert_eq!(&*f.body, &payload[..]);
+    }
+
+    #[test]
+    fn truncation_is_an_error() {
+        let topo = Topology::new(1, 1);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, Endpoint::Proc(ProcId(0)), Endpoint::Server(NodeId(0)), Tag(1), &[9; 40]).unwrap();
+        let mut pool = BodyPool::new(2);
+        // Cut inside the header and inside the body.
+        for cut in [HEADER_LEN / 2, HEADER_LEN + 10] {
+            let err = read_frame(&mut &buf[..cut], &topo, &mut pool).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        }
+    }
+
+    #[test]
+    fn bad_endpoint_rejected() {
+        let topo = Topology::new(1, 1);
+        let mut buf = Vec::new();
+        // dst rank 5 does not exist in a 1x1 topology.
+        write_frame(&mut buf, Endpoint::Proc(ProcId(5)), Endpoint::Server(NodeId(0)), Tag(1), &[]).unwrap();
+        let mut pool = BodyPool::new(2);
+        assert!(read_frame(&mut &buf[..], &topo, &mut pool).is_err());
+    }
+}

@@ -1,5 +1,6 @@
-//! The message fabric: latency-stamped channels between endpoints, and the
-//! mailbox abstraction endpoints receive from.
+//! The message fabric: the mailbox abstraction endpoints receive from,
+//! the backend contract transports implement, and the built-in emulator
+//! backend (latency-stamped channels).
 //!
 //! Design notes:
 //!
@@ -15,10 +16,16 @@
 //!   non-matching messages to an internal queue, so several protocol
 //!   layers (msglib collectives, ARMCI replies) can share one inbox the
 //!   way MPI tags share one rank.
+//! * **Backends**: the tag-matching layer is transport-agnostic. The raw
+//!   move-bytes-between-endpoints contract is [`MailboxBackend`]; the
+//!   in-process emulator ([`EmuMailbox`], built by [`crate::Cluster`]) is
+//!   the default, and real-network transports (e.g. the TCP backend in
+//!   `armci-netfab`) plug in via [`Mailbox::from_backend`]. The emulator
+//!   stays enum-dispatched (not boxed) so its hot path is unchanged.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crossbeam_channel::{Receiver, Sender};
 
@@ -35,7 +42,8 @@ pub(crate) struct Envelope {
 }
 
 /// Error returned by receive operations when every sender handle to this
-/// mailbox has been dropped (cluster teardown).
+/// mailbox has been dropped (cluster teardown), or — on a network
+/// backend — when every peer connection has been torn down.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct RecvError;
 
@@ -47,8 +55,60 @@ impl std::fmt::Display for RecvError {
 
 impl std::error::Error for RecvError {}
 
-/// Shared, cheaply-clonable sending side of the fabric: one sender per
-/// endpoint, plus the latency model used to stamp envelopes.
+/// Wire-level traffic counters for one endpoint: messages and payload
+/// bytes that actually crossed the inter-node network (intra-node sends
+/// are not wire traffic on either backend).
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct WireCounters {
+    /// Inter-node messages sent by this endpoint.
+    pub msgs: u64,
+    /// Payload bytes of those messages (headers excluded, so the number
+    /// is comparable across backends with different framing).
+    pub bytes: u64,
+}
+
+/// The raw transport contract a [`Mailbox`] drives.
+///
+/// A backend moves `(src, tag, body)` triples between endpoints; the
+/// mailbox layers MPI-style tag matching (`recv_match`, the deferred
+/// queue) on top, so backends never see protocol concerns. Contract:
+///
+/// * sends are non-blocking and fire-and-forget; sending to a torn-down
+///   endpoint is silently dropped (only happens during teardown);
+/// * receives deliver in per-(src → dst) FIFO order;
+/// * once teardown is complete (no sender can ever reach this endpoint
+///   again) receives return [`RecvError`], *after* draining anything
+///   already in flight.
+pub trait MailboxBackend: Send {
+    /// This endpoint's identity.
+    fn me(&self) -> Endpoint;
+
+    /// The cluster topology (shared by all endpoints).
+    fn topology(&self) -> &Topology;
+
+    /// The latency model messages are stamped with ([`LatencyModel::zero`]
+    /// for real-network backends: the wire charges its own latency).
+    fn latency_model(&self) -> &LatencyModel;
+
+    /// Send `body` to `dst` with protocol tag `tag`.
+    fn send(&mut self, dst: Endpoint, tag: Tag, body: crate::Body);
+
+    /// Receive the next deliverable message in arrival order, blocking.
+    fn recv_raw(&mut self) -> Result<Msg, RecvError>;
+
+    /// Non-blocking receive. `Ok(None)` if nothing is deliverable now.
+    fn try_recv_raw(&mut self) -> Result<Option<Msg>, RecvError>;
+
+    /// Blocking receive with a deadline. `Ok(None)` once it is known that
+    /// nothing will become deliverable before `deadline`.
+    fn recv_deadline_raw(&mut self, deadline: Instant) -> Result<Option<Msg>, RecvError>;
+
+    /// Wire traffic sent by this endpoint so far.
+    fn wire_counters(&self) -> WireCounters;
+}
+
+/// Shared, cheaply-clonable sending side of the emulator fabric: one
+/// sender per endpoint, plus the latency model used to stamp envelopes.
 pub(crate) struct FabricInner {
     pub topology: Topology,
     pub latency: LatencyModel,
@@ -60,8 +120,9 @@ pub(crate) struct FabricInner {
 }
 
 /// Dense index of an endpoint in fabric tables: processes first, then
-/// node servers, then node NICs.
-pub(crate) fn endpoint_index(topo: &Topology, ep: Endpoint) -> usize {
+/// node servers, then node NICs. This is also the trace-shard index and
+/// the endpoint numbering used by network backends' address tables.
+pub fn endpoint_index(topo: &Topology, ep: Endpoint) -> usize {
     match ep {
         Endpoint::Proc(p) => {
             debug_assert!(p.idx() < topo.nprocs());
@@ -78,7 +139,14 @@ pub(crate) fn endpoint_index(topo: &Topology, ep: Endpoint) -> usize {
     }
 }
 
-fn node_of_endpoint(topo: &Topology, ep: Endpoint) -> crate::ids::NodeId {
+/// Total number of endpoints (the [`endpoint_index`] domain size):
+/// every process, plus one server and one NIC per node.
+pub fn endpoint_count(topo: &Topology) -> usize {
+    topo.nprocs() + 2 * topo.nnodes()
+}
+
+/// The node an endpoint lives on.
+pub fn node_of_endpoint(topo: &Topology, ep: Endpoint) -> crate::ids::NodeId {
     match ep {
         Endpoint::Proc(p) => topo.node_of(p),
         Endpoint::Server(n) | Endpoint::Nic(n) => n,
@@ -113,50 +181,166 @@ impl XorShift64 {
     }
 }
 
-/// One endpoint's connection to the fabric: its inbox plus the ability to
-/// send to any other endpoint.
-///
-/// Owned exclusively by the thread driving that endpoint (a user process
-/// or a server thread); not `Clone`.
-pub struct Mailbox {
+/// The emulator backend: latency-stamped in-process channels.
+pub(crate) struct EmuMailbox {
     me: Endpoint,
     /// `me`'s dense endpoint index — the trace shard this mailbox's sends
     /// are recorded into.
     my_index: usize,
     inner: Arc<FabricInner>,
     rx: Receiver<Envelope>,
-    /// Messages popped from `rx` but not matched by a `recv_match`
-    /// predicate yet, in arrival order.
-    deferred: VecDeque<Msg>,
     /// An envelope popped from `rx` whose delivery time has not arrived
-    /// (only used by `try_recv`).
+    /// (used by the non-blocking and deadline receives).
     pending: Option<Envelope>,
     rng: XorShift64,
+    wire: WireCounters,
+}
+
+impl EmuMailbox {
+    pub(crate) fn new(me: Endpoint, inner: Arc<FabricInner>, rx: Receiver<Envelope>) -> Self {
+        let my_index = endpoint_index(&inner.topology, me);
+        let seed = inner.seed ^ ((my_index as u64 + 1) << 32);
+        EmuMailbox { me, my_index, inner, rx, pending: None, rng: XorShift64::new(seed), wire: WireCounters::default() }
+    }
+
+    fn send(&mut self, dst: Endpoint, tag: Tag, body: crate::Body) {
+        let topo = &self.inner.topology;
+        if let Some(trace) = &self.inner.trace {
+            trace.record(self.my_index, self.me, dst, tag, body.len());
+        }
+        let same_node = node_of_endpoint(topo, self.me) == node_of_endpoint(topo, dst);
+        if !same_node {
+            self.wire.msgs += 1;
+            self.wire.bytes += body.len() as u64;
+        }
+        let mut lat = self.inner.latency.one_way(same_node, body.len());
+        if !same_node && !self.inner.latency.jitter.is_zero() {
+            lat += self.inner.latency.jitter_for(self.rng.next_f64());
+        }
+        let env = Envelope { msg: Msg { src: self.me, tag, body }, deliver_at: Instant::now() + lat };
+        let _ = self.inner.txs[endpoint_index(topo, dst)].send(env);
+    }
+
+    fn recv_raw(&mut self) -> Result<Msg, RecvError> {
+        let env = match self.pending.take() {
+            Some(e) => e,
+            None => self.rx.recv().map_err(|_| RecvError)?,
+        };
+        wait_until(env.deliver_at);
+        Ok(env.msg)
+    }
+
+    fn try_recv_raw(&mut self) -> Result<Option<Msg>, RecvError> {
+        if let Some(env) = self.pending.take() {
+            if Instant::now() >= env.deliver_at {
+                return Ok(Some(env.msg));
+            }
+            self.pending = Some(env);
+            return Ok(None);
+        }
+        match self.rx.try_recv() {
+            Ok(env) => {
+                if Instant::now() >= env.deliver_at {
+                    Ok(Some(env.msg))
+                } else {
+                    self.pending = Some(env);
+                    Ok(None)
+                }
+            }
+            Err(crossbeam_channel::TryRecvError::Empty) => Ok(None),
+            Err(crossbeam_channel::TryRecvError::Disconnected) => Err(RecvError),
+        }
+    }
+
+    fn recv_deadline_raw(&mut self, deadline: Instant) -> Result<Option<Msg>, RecvError> {
+        let env = match self.pending.take() {
+            Some(e) => e,
+            None => match self.rx.recv_deadline(deadline) {
+                Ok(e) => e,
+                Err(crossbeam_channel::RecvTimeoutError::Timeout) => return Ok(None),
+                Err(crossbeam_channel::RecvTimeoutError::Disconnected) => return Err(RecvError),
+            },
+        };
+        // Delivery is in arrival order; if the head of the inbox is not
+        // deliverable by the deadline, nothing behind it may overtake.
+        if env.deliver_at > deadline {
+            wait_until(deadline);
+            self.pending = Some(env);
+            return Ok(None);
+        }
+        wait_until(env.deliver_at);
+        Ok(Some(env.msg))
+    }
+}
+
+/// Enum dispatch over the built-in emulator (kept inline so its hot send
+/// path costs exactly what it did before backends existed) and boxed
+/// extension backends.
+enum BackendImpl {
+    Emu(EmuMailbox),
+    Ext(Box<dyn MailboxBackend>),
+}
+
+/// One endpoint's connection to the fabric: its inbox plus the ability to
+/// send to any other endpoint.
+///
+/// Owned exclusively by the thread driving that endpoint (a user process
+/// or a server thread); not `Clone`.
+pub struct Mailbox {
+    backend: BackendImpl,
+    /// Messages received but not matched by a `recv_match` predicate yet,
+    /// in arrival order.
+    deferred: VecDeque<Msg>,
 }
 
 impl Mailbox {
     pub(crate) fn new(me: Endpoint, inner: Arc<FabricInner>, rx: Receiver<Envelope>) -> Self {
-        let my_index = endpoint_index(&inner.topology, me);
-        let seed = inner.seed ^ ((my_index as u64 + 1) << 32);
-        Mailbox { me, my_index, inner, rx, deferred: VecDeque::new(), pending: None, rng: XorShift64::new(seed) }
+        Mailbox { backend: BackendImpl::Emu(EmuMailbox::new(me, inner, rx)), deferred: VecDeque::new() }
+    }
+
+    /// Wrap a custom transport backend (e.g. `armci-netfab`'s TCP
+    /// backend) in the full tag-matching mailbox.
+    pub fn from_backend(backend: Box<dyn MailboxBackend>) -> Self {
+        Mailbox { backend: BackendImpl::Ext(backend), deferred: VecDeque::new() }
     }
 
     /// This mailbox's endpoint identity.
     #[inline]
     pub fn me(&self) -> Endpoint {
-        self.me
+        match &self.backend {
+            BackendImpl::Emu(b) => b.me,
+            BackendImpl::Ext(b) => b.me(),
+        }
     }
 
     /// The cluster topology (shared by all endpoints).
     #[inline]
     pub fn topology(&self) -> &Topology {
-        &self.inner.topology
+        match &self.backend {
+            BackendImpl::Emu(b) => &b.inner.topology,
+            BackendImpl::Ext(b) => b.topology(),
+        }
     }
 
-    /// The latency model messages are stamped with.
+    /// The latency model messages are stamped with (zero on real-network
+    /// backends, where the wire itself charges latency).
     #[inline]
     pub fn latency_model(&self) -> &LatencyModel {
-        &self.inner.latency
+        match &self.backend {
+            BackendImpl::Emu(b) => &b.inner.latency,
+            BackendImpl::Ext(b) => b.latency_model(),
+        }
+    }
+
+    /// Wire-level traffic (inter-node messages and payload bytes) sent by
+    /// this endpoint so far. Intra-node sends are free on both backends
+    /// and are not counted.
+    #[inline]
+    pub fn wire_counters(&self) -> WireCounters {
+        match &self.backend {
+            BackendImpl::Emu(b) => b.wire,
+            BackendImpl::Ext(b) => b.wire_counters(),
+        }
     }
 
     /// Send `body` to `dst` with protocol tag `tag`.
@@ -171,17 +355,17 @@ impl Mailbox {
     /// (stored inline, no allocation).
     pub fn send(&mut self, dst: Endpoint, tag: Tag, body: impl Into<crate::Body>) {
         let body = body.into();
-        let topo = &self.inner.topology;
-        if let Some(trace) = &self.inner.trace {
-            trace.record(self.my_index, self.me, dst, tag, body.len());
+        match &mut self.backend {
+            BackendImpl::Emu(b) => b.send(dst, tag, body),
+            BackendImpl::Ext(b) => b.send(dst, tag, body),
         }
-        let same_node = node_of_endpoint(topo, self.me) == node_of_endpoint(topo, dst);
-        let mut lat = self.inner.latency.one_way(same_node, body.len());
-        if !same_node && !self.inner.latency.jitter.is_zero() {
-            lat += self.inner.latency.jitter_for(self.rng.next_f64());
+    }
+
+    fn recv_from_wire(&mut self) -> Result<Msg, RecvError> {
+        match &mut self.backend {
+            BackendImpl::Emu(b) => b.recv_raw(),
+            BackendImpl::Ext(b) => b.recv_raw(),
         }
-        let env = Envelope { msg: Msg { src: self.me, tag, body }, deliver_at: Instant::now() + lat };
-        let _ = self.inner.txs[endpoint_index(topo, dst)].send(env);
     }
 
     /// Receive the next message in arrival order, blocking until one is
@@ -228,34 +412,28 @@ impl Mailbox {
         if let Some(m) = self.deferred.pop_front() {
             return Ok(Some(m));
         }
-        if let Some(env) = self.pending.take() {
-            if Instant::now() >= env.deliver_at {
-                return Ok(Some(env.msg));
-            }
-            self.pending = Some(env);
-            return Ok(None);
-        }
-        match self.rx.try_recv() {
-            Ok(env) => {
-                if Instant::now() >= env.deliver_at {
-                    Ok(Some(env.msg))
-                } else {
-                    self.pending = Some(env);
-                    Ok(None)
-                }
-            }
-            Err(crossbeam_channel::TryRecvError::Empty) => Ok(None),
-            Err(crossbeam_channel::TryRecvError::Disconnected) => Err(RecvError),
+        match &mut self.backend {
+            BackendImpl::Emu(b) => b.try_recv_raw(),
+            BackendImpl::Ext(b) => b.try_recv_raw(),
         }
     }
 
-    fn recv_from_wire(&mut self) -> Result<Msg, RecvError> {
-        let env = match self.pending.take() {
-            Some(e) => e,
-            None => self.rx.recv().map_err(|_| RecvError)?,
-        };
-        wait_until(env.deliver_at);
-        Ok(env.msg)
+    /// Receive the next message in arrival order, waiting at most until
+    /// `deadline`. Returns `Ok(None)` on timeout. Used by drain loops
+    /// that must also notice shutdown (e.g. network reader teardown).
+    pub fn recv_deadline(&mut self, deadline: Instant) -> Result<Option<Msg>, RecvError> {
+        if let Some(m) = self.deferred.pop_front() {
+            return Ok(Some(m));
+        }
+        match &mut self.backend {
+            BackendImpl::Emu(b) => b.recv_deadline_raw(deadline),
+            BackendImpl::Ext(b) => b.recv_deadline_raw(deadline),
+        }
+    }
+
+    /// [`Mailbox::recv_deadline`] with a relative timeout.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Msg>, RecvError> {
+        self.recv_deadline(Instant::now() + timeout)
     }
 }
 
@@ -351,6 +529,21 @@ mod tests {
     }
 
     #[test]
+    fn wire_counters_count_inter_node_only() {
+        let topo = Topology::new(2, 2);
+        let n = endpoint_count(&topo);
+        let (txs, rxs): (Vec<_>, Vec<_>) = (0..n).map(|_| crossbeam_channel::unbounded()).unzip();
+        let inner = Arc::new(FabricInner { topology: topo, latency: LatencyModel::zero(), txs, seed: 7, trace: None });
+        let mut rxs = rxs.into_iter();
+        let mut a = Mailbox::new(Endpoint::Proc(ProcId(0)), inner.clone(), rxs.next().unwrap());
+        a.send(Endpoint::Proc(ProcId(1)), Tag(0), vec![1, 2, 3]); // same node: free
+        assert_eq!(a.wire_counters(), WireCounters::default());
+        a.send(Endpoint::Proc(ProcId(2)), Tag(0), vec![1, 2, 3, 4]); // crosses the wire
+        a.send(Endpoint::Server(crate::ids::NodeId(1)), Tag(0), vec![5]);
+        assert_eq!(a.wire_counters(), WireCounters { msgs: 2, bytes: 5 });
+    }
+
+    #[test]
     fn disconnect_reported() {
         // Build a mailbox whose every sender handle is dropped — the state
         // an endpoint observes at cluster teardown. In-flight messages
@@ -373,6 +566,7 @@ mod tests {
         assert!(matches!(b.recv(), Err(RecvError)));
         assert!(matches!(b.try_recv(), Err(RecvError)));
         assert!(matches!(b.recv_tag(Tag(3)), Err(RecvError)));
+        assert!(matches!(b.recv_deadline(Instant::now()), Err(RecvError)));
     }
 
     #[test]

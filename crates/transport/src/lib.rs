@@ -41,12 +41,13 @@ pub mod ids;
 pub mod latency;
 pub mod memory;
 pub mod message;
+mod serde_impls;
 pub mod trace;
 pub mod wait;
 
 pub use body::{Body, BodyPool};
 pub use cluster::{Cluster, ClusterBuilder};
-pub use fabric::{Mailbox, RecvError};
+pub use fabric::{endpoint_count, endpoint_index, node_of_endpoint, Mailbox, MailboxBackend, RecvError, WireCounters};
 pub use ids::{NodeId, ProcId, Topology};
 pub use latency::LatencyModel;
 pub use memory::{MemoryRegistry, SegId, Segment};

@@ -1,0 +1,80 @@
+//! `serde` implementations for the config types that cross process
+//! boundaries: the netfab launcher serializes the cluster description and
+//! ships it to spawned node processes in an environment variable.
+//!
+//! The vendored serde shim has no derive macro, so the impls are written
+//! out by hand; the encoded shape matches what `#[derive(Serialize,
+//! Deserialize)]` would produce on the same structs (a JSON object per
+//! struct, `{secs, nanos}` for `Duration`).
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+use crate::ids::Topology;
+use crate::latency::LatencyModel;
+
+impl Serialize for Topology {
+    fn to_value(&self) -> Value {
+        Value::map(vec![
+            ("nodes", Value::U64(self.nnodes() as u64)),
+            ("procs_per_node", Value::U64(self.procs_per_node() as u64)),
+        ])
+    }
+}
+
+impl Deserialize for Topology {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let nodes = u32::from_value(v.field("nodes")?)?;
+        let ppn = u32::from_value(v.field("procs_per_node")?)?;
+        if nodes == 0 || ppn == 0 {
+            return Err(Error::new("topology dimensions must be positive"));
+        }
+        Ok(Topology::new(nodes, ppn))
+    }
+}
+
+impl Serialize for LatencyModel {
+    fn to_value(&self) -> Value {
+        Value::map(vec![
+            ("inter_node", self.inter_node.to_value()),
+            ("per_byte", self.per_byte.to_value()),
+            ("intra_node", self.intra_node.to_value()),
+            ("jitter", self.jitter.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for LatencyModel {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(LatencyModel {
+            inter_node: Deserialize::from_value(v.field("inter_node")?)?,
+            per_byte: Deserialize::from_value(v.field("per_byte")?)?,
+            intra_node: Deserialize::from_value(v.field("intra_node")?)?,
+            jitter: Deserialize::from_value(v.field("jitter")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn topology_roundtrip() {
+        let t = Topology::new(4, 2);
+        let json = serde::to_string(&t);
+        assert_eq!(serde::from_str::<Topology>(&json), Ok(t));
+    }
+
+    #[test]
+    fn topology_rejects_zero_dims() {
+        assert!(serde::from_str::<Topology>(r#"{"nodes":0,"procs_per_node":1}"#).is_err());
+    }
+
+    #[test]
+    fn latency_model_roundtrip() {
+        let m = LatencyModel::myrinet_like().with_jitter(Duration::from_nanos(123));
+        let json = serde::to_string(&m);
+        assert_eq!(serde::from_str::<LatencyModel>(&json), Ok(m));
+    }
+}

@@ -41,14 +41,16 @@ pub struct Trace {
 
 impl Trace {
     /// A trace with one shard per sending endpoint (`shards` =
-    /// `endpoint_index` domain size).
-    pub(crate) fn new(shards: usize) -> Self {
+    /// [`crate::fabric::endpoint_count`], the `endpoint_index` domain
+    /// size). Public so out-of-crate backends (e.g. `armci-netfab`) can
+    /// allocate a trace compatible with the emulator's tooling.
+    pub fn new(shards: usize) -> Self {
         Trace { t0: Instant::now(), shards: (0..shards.max(1)).map(|_| Mutex::new(Vec::new())).collect() }
     }
 
     /// Record one send into the sender's shard (`shard` is the sender's
     /// dense endpoint index).
-    pub(crate) fn record(&self, shard: usize, src: Endpoint, dst: Endpoint, tag: Tag, size: usize) {
+    pub fn record(&self, shard: usize, src: Endpoint, dst: Endpoint, tag: Tag, size: usize) {
         let ev = TraceEvent { at: self.t0.elapsed(), src, dst, tag, size };
         self.shards[shard].lock().unwrap().push(ev);
     }

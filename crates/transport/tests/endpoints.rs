@@ -93,6 +93,51 @@ fn jitter_reorders_across_channels_but_not_within() {
     assert_eq!(last_from_2, Some(19));
 }
 
+#[test]
+fn recv_timeout_expires_then_delivers() {
+    let mut c = Cluster::builder().nodes(2).procs_per_node(1).latency(LatencyModel::zero()).build();
+    let mut p0 = c.take_proc(ProcId(0));
+    let mut p1 = c.take_proc(ProcId(1));
+    // Nothing in flight: the deadline passes and recv_timeout reports so.
+    assert!(p0.recv_timeout(Duration::from_millis(5)).unwrap().is_none());
+    // With a message in flight it is delivered well before a long deadline.
+    p1.send(Endpoint::Proc(ProcId(0)), Tag(3), vec![9]);
+    let m = p0.recv_timeout(Duration::from_secs(5)).unwrap().expect("message should arrive");
+    assert_eq!(m.tag, Tag(3));
+    assert_eq!(m.body, vec![9]);
+}
+
+#[test]
+fn recv_deadline_respects_latency_stamps() {
+    // A message whose modeled delivery time lies beyond the deadline is
+    // not delivered early: the emulator waits out the deadline and
+    // returns None, then a later recv gets it.
+    let lat = LatencyModel::zero().with_inter_node(Duration::from_millis(50));
+    let mut c = Cluster::builder().nodes(2).procs_per_node(1).latency(lat).build();
+    let mut p0 = c.take_proc(ProcId(0));
+    let mut p1 = c.take_proc(ProcId(1));
+    p1.send(Endpoint::Proc(ProcId(0)), Tag(4), vec![1]);
+    let early = std::time::Instant::now() + Duration::from_millis(5);
+    assert!(p0.recv_deadline(early).unwrap().is_none());
+    let m = p0.recv().unwrap();
+    assert_eq!(m.tag, Tag(4));
+}
+
+#[test]
+fn recv_timeout_drains_deferred_before_waiting() {
+    let mut c = Cluster::builder().nodes(2).procs_per_node(1).latency(LatencyModel::zero()).build();
+    let mut p0 = c.take_proc(ProcId(0));
+    let mut p1 = c.take_proc(ProcId(1));
+    // recv_tag defers the Tag(1) message while fishing for Tag(2)...
+    p1.send(Endpoint::Proc(ProcId(0)), Tag(1), vec![1]);
+    p1.send(Endpoint::Proc(ProcId(0)), Tag(2), vec![2]);
+    assert_eq!(p0.recv_tag(Tag(2)).unwrap().body, vec![2]);
+    // ...so a timed receive must yield the deferred message immediately,
+    // even with a zero timeout.
+    let m = p0.recv_timeout(Duration::ZERO).unwrap().expect("deferred message");
+    assert_eq!(m.tag, Tag(1));
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 

@@ -10,6 +10,7 @@
 //! thread parking) are the same.
 
 use std::sync::mpsc;
+use std::time::{Duration, Instant};
 
 /// Error returned by [`Sender::send`] when the receiver has been dropped.
 #[derive(PartialEq, Eq, Clone, Copy, Debug)]
@@ -24,6 +25,15 @@ pub struct RecvError;
 pub enum TryRecvError {
     /// The channel is currently empty (but senders remain).
     Empty,
+    /// Every sender has been dropped and the buffer is drained.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`] / [`Receiver::recv_deadline`].
+#[derive(PartialEq, Eq, Clone, Copy, Debug)]
+pub enum RecvTimeoutError {
+    /// The wait elapsed with no message (but senders remain).
+    Timeout,
     /// Every sender has been dropped and the buffer is drained.
     Disconnected,
 }
@@ -60,6 +70,21 @@ impl<T> Receiver<T> {
             mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
         })
     }
+
+    /// Block until a message is available, all senders are gone, or
+    /// `timeout` elapses.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.0.recv_timeout(timeout).map_err(|e| match e {
+            mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+            mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+        })
+    }
+
+    /// Block until a message is available, all senders are gone, or
+    /// `deadline` is reached.
+    pub fn recv_deadline(&self, deadline: Instant) -> Result<T, RecvTimeoutError> {
+        self.recv_timeout(deadline.saturating_duration_since(Instant::now()))
+    }
 }
 
 /// Create an unbounded MPSC channel.
@@ -85,5 +110,16 @@ mod tests {
         drop(tx2);
         assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
         assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn timed_receives() {
+        let (tx, rx) = unbounded();
+        tx.send(7u32).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(50)), Ok(7));
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Err(RecvTimeoutError::Timeout));
+        assert_eq!(rx.recv_deadline(Instant::now() + Duration::from_millis(5)), Err(RecvTimeoutError::Timeout));
+        drop(tx);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Err(RecvTimeoutError::Disconnected));
     }
 }

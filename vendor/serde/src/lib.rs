@@ -1,5 +1,583 @@
-//! Offline placeholder for `serde` (see `[patch.crates-io]` in the root
-//! `Cargo.toml`). The workspace lists serde as a dependency of the bench
-//! crate but no code path serializes with it — the wire formats are all
-//! hand-framed via msglib — so an empty crate declaring the `derive`
-//! feature satisfies resolution without pulling in proc-macros.
+//! Minimal offline stand-in for the `serde` crate.
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so the workspace vendors tiny API-compatible shims for its external
+//! dependencies (see the `[patch.crates-io]` table in the root
+//! `Cargo.toml`). Real serde is a proc-macro-driven framework; this shim
+//! keeps the same top-level shape — `Serialize`/`Deserialize` traits and
+//! `to_string`/`from_str` entry points producing JSON — but routes
+//! through a self-describing [`Value`] tree and hand-written impls
+//! instead of derive macros (the `derive` cargo feature exists but is a
+//! no-op). That is all the workspace needs: the netfab launcher ships
+//! small config structs (`Topology`, `LatencyModel`, `ArmciCfg`) to
+//! spawned node processes through an environment variable.
+//!
+//! The JSON codec covers the subset those configs use: objects, arrays,
+//! strings (with `\" \\ \/ \n \r \t \uXXXX` escapes), booleans, `null`,
+//! and integer/float numbers.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A self-describing serialized value (the shim's data model, akin to
+/// `serde_json::Value`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Seq(Vec<Value>),
+    /// An object. Keys are sorted (BTreeMap) so encoding is deterministic.
+    Map(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Build an object value from `(key, value)` pairs.
+    pub fn map(fields: Vec<(&str, Value)>) -> Value {
+        Value::Map(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Fetch a field of an object, or an error naming the missing key.
+    pub fn field(&self, key: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Map(m) => m.get(key).ok_or_else(|| Error::new(format!("missing field `{key}`"))),
+            _ => Err(Error::new(format!("expected object with field `{key}`"))),
+        }
+    }
+
+    /// The value as a `u64` (accepting exact non-negative `I64` too).
+    pub fn as_u64(&self) -> Result<u64, Error> {
+        match *self {
+            Value::U64(v) => Ok(v),
+            Value::I64(v) if v >= 0 => Ok(v as u64),
+            _ => Err(Error::new(format!("expected unsigned integer, got {self:?}"))),
+        }
+    }
+
+    /// The value as an `i64`.
+    pub fn as_i64(&self) -> Result<i64, Error> {
+        match *self {
+            Value::I64(v) => Ok(v),
+            Value::U64(v) if v <= i64::MAX as u64 => Ok(v as i64),
+            _ => Err(Error::new(format!("expected integer, got {self:?}"))),
+        }
+    }
+
+    /// The value as an `f64` (integers widen losslessly enough for configs).
+    pub fn as_f64(&self) -> Result<f64, Error> {
+        match *self {
+            Value::F64(v) => Ok(v),
+            Value::U64(v) => Ok(v as f64),
+            Value::I64(v) => Ok(v as f64),
+            _ => Err(Error::new(format!("expected number, got {self:?}"))),
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Result<bool, Error> {
+        match *self {
+            Value::Bool(v) => Ok(v),
+            _ => Err(Error::new(format!("expected boolean, got {self:?}"))),
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Result<&str, Error> {
+        match self {
+            Value::Str(s) => Ok(s),
+            _ => Err(Error::new(format!("expected string, got {self:?}"))),
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_seq(&self) -> Result<&[Value], Error> {
+        match self {
+            Value::Seq(s) => Ok(s),
+            _ => Err(Error::new(format!("expected array, got {self:?}"))),
+        }
+    }
+}
+
+/// Serialization/deserialization error: a message, as in `serde_json`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Error(String);
+
+impl Error {
+    /// An error carrying `msg`.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can render itself into the shim's [`Value`] data model.
+pub trait Serialize {
+    /// Convert to a self-describing value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can rebuild itself from the shim's [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Convert back from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---- impls for primitives and std types the workspace configs use ----
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = v.as_u64()?;
+                <$t>::try_from(raw).map_err(|_| Error::new(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = v.as_i64()?;
+                <$t>::try_from(raw).map_err(|_| Error::new(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool()
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str().map(str::to_string)
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::Str((*self).to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_seq()?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        // Same shape as real serde's Duration impl: {secs, nanos}.
+        Value::map(vec![("secs", Value::U64(self.as_secs())), ("nanos", Value::U64(self.subsec_nanos() as u64))])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let secs = v.field("secs")?.as_u64()?;
+        let nanos = v.field("nanos")?.as_u64()?;
+        if nanos >= 1_000_000_000 {
+            return Err(Error::new("Duration nanos out of range"));
+        }
+        Ok(std::time::Duration::new(secs, nanos as u32))
+    }
+}
+
+// ---- JSON text codec ----
+
+fn encode_into(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(n) => {
+            if n.is_finite() {
+                // `{:?}` keeps a trailing `.0` on integral floats, so the
+                // value re-parses as a float.
+                out.push_str(&format!("{n:?}"));
+            } else {
+                out.push_str("null"); // JSON has no NaN/inf, as in serde_json
+            }
+        }
+        Value::Str(s) => {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                encode_into(item, out);
+            }
+            out.push(']');
+        }
+        Value::Map(fields) => {
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                encode_into(&Value::Str(k.clone()), out);
+                out.push(':');
+                encode_into(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error::new(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("invalid literal, expected `{word}`")))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(char::from_u32(hex).ok_or_else(|| self.err("bad \\u code point"))?);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Re-decode the UTF-8 sequence starting at b.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        _ if b < 0x80 => 1,
+                        _ if b >> 5 == 0b110 => 2,
+                        _ if b >> 4 == 0b1110 => 3,
+                        _ => 4,
+                    };
+                    let s = self
+                        .bytes
+                        .get(start..start + len)
+                        .and_then(|raw| std::str::from_utf8(raw).ok())
+                        .ok_or_else(|| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| self.err("bad number"))?;
+        if !text.contains(['.', 'e', 'E']) {
+            if let Some(neg) = text.strip_prefix('-') {
+                if let Ok(v) = neg.parse::<i64>() {
+                    return Ok(Value::I64(-v));
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::U64(v));
+            }
+        }
+        text.parse::<f64>().map(Value::F64).map_err(|_| self.err("bad number"))
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => {
+                self.expect(b'[')?;
+                let mut items = Vec::new();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Seq(items));
+                        }
+                        _ => return Err(self.err("expected `,` or `]`")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.expect(b'{')?;
+                let mut fields = BTreeMap::new();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Map(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.expect(b':')?;
+                    fields.insert(key, self.value()?);
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Map(fields));
+                        }
+                        _ => return Err(self.err("expected `,` or `}`")),
+                    }
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+}
+
+impl Value {
+    /// Encode as compact JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        encode_into(self, &mut out);
+        out
+    }
+
+    /// Parse from JSON text.
+    pub fn parse_json(s: &str) -> Result<Value, Error> {
+        let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters"));
+        }
+        Ok(v)
+    }
+}
+
+/// Serialize `value` to a compact JSON string (the shim's counterpart of
+/// `serde_json::to_string`; infallible because [`Value`] is always
+/// encodable).
+pub fn to_string<T: Serialize>(value: &T) -> String {
+    value.to_value().to_json()
+}
+
+/// Deserialize a `T` from JSON text (counterpart of
+/// `serde_json::from_str`).
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    T::from_value(&Value::parse_json(s)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn scalar_roundtrips() {
+        assert_eq!(from_str::<u32>(&to_string(&7u32)), Ok(7));
+        assert_eq!(from_str::<i64>(&to_string(&-40i64)), Ok(-40));
+        assert_eq!(from_str::<bool>(&to_string(&true)), Ok(true));
+        assert_eq!(from_str::<f64>(&to_string(&1.5f64)), Ok(1.5));
+        assert_eq!(from_str::<f64>(&to_string(&3.0f64)), Ok(3.0));
+        assert_eq!(from_str::<String>(&to_string(&"a \"b\"\n\tc\\".to_string())), Ok("a \"b\"\n\tc\\".to_string()));
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(from_str::<Vec<u64>>(&to_string(&v)), Ok(v));
+        assert_eq!(from_str::<Option<u32>>(&to_string(&None::<u32>)), Ok(None));
+        assert_eq!(from_str::<Option<u32>>(&to_string(&Some(5u32))), Ok(Some(5)));
+        let d = Duration::new(3, 500_000_000);
+        assert_eq!(from_str::<Duration>(&to_string(&d)), Ok(d));
+    }
+
+    #[test]
+    fn parses_whitespace_and_nesting() {
+        let v = Value::parse_json(r#" { "a" : [ 1 , -2, 3.5 ] , "b" : { "c" : "d" } , "e": null } "#).unwrap();
+        assert_eq!(v.field("a").unwrap().as_seq().unwrap().len(), 3);
+        assert_eq!(v.field("b").unwrap().field("c").unwrap().as_str(), Ok("d"));
+        assert_eq!(v.field("e"), Ok(&Value::Null));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Value::parse_json("{").is_err());
+        assert!(Value::parse_json("[1,]").is_err());
+        assert!(Value::parse_json("12 34").is_err());
+        assert!(Value::parse_json(r#""unterminated"#).is_err());
+        assert!(from_str::<u8>("300").is_err());
+        assert!(from_str::<u32>("\"nope\"").is_err());
+    }
+
+    #[test]
+    fn unicode_strings_survive() {
+        let s = "héllo ☂ \u{1F600}".to_string();
+        assert_eq!(from_str::<String>(&to_string(&s)), Ok(s));
+    }
+
+    #[test]
+    fn out_of_range_field_errors_name_the_field() {
+        let err = Value::parse_json("{}").unwrap().field("nodes").unwrap_err();
+        assert!(err.to_string().contains("nodes"));
+    }
+}
