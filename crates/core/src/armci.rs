@@ -4,21 +4,37 @@
 //! Lock operations live in [`crate::lock`] (same struct, separate module).
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use armci_msglib::Reader;
-use armci_msglib::{allreduce_sum_u64, barrier_binary_exchange, P2p};
-use armci_transport::wait::spin_until_ge;
+use armci_msglib::{barrier_binary_exchange, try_allreduce_sum_u64, try_barrier_binary_exchange, CommError, P2p};
+use armci_transport::wait::spin_until_deadline;
 use armci_transport::{
-    Body, BodyPool, Endpoint, Mailbox, MemoryRegistry, NodeId, ProcId, SegId, Segment, Tag, Topology,
+    Body, BodyPool, Endpoint, Mailbox, MemoryRegistry, Msg, NodeId, ProcId, SegId, Segment, Tag, Topology,
 };
 
 use crate::config::{AckMode, LockAlgo};
+use crate::errors::ArmciError;
 use crate::gptr::GlobalAddr;
 use crate::layout;
 use crate::msg::{enc, Req, RmwOp, TAG_FENCE_ACK, TAG_GET_REPLY, TAG_PUT_ACK, TAG_REQ, TAG_RMW_REPLY};
 use crate::server::apply_rmw;
 use crate::stats::Stats;
 use crate::strided::Strided2D;
+
+/// How often a blocking wait interrupts itself to check for dead peers:
+/// short enough that a killed node surfaces promptly, long enough that
+/// the extra wakeups are noise.
+pub(crate) const DETECT_SLICE: Duration = Duration::from_millis(25);
+
+/// Unwrap a fallible operation for the classic infallible API: the
+/// original ARMCI would crash the job on a communication failure, and the
+/// infallible spellings keep that contract (use the `try_*` twins to
+/// observe failures as values).
+#[track_caller]
+pub(crate) fn unwrap_op<T>(r: Result<T, ArmciError>) -> T {
+    r.unwrap_or_else(|e| panic!("ARMCI operation failed: {e}"))
+}
 
 /// Identifies one distributed lock: the process owning the lock variable
 /// and the slot index within that process's sync segment.
@@ -65,6 +81,10 @@ pub struct Armci {
     /// Non-blocking get ordering (issued/completed per node).
     pub(crate) nbget_issued: Vec<u64>,
     pub(crate) nbget_completed: Vec<u64>,
+    /// Deadline budget for each blocking operation
+    /// (`ArmciCfg::op_timeout`): past it, a `try_*` call returns
+    /// [`ArmciError::Timeout`] and an infallible call panics.
+    pub(crate) op_timeout: Duration,
     /// Next free lock slot per owner (for [`Armci::create_lock`]).
     pub(crate) lock_alloc: Vec<u32>,
     pub(crate) stats: Stats,
@@ -173,6 +193,89 @@ impl Armci {
         self.registry.lookup(addr.proc, addr.seg)
     }
 
+    // ------------------------------------------------------------------
+    // Failure-aware waiting (the fault plane's receive side)
+    // ------------------------------------------------------------------
+
+    /// The deadline a blocking operation starting now must finish by.
+    pub(crate) fn op_deadline(&self) -> Instant {
+        Instant::now() + self.op_timeout
+    }
+
+    /// First peer node the transport knows to be dead, if any.
+    fn lost_peer(&mut self) -> Option<NodeId> {
+        self.mb.lost_peers().into_iter().next()
+    }
+
+    /// Wait for a message matching `pred`, giving up at `deadline` or as
+    /// soon as a peer is known dead. Every message-wait in the fallible
+    /// API funnels through here: waits happen in short slices
+    /// ([`DETECT_SLICE`]) so a peer death surfaces promptly, and delivered
+    /// data always wins over a concurrently-detected loss (the slice is
+    /// drained before the peer state is consulted).
+    pub(crate) fn recv_wait(
+        &mut self,
+        op: &'static str,
+        deadline: Instant,
+        mut pred: impl FnMut(&Msg) -> bool,
+    ) -> Result<Msg, ArmciError> {
+        loop {
+            let until = deadline.min(Instant::now() + DETECT_SLICE);
+            match self.mb.recv_match_deadline(&mut pred, until) {
+                Ok(Some(m)) => return Ok(m),
+                Ok(None) => {
+                    if let Some(peer) = self.lost_peer() {
+                        return Err(ArmciError::PeerLost { peer });
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(ArmciError::Timeout { op });
+                    }
+                }
+                Err(_) => return Err(ArmciError::TransportDown { op }),
+            }
+        }
+    }
+
+    /// Wait for a reply from `agent` with `tag` under this operation's
+    /// deadline.
+    fn recv_reply(&mut self, op: &'static str, agent: Endpoint, tag: Tag) -> Result<Msg, ArmciError> {
+        let deadline = self.op_deadline();
+        self.recv_wait(op, deadline, |m| m.src == agent && m.tag == tag)
+    }
+
+    /// Spin on a local (shared-memory) condition, giving up at `deadline`
+    /// or when a peer is known dead — the fallible counterpart of the
+    /// `spin_until*` helpers, for waits whose progress depends on a remote
+    /// process eventually writing into local memory.
+    pub(crate) fn wait_local_cond(
+        &mut self,
+        op: &'static str,
+        deadline: Instant,
+        mut cond: impl FnMut() -> bool,
+    ) -> Result<(), ArmciError> {
+        loop {
+            let until = deadline.min(Instant::now() + DETECT_SLICE);
+            if spin_until_deadline(&mut cond, until) {
+                return Ok(());
+            }
+            if let Some(peer) = self.lost_peer() {
+                return Err(ArmciError::PeerLost { peer });
+            }
+            if Instant::now() >= deadline {
+                return Err(ArmciError::Timeout { op });
+            }
+        }
+    }
+
+    /// Map a collective-layer error into the ARMCI taxonomy.
+    fn from_comm(op: &'static str, e: CommError) -> ArmciError {
+        match e {
+            CommError::Timeout => ArmciError::Timeout { op },
+            CommError::PeerLost(peer) => ArmciError::PeerLost { peer },
+            CommError::Disconnected => ArmciError::TransportDown { op },
+        }
+    }
+
     /// Frame a request into a pooled buffer (or inline body) and send it —
     /// the choke point every outgoing request passes through, so all of
     /// them get the zero-allocation encode path and are counted in
@@ -273,6 +376,21 @@ impl Armci {
             });
             self.note_counted_put(dst.proc);
         }
+    }
+
+    /// Fallible [`Armci::put`]: refuse to queue data for a destination
+    /// node whose connection is already known dead. A put is one-way, so
+    /// this is the only failure a sender can observe at issue time; later
+    /// losses surface at the next fence or barrier.
+    pub fn try_put(&mut self, dst: GlobalAddr, data: &[u8]) -> Result<(), ArmciError> {
+        if !self.is_local(dst.proc) {
+            let node = self.server_of(dst.proc);
+            if self.mb.peer_is_lost(node) {
+                return Err(ArmciError::PeerLost { peer: node });
+            }
+        }
+        self.put(dst, data);
+        Ok(())
     }
 
     /// Non-blocking atomic word put (Release store). One-way even for
@@ -386,22 +504,31 @@ impl Armci {
             let node = self.server_of(src);
             self.send_req(node, &Req::GetVector { dst: src, seg, runs: runs.to_vec() });
             self.stats.remote_gets += 1;
-            self.mb.recv_tag_from(Endpoint::Server(node), TAG_GET_REPLY).expect("transport down").body.into_vec()
+            let m = unwrap_op(self.recv_reply("get_vector", Endpoint::Server(node), TAG_GET_REPLY));
+            m.body.into_vec()
         }
     }
 
     /// Blocking contiguous get.
     pub fn get(&mut self, src: GlobalAddr, out: &mut [u8]) {
+        unwrap_op(self.try_get(src, out));
+    }
+
+    /// Fallible [`Armci::get`]: surface a dead source node or an expired
+    /// operation deadline as an [`ArmciError`] instead of panicking.
+    pub fn try_get(&mut self, src: GlobalAddr, out: &mut [u8]) -> Result<(), ArmciError> {
         if self.is_local(src.proc) {
             self.seg_of(src).read_bytes(src.offset, out);
             self.stats.local_gets += 1;
+            Ok(())
         } else {
             let node = self.server_of(src.proc);
             let req = Req::Get { dst: src.proc, seg: src.seg, offset: src.offset as u64, len: out.len() as u32 };
             self.send_req(node, &req);
             self.stats.remote_gets += 1;
-            let m = self.mb.recv_tag_from(Endpoint::Server(node), TAG_GET_REPLY).expect("transport down");
+            let m = self.recv_reply("get", Endpoint::Server(node), TAG_GET_REPLY)?;
             out.copy_from_slice(&m.body);
+            Ok(())
         }
     }
 
@@ -420,7 +547,7 @@ impl Armci {
             let node = self.server_of(src);
             self.send_req(node, &Req::GetStrided { dst: src, seg, desc });
             self.stats.remote_gets += 1;
-            let m = self.mb.recv_tag_from(Endpoint::Server(node), TAG_GET_REPLY).expect("transport down");
+            let m = unwrap_op(self.recv_reply("get_strided", Endpoint::Server(node), TAG_GET_REPLY));
             m.body.into_vec()
         }
     }
@@ -549,18 +676,28 @@ impl Armci {
     /// Panics if an older get to the same node is still outstanding
     /// (waits must be FIFO per node).
     pub fn nbget_wait(&mut self, h: NbGet) -> Vec<u8> {
+        unwrap_op(self.try_nbget_wait(h))
+    }
+
+    /// Fallible [`Armci::nbget_wait`]: a dead reply source or an expired
+    /// deadline becomes an [`ArmciError`] instead of a hang.
+    ///
+    /// # Panics
+    /// Panics if an older get to the same node is still outstanding
+    /// (waits must be FIFO per node — a usage error, not a fault).
+    pub fn try_nbget_wait(&mut self, h: NbGet) -> Result<Vec<u8>, ArmciError> {
         match h {
-            NbGet::Ready(data) => data,
+            NbGet::Ready(data) => Ok(data),
             NbGet::Pending { node, seq, len } => {
                 assert_eq!(
                     seq,
                     self.nbget_completed[node.idx()],
                     "non-blocking gets to {node} must be waited in issue order"
                 );
-                let m = self.mb.recv_tag_from(Endpoint::Server(node), TAG_GET_REPLY).expect("transport down");
+                let m = self.recv_reply("nbget_wait", Endpoint::Server(node), TAG_GET_REPLY)?;
                 self.nbget_completed[node.idx()] += 1;
                 debug_assert_eq!(m.body.len(), len);
-                m.body.into_vec()
+                Ok(m.body.into_vec())
             }
         }
     }
@@ -573,16 +710,22 @@ impl Armci {
     /// zero for single-word ops). Local targets are executed directly;
     /// remote ones round-trip through the server.
     pub fn rmw(&mut self, dst: GlobalAddr, op: RmwOp) -> [u64; 2] {
+        unwrap_op(self.try_rmw(dst, op))
+    }
+
+    /// Fallible [`Armci::rmw`]: a dead target node or an expired deadline
+    /// becomes an [`ArmciError`] instead of a hang.
+    pub fn try_rmw(&mut self, dst: GlobalAddr, op: RmwOp) -> Result<[u64; 2], ArmciError> {
         if self.is_local(dst.proc) {
             self.stats.local_rmws += 1;
-            apply_rmw(&self.seg_of(dst), dst.offset, op)
+            Ok(apply_rmw(&self.seg_of(dst), dst.offset, op))
         } else {
             let agent = self.sync_agent(self.server_of(dst.proc));
             self.send_req_to(agent, &Req::Rmw { dst: dst.proc, seg: dst.seg, offset: dst.offset as u64, op });
             self.stats.remote_rmws += 1;
-            let m = self.mb.recv_tag_from(agent, TAG_RMW_REPLY).expect("transport down");
+            let m = self.recv_reply("rmw", agent, TAG_RMW_REPLY)?;
             let mut r = Reader::new(&m.body);
-            [r.u64(), r.u64()]
+            Ok([r.u64(), r.u64()])
         }
     }
 
@@ -645,13 +788,21 @@ impl Armci {
     /// nothing was sent since the last fence). VIA mode: drain outstanding
     /// put acknowledgements from that node.
     pub fn fence(&mut self, proc: ProcId) {
-        self.fence_node(self.server_of(proc));
+        unwrap_op(self.try_fence(proc));
     }
 
-    pub(crate) fn fence_node(&mut self, node: NodeId) {
+    /// Fallible [`Armci::fence`]: surface a dead destination node or an
+    /// expired deadline as an [`ArmciError`] instead of hanging on a
+    /// confirmation that can never arrive.
+    pub fn try_fence(&mut self, proc: ProcId) -> Result<(), ArmciError> {
+        let deadline = self.op_deadline();
+        self.try_fence_node(self.server_of(proc), deadline)
+    }
+
+    pub(crate) fn try_fence_node(&mut self, node: NodeId, deadline: Instant) -> Result<(), ArmciError> {
         if node == self.my_node {
             // Node-local operations are shared-memory and synchronous.
-            return;
+            return Ok(());
         }
         match self.ack_mode {
             AckMode::Gm => {
@@ -669,34 +820,37 @@ impl Armci {
                     pending.push(Endpoint::Nic(node));
                 }
                 for agent in pending {
-                    self.mb.recv_tag_from(agent, TAG_FENCE_ACK).expect("transport down");
+                    self.recv_wait("fence", deadline, |m| m.src == agent && m.tag == TAG_FENCE_ACK)?;
                 }
                 self.unfenced[node.idx()] = 0;
                 self.unfenced_nic[node.idx()] = 0;
             }
             AckMode::Via => {
                 while self.unacked[node.idx()] > 0 {
-                    self.consume_put_ack();
+                    self.try_consume_put_ack(deadline)?;
                 }
                 self.unfenced[node.idx()] = 0;
                 self.unfenced_nic[node.idx()] = 0;
             }
         }
+        Ok(())
     }
 
-    fn consume_put_ack(&mut self) {
-        let m = self.mb.recv_tag(TAG_PUT_ACK).expect("transport down");
+    fn try_consume_put_ack(&mut self, deadline: Instant) -> Result<(), ArmciError> {
+        let m = self.recv_wait("fence", deadline, |m| m.tag == TAG_PUT_ACK)?;
         let node = Reader::new(&m.body).u32() as usize;
         debug_assert!(self.unacked[node] > 0, "unexpected put ack from node {node}");
         self.unacked[node] = self.unacked[node].saturating_sub(1);
+        Ok(())
     }
 
-    /// Drain every outstanding put acknowledgement (VIA mode); no-op in
-    /// GM mode.
-    pub(crate) fn drain_all_acks(&mut self) {
+    /// Drain every outstanding put acknowledgement (VIA mode) within
+    /// `deadline`; no-op in GM mode (nothing is ever unacked there).
+    fn try_drain_all_acks(&mut self, deadline: Instant) -> Result<(), ArmciError> {
         while self.unacked.iter().any(|&n| n > 0) {
-            self.consume_put_ack();
+            self.try_consume_put_ack(deadline)?;
         }
+        Ok(())
     }
 
     /// `ARMCI_AllFence()`: block until every put previously issued by this
@@ -707,18 +861,26 @@ impl Armci {
     /// did — which is where the `2(N-1)` one-way latencies of the paper's
     /// baseline come from.
     pub fn allfence(&mut self) {
+        unwrap_op(self.try_allfence());
+    }
+
+    /// Fallible [`Armci::allfence`] with one overall deadline across every
+    /// per-node confirmation.
+    pub fn try_allfence(&mut self) -> Result<(), ArmciError> {
+        let deadline = self.op_deadline();
         match self.ack_mode {
             AckMode::Gm => {
                 for n in 0..self.topology().nnodes() {
-                    self.fence_node(NodeId(n as u32));
+                    self.try_fence_node(NodeId(n as u32), deadline)?;
                 }
             }
             AckMode::Via => {
-                self.drain_all_acks();
+                self.try_drain_all_acks(deadline)?;
                 self.unfenced.iter_mut().for_each(|u| *u = 0);
                 self.unfenced_nic.iter_mut().for_each(|u| *u = 0);
             }
         }
+        Ok(())
     }
 
     /// A *pipelined* `ARMCI_AllFence()`: fire confirmation requests at
@@ -750,8 +912,9 @@ impl Armci {
                     self.send_req_to(a, &Req::FenceReq);
                     self.stats.fence_roundtrips += 1;
                 }
+                let deadline = self.op_deadline();
                 for &a in &agents {
-                    self.mb.recv_tag_from(a, TAG_FENCE_ACK).expect("transport down");
+                    unwrap_op(self.recv_wait("allfence", deadline, |m| m.src == a && m.tag == TAG_FENCE_ACK));
                 }
                 self.unfenced.iter_mut().for_each(|u| *u = 0);
                 self.unfenced_nic.iter_mut().for_each(|u| *u = 0);
@@ -796,24 +959,38 @@ impl Armci {
     /// 2. wait until the local `op_done` counter reaches that total;
     /// 3. binary-exchange barrier.
     pub fn barrier(&mut self) {
+        unwrap_op(self.try_barrier());
+    }
+
+    /// Fallible [`Armci::barrier`]: identical wire behaviour (same three
+    /// stages, same messages), but every wait shares one overall deadline
+    /// of `ArmciCfg::op_timeout`, so a dead or desynchronized peer
+    /// surfaces as an [`ArmciError`] within roughly that budget instead of
+    /// hanging the rank forever.
+    pub fn try_barrier(&mut self) -> Result<(), ArmciError> {
         self.stats.barriers += 1;
+        let deadline = self.op_deadline();
         if self.ack_mode == AckMode::Via {
             // Paper §3.1.1: with acknowledged puts a process already knows
             // when its own puts complete; drain them so the op_done wait
             // below cannot be starved by our own unconsumed acks.
-            self.drain_all_acks();
+            self.try_drain_all_acks(deadline)?;
         }
         // Stage 1: distribute op_init[] (Figure 2 algorithm).
         let mut totals = self.op_init.clone();
-        allreduce_sum_u64(self, &mut totals);
+        try_allreduce_sum_u64(self, &mut totals, deadline).map_err(|e| Self::from_comm("barrier", e))?;
         // Stage 2: wait for all puts destined to me to complete.
         let want = totals[self.rank()];
-        spin_until_ge(self.my_sync.atomic_u64(layout::OP_DONE), want);
+        let sync = self.my_sync.clone();
+        self.wait_local_cond("barrier", deadline, move || {
+            sync.atomic_u64(layout::OP_DONE).load(std::sync::atomic::Ordering::Acquire) >= want
+        })?;
         // Stage 3: barrier synchronization.
-        barrier_binary_exchange(self);
+        try_barrier_binary_exchange(self, deadline).map_err(|e| Self::from_comm("barrier", e))?;
         // Everything outstanding anywhere is now globally complete.
         self.unfenced.iter_mut().for_each(|u| *u = 0);
         self.unfenced_nic.iter_mut().for_each(|u| *u = 0);
+        Ok(())
     }
 }
 
@@ -842,6 +1019,17 @@ impl P2p for Armci {
             .expect("transport down during collective")
             .body
             .into_vec()
+    }
+
+    fn recv_from_deadline(&mut self, src: usize, tag: u32, deadline: Instant) -> Result<Vec<u8>, CommError> {
+        let want_src = Endpoint::Proc(ProcId(src as u32));
+        let want_tag = Tag(Tag::MSGLIB_BASE + tag);
+        match self.recv_wait("collective", deadline, |m| m.src == want_src && m.tag == want_tag) {
+            Ok(m) => Ok(m.body.into_vec()),
+            Err(ArmciError::Timeout { .. }) => Err(CommError::Timeout),
+            Err(ArmciError::PeerLost { peer }) => Err(CommError::PeerLost(peer)),
+            Err(_) => Err(CommError::Disconnected),
+        }
     }
 
     fn next_epoch(&mut self) -> u32 {

@@ -1,8 +1,14 @@
 //! Runtime configuration: cluster shape, acknowledgement mode, default
-//! lock algorithm.
+//! lock algorithm, failure-detection timeouts and the fault-injection
+//! plan.
 
+use std::time::Duration;
+
+use armci_netfab::FaultPlan;
 use armci_transport::LatencyModel;
 use serde::{Deserialize, Error, Serialize, Value};
+
+use crate::errors::{validate_latency, ConfigError};
 
 /// Whether the communication subsystem acknowledges put messages —
 /// the distinction §3.1.1 of the paper draws between LAPI/VIA-style
@@ -80,6 +86,17 @@ pub struct ArmciCfg {
     /// queues behind bulk data handling (and never waits for the server
     /// to wake from its blocking receive).
     pub nic_assist: bool,
+    /// Deadline for each blocking ARMCI operation (fence, barrier, get
+    /// reply, lock grant, …): past it, a `try_*` call returns
+    /// [`crate::ArmciError::Timeout`] and an infallible call panics instead
+    /// of hanging. Must cover the latency model's worst case.
+    pub op_timeout: Duration,
+    /// Deadline for netfab cluster bootstrap (rendezvous registration,
+    /// mesh formation, node-process spawn).
+    pub boot_timeout: Duration,
+    /// Scripted fault-injection plan enacted by the netfab backend
+    /// (ignored by the emulator). Empty by default.
+    pub faults: FaultPlan,
 }
 
 impl Default for ArmciCfg {
@@ -94,6 +111,9 @@ impl Default for ArmciCfg {
             seed: 1,
             trace: false,
             nic_assist: false,
+            op_timeout: Duration::from_secs(30),
+            boot_timeout: Duration::from_secs(30),
+            faults: FaultPlan::new(),
         }
     }
 }
@@ -140,6 +160,153 @@ impl ArmciCfg {
     pub fn with_nic_assist(mut self, on: bool) -> Self {
         self.nic_assist = on;
         self
+    }
+
+    /// Set the per-operation deadline (see [`ArmciCfg::op_timeout`]).
+    pub fn with_op_timeout(mut self, t: Duration) -> Self {
+        self.op_timeout = t;
+        self
+    }
+
+    /// Set the bootstrap deadline (see [`ArmciCfg::boot_timeout`]).
+    pub fn with_boot_timeout(mut self, t: Duration) -> Self {
+        self.boot_timeout = t;
+        self
+    }
+
+    /// Install a scripted fault-injection plan (netfab backend only).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Start a validating builder. Unlike the infallible `with_*` chain
+    /// (kept for tests and benchmarks that construct known-good configs),
+    /// [`ArmciCfgBuilder::build`] rejects degenerate cluster shapes, zero
+    /// timeouts and inconsistent latency models with a
+    /// [`ConfigError`] instead of failing later inside the runtime.
+    pub fn builder() -> ArmciCfgBuilder {
+        ArmciCfgBuilder { cfg: ArmciCfg::default() }
+    }
+
+    /// Validate an already-assembled config (the check
+    /// [`ArmciCfgBuilder::build`] runs).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.nodes == 0 {
+            return Err(ConfigError::ZeroNodes);
+        }
+        if self.procs_per_node == 0 {
+            return Err(ConfigError::ZeroProcsPerNode);
+        }
+        if self.op_timeout.is_zero() {
+            return Err(ConfigError::ZeroTimeout { which: "op_timeout" });
+        }
+        if self.boot_timeout.is_zero() {
+            return Err(ConfigError::ZeroTimeout { which: "boot_timeout" });
+        }
+        validate_latency(&self.latency)
+    }
+}
+
+/// Validating builder for [`ArmciCfg`], produced by [`ArmciCfg::builder`].
+///
+/// ```
+/// use armci_core::ArmciCfg;
+/// use armci_transport::LatencyModel;
+/// use std::time::Duration;
+///
+/// let cfg = ArmciCfg::builder()
+///     .nodes(4)
+///     .procs_per_node(2)
+///     .latency(LatencyModel::zero())
+///     .op_timeout(Duration::from_secs(5))
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.nodes, 4);
+/// assert!(ArmciCfg::builder().nodes(0).build().is_err());
+/// ```
+#[derive(Clone, Debug)]
+pub struct ArmciCfgBuilder {
+    cfg: ArmciCfg,
+}
+
+impl ArmciCfgBuilder {
+    /// Set the node count (must be at least 1).
+    pub fn nodes(mut self, n: u32) -> Self {
+        self.cfg.nodes = n;
+        self
+    }
+
+    /// Set processes per node (must be at least 1).
+    pub fn procs_per_node(mut self, p: u32) -> Self {
+        self.cfg.procs_per_node = p;
+        self
+    }
+
+    /// Set the network cost model.
+    pub fn latency(mut self, l: LatencyModel) -> Self {
+        self.cfg.latency = l;
+        self
+    }
+
+    /// Set the put acknowledgement mode.
+    pub fn ack_mode(mut self, m: AckMode) -> Self {
+        self.cfg.ack_mode = m;
+        self
+    }
+
+    /// Set the default lock algorithm.
+    pub fn lock_algo(mut self, a: LockAlgo) -> Self {
+        self.cfg.lock_algo = a;
+        self
+    }
+
+    /// Set the lock slot count per process.
+    pub fn locks_per_proc(mut self, n: u32) -> Self {
+        self.cfg.locks_per_proc = n;
+        self
+    }
+
+    /// Set the jitter seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.cfg.seed = s;
+        self
+    }
+
+    /// Enable transport tracing.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.cfg.trace = on;
+        self
+    }
+
+    /// Enable NIC-assisted synchronization.
+    pub fn nic_assist(mut self, on: bool) -> Self {
+        self.cfg.nic_assist = on;
+        self
+    }
+
+    /// Set the per-operation deadline (must be nonzero).
+    pub fn op_timeout(mut self, t: Duration) -> Self {
+        self.cfg.op_timeout = t;
+        self
+    }
+
+    /// Set the bootstrap deadline (must be nonzero).
+    pub fn boot_timeout(mut self, t: Duration) -> Self {
+        self.cfg.boot_timeout = t;
+        self
+    }
+
+    /// Install a scripted fault-injection plan.
+    pub fn faults(mut self, f: FaultPlan) -> Self {
+        self.cfg.faults = f;
+        self
+    }
+
+    /// Validate and produce the config.
+    pub fn build(self) -> Result<ArmciCfg, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -217,6 +384,9 @@ impl Serialize for ArmciCfg {
             ("seed", Value::U64(self.seed)),
             ("trace", Value::Bool(self.trace)),
             ("nic_assist", Value::Bool(self.nic_assist)),
+            ("op_timeout_us", Value::U64(self.op_timeout.as_micros() as u64)),
+            ("boot_timeout_us", Value::U64(self.boot_timeout.as_micros() as u64)),
+            ("faults", self.faults.to_value()),
         ])
     }
 }
@@ -233,6 +403,9 @@ impl Deserialize for ArmciCfg {
             seed: u64::from_value(v.field("seed")?)?,
             trace: bool::from_value(v.field("trace")?)?,
             nic_assist: bool::from_value(v.field("nic_assist")?)?,
+            op_timeout: Duration::from_micros(u64::from_value(v.field("op_timeout_us")?)?),
+            boot_timeout: Duration::from_micros(u64::from_value(v.field("boot_timeout_us")?)?),
+            faults: FaultPlan::from_value(v.field("faults")?)?,
         })
     }
 }
@@ -261,6 +434,7 @@ mod tests {
 
     #[test]
     fn cfg_roundtrips_through_json() {
+        use armci_netfab::{FaultAction, FaultSpec};
         let cfg = ArmciCfg {
             nodes: 4,
             procs_per_node: 2,
@@ -271,6 +445,11 @@ mod tests {
             seed: 99,
             trace: true,
             nic_assist: true,
+            op_timeout: Duration::from_millis(2500),
+            boot_timeout: Duration::from_secs(9),
+            faults: FaultPlan::new()
+                .with(FaultSpec { node: 1, peer: 0, after_frames: 3, action: FaultAction::ResetConn })
+                .with(FaultSpec { node: 2, peer: 1, after_frames: 0, action: FaultAction::KillNode }),
         };
         let json = serde::to_string(&cfg);
         let back: ArmciCfg = serde::from_str(&json).unwrap();
@@ -283,6 +462,53 @@ mod tests {
         assert_eq!(back.seed, 99);
         assert!(back.trace);
         assert!(back.nic_assist);
+        assert_eq!(back.op_timeout, Duration::from_millis(2500));
+        assert_eq!(back.boot_timeout, Duration::from_secs(9));
+        assert_eq!(back.faults, cfg.faults);
+    }
+
+    #[test]
+    fn builder_accepts_valid_and_rejects_degenerate_configs() {
+        let ok = ArmciCfg::builder()
+            .nodes(3)
+            .procs_per_node(2)
+            .latency(armci_transport::LatencyModel::zero())
+            .ack_mode(AckMode::Via)
+            .op_timeout(Duration::from_secs(2))
+            .boot_timeout(Duration::from_secs(4))
+            .build()
+            .unwrap();
+        assert_eq!((ok.nodes, ok.procs_per_node, ok.ack_mode), (3, 2, AckMode::Via));
+        assert_eq!(ok.op_timeout, Duration::from_secs(2));
+
+        use crate::errors::ConfigError;
+        assert_eq!(ArmciCfg::builder().nodes(0).build().unwrap_err(), ConfigError::ZeroNodes);
+        assert_eq!(ArmciCfg::builder().procs_per_node(0).build().unwrap_err(), ConfigError::ZeroProcsPerNode);
+        assert_eq!(
+            ArmciCfg::builder().op_timeout(Duration::ZERO).build().unwrap_err(),
+            ConfigError::ZeroTimeout { which: "op_timeout" }
+        );
+        assert_eq!(
+            ArmciCfg::builder().boot_timeout(Duration::ZERO).build().unwrap_err(),
+            ConfigError::ZeroTimeout { which: "boot_timeout" }
+        );
+    }
+
+    #[test]
+    fn builder_rejects_inconsistent_latency_models() {
+        use armci_transport::LatencyModel;
+        // Jitter larger than the inter-node latency it perturbs.
+        let mut l = LatencyModel::myrinet_like();
+        l.jitter = l.inter_node + Duration::from_micros(1);
+        assert!(matches!(ArmciCfg::builder().latency(l).build(), Err(crate::errors::ConfigError::BadLatency { .. })));
+        // Intra-node cost above inter-node cost.
+        let mut l = LatencyModel::myrinet_like();
+        l.intra_node = l.inter_node + Duration::from_micros(1);
+        assert!(ArmciCfg::builder().latency(l).build().is_err());
+        // The stock models are all valid.
+        for l in [LatencyModel::zero(), LatencyModel::myrinet_like()] {
+            assert!(ArmciCfg::builder().latency(l).build().is_ok());
+        }
     }
 
     #[test]

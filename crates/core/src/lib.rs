@@ -41,6 +41,7 @@
 
 pub mod armci;
 pub mod config;
+pub mod errors;
 pub mod gptr;
 pub mod layout;
 pub mod lock;
@@ -52,12 +53,14 @@ pub mod stats;
 pub mod strided;
 
 pub use armci::{Armci, LockId};
-pub use config::{AckMode, ArmciCfg, LockAlgo};
+pub use armci_netfab::{FaultAction, FaultPlan, FaultSpec};
+pub use config::{AckMode, ArmciCfg, ArmciCfgBuilder, LockAlgo};
+pub use errors::{ArmciError, ConfigError};
 pub use gptr::{GlobalAddr, PackedPtr};
 pub use msg::{Req, ReqView, RmwOp};
 pub use runtime::{
     run_cluster, run_cluster_net, run_cluster_net_loopback, run_cluster_net_loopback_traced, run_cluster_spawned,
-    run_cluster_traced,
+    run_cluster_spawned_result, run_cluster_traced,
 };
 pub use stats::Stats;
 pub use strided::Strided2D;

@@ -24,14 +24,17 @@
 //! algorithm over the paper's literal *paired-long* atomic operations
 //! instead of packed single-word pointers, for the encoding ablation.
 
-use armci_transport::wait::{spin_until, spin_until_eq};
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
 use armci_transport::SegId;
 
-use crate::armci::{Armci, LockId};
+use crate::armci::{unwrap_op, Armci, LockId};
 use crate::config::LockAlgo;
+use crate::errors::ArmciError;
 use crate::gptr::{GlobalAddr, PackedPtr};
 use crate::layout;
-use crate::msg::{Req, TAG_LOCK_GRANT};
+use crate::msg::{Req, RmwOp, TAG_LOCK_GRANT};
 use crate::server::decode_grant;
 
 impl Armci {
@@ -70,12 +73,19 @@ impl Armci {
     /// assert_eq!(out, vec![15, 15, 15]);
     /// ```
     pub fn lock(&mut self, id: LockId) {
+        unwrap_op(self.try_lock(id));
+    }
+
+    /// Fallible [`Armci::lock`]: same algorithm dispatch, but a dead lock
+    /// host or an expired `op_timeout` surfaces as an [`ArmciError`]
+    /// instead of spinning or blocking forever.
+    pub fn try_lock(&mut self, id: LockId) -> Result<(), ArmciError> {
         match self.lock_algo() {
-            LockAlgo::Hybrid => self.lock_hybrid(id),
-            LockAlgo::ServerOnly => self.lock_server_only(id),
-            LockAlgo::TicketPoll => self.lock_ticket_poll(id),
-            LockAlgo::Mcs | LockAlgo::McsSwap => self.lock_mcs(id),
-            LockAlgo::McsPair => self.lock_mcs_pair(id),
+            LockAlgo::Hybrid => self.try_lock_hybrid(id),
+            LockAlgo::ServerOnly => self.try_lock_server_only(id),
+            LockAlgo::TicketPoll => self.try_lock_ticket_poll(id),
+            LockAlgo::Mcs | LockAlgo::McsSwap => self.try_lock_mcs(id),
+            LockAlgo::McsPair => self.try_lock_mcs_pair(id),
         }
     }
 
@@ -96,39 +106,52 @@ impl Armci {
 
     /// Acquire with the original hybrid algorithm.
     pub fn lock_hybrid(&mut self, id: LockId) {
+        unwrap_op(self.try_lock_hybrid(id));
+    }
+
+    /// Fallible [`Armci::lock_hybrid`].
+    pub fn try_lock_hybrid(&mut self, id: LockId) -> Result<(), ArmciError> {
         self.check_lock_id(id);
         if self.is_local(id.owner) {
             // Figure 3a/b: fetch-and-increment the ticket directly, then
             // poll the counter through shared memory.
             let sync = self.registry.lookup(id.owner, SegId(0));
             let ticket = sync.fetch_add_u64(layout::hybrid_ticket(id.idx), 1);
-            spin_until_eq(sync.atomic_u64(layout::hybrid_counter(id.idx)), ticket);
+            let deadline = self.op_deadline();
+            self.wait_local_cond("lock", deadline, move || {
+                sync.atomic_u64(layout::hybrid_counter(id.idx)).load(Ordering::Acquire) == ticket
+            })
         } else {
             // Figure 3c/d: ask the serving agent to take a ticket on our
             // behalf and queue us until it comes up.
             let agent = self.sync_agent(self.topology().node_of(id.owner));
             self.send_req_to(agent, &Req::LockReq { owner: id.owner, idx: id.idx });
-            let m = self
-                .mb
-                .recv_match(|m| {
-                    m.tag == TAG_LOCK_GRANT && m.src == agent && decode_grant(&m.body) == (id.owner, id.idx)
-                })
-                .expect("transport down awaiting lock grant");
+            let deadline = self.op_deadline();
+            let m = self.recv_wait("lock", deadline, |m| {
+                m.tag == TAG_LOCK_GRANT && m.src == agent && decode_grant(&m.body) == (id.owner, id.idx)
+            })?;
             debug_assert_eq!(decode_grant(&m.body), (id.owner, id.idx));
+            Ok(())
         }
     }
 
     /// Acquire through the server even when the lock is node-local — the
     /// pure server-based queue algorithm (no ticket fast path).
     pub fn lock_server_only(&mut self, id: LockId) {
+        unwrap_op(self.try_lock_server_only(id));
+    }
+
+    /// Fallible [`Armci::lock_server_only`].
+    pub fn try_lock_server_only(&mut self, id: LockId) -> Result<(), ArmciError> {
         self.check_lock_id(id);
         let agent = self.sync_agent(self.topology().node_of(id.owner));
         self.send_req_to(agent, &Req::LockReq { owner: id.owner, idx: id.idx });
-        let m = self
-            .mb
-            .recv_match(|m| m.tag == TAG_LOCK_GRANT && m.src == agent && decode_grant(&m.body) == (id.owner, id.idx))
-            .expect("transport down awaiting lock grant");
+        let deadline = self.op_deadline();
+        let m = self.recv_wait("lock", deadline, |m| {
+            m.tag == TAG_LOCK_GRANT && m.src == agent && decode_grant(&m.body) == (id.owner, id.idx)
+        })?;
         debug_assert_eq!(decode_grant(&m.body), (id.owner, id.idx));
+        Ok(())
     }
 
     /// Release with the original hybrid algorithm. Always messages the
@@ -152,22 +175,35 @@ impl Armci {
     /// the two algorithms must not be mixed on one lock (the hybrid's
     /// server queue would miss these direct releases).
     pub fn lock_ticket_poll(&mut self, id: LockId) {
+        unwrap_op(self.try_lock_ticket_poll(id));
+    }
+
+    /// Fallible [`Armci::lock_ticket_poll`]: the remote poll loop checks
+    /// the operation deadline between backoff sleeps, so a vanished lock
+    /// host cannot keep the requester polling forever.
+    pub fn try_lock_ticket_poll(&mut self, id: LockId) -> Result<(), ArmciError> {
         self.check_lock_id(id);
         let ticket_addr = GlobalAddr::new(id.owner, SegId(0), layout::hybrid_ticket(id.idx));
         let counter_addr = GlobalAddr::new(id.owner, SegId(0), layout::hybrid_counter(id.idx));
         if self.is_local(id.owner) {
             let sync = self.registry.lookup(id.owner, SegId(0));
             let ticket = sync.fetch_add_u64(layout::hybrid_ticket(id.idx), 1);
-            spin_until_eq(sync.atomic_u64(layout::hybrid_counter(id.idx)), ticket);
-            return;
+            let deadline = self.op_deadline();
+            return self.wait_local_cond("lock", deadline, move || {
+                sync.atomic_u64(layout::hybrid_counter(id.idx)).load(Ordering::Acquire) == ticket
+            });
         }
-        let ticket = self.fetch_add_u64(ticket_addr, 1);
+        let ticket = self.try_rmw(ticket_addr, RmwOp::FetchAddU64(1))?[0];
         // Remote poll loop with exponential backoff (capped).
+        let deadline = self.op_deadline();
         let mut backoff_us = 1u64;
         loop {
-            let counter = self.fetch_add_u64(counter_addr, 0);
+            let counter = self.try_rmw(counter_addr, RmwOp::FetchAddU64(0))?[0];
             if counter == ticket {
-                return;
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                return Err(ArmciError::Timeout { op: "lock" });
             }
             std::thread::sleep(std::time::Duration::from_micros(backoff_us));
             backoff_us = (backoff_us * 2).min(256);
@@ -203,6 +239,13 @@ impl Armci {
 
     /// Acquire with the software queuing lock (Figure 5, `request`).
     pub fn lock_mcs(&mut self, id: LockId) {
+        unwrap_op(self.try_lock_mcs(id));
+    }
+
+    /// Fallible [`Armci::lock_mcs`]: the `swap` round-trip and the poll on
+    /// our own `locked` flag both observe the operation deadline and peer
+    /// liveness.
+    pub fn try_lock_mcs(&mut self, id: LockId) -> Result<(), ArmciError> {
         self.check_lock_id(id);
         assert!(
             self.mcs_held.is_none(),
@@ -215,7 +258,8 @@ impl Armci {
         // mynode->next = NULL (local store; the sync segment is ours).
         self.my_sync.write_u64(layout::MCS_NEXT, PackedPtr::NULL.0);
         // prev = swap(Lock, mynode) — local atomic or server round-trip.
-        let prev = PackedPtr(self.swap_u64(self.mcs_lock_var(id), me_ptr.0));
+        let lock_var = self.mcs_lock_var(id);
+        let prev = PackedPtr(self.try_rmw(lock_var, RmwOp::SwapU64(me_ptr.0))?[0]);
         if let Some(prev_addr) = prev.decode() {
             // Someone holds the lock: enqueue behind them.
             // mynode->locked = TRUE, *then* prev->next = mynode.
@@ -223,9 +267,14 @@ impl Armci {
             self.put_u64(prev_addr, me_ptr.0); // prev->next points at our node
                                                // Poll our own locked flag; the releaser clears it directly —
                                                // zero messages received, one (or zero) sent by the releaser.
-            spin_until_eq(self.my_sync.atomic_u64(layout::MCS_LOCKED), 0);
+            let deadline = self.op_deadline();
+            let sync = self.my_sync.clone();
+            self.wait_local_cond("lock", deadline, move || {
+                sync.atomic_u64(layout::MCS_LOCKED).load(Ordering::Acquire) == 0
+            })?;
         }
         self.mcs_held = Some(id);
+        Ok(())
     }
 
     /// Release the software queuing lock (Figure 5, `release`).
@@ -246,8 +295,11 @@ impl Armci {
             }
             // A requester won the race on Lock but has not linked into our
             // next pointer yet; wait for the link (Figure 5 line 20).
-            let next_cell = self.my_sync.atomic_u64(layout::MCS_NEXT);
-            spin_until(|| next_cell.load(std::sync::atomic::Ordering::Acquire) != 0);
+            let deadline = self.op_deadline();
+            let sync = self.my_sync.clone();
+            unwrap_op(self.wait_local_cond("unlock", deadline, move || {
+                sync.atomic_u64(layout::MCS_NEXT).load(Ordering::Acquire) != 0
+            }));
             next = PackedPtr(self.my_sync.read_u64(layout::MCS_NEXT));
         }
         let next_addr = next.decode().expect("non-null next decodes");
@@ -300,8 +352,11 @@ impl Armci {
             return; // we really were the tail: lock is free
         }
         // Orphaned chain me → W1 … Wk (= prev). Wait for W1's link.
-        let next_cell = self.my_sync.atomic_u64(layout::MCS_NEXT);
-        spin_until(|| next_cell.load(std::sync::atomic::Ordering::Acquire) != 0);
+        let deadline = self.op_deadline();
+        let sync = self.my_sync.clone();
+        unwrap_op(self.wait_local_cond("unlock", deadline, move || {
+            sync.atomic_u64(layout::MCS_NEXT).load(Ordering::Acquire) != 0
+        }));
         let w1 = PackedPtr(self.my_sync.read_u64(layout::MCS_NEXT));
         let w1_addr = w1.decode().expect("linked successor decodes");
         // Restore the orphan tail; learn whether usurpers slipped in.
@@ -333,19 +388,30 @@ impl Armci {
     /// pairs of longs because `(proc, address)` tuples did not fit one
     /// word).
     pub fn lock_mcs_pair(&mut self, id: LockId) {
+        unwrap_op(self.try_lock_mcs_pair(id));
+    }
+
+    /// Fallible [`Armci::lock_mcs_pair`].
+    pub fn try_lock_mcs_pair(&mut self, id: LockId) -> Result<(), ArmciError> {
         self.check_lock_id(id);
         assert!(self.mcs_pair_held.is_none(), "paired MCS locks cannot nest, already holding {:?}", self.mcs_pair_held);
         let mynode = self.my_mcs_pair_node();
         let me_pair = mynode.to_pair();
 
         self.my_sync.pair_swap(layout::MCS_PAIR_NEXT, [0, 0]);
-        let prev = self.pair_swap(self.mcs_pair_lock_var(id), me_pair);
+        let lock_var = self.mcs_pair_lock_var(id);
+        let prev = self.try_rmw(lock_var, RmwOp::PairSwap(me_pair))?;
         if let Some(prev_addr) = GlobalAddr::from_pair(prev) {
             self.my_sync.write_u64(layout::MCS_PAIR_LOCKED, 1);
             self.put_pair(prev_addr, me_pair);
-            spin_until_eq(self.my_sync.atomic_u64(layout::MCS_PAIR_LOCKED), 0);
+            let deadline = self.op_deadline();
+            let sync = self.my_sync.clone();
+            self.wait_local_cond("lock", deadline, move || {
+                sync.atomic_u64(layout::MCS_PAIR_LOCKED).load(Ordering::Acquire) == 0
+            })?;
         }
         self.mcs_pair_held = Some(id);
+        Ok(())
     }
 
     /// Release the paired-long MCS lock.
@@ -361,8 +427,11 @@ impl Armci {
                 self.mcs_pair_held = None;
                 return;
             }
+            let deadline = self.op_deadline();
             let sync = self.my_sync.clone();
-            spin_until(|| sync.pair_read(layout::MCS_PAIR_NEXT) != [0, 0]);
+            unwrap_op(
+                self.wait_local_cond("unlock", deadline, move || sync.pair_read(layout::MCS_PAIR_NEXT) != [0, 0]),
+            );
             next = self.my_sync.pair_read(layout::MCS_PAIR_NEXT);
         }
         let next_addr = GlobalAddr::from_pair(next).expect("non-null next decodes");

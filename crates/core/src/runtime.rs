@@ -22,6 +22,7 @@ use armci_transport::{Cluster, Endpoint, Mailbox, MemoryRegistry, NodeId, ProcId
 
 use crate::armci::Armci;
 use crate::config::ArmciCfg;
+use crate::errors::ArmciError;
 use crate::layout;
 use crate::msg::Req;
 use crate::server::server_loop;
@@ -205,10 +206,17 @@ where
         lock_alloc: vec![0; nprocs],
         stats: Default::default(),
         encode_pool: armci_transport::BodyPool::new(8),
+        op_timeout: cfg.op_timeout,
     };
     let out = f(&mut armci);
-    armci.barrier();
-    if armci.rank() == 0 {
+    // When the teardown barrier fails — a peer lost or desynchronized —
+    // rank 0's broadcast may never happen, so every rank that observes the
+    // failure stops all servers itself: the local server is always
+    // reachable (in-process channel), sends over dead links are dropped
+    // silently, and a server consumes at most one Shutdown before exiting,
+    // so duplicates are harmless.
+    let teardown = armci.try_barrier();
+    if armci.rank() == 0 || teardown.is_err() {
         for n in 0..nnodes {
             armci.send_req_to(Endpoint::Server(NodeId(n as u32)), &Req::Shutdown);
             if cfg.nic_assist {
@@ -313,7 +321,8 @@ where
     F: Fn(&mut Armci) -> T + Send + Sync + 'static,
 {
     let topo = Topology::new(cfg.nodes, cfg.procs_per_node);
-    let fabrics = armci_netfab::NodeFabric::loopback(&topo, cfg.trace).expect("loopback fabric");
+    let fabrics =
+        armci_netfab::NodeFabric::loopback_with(&topo, cfg.trace, cfg.faults.clone()).expect("loopback fabric");
     let trace = fabrics[0].trace();
     let f = Arc::new(f);
     // One runner thread per node process-equivalent; teardown inside
@@ -356,7 +365,45 @@ where
     T: Send + 'static,
     F: Fn(&mut Armci) -> T + Send + Sync + 'static,
 {
-    use armci_netfab::{bind_rendezvous, coordinate, node_spec_from_env, spawn_nodes, wait_nodes, NetOpts, NodeFabric};
+    let (results, verdict) = run_cluster_spawned_result(cfg, child_args, f);
+    if let Err(e) = verdict {
+        panic!("spawned cluster run failed: {e}");
+    }
+    results
+}
+
+/// The [`NetOpts`](armci_netfab::NetOpts) a node process runs with:
+/// the configured fault plan and boot deadline, with hard process kills
+/// enabled only in genuinely spawned children (aborting the parent would
+/// take the coordinator and node 0 down with it).
+fn net_opts_for(cfg: &ArmciCfg, process_faults: bool) -> armci_netfab::NetOpts {
+    armci_netfab::NetOpts {
+        faults: cfg.faults.clone(),
+        process_faults,
+        boot: armci_netfab::BootOpts { deadline: cfg.boot_timeout, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+/// Fallible [`run_cluster_spawned`]: instead of panicking when the run
+/// degrades, returns node 0's results *plus a run verdict*. The verdict is
+/// `Err` when the rendezvous failed, a node process exited unsuccessfully
+/// (crashed, was killed, or reported a boot failure), or survivors had to
+/// be reaped at the post-run grace deadline (2× `cfg.op_timeout` after
+/// node 0 finishes) — no child process outlives the verdict either way.
+///
+/// Spawned child processes additionally convert their own bootstrap
+/// failures into an `exit(1)` (with a diagnostic on stderr) rather than a
+/// panic, which the parent then observes through the verdict.
+pub fn run_cluster_spawned_result<T, F>(cfg: ArmciCfg, child_args: &[String], f: F) -> (Vec<T>, Result<(), ArmciError>)
+where
+    T: Send + 'static,
+    F: Fn(&mut Armci) -> T + Send + Sync + 'static,
+{
+    use armci_netfab::{
+        bind_rendezvous, coordinate_deadline, kill_nodes, node_spec_from_env, spawn_nodes, wait_nodes_deadline,
+        NodeFabric,
+    };
 
     if let Some(spec) = node_spec_from_env() {
         // We are a spawned node process. The payload config is
@@ -365,11 +412,17 @@ where
         let cfg: ArmciCfg =
             serde::from_str(payload).unwrap_or_else(|e| panic!("bad config payload {payload:?}: {e:?}"));
         let topo = Topology::new(cfg.nodes, cfg.procs_per_node);
-        let fabric =
-            NodeFabric::bootstrap(&spec.rendezvous, &topo, spec.node, NetOpts::default()).expect("netfab bootstrap");
+        let opts = net_opts_for(&cfg, spec.node != NodeId(0));
+        let fabric = match NodeFabric::bootstrap(&spec.rendezvous, &topo, spec.node, opts) {
+            Ok(fab) => fab,
+            Err(e) => {
+                eprintln!("armci-core: node {} bootstrap failed: {e}", spec.node.0);
+                std::process::exit(1);
+            }
+        };
         let results = run_cluster_net(cfg, fabric, f);
         if spec.node == NodeId(0) {
-            return results;
+            return (results, Ok(()));
         }
         drop(results);
         std::process::exit(0);
@@ -378,23 +431,54 @@ where
     let topo = Topology::new(cfg.nodes, cfg.procs_per_node);
     let nnodes = topo.nnodes();
     if nnodes == 1 {
-        let mut fabrics = armci_netfab::NodeFabric::loopback(&topo, false).expect("loopback fabric");
-        return run_cluster_net(cfg, fabrics.pop().unwrap(), f);
+        let fabrics = NodeFabric::loopback_with(&topo, false, cfg.faults.clone());
+        return match fabrics {
+            Ok(mut fabrics) => (run_cluster_net(cfg, fabrics.pop().unwrap(), f), Ok(())),
+            Err(e) => (Vec::new(), Err(ArmciError::Boot { detail: format!("loopback fabric: {e}") })),
+        };
     }
 
-    let (listener, addr) = bind_rendezvous().expect("bind rendezvous listener");
+    let boot_deadline = std::time::Instant::now() + cfg.boot_timeout;
+    let (listener, addr) = match bind_rendezvous() {
+        Ok(v) => v,
+        Err(e) => return (Vec::new(), Err(ArmciError::Boot { detail: format!("bind rendezvous: {e}") })),
+    };
     let coord = std::thread::Builder::new()
         .name("netfab-coord".into())
-        .spawn(move || coordinate(&listener, nnodes))
+        .spawn(move || coordinate_deadline(&listener, nnodes, boot_deadline))
         .expect("spawn coordinator thread");
     let payload = serde::to_string(&cfg);
     let exe = std::env::current_exe().expect("current_exe");
     let exe = exe.to_str().expect("non-UTF-8 executable path");
-    let children = spawn_nodes(exe, child_args, 1..nnodes as u32, &addr, Some(&payload)).expect("spawn node processes");
+    let mut children = match spawn_nodes(exe, child_args, 1..nnodes as u32, &addr, Some(&payload)) {
+        Ok(c) => c,
+        // Children spawned before the failure bootstrap against a
+        // coordinator that times out at `boot_deadline`, then exit(1) on
+        // their own — nothing to reap here.
+        Err(e) => return (Vec::new(), Err(ArmciError::Boot { detail: format!("spawn node processes: {e}") })),
+    };
 
-    let fabric = NodeFabric::bootstrap(&addr, &topo, NodeId(0), NetOpts::default()).expect("netfab bootstrap");
-    let results = run_cluster_net(cfg, fabric, f);
-    coord.join().expect("coordinator panicked").expect("rendezvous failed");
-    wait_nodes(children).expect("node process failed");
-    results
+    let fabric = match NodeFabric::bootstrap(&addr, &topo, NodeId(0), net_opts_for(&cfg, false)) {
+        Ok(fab) => fab,
+        Err(e) => {
+            kill_nodes(&mut children);
+            return (Vec::new(), Err(ArmciError::Boot { detail: format!("netfab bootstrap: {e}") }));
+        }
+    };
+    let results = run_cluster_net(cfg.clone(), fabric, f);
+
+    let mut verdict = Ok(());
+    if let Err(e) = coord.join().expect("coordinator panicked") {
+        verdict = Err(ArmciError::Boot { detail: format!("rendezvous failed: {e}") });
+    }
+    // Node 0 is done; healthy children finish their own teardown within
+    // one operation timeout. Anything beyond 2× is stuck: reap it and
+    // fail the run rather than hang it.
+    let grace = std::time::Instant::now() + cfg.op_timeout * 2;
+    if let Err(e) = wait_nodes_deadline(children, grace) {
+        if verdict.is_ok() {
+            verdict = Err(ArmciError::Boot { detail: format!("node process failure: {e}") });
+        }
+    }
+    (results, verdict)
 }

@@ -17,8 +17,17 @@
 //! `op_init[]` arrays in `ARMCI_Barrier()` — generalized to arbitrary
 //! element types and non-power-of-two process counts.
 
+use std::time::{Duration, Instant};
+
 use crate::codec::{Reader, Writer};
-use crate::comm::P2p;
+use crate::comm::{CommError, P2p};
+
+/// A deadline far enough out to mean "block forever": the infallible
+/// collectives delegate to their `try_` twins with this, so both spellings
+/// share one implementation (and one message structure).
+fn far_future() -> Instant {
+    Instant::now() + Duration::from_secs(60 * 60 * 24 * 365)
+}
 
 /// Collective op codes, mixed into tags (see [`mk_tag`]).
 mod op {
@@ -68,9 +77,17 @@ pub fn barrier(p: &mut impl P2p) {
 /// pattern. `log2(N)` phases for powers of two; non-powers of two fold
 /// the surplus ranks onto core partners for two extra latencies.
 pub fn barrier_binary_exchange(p: &mut impl P2p) {
+    try_barrier_binary_exchange(p, far_future()).expect("transport disconnected during barrier")
+}
+
+/// Fallible [`barrier_binary_exchange`]: give up at `deadline` (or as soon
+/// as a partner is known dead) instead of blocking forever. Sends are
+/// identical to the infallible barrier — only the receive waits differ —
+/// so the two spellings are indistinguishable on the wire.
+pub fn try_barrier_binary_exchange(p: &mut impl P2p, deadline: Instant) -> Result<(), CommError> {
     let n = p.size();
     if n == 1 {
-        return;
+        return Ok(());
     }
     let me = p.rank();
     let tag = mk_tag(op::BARRIER_BX, p.next_epoch());
@@ -79,24 +96,26 @@ pub fn barrier_binary_exchange(p: &mut impl P2p) {
     if me >= m {
         // Surplus rank: check in with the core partner, wait for release.
         p.send_to(me - m, tag, Vec::new());
-        let _ = p.recv_from(me - m, tag);
-        return;
+        let _ = p.recv_from_deadline(me - m, tag, deadline)?;
+        return Ok(());
     }
     // Core rank: absorb a surplus partner first, if any.
     let extra = me + m;
     if extra < n {
-        let _ = p.recv_from(extra, tag);
+        let _ = p.recv_from_deadline(extra, tag, deadline)?;
     }
     // Figure 2 pattern: exchange with me XOR x for x = m/2, m/4, ..., 1.
     let mut x = m / 2;
     while x > 0 {
         let peer = me ^ x;
-        let _ = p.exchange(peer, tag, Vec::new());
+        p.send_to(peer, tag, Vec::new());
+        let _ = p.recv_from_deadline(peer, tag, deadline)?;
         x /= 2;
     }
     if extra < n {
         p.send_to(extra, tag, Vec::new());
     }
+    Ok(())
 }
 
 /// Element codec for [`allreduce`] vectors.
@@ -159,9 +178,22 @@ fn dec_combine<T: Elem>(local: &mut [T], body: &[u8], combine: &impl Fn(T, T) ->
 /// Cost: `log2(N)` one-way latencies for powers of two (each phase's two
 /// messages overlap), plus two latencies of fold for other `N`.
 pub fn allreduce<T: Elem, F: Fn(T, T) -> T>(p: &mut impl P2p, local: &mut [T], combine: F) {
+    try_allreduce(p, local, combine, far_future()).expect("transport disconnected during allreduce")
+}
+
+/// Fallible [`allreduce`]: give up at `deadline` (or as soon as a partner
+/// is known dead) instead of blocking forever. On `Err`, `local` holds a
+/// partial reduction and must not be used. Sends match the infallible
+/// allreduce message-for-message.
+pub fn try_allreduce<T: Elem, F: Fn(T, T) -> T>(
+    p: &mut impl P2p,
+    local: &mut [T],
+    combine: F,
+    deadline: Instant,
+) -> Result<(), CommError> {
     let n = p.size();
     if n == 1 {
-        return;
+        return Ok(());
     }
     let me = p.rank();
     let tag = mk_tag(op::ALLREDUCE, p.next_epoch());
@@ -171,35 +203,42 @@ pub fn allreduce<T: Elem, F: Fn(T, T) -> T>(p: &mut impl P2p, local: &mut [T], c
         // Surplus rank: hand the vector to the core partner, receive the
         // final result back.
         p.send_to(me - m, tag, enc_vec(local));
-        let body = p.recv_from(me - m, tag);
+        let body = p.recv_from_deadline(me - m, tag, deadline)?;
         let mut r = Reader::new(&body);
         for x in local.iter_mut() {
             *x = T::dec(&mut r);
         }
-        return;
+        return Ok(());
     }
     let extra = me + m;
     if extra < n {
-        let body = p.recv_from(extra, tag);
+        let body = p.recv_from_deadline(extra, tag, deadline)?;
         dec_combine(local, &body, &combine);
     }
     // x = m/2, m/4, ..., 1 — exchange and element-wise combine.
     let mut x = m / 2;
     while x > 0 {
         let peer = me ^ x;
-        let body = p.exchange(peer, tag, enc_vec(local));
+        p.send_to(peer, tag, enc_vec(local));
+        let body = p.recv_from_deadline(peer, tag, deadline)?;
         dec_combine(local, &body, &combine);
         x /= 2;
     }
     if extra < n {
         p.send_to(extra, tag, enc_vec(local));
     }
+    Ok(())
 }
 
 /// Sum-allreduce of a `u64` vector — exactly the `op_init[]` distribution
 /// step of `ARMCI_Barrier()` (paper Figure 2, with `+` as the operator).
 pub fn allreduce_sum_u64(p: &mut impl P2p, local: &mut [u64]) {
     allreduce(p, local, |a, b| a.wrapping_add(b));
+}
+
+/// Fallible [`allreduce_sum_u64`] with a deadline (see [`try_allreduce`]).
+pub fn try_allreduce_sum_u64(p: &mut impl P2p, local: &mut [u64], deadline: Instant) -> Result<(), CommError> {
+    try_allreduce(p, local, |a, b| a.wrapping_add(b), deadline)
 }
 
 /// Sum-allreduce of an `f64` vector.

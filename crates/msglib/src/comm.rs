@@ -1,6 +1,35 @@
 //! The [`P2p`] trait and its canonical transport-backed implementation.
 
+use std::time::Instant;
+
 use armci_transport::{Endpoint, Mailbox, Msg, ProcId, Tag};
+
+/// Why a deadline-aware point-to-point receive failed — the error surface
+/// the fallible collectives ([`crate::collectives::try_barrier_binary_exchange`]
+/// and friends) propagate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommError {
+    /// The deadline expired with no matching message and no evidence of a
+    /// dead peer.
+    Timeout,
+    /// A peer node's connection is known dead (reset, truncation, or an
+    /// early close); the expected message can never arrive.
+    PeerLost(armci_transport::NodeId),
+    /// The local transport is torn down (every channel disconnected).
+    Disconnected,
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Timeout => write!(f, "receive deadline expired"),
+            CommError::PeerLost(n) => write!(f, "peer {n} lost"),
+            CommError::Disconnected => write!(f, "transport disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
 
 /// Ranked, tagged point-to-point messaging — the minimal surface the
 /// collectives in [`crate::collectives`] are written against.
@@ -23,6 +52,18 @@ pub trait P2p {
     /// Block until a message with tag `tag` from rank `src` arrives;
     /// messages that do not match are deferred, not dropped.
     fn recv_from(&mut self, src: usize, tag: u32) -> Vec<u8>;
+
+    /// As [`P2p::recv_from`], but give up at `deadline` (or as soon as the
+    /// expected peer is known dead) instead of blocking forever — the
+    /// receive primitive the `try_*` collectives are written against.
+    ///
+    /// The default implementation ignores the deadline and delegates to
+    /// the blocking receive, so implementations without failure detection
+    /// (or tests that never need it) keep working unchanged.
+    fn recv_from_deadline(&mut self, src: usize, tag: u32, deadline: Instant) -> Result<Vec<u8>, CommError> {
+        let _ = deadline;
+        Ok(self.recv_from(src, tag))
+    }
 
     /// A monotonically increasing counter, bumped once per collective
     /// call, mixed into tags so that back-to-back collectives on the same
@@ -88,6 +129,30 @@ impl P2p for Comm {
             .recv_match(|m| m.src == want_src && m.tag == want_tag)
             .expect("transport disconnected during collective");
         body.into_vec()
+    }
+
+    fn recv_from_deadline(&mut self, src: usize, tag: u32, deadline: Instant) -> Result<Vec<u8>, CommError> {
+        let want_src = Endpoint::Proc(ProcId(src as u32));
+        let want_tag = Tag(Tag::MSGLIB_BASE + tag);
+        // Wait in short slices so a peer death surfaces promptly even
+        // under a generous deadline.
+        let slice = std::time::Duration::from_millis(25);
+        loop {
+            let until = deadline.min(Instant::now() + slice);
+            match self.mailbox.recv_match_deadline(|m| m.src == want_src && m.tag == want_tag, until) {
+                Ok(Some(m)) => return Ok(m.body.into_vec()),
+                Ok(None) => {
+                    let peer = self.mailbox.topology().node_of(ProcId(src as u32));
+                    if self.mailbox.peer_is_lost(peer) {
+                        return Err(CommError::PeerLost(peer));
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(CommError::Timeout);
+                    }
+                }
+                Err(_) => return Err(CommError::Disconnected),
+            }
+        }
     }
 
     fn next_epoch(&mut self) -> u32 {

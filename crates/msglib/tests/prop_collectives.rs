@@ -87,7 +87,7 @@ proptest! {
     #[test]
     fn bcast_and_allgather_random_payloads(n in 1usize..9, root in 0usize..9, len in 0usize..40, seed in any::<u64>()) {
         let root = root % n;
-        let payload: Vec<u8> = (0..len).map(|i| (seed as usize + i * 13) as u8).collect();
+        let payload: Vec<u8> = (0..len).map(|i| (seed as usize).wrapping_add(i * 13) as u8).collect();
         let payload2 = payload.clone();
         let out = cluster(n).run_spmd(move |mb| {
             let mut c = Comm::new(mb);

@@ -21,8 +21,100 @@
 
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
 
 use armci_transport::{NodeId, Topology};
+
+/// Bootstrap retry/backoff and deadline policy.
+///
+/// The defaults are generous enough that a healthy cluster never notices
+/// them: 8 dial attempts with exponential backoff starting at 10 ms, and
+/// a 30 s overall deadline covering registration, table exchange, mesh
+/// dials and accepts. A missing or dead peer therefore surfaces as a
+/// `TimedOut`/`ConnectionRefused` error instead of an infinite hang.
+#[derive(Clone, Debug)]
+pub struct BootOpts {
+    /// Maximum attempts per dial (coordinator registration and mesh
+    /// hellos) before giving up.
+    pub dial_attempts: u32,
+    /// Backoff before the second attempt; doubles each retry.
+    pub dial_backoff: Duration,
+    /// Overall deadline for the whole bootstrap of this node.
+    pub deadline: Duration,
+    /// Scripted `(peer, remaining_failures)` dial faults: the first
+    /// `remaining_failures` attempts to dial `peer` fail artificially
+    /// (consuming attempts and backoff like real failures). Populated
+    /// from a `FaultPlan` by `NodeFabric::bootstrap`.
+    pub dial_faults: Vec<(u32, u32)>,
+}
+
+impl Default for BootOpts {
+    fn default() -> Self {
+        BootOpts {
+            dial_attempts: 8,
+            dial_backoff: Duration::from_millis(10),
+            deadline: Duration::from_secs(30),
+            dial_faults: Vec::new(),
+        }
+    }
+}
+
+/// Dial `addr` with retry/backoff, bounded by `deadline`. `fail_budget`
+/// artificially fails that many leading attempts (scripted dial faults).
+fn connect_retry(addr: &str, opts: &BootOpts, deadline: Instant, fail_budget: &mut u32) -> io::Result<TcpStream> {
+    let mut backoff = opts.dial_backoff;
+    let mut last_err = None;
+    for attempt in 0..opts.dial_attempts.max(1) {
+        if attempt > 0 {
+            if Instant::now() + backoff > deadline {
+                break;
+            }
+            std::thread::sleep(backoff);
+            backoff = backoff.saturating_mul(2);
+        }
+        if *fail_budget > 0 {
+            *fail_budget -= 1;
+            last_err = Some(io::Error::new(io::ErrorKind::ConnectionRefused, "scripted dial fault"));
+            continue;
+        }
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.unwrap_or_else(|| io::Error::new(io::ErrorKind::TimedOut, format!("dial {addr}: out of time"))))
+}
+
+/// Accept one connection, polling a non-blocking listener until
+/// `deadline`. The accepted stream is returned in blocking mode.
+fn accept_deadline(listener: &TcpListener, deadline: Instant, what: &str) -> io::Result<TcpStream> {
+    listener.set_nonblocking(true)?;
+    let stream = loop {
+        match listener.accept() {
+            Ok((s, _)) => break s,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(io::ErrorKind::TimedOut, format!("timed out accepting {what}")));
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) => return Err(e),
+        }
+    };
+    listener.set_nonblocking(false)?;
+    stream.set_nonblocking(false)?;
+    Ok(stream)
+}
+
+/// Bound a stream's reads by the time remaining until `deadline`, so a
+/// peer that connects but never completes its handshake cannot hang us.
+fn limit_reads(s: &TcpStream, deadline: Instant) -> io::Result<()> {
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    if remaining.is_zero() {
+        return Err(io::Error::new(io::ErrorKind::TimedOut, "bootstrap deadline expired"));
+    }
+    s.set_read_timeout(Some(remaining))
+}
 
 /// Registration magic word (node → coordinator).
 const MAGIC_REG: u32 = 0x4152_4d01;
@@ -31,6 +123,7 @@ const MAGIC_HELLO: u32 = 0x4152_4d02;
 
 /// One fully connected node: a stream per peer node (`None` at our own
 /// index), each carrying framed traffic in both directions.
+#[derive(Debug)]
 pub struct Mesh {
     /// This node's id.
     pub node: NodeId,
@@ -78,10 +171,18 @@ fn expect_magic(r: &mut impl Read, want: u32, what: &str) -> io::Result<()> {
 /// Returns once the table has been delivered; the mesh itself forms
 /// directly between the nodes afterwards.
 pub fn coordinate(listener: &TcpListener, nnodes: usize) -> io::Result<()> {
+    coordinate_deadline(listener, nnodes, Instant::now() + BootOpts::default().deadline)
+}
+
+/// [`coordinate`] bounded by an absolute deadline: a node that never
+/// registers (crashed before boot, unreachable) surfaces as a `TimedOut`
+/// error instead of an accept that blocks forever.
+pub fn coordinate_deadline(listener: &TcpListener, nnodes: usize, deadline: Instant) -> io::Result<()> {
     let mut regs: Vec<Option<(TcpStream, String)>> = (0..nnodes).map(|_| None).collect();
     let mut seen = 0;
     while seen < nnodes {
-        let (mut s, _) = listener.accept()?;
+        let mut s = accept_deadline(listener, deadline, "node registration")?;
+        limit_reads(&s, deadline)?;
         expect_magic(&mut s, MAGIC_REG, "registration")?;
         let node = read_u32(&mut s)? as usize;
         let addr = read_str(&mut s)?;
@@ -93,8 +194,11 @@ pub fn coordinate(listener: &TcpListener, nnodes: usize) -> io::Result<()> {
         }
         seen += 1;
     }
-    let table: Vec<String> = regs.iter().map(|r| r.as_ref().unwrap().1.clone()).collect();
-    for (s, _) in regs.iter_mut().map(|r| r.as_mut().unwrap()) {
+    let table: Vec<String> = regs.iter().flatten().map(|(_, a)| a.clone()).collect();
+    if table.len() != nnodes {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "registration table incomplete"));
+    }
+    for (s, _) in regs.iter_mut().flatten() {
         for addr in &table {
             write_str(s, addr)?;
         }
@@ -107,17 +211,27 @@ pub fn coordinate(listener: &TcpListener, nnodes: usize) -> io::Result<()> {
 /// `rendezvous`, learn every peer's listener address, dial the lower
 /// nodes, accept the higher ones.
 pub fn join_mesh(rendezvous: &str, topo: &Topology, node: NodeId) -> io::Result<Mesh> {
+    join_mesh_opts(rendezvous, topo, node, &BootOpts::default())
+}
+
+/// [`join_mesh`] with explicit retry/backoff, deadline, and scripted dial
+/// faults (see [`BootOpts`]). Every dial retries with backoff, every
+/// accept and handshake read is bounded by the boot deadline.
+pub fn join_mesh_opts(rendezvous: &str, topo: &Topology, node: NodeId, opts: &BootOpts) -> io::Result<Mesh> {
     let nnodes = topo.nnodes();
     let mut streams: Vec<Option<TcpStream>> = (0..nnodes).map(|_| None).collect();
     if nnodes == 1 {
         return Ok(Mesh { node, streams });
     }
+    let deadline = Instant::now() + opts.deadline;
 
     // Bind our own listener first so its address can be registered.
     let listener = TcpListener::bind("127.0.0.1:0")?;
     let my_addr = listener.local_addr()?.to_string();
 
-    let mut coord = TcpStream::connect(rendezvous)?;
+    let mut no_faults = 0u32;
+    let mut coord = connect_retry(rendezvous, opts, deadline, &mut no_faults)?;
+    limit_reads(&coord, deadline)?;
     write_u32(&mut coord, MAGIC_REG)?;
     write_u32(&mut coord, node.0)?;
     write_str(&mut coord, &my_addr)?;
@@ -128,7 +242,9 @@ pub fn join_mesh(rendezvous: &str, topo: &Topology, node: NodeId) -> io::Result<
     // Dial every lower node (connect succeeds against their backlog even
     // before they reach accept)...
     for (i, addr) in table.iter().enumerate().take(node.idx()) {
-        let mut s = TcpStream::connect(addr.as_str())?;
+        let mut budget =
+            opts.dial_faults.iter().find(|(peer, _)| *peer as usize == i).map(|(_, times)| *times).unwrap_or(0);
+        let mut s = connect_retry(addr.as_str(), opts, deadline, &mut budget)?;
         s.set_nodelay(true)?;
         write_u32(&mut s, MAGIC_HELLO)?;
         write_u32(&mut s, node.0)?;
@@ -137,13 +253,17 @@ pub fn join_mesh(rendezvous: &str, topo: &Topology, node: NodeId) -> io::Result<
     }
     // ...then accept every higher one, identified by its hello.
     for _ in node.idx() + 1..nnodes {
-        let (mut s, _) = listener.accept()?;
+        let mut s = accept_deadline(&listener, deadline, "mesh hello")?;
         s.set_nodelay(true)?;
+        limit_reads(&s, deadline)?;
         expect_magic(&mut s, MAGIC_HELLO, "hello")?;
         let peer = read_u32(&mut s)? as usize;
         if peer <= node.idx() || peer >= nnodes {
             return Err(io::Error::new(io::ErrorKind::InvalidData, format!("unexpected hello from node {peer}")));
         }
+        // Back to unbounded blocking reads: the fabric's reader threads
+        // block on these streams for the lifetime of the run.
+        s.set_read_timeout(None)?;
         if streams[peer].replace(s).is_some() {
             return Err(io::Error::new(io::ErrorKind::InvalidData, format!("node {peer} connected twice")));
         }
@@ -198,5 +318,64 @@ mod tests {
         let topo = Topology::new(1, 4);
         let m = join_mesh("unused:0", &topo, NodeId(0)).unwrap();
         assert!(m.streams.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn scripted_dial_faults_are_absorbed_by_retry() {
+        let topo = Topology::new(2, 1);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let coord = std::thread::spawn(move || coordinate(&listener, 2).unwrap());
+        let t0 = {
+            let (addr, topo) = (addr.clone(), topo.clone());
+            std::thread::spawn(move || join_mesh(&addr, &topo, NodeId(0)).unwrap())
+        };
+        // Node 1 dials node 0 with its first two attempts scripted to
+        // fail; the retry/backoff path must still form the mesh.
+        let opts =
+            BootOpts { dial_backoff: Duration::from_millis(1), dial_faults: vec![(0, 2)], ..BootOpts::default() };
+        let m1 = join_mesh_opts(&addr, &topo, NodeId(1), &opts).unwrap();
+        assert!(m1.streams[0].is_some());
+        let m0 = t0.join().unwrap();
+        assert!(m0.streams[1].is_some());
+        coord.join().unwrap();
+    }
+
+    #[test]
+    fn dial_fails_when_fault_budget_exceeds_attempts() {
+        let topo = Topology::new(2, 1);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        // Coordinator and node 0 run normally; node 1's dial to node 0 is
+        // scripted to fail more times than it is allowed to retry.
+        let coord = std::thread::spawn(move || coordinate(&listener, 2));
+        let t0 = {
+            let (addr, topo) = (addr.clone(), topo.clone());
+            let opts = BootOpts { deadline: Duration::from_millis(500), ..BootOpts::default() };
+            std::thread::spawn(move || join_mesh_opts(&addr, &topo, NodeId(0), &opts))
+        };
+        let opts = BootOpts {
+            dial_attempts: 2,
+            dial_backoff: Duration::from_millis(1),
+            deadline: Duration::from_secs(2),
+            dial_faults: vec![(0, 100)],
+        };
+        let err = join_mesh_opts(&addr, &topo, NodeId(1), &opts).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused);
+        // Node 0 is now stuck waiting for node 1's hello until its own
+        // boot deadline; it must error out, not hang (and the coordinator
+        // already delivered its table, so it exits cleanly).
+        assert!(t0.join().unwrap().is_err());
+        coord.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn coordinator_times_out_when_a_node_never_registers() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let t0 = Instant::now();
+        let err = coordinate_deadline(&listener, 1, t0 + Duration::from_millis(80)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(t0.elapsed() >= Duration::from_millis(80));
+        assert!(t0.elapsed() < Duration::from_secs(5), "deadline must be honoured promptly");
     }
 }

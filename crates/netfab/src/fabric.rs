@@ -26,10 +26,10 @@
 
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use armci_transport::{
     endpoint_count, endpoint_index, node_of_endpoint, Body, BodyPool, Endpoint, LatencyModel, Mailbox, MailboxBackend,
@@ -37,7 +37,8 @@ use armci_transport::{
 };
 use crossbeam_channel::{Receiver, Sender};
 
-use crate::boot::{self, Mesh};
+use crate::boot::{self, BootOpts, Mesh};
+use crate::fault::{FaultAction, FaultPlan, FaultSpec};
 use crate::wire;
 
 /// Options for building a [`NodeFabric`].
@@ -49,11 +50,75 @@ pub struct NetOpts {
     pub trace: Option<Arc<Trace>>,
     /// Maximum frames a writer batches into one flush (write coalescing).
     pub coalesce: usize,
+    /// Scripted faults this node must enact (see [`crate::fault`]). The
+    /// default empty plan injects nothing.
+    pub faults: FaultPlan,
+    /// Whether [`FaultAction::KillNode`] may abort the whole OS process.
+    /// True only in spawned node processes; in loopback fabrics a kill
+    /// instead severs every peer link (aborting would take the host test
+    /// process down).
+    pub process_faults: bool,
+    /// Bootstrap timeouts and retry policy (dial faults from `faults` are
+    /// merged in by [`NodeFabric::bootstrap`]).
+    pub boot: BootOpts,
 }
 
 impl Default for NetOpts {
     fn default() -> Self {
-        NetOpts { trace: None, coalesce: 64 }
+        NetOpts {
+            trace: None,
+            coalesce: 64,
+            faults: FaultPlan::new(),
+            process_faults: false,
+            boot: BootOpts::default(),
+        }
+    }
+}
+
+/// Per-peer connection states, shared by this node's reader and writer
+/// threads and its endpoint mailboxes.
+type PeerStates = Arc<Vec<AtomicU8>>;
+
+/// Connection healthy.
+const PEER_UP: u8 = 0;
+/// Peer closed its write half cleanly (EOF at a frame boundary). During
+/// a run this still means the peer is gone — clean closes only happen in
+/// teardown, after every blocking wait has completed.
+const PEER_CLOSED: u8 = 1;
+/// Connection died mid-stream: reset, mid-frame EOF, or a write error.
+const PEER_POISONED: u8 = 2;
+
+/// Record a peer transition, never downgrading (a poisoned peer stays
+/// poisoned even if another thread later observes a clean close).
+fn mark_peer(states: &PeerStates, peer: usize, state: u8) {
+    states[peer].fetch_max(state, Ordering::AcqRel);
+}
+
+/// Shared trigger for [`FaultAction::KillNode`]: aborts the process in
+/// spawned mode, or severs every peer link at once in loopback mode.
+struct KillSwitch {
+    /// Duplicated handles of every peer stream (populated only when the
+    /// node's plan contains a kill), so one writer can cut all links.
+    streams: Mutex<Vec<TcpStream>>,
+    /// Abort the OS process instead of soft-killing (spawned mode).
+    process_kill: bool,
+}
+
+impl KillSwitch {
+    fn fire(&self, states: &PeerStates) {
+        if self.process_kill {
+            // Equivalent to an external `kill -9`: no flushes, no
+            // destructors; the kernel closes the sockets.
+            std::process::abort();
+        }
+        for s in states.iter() {
+            s.fetch_max(PEER_POISONED, Ordering::AcqRel);
+        }
+        if let Ok(streams) = self.streams.lock() {
+            for s in streams.iter() {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+        }
     }
 }
 
@@ -83,6 +148,9 @@ struct NodeShared {
     wire_msgs: Vec<AtomicU64>,
     wire_bytes: Vec<AtomicU64>,
     trace: Option<Arc<Trace>>,
+    /// Health of the connection to each peer node (our own slot stays
+    /// [`PEER_UP`] unless a soft kill marked the whole node dead).
+    peer_state: PeerStates,
 }
 
 /// The TCP implementation of [`MailboxBackend`].
@@ -152,19 +220,91 @@ impl MailboxBackend for NetMailbox {
             bytes: self.shared.wire_bytes[self.my_index].load(Ordering::Relaxed),
         }
     }
+
+    fn lost_peers(&self) -> Vec<NodeId> {
+        self.shared
+            .peer_state
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.load(Ordering::Acquire) != PEER_UP)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+
+    fn peer_is_lost(&self, node: NodeId) -> bool {
+        self.shared.peer_state[node.idx()].load(Ordering::Acquire) != PEER_UP
+    }
 }
 
-fn writer_loop(rx: Receiver<WireMsg>, stream: TcpStream, coalesce: usize) {
+/// Everything one writer thread needs besides its channel and socket.
+struct WriterCtx {
+    /// Index of the peer node this writer's socket connects to.
+    peer: usize,
+    coalesce: usize,
+    /// Scripted faults targeting this connection, each consumed once.
+    faults: Vec<Option<FaultSpec>>,
+    peer_state: PeerStates,
+    kill: Arc<KillSwitch>,
+}
+
+impl WriterCtx {
+    /// Take the next fault due at `sent` frames written, if any.
+    fn due_fault(&mut self, sent: u64) -> Option<FaultSpec> {
+        self.faults.iter_mut().find(|f| f.as_ref().is_some_and(|f| f.after_frames <= sent)).and_then(Option::take)
+    }
+}
+
+fn writer_loop(rx: Receiver<WireMsg>, stream: TcpStream, mut ctx: WriterCtx) {
     let mut w = BufWriter::with_capacity(64 * 1024, stream);
+    let mut sent: u64 = 0;
     'conn: while let Ok(first) = rx.recv() {
         let mut m = first;
         let mut batched = 0;
         loop {
-            if wire::write_frame(&mut w, m.dst, m.src, m.tag, &m.body).is_err() {
-                break 'conn; // peer gone; sends are fire-and-forget
+            // Scripted faults fire just before the frame that would take
+            // the per-connection count past `after_frames`.
+            while let Some(f) = ctx.due_fault(sent) {
+                match f.action {
+                    FaultAction::StallWriter { millis } => std::thread::sleep(Duration::from_millis(millis)),
+                    FaultAction::ResetConn => {
+                        // Abrupt: queued frames are lost, no half-close
+                        // courtesy — the peer sees the stream die at
+                        // whatever point the last flush reached.
+                        mark_peer(&ctx.peer_state, ctx.peer, PEER_POISONED);
+                        let _ = w.get_ref().shutdown(Shutdown::Both);
+                        return;
+                    }
+                    FaultAction::TruncateFrame => {
+                        // Flush half a header then die: the peer's reader
+                        // observes EOF mid-frame, a crashed-writer
+                        // signature that must decode as an error, not as
+                        // clean teardown.
+                        mark_peer(&ctx.peer_state, ctx.peer, PEER_POISONED);
+                        let mut frame = Vec::new();
+                        let _ = wire::write_frame(&mut frame, m.dst, m.src, m.tag, &m.body);
+                        let cut = (wire::HEADER_LEN / 2).min(frame.len());
+                        let _ = w.write_all(&frame[..cut]);
+                        let _ = w.flush();
+                        let _ = w.get_ref().shutdown(Shutdown::Both);
+                        return;
+                    }
+                    FaultAction::KillNode => {
+                        ctx.kill.fire(&ctx.peer_state);
+                        return;
+                    }
+                    // Boot-path only; filtered out of wire fault lists.
+                    FaultAction::DialFail { .. } => {}
+                }
             }
+            if wire::write_frame(&mut w, m.dst, m.src, m.tag, &m.body).is_err() {
+                // Peer gone mid-run; poison so blocked waiters error out
+                // instead of waiting for replies that can never come.
+                mark_peer(&ctx.peer_state, ctx.peer, PEER_POISONED);
+                break 'conn; // sends are fire-and-forget
+            }
+            sent += 1;
             batched += 1;
-            if batched >= coalesce {
+            if batched >= ctx.coalesce {
                 break;
             }
             match rx.try_recv() {
@@ -173,6 +313,7 @@ fn writer_loop(rx: Receiver<WireMsg>, stream: TcpStream, coalesce: usize) {
             }
         }
         if w.flush().is_err() {
+            mark_peer(&ctx.peer_state, ctx.peer, PEER_POISONED);
             break;
         }
     }
@@ -182,16 +323,36 @@ fn writer_loop(rx: Receiver<WireMsg>, stream: TcpStream, coalesce: usize) {
     let _ = w.get_ref().shutdown(Shutdown::Write);
 }
 
-fn reader_loop(stream: TcpStream, topo: Topology, local_txs: Vec<Option<Sender<Msg>>>) {
+fn reader_loop(
+    stream: TcpStream,
+    topo: Topology,
+    local_txs: Vec<Option<Sender<Msg>>>,
+    peer: usize,
+    peer_state: PeerStates,
+) {
     let mut r = BufReader::with_capacity(64 * 1024, stream);
     let mut pool = BodyPool::new(8);
     // Runs until clean EOF (the peer tore down after flushing) or a read
-    // error; either way the resulting inbox disconnect is how endpoints
-    // observe the end of the connection (same RecvError as emulator
-    // teardown).
-    while let Ok(Some(f)) = wire::read_frame(&mut r, &topo, &mut pool) {
-        if let Some(tx) = &local_txs[endpoint_index(&topo, f.dst)] {
-            let _ = tx.send(Msg { src: f.src, tag: f.tag, body: f.body });
+    // error. Either way the peer is recorded as gone — clean EOF during a
+    // run means the peer process died at a frame boundary (e.g. SIGKILL,
+    // whose kernel-side close looks identical to teardown) — and the
+    // resulting inbox disconnect is how endpoints waiting without a
+    // deadline observe the end of the connection.
+    loop {
+        match wire::read_frame(&mut r, &topo, &mut pool) {
+            Ok(Some(f)) => {
+                if let Some(tx) = &local_txs[endpoint_index(&topo, f.dst)] {
+                    let _ = tx.send(Msg { src: f.src, tag: f.tag, body: f.body });
+                }
+            }
+            Ok(None) => {
+                mark_peer(&peer_state, peer, PEER_CLOSED);
+                break;
+            }
+            Err(_) => {
+                mark_peer(&peer_state, peer, PEER_POISONED);
+                break;
+            }
         }
     }
 }
@@ -229,25 +390,44 @@ impl NodeFabric {
             local_rxs[i] = Some(rx);
         }
 
+        let peer_state: PeerStates = Arc::new((0..topo.nnodes()).map(|_| AtomicU8::new(PEER_UP)).collect());
+        let wire_faults = opts.faults.wire_faults_for(node.0);
+        let wants_kill = wire_faults.iter().any(|f| matches!(f.action, FaultAction::KillNode));
+        let kill = Arc::new(KillSwitch { streams: Mutex::new(Vec::new()), process_kill: opts.process_faults });
+
         let mut io_threads = Vec::new();
         let mut peer_txs: Vec<Option<Sender<WireMsg>>> = (0..topo.nnodes()).map(|_| None).collect();
         for (peer, stream) in mesh.streams.into_iter().enumerate() {
             let Some(stream) = stream else { continue };
+            if wants_kill {
+                if let Ok(dup) = stream.try_clone() {
+                    if let Ok(mut streams) = kill.streams.lock() {
+                        streams.push(dup);
+                    }
+                }
+            }
             let read_half = stream.try_clone()?;
             let (tx, rx) = crossbeam_channel::unbounded();
             peer_txs[peer] = Some(tx);
-            let coalesce = opts.coalesce.max(1);
+            let ctx = WriterCtx {
+                peer,
+                coalesce: opts.coalesce.max(1),
+                faults: wire_faults.iter().filter(|f| f.peer as usize == peer).map(|&f| Some(f)).collect(),
+                peer_state: peer_state.clone(),
+                kill: kill.clone(),
+            };
             io_threads.push(
                 std::thread::Builder::new()
                     .name(format!("netfab-w{}-{}", node.0, peer))
-                    .spawn(move || writer_loop(rx, stream, coalesce))?,
+                    .spawn(move || writer_loop(rx, stream, ctx))?,
             );
             let topo2 = topo.clone();
             let txs2 = local_txs.clone();
+            let states2 = peer_state.clone();
             io_threads.push(
                 std::thread::Builder::new()
                     .name(format!("netfab-r{}-{}", node.0, peer))
-                    .spawn(move || reader_loop(read_half, topo2, txs2))?,
+                    .spawn(move || reader_loop(read_half, topo2, txs2, peer, states2))?,
             );
         }
 
@@ -260,6 +440,7 @@ impl NodeFabric {
             wire_msgs: (0..n_endpoints).map(|_| AtomicU64::new(0)).collect(),
             wire_bytes: (0..n_endpoints).map(|_| AtomicU64::new(0)).collect(),
             trace: opts.trace,
+            peer_state,
         });
 
         let mut mailboxes: Vec<Option<Mailbox>> = (0..n_endpoints).map(|_| None).collect();
@@ -273,9 +454,13 @@ impl NodeFabric {
     }
 
     /// Bootstrap this node against a coordinator at `rendezvous` (see
-    /// [`crate::boot`]) and wire the fabric.
+    /// [`crate::boot`]) and wire the fabric. Dial retry/backoff and the
+    /// boot deadline come from `opts.boot`; scripted dial faults in
+    /// `opts.faults` are merged in.
     pub fn bootstrap(rendezvous: &str, topo: &Topology, node: NodeId, opts: NetOpts) -> std::io::Result<Self> {
-        let mesh = boot::join_mesh(rendezvous, topo, node)?;
+        let mut bopts = opts.boot.clone();
+        bopts.dial_faults = opts.faults.dial_faults_for(node.0);
+        let mesh = boot::join_mesh_opts(rendezvous, topo, node, &bopts)?;
         Self::from_mesh(topo.clone(), mesh, opts)
     }
 
@@ -285,14 +470,22 @@ impl NodeFabric {
     /// across all nodes so `trace_dump`-style tooling sees the global
     /// picture.
     pub fn loopback(topo: &Topology, trace: bool) -> std::io::Result<Vec<Self>> {
+        Self::loopback_with(topo, trace, FaultPlan::new())
+    }
+
+    /// [`NodeFabric::loopback`] with a scripted fault plan, distributed to
+    /// every node (each enacts its own entries). [`FaultAction::KillNode`]
+    /// runs in soft mode here: it severs the victim's links instead of
+    /// aborting, since all nodes share this process.
+    pub fn loopback_with(topo: &Topology, trace: bool, faults: FaultPlan) -> std::io::Result<Vec<Self>> {
         let nnodes = topo.nnodes();
         let shared_trace = trace.then(|| Arc::new(Trace::new(endpoint_count(topo))));
+        let opts_for = |trace: Option<Arc<Trace>>| NetOpts { trace, faults: faults.clone(), ..NetOpts::default() };
         if nnodes == 1 {
             // Single node: no coordinator, no sockets (join_mesh
             // short-circuits too, keeping the two paths consistent).
             let mesh = boot::join_mesh("", topo, NodeId(0))?;
-            let opts = NetOpts { trace: shared_trace, ..NetOpts::default() };
-            return Ok(vec![Self::from_mesh(topo.clone(), mesh, opts)?]);
+            return Ok(vec![Self::from_mesh(topo.clone(), mesh, opts_for(shared_trace))?]);
         }
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?.to_string();
@@ -303,18 +496,17 @@ impl NodeFabric {
             .map(|i| {
                 let addr = addr.clone();
                 let topo = topo.clone();
-                let opts = NetOpts { trace: shared_trace.clone(), ..NetOpts::default() };
+                let opts = opts_for(shared_trace.clone());
                 std::thread::Builder::new()
                     .name(format!("netfab-boot{i}"))
                     .spawn(move || Self::bootstrap(&addr, &topo, NodeId(i), opts))
             })
             .collect::<std::io::Result<_>>()?;
-        let opts0 = NetOpts { trace: shared_trace, ..NetOpts::default() };
-        let root = Self::bootstrap(&addr, topo, NodeId(0), opts0)?;
-        coord.join().expect("coordinator panicked")?;
+        let root = Self::bootstrap(&addr, topo, NodeId(0), opts_for(shared_trace))?;
+        coord.join().map_err(|_| std::io::Error::other("coordinator thread panicked"))??;
         let mut out = vec![root];
         for h in peers {
-            out.push(h.join().expect("bootstrap thread panicked")?);
+            out.push(h.join().map_err(|_| std::io::Error::other("bootstrap thread panicked"))??);
         }
         Ok(out)
     }

@@ -20,6 +20,7 @@
 use std::io;
 use std::net::TcpListener;
 use std::process::{Child, Command};
+use std::time::{Duration, Instant};
 
 use armci_transport::NodeId;
 
@@ -85,7 +86,19 @@ pub fn spawn_nodes(
                     cmd.env_remove(ENV_PAYLOAD);
                 }
             }
-            cmd.spawn()
+            // Transient spawn failures (EAGAIN under fork pressure) are
+            // retried briefly; persistent errors still surface.
+            let mut backoff = Duration::from_millis(10);
+            let mut result = cmd.spawn();
+            for _ in 0..2 {
+                if result.is_ok() {
+                    break;
+                }
+                std::thread::sleep(backoff);
+                backoff *= 2;
+                result = cmd.spawn();
+            }
+            result
         })
         .collect()
 }
@@ -102,6 +115,56 @@ pub fn wait_nodes(children: Vec<Child>) -> io::Result<()> {
     match failed {
         None => Ok(()),
         Some(msg) => Err(io::Error::other(msg)),
+    }
+}
+
+/// Wait for every spawned node process, but give up at `deadline`:
+/// any child still running then is killed and reaped, and the wait
+/// reports `TimedOut`. A child that exited unsuccessfully is reported
+/// (by index within `children`) after the rest have been waited out, so
+/// a failure verdict never leaks surviving processes.
+pub fn wait_nodes_deadline(mut children: Vec<Child>, deadline: Instant) -> io::Result<()> {
+    let mut failed: Option<String> = None;
+    let mut done = vec![false; children.len()];
+    loop {
+        let mut remaining = 0;
+        for (i, c) in children.iter_mut().enumerate() {
+            if done[i] {
+                continue;
+            }
+            match c.try_wait()? {
+                Some(status) => {
+                    done[i] = true;
+                    if !status.success() && failed.is_none() {
+                        failed = Some(format!("node process {i} exited with {status}"));
+                    }
+                }
+                None => remaining += 1,
+            }
+        }
+        if remaining == 0 {
+            break;
+        }
+        if Instant::now() >= deadline {
+            kill_nodes(&mut children);
+            let msg = failed.unwrap_or_else(|| format!("{remaining} node process(es) still running at deadline"));
+            return Err(io::Error::new(io::ErrorKind::TimedOut, msg));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    match failed {
+        None => Ok(()),
+        Some(msg) => Err(io::Error::other(msg)),
+    }
+}
+
+/// Kill and reap every child still running (best-effort: already-exited
+/// children are just reaped). Used to clean up survivors after a failure
+/// verdict so a broken run never leaves node processes behind.
+pub fn kill_nodes(children: &mut [Child]) {
+    for c in children.iter_mut() {
+        let _ = c.kill();
+        let _ = c.wait();
     }
 }
 

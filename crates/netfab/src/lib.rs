@@ -34,9 +34,13 @@
 
 pub mod boot;
 pub mod fabric;
+pub mod fault;
 pub mod launch;
 pub mod wire;
 
-pub use boot::{coordinate, join_mesh, Mesh};
+pub use boot::{coordinate, coordinate_deadline, join_mesh, join_mesh_opts, BootOpts, Mesh};
 pub use fabric::{NetMailbox, NetOpts, NodeFabric};
-pub use launch::{bind_rendezvous, node_spec_from_env, spawn_nodes, wait_nodes, NodeSpec};
+pub use fault::{FaultAction, FaultPlan, FaultSpec};
+pub use launch::{
+    bind_rendezvous, kill_nodes, node_spec_from_env, spawn_nodes, wait_nodes, wait_nodes_deadline, NodeSpec,
+};

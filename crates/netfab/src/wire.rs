@@ -170,6 +170,33 @@ mod tests {
     }
 
     #[test]
+    fn every_mid_frame_cut_is_truncation_and_only_boundaries_are_clean_eof() {
+        // Exhaustive clean-EOF vs truncation distinction: a stream cut at
+        // *any* byte inside a frame must decode as UnexpectedEof, while a
+        // cut exactly at a frame boundary is a clean end-of-stream.
+        let topo = Topology::new(1, 1);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, Endpoint::Proc(ProcId(0)), Endpoint::Server(NodeId(0)), Tag(7), &[3; 11]).unwrap();
+        let first = buf.len();
+        write_frame(&mut buf, Endpoint::Server(NodeId(0)), Endpoint::Proc(ProcId(0)), Tag(8), &[]).unwrap();
+        let mut pool = BodyPool::new(2);
+        for cut in 0..=buf.len() {
+            let mut r = &buf[..cut];
+            // Drain whole frames that fit before the cut.
+            let whole_frames = usize::from(cut >= first) + usize::from(cut == buf.len());
+            for _ in 0..whole_frames {
+                assert!(read_frame(&mut r, &topo, &mut pool).unwrap().is_some(), "cut {cut}");
+            }
+            if cut == 0 || cut == first || cut == buf.len() {
+                assert!(read_frame(&mut r, &topo, &mut pool).unwrap().is_none(), "cut {cut}: boundary is clean EOF");
+            } else {
+                let err = read_frame(&mut r, &topo, &mut pool).unwrap_err();
+                assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut {cut}: mid-frame EOF is truncation");
+            }
+        }
+    }
+
+    #[test]
     fn bad_endpoint_rejected() {
         let topo = Topology::new(1, 1);
         let mut buf = Vec::new();

@@ -105,6 +105,19 @@ pub trait MailboxBackend: Send {
 
     /// Wire traffic sent by this endpoint so far.
     fn wire_counters(&self) -> WireCounters;
+
+    /// Nodes whose connection to this endpoint's node is no longer usable
+    /// (peer closed its stream, reset it, or died). The emulator's
+    /// channels cannot lose a peer, so the default is "nobody".
+    fn lost_peers(&self) -> Vec<crate::ids::NodeId> {
+        Vec::new()
+    }
+
+    /// Whether the connection to `node` is no longer usable.
+    fn peer_is_lost(&self, node: crate::ids::NodeId) -> bool {
+        let _ = node;
+        false
+    }
 }
 
 /// Shared, cheaply-clonable sending side of the emulator fabric: one
@@ -435,6 +448,51 @@ impl Mailbox {
     pub fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Msg>, RecvError> {
         self.recv_deadline(Instant::now() + timeout)
     }
+
+    /// [`Mailbox::recv_match`] with a deadline: receive the next message
+    /// satisfying `pred`, deferring non-matching messages, but give up and
+    /// return `Ok(None)` once nothing more can arrive before `deadline`.
+    ///
+    /// Deferred messages are checked first and returned immediately even
+    /// if the deadline has already passed.
+    pub fn recv_match_deadline(
+        &mut self,
+        mut pred: impl FnMut(&Msg) -> bool,
+        deadline: Instant,
+    ) -> Result<Option<Msg>, RecvError> {
+        if let Some(pos) = self.deferred.iter().position(&mut pred) {
+            return Ok(Some(self.deferred.remove(pos).unwrap()));
+        }
+        loop {
+            let m = match &mut self.backend {
+                BackendImpl::Emu(b) => b.recv_deadline_raw(deadline)?,
+                BackendImpl::Ext(b) => b.recv_deadline_raw(deadline)?,
+            };
+            match m {
+                Some(m) if pred(&m) => return Ok(Some(m)),
+                Some(m) => self.deferred.push_back(m),
+                None => return Ok(None),
+            }
+        }
+    }
+
+    /// Nodes whose connection to this endpoint's node is no longer usable
+    /// (closed, reset, or the peer process died). Always empty on the
+    /// emulator backend.
+    pub fn lost_peers(&self) -> Vec<crate::ids::NodeId> {
+        match &self.backend {
+            BackendImpl::Emu(_) => Vec::new(),
+            BackendImpl::Ext(b) => b.lost_peers(),
+        }
+    }
+
+    /// Whether the connection to `node` is no longer usable.
+    pub fn peer_is_lost(&self, node: crate::ids::NodeId) -> bool {
+        match &self.backend {
+            BackendImpl::Emu(_) => false,
+            BackendImpl::Ext(b) => b.peer_is_lost(node),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -567,6 +625,67 @@ mod tests {
         assert!(matches!(b.try_recv(), Err(RecvError)));
         assert!(matches!(b.recv_tag(Tag(3)), Err(RecvError)));
         assert!(matches!(b.recv_deadline(Instant::now()), Err(RecvError)));
+    }
+
+    #[test]
+    fn recv_deadline_does_not_deliver_before_latency_stamp() {
+        // A message stamped 30ms out must NOT be delivered by a 5ms
+        // deadline receive — and must not be lost either: a later receive
+        // with a generous deadline gets it, still honouring the stamp.
+        let lat = LatencyModel::zero().with_inter_node(Duration::from_millis(30));
+        let (mut a, mut b) = fabric_pair(lat);
+        let t0 = Instant::now();
+        a.send(Endpoint::Proc(ProcId(1)), Tag(0), vec![7]);
+        let early = b.recv_deadline(t0 + Duration::from_millis(5)).unwrap();
+        assert!(early.is_none(), "stamp not due: deadline receive must expire empty");
+        assert!(t0.elapsed() < Duration::from_millis(25), "expiry must not wait out the stamp");
+        let m = b.recv_deadline(t0 + Duration::from_millis(500)).unwrap().expect("stamped message");
+        assert_eq!(m.body, vec![7]);
+        assert!(t0.elapsed() >= Duration::from_millis(30), "delivery honours the stamp");
+    }
+
+    #[test]
+    fn recv_deadline_expiry_does_not_let_later_messages_overtake() {
+        // Head-of-line message has a 40ms stamp; one behind it has the
+        // same channel so its stamp is no earlier. After an expired
+        // deadline receive re-pends the head, arrival order must hold.
+        let lat = LatencyModel::zero().with_inter_node(Duration::from_millis(40));
+        let (mut a, mut b) = fabric_pair(lat);
+        a.send(Endpoint::Proc(ProcId(1)), Tag(0), vec![1]);
+        a.send(Endpoint::Proc(ProcId(1)), Tag(0), vec![2]);
+        assert!(b.recv_timeout(Duration::from_millis(5)).unwrap().is_none());
+        assert_eq!(b.recv().unwrap().body, vec![1], "expired deadline recv must not reorder");
+        assert_eq!(b.recv().unwrap().body, vec![2]);
+    }
+
+    #[test]
+    fn recv_match_deadline_prefers_deferred_even_past_deadline() {
+        let (mut a, mut b) = fabric_pair(LatencyModel::zero());
+        a.send(Endpoint::Proc(ProcId(1)), Tag(1), vec![1]);
+        a.send(Endpoint::Proc(ProcId(1)), Tag(2), vec![2]);
+        // Matching Tag(2) defers the Tag(1) message.
+        assert_eq!(b.recv_tag(Tag(2)).unwrap().body, vec![2]);
+        // An already-expired deadline still yields the deferred match.
+        let m = b.recv_match_deadline(|m| m.tag == Tag(1), Instant::now()).unwrap();
+        assert_eq!(m.expect("deferred message").body, vec![1]);
+    }
+
+    #[test]
+    fn recv_match_deadline_times_out_and_keeps_nonmatching() {
+        let (mut a, mut b) = fabric_pair(LatencyModel::zero());
+        a.send(Endpoint::Proc(ProcId(1)), Tag(9), vec![9]);
+        std::thread::sleep(Duration::from_millis(2));
+        // No Tag(1) message exists: the call times out, deferring Tag(9).
+        let none = b.recv_match_deadline(|m| m.tag == Tag(1), Instant::now() + Duration::from_millis(5)).unwrap();
+        assert!(none.is_none());
+        assert_eq!(b.recv().unwrap().body, vec![9], "non-matching message stays queued");
+    }
+
+    #[test]
+    fn emulator_reports_no_lost_peers() {
+        let (a, _b) = fabric_pair(LatencyModel::zero());
+        assert!(a.lost_peers().is_empty());
+        assert!(!a.peer_is_lost(crate::ids::NodeId(1)));
     }
 
     #[test]

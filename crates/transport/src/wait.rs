@@ -52,6 +52,31 @@ pub fn spin_until(mut cond: impl FnMut() -> bool) {
     }
 }
 
+/// Spin-then-yield until `cond` returns true or `deadline` passes.
+///
+/// Returns `true` if the condition was observed, `false` on timeout. This
+/// is the bounded form of [`spin_until`] used by the fault-aware waits:
+/// callers alternate short bounded spins with peer-liveness checks so a
+/// dead peer turns a forever-spin into an error.
+#[inline]
+pub fn spin_until_deadline(mut cond: impl FnMut() -> bool, deadline: Instant) -> bool {
+    let mut iters = 0u32;
+    loop {
+        if cond() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        if iters < SPIN_ITERS {
+            std::hint::spin_loop();
+            iters += 1;
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
 /// Spin-then-yield until the atomic equals `want` (Acquire load).
 #[inline]
 pub fn spin_until_eq(word: &AtomicU64, want: u64) {
@@ -95,6 +120,15 @@ mod tests {
         });
         spin_until(|| flag.load(Ordering::Acquire));
         h.join().unwrap();
+    }
+
+    #[test]
+    fn spin_until_deadline_times_out_and_succeeds() {
+        let t0 = Instant::now();
+        assert!(!spin_until_deadline(|| false, t0 + Duration::from_millis(3)));
+        assert!(t0.elapsed() >= Duration::from_millis(3));
+        // A condition that is already true wins even with a past deadline.
+        assert!(spin_until_deadline(|| true, t0));
     }
 
     #[test]
