@@ -22,10 +22,9 @@ use crate::server::apply_rmw;
 use crate::stats::Stats;
 use crate::strided::Strided2D;
 
-/// How often a blocking wait interrupts itself to check for dead peers:
-/// short enough that a killed node surfaces promptly, long enough that
-/// the extra wakeups are noise.
-pub(crate) const DETECT_SLICE: Duration = Duration::from_millis(25);
+// The dead-peer detection slice used to be a hardcoded 25 ms constant
+// here; it now comes from `ArmciCfg::detect_slice` via the `detect_slice`
+// field below, so tight-deadline tests can shrink it.
 
 /// Unwrap a fallible operation for the classic infallible API: the
 /// original ARMCI would crash the job on a communication failure, and the
@@ -85,6 +84,14 @@ pub struct Armci {
     /// (`ArmciCfg::op_timeout`): past it, a `try_*` call returns
     /// [`ArmciError::Timeout`] and an infallible call panics.
     pub(crate) op_timeout: Duration,
+    /// How often a blocking wait interrupts itself to check for dead
+    /// peers (`ArmciCfg::detect_slice`): short enough that a killed node
+    /// surfaces promptly, long enough that the wakeups are noise.
+    pub(crate) detect_slice: Duration,
+    /// Whether the transport runs session-layer recovery
+    /// (`ArmciCfg::recovery`): gates the lock-lease bookkeeping that lets
+    /// survivors reclaim MCS locks from dead holders.
+    pub(crate) recovery: bool,
     /// Next free lock slot per owner (for [`Armci::create_lock`]).
     pub(crate) lock_alloc: Vec<u32>,
     pub(crate) stats: Stats,
@@ -210,7 +217,7 @@ impl Armci {
     /// Wait for a message matching `pred`, giving up at `deadline` or as
     /// soon as a peer is known dead. Every message-wait in the fallible
     /// API funnels through here: waits happen in short slices
-    /// ([`DETECT_SLICE`]) so a peer death surfaces promptly, and delivered
+    /// (`detect_slice`) so a peer death surfaces promptly, and delivered
     /// data always wins over a concurrently-detected loss (the slice is
     /// drained before the peer state is consulted).
     pub(crate) fn recv_wait(
@@ -220,7 +227,7 @@ impl Armci {
         mut pred: impl FnMut(&Msg) -> bool,
     ) -> Result<Msg, ArmciError> {
         loop {
-            let until = deadline.min(Instant::now() + DETECT_SLICE);
+            let until = deadline.min(Instant::now() + self.detect_slice);
             match self.mb.recv_match_deadline(&mut pred, until) {
                 Ok(Some(m)) => return Ok(m),
                 Ok(None) => {
@@ -254,7 +261,7 @@ impl Armci {
         mut cond: impl FnMut() -> bool,
     ) -> Result<(), ArmciError> {
         loop {
-            let until = deadline.min(Instant::now() + DETECT_SLICE);
+            let until = deadline.min(Instant::now() + self.detect_slice);
             if spin_until_deadline(&mut cond, until) {
                 return Ok(());
             }

@@ -97,6 +97,32 @@ pub struct ArmciCfg {
     /// Scripted fault-injection plan enacted by the netfab backend
     /// (ignored by the emulator). Empty by default.
     pub faults: FaultPlan,
+    /// Enable session-layer recovery in the netfab backend: transient
+    /// connection faults (reset, mid-frame truncation) trigger
+    /// reconnect-with-backoff plus idempotent replay instead of
+    /// permanently poisoning the peer, and MCS locks held by a rank whose
+    /// node died are reclaimed via an epoch-fenced lease takeover. Off by
+    /// default — without it every wire fault is terminal, matching the
+    /// detection-only fault plane of earlier revisions.
+    pub recovery: bool,
+    /// How often the netfab failure detector probes an *idle* link with a
+    /// bare ack/heartbeat (a busy link needs no probes — data frames carry
+    /// liveness). Only meaningful with `recovery` on.
+    pub heartbeat_interval: Duration,
+    /// How long a peer may stay silent (no frames, no heartbeats, no
+    /// successful reconnect) before the failure detector declares it dead:
+    /// pending operations fail with [`crate::ArmciError::PeerLost`] and
+    /// lock leases held by its ranks become reclaimable.
+    pub suspect_after: Duration,
+    /// Granularity of failure detection inside blocking waits: every
+    /// blocking ARMCI wait re-checks for lost peers at most this often.
+    /// Smaller values surface `PeerLost` faster at the cost of more wakeups;
+    /// chaos tests shrink it to keep fault turnaround tight.
+    pub detect_slice: Duration,
+    /// Maximum unacknowledged frames buffered per peer session for replay
+    /// after a reconnect. A sender that outruns the window by this many
+    /// frames with no acknowledgement progress declares the peer dead.
+    pub replay_window: usize,
 }
 
 impl Default for ArmciCfg {
@@ -114,6 +140,11 @@ impl Default for ArmciCfg {
             op_timeout: Duration::from_secs(30),
             boot_timeout: Duration::from_secs(30),
             faults: FaultPlan::new(),
+            recovery: false,
+            heartbeat_interval: Duration::from_millis(100),
+            suspect_after: Duration::from_secs(2),
+            detect_slice: Duration::from_millis(25),
+            replay_window: 1024,
         }
     }
 }
@@ -180,6 +211,40 @@ impl ArmciCfg {
         self
     }
 
+    /// Enable session-layer recovery (see [`ArmciCfg::recovery`]).
+    pub fn with_recovery(mut self, on: bool) -> Self {
+        self.recovery = on;
+        self
+    }
+
+    /// Set the idle-link heartbeat interval (see
+    /// [`ArmciCfg::heartbeat_interval`]).
+    pub fn with_heartbeat_interval(mut self, t: Duration) -> Self {
+        self.heartbeat_interval = t;
+        self
+    }
+
+    /// Set the silence budget before a peer is declared dead (see
+    /// [`ArmciCfg::suspect_after`]).
+    pub fn with_suspect_after(mut self, t: Duration) -> Self {
+        self.suspect_after = t;
+        self
+    }
+
+    /// Set the failure-detection slice inside blocking waits (see
+    /// [`ArmciCfg::detect_slice`]).
+    pub fn with_detect_slice(mut self, t: Duration) -> Self {
+        self.detect_slice = t;
+        self
+    }
+
+    /// Set the per-peer replay ring capacity (see
+    /// [`ArmciCfg::replay_window`]).
+    pub fn with_replay_window(mut self, n: usize) -> Self {
+        self.replay_window = n;
+        self
+    }
+
     /// Start a validating builder. Unlike the infallible `with_*` chain
     /// (kept for tests and benchmarks that construct known-good configs),
     /// [`ArmciCfgBuilder::build`] rejects degenerate cluster shapes, zero
@@ -203,6 +268,18 @@ impl ArmciCfg {
         }
         if self.boot_timeout.is_zero() {
             return Err(ConfigError::ZeroTimeout { which: "boot_timeout" });
+        }
+        if self.detect_slice.is_zero() {
+            return Err(ConfigError::ZeroTimeout { which: "detect_slice" });
+        }
+        if self.heartbeat_interval.is_zero() {
+            return Err(ConfigError::ZeroTimeout { which: "heartbeat_interval" });
+        }
+        if self.suspect_after.is_zero() {
+            return Err(ConfigError::ZeroTimeout { which: "suspect_after" });
+        }
+        if self.recovery && self.replay_window == 0 {
+            return Err(ConfigError::ZeroReplayWindow);
         }
         validate_latency(&self.latency)
     }
@@ -303,6 +380,39 @@ impl ArmciCfgBuilder {
         self
     }
 
+    /// Enable session-layer recovery.
+    pub fn recovery(mut self, on: bool) -> Self {
+        self.cfg.recovery = on;
+        self
+    }
+
+    /// Set the idle-link heartbeat interval (must be nonzero).
+    pub fn heartbeat_interval(mut self, t: Duration) -> Self {
+        self.cfg.heartbeat_interval = t;
+        self
+    }
+
+    /// Set the silence budget before a peer is declared dead (must be
+    /// nonzero).
+    pub fn suspect_after(mut self, t: Duration) -> Self {
+        self.cfg.suspect_after = t;
+        self
+    }
+
+    /// Set the failure-detection slice inside blocking waits (must be
+    /// nonzero).
+    pub fn detect_slice(mut self, t: Duration) -> Self {
+        self.cfg.detect_slice = t;
+        self
+    }
+
+    /// Set the per-peer replay ring capacity (must be nonzero when
+    /// recovery is enabled).
+    pub fn replay_window(mut self, n: usize) -> Self {
+        self.cfg.replay_window = n;
+        self
+    }
+
     /// Validate and produce the config.
     pub fn build(self) -> Result<ArmciCfg, ConfigError> {
         self.cfg.validate()?;
@@ -387,6 +497,11 @@ impl Serialize for ArmciCfg {
             ("op_timeout_us", Value::U64(self.op_timeout.as_micros() as u64)),
             ("boot_timeout_us", Value::U64(self.boot_timeout.as_micros() as u64)),
             ("faults", self.faults.to_value()),
+            ("recovery", Value::Bool(self.recovery)),
+            ("heartbeat_interval_us", Value::U64(self.heartbeat_interval.as_micros() as u64)),
+            ("suspect_after_us", Value::U64(self.suspect_after.as_micros() as u64)),
+            ("detect_slice_us", Value::U64(self.detect_slice.as_micros() as u64)),
+            ("replay_window", Value::U64(self.replay_window as u64)),
         ])
     }
 }
@@ -406,6 +521,11 @@ impl Deserialize for ArmciCfg {
             op_timeout: Duration::from_micros(u64::from_value(v.field("op_timeout_us")?)?),
             boot_timeout: Duration::from_micros(u64::from_value(v.field("boot_timeout_us")?)?),
             faults: FaultPlan::from_value(v.field("faults")?)?,
+            recovery: bool::from_value(v.field("recovery")?)?,
+            heartbeat_interval: Duration::from_micros(u64::from_value(v.field("heartbeat_interval_us")?)?),
+            suspect_after: Duration::from_micros(u64::from_value(v.field("suspect_after_us")?)?),
+            detect_slice: Duration::from_micros(u64::from_value(v.field("detect_slice_us")?)?),
+            replay_window: u64::from_value(v.field("replay_window")?)? as usize,
         })
     }
 }
@@ -450,6 +570,11 @@ mod tests {
             faults: FaultPlan::new()
                 .with(FaultSpec { node: 1, peer: 0, after_frames: 3, action: FaultAction::ResetConn })
                 .with(FaultSpec { node: 2, peer: 1, after_frames: 0, action: FaultAction::KillNode }),
+            recovery: true,
+            heartbeat_interval: Duration::from_millis(40),
+            suspect_after: Duration::from_millis(750),
+            detect_slice: Duration::from_millis(5),
+            replay_window: 33,
         };
         let json = serde::to_string(&cfg);
         let back: ArmciCfg = serde::from_str(&json).unwrap();
@@ -465,6 +590,11 @@ mod tests {
         assert_eq!(back.op_timeout, Duration::from_millis(2500));
         assert_eq!(back.boot_timeout, Duration::from_secs(9));
         assert_eq!(back.faults, cfg.faults);
+        assert!(back.recovery);
+        assert_eq!(back.heartbeat_interval, Duration::from_millis(40));
+        assert_eq!(back.suspect_after, Duration::from_millis(750));
+        assert_eq!(back.detect_slice, Duration::from_millis(5));
+        assert_eq!(back.replay_window, 33);
     }
 
     #[test]
@@ -491,6 +621,24 @@ mod tests {
         assert_eq!(
             ArmciCfg::builder().boot_timeout(Duration::ZERO).build().unwrap_err(),
             ConfigError::ZeroTimeout { which: "boot_timeout" }
+        );
+        assert_eq!(
+            ArmciCfg::builder().detect_slice(Duration::ZERO).build().unwrap_err(),
+            ConfigError::ZeroTimeout { which: "detect_slice" }
+        );
+        assert_eq!(
+            ArmciCfg::builder().heartbeat_interval(Duration::ZERO).build().unwrap_err(),
+            ConfigError::ZeroTimeout { which: "heartbeat_interval" }
+        );
+        assert_eq!(
+            ArmciCfg::builder().suspect_after(Duration::ZERO).build().unwrap_err(),
+            ConfigError::ZeroTimeout { which: "suspect_after" }
+        );
+        // A zero replay window is only degenerate when recovery needs it.
+        assert!(ArmciCfg::builder().replay_window(0).build().is_ok());
+        assert_eq!(
+            ArmciCfg::builder().recovery(true).replay_window(0).build().unwrap_err(),
+            ConfigError::ZeroReplayWindow
         );
     }
 

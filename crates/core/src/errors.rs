@@ -74,6 +74,9 @@ pub enum ConfigError {
         /// What was wrong with it.
         detail: String,
     },
+    /// `recovery` was enabled with a zero `replay_window` — a session that
+    /// can buffer no unacked frames can never replay after a reconnect.
+    ZeroReplayWindow,
 }
 
 impl fmt::Display for ConfigError {
@@ -85,6 +88,9 @@ impl fmt::Display for ConfigError {
                 write!(f, "{which} must be nonzero (use a large value to effectively disable it)")
             }
             ConfigError::BadLatency { detail } => write!(f, "bad latency model: {detail}"),
+            ConfigError::ZeroReplayWindow => {
+                write!(f, "replay_window must be nonzero when recovery is enabled")
+            }
         }
     }
 }

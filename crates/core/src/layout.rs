@@ -31,8 +31,10 @@ pub const MCS_PAIR_NEXT: usize = 32;
 pub const MCS_PAIR_LOCKED: usize = 48;
 /// First lock slot.
 pub const LOCK_SLOTS: usize = 64;
-/// Bytes per lock slot.
-pub const LOCK_SLOT_SIZE: usize = 48;
+/// Bytes per lock slot (widened from 48 to make room for the lease
+/// holder/epoch words the session-recovery layer uses to reclaim MCS
+/// locks from dead holders).
+pub const LOCK_SLOT_SIZE: usize = 64;
 
 /// Per-slot offsets of the hybrid ticket lock's `ticket` word.
 pub fn hybrid_ticket(idx: u32) -> usize {
@@ -54,6 +56,22 @@ pub fn mcs_lock(idx: u32) -> usize {
 /// 16-aligned, two words).
 pub fn mcs_pair_lock(idx: u32) -> usize {
     hybrid_ticket(idx) + 32
+}
+
+/// Per-slot offset of the MCS lease *holder* word: `rank + 1` of the
+/// process currently believed to hold the packed-encoding MCS lock, `0`
+/// when free/unknown. Written by holders only when session recovery is
+/// enabled; consulted by [`crate::Armci::try_lock`]'s reclamation path to
+/// decide whether a wedged lock's holder is dead.
+pub fn mcs_lease_holder(idx: u32) -> usize {
+    hybrid_ticket(idx) + 48
+}
+
+/// Per-slot offset of the MCS lease *epoch* word: bumped by exactly one
+/// survivor (compare&swap-fenced) per reclamation, so concurrent
+/// reclaimers of the same dead holder elect a single winner.
+pub fn mcs_lease_epoch(idx: u32) -> usize {
+    hybrid_ticket(idx) + 56
 }
 
 /// Total sync-segment size for `locks_per_proc` lock slots.
@@ -89,13 +107,15 @@ mod tests {
             assert_eq!(end, hybrid_ticket(idx + 1));
             assert!(hybrid_counter(idx) < mcs_lock(idx));
             assert!(mcs_lock(idx) + 16 <= mcs_pair_lock(idx));
-            assert!(mcs_pair_lock(idx) + 16 <= end);
+            assert!(mcs_pair_lock(idx) + 16 <= mcs_lease_holder(idx));
+            assert!(mcs_lease_holder(idx) + 8 <= mcs_lease_epoch(idx));
+            assert!(mcs_lease_epoch(idx) + 8 <= end);
         }
     }
 
     #[test]
     fn segment_len_covers_all_slots() {
         let n = 8;
-        assert_eq!(sync_segment_len(n), mcs_pair_lock(n - 1) + 16);
+        assert_eq!(sync_segment_len(n), mcs_lease_epoch(n - 1) + 8);
     }
 }

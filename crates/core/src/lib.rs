@@ -40,6 +40,7 @@
 //! ```
 
 pub mod armci;
+pub mod chaos;
 pub mod config;
 pub mod errors;
 pub mod gptr;
@@ -51,9 +52,12 @@ pub mod runtime;
 pub mod server;
 pub mod stats;
 pub mod strided;
+#[cfg(test)]
+mod try_error_paths;
 
 pub use armci::{Armci, LockId};
 pub use armci_netfab::{FaultAction, FaultPlan, FaultSpec};
+pub use chaos::{chaos_plan, chaos_workload, ChaosError, ChaosRng};
 pub use config::{AckMode, ArmciCfg, ArmciCfgBuilder, LockAlgo};
 pub use errors::{ArmciError, ConfigError};
 pub use gptr::{GlobalAddr, PackedPtr};

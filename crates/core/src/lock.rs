@@ -27,7 +27,7 @@
 use std::sync::atomic::Ordering;
 use std::time::Instant;
 
-use armci_transport::SegId;
+use armci_transport::{ProcId, SegId};
 
 use crate::armci::{unwrap_op, Armci, LockId};
 use crate::config::LockAlgo;
@@ -237,6 +237,25 @@ impl Armci {
         GlobalAddr::new(id.owner, SegId(0), layout::mcs_lock(id.idx))
     }
 
+    fn mcs_lease_holder_addr(&self, id: LockId) -> GlobalAddr {
+        GlobalAddr::new(id.owner, SegId(0), layout::mcs_lease_holder(id.idx))
+    }
+
+    fn mcs_lease_epoch_addr(&self, id: LockId) -> GlobalAddr {
+        GlobalAddr::new(id.owner, SegId(0), layout::mcs_lease_epoch(id.idx))
+    }
+
+    /// Record (or clear) the lease on an MCS lock slot. `holder` is
+    /// `rank + 1`, or `0` for "free". Only maintained when session
+    /// recovery is on — the plain fail-stop configurations never pay the
+    /// extra put on the lock-handoff path.
+    fn mcs_lease_set(&mut self, id: LockId, holder: u64) -> Result<(), ArmciError> {
+        if !self.recovery {
+            return Ok(());
+        }
+        self.try_put(self.mcs_lease_holder_addr(id), &holder.to_le_bytes())
+    }
+
     /// Acquire with the software queuing lock (Figure 5, `request`).
     pub fn lock_mcs(&mut self, id: LockId) {
         unwrap_op(self.try_lock_mcs(id));
@@ -245,7 +264,26 @@ impl Armci {
     /// Fallible [`Armci::lock_mcs`]: the `swap` round-trip and the poll on
     /// our own `locked` flag both observe the operation deadline and peer
     /// liveness.
+    ///
+    /// When session recovery is enabled and the first attempt fails, the
+    /// lock's lease is consulted: if the recorded holder's node has been
+    /// declared dead, the caller competes to reclaim the lock
+    /// ([`Armci::try_reclaim_mcs`]) and, on winning, retries the acquire
+    /// once over the reset queue.
     pub fn try_lock_mcs(&mut self, id: LockId) -> Result<(), ArmciError> {
+        match self.try_lock_mcs_inner(id) {
+            Err(e) if self.recovery => {
+                if self.try_reclaim_mcs(id)? {
+                    self.try_lock_mcs_inner(id)
+                } else {
+                    Err(e)
+                }
+            }
+            r => r,
+        }
+    }
+
+    fn try_lock_mcs_inner(&mut self, id: LockId) -> Result<(), ArmciError> {
         self.check_lock_id(id);
         assert!(
             self.mcs_held.is_none(),
@@ -273,6 +311,8 @@ impl Armci {
                 sync.atomic_u64(layout::MCS_LOCKED).load(Ordering::Acquire) == 0
             })?;
         }
+        let me_rank = u64::from(self.me().0) + 1;
+        self.mcs_lease_set(id, me_rank)?;
         self.mcs_held = Some(id);
         Ok(())
     }
@@ -290,6 +330,7 @@ impl Armci {
             // remote locks (Figure 10's "new" curve).
             let observed = self.cas_u64(self.mcs_lock_var(id), me_ptr.0, PackedPtr::NULL.0);
             if observed == me_ptr.0 {
+                let _ = self.mcs_lease_set(id, 0);
                 self.mcs_held = None;
                 return;
             }
@@ -303,10 +344,51 @@ impl Armci {
             next = PackedPtr(self.my_sync.read_u64(layout::MCS_NEXT));
         }
         let next_addr = next.decode().expect("non-null next decodes");
+        // Transfer the lease *before* waking the successor so there is no
+        // window where the new holder runs under a stale lease entry.
+        let _ = self.mcs_lease_set(id, u64::from(next_addr.proc.0) + 1);
         // next->locked = FALSE: direct store if node-local, one one-way
         // message otherwise — the single-message handoff.
         self.put_u64(next_addr.add(8), 0);
         self.mcs_held = None;
+    }
+
+    /// Attempt to reclaim an MCS lock whose recorded lease holder's node
+    /// has been declared dead by the session layer's failure detector.
+    ///
+    /// Returns `Ok(true)` when *this* process won the reclamation (the
+    /// lock variable has been reset to NULL and the caller should retry
+    /// its acquire), `Ok(false)` when there was nothing to reclaim — no
+    /// lease recorded, the holder is still believed alive, or another
+    /// survivor won the epoch race (that winner performs the reset).
+    ///
+    /// The epoch word is the fence: every reclaimer reads it, and only
+    /// the one whose `compare&swap(epoch, epoch+1)` observes the value it
+    /// read gets to touch the lock variable, so a dead holder is
+    /// reclaimed exactly once per failure. Reclamation discards the dead
+    /// chain's queue state wholesale — orphaned waiters time out on their
+    /// own `locked` polls and must re-request the lock.
+    pub fn try_reclaim_mcs(&mut self, id: LockId) -> Result<bool, ArmciError> {
+        self.check_lock_id(id);
+        let holder = self.try_rmw(self.mcs_lease_holder_addr(id), RmwOp::FetchAddU64(0))?[0];
+        if holder == 0 {
+            return Ok(false);
+        }
+        let holder_rank = ProcId((holder - 1) as u32);
+        let holder_node = self.topology().node_of(holder_rank);
+        if !self.mb.peer_is_lost(holder_node) {
+            return Ok(false);
+        }
+        let epoch_addr = self.mcs_lease_epoch_addr(id);
+        let epoch = self.try_rmw(epoch_addr, RmwOp::FetchAddU64(0))?[0];
+        let observed = self.try_rmw(epoch_addr, RmwOp::CasU64 { expect: epoch, new: epoch + 1 })?[0];
+        if observed != epoch {
+            return Ok(false); // another survivor won this reclamation
+        }
+        // We own this epoch: reset the queue and clear the dead lease.
+        self.try_rmw(self.mcs_lock_var(id), RmwOp::SwapU64(PackedPtr::NULL.0))?;
+        self.try_put(self.mcs_lease_holder_addr(id), &0u64.to_le_bytes())?;
+        Ok(true)
     }
 
     // ------------------------------------------------------------------
@@ -341,6 +423,7 @@ impl Armci {
         let next = PackedPtr(self.my_sync.read_u64(layout::MCS_NEXT));
         if let Some(next_addr) = next.decode() {
             // Successor known: plain single-message handoff.
+            let _ = self.mcs_lease_set(id, u64::from(next_addr.proc.0) + 1);
             self.put_u64(next_addr.add(8), 0);
             self.mcs_held = None;
             return;
@@ -348,6 +431,7 @@ impl Armci {
         // No visible successor: detach the queue with a swap.
         let prev = PackedPtr(self.swap_u64(self.mcs_lock_var(id), PackedPtr::NULL.0));
         if prev == me_ptr {
+            let _ = self.mcs_lease_set(id, 0);
             self.mcs_held = None;
             return; // we really were the tail: lock is free
         }
@@ -363,9 +447,12 @@ impl Armci {
         let usurper = PackedPtr(self.swap_u64(self.mcs_lock_var(id), prev.0));
         if let Some(um_addr) = usurper.decode() {
             // A usurper holds the lock; queue the orphans behind its tail.
+            // (The usurper recorded its own lease when it acquired, so no
+            // lease write here.)
             self.put_u64(um_addr, w1.0); // Um.next = W1
         } else {
             // Nobody usurped: hand the lock to W1.
+            let _ = self.mcs_lease_set(id, u64::from(w1_addr.proc.0) + 1);
             self.put_u64(w1_addr.add(8), 0);
         }
         self.mcs_held = None;

@@ -207,6 +207,8 @@ where
         stats: Default::default(),
         encode_pool: armci_transport::BodyPool::new(8),
         op_timeout: cfg.op_timeout,
+        detect_slice: cfg.detect_slice,
+        recovery: cfg.recovery,
     };
     let out = f(&mut armci);
     // When the teardown barrier fails — a peer lost or desynchronized —
@@ -321,8 +323,8 @@ where
     F: Fn(&mut Armci) -> T + Send + Sync + 'static,
 {
     let topo = Topology::new(cfg.nodes, cfg.procs_per_node);
-    let fabrics =
-        armci_netfab::NodeFabric::loopback_with(&topo, cfg.trace, cfg.faults.clone()).expect("loopback fabric");
+    let fabrics = armci_netfab::NodeFabric::loopback_cfg(&topo, cfg.trace, cfg.faults.clone(), session_cfg_of(&cfg))
+        .expect("loopback fabric");
     let trace = fabrics[0].trace();
     let f = Arc::new(f);
     // One runner thread per node process-equivalent; teardown inside
@@ -381,7 +383,19 @@ fn net_opts_for(cfg: &ArmciCfg, process_faults: bool) -> armci_netfab::NetOpts {
         faults: cfg.faults.clone(),
         process_faults,
         boot: armci_netfab::BootOpts { deadline: cfg.boot_timeout, ..Default::default() },
+        session: session_cfg_of(cfg),
         ..Default::default()
+    }
+}
+
+/// The session-layer knobs a netfab fabric runs with, lifted out of the
+/// cluster config.
+fn session_cfg_of(cfg: &ArmciCfg) -> armci_netfab::SessionCfg {
+    armci_netfab::SessionCfg {
+        recovery: cfg.recovery,
+        heartbeat_interval: cfg.heartbeat_interval,
+        suspect_after: cfg.suspect_after,
+        replay_window: cfg.replay_window,
     }
 }
 
@@ -431,7 +445,7 @@ where
     let topo = Topology::new(cfg.nodes, cfg.procs_per_node);
     let nnodes = topo.nnodes();
     if nnodes == 1 {
-        let fabrics = NodeFabric::loopback_with(&topo, false, cfg.faults.clone());
+        let fabrics = NodeFabric::loopback_cfg(&topo, false, cfg.faults.clone(), session_cfg_of(&cfg));
         return match fabrics {
             Ok(mut fabrics) => (run_cluster_net(cfg, fabrics.pop().unwrap(), f), Ok(())),
             Err(e) => (Vec::new(), Err(ArmciError::Boot { detail: format!("loopback fabric: {e}") })),

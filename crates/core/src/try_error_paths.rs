@@ -1,0 +1,225 @@
+//! Unit tests for every `try_*` error path — no process spawning, no
+//! real network, not even the threaded emulator: an [`Armci`] handle is
+//! built directly over a stub [`MailboxBackend`] scripted to behave like
+//! a transport that is silent (→ [`ArmciError::Timeout`]), has declared
+//! a peer dead (→ [`ArmciError::PeerLost`]), or has collapsed entirely
+//! (→ [`ArmciError::TransportDown`]).
+//!
+//! This pins the *mapping* layer: whatever the transport reports, the
+//! fallible API must surface the corresponding typed error — from every
+//! blocking operation — rather than hang, panic, or mislabel it.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use armci_transport::{
+    Body, BodyPool, Endpoint, LatencyModel, Mailbox, MailboxBackend, MemoryRegistry, Msg, NodeId, ProcId, RecvError,
+    SegId, Tag, Topology, WireCounters,
+};
+
+use crate::armci::{Armci, LockId};
+use crate::config::{AckMode, LockAlgo};
+use crate::errors::ArmciError;
+use crate::gptr::GlobalAddr;
+use crate::layout;
+use crate::msg::RmwOp;
+
+/// How the stub transport misbehaves.
+#[derive(Clone, Copy)]
+enum StubMode {
+    /// Accepts sends, never delivers anything: every wait runs out its
+    /// deadline.
+    Silent,
+    /// As `Silent`, but reports this node as dead: waits must cut short
+    /// with `PeerLost` instead of running to the deadline.
+    LostPeer(NodeId),
+    /// The receive channel itself is gone (all senders dropped): every
+    /// wait fails immediately with the transport-down signature.
+    Dead,
+}
+
+struct StubBackend {
+    me: Endpoint,
+    topo: Topology,
+    latency: LatencyModel,
+    mode: StubMode,
+}
+
+impl MailboxBackend for StubBackend {
+    fn me(&self) -> Endpoint {
+        self.me
+    }
+    fn topology(&self) -> &Topology {
+        &self.topo
+    }
+    fn latency_model(&self) -> &LatencyModel {
+        &self.latency
+    }
+    fn send(&mut self, _dst: Endpoint, _tag: Tag, _body: Body) {
+        // Dropped on the floor: nothing ever answers.
+    }
+    fn recv_raw(&mut self) -> Result<Msg, RecvError> {
+        panic!("try_* paths must always wait with a deadline, never block indefinitely");
+    }
+    fn try_recv_raw(&mut self) -> Result<Option<Msg>, RecvError> {
+        match self.mode {
+            StubMode::Dead => Err(RecvError),
+            _ => Ok(None),
+        }
+    }
+    fn recv_deadline_raw(&mut self, deadline: Instant) -> Result<Option<Msg>, RecvError> {
+        match self.mode {
+            StubMode::Dead => Err(RecvError),
+            _ => {
+                let now = Instant::now();
+                if deadline > now {
+                    std::thread::sleep(deadline - now);
+                }
+                Ok(None)
+            }
+        }
+    }
+    fn wire_counters(&self) -> WireCounters {
+        WireCounters::default()
+    }
+    fn lost_peers(&self) -> Vec<NodeId> {
+        match self.mode {
+            StubMode::LostPeer(n) => vec![n],
+            _ => Vec::new(),
+        }
+    }
+    fn peer_is_lost(&self, node: NodeId) -> bool {
+        matches!(self.mode, StubMode::LostPeer(n) if n == node)
+    }
+}
+
+const LOCKS_PER_PROC: u32 = 8;
+
+/// Rank 0 of a 2-node cluster whose only link is the scripted stub.
+/// Short deadline and detection slice keep the Timeout tests quick.
+fn stub_armci(mode: StubMode) -> Armci {
+    let topo = Topology::new(2, 1);
+    let me = ProcId(0);
+    let registry = Arc::new(MemoryRegistry::new(topo.nprocs()));
+    for r in 0..topo.nprocs() {
+        registry.register(ProcId(r as u32), layout::sync_segment_len(LOCKS_PER_PROC));
+    }
+    let my_sync = registry.lookup(me, SegId(0));
+    let mb = Mailbox::from_backend(Box::new(StubBackend {
+        me: Endpoint::Proc(me),
+        topo: topo.clone(),
+        latency: LatencyModel::zero(),
+        mode,
+    }));
+    let nprocs = topo.nprocs();
+    let nnodes = topo.nnodes();
+    Armci {
+        me,
+        my_node: topo.node_of(me),
+        mb,
+        registry,
+        ack_mode: AckMode::Gm,
+        lock_algo: LockAlgo::Hybrid,
+        locks_per_proc: LOCKS_PER_PROC,
+        nic_assist: false,
+        my_sync,
+        op_init: vec![0; nprocs],
+        unfenced: vec![0; nnodes],
+        unfenced_nic: vec![0; nnodes],
+        unacked: vec![0; nnodes],
+        epoch: 0,
+        mcs_held: None,
+        mcs_pair_held: None,
+        nbget_issued: vec![0; nnodes],
+        nbget_completed: vec![0; nnodes],
+        lock_alloc: vec![0; nprocs],
+        stats: Default::default(),
+        encode_pool: BodyPool::new(8),
+        op_timeout: Duration::from_millis(40),
+        detect_slice: Duration::from_millis(5),
+        recovery: false,
+    }
+}
+
+fn remote_addr() -> GlobalAddr {
+    GlobalAddr::new(ProcId(1), SegId(0), 0)
+}
+
+fn remote_lock() -> LockId {
+    LockId { owner: ProcId(1), idx: 0 }
+}
+
+/// Drive every blocking `try_*` operation once against a fresh handle in
+/// `mode`, handing each result to `check`.
+fn for_each_blocking_op(mode: StubMode, check: impl Fn(&'static str, Result<(), ArmciError>)) {
+    check("get", stub_armci(mode).try_get(remote_addr(), &mut [0u8; 8]).map(|_| ()));
+    check("rmw", stub_armci(mode).try_rmw(remote_addr(), RmwOp::FetchAddU64(1)).map(|_| ()));
+    check("lock", stub_armci(mode).try_lock(remote_lock()));
+    check("lock_mcs", {
+        let mut a = stub_armci(mode);
+        a.lock_algo = LockAlgo::Mcs;
+        a.try_lock(remote_lock())
+    });
+    check("barrier", stub_armci(mode).try_barrier());
+    // A counted put must be outstanding or the fence is a no-op; the put
+    // itself may already refuse if the transport knows the peer is dead,
+    // and that refusal is the operation's verdict in that mode.
+    check("fence", {
+        let mut a = stub_armci(mode);
+        a.try_put(remote_addr(), &7u64.to_le_bytes()).and_then(|()| a.try_fence(ProcId(1)))
+    });
+    check("allfence", {
+        let mut a = stub_armci(mode);
+        a.try_put(remote_addr(), &7u64.to_le_bytes()).and_then(|()| a.try_allfence())
+    });
+}
+
+#[test]
+fn silent_transport_times_out_every_blocking_op() {
+    for_each_blocking_op(StubMode::Silent, |op, r| {
+        assert!(matches!(r, Err(ArmciError::Timeout { .. })), "{op}: expected Timeout, got {r:?}");
+    });
+}
+
+#[test]
+fn lost_peer_surfaces_peer_lost_from_every_blocking_op() {
+    for_each_blocking_op(StubMode::LostPeer(NodeId(1)), |op, r| {
+        assert!(
+            matches!(r, Err(ArmciError::PeerLost { peer: NodeId(1) })),
+            "{op}: expected PeerLost(node 1), got {r:?}"
+        );
+    });
+}
+
+#[test]
+fn dead_channel_surfaces_transport_down_from_every_blocking_op() {
+    for_each_blocking_op(StubMode::Dead, |op, r| {
+        assert!(matches!(r, Err(ArmciError::TransportDown { .. })), "{op}: expected TransportDown, got {r:?}");
+    });
+}
+
+/// Peer death must beat the deadline: detection latency is bounded by
+/// `detect_slice`, not by `op_timeout` (the wait is sliced precisely so
+/// a dead peer surfaces promptly even under a generous deadline).
+#[test]
+fn peer_lost_preempts_a_generous_deadline() {
+    let mut a = stub_armci(StubMode::LostPeer(NodeId(1)));
+    a.op_timeout = Duration::from_secs(60);
+    let t = Instant::now();
+    let r = a.try_barrier();
+    let elapsed = t.elapsed();
+    assert!(matches!(r, Err(ArmciError::PeerLost { peer: NodeId(1) })), "got {r:?}");
+    assert!(elapsed < Duration::from_secs(5), "detection took {elapsed:?}, should be ~detect_slice");
+}
+
+/// The timeout error must name the operation that ran out of budget —
+/// that string is the only clue in a soak log.
+#[test]
+fn timeout_errors_name_the_operation() {
+    let r = stub_armci(StubMode::Silent).try_barrier();
+    assert!(matches!(r, Err(ArmciError::Timeout { op: "barrier" })), "got {r:?}");
+    let r = stub_armci(StubMode::Silent).try_get(remote_addr(), &mut [0u8; 8]);
+    assert!(matches!(r, Err(ArmciError::Timeout { op: "get" })), "got {r:?}");
+    let r = stub_armci(StubMode::Silent).try_lock(remote_lock());
+    assert!(matches!(r, Err(ArmciError::Timeout { op: "lock" })), "got {r:?}");
+}

@@ -1,0 +1,92 @@
+//! Property-based tests of the fault-plan and session-config codecs.
+//!
+//! Fault schedules and recovery knobs cross a process boundary in the
+//! spawned-node launch payload; a lossy encoding would make a chaos run
+//! unreproducible (the child would enact a different schedule than the
+//! seed dictates) or silently drop a recovery setting. Arbitrary values
+//! must round-trip bit-exactly through the vendored serde.
+
+use std::time::Duration;
+
+use armci_core::{ArmciCfg, FaultAction, FaultPlan, FaultSpec};
+use armci_transport::LatencyModel;
+use proptest::prelude::*;
+
+fn arb_action() -> impl Strategy<Value = FaultAction> {
+    prop_oneof![
+        Just(FaultAction::ResetConn),
+        Just(FaultAction::TruncateFrame),
+        any::<u64>().prop_map(|millis| FaultAction::StallWriter { millis }),
+        any::<u32>().prop_map(|times| FaultAction::DialFail { times }),
+        Just(FaultAction::KillNode),
+    ]
+}
+
+fn arb_spec() -> impl Strategy<Value = FaultSpec> {
+    (0u32..64, 0u32..64, any::<u64>(), arb_action()).prop_map(|(node, peer, after_frames, action)| FaultSpec {
+        node,
+        peer,
+        after_frames,
+        action,
+    })
+}
+
+fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+    proptest::collection::vec(arb_spec(), 0..24).prop_map(|entries| FaultPlan { entries })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn any_fault_plan_roundtrips(plan in arb_plan()) {
+        let json = serde::to_string(&plan);
+        let back: FaultPlan = serde::from_str(&json).unwrap();
+        prop_assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn any_fault_spec_roundtrips(spec in arb_spec()) {
+        let json = serde::to_string(&spec);
+        let back: FaultSpec = serde::from_str(&json).unwrap();
+        prop_assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn any_fault_action_roundtrips(action in arb_action()) {
+        let json = serde::to_string(&action);
+        let back: FaultAction = serde::from_str(&json).unwrap();
+        prop_assert_eq!(back, action);
+    }
+
+    /// The session-recovery knobs ride the same launch payload as the
+    /// fault plan; every combination must survive the trip, and the
+    /// re-serialized payload must be byte-identical (the chaos harness
+    /// compares schedules on their encoded form).
+    #[test]
+    fn session_cfg_fields_roundtrip_through_launch_payload(
+        recovery in any::<bool>(),
+        heartbeat_us in 1u64..10_000_000,
+        suspect_us in 1u64..100_000_000,
+        detect_us in 1u64..1_000_000,
+        replay_window in 1usize..1 << 20,
+        plan in arb_plan(),
+    ) {
+        let cfg = ArmciCfg::flat(2, LatencyModel::zero())
+            .with_recovery(recovery)
+            .with_heartbeat_interval(Duration::from_micros(heartbeat_us))
+            .with_suspect_after(Duration::from_micros(suspect_us))
+            .with_detect_slice(Duration::from_micros(detect_us))
+            .with_replay_window(replay_window)
+            .with_faults(plan.clone());
+        let json = serde::to_string(&cfg);
+        let back: ArmciCfg = serde::from_str(&json).unwrap();
+        prop_assert_eq!(back.recovery, recovery);
+        prop_assert_eq!(back.heartbeat_interval, Duration::from_micros(heartbeat_us));
+        prop_assert_eq!(back.suspect_after, Duration::from_micros(suspect_us));
+        prop_assert_eq!(back.detect_slice, Duration::from_micros(detect_us));
+        prop_assert_eq!(back.replay_window, replay_window);
+        prop_assert_eq!(back.faults, plan);
+        prop_assert_eq!(serde::to_string(&back), json);
+    }
+}

@@ -18,6 +18,14 @@
 //!   buffers and demuxes them by the header's destination endpoint into
 //!   the per-endpoint inboxes.
 //!
+//! Every peer link is owned by a [`Session`] (see [`crate::session`]).
+//! With recovery off (the default) a session is a thin wrapper over the
+//! boot-time stream: connection errors are terminal and teardown is
+//! EOF-driven exactly as before. With recovery on, the writer doubles as
+//! the failure detector (idle heartbeats, staleness checks, reconnect
+//! driving) and the reader deduplicates replayed frames by sequence
+//! number, so a transient connection loss is invisible above the fabric.
+//!
 //! Teardown is EOF-driven: when a node drops its fabric (all mailboxes
 //! already returned), the writer channels disconnect, each writer drains,
 //! flushes, and shuts down the socket's write half; the peer's reader
@@ -26,8 +34,8 @@
 
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -39,6 +47,7 @@ use crossbeam_channel::{Receiver, Sender};
 
 use crate::boot::{self, BootOpts, Mesh};
 use crate::fault::{FaultAction, FaultPlan, FaultSpec};
+use crate::session::{self, Session, SessionCfg, SESS_CLOSED, SESS_SUSPECT, SESS_UP};
 use crate::wire;
 
 /// Options for building a [`NodeFabric`].
@@ -61,6 +70,8 @@ pub struct NetOpts {
     /// Bootstrap timeouts and retry policy (dial faults from `faults` are
     /// merged in by [`NodeFabric::bootstrap`]).
     pub boot: BootOpts,
+    /// Session-layer recovery knobs (see [`SessionCfg`]). Off by default.
+    pub session: SessionCfg,
 }
 
 impl Default for NetOpts {
@@ -71,53 +82,34 @@ impl Default for NetOpts {
             faults: FaultPlan::new(),
             process_faults: false,
             boot: BootOpts::default(),
+            session: SessionCfg::default(),
         }
     }
 }
 
-/// Per-peer connection states, shared by this node's reader and writer
-/// threads and its endpoint mailboxes.
-type PeerStates = Arc<Vec<AtomicU8>>;
-
-/// Connection healthy.
-const PEER_UP: u8 = 0;
-/// Peer closed its write half cleanly (EOF at a frame boundary). During
-/// a run this still means the peer is gone — clean closes only happen in
-/// teardown, after every blocking wait has completed.
-const PEER_CLOSED: u8 = 1;
-/// Connection died mid-stream: reset, mid-frame EOF, or a write error.
-const PEER_POISONED: u8 = 2;
-
-/// Record a peer transition, never downgrading (a poisoned peer stays
-/// poisoned even if another thread later observes a clean close).
-fn mark_peer(states: &PeerStates, peer: usize, state: u8) {
-    states[peer].fetch_max(state, Ordering::AcqRel);
-}
-
 /// Shared trigger for [`FaultAction::KillNode`]: aborts the process in
-/// spawned mode, or severs every peer link at once in loopback mode.
+/// spawned mode, or declares this node dead and severs every peer
+/// session at once in loopback mode.
 struct KillSwitch {
-    /// Duplicated handles of every peer stream (populated only when the
-    /// node's plan contains a kill), so one writer can cut all links.
-    streams: Mutex<Vec<TcpStream>>,
+    /// Every peer session of this node, so one writer can cut all links.
+    sessions: Vec<Arc<Session>>,
+    /// Loopback-mode "this whole node is dead" flag, reported by the
+    /// node's own mailboxes and consulted by the reconnect accept loop.
+    node_dead: Arc<AtomicBool>,
     /// Abort the OS process instead of soft-killing (spawned mode).
     process_kill: bool,
 }
 
 impl KillSwitch {
-    fn fire(&self, states: &PeerStates) {
+    fn fire(&self) {
         if self.process_kill {
             // Equivalent to an external `kill -9`: no flushes, no
             // destructors; the kernel closes the sockets.
             std::process::abort();
         }
-        for s in states.iter() {
-            s.fetch_max(PEER_POISONED, Ordering::AcqRel);
-        }
-        if let Ok(streams) = self.streams.lock() {
-            for s in streams.iter() {
-                let _ = s.shutdown(Shutdown::Both);
-            }
+        self.node_dead.store(true, Ordering::Release);
+        for s in &self.sessions {
+            s.mark_dead();
         }
     }
 }
@@ -148,9 +140,10 @@ struct NodeShared {
     wire_msgs: Vec<AtomicU64>,
     wire_bytes: Vec<AtomicU64>,
     trace: Option<Arc<Trace>>,
-    /// Health of the connection to each peer node (our own slot stays
-    /// [`PEER_UP`] unless a soft kill marked the whole node dead).
-    peer_state: PeerStates,
+    /// Per-peer sessions, indexed by peer node; `None` at our index.
+    sessions: Vec<Option<Arc<Session>>>,
+    /// Set by a soft [`FaultAction::KillNode`]: this node itself is gone.
+    node_dead: Arc<AtomicBool>,
 }
 
 /// The TCP implementation of [`MailboxBackend`].
@@ -222,29 +215,49 @@ impl MailboxBackend for NetMailbox {
     }
 
     fn lost_peers(&self) -> Vec<NodeId> {
-        self.shared
-            .peer_state
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.load(Ordering::Acquire) != PEER_UP)
-            .map(|(i, _)| NodeId(i as u32))
+        let sh = &self.shared;
+        (0..sh.topo.nnodes())
+            .filter(|&i| {
+                if i == sh.node.idx() {
+                    sh.node_dead.load(Ordering::Acquire)
+                } else {
+                    sh.sessions[i].as_ref().is_some_and(|s| s.is_terminal())
+                }
+            })
+            .map(|i| NodeId(i as u32))
             .collect()
     }
 
     fn peer_is_lost(&self, node: NodeId) -> bool {
-        self.shared.peer_state[node.idx()].load(Ordering::Acquire) != PEER_UP
+        let sh = &self.shared;
+        if node == sh.node {
+            return sh.node_dead.load(Ordering::Acquire);
+        }
+        sh.sessions[node.idx()].as_ref().is_some_and(|s| s.is_terminal())
+    }
+
+    fn suspect_peers(&self) -> Vec<NodeId> {
+        let sh = &self.shared;
+        (0..sh.topo.nnodes())
+            .filter(|&i| sh.sessions[i].as_ref().is_some_and(|s| s.state() == SESS_SUSPECT))
+            .map(|i| NodeId(i as u32))
+            .collect()
     }
 }
 
-/// Everything one writer thread needs besides its channel and socket.
+/// Everything one writer thread needs besides its channel and session.
 struct WriterCtx {
-    /// Index of the peer node this writer's socket connects to.
-    peer: usize,
+    /// This node's id (decides which side dials on reconnect).
+    node: u32,
     coalesce: usize,
     /// Scripted faults targeting this connection, each consumed once.
     faults: Vec<Option<FaultSpec>>,
-    peer_state: PeerStates,
     kill: Arc<KillSwitch>,
+    /// Session/recovery knobs for this fabric.
+    session: SessionCfg,
+    /// The peer's boot-listener address, dialed on reconnect (empty when
+    /// unknown, e.g. single-node runs).
+    peer_addr: String,
 }
 
 impl WriterCtx {
@@ -254,105 +267,469 @@ impl WriterCtx {
     }
 }
 
-fn writer_loop(rx: Receiver<WireMsg>, stream: TcpStream, mut ctx: WriterCtx) {
-    let mut w = BufWriter::with_capacity(64 * 1024, stream);
+/// What happened to one outgoing frame.
+enum SendOutcome {
+    /// Written to the (buffered) stream.
+    Sent,
+    /// The session is terminal; the writer must exit.
+    Terminal,
+    /// The write failed or no stream is attached. The frame is already in
+    /// the replay ring, so recovery covers it — do not resend by hand.
+    NeedRecovery,
+}
+
+/// Control flow after enacting a scripted fault.
+enum FaultFlow {
+    Continue,
+    Exit,
+}
+
+/// One round of the reconnect loop.
+enum StepOutcome {
+    /// Made an attempt (or waited); re-check the session state.
+    Again,
+    /// The session went terminal.
+    Terminal,
+}
+
+/// Encode and transmit one message: assign a session sequence, ring the
+/// encoded frame for replay (recovery mode), and write preamble + frame.
+fn send_frame(sess: &Session, ctx: &WriterCtx, w: &mut Option<BufWriter<TcpStream>>, m: &WireMsg) -> SendOutcome {
+    let mut buf = Vec::with_capacity(wire::HEADER_LEN + m.body.len());
+    if wire::write_frame(&mut buf, m.dst, m.src, m.tag, &m.body).is_err() {
+        // Writing into a Vec cannot fail; bail out instead of unwrapping.
+        return SendOutcome::Terminal;
+    }
+    let encoded = Arc::new(buf);
+    let Some(seq) = sess.enqueue(&ctx.session, encoded.clone()) else {
+        return SendOutcome::Terminal;
+    };
+    let Some(out) = w.as_mut() else {
+        return SendOutcome::NeedRecovery;
+    };
+    let ack = sess.recv_cursor.load(Ordering::Acquire);
+    if wire::write_preamble(out, wire::Preamble::Data { seq, ack }).and_then(|()| out.write_all(&encoded)).is_err() {
+        return SendOutcome::NeedRecovery;
+    }
+    SendOutcome::Sent
+}
+
+/// Replay every unacked ring frame over a freshly attached stream, each
+/// under a preamble carrying the current delivered cursor.
+fn replay(sess: &Session, out: &mut BufWriter<TcpStream>) -> std::io::Result<()> {
+    for (seq, bytes) in sess.unacked() {
+        let ack = sess.recv_cursor.load(Ordering::Acquire);
+        wire::write_preamble(out, wire::Preamble::Data { seq, ack })?;
+        out.write_all(&bytes)?;
+    }
+    out.flush()
+}
+
+/// React to a failed write: without recovery the peer is dead (the old
+/// poisoning semantics); with recovery, drop to suspect and drive the
+/// session back to health. Returns false when the writer must exit.
+fn handle_write_error(sess: &Session, ctx: &WriterCtx, gen: &mut u64, w: &mut Option<BufWriter<TcpStream>>) -> bool {
+    *w = None;
+    if !ctx.session.recovery {
+        sess.mark_dead();
+        return false;
+    }
+    if !sess.mark_suspect(*gen) {
+        return false;
+    }
+    writer_health_check(sess, ctx, gen, w)
+}
+
+/// Drive the session to a writable state: attach a freshly installed
+/// stream (replaying unacked frames over it), dial the peer while
+/// suspect, and enforce the silence/suspect deadlines. Returns false when
+/// the session is terminal and the writer must exit.
+fn writer_health_check(sess: &Session, ctx: &WriterCtx, gen: &mut u64, w: &mut Option<BufWriter<TcpStream>>) -> bool {
+    loop {
+        let state = sess.state();
+        if state >= SESS_CLOSED {
+            return false;
+        }
+        if state == SESS_UP {
+            if let Some(s) = sess.fresh_stream(gen) {
+                let mut out = BufWriter::with_capacity(64 * 1024, s);
+                if replay(sess, &mut out).is_ok() {
+                    *w = Some(out);
+                } else {
+                    *w = None;
+                    if !sess.mark_suspect(*gen) {
+                        return false;
+                    }
+                    continue;
+                }
+            }
+            if w.is_none() {
+                // UP but we hold no stream (e.g. raced a reinstall whose
+                // generation we already consumed and then lost): demand a
+                // reconnect round.
+                if !sess.mark_suspect(*gen) {
+                    return false;
+                }
+                continue;
+            }
+            if sess.silent_for() > ctx.session.suspect_after {
+                // TCP says up but the peer has been silent past the
+                // budget (it would have heartbeat if alive): declare it.
+                sess.mark_dead();
+                return false;
+            }
+            return true;
+        }
+        // SESS_SUSPECT: run one reconnect round.
+        match reconnect_step(sess, ctx) {
+            StepOutcome::Terminal => return false,
+            StepOutcome::Again => {}
+        }
+    }
+}
+
+/// One reconnect round for a suspect session. The higher-numbered node
+/// dials the lower one's retained boot listener; the lower side parks
+/// until its accept loop installs the replacement stream. Either side
+/// declares the peer dead once the suspect deadline passes, and an
+/// explicit rejection by the peer (it knows the session is dead) is
+/// terminal immediately.
+fn reconnect_step(sess: &Session, ctx: &WriterCtx) -> StepOutcome {
+    let Some(deadline) = sess.suspect_deadline(&ctx.session) else {
+        // Raced a concurrent install; re-check the state.
+        return StepOutcome::Again;
+    };
+    if Instant::now() >= deadline {
+        sess.mark_dead();
+        return StepOutcome::Terminal;
+    }
+    if (ctx.node as usize) > sess.peer && !ctx.peer_addr.is_empty() {
+        let cursor = sess.recv_cursor.load(Ordering::Acquire);
+        match session::reconnect_dial(&ctx.peer_addr, ctx.node, cursor, deadline) {
+            Ok((s, peer_cursor)) => {
+                if !sess.install_stream(s, peer_cursor) {
+                    return StepOutcome::Terminal;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::ConnectionAborted => {
+                sess.mark_dead();
+                return StepOutcome::Terminal;
+            }
+            Err(_) => {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                std::thread::sleep(remaining.min(Duration::from_millis(20)));
+            }
+        }
+    } else {
+        sess.wait_briefly(Duration::from_millis(20));
+    }
+    StepOutcome::Again
+}
+
+/// Enact one scripted fault. `gen` is the writer's cached stream
+/// generation (so recovery-mode faults report the stream they severed).
+fn enact_fault(
+    f: FaultSpec,
+    sess: &Session,
+    ctx: &WriterCtx,
+    gen: u64,
+    w: &mut Option<BufWriter<TcpStream>>,
+    m: &WireMsg,
+) -> FaultFlow {
+    match f.action {
+        FaultAction::StallWriter { millis } => {
+            std::thread::sleep(Duration::from_millis(millis));
+            FaultFlow::Continue
+        }
+        FaultAction::ResetConn => {
+            // Abrupt: queued frames are lost, no half-close courtesy —
+            // the peer sees the stream die at whatever point the last
+            // flush reached.
+            if let Some(out) = w.take() {
+                let _ = out.get_ref().shutdown(Shutdown::Both);
+            }
+            if ctx.session.recovery {
+                sess.mark_suspect(gen);
+                FaultFlow::Continue
+            } else {
+                sess.mark_dead();
+                FaultFlow::Exit
+            }
+        }
+        FaultAction::TruncateFrame => {
+            // Flush a preamble and half a header then die: the peer's
+            // reader observes EOF mid-frame, a crashed-writer signature
+            // that must decode as an error, not as clean teardown.
+            if let Some(out) = w.as_mut() {
+                let mut frame = Vec::new();
+                let _ = wire::write_preamble(&mut frame, wire::Preamble::Data { seq: 0, ack: 0 });
+                let _ = wire::write_frame(&mut frame, m.dst, m.src, m.tag, &m.body);
+                let cut = (wire::PREAMBLE_LEN + wire::HEADER_LEN / 2).min(frame.len());
+                let _ = out.write_all(&frame[..cut]);
+                let _ = out.flush();
+                let _ = out.get_ref().shutdown(Shutdown::Both);
+            }
+            *w = None;
+            if ctx.session.recovery {
+                sess.mark_suspect(gen);
+                FaultFlow::Continue
+            } else {
+                sess.mark_dead();
+                FaultFlow::Exit
+            }
+        }
+        FaultAction::KillNode => {
+            ctx.kill.fire();
+            FaultFlow::Exit
+        }
+        // Boot-path only; filtered out of wire fault lists.
+        FaultAction::DialFail { .. } => FaultFlow::Continue,
+    }
+}
+
+#[deny(clippy::unwrap_used, clippy::expect_used)] // IO thread: every failure must become a session transition
+fn writer_loop(rx: Receiver<WireMsg>, sess: Arc<Session>, mut ctx: WriterCtx) {
+    let mut gen: u64 = 0;
+    let mut w: Option<BufWriter<TcpStream>> =
+        sess.fresh_stream(&mut gen).map(|s| BufWriter::with_capacity(64 * 1024, s));
     let mut sent: u64 = 0;
-    'conn: while let Ok(first) = rx.recv() {
+    'run: loop {
+        // In recovery mode the blocking receive doubles as the heartbeat
+        // clock: a timeout tick probes the idle link and re-checks health.
+        let msg = if ctx.session.recovery {
+            match rx.recv_timeout(ctx.session.heartbeat_interval) {
+                Ok(m) => Some(m),
+                Err(crossbeam_channel::RecvTimeoutError::Timeout) => None,
+                Err(crossbeam_channel::RecvTimeoutError::Disconnected) => break 'run,
+            }
+        } else {
+            match rx.recv() {
+                Ok(m) => Some(m),
+                Err(_) => break 'run,
+            }
+        };
+        if sess.is_terminal() {
+            break 'run;
+        }
+        if ctx.session.recovery && !writer_health_check(&sess, &ctx, &mut gen, &mut w) {
+            break 'run;
+        }
+        let Some(first) = msg else {
+            // Idle heartbeat: a bare ack both proves our liveness and
+            // advances the peer's replay-ring pruning.
+            let hb_failed = match w.as_mut() {
+                Some(out) => {
+                    let ack = sess.recv_cursor.load(Ordering::Acquire);
+                    wire::write_preamble(out, wire::Preamble::Ack { ack }).and_then(|()| out.flush()).is_err()
+                }
+                None => false,
+            };
+            if hb_failed && !handle_write_error(&sess, &ctx, &mut gen, &mut w) {
+                break 'run;
+            }
+            continue 'run;
+        };
         let mut m = first;
         let mut batched = 0;
-        loop {
+        'batch: loop {
             // Scripted faults fire just before the frame that would take
             // the per-connection count past `after_frames`.
             while let Some(f) = ctx.due_fault(sent) {
-                match f.action {
-                    FaultAction::StallWriter { millis } => std::thread::sleep(Duration::from_millis(millis)),
-                    FaultAction::ResetConn => {
-                        // Abrupt: queued frames are lost, no half-close
-                        // courtesy — the peer sees the stream die at
-                        // whatever point the last flush reached.
-                        mark_peer(&ctx.peer_state, ctx.peer, PEER_POISONED);
-                        let _ = w.get_ref().shutdown(Shutdown::Both);
-                        return;
-                    }
-                    FaultAction::TruncateFrame => {
-                        // Flush half a header then die: the peer's reader
-                        // observes EOF mid-frame, a crashed-writer
-                        // signature that must decode as an error, not as
-                        // clean teardown.
-                        mark_peer(&ctx.peer_state, ctx.peer, PEER_POISONED);
-                        let mut frame = Vec::new();
-                        let _ = wire::write_frame(&mut frame, m.dst, m.src, m.tag, &m.body);
-                        let cut = (wire::HEADER_LEN / 2).min(frame.len());
-                        let _ = w.write_all(&frame[..cut]);
-                        let _ = w.flush();
-                        let _ = w.get_ref().shutdown(Shutdown::Both);
-                        return;
-                    }
-                    FaultAction::KillNode => {
-                        ctx.kill.fire(&ctx.peer_state);
-                        return;
-                    }
-                    // Boot-path only; filtered out of wire fault lists.
-                    FaultAction::DialFail { .. } => {}
+                match enact_fault(f, &sess, &ctx, gen, &mut w, &m) {
+                    FaultFlow::Continue => {}
+                    FaultFlow::Exit => break 'run,
                 }
             }
-            if wire::write_frame(&mut w, m.dst, m.src, m.tag, &m.body).is_err() {
-                // Peer gone mid-run; poison so blocked waiters error out
-                // instead of waiting for replies that can never come.
-                mark_peer(&ctx.peer_state, ctx.peer, PEER_POISONED);
-                break 'conn; // sends are fire-and-forget
+            if sess.is_terminal() {
+                break 'run;
             }
-            sent += 1;
-            batched += 1;
+            match send_frame(&sess, &ctx, &mut w, &m) {
+                SendOutcome::Sent => {
+                    sent += 1;
+                    batched += 1;
+                }
+                SendOutcome::Terminal => break 'run,
+                SendOutcome::NeedRecovery => {
+                    // The frame is ringed; a successful recovery replays
+                    // it, so fall out of the batch without resending.
+                    if handle_write_error(&sess, &ctx, &mut gen, &mut w) {
+                        break 'batch;
+                    }
+                    break 'run;
+                }
+            }
             if batched >= ctx.coalesce {
-                break;
+                break 'batch;
             }
             match rx.try_recv() {
                 Ok(next) => m = next,
-                Err(_) => break,
+                Err(_) => break 'batch,
             }
         }
-        if w.flush().is_err() {
-            mark_peer(&ctx.peer_state, ctx.peer, PEER_POISONED);
-            break;
+        let flush_failed = w.as_mut().is_some_and(|out| out.flush().is_err());
+        if flush_failed && !handle_write_error(&sess, &ctx, &mut gen, &mut w) {
+            break 'run;
         }
     }
-    // Channel disconnected (fabric dropped) after draining everything
-    // buffered: flush and half-close so the peer's reader sees clean EOF.
-    let _ = w.flush();
-    let _ = w.get_ref().shutdown(Shutdown::Write);
+    // Channel disconnected (fabric dropped) or session terminal. On the
+    // clean-teardown path flush and half-close so the peer's reader sees
+    // clean EOF; on terminal paths the session already shut the stream.
+    if sess.state() == SESS_UP {
+        if let Some(out) = w.as_mut() {
+            let _ = out.flush();
+            let _ = out.get_ref().shutdown(Shutdown::Write);
+        }
+    }
+    sess.begin_teardown();
 }
 
-fn reader_loop(
-    stream: TcpStream,
-    topo: Topology,
-    local_txs: Vec<Option<Sender<Msg>>>,
-    peer: usize,
-    peer_state: PeerStates,
-) {
+/// One decoded unit off the stream: a session preamble, plus the data
+/// frame it announced (absent for bare-ack transmissions). `Ok(None)` is
+/// clean EOF at a transmission boundary.
+fn read_transmission(
+    r: &mut BufReader<TcpStream>,
+    topo: &Topology,
+    pool: &mut BodyPool,
+) -> std::io::Result<Option<(wire::Preamble, Option<wire::Frame>)>> {
+    let Some(p) = wire::read_preamble(r)? else {
+        return Ok(None);
+    };
+    match p {
+        wire::Preamble::Ack { .. } => Ok(Some((p, None))),
+        wire::Preamble::Data { .. } => match wire::read_frame(r, topo, pool)? {
+            Some(f) => Ok(Some((p, Some(f)))),
+            None => {
+                Err(std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "connection closed after data preamble"))
+            }
+        },
+    }
+}
+
+/// Park until a replacement stream is installed (reattaching the reader
+/// to it), or the session goes terminal / teardown starts.
+fn reader_recover(sess: &Session, gen: &mut u64, r: &mut BufReader<TcpStream>) -> bool {
+    if !sess.mark_suspect(*gen) {
+        return false;
+    }
+    match sess.wait_for_stream(gen, Duration::from_millis(50)) {
+        Some(s) => {
+            *r = BufReader::with_capacity(64 * 1024, s);
+            true
+        }
+        None => false,
+    }
+}
+
+#[deny(clippy::unwrap_used, clippy::expect_used)] // IO thread: every failure must become a session transition
+fn reader_loop(sess: Arc<Session>, topo: Topology, local_txs: Vec<Option<Sender<Msg>>>, recovery: bool) {
+    let mut gen: u64 = 0;
+    let Some(stream) = sess.fresh_stream(&mut gen) else {
+        sess.mark_dead();
+        return;
+    };
     let mut r = BufReader::with_capacity(64 * 1024, stream);
     let mut pool = BodyPool::new(8);
-    // Runs until clean EOF (the peer tore down after flushing) or a read
-    // error. Either way the peer is recorded as gone — clean EOF during a
-    // run means the peer process died at a frame boundary (e.g. SIGKILL,
-    // whose kernel-side close looks identical to teardown) — and the
-    // resulting inbox disconnect is how endpoints waiting without a
-    // deadline observe the end of the connection.
+    // Runs until the session goes terminal. Without recovery: clean EOF
+    // means the peer tore down (or died at a frame boundary — e.g.
+    // SIGKILL, whose kernel-side close looks identical) and any error
+    // poisons the peer. With recovery: both cases drop to suspect and the
+    // reader parks until a replacement stream is installed; sequence
+    // numbers in the preambles deduplicate whatever the peer replays.
     loop {
-        match wire::read_frame(&mut r, &topo, &mut pool) {
-            Ok(Some(f)) => {
-                if let Some(tx) = &local_txs[endpoint_index(&topo, f.dst)] {
-                    let _ = tx.send(Msg { src: f.src, tag: f.tag, body: f.body });
+        match read_transmission(&mut r, &topo, &mut pool) {
+            Ok(None) => {
+                if recovery {
+                    if !reader_recover(&sess, &mut gen, &mut r) {
+                        break;
+                    }
+                } else {
+                    sess.mark_closed();
+                    break;
                 }
             }
-            Ok(None) => {
-                mark_peer(&peer_state, peer, PEER_CLOSED);
-                break;
+            Ok(Some((wire::Preamble::Ack { ack }, _))) => {
+                if recovery {
+                    sess.note_heard(ack);
+                }
+            }
+            Ok(Some((wire::Preamble::Data { seq, ack }, frame))) => {
+                if recovery {
+                    sess.note_heard(ack);
+                    let cur = sess.recv_cursor.load(Ordering::Acquire);
+                    if seq <= cur {
+                        // Replayed duplicate: body consumed off the
+                        // stream, dropped before delivery.
+                        continue;
+                    }
+                    if seq != cur + 1 {
+                        // Sequence gap: the stream is desynchronized
+                        // (should be impossible over TCP; treat as a
+                        // connection fault).
+                        if !reader_recover(&sess, &mut gen, &mut r) {
+                            break;
+                        }
+                        continue;
+                    }
+                    sess.recv_cursor.store(seq, Ordering::Release);
+                }
+                if let Some(f) = frame {
+                    if let Some(tx) = &local_txs[endpoint_index(&topo, f.dst)] {
+                        let _ = tx.send(Msg { src: f.src, tag: f.tag, body: f.body });
+                    }
+                }
             }
             Err(_) => {
-                mark_peer(&peer_state, peer, PEER_POISONED);
-                break;
+                if recovery {
+                    if !reader_recover(&sess, &mut gen, &mut r) {
+                        break;
+                    }
+                } else {
+                    sess.mark_dead();
+                    break;
+                }
             }
+        }
+    }
+}
+
+/// The reconnect accept loop: owns the node's retained boot listener and
+/// installs replacement streams into suspect sessions when the (higher
+/// numbered) peer dials back. Spawned only with recovery enabled.
+#[deny(clippy::unwrap_used, clippy::expect_used)] // IO thread: every failure must become a session transition
+fn accept_loop(
+    listener: TcpListener,
+    sessions: Vec<Option<Arc<Session>>>,
+    node_dead: Arc<AtomicBool>,
+    shutdown: Arc<AtomicBool>,
+) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    while !shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((mut s, _)) => {
+                if s.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                let Ok(hello) = session::read_reconnect_hello(&mut s, Duration::from_secs(2)) else {
+                    continue;
+                };
+                let Some(sess) = sessions.get(hello.peer as usize).and_then(|o| o.as_ref()) else {
+                    continue;
+                };
+                if node_dead.load(Ordering::Acquire) || sess.is_terminal() {
+                    session::reject_reconnect(&mut s);
+                    continue;
+                }
+                let cursor = sess.recv_cursor.load(Ordering::Acquire);
+                if session::accept_reconnect(&mut s, cursor).is_ok() {
+                    sess.install_stream(s, hello.peer_cursor);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
         }
     }
 }
@@ -368,12 +745,14 @@ pub struct NodeFabric {
     /// Local endpoints' mailboxes by dense endpoint index.
     mailboxes: Vec<Option<Mailbox>>,
     io_threads: Vec<JoinHandle<()>>,
+    /// Stops the reconnect accept loop (no-op when none was spawned).
+    accept_shutdown: Arc<AtomicBool>,
 }
 
 impl NodeFabric {
     /// Wire a node over an established mesh.
     pub fn from_mesh(topo: Topology, mesh: Mesh, opts: NetOpts) -> std::io::Result<Self> {
-        let node = mesh.node;
+        let Mesh { node, streams, listener, addrs } = mesh;
         let n_endpoints = endpoint_count(&topo);
 
         let mut local_txs: Vec<Option<Sender<Msg>>> = (0..n_endpoints).map(|_| None).collect();
@@ -390,45 +769,63 @@ impl NodeFabric {
             local_rxs[i] = Some(rx);
         }
 
-        let peer_state: PeerStates = Arc::new((0..topo.nnodes()).map(|_| AtomicU8::new(PEER_UP)).collect());
+        let mut sessions: Vec<Option<Arc<Session>>> = (0..topo.nnodes()).map(|_| None).collect();
+        for (peer, stream) in streams.into_iter().enumerate() {
+            if let Some(stream) = stream {
+                sessions[peer] = Some(Session::new(peer, Some(stream)));
+            }
+        }
+        let node_dead = Arc::new(AtomicBool::new(false));
+        let kill = Arc::new(KillSwitch {
+            sessions: sessions.iter().flatten().cloned().collect(),
+            node_dead: node_dead.clone(),
+            process_kill: opts.process_faults,
+        });
         let wire_faults = opts.faults.wire_faults_for(node.0);
-        let wants_kill = wire_faults.iter().any(|f| matches!(f.action, FaultAction::KillNode));
-        let kill = Arc::new(KillSwitch { streams: Mutex::new(Vec::new()), process_kill: opts.process_faults });
 
         let mut io_threads = Vec::new();
         let mut peer_txs: Vec<Option<Sender<WireMsg>>> = (0..topo.nnodes()).map(|_| None).collect();
-        for (peer, stream) in mesh.streams.into_iter().enumerate() {
-            let Some(stream) = stream else { continue };
-            if wants_kill {
-                if let Ok(dup) = stream.try_clone() {
-                    if let Ok(mut streams) = kill.streams.lock() {
-                        streams.push(dup);
-                    }
-                }
-            }
-            let read_half = stream.try_clone()?;
+        for (peer, sess) in sessions.iter().enumerate() {
+            let Some(sess) = sess else { continue };
             let (tx, rx) = crossbeam_channel::unbounded();
             peer_txs[peer] = Some(tx);
             let ctx = WriterCtx {
-                peer,
+                node: node.0,
                 coalesce: opts.coalesce.max(1),
                 faults: wire_faults.iter().filter(|f| f.peer as usize == peer).map(|&f| Some(f)).collect(),
-                peer_state: peer_state.clone(),
                 kill: kill.clone(),
+                session: opts.session.clone(),
+                peer_addr: addrs.get(peer).cloned().unwrap_or_default(),
             };
+            let wsess = sess.clone();
             io_threads.push(
                 std::thread::Builder::new()
                     .name(format!("netfab-w{}-{}", node.0, peer))
-                    .spawn(move || writer_loop(rx, stream, ctx))?,
+                    .spawn(move || writer_loop(rx, wsess, ctx))?,
             );
+            let rsess = sess.clone();
             let topo2 = topo.clone();
             let txs2 = local_txs.clone();
-            let states2 = peer_state.clone();
+            let recovery = opts.session.recovery;
             io_threads.push(
                 std::thread::Builder::new()
                     .name(format!("netfab-r{}-{}", node.0, peer))
-                    .spawn(move || reader_loop(read_half, topo2, txs2, peer, states2))?,
+                    .spawn(move || reader_loop(rsess, topo2, txs2, recovery))?,
             );
+        }
+
+        let accept_shutdown = Arc::new(AtomicBool::new(false));
+        if opts.session.recovery {
+            if let Some(listener) = listener {
+                let sessions2 = sessions.clone();
+                let nd = node_dead.clone();
+                let sd = accept_shutdown.clone();
+                io_threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("netfab-a{}", node.0))
+                        .spawn(move || accept_loop(listener, sessions2, nd, sd))?,
+                );
+            }
         }
 
         let shared = Arc::new(NodeShared {
@@ -440,7 +837,8 @@ impl NodeFabric {
             wire_msgs: (0..n_endpoints).map(|_| AtomicU64::new(0)).collect(),
             wire_bytes: (0..n_endpoints).map(|_| AtomicU64::new(0)).collect(),
             trace: opts.trace,
-            peer_state,
+            sessions,
+            node_dead,
         });
 
         let mut mailboxes: Vec<Option<Mailbox>> = (0..n_endpoints).map(|_| None).collect();
@@ -450,7 +848,7 @@ impl NodeFabric {
             mailboxes[i] = Some(Mailbox::from_backend(Box::new(backend)));
         }
 
-        Ok(NodeFabric { topo, node, shared, mailboxes, io_threads })
+        Ok(NodeFabric { topo, node, shared, mailboxes, io_threads, accept_shutdown })
     }
 
     /// Bootstrap this node against a coordinator at `rendezvous` (see
@@ -478,9 +876,26 @@ impl NodeFabric {
     /// runs in soft mode here: it severs the victim's links instead of
     /// aborting, since all nodes share this process.
     pub fn loopback_with(topo: &Topology, trace: bool, faults: FaultPlan) -> std::io::Result<Vec<Self>> {
+        Self::loopback_cfg(topo, trace, faults, SessionCfg::default())
+    }
+
+    /// [`NodeFabric::loopback_with`] plus session-layer configuration, for
+    /// exercising recovery (reconnect + replay, heartbeat membership) in
+    /// one process.
+    pub fn loopback_cfg(
+        topo: &Topology,
+        trace: bool,
+        faults: FaultPlan,
+        session: SessionCfg,
+    ) -> std::io::Result<Vec<Self>> {
         let nnodes = topo.nnodes();
         let shared_trace = trace.then(|| Arc::new(Trace::new(endpoint_count(topo))));
-        let opts_for = |trace: Option<Arc<Trace>>| NetOpts { trace, faults: faults.clone(), ..NetOpts::default() };
+        let opts_for = |trace: Option<Arc<Trace>>| NetOpts {
+            trace,
+            faults: faults.clone(),
+            session: session.clone(),
+            ..NetOpts::default()
+        };
         if nnodes == 1 {
             // Single node: no coordinator, no sockets (join_mesh
             // short-circuits too, keeping the two paths consistent).
@@ -566,6 +981,12 @@ impl NodeFabric {
     /// their write halves too, so shutdown is effectively collective
     /// (like the barrier-then-shutdown teardown of the layer above).
     pub fn shutdown(mut self) {
+        self.accept_shutdown.store(true, Ordering::Release);
+        // Wake IO threads parked in recovery waits so teardown does not
+        // have to sit out a suspect window.
+        for sess in self.shared.sessions.iter().flatten() {
+            sess.begin_teardown();
+        }
         self.mailboxes.clear();
         let threads = std::mem::take(&mut self.io_threads);
         // Dropping `self` drops the last local `Arc<NodeShared>`, which
@@ -582,6 +1003,7 @@ impl Drop for NodeFabric {
         // If shutdown() was not called, detach the IO threads rather than
         // risk joining while mailboxes are still alive; they exit when the
         // channels and sockets die with the process.
+        self.accept_shutdown.store(true, Ordering::Release);
         for h in self.io_threads.drain(..) {
             drop(h);
         }
@@ -735,6 +1157,67 @@ mod tests {
         assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f0.take_proc(ProcId(0)))).is_err());
         assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f0.take_proc(ProcId(1)))).is_err());
         drop(a);
+        shutdown_all([f0, f1]);
+    }
+
+    fn recovery_cfg(suspect_after: Duration) -> SessionCfg {
+        SessionCfg { recovery: true, heartbeat_interval: Duration::from_millis(20), suspect_after, replay_window: 1024 }
+    }
+
+    #[test]
+    fn reconnect_replays_after_reset() {
+        // Node 1's writer resets its connection to node 0 after 5 frames;
+        // with recovery on, the session reconnects (node 1 dials node 0's
+        // retained boot listener) and replays the unacked tail. All 50
+        // messages must arrive, in order, with no duplicates.
+        let faults =
+            FaultPlan::new().with(FaultSpec { node: 1, peer: 0, after_frames: 5, action: FaultAction::ResetConn });
+        let mut fabrics =
+            NodeFabric::loopback_cfg(&Topology::new(2, 1), false, faults, recovery_cfg(Duration::from_secs(5)))
+                .unwrap();
+        let mut f1 = fabrics.pop().unwrap();
+        let mut f0 = fabrics.pop().unwrap();
+        let mut a = f0.take_proc(ProcId(0));
+        let mut b = f1.take_proc(ProcId(1));
+        for i in 0..50u8 {
+            b.send(Endpoint::Proc(ProcId(0)), Tag(1), vec![i]);
+        }
+        for i in 0..50u8 {
+            let got = a.recv_timeout(Duration::from_secs(10)).unwrap().expect("timed out mid-recovery");
+            assert_eq!(got.body, vec![i]);
+        }
+        assert!(a.lost_peers().is_empty(), "recovered peer must not be reported lost");
+        drop(a);
+        drop(b);
+        shutdown_all([f0, f1]);
+    }
+
+    #[test]
+    fn node_kill_rejects_reconnect_and_survivor_declares_dead() {
+        // A soft-killed node severs all links and rejects reconnects; the
+        // survivor must declare it dead within the suspect window instead
+        // of retrying forever.
+        let suspect_after = Duration::from_millis(400);
+        let faults =
+            FaultPlan::new().with(FaultSpec { node: 1, peer: 0, after_frames: 0, action: FaultAction::KillNode });
+        let mut fabrics =
+            NodeFabric::loopback_cfg(&Topology::new(2, 1), false, faults, recovery_cfg(suspect_after)).unwrap();
+        let mut f1 = fabrics.pop().unwrap();
+        let mut f0 = fabrics.pop().unwrap();
+        let a = f0.take_proc(ProcId(0));
+        let mut b = f1.take_proc(ProcId(1));
+        // Trigger the kill: node 1's first wire frame fires the fault.
+        b.send(Endpoint::Proc(ProcId(0)), Tag(1), vec![1]);
+        let deadline = Instant::now() + suspect_after + Duration::from_secs(5);
+        while !a.peer_is_lost(NodeId(1)) {
+            assert!(Instant::now() < deadline, "survivor never declared the killed node dead");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(a.lost_peers(), vec![NodeId(1)]);
+        // The killed node reports itself (and its peers) lost too.
+        assert!(b.peer_is_lost(NodeId(1)));
+        drop(a);
+        drop(b);
         shutdown_all([f0, f1]);
     }
 }

@@ -36,6 +36,7 @@ pub mod boot;
 pub mod fabric;
 pub mod fault;
 pub mod launch;
+pub mod session;
 pub mod wire;
 
 pub use boot::{coordinate, coordinate_deadline, join_mesh, join_mesh_opts, BootOpts, Mesh};
@@ -44,3 +45,4 @@ pub use fault::{FaultAction, FaultPlan, FaultSpec};
 pub use launch::{
     bind_rendezvous, kill_nodes, node_spec_from_env, spawn_nodes, wait_nodes, wait_nodes_deadline, NodeSpec,
 };
+pub use session::SessionCfg;
