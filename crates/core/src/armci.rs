@@ -6,8 +6,9 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use armci_msglib::Reader;
-use armci_msglib::{barrier_binary_exchange, try_allreduce_sum_u64, try_barrier_binary_exchange, CommError, P2p};
+use armci_msglib::{allreduce_tag, barrier_binary_exchange, barrier_bx_tag, CommError, P2p};
+use armci_msglib::{Reader, Writer};
+use armci_proto::{BarrierAction, BarrierEvent, CombinedBarrier, FenceEngine, SendRecord, SeqConfirm, STAGE_ALLREDUCE};
 use armci_transport::wait::spin_until_deadline;
 use armci_transport::{
     Body, BodyPool, Endpoint, Mailbox, MemoryRegistry, Msg, NodeId, ProcId, SegId, Segment, Tag, Topology,
@@ -61,17 +62,14 @@ pub struct Armci {
     /// NIC-assisted mode: route synchronization traffic to the per-node
     /// NIC agent instead of the host server thread (§5 future work).
     pub(crate) nic_assist: bool,
-    /// Cumulative counted puts issued to each destination process's
-    /// server — the paper's `op_init[]` array (§3.1.2).
-    pub(crate) op_init: Vec<u64>,
-    /// Counted puts issued per *node* since the last fence of that node
-    /// (GM bookkeeping: lets `ARMCI_Fence` skip untouched servers).
-    pub(crate) unfenced: Vec<u64>,
-    /// As `unfenced`, for counted puts routed through the NIC agent
-    /// (which has its own FIFO, so it needs its own confirmation).
-    pub(crate) unfenced_nic: Vec<u64>,
-    /// Outstanding unacknowledged puts per node (VIA bookkeeping).
-    pub(crate) unacked: Vec<u64>,
+    /// Sans-IO fence accounting (paper §3.1.1): the cumulative `op_init[]`
+    /// array plus the per-node unfenced/unacked counters — the same
+    /// `armci-proto` engine the simulator drives.
+    pub(crate) fence: FenceEngine,
+    /// Send log of the most recent `ARMCI_Barrier()`, drained by
+    /// [`Armci::take_barrier_log`] for the cross-harness conformance
+    /// suite.
+    pub(crate) last_barrier_log: Vec<SendRecord>,
     pub(crate) epoch: u32,
     /// MCS nesting guards: each variant has one node structure per
     /// process, so at most one lock of that variant may be held.
@@ -306,15 +304,7 @@ impl Armci {
     /// bulk-data server (`via_nic = false`) or the NIC agent.
     fn note_counted_put_via(&mut self, dst: ProcId, via_nic: bool) {
         let node = self.server_of(dst);
-        self.op_init[dst.idx()] += 1;
-        if via_nic {
-            self.unfenced_nic[node.idx()] += 1;
-        } else {
-            self.unfenced[node.idx()] += 1;
-        }
-        if self.ack_mode == AckMode::Via {
-            self.unacked[node.idx()] += 1;
-        }
+        self.fence.note_put(dst.idx(), node.idx(), via_nic);
         self.stats.remote_puts += 1;
     }
 
@@ -815,13 +805,14 @@ impl Armci {
             AckMode::Gm => {
                 // Confirm with each agent holding unconfirmed puts; the
                 // two round-trips (server + NIC) overlap.
+                let targets = self.fence.confirm_targets(node.idx());
                 let mut pending = Vec::with_capacity(2);
-                if self.unfenced[node.idx()] > 0 {
+                if targets.server {
                     self.send_req(node, &Req::FenceReq);
                     self.stats.fence_roundtrips += 1;
                     pending.push(Endpoint::Server(node));
                 }
-                if self.unfenced_nic[node.idx()] > 0 {
+                if targets.nic {
                     self.send_req_to(Endpoint::Nic(node), &Req::FenceReq);
                     self.stats.fence_roundtrips += 1;
                     pending.push(Endpoint::Nic(node));
@@ -829,32 +820,28 @@ impl Armci {
                 for agent in pending {
                     self.recv_wait("fence", deadline, |m| m.src == agent && m.tag == TAG_FENCE_ACK)?;
                 }
-                self.unfenced[node.idx()] = 0;
-                self.unfenced_nic[node.idx()] = 0;
             }
             AckMode::Via => {
-                while self.unacked[node.idx()] > 0 {
+                while self.fence.acks_pending(node.idx()) > 0 {
                     self.try_consume_put_ack(deadline)?;
                 }
-                self.unfenced[node.idx()] = 0;
-                self.unfenced_nic[node.idx()] = 0;
             }
         }
+        self.fence.node_confirmed(node.idx());
         Ok(())
     }
 
     fn try_consume_put_ack(&mut self, deadline: Instant) -> Result<(), ArmciError> {
         let m = self.recv_wait("fence", deadline, |m| m.tag == TAG_PUT_ACK)?;
         let node = Reader::new(&m.body).u32() as usize;
-        debug_assert!(self.unacked[node] > 0, "unexpected put ack from node {node}");
-        self.unacked[node] = self.unacked[node].saturating_sub(1);
+        self.fence.ack_received(node);
         Ok(())
     }
 
     /// Drain every outstanding put acknowledgement (VIA mode) within
     /// `deadline`; no-op in GM mode (nothing is ever unacked there).
     fn try_drain_all_acks(&mut self, deadline: Instant) -> Result<(), ArmciError> {
-        while self.unacked.iter().any(|&n| n > 0) {
+        while self.fence.any_acks_pending() {
             self.try_consume_put_ack(deadline)?;
         }
         Ok(())
@@ -877,14 +864,17 @@ impl Armci {
         let deadline = self.op_deadline();
         match self.ack_mode {
             AckMode::Gm => {
-                for n in 0..self.topology().nnodes() {
+                // The paper's sequential plan: each ack releases the next
+                // confirmation request.
+                let mut plan = SeqConfirm::new((0..self.topology().nnodes()).collect());
+                while let Some(n) = plan.current() {
                     self.try_fence_node(NodeId(n as u32), deadline)?;
+                    plan.ack();
                 }
             }
             AckMode::Via => {
                 self.try_drain_all_acks(deadline)?;
-                self.unfenced.iter_mut().for_each(|u| *u = 0);
-                self.unfenced_nic.iter_mut().for_each(|u| *u = 0);
+                self.fence.all_confirmed();
             }
         }
         Ok(())
@@ -908,10 +898,11 @@ impl Armci {
                     if n == self.my_node {
                         continue;
                     }
-                    if self.unfenced[n.idx()] > 0 {
+                    let t = self.fence.confirm_targets(n.idx());
+                    if t.server {
                         agents.push(Endpoint::Server(n));
                     }
-                    if self.unfenced_nic[n.idx()] > 0 {
+                    if t.nic {
                         agents.push(Endpoint::Nic(n));
                     }
                 }
@@ -919,12 +910,14 @@ impl Armci {
                     self.send_req_to(a, &Req::FenceReq);
                     self.stats.fence_roundtrips += 1;
                 }
+                let mut plan = armci_proto::PipeConfirm::new(agents.len());
                 let deadline = self.op_deadline();
                 for &a in &agents {
                     unwrap_op(self.recv_wait("allfence", deadline, |m| m.src == a && m.tag == TAG_FENCE_ACK));
+                    plan.ack();
                 }
-                self.unfenced.iter_mut().for_each(|u| *u = 0);
-                self.unfenced_nic.iter_mut().for_each(|u| *u = 0);
+                debug_assert!(plan.is_complete());
+                self.fence.all_confirmed();
             }
             AckMode::Via => self.allfence(),
         }
@@ -983,21 +976,73 @@ impl Armci {
             // below cannot be starved by our own unconsumed acks.
             self.try_drain_all_acks(deadline)?;
         }
-        // Stage 1: distribute op_init[] (Figure 2 algorithm).
-        let mut totals = self.op_init.clone();
-        try_allreduce_sum_u64(self, &mut totals, deadline).map_err(|e| Self::from_comm("barrier", e))?;
-        // Stage 2: wait for all puts destined to me to complete.
-        let want = totals[self.rank()];
-        let sync = self.my_sync.clone();
-        self.wait_local_cond("barrier", deadline, move || {
-            sync.atomic_u64(layout::OP_DONE).load(std::sync::atomic::Ordering::Acquire) >= want
-        })?;
-        // Stage 3: barrier synchronization.
-        try_barrier_binary_exchange(self, deadline).map_err(|e| Self::from_comm("barrier", e))?;
+        // The sans-IO engine runs all three stages; this loop only moves
+        // bytes and waits. One msglib epoch per exchange stage, consumed
+        // exactly where the collective calls used to consume them, so the
+        // wire tags match the historical implementation byte for byte.
+        let mut eng = CombinedBarrier::new(self.rank(), self.fence.barrier_vector());
+        let mut acts = Vec::new();
+        eng.poll(BarrierEvent::Start, &mut acts);
+        let ar_tag = allreduce_tag(self.next_epoch());
+        let mut bx_tag = 0;
+        let mut scratch: Vec<u64> = Vec::with_capacity(self.nprocs());
+        loop {
+            let mut i = 0;
+            while i < acts.len() {
+                match std::mem::replace(&mut acts[i], BarrierAction::Done) {
+                    BarrierAction::Send { stage, to, vals, .. } => {
+                        let (tag, body) = if stage == STAGE_ALLREDUCE {
+                            let mut w = Writer::with_capacity(vals.len() * 8);
+                            for &v in &vals {
+                                w = w.u64(v);
+                            }
+                            (ar_tag, w.finish())
+                        } else {
+                            (bx_tag, Vec::new())
+                        };
+                        self.send_to(to, tag, body);
+                    }
+                    BarrierAction::AwaitOpDone { target } => {
+                        // Stage 2: all puts destined to me must complete.
+                        let sync = self.my_sync.clone();
+                        self.wait_local_cond("barrier", deadline, move || {
+                            sync.atomic_u64(layout::OP_DONE).load(std::sync::atomic::Ordering::Acquire) >= target
+                        })?;
+                        bx_tag = barrier_bx_tag(self.next_epoch());
+                        eng.poll(BarrierEvent::OpDoneReached, &mut acts);
+                    }
+                    BarrierAction::Done => {}
+                }
+                i += 1;
+            }
+            acts.clear();
+            if eng.is_complete() {
+                break;
+            }
+            let (stage, from, kind) = eng.expected_recv().expect("blocking barrier driver stalled");
+            let tag = if stage == STAGE_ALLREDUCE { ar_tag } else { bx_tag };
+            let body = self.recv_from_deadline(from, tag, deadline).map_err(|e| Self::from_comm("barrier", e))?;
+            scratch.clear();
+            if stage == STAGE_ALLREDUCE {
+                let mut r = Reader::new(&body);
+                for _ in 0..self.nprocs() {
+                    scratch.push(r.u64());
+                }
+            }
+            eng.poll(BarrierEvent::Recv { stage, msg: kind, vals: &scratch }, &mut acts);
+        }
+        self.last_barrier_log = eng.take_log();
         // Everything outstanding anywhere is now globally complete.
-        self.unfenced.iter_mut().for_each(|u| *u = 0);
-        self.unfenced_nic.iter_mut().for_each(|u| *u = 0);
+        self.fence.all_confirmed();
         Ok(())
+    }
+
+    /// Drain the send log of the most recent [`Armci::barrier`] — the
+    /// `(stage, to, msg)` sequence the protocol engine emitted — used by
+    /// the cross-harness conformance suite to compare the runtime against
+    /// the simulator.
+    pub fn take_barrier_log(&mut self) -> Vec<SendRecord> {
+        std::mem::take(&mut self.last_barrier_log)
     }
 }
 

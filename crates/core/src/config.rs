@@ -26,6 +26,16 @@ pub enum AckMode {
     Via,
 }
 
+impl AckMode {
+    /// The `armci-proto` fence-engine mode this subsystem style maps to.
+    pub fn fence_mode(self) -> armci_proto::FenceMode {
+        match self {
+            AckMode::Gm => armci_proto::FenceMode::Confirm,
+            AckMode::Via => armci_proto::FenceMode::DrainAcks,
+        }
+    }
+}
+
 /// Which lock algorithm [`crate::Armci::lock`]/[`crate::Armci::unlock`]
 /// dispatch to.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]

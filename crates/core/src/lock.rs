@@ -27,6 +27,10 @@
 use std::sync::atomic::Ordering;
 use std::time::Instant;
 
+use armci_proto::{
+    Backoff, HybridAcquire, HybridAction, HybridEvent, McsAcquire, McsAcquireAction, McsAcquireEvent, McsReclaim,
+    McsRelease, McsReleaseAction, McsReleaseEvent, ReclaimAction, ReclaimEvent,
+};
 use armci_transport::{ProcId, SegId};
 
 use crate::armci::{unwrap_op, Armci, LockId};
@@ -109,30 +113,53 @@ impl Armci {
         unwrap_op(self.try_lock_hybrid(id));
     }
 
-    /// Fallible [`Armci::lock_hybrid`].
+    /// Fallible [`Armci::lock_hybrid`]. The requester-side plan comes from
+    /// the sans-IO [`HybridAcquire`] engine; this loop performs the word
+    /// operations and message exchanges it asks for.
     pub fn try_lock_hybrid(&mut self, id: LockId) -> Result<(), ArmciError> {
         self.check_lock_id(id);
-        if self.is_local(id.owner) {
-            // Figure 3a/b: fetch-and-increment the ticket directly, then
-            // poll the counter through shared memory.
-            let sync = self.registry.lookup(id.owner, SegId(0));
-            let ticket = sync.fetch_add_u64(layout::hybrid_ticket(id.idx), 1);
-            let deadline = self.op_deadline();
-            self.wait_local_cond("lock", deadline, move || {
-                sync.atomic_u64(layout::hybrid_counter(id.idx)).load(Ordering::Acquire) == ticket
-            })
-        } else {
-            // Figure 3c/d: ask the serving agent to take a ticket on our
-            // behalf and queue us until it comes up.
-            let agent = self.sync_agent(self.topology().node_of(id.owner));
-            self.send_req_to(agent, &Req::LockReq { owner: id.owner, idx: id.idx });
-            let deadline = self.op_deadline();
-            let m = self.recv_wait("lock", deadline, |m| {
-                m.tag == TAG_LOCK_GRANT && m.src == agent && decode_grant(&m.body) == (id.owner, id.idx)
-            })?;
-            debug_assert_eq!(decode_grant(&m.body), (id.owner, id.idx));
-            Ok(())
+        let mut eng = HybridAcquire::new(self.is_local(id.owner));
+        let mut acts = Vec::new();
+        eng.poll(HybridEvent::Start, &mut acts);
+        let mut i = 0;
+        while i < acts.len() {
+            match acts[i] {
+                HybridAction::FetchAddTicket => {
+                    // Figure 3a/b: fetch-and-increment the ticket directly
+                    // through shared memory.
+                    let sync = self.registry.lookup(id.owner, SegId(0));
+                    let ticket = sync.fetch_add_u64(layout::hybrid_ticket(id.idx), 1);
+                    eng.poll(HybridEvent::Ticket(ticket), &mut acts);
+                }
+                HybridAction::AwaitCounter { ticket } => {
+                    let sync = self.registry.lookup(id.owner, SegId(0));
+                    let deadline = self.op_deadline();
+                    self.wait_local_cond("lock", deadline, move || {
+                        sync.atomic_u64(layout::hybrid_counter(id.idx)).load(Ordering::Acquire) == ticket
+                    })?;
+                    eng.poll(HybridEvent::CounterReached, &mut acts);
+                }
+                HybridAction::SendLockReq => {
+                    // Figure 3c/d: ask the serving agent to take a ticket
+                    // on our behalf and queue us until it comes up.
+                    let agent = self.sync_agent(self.topology().node_of(id.owner));
+                    self.send_req_to(agent, &Req::LockReq { owner: id.owner, idx: id.idx });
+                }
+                HybridAction::AwaitGrant => {
+                    let agent = self.sync_agent(self.topology().node_of(id.owner));
+                    let deadline = self.op_deadline();
+                    let m = self.recv_wait("lock", deadline, |m| {
+                        m.tag == TAG_LOCK_GRANT && m.src == agent && decode_grant(&m.body) == (id.owner, id.idx)
+                    })?;
+                    debug_assert_eq!(decode_grant(&m.body), (id.owner, id.idx));
+                    eng.poll(HybridEvent::Granted, &mut acts);
+                }
+                HybridAction::Acquired => {}
+            }
+            i += 1;
         }
+        debug_assert!(eng.is_acquired());
+        Ok(())
     }
 
     /// Acquire through the server even when the lock is node-local — the
@@ -194,9 +221,10 @@ impl Armci {
             });
         }
         let ticket = self.try_rmw(ticket_addr, RmwOp::FetchAddU64(1))?[0];
-        // Remote poll loop with exponential backoff (capped).
+        // Remote poll loop with capped exponential backoff (the shared
+        // `armci-proto` policy; the simulator uses the same doubling).
         let deadline = self.op_deadline();
-        let mut backoff_us = 1u64;
+        let mut backoff = Backoff::new(1, 256);
         loop {
             let counter = self.try_rmw(counter_addr, RmwOp::FetchAddU64(0))?[0];
             if counter == ticket {
@@ -205,8 +233,7 @@ impl Armci {
             if Instant::now() >= deadline {
                 return Err(ArmciError::Timeout { op: "lock" });
             }
-            std::thread::sleep(std::time::Duration::from_micros(backoff_us));
-            backoff_us = (backoff_us * 2).min(256);
+            std::thread::sleep(std::time::Duration::from_micros(backoff.next_delay()));
         }
     }
 
@@ -283,6 +310,9 @@ impl Armci {
         }
     }
 
+    /// Drive one [`McsAcquire`] plan (Figure 5, `request`): the engine
+    /// decides the word transitions, this loop performs them against real
+    /// segments and the server.
     fn try_lock_mcs_inner(&mut self, id: LockId) -> Result<(), ArmciError> {
         self.check_lock_id(id);
         assert!(
@@ -290,67 +320,113 @@ impl Armci {
             "MCS locks cannot nest: one node structure per process (paper §3.2.2), already holding {:?}",
             self.mcs_held
         );
-        let mynode = self.my_mcs_node();
-        let me_ptr = mynode.pack();
-
-        // mynode->next = NULL (local store; the sync segment is ours).
-        self.my_sync.write_u64(layout::MCS_NEXT, PackedPtr::NULL.0);
-        // prev = swap(Lock, mynode) — local atomic or server round-trip.
-        let lock_var = self.mcs_lock_var(id);
-        let prev = PackedPtr(self.try_rmw(lock_var, RmwOp::SwapU64(me_ptr.0))?[0]);
-        if let Some(prev_addr) = prev.decode() {
-            // Someone holds the lock: enqueue behind them.
-            // mynode->locked = TRUE, *then* prev->next = mynode.
-            self.my_sync.write_u64(layout::MCS_LOCKED, 1);
-            self.put_u64(prev_addr, me_ptr.0); // prev->next points at our node
-                                               // Poll our own locked flag; the releaser clears it directly —
-                                               // zero messages received, one (or zero) sent by the releaser.
-            let deadline = self.op_deadline();
-            let sync = self.my_sync.clone();
-            self.wait_local_cond("lock", deadline, move || {
-                sync.atomic_u64(layout::MCS_LOCKED).load(Ordering::Acquire) == 0
-            })?;
+        let me_ptr = self.my_mcs_node().pack();
+        let mut eng: McsAcquire<GlobalAddr> = McsAcquire::new(self.recovery);
+        let mut acts = Vec::new();
+        eng.poll(McsAcquireEvent::Start, &mut acts);
+        let mut i = 0;
+        while i < acts.len() {
+            match acts[i] {
+                McsAcquireAction::ClearMyNext => {
+                    // mynode->next = NULL (local store; the segment is ours).
+                    self.my_sync.write_u64(layout::MCS_NEXT, PackedPtr::NULL.0);
+                }
+                McsAcquireAction::SwapLock => {
+                    // prev = swap(Lock, mynode) — local atomic or server
+                    // round-trip.
+                    let prev = PackedPtr(self.try_rmw(self.mcs_lock_var(id), RmwOp::SwapU64(me_ptr.0))?[0]);
+                    eng.poll(McsAcquireEvent::SwapResult(prev.decode()), &mut acts);
+                }
+                McsAcquireAction::SetMyLocked => {
+                    // mynode->locked = TRUE, *then* prev->next = mynode.
+                    self.my_sync.write_u64(layout::MCS_LOCKED, 1);
+                }
+                McsAcquireAction::LinkAfter(prev_addr) => {
+                    self.put_u64(prev_addr, me_ptr.0); // prev->next = mynode
+                }
+                McsAcquireAction::AwaitWake => {
+                    // Poll our own locked flag; the releaser clears it
+                    // directly — zero messages received, one (or zero)
+                    // sent by the releaser.
+                    let deadline = self.op_deadline();
+                    let sync = self.my_sync.clone();
+                    self.wait_local_cond("lock", deadline, move || {
+                        sync.atomic_u64(layout::MCS_LOCKED).load(Ordering::Acquire) == 0
+                    })?;
+                    eng.poll(McsAcquireEvent::LockedCleared, &mut acts);
+                }
+                McsAcquireAction::SetLease => {
+                    let me_rank = u64::from(self.me().0) + 1;
+                    self.mcs_lease_set(id, me_rank)?;
+                }
+                McsAcquireAction::Acquired => {
+                    self.mcs_held = Some(id);
+                }
+            }
+            i += 1;
         }
-        let me_rank = u64::from(self.me().0) + 1;
-        self.mcs_lease_set(id, me_rank)?;
-        self.mcs_held = Some(id);
+        debug_assert!(eng.is_acquired());
         Ok(())
     }
 
-    /// Release the software queuing lock (Figure 5, `release`).
+    /// Release the software queuing lock (Figure 5, `release`), driving
+    /// one [`McsRelease`] plan.
     pub fn unlock_mcs(&mut self, id: LockId) {
         self.check_lock_id(id);
         assert_eq!(self.mcs_held, Some(id), "releasing an MCS lock not held");
         let me_ptr = self.my_mcs_node().pack();
-
-        let mut next = PackedPtr(self.my_sync.read_u64(layout::MCS_NEXT));
-        if next.is_null() {
-            // Nobody visibly queued: try to swing Lock back to NULL. This
-            // is the compare&swap the paper pays a round-trip for on
-            // remote locks (Figure 10's "new" curve).
-            let observed = self.cas_u64(self.mcs_lock_var(id), me_ptr.0, PackedPtr::NULL.0);
-            if observed == me_ptr.0 {
-                let _ = self.mcs_lease_set(id, 0);
-                self.mcs_held = None;
-                return;
+        let mut eng: McsRelease<GlobalAddr> = McsRelease::new(self.recovery);
+        let mut acts = Vec::new();
+        eng.poll(McsReleaseEvent::Start, &mut acts);
+        let mut i = 0;
+        while i < acts.len() {
+            match acts[i] {
+                McsReleaseAction::ReadMyNext => {
+                    let next = PackedPtr(self.my_sync.read_u64(layout::MCS_NEXT));
+                    eng.poll(McsReleaseEvent::NextValue(next.decode()), &mut acts);
+                }
+                McsReleaseAction::CasLockToNull => {
+                    // Nobody visibly queued: try to swing Lock back to
+                    // NULL. This is the compare&swap the paper pays a
+                    // round-trip for on remote locks (Figure 10's "new"
+                    // curve).
+                    let observed = self.cas_u64(self.mcs_lock_var(id), me_ptr.0, PackedPtr::NULL.0);
+                    eng.poll(McsReleaseEvent::CasResult { won: observed == me_ptr.0 }, &mut acts);
+                }
+                McsReleaseAction::AwaitSuccessor => {
+                    // A requester won the race on Lock but has not linked
+                    // into our next pointer yet; wait for the link
+                    // (Figure 5 line 20).
+                    let deadline = self.op_deadline();
+                    let sync = self.my_sync.clone();
+                    unwrap_op(self.wait_local_cond("unlock", deadline, move || {
+                        sync.atomic_u64(layout::MCS_NEXT).load(Ordering::Acquire) != 0
+                    }));
+                    let next = PackedPtr(self.my_sync.read_u64(layout::MCS_NEXT));
+                    eng.poll(McsReleaseEvent::NextValue(next.decode()), &mut acts);
+                }
+                McsReleaseAction::TransferLease(next_addr) => {
+                    // Transfer the lease *before* waking the successor so
+                    // there is no window where the new holder runs under a
+                    // stale lease entry.
+                    let _ = self.mcs_lease_set(id, u64::from(next_addr.proc.0) + 1);
+                }
+                McsReleaseAction::Wake(next_addr) => {
+                    // next->locked = FALSE: direct store if node-local, one
+                    // one-way message otherwise — the single-message
+                    // handoff.
+                    self.put_u64(next_addr.add(8), 0);
+                }
+                McsReleaseAction::ClearLease => {
+                    let _ = self.mcs_lease_set(id, 0);
+                }
+                McsReleaseAction::Released => {
+                    self.mcs_held = None;
+                }
             }
-            // A requester won the race on Lock but has not linked into our
-            // next pointer yet; wait for the link (Figure 5 line 20).
-            let deadline = self.op_deadline();
-            let sync = self.my_sync.clone();
-            unwrap_op(self.wait_local_cond("unlock", deadline, move || {
-                sync.atomic_u64(layout::MCS_NEXT).load(Ordering::Acquire) != 0
-            }));
-            next = PackedPtr(self.my_sync.read_u64(layout::MCS_NEXT));
+            i += 1;
         }
-        let next_addr = next.decode().expect("non-null next decodes");
-        // Transfer the lease *before* waking the successor so there is no
-        // window where the new holder runs under a stale lease entry.
-        let _ = self.mcs_lease_set(id, u64::from(next_addr.proc.0) + 1);
-        // next->locked = FALSE: direct store if node-local, one one-way
-        // message otherwise — the single-message handoff.
-        self.put_u64(next_addr.add(8), 0);
-        self.mcs_held = None;
+        debug_assert!(eng.is_released());
     }
 
     /// Attempt to reclaim an MCS lock whose recorded lease holder's node
@@ -370,25 +446,44 @@ impl Armci {
     /// own `locked` polls and must re-request the lock.
     pub fn try_reclaim_mcs(&mut self, id: LockId) -> Result<bool, ArmciError> {
         self.check_lock_id(id);
-        let holder = self.try_rmw(self.mcs_lease_holder_addr(id), RmwOp::FetchAddU64(0))?[0];
-        if holder == 0 {
-            return Ok(false);
+        let mut eng = McsReclaim::new();
+        let mut acts = Vec::new();
+        eng.poll(ReclaimEvent::Start, &mut acts);
+        let mut won = false;
+        let mut i = 0;
+        while i < acts.len() {
+            match acts[i] {
+                ReclaimAction::ReadHolder => {
+                    let holder = self.try_rmw(self.mcs_lease_holder_addr(id), RmwOp::FetchAddU64(0))?[0];
+                    eng.poll(ReclaimEvent::Holder(holder), &mut acts);
+                }
+                ReclaimAction::CheckAlive(rank) => {
+                    let holder_node = self.topology().node_of(ProcId(rank as u32));
+                    let alive = !self.mb.peer_is_lost(holder_node);
+                    eng.poll(ReclaimEvent::AliveResult(alive), &mut acts);
+                }
+                ReclaimAction::ReadEpoch => {
+                    let epoch = self.try_rmw(self.mcs_lease_epoch_addr(id), RmwOp::FetchAddU64(0))?[0];
+                    eng.poll(ReclaimEvent::Epoch(epoch), &mut acts);
+                }
+                ReclaimAction::CasEpoch { expect } => {
+                    let epoch_addr = self.mcs_lease_epoch_addr(id);
+                    let observed = self.try_rmw(epoch_addr, RmwOp::CasU64 { expect, new: expect + 1 })?[0];
+                    eng.poll(ReclaimEvent::EpochCas { won: observed == expect }, &mut acts);
+                }
+                // We own this epoch: reset the queue and clear the dead
+                // lease.
+                ReclaimAction::ResetLock => {
+                    self.try_rmw(self.mcs_lock_var(id), RmwOp::SwapU64(PackedPtr::NULL.0))?;
+                }
+                ReclaimAction::ClearHolder => {
+                    self.try_put(self.mcs_lease_holder_addr(id), &0u64.to_le_bytes())?;
+                }
+                ReclaimAction::Finished(w) => won = w,
+            }
+            i += 1;
         }
-        let holder_rank = ProcId((holder - 1) as u32);
-        let holder_node = self.topology().node_of(holder_rank);
-        if !self.mb.peer_is_lost(holder_node) {
-            return Ok(false);
-        }
-        let epoch_addr = self.mcs_lease_epoch_addr(id);
-        let epoch = self.try_rmw(epoch_addr, RmwOp::FetchAddU64(0))?[0];
-        let observed = self.try_rmw(epoch_addr, RmwOp::CasU64 { expect: epoch, new: epoch + 1 })?[0];
-        if observed != epoch {
-            return Ok(false); // another survivor won this reclamation
-        }
-        // We own this epoch: reset the queue and clear the dead lease.
-        self.try_rmw(self.mcs_lock_var(id), RmwOp::SwapU64(PackedPtr::NULL.0))?;
-        self.try_put(self.mcs_lease_holder_addr(id), &0u64.to_le_bytes())?;
-        Ok(true)
+        Ok(won)
     }
 
     // ------------------------------------------------------------------

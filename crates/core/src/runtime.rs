@@ -194,10 +194,8 @@ where
         locks_per_proc: cfg.locks_per_proc,
         nic_assist: cfg.nic_assist,
         my_sync,
-        op_init: vec![0; nprocs],
-        unfenced: vec![0; nnodes],
-        unfenced_nic: vec![0; nnodes],
-        unacked: vec![0; nnodes],
+        fence: armci_proto::FenceEngine::new(cfg.ack_mode.fence_mode(), nprocs, nnodes),
+        last_barrier_log: Vec::new(),
         epoch: 0,
         mcs_held: None,
         mcs_pair_held: None,

@@ -11,11 +11,10 @@
 //! them until their ticket comes up, and processes every unlock (local or
 //! remote), incrementing the `counter` word and granting the head waiter.
 
-use std::collections::HashMap;
-use std::collections::VecDeque;
 use std::sync::Arc;
 
 use armci_msglib::Reader;
+use armci_proto::HybridHome;
 use armci_transport::{Body, BodyPool, Endpoint, Mailbox, MemoryRegistry, ProcId, SegId, Segment};
 
 use crate::armci::encode_rmw_reply;
@@ -38,11 +37,6 @@ pub(crate) fn apply_rmw(seg: &Segment, offset: usize, op: RmwOp) -> [u64; 2] {
     }
 }
 
-/// State of the server-side queue for one hybrid lock: waiters in ticket
-/// order (tickets are handed out by this server serially, so pushes are
-/// naturally ordered).
-type Waiters = VecDeque<(u64, ProcId)>;
-
 /// Run a node's service-agent loop until a `Shutdown` request arrives.
 /// The same loop drives both the host **server thread** and, in
 /// NIC-assisted mode, the per-node **NIC agent** — they differ only in
@@ -52,7 +46,10 @@ pub(crate) fn server_loop(mut mb: Mailbox, registry: Arc<MemoryRegistry>, ack_mo
         Endpoint::Server(n) | Endpoint::Nic(n) => n,
         Endpoint::Proc(_) => unreachable!("server loop started on a process endpoint"),
     };
-    let mut lock_waiters: HashMap<(u32, u32), Waiters> = HashMap::new();
+    // Server side of the hybrid lock (§3.2.1): the grant/queue decisions
+    // live in the sans-IO engine; this loop only does the word ops and
+    // sends the grants.
+    let mut lock_home: HybridHome<ProcId> = HybridHome::new();
     // Scratch buffers for Get replies: reused across requests instead of a
     // fresh `vec![0u8; len]` per reply (reclaimed once the requester has
     // consumed the message).
@@ -164,22 +161,15 @@ pub(crate) fn server_loop(mut mb: Mailbox, registry: Arc<MemoryRegistry>, ack_mo
                 let ticket = sync.fetch_add_u64(layout::hybrid_ticket(idx), 1);
                 let counter = sync.read_u64(layout::hybrid_counter(idx));
                 let requester = src.proc().expect("lock request from a server");
-                if ticket == counter {
+                if lock_home.lock_req((owner.0, idx), requester, ticket, counter) {
                     send_grant(&mut mb, requester, owner, idx);
-                } else {
-                    lock_waiters.entry((owner.0, idx)).or_default().push_back((ticket, requester));
                 }
             }
             ReqView::UnlockReq { owner, idx } => {
                 let sync = registry.lookup(owner, SegId(0));
                 let new_counter = sync.fetch_add_u64(layout::hybrid_counter(idx), 1) + 1;
-                if let Some(q) = lock_waiters.get_mut(&(owner.0, idx)) {
-                    if let Some(&(t, requester)) = q.front() {
-                        if t == new_counter {
-                            q.pop_front();
-                            send_grant(&mut mb, requester, owner, idx);
-                        }
-                    }
+                if let Some(requester) = lock_home.unlock((owner.0, idx), new_counter) {
+                    send_grant(&mut mb, requester, owner, idx);
                 }
             }
             ReqView::Shutdown => break,

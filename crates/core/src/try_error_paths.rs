@@ -123,10 +123,8 @@ fn stub_armci(mode: StubMode) -> Armci {
         locks_per_proc: LOCKS_PER_PROC,
         nic_assist: false,
         my_sync,
-        op_init: vec![0; nprocs],
-        unfenced: vec![0; nnodes],
-        unfenced_nic: vec![0; nnodes],
-        unacked: vec![0; nnodes],
+        fence: armci_proto::FenceEngine::new(AckMode::Gm.fence_mode(), nprocs, nnodes),
+        last_barrier_log: Vec::new(),
         epoch: 0,
         mcs_held: None,
         mcs_pair_held: None,

@@ -19,6 +19,8 @@
 
 use std::time::{Duration, Instant};
 
+use armci_proto::{Exchange, XchgAction, XchgEvent, XchgMsg};
+
 use crate::codec::{Reader, Writer};
 use crate::comm::{CommError, P2p};
 
@@ -49,10 +51,55 @@ fn mk_tag(opcode: u32, epoch: u32) -> u32 {
     (opcode << 12) | (epoch & 0xFFF)
 }
 
-/// Largest power of two `<= n` (`n >= 1`).
-fn pow2_floor(n: usize) -> usize {
-    debug_assert!(n >= 1);
-    1 << (usize::BITS - 1 - n.leading_zeros())
+/// Tag of the allreduce collective for a given epoch. Exposed so the
+/// ARMCI runtime's combined barrier — which drives the `armci-proto`
+/// engine directly — stays wire-identical with msglib's allreduce.
+pub fn allreduce_tag(epoch: u32) -> u32 {
+    mk_tag(op::ALLREDUCE, epoch)
+}
+
+/// Tag of the binary-exchange barrier for a given epoch (see
+/// [`allreduce_tag`]).
+pub fn barrier_bx_tag(epoch: u32) -> u32 {
+    mk_tag(op::BARRIER_BX, epoch)
+}
+
+/// Drive one [`Exchange`] schedule to completion over a blocking [`P2p`]
+/// endpoint: perform emitted sends, wait for the single message the
+/// schedule expects next, and fold received bodies into `state` at their
+/// in-order consume points. The engine owns the schedule (partners,
+/// rounds, non-power-of-two folding); this loop owns bytes and blocking.
+fn drive_exchange<S: ?Sized>(
+    p: &mut impl P2p,
+    tag: u32,
+    deadline: Instant,
+    state: &mut S,
+    payload: impl Fn(&S) -> Vec<u8>,
+    absorb: impl Fn(&mut S, XchgMsg, &[u8]),
+) -> Result<(), CommError> {
+    let mut ex = Exchange::new(p.size(), p.rank());
+    let mut acts = Vec::new();
+    ex.poll(XchgEvent::Start, &mut acts);
+    let mut inbox: Option<(XchgMsg, Vec<u8>)> = None;
+    loop {
+        for a in acts.drain(..) {
+            match a {
+                XchgAction::Send { to, .. } => p.send_to(to, tag, payload(state)),
+                XchgAction::Consume(m) => {
+                    let (km, body) = inbox.take().expect("consume without a received message");
+                    debug_assert_eq!(km, m, "blocking driver consumed out of order");
+                    absorb(state, m, &body);
+                }
+            }
+        }
+        if ex.is_complete() {
+            return Ok(());
+        }
+        let (from, kind) = ex.expected_recv().expect("blocking exchange driver stalled");
+        let body = p.recv_from_deadline(from, tag, deadline)?;
+        inbox = Some((kind, body));
+        ex.poll(XchgEvent::Recv(kind), &mut acts);
+    }
 }
 
 /// Dissemination barrier: `ceil(log2 N)` rounds, any `N`.
@@ -85,37 +132,12 @@ pub fn barrier_binary_exchange(p: &mut impl P2p) {
 /// identical to the infallible barrier — only the receive waits differ —
 /// so the two spellings are indistinguishable on the wire.
 pub fn try_barrier_binary_exchange(p: &mut impl P2p, deadline: Instant) -> Result<(), CommError> {
-    let n = p.size();
-    if n == 1 {
+    if p.size() == 1 {
         return Ok(());
     }
-    let me = p.rank();
-    let tag = mk_tag(op::BARRIER_BX, p.next_epoch());
-    let m = pow2_floor(n);
-
-    if me >= m {
-        // Surplus rank: check in with the core partner, wait for release.
-        p.send_to(me - m, tag, Vec::new());
-        let _ = p.recv_from_deadline(me - m, tag, deadline)?;
-        return Ok(());
-    }
-    // Core rank: absorb a surplus partner first, if any.
-    let extra = me + m;
-    if extra < n {
-        let _ = p.recv_from_deadline(extra, tag, deadline)?;
-    }
-    // Figure 2 pattern: exchange with me XOR x for x = m/2, m/4, ..., 1.
-    let mut x = m / 2;
-    while x > 0 {
-        let peer = me ^ x;
-        p.send_to(peer, tag, Vec::new());
-        let _ = p.recv_from_deadline(peer, tag, deadline)?;
-        x /= 2;
-    }
-    if extra < n {
-        p.send_to(extra, tag, Vec::new());
-    }
-    Ok(())
+    let tag = barrier_bx_tag(p.next_epoch());
+    // Schedule-only: every message is empty, nothing to absorb.
+    drive_exchange(p, tag, deadline, &mut (), |_| Vec::new(), |_, _, _| ())
 }
 
 /// Element codec for [`allreduce`] vectors.
@@ -191,43 +213,29 @@ pub fn try_allreduce<T: Elem, F: Fn(T, T) -> T>(
     combine: F,
     deadline: Instant,
 ) -> Result<(), CommError> {
-    let n = p.size();
-    if n == 1 {
+    if p.size() == 1 {
         return Ok(());
     }
-    let me = p.rank();
-    let tag = mk_tag(op::ALLREDUCE, p.next_epoch());
-    let m = pow2_floor(n);
-
-    if me >= m {
-        // Surplus rank: hand the vector to the core partner, receive the
-        // final result back.
-        p.send_to(me - m, tag, enc_vec(local));
-        let body = p.recv_from_deadline(me - m, tag, deadline)?;
-        let mut r = Reader::new(&body);
-        for x in local.iter_mut() {
-            *x = T::dec(&mut r);
-        }
-        return Ok(());
-    }
-    let extra = me + m;
-    if extra < n {
-        let body = p.recv_from_deadline(extra, tag, deadline)?;
-        dec_combine(local, &body, &combine);
-    }
-    // x = m/2, m/4, ..., 1 — exchange and element-wise combine.
-    let mut x = m / 2;
-    while x > 0 {
-        let peer = me ^ x;
-        p.send_to(peer, tag, enc_vec(local));
-        let body = p.recv_from_deadline(peer, tag, deadline)?;
-        dec_combine(local, &body, &combine);
-        x /= 2;
-    }
-    if extra < n {
-        p.send_to(extra, tag, enc_vec(local));
-    }
-    Ok(())
+    let tag = allreduce_tag(p.next_epoch());
+    drive_exchange(
+        p,
+        tag,
+        deadline,
+        local,
+        |l| enc_vec(l),
+        |l, msg, body| match msg {
+            // Check-ins and round payloads fold in element-wise...
+            XchgMsg::Enter | XchgMsg::Round(_) => dec_combine(l, body, &combine),
+            // ...while the release carries the final totals back to the
+            // surplus rank and replaces.
+            XchgMsg::Exit => {
+                let mut r = Reader::new(body);
+                for x in l.iter_mut() {
+                    *x = T::dec(&mut r);
+                }
+            }
+        },
+    )
 }
 
 /// Sum-allreduce of a `u64` vector — exactly the `op_init[]` distribution
@@ -505,15 +513,5 @@ mod tests {
             b[0]
         });
         assert_eq!(out, vec![4, 4, 4, 4]);
-    }
-
-    #[test]
-    fn pow2_floor_values() {
-        assert_eq!(pow2_floor(1), 1);
-        assert_eq!(pow2_floor(2), 2);
-        assert_eq!(pow2_floor(3), 2);
-        assert_eq!(pow2_floor(8), 8);
-        assert_eq!(pow2_floor(9), 8);
-        assert_eq!(pow2_floor(1023), 512);
     }
 }

@@ -28,8 +28,9 @@ pub mod rooted;
 
 pub use codec::{BufWriter, Reader, Writer};
 pub use collectives::{
-    allgather, allreduce, allreduce_max_f64, allreduce_sum_f64, allreduce_sum_u64, barrier, barrier_binary_exchange,
-    bcast, scan, scan_sum_u64, try_allreduce, try_allreduce_sum_u64, try_barrier_binary_exchange,
+    allgather, allreduce, allreduce_max_f64, allreduce_sum_f64, allreduce_sum_u64, allreduce_tag, barrier,
+    barrier_binary_exchange, barrier_bx_tag, bcast, scan, scan_sum_u64, try_allreduce, try_allreduce_sum_u64,
+    try_barrier_binary_exchange,
 };
 pub use comm::{Comm, CommError, P2p};
 pub use rooted::{gather, reduce, reduce_sum_f64, reduce_sum_u64, scatter};

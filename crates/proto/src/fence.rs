@@ -1,0 +1,262 @@
+//! Fence accounting and fence-confirmation plans (paper §3.1.1).
+//!
+//! ARMCI's fence guarantees remote completion of previously issued
+//! counted operations. The bookkeeping is pure counting and lives here:
+//!
+//! * `op_init[dst]` — counted operations initiated toward each process,
+//!   the vector the combined barrier allreduces;
+//! * `unfenced[node]` / `unfenced_nic[node]` — operations issued to a
+//!   node's server (or NIC agent) since the last fence, deciding which
+//!   agents a GM-style fence must confirm with a round-trip
+//!   ([`FenceMode::Confirm`]);
+//! * `unacked[node]` — outstanding per-put acknowledgements under a
+//!   VIA-style reliable NIC ([`FenceMode::DrainAcks`]), where fencing
+//!   means draining acks rather than a confirmation round-trip.
+//!
+//! [`SeqConfirm`] and [`PipeConfirm`] are the two `AllFence` shapes the
+//! paper compares: confirm one node at a time (the baseline whose cost is
+//! `2·(N-1)` latencies) or fire every confirmation and collect the acks
+//! overlapped (the pipelined optimization).
+
+/// How the interconnect completes remote stores (paper §2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FenceMode {
+    /// GM-style: no per-put ack; a fence sends an explicit confirmation
+    /// request that flushes the target's FIFO (Myrinet/GM).
+    Confirm,
+    /// VIA-style: the NIC acks every put; a fence drains outstanding
+    /// acks (Giganet/VIA).
+    DrainAcks,
+}
+
+/// Which agents of a node a [`FenceMode::Confirm`] fence must round-trip
+/// with (both can be armed when NIC-assisted puts are mixed with plain
+/// server puts).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ConfirmTargets {
+    /// The node's server (host agent) has unfenced operations.
+    pub server: bool,
+    /// The node's NIC agent has unfenced operations.
+    pub nic: bool,
+}
+
+impl ConfirmTargets {
+    /// No round-trip needed at all.
+    pub fn is_empty(&self) -> bool {
+        !self.server && !self.nic
+    }
+}
+
+/// Per-rank fence accounting engine (see module docs).
+#[derive(Clone, Debug)]
+pub struct FenceEngine {
+    mode: FenceMode,
+    op_init: Vec<u64>,
+    unfenced: Vec<u64>,
+    unfenced_nic: Vec<u64>,
+    unacked: Vec<u64>,
+}
+
+impl FenceEngine {
+    /// Fresh engine for a group of `nprocs` processes on `nnodes` nodes.
+    pub fn new(mode: FenceMode, nprocs: usize, nnodes: usize) -> Self {
+        FenceEngine {
+            mode,
+            op_init: vec![0; nprocs],
+            unfenced: vec![0; nnodes],
+            unfenced_nic: vec![0; nnodes],
+            unacked: vec![0; nnodes],
+        }
+    }
+
+    /// Record one counted remote operation toward process `dst` on node
+    /// `node`, issued through the NIC agent when `via_nic`.
+    pub fn note_put(&mut self, dst: usize, node: usize, via_nic: bool) {
+        self.op_init[dst] += 1;
+        if via_nic {
+            self.unfenced_nic[node] += 1;
+        } else {
+            self.unfenced[node] += 1;
+        }
+        if self.mode == FenceMode::DrainAcks {
+            self.unacked[node] += 1;
+        }
+    }
+
+    /// The per-target initiation counts (cumulative), as allreduced by
+    /// the combined barrier.
+    pub fn op_init(&self) -> &[u64] {
+        &self.op_init
+    }
+
+    /// Snapshot of [`FenceEngine::op_init`] to seed a
+    /// [`crate::CombinedBarrier`].
+    pub fn barrier_vector(&self) -> Vec<u64> {
+        self.op_init.clone()
+    }
+
+    /// Confirm-mode: which agents of `node` need a fence round-trip.
+    pub fn confirm_targets(&self, node: usize) -> ConfirmTargets {
+        ConfirmTargets { server: self.unfenced[node] > 0, nic: self.unfenced_nic[node] > 0 }
+    }
+
+    /// Confirm-mode: the round-trip(s) for `node` completed; its counters
+    /// reset.
+    pub fn node_confirmed(&mut self, node: usize) {
+        self.unfenced[node] = 0;
+        self.unfenced_nic[node] = 0;
+    }
+
+    /// DrainAcks-mode: outstanding acks from `node`.
+    pub fn acks_pending(&self, node: usize) -> u64 {
+        self.unacked[node]
+    }
+
+    /// DrainAcks-mode: any node with outstanding acks?
+    pub fn any_acks_pending(&self) -> bool {
+        self.unacked.iter().any(|&c| c > 0)
+    }
+
+    /// DrainAcks-mode: one ack from `node` arrived.
+    pub fn ack_received(&mut self, node: usize) {
+        debug_assert!(self.unacked[node] > 0, "ack with none outstanding");
+        self.unacked[node] = self.unacked[node].saturating_sub(1);
+    }
+
+    /// A completed barrier or full `AllFence` confirms everything: reset
+    /// the per-node unfenced counters (cumulative `op_init` is never
+    /// reset — the allreduce relies on monotonicity).
+    pub fn all_confirmed(&mut self) {
+        self.unfenced.iter_mut().for_each(|c| *c = 0);
+        self.unfenced_nic.iter_mut().for_each(|c| *c = 0);
+    }
+}
+
+/// Sequential `AllFence` baseline: confirm one target after another, each
+/// ack releasing the next request — the `2·(N-1)`-latency shape of paper
+/// Figure 7's baseline `GA_Sync`.
+#[derive(Clone, Debug)]
+pub struct SeqConfirm {
+    targets: Vec<usize>,
+    next: usize,
+}
+
+impl SeqConfirm {
+    /// Plan over `targets` in the given order.
+    pub fn new(targets: Vec<usize>) -> Self {
+        SeqConfirm { targets, next: 0 }
+    }
+
+    /// The target currently being confirmed (request outstanding or about
+    /// to be sent); `None` when the plan is complete.
+    pub fn current(&self) -> Option<usize> {
+        self.targets.get(self.next).copied()
+    }
+
+    /// The current target acked; returns the next target to confirm.
+    pub fn ack(&mut self) -> Option<usize> {
+        debug_assert!(self.next < self.targets.len(), "ack past end of plan");
+        self.next += 1;
+        self.current()
+    }
+
+    /// All targets confirmed.
+    pub fn is_complete(&self) -> bool {
+        self.next >= self.targets.len()
+    }
+}
+
+/// Pipelined `AllFence`: all confirmation requests fired at once, acks
+/// collected in any order (cost `2 + log` instead of `2·(N-1)`).
+#[derive(Clone, Debug)]
+pub struct PipeConfirm {
+    total: usize,
+    acks: usize,
+}
+
+impl PipeConfirm {
+    /// Plan awaiting `total` acks (the harness fires the requests).
+    pub fn new(total: usize) -> Self {
+        PipeConfirm { total, acks: 0 }
+    }
+
+    /// One ack arrived; returns `true` when all are in.
+    pub fn ack(&mut self) -> bool {
+        debug_assert!(self.acks < self.total, "ack past end of plan");
+        self.acks += 1;
+        self.is_complete()
+    }
+
+    /// All acks collected.
+    pub fn is_complete(&self) -> bool {
+        self.acks >= self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confirm_mode_tracks_per_agent_counters() {
+        let mut f = FenceEngine::new(FenceMode::Confirm, 4, 2);
+        assert!(f.confirm_targets(1).is_empty());
+        f.note_put(2, 1, false);
+        f.note_put(3, 1, true);
+        assert_eq!(f.op_init(), &[0, 0, 1, 1]);
+        let t = f.confirm_targets(1);
+        assert!(t.server && t.nic);
+        assert!(f.confirm_targets(0).is_empty());
+        f.node_confirmed(1);
+        assert!(f.confirm_targets(1).is_empty());
+        // op_init is cumulative and survives the fence.
+        assert_eq!(f.op_init(), &[0, 0, 1, 1]);
+        assert!(!f.any_acks_pending(), "Confirm mode never arms acks");
+    }
+
+    #[test]
+    fn drain_mode_counts_acks() {
+        let mut f = FenceEngine::new(FenceMode::DrainAcks, 2, 2);
+        f.note_put(1, 1, false);
+        f.note_put(1, 1, false);
+        assert_eq!(f.acks_pending(1), 2);
+        assert!(f.any_acks_pending());
+        f.ack_received(1);
+        f.ack_received(1);
+        assert!(!f.any_acks_pending());
+    }
+
+    #[test]
+    fn barrier_resets_unfenced_not_op_init() {
+        let mut f = FenceEngine::new(FenceMode::Confirm, 2, 2);
+        f.note_put(1, 1, false);
+        f.all_confirmed();
+        assert!(f.confirm_targets(1).is_empty());
+        assert_eq!(f.barrier_vector(), vec![0, 1]);
+    }
+
+    #[test]
+    fn seq_confirm_walks_targets_in_order() {
+        let mut p = SeqConfirm::new(vec![3, 1, 2]);
+        assert_eq!(p.current(), Some(3));
+        assert_eq!(p.ack(), Some(1));
+        assert_eq!(p.ack(), Some(2));
+        assert_eq!(p.ack(), None);
+        assert!(p.is_complete());
+    }
+
+    #[test]
+    fn empty_seq_confirm_is_complete() {
+        assert!(SeqConfirm::new(Vec::new()).is_complete());
+    }
+
+    #[test]
+    fn pipe_confirm_completes_on_last_ack() {
+        let mut p = PipeConfirm::new(3);
+        assert!(!p.ack());
+        assert!(!p.ack());
+        assert!(p.ack());
+        assert!(p.is_complete());
+        assert!(PipeConfirm::new(0).is_complete());
+    }
+}

@@ -1,0 +1,45 @@
+//! Power-of-two helpers shared by every binary-exchange schedule.
+//!
+//! The paper's collectives (Figure 2) operate on the largest power-of-two
+//! "core" of the process group and fold surplus ranks onto core partners.
+//! These two functions define that split; they used to be duplicated in
+//! `armci-msglib` and `armci-simnet` and live here so the fold is computed
+//! identically everywhere.
+
+/// Largest power of two `<= n` (`n >= 1`).
+#[inline]
+pub fn pow2_floor(n: usize) -> usize {
+    debug_assert!(n >= 1);
+    1 << (usize::BITS - 1 - n.leading_zeros())
+}
+
+/// `log2` of an exact power of two.
+#[inline]
+pub fn log2_exact(m: usize) -> usize {
+    debug_assert!(m.is_power_of_two());
+    m.trailing_zeros() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pow2_floor_values() {
+        assert_eq!(pow2_floor(1), 1);
+        assert_eq!(pow2_floor(2), 2);
+        assert_eq!(pow2_floor(3), 2);
+        assert_eq!(pow2_floor(8), 8);
+        assert_eq!(pow2_floor(9), 8);
+        assert_eq!(pow2_floor(1023), 512);
+    }
+
+    #[test]
+    fn log2_of_pow2_floor_roundtrips() {
+        for n in 1..200 {
+            let m = pow2_floor(n);
+            assert!(m <= n && 2 * m > n);
+            assert_eq!(1usize << log2_exact(m), m);
+        }
+    }
+}

@@ -3,6 +3,16 @@
 //! under the hybrid ticket/server algorithm and under the MCS software
 //! queuing lock.
 //!
+//! The protocol *decisions* — who is granted, who queues, when the MCS
+//! release can fire a single wake versus when it must CAS and wait for
+//! its successor's link — are not modeled here: each actor is a thin
+//! adapter around the sans-IO engines in [`armci_proto`]
+//! ([`HybridHome`], [`HybridAcquire`], [`McsAcquire`], [`McsRelease`],
+//! [`Backoff`]), the same code the runtime's lock paths drive against
+//! real memory segments. The adapter performs the modeled word
+//! operations and messages, feeds the observed values back as events,
+//! and charges virtual time.
+//!
 //! Topology: `n` processes on `n` nodes (actors `0..n`), plus a *home*
 //! actor (actor `n`, on node 0) standing in for the lock's memory words
 //! and the server thread that manipulates them on behalf of remote
@@ -20,7 +30,10 @@
 //!   uncontended `compare&swap` (the Figure 10 regression);
 //! * **cycle** — acquire + release (the Figure 8 quantity).
 
-use std::collections::VecDeque;
+use armci_proto::{
+    Backoff, HybridAcquire, HybridAction, HybridEvent, HybridHome, McsAcquire, McsAcquireAction, McsAcquireEvent,
+    McsRelease, McsReleaseAction, McsReleaseEvent,
+};
 
 use crate::net::NetModel;
 use crate::sim::{Actor, ActorId, Ctx, Sim, Time};
@@ -75,15 +88,19 @@ pub enum Msg {
     PollTimer,
 }
 
+/// All simulated locks are the same lock; the engine keys by (owner, idx).
+const LOCK_KEY: (u32, u32) = (0, 0);
+
 /// The lock home: the memory words (and serving thread) at the lock's
-/// location.
+/// location. Word state lives here; grant/queue decisions live in the
+/// shared [`HybridHome`] engine.
 struct Home {
     /// Hybrid ticket word.
     ticket: u64,
     /// Hybrid counter word.
     counter: u64,
-    /// Hybrid server-side waiter queue (ticket order by construction).
-    queue: VecDeque<(u64, ActorId)>,
+    /// Hybrid grant/queue decision table (ticket order by construction).
+    waiters: HybridHome<ActorId>,
     /// MCS Lock word: the current tail process, if any.
     lock_word: Option<u32>,
     occupancy: Time,
@@ -116,13 +133,18 @@ struct Proc {
     t_rel: Time,
     acquire_ns: Vec<Time>,
     release_ns: Vec<Time>,
-    // MCS local node structure.
+    // MCS local queue-node word (the engine only threads pointers).
     next: Option<u32>,
-    releasing: bool,
-    cas_failed: bool,
+    // Protocol engines for the phase in flight.
+    hyb: Option<HybridAcquire>,
+    acq: Option<McsAcquire<u32>>,
+    rel: Option<McsRelease<u32>>,
+    /// The release engine issued `AwaitSuccessor`: the next `SetNext`
+    /// delivery resumes it.
+    awaiting_successor: bool,
     // TicketPoll state.
     my_ticket: u64,
-    backoff: Time,
+    backoff: Backoff,
 }
 
 /// Actors of the lock simulation.
@@ -135,17 +157,23 @@ impl Proc {
     fn begin_request(&mut self, ctx: &mut Ctx<'_, Msg>, delay: Time) {
         self.t_req = ctx.now + delay;
         self.next = None;
-        self.releasing = false;
-        self.cas_failed = false;
-        let msg = match self.algo {
-            LockAlgo::Hybrid => Msg::LockReq,
-            LockAlgo::Mcs => Msg::Swap,
-            LockAlgo::TicketPoll => {
-                self.backoff = 1_000; // 1 µs initial backoff
-                Msg::TakeTicket
+        self.awaiting_successor = false;
+        match self.algo {
+            LockAlgo::Hybrid => {
+                // The home actor owns the words even for the co-located
+                // process, so every acquire takes the message plan.
+                self.hyb = Some(HybridAcquire::new(false));
+                self.drive_hybrid(ctx, HybridEvent::Start, delay);
             }
-        };
-        ctx.send_after(delay, self.home, msg, 0);
+            LockAlgo::Mcs => {
+                self.acq = Some(McsAcquire::new(false));
+                self.drive_mcs_acquire(ctx, McsAcquireEvent::Start, delay);
+            }
+            LockAlgo::TicketPoll => {
+                self.backoff = Backoff::new(1_000, 256_000); // 1 µs initial
+                ctx.send_after(delay, self.home, Msg::TakeTicket, 0);
+            }
+        }
     }
 
     fn acquired(&mut self, ctx: &mut Ctx<'_, Msg>) {
@@ -161,15 +189,91 @@ impl Proc {
         }
     }
 
-    /// MCS: complete a release that was blocked on knowing the successor.
-    fn handoff_if_ready(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        if self.releasing && self.cas_failed {
-            if let Some(nxt) = self.next {
-                ctx.send_after(self.send_overhead, nxt as ActorId, Msg::Wake, 0);
-                let dur = (ctx.now + self.send_overhead) - self.t_rel;
-                self.releasing = false;
-                self.finish_release(ctx, dur);
+    /// Feed one event to the hybrid acquire engine and perform its
+    /// actions; `delay` defers the request send (chained releases).
+    fn drive_hybrid(&mut self, ctx: &mut Ctx<'_, Msg>, ev: HybridEvent, delay: Time) {
+        let Some(mut eng) = self.hyb.take() else { return };
+        let mut acts = Vec::new();
+        eng.poll(ev, &mut acts);
+        for a in acts {
+            match a {
+                HybridAction::SendLockReq => ctx.send_after(delay, self.home, Msg::LockReq, 0),
+                HybridAction::AwaitGrant => {} // resumed by Msg::Grant
+                HybridAction::Acquired => self.acquired(ctx),
+                HybridAction::FetchAddTicket | HybridAction::AwaitCounter { .. } => {
+                    unreachable!("shared-memory plan in the message-based model")
+                }
             }
+        }
+        if !eng.is_acquired() {
+            self.hyb = Some(eng);
+        }
+    }
+
+    /// Feed one event to the MCS acquire engine and perform its actions.
+    fn drive_mcs_acquire(&mut self, ctx: &mut Ctx<'_, Msg>, ev: McsAcquireEvent<u32>, delay: Time) {
+        let Some(mut eng) = self.acq.take() else { return };
+        let mut acts = Vec::new();
+        eng.poll(ev, &mut acts);
+        for a in acts {
+            match a {
+                McsAcquireAction::ClearMyNext => self.next = None,
+                McsAcquireAction::SwapLock => ctx.send_after(delay, self.home, Msg::Swap, 0),
+                // The `locked` flag is implicit in the model: Msg::Wake
+                // *is* the predecessor clearing it.
+                McsAcquireAction::SetMyLocked | McsAcquireAction::AwaitWake | McsAcquireAction::SetLease => {}
+                McsAcquireAction::LinkAfter(prev) => {
+                    // Enqueue: write our identity into the predecessor's
+                    // next pointer, then wait for Wake.
+                    ctx.send_after(self.send_overhead, prev as ActorId, Msg::SetNext(self.me), 0);
+                }
+                McsAcquireAction::Acquired => self.acquired(ctx),
+            }
+        }
+        if !eng.is_acquired() {
+            self.acq = Some(eng);
+        }
+    }
+
+    /// Feed one event to the MCS release engine and perform its actions.
+    /// `dur` is the release time to record if this event completes it.
+    fn drive_mcs_release(&mut self, ctx: &mut Ctx<'_, Msg>, ev: McsReleaseEvent<u32>, dur: Time) {
+        let Some(mut eng) = self.rel.take() else { return };
+        let mut acts = Vec::new();
+        eng.poll(ev, &mut acts);
+        let mut released = false;
+        // Index loop: local-word actions feed follow-up events into the
+        // same queue (the engine appends to `acts` mid-drain).
+        let mut i = 0;
+        while i < acts.len() {
+            match acts[i] {
+                McsReleaseAction::ReadMyNext => {
+                    let next = self.next;
+                    eng.poll(McsReleaseEvent::NextValue(next), &mut acts);
+                }
+                McsReleaseAction::CasLockToNull => {
+                    // Try to swing the Lock word back to NULL.
+                    ctx.send_after(self.send_overhead, self.home, Msg::Cas, 0);
+                }
+                McsReleaseAction::AwaitSuccessor => {
+                    // A requester won the race; its link store is in
+                    // flight — unless it already landed.
+                    self.awaiting_successor = true;
+                    if let Some(nxt) = self.next {
+                        eng.poll(McsReleaseEvent::NextValue(Some(nxt)), &mut acts);
+                    }
+                }
+                McsReleaseAction::Wake(nxt) => ctx.send_after(self.send_overhead, nxt as ActorId, Msg::Wake, 0),
+                McsReleaseAction::TransferLease(_) | McsReleaseAction::ClearLease => {}
+                McsReleaseAction::Released => released = true,
+            }
+            i += 1;
+        }
+        if released {
+            self.awaiting_successor = false;
+            self.finish_release(ctx, dur);
+        } else {
+            self.rel = Some(eng);
         }
     }
 }
@@ -190,20 +294,15 @@ impl Actor<Msg> for LockNode {
                     h.charge(ctx, from, false);
                     let t = h.ticket;
                     h.ticket += 1;
-                    if t == h.counter {
+                    if h.waiters.lock_req(LOCK_KEY, from, t, h.counter) {
                         ctx.send(from, Msg::Grant, 0);
-                    } else {
-                        h.queue.push_back((t, from));
                     }
                 }
                 Msg::Unlock => {
                     h.charge(ctx, from, true); // server handles all unlocks
                     h.counter += 1;
-                    if let Some(&(t, p)) = h.queue.front() {
-                        if t == h.counter {
-                            h.queue.pop_front();
-                            ctx.send(p, Msg::Grant, 0);
-                        }
+                    if let Some(p) = h.waiters.unlock(LOCK_KEY, h.counter) {
+                        ctx.send(p, Msg::Grant, 0);
                     }
                 }
                 Msg::Swap => {
@@ -236,23 +335,19 @@ impl Actor<Msg> for LockNode {
                 other => panic!("home received {other:?}"),
             },
             LockNode::P(p) => match msg {
-                Msg::Grant => p.acquired(ctx),
-                Msg::SwapReply(prev) => match prev {
-                    None => p.acquired(ctx),
-                    Some(prev_proc) => {
-                        // Enqueue: write our identity into the
-                        // predecessor's next pointer, then wait for Wake.
-                        ctx.send_after(p.send_overhead, prev_proc as ActorId, Msg::SetNext(p.me), 0);
-                    }
-                },
-                Msg::Wake => p.acquired(ctx),
+                Msg::Grant => p.drive_hybrid(ctx, HybridEvent::Granted, 0),
+                Msg::SwapReply(prev) => p.drive_mcs_acquire(ctx, McsAcquireEvent::SwapResult(prev), 0),
+                Msg::Wake => p.drive_mcs_acquire(ctx, McsAcquireEvent::LockedCleared, 0),
                 Msg::SetNext(who) => {
                     // Applied by our node's server thread (or directly if
                     // the writer is local — occupancy either way is the
                     // dominant term, so charge it uniformly).
                     ctx.busy(0);
                     p.next = Some(who);
-                    p.handoff_if_ready(ctx);
+                    if p.awaiting_successor {
+                        let dur = (ctx.now + p.send_overhead) - p.t_rel;
+                        p.drive_mcs_release(ctx, McsReleaseEvent::NextValue(Some(who)), dur);
+                    }
                 }
                 Msg::ReleaseTimer => {
                     p.t_rel = ctx.now;
@@ -268,28 +363,25 @@ impl Actor<Msg> for LockNode {
                             p.finish_release(ctx, p.send_overhead);
                         }
                         LockAlgo::Mcs => {
-                            if let Some(nxt) = p.next {
-                                // Successor known: single-message handoff.
-                                ctx.send_after(p.send_overhead, nxt as ActorId, Msg::Wake, 0);
-                                p.finish_release(ctx, p.send_overhead);
-                            } else {
-                                // Try to swing the Lock word back to NULL.
-                                p.releasing = true;
-                                ctx.send_after(p.send_overhead, p.home, Msg::Cas, 0);
-                            }
+                            // Successor known: single-message handoff at
+                            // `send_overhead`; otherwise the engine CASes
+                            // and the release cost is measured at the
+                            // reply (or at the successor's link).
+                            p.rel = Some(McsRelease::new(false));
+                            let dur = p.send_overhead;
+                            p.drive_mcs_release(ctx, McsReleaseEvent::Start, dur);
                         }
                     }
                 }
                 Msg::CasReply(ok) => {
-                    if ok {
-                        let dur = ctx.now - p.t_rel;
-                        p.releasing = false;
-                        p.finish_release(ctx, dur);
+                    let dur = if ok {
+                        ctx.now - p.t_rel
                     } else {
-                        // A requester won the race; wait for SetNext.
-                        p.cas_failed = true;
-                        p.handoff_if_ready(ctx);
-                    }
+                        // If the successor's link already landed, the
+                        // handoff completes now at one send's cost.
+                        (ctx.now + p.send_overhead) - p.t_rel
+                    };
+                    p.drive_mcs_release(ctx, McsReleaseEvent::CasResult { won: ok }, dur);
                 }
                 Msg::TicketReply(t) => {
                     p.my_ticket = t;
@@ -300,8 +392,7 @@ impl Actor<Msg> for LockNode {
                         p.acquired(ctx);
                     } else {
                         // Back off, then poll again (capped exponential).
-                        ctx.wake_after(p.backoff, Msg::PollTimer);
-                        p.backoff = (p.backoff * 2).min(256_000);
+                        ctx.wake_after(p.backoff.next_delay(), Msg::PollTimer);
                     }
                 }
                 Msg::PollTimer => {
@@ -326,6 +417,42 @@ pub struct LockResult {
     pub total_ns: Time,
 }
 
+fn mk_proc(me: u32, home: ActorId, algo: LockAlgo, iters: u64, hold: Time, model: &NetModel) -> Proc {
+    Proc {
+        me,
+        home,
+        algo,
+        iters_left: iters,
+        hold,
+        send_overhead: model.send_overhead,
+        t_req: 0,
+        t_rel: 0,
+        acquire_ns: Vec::with_capacity(iters as usize),
+        release_ns: Vec::with_capacity(iters as usize),
+        next: None,
+        hyb: None,
+        acq: None,
+        rel: None,
+        awaiting_successor: false,
+        my_ticket: 0,
+        backoff: Backoff::new(1_000, 256_000),
+    }
+}
+
+fn mk_home(model: &NetModel) -> Home {
+    Home {
+        ticket: 0,
+        counter: 0,
+        waiters: HybridHome::new(),
+        lock_word: None,
+        // The lock benchmark keeps the server hot (a continuous stream of
+        // requests), so the per-request cost is the hot-path processing
+        // time, not the sleep/wake occupancy the fence model charges.
+        occupancy: model.server_processing,
+        atomic_cost: model.atomic_cost,
+    }
+}
+
 /// Simulate `n` processes (process 0 co-located with the lock) each
 /// performing `iters` lock/unlock cycles with `hold` ns inside the
 /// critical section.
@@ -347,36 +474,10 @@ pub fn simulate_lock_at(
     let mut actors: Vec<LockNode> = Vec::with_capacity(n + 1);
     let mut nodes = Vec::with_capacity(n + 1);
     for p in 0..n {
-        actors.push(LockNode::P(Proc {
-            me: p as u32,
-            home: n,
-            algo,
-            iters_left: iters,
-            hold,
-            send_overhead: model.send_overhead,
-            t_req: 0,
-            t_rel: 0,
-            acquire_ns: Vec::with_capacity(iters as usize),
-            release_ns: Vec::with_capacity(iters as usize),
-            next: None,
-            releasing: false,
-            cas_failed: false,
-            my_ticket: 0,
-            backoff: 0,
-        }));
+        actors.push(LockNode::P(mk_proc(p as u32, n, algo, iters, hold, &model)));
         nodes.push(if p == 0 && !proc0_local { 1 } else { p });
     }
-    actors.push(LockNode::H(Home {
-        ticket: 0,
-        counter: 0,
-        queue: VecDeque::new(),
-        lock_word: None,
-        // The lock benchmark keeps the server hot (a continuous stream of
-        // requests), so the per-request cost is the hot-path processing
-        // time, not the sleep/wake occupancy the fence model charges.
-        occupancy: model.server_processing,
-        atomic_cost: model.atomic_cost,
-    }));
+    actors.push(LockNode::H(mk_home(&model)));
     nodes.push(0); // home lives on node 0
     let mut sim = Sim::new(actors, nodes, model);
     let total = sim.run(200_000_000);
@@ -415,33 +516,10 @@ pub fn simulate_lock_smp(
     let mut actors: Vec<LockNode> = Vec::with_capacity(n + 1);
     let mut node_map = Vec::with_capacity(n + 1);
     for p in 0..n {
-        actors.push(LockNode::P(Proc {
-            me: p as u32,
-            home: n,
-            algo,
-            iters_left: iters,
-            hold,
-            send_overhead: model.send_overhead,
-            t_req: 0,
-            t_rel: 0,
-            acquire_ns: Vec::with_capacity(iters as usize),
-            release_ns: Vec::with_capacity(iters as usize),
-            next: None,
-            releasing: false,
-            cas_failed: false,
-            my_ticket: 0,
-            backoff: 0,
-        }));
+        actors.push(LockNode::P(mk_proc(p as u32, n, algo, iters, hold, &model)));
         node_map.push(p / ppn);
     }
-    actors.push(LockNode::H(Home {
-        ticket: 0,
-        counter: 0,
-        queue: VecDeque::new(),
-        lock_word: None,
-        occupancy: model.server_processing,
-        atomic_cost: model.atomic_cost,
-    }));
+    actors.push(LockNode::H(mk_home(&model)));
     node_map.push(0);
     let mut sim = Sim::new(actors, node_map, model);
     let total = sim.run(200_000_000);

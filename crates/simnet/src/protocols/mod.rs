@@ -1,25 +1,24 @@
-//! Actor-level models of every synchronization protocol in the paper.
+//! Actor-level adapters driving the sans-IO protocol engines of
+//! [`armci_proto`] under the simulator's virtual clock.
 //!
 //! * [`sync`] — Figure 7: the baseline `GA_Sync()`
 //!   (`ARMCI_AllFence()` + binary-exchange `MPI_Barrier()`) vs the new
-//!   combined `ARMCI_Barrier()`;
+//!   combined `ARMCI_Barrier()`, exchange stages driven by
+//!   [`armci_proto::Exchange`];
 //! * [`lock`] — Figures 8–10: the hybrid ticket/server lock vs the MCS
-//!   software queuing lock under varying contention.
+//!   software queuing lock under varying contention, word transitions
+//!   driven by the [`armci_proto::lock`] engines.
+//!
+//! The adapters own only the *cost model* (latencies, server occupancy,
+//! word placement); every protocol decision comes from the same engines
+//! the runtime drives, so simulated and executed schedules cannot drift
+//! apart (the conformance suite asserts they are message-identical).
 
-pub mod lock;
-pub mod sync;
+pub mod lock_adapter;
+pub mod sync_adapter;
 
-pub use lock::{simulate_lock, LockAlgo, LockResult};
-pub use sync::{simulate_combined_barrier, simulate_sync_baseline, SyncResult};
+pub use lock_adapter as lock;
+pub use sync_adapter as sync;
 
-/// Largest power of two `<= n` (`n >= 1`).
-pub(crate) fn pow2_floor(n: usize) -> usize {
-    debug_assert!(n >= 1);
-    1 << (usize::BITS - 1 - n.leading_zeros())
-}
-
-/// `log2` of a power of two.
-pub(crate) fn log2_exact(m: usize) -> usize {
-    debug_assert!(m.is_power_of_two());
-    m.trailing_zeros() as usize
-}
+pub use lock_adapter::{simulate_lock, LockAlgo, LockResult};
+pub use sync_adapter::{simulate_combined_barrier, simulate_sync_baseline, SyncResult};

@@ -1,6 +1,16 @@
 //! Discrete-event model of the Figure 7 experiment: `GA_Sync()` with the
 //! original algorithm vs the paper's combined `ARMCI_Barrier()`.
 //!
+//! The binary-exchange *schedule* — who sends what to whom, in which
+//! round, including the non-power-of-two fold — is not modeled here: each
+//! exchange stage is a thin actor adapter around [`armci_proto::Exchange`],
+//! the same sans-IO engine the runtime's `ARMCI_Barrier()` drives over
+//! real transports. The adapter translates simulated message deliveries
+//! into engine events and engine `Send` actions into modeled messages
+//! under the virtual clock, and records every send so the cross-harness
+//! conformance suite can compare the simulated schedule against the
+//! runtime's, message for message.
+//!
 //! Topology: `n` single-process nodes; actor `i` is user process `i`,
 //! actor `n + node` is that node's server thread. All processes start the
 //! synchronization at virtual time 0 (the paper calls `MPI_Barrier()`
@@ -19,8 +29,9 @@
 //!   (message size `8·n` bytes), a zero-cost `op_done` wait (puts are
 //!   complete), and the binary-exchange barrier: `2·log2(n)` latencies.
 
+use armci_proto::{Exchange as XchgEngine, SendRecord, XchgAction, XchgEvent, XchgMsg};
+
 use crate::net::NetModel;
-use crate::protocols::{log2_exact, pow2_floor};
 use crate::sim::{Actor, ActorId, Ctx, Sim, Time};
 
 /// Messages of the sync protocols.
@@ -52,115 +63,68 @@ pub enum Msg {
     },
 }
 
-/// One binary-exchange stage (allreduce or barrier) with the same fold
-/// handling for non-powers of two that `armci-msglib` uses.
+/// One binary-exchange stage (allreduce or barrier): the shared sans-IO
+/// engine plus the glue that turns its actions into modeled messages.
 struct Exchange {
     stage: u8,
     /// Payload bytes per message in this stage.
     size: usize,
-    n: usize,
-    me: usize,
-    m: usize,
-    rounds: usize,
-    cur_round: usize,
+    eng: XchgEngine,
     started: bool,
-    entered: bool,
-    got_round: Vec<bool>,
-    got_exit: bool,
-    complete: bool,
+    /// Engine actions emitted but not yet translated to the network.
+    out: Vec<XchgAction>,
+    /// Every send this stage issued, for conformance comparison against
+    /// the runtime-driven engine.
+    log: Vec<SendRecord>,
 }
 
 impl Exchange {
     fn new(stage: u8, size: usize, n: usize, me: usize) -> Self {
-        let m = pow2_floor(n);
-        let rounds = log2_exact(m);
-        Exchange {
-            stage,
-            size,
-            n,
-            me,
-            m,
-            rounds,
-            cur_round: 0,
-            started: false,
-            entered: false,
-            got_round: vec![false; rounds],
-            got_exit: false,
-            complete: false,
+        Exchange { stage, size, eng: XchgEngine::new(n, me), started: false, out: Vec::new(), log: Vec::new() }
+    }
+
+    fn encode(stage: u8, msg: XchgMsg) -> Msg {
+        match msg {
+            XchgMsg::Enter => Msg::Enter { stage },
+            XchgMsg::Exit => Msg::Exit { stage },
+            XchgMsg::Round(round) => Msg::Xchg { stage, round },
         }
     }
 
-    fn is_extra(&self) -> bool {
-        self.me >= self.m
-    }
-
-    fn extra_partner(&self) -> Option<usize> {
-        let p = self.me + self.m;
-        (p < self.n).then_some(p)
-    }
-
-    fn partner(&self, round: usize) -> usize {
-        self.me ^ (self.m >> (round + 1))
+    fn decode(m: &Msg) -> Option<(u8, XchgMsg)> {
+        match *m {
+            Msg::Xchg { stage, round } => Some((stage, XchgMsg::Round(round))),
+            Msg::Enter { stage } => Some((stage, XchgMsg::Enter)),
+            Msg::Exit { stage } => Some((stage, XchgMsg::Exit)),
+            Msg::Start | Msg::FenceReq | Msg::FenceAck => None,
+        }
     }
 
     /// Drive the stage as far as possible; returns true when complete.
     fn advance(&mut self, ctx: &mut Ctx<'_, Msg>) -> bool {
-        if self.complete {
-            return true;
-        }
-        if self.n == 1 {
-            self.complete = true;
-            return true;
-        }
-        if self.is_extra() {
-            if !self.started {
-                self.started = true;
-                ctx.send(self.me - self.m, Msg::Enter { stage: self.stage }, self.size);
-            }
-            if self.got_exit {
-                self.complete = true;
-            }
-            return self.complete;
-        }
-        // Core rank: absorb the surplus partner first.
         if !self.started {
-            if self.extra_partner().is_some() && !self.entered {
-                return false;
-            }
             self.started = true;
-            ctx.send(self.partner(0), Msg::Xchg { stage: self.stage, round: 0 }, self.size);
+            self.eng.poll(XchgEvent::Start, &mut self.out);
         }
-        while self.cur_round < self.rounds && self.got_round[self.cur_round] {
-            self.cur_round += 1;
-            if self.cur_round < self.rounds {
-                ctx.send(
-                    self.partner(self.cur_round),
-                    Msg::Xchg { stage: self.stage, round: self.cur_round as u8 },
-                    self.size,
-                );
+        for a in self.out.drain(..) {
+            // Consume markers order the value fold; the model carries no
+            // payload data, so only Sends become network traffic.
+            if let XchgAction::Send { to, msg } = a {
+                self.log.push(SendRecord { stage: self.stage, to: to as u32, msg });
+                ctx.send(to, Self::encode(self.stage, msg), self.size);
             }
         }
-        if self.cur_round == self.rounds {
-            if let Some(p) = self.extra_partner() {
-                ctx.send(p, Msg::Exit { stage: self.stage }, self.size);
-            }
-            self.complete = true;
-        }
-        self.complete
+        self.eng.is_complete()
     }
 
+    /// Feed a delivered message; false if it belongs to another stage.
+    /// Deliveries before this stage is entered are legal — the engine
+    /// records them and acts on them at `Start` (see
+    /// [`armci_proto::XchgEvent::Start`]).
     fn on_msg(&mut self, msg: &Msg) -> bool {
-        match *msg {
-            Msg::Xchg { stage, round } if stage == self.stage => {
-                self.got_round[round as usize] = true;
-                true
-            }
-            Msg::Enter { stage } if stage == self.stage => {
-                self.entered = true;
-                true
-            }
-            Msg::Exit { stage } if stage == self.stage => {
-                self.got_exit = true;
+        match Self::decode(msg) {
+            Some((stage, kind)) if stage == self.stage => {
+                self.eng.poll(XchgEvent::Recv(kind), &mut self.out);
                 true
             }
             _ => false,
@@ -170,10 +134,7 @@ impl Exchange {
 
 /// Exchange-stage id carried by a message, if any.
 fn msg_stage(m: &Msg) -> Option<u8> {
-    match *m {
-        Msg::Xchg { stage, .. } | Msg::Enter { stage } | Msg::Exit { stage } => Some(stage),
-        Msg::Start | Msg::FenceReq | Msg::FenceAck => None,
-    }
+    Exchange::decode(m).map(|(stage, _)| stage)
 }
 
 /// What a user process does in sequence.
@@ -206,6 +167,24 @@ impl ProcActor {
     /// Time this process spent inside the sync (finish − start).
     pub fn sync_time(&self) -> Option<Time> {
         self.finish_at.map(|f| f - self.start_at)
+    }
+
+    /// Every protocol send this process's exchange stages issued, in
+    /// emission order (stages run sequentially, so concatenation *is*
+    /// emission order). This is the trace the conformance suite compares
+    /// against [`take_barrier_log`] on the runtime side.
+    ///
+    /// [`take_barrier_log`]: https://docs.rs/armci-core
+    pub fn xchg_log(&self) -> Vec<SendRecord> {
+        self.stages
+            .iter()
+            .filter_map(|s| match s {
+                Stage::Exchange(x) => Some(&x.log),
+                _ => None,
+            })
+            .flatten()
+            .copied()
+            .collect()
     }
 }
 
@@ -390,7 +369,7 @@ struct RunCfg {
     model: NetModel,
 }
 
-fn run_cfg(cfg: RunCfg, mk_stages: impl Fn(usize) -> Vec<Stage>) -> SyncResult {
+fn run_cfg_logged(cfg: RunCfg, mk_stages: impl Fn(usize) -> Vec<Stage>) -> (SyncResult, Vec<Vec<SendRecord>>) {
     let n = cfg.nprocs;
     assert!(n >= 1 && cfg.ppn >= 1 && n.is_multiple_of(cfg.ppn), "nprocs must be a multiple of ppn");
     let nnodes = n / cfg.ppn;
@@ -415,13 +394,22 @@ fn run_cfg(cfg: RunCfg, mk_stages: impl Fn(usize) -> Vec<Stage>) -> SyncResult {
     }
     let mut sim = Sim::new(actors, nodes, cfg.model);
     sim.run(10_000_000);
-    let per_proc = (0..n)
-        .map(|p| match sim.actor(p) {
-            SyncNode::Proc(pa) => pa.sync_time().unwrap_or_else(|| panic!("proc {p} never finished sync")),
+    let mut per_proc = Vec::with_capacity(n);
+    let mut logs = Vec::with_capacity(n);
+    for p in 0..n {
+        match sim.actor(p) {
+            SyncNode::Proc(pa) => {
+                per_proc.push(pa.sync_time().unwrap_or_else(|| panic!("proc {p} never finished sync")));
+                logs.push(pa.xchg_log());
+            }
             SyncNode::Server(_) => unreachable!(),
-        })
-        .collect();
-    SyncResult { per_proc, messages: sim.delivered() }
+        }
+    }
+    (SyncResult { per_proc, messages: sim.delivered() }, logs)
+}
+
+fn run_cfg(cfg: RunCfg, mk_stages: impl Fn(usize) -> Vec<Stage>) -> SyncResult {
+    run_cfg_logged(cfg, mk_stages).0
 }
 
 fn run(n: usize, model: NetModel, mk_stages: impl Fn(usize) -> Vec<Stage>) -> SyncResult {
@@ -457,7 +445,16 @@ pub fn simulate_sync_pipelined(n: usize, targets_per_proc: usize, model: NetMode
 /// Simulate the paper's combined `ARMCI_Barrier()`: allreduce of the
 /// `8·n`-byte `op_init[]` vector, (zero-cost) `op_done` wait, barrier.
 pub fn simulate_combined_barrier(n: usize, model: NetModel) -> SyncResult {
-    run(n, model, |p| vec![Stage::Exchange(Exchange::new(0, 8 * n, n, p)), Stage::Exchange(Exchange::new(1, 0, n, p))])
+    simulate_combined_barrier_logged(n, model).0
+}
+
+/// As [`simulate_combined_barrier`], also returning each process's
+/// protocol send trace (allreduce stage then barrier stage, in emission
+/// order) for cross-harness conformance checks.
+pub fn simulate_combined_barrier_logged(n: usize, model: NetModel) -> (SyncResult, Vec<Vec<SendRecord>>) {
+    run_cfg_logged(RunCfg { nprocs: n, ppn: 1, skew: Vec::new(), model }, |p| {
+        vec![Stage::Exchange(Exchange::new(0, 8 * n, n, p)), Stage::Exchange(Exchange::new(1, 0, n, p))]
+    })
 }
 
 /// Baseline `GA_Sync()` on SMP nodes (`ppn` processes per node): each
@@ -532,7 +529,7 @@ mod tests {
         let l = 1000;
         for n in [3usize, 5, 6, 7, 12] {
             let r = simulate_combined_barrier(n, NetModel::latency_only(l));
-            let m = crate::protocols::pow2_floor(n);
+            let m = armci_proto::math::pow2_floor(n);
             // The fold adds an Enter before and an Exit after each stage's
             // exchange rounds, but the Enter of the *first* stage overlaps
             // the peers' first exchange sends, so the total lies between
@@ -688,5 +685,17 @@ mod tests {
         );
         // The last process to start sees close to the skew-free time.
         assert!(skewed.per_proc[7] < 2 * aligned.per_proc[7] + 1, "{}", skewed.per_proc[7]);
+    }
+
+    #[test]
+    fn logged_trace_covers_both_stages_for_every_rank() {
+        let n = 8;
+        let (_, logs) = simulate_combined_barrier_logged(n, NetModel::latency_only(1000));
+        assert_eq!(logs.len(), n);
+        for (p, log) in logs.iter().enumerate() {
+            // Core ranks of a pow2 run send log2(n) rounds per stage.
+            assert_eq!(log.len(), 6, "rank {p}: {log:?}");
+            assert!(log[..3].iter().all(|r| r.stage == 0) && log[3..].iter().all(|r| r.stage == 1));
+        }
     }
 }

@@ -1,0 +1,52 @@
+//! Model-plane regression: the headline winners of the paper's figures,
+//! pinned on the deterministic simulator so any change to the shared
+//! protocol engines or the cost model that flips a conclusion fails CI.
+
+use armci_repro::armci_simnet::protocols::lock::{simulate_lock, simulate_lock_single_avg, LockAlgo};
+use armci_repro::armci_simnet::protocols::sync::{simulate_combined_barrier, simulate_sync_baseline};
+use armci_repro::armci_simnet::NetModel;
+
+/// Figure 7's conclusion: the combined `ARMCI_Barrier()` beats the
+/// baseline fence+barrier `GA_Sync()` at every measured scale, and by a
+/// widening factor.
+#[test]
+fn fig7_combined_barrier_beats_baseline() {
+    let net = NetModel::myrinet_2000();
+    let mut last_factor = 0.0;
+    for n in [2usize, 4, 8, 16] {
+        let base = simulate_sync_baseline(n, n - 1, net).mean();
+        let comb = simulate_combined_barrier(n, net).mean();
+        assert!(comb < base, "fig7 winner flipped at n={n}: combined {comb} !< baseline {base}");
+        let factor = base / comb;
+        assert!(factor > last_factor, "fig7 improvement must widen with n: {factor} at n={n}");
+        last_factor = factor;
+    }
+    assert!(last_factor > 4.0, "fig7 factor at n=16 should exceed the pure-latency prediction: {last_factor}");
+}
+
+/// Figure 8's conclusion: under contention the MCS queuing lock's full
+/// cycle beats the hybrid server lock.
+#[test]
+fn fig8_mcs_cycle_beats_hybrid_under_contention() {
+    let net = NetModel::myrinet_2000();
+    for n in [2usize, 4, 8, 16] {
+        let mcs = simulate_lock(LockAlgo::Mcs, n, 200, 0, net);
+        let hyb = simulate_lock(LockAlgo::Hybrid, n, 200, 0, net);
+        assert!(mcs.cycle_ns < hyb.cycle_ns, "fig8 winner flipped at n={n}: {} !< {}", mcs.cycle_ns, hyb.cycle_ns);
+    }
+}
+
+/// Figure 9/10's conclusions: MCS acquires faster under contention but
+/// pays the uncontended CAS round trip on release.
+#[test]
+fn fig9_fig10_acquire_and_release_shapes() {
+    let net = NetModel::myrinet_2000();
+    for n in [4usize, 16] {
+        let mcs = simulate_lock(LockAlgo::Mcs, n, 200, 0, net);
+        let hyb = simulate_lock(LockAlgo::Hybrid, n, 200, 0, net);
+        assert!(mcs.acquire_ns < hyb.acquire_ns, "fig9 flipped at n={n}");
+    }
+    let mcs1 = simulate_lock_single_avg(LockAlgo::Mcs, 200, 0, net);
+    let hyb1 = simulate_lock_single_avg(LockAlgo::Hybrid, 200, 0, net);
+    assert!(mcs1.release_ns > hyb1.release_ns, "fig10 regression gone: uncontended MCS release should cost a CAS RTT");
+}
