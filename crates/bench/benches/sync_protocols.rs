@@ -140,7 +140,7 @@ fn hybrid_lock_cycle(iters: u64, n: usize) -> Duration {
         for (me, c) in clients.iter_mut().enumerate() {
             c.poll(HybridEvent::Start, &mut out);
             out.clear(); // [SendLockReq, AwaitGrant]
-            // Request order doubles as ticket order.
+                         // Request order doubles as ticket order.
             if home.lock_req(KEY, me, me as u64, counter) {
                 granted.push_back(me);
             }

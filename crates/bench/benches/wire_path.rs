@@ -11,7 +11,7 @@
 use std::time::{Duration, Instant};
 
 use armci_core::msg::{Req, ReqView};
-use armci_core::{run_cluster, ArmciCfg, GlobalAddr};
+use armci_core::{run_cluster, run_cluster_net_loopback, ArmciCfg, GlobalAddr, IoDriver};
 use armci_transport::{LatencyModel, ProcId, SegId};
 use criterion::{black_box, BenchmarkGroup, Criterion};
 
@@ -42,6 +42,36 @@ fn cluster_put_round(iters: u64, payload: usize) -> Duration {
                 } else {
                     a.put(dst, &data);
                 }
+                a.fence(ProcId(1));
+            }
+            total = t0.elapsed();
+        }
+        a.barrier();
+        total
+    });
+    out[0]
+}
+
+/// End-to-end rounds over the netfab loopback backend — real TCP frames
+/// moved by the selected IO driver — each round one 8 B `put_u64` plus a
+/// fence. Run under both drivers, this is the head-to-head for the
+/// event-loop migration: the loop must keep small-message round-trip
+/// latency flat (or better) while cutting the thread count.
+fn net_put_round(iters: u64, driver: IoDriver) -> Duration {
+    let cfg = ArmciCfg::flat(2, LatencyModel::zero()).with_io_driver(Some(driver));
+    let out = run_cluster_net_loopback(cfg, move |a| {
+        let seg = a.malloc(64);
+        let dst = GlobalAddr::new(ProcId(1), seg, 0);
+        a.barrier();
+        let mut total = Duration::ZERO;
+        if a.rank() == 0 {
+            for i in 0..32u64 {
+                a.put_u64(dst, i);
+            }
+            a.fence(ProcId(1));
+            let t0 = Instant::now();
+            for i in 0..iters {
+                a.put_u64(dst, i);
                 a.fence(ProcId(1));
             }
             total = t0.elapsed();
@@ -128,6 +158,13 @@ fn main() {
         g.sample_size(400).measurement_time(Duration::from_secs(4));
         bench_into(&mut g, &mut recs, "small_put_round", 8, |iters| cluster_put_round(iters, 8));
         bench_into(&mut g, &mut recs, "put_64k_round", 64 * 1024, |iters| cluster_put_round(iters, 64 * 1024));
+        g.sample_size(200);
+        bench_into(&mut g, &mut recs, "net_small_put_round_threaded", 8, |iters| {
+            net_put_round(iters, IoDriver::Threaded)
+        });
+        bench_into(&mut g, &mut recs, "net_small_put_round_event_loop", 8, |iters| {
+            net_put_round(iters, IoDriver::EventLoop)
+        });
         g.sample_size(20000);
         bench_into(&mut g, &mut recs, "encode_small_owned_before", 25, encode_small_owned);
         bench_into(&mut g, &mut recs, "encode_small_pooled_after", 25, encode_small_pooled);

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! reproduce [all|fig7|fig8|fig9|fig10|model|ablation-ack|ablation-crossover|ablation-atomics]
-//!           [--quick]
+//!           [--quick] [--net] [--nodes N]
 //! ```
 //!
 //! Each figure is printed twice: on the **model plane** (deterministic
@@ -28,6 +28,13 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let net = args.iter().any(|a| a == "--net");
+    let nodes = args.iter().position(|a| a == "--nodes").map(|p| {
+        let v = args.get(p + 1).map(String::as_str).unwrap_or("");
+        v.parse::<usize>().ok().filter(|&n| n >= 2).unwrap_or_else(|| {
+            eprintln!("--nodes takes an integer >= 2, got {v:?}");
+            std::process::exit(2);
+        })
+    });
     if let Some(pos) = args.iter().position(|a| a == "--csv") {
         let dir = args.get(pos + 1).map(String::as_str).unwrap_or("results");
         armci_bench::table::set_csv_dir(dir);
@@ -36,14 +43,14 @@ fn main() {
     let what = args
         .iter()
         .enumerate()
-        .filter(|&(i, a)| !(a.starts_with("--") || i > 0 && args[i - 1] == "--csv"))
+        .filter(|&(i, a)| !(a.starts_with("--") || i > 0 && (args[i - 1] == "--csv" || args[i - 1] == "--nodes")))
         .map(|(_, a)| a.as_str())
         .next()
         .unwrap_or("all");
 
     let t0 = Instant::now();
     match what {
-        "fig7" if net => fig7_net(quick),
+        "fig7" if net => fig7_net(quick, nodes.unwrap_or(4)),
         "fig7" => fig7(quick),
         "net-selftest" => net_selftest(),
         "fig8" => fig8(quick),
@@ -82,7 +89,8 @@ fn main() {
             eprintln!(
                 "usage: reproduce [all|fig7|fig8|fig9|fig10|model|ablation-ack|ablation-crossover|\
                  ablation-atomics|ablation-pipelined|ablation-swap-release|net-selftest] [--quick] \
-                 [--net (fig7 only: real TCP, one process per node)]"
+                 [--net (fig7 only: real TCP, one process per node)] \
+                 [--nodes N (fig7 --net only: node-process count, default 4)]"
             );
             std::process::exit(2);
         }
@@ -151,10 +159,13 @@ fn fig7(quick: bool) {
 /// argv, which routes them back into the single `run_cluster_spawned`
 /// call inside `measure_ga_sync_net_pair` — so nothing may print before
 /// the measurement (the children share our stdout until they exit).
-fn fig7_net(quick: bool) {
-    let n = 4usize;
-    let iters = if quick { 25 } else { 100 };
-    let mut child_args: Vec<String> = vec!["fig7".into(), "--net".into()];
+fn fig7_net(quick: bool, n: usize) {
+    // The per-iteration work grows with the node count (the baseline sync
+    // is O(N) fences per process), so scale the iteration budget down as
+    // N grows: `--nodes 64` is a scaling smoke, not a timing sample.
+    let base_iters = if quick { 25 } else { 100 };
+    let iters = (base_iters * 4 / n.max(4)).max(2);
+    let mut child_args: Vec<String> = vec!["fig7".into(), "--net".into(), "--nodes".into(), n.to_string()];
     if quick {
         child_args.push("--quick".into());
     }

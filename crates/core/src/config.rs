@@ -4,7 +4,7 @@
 
 use std::time::Duration;
 
-use armci_netfab::FaultPlan;
+use armci_netfab::{FaultPlan, IoDriver};
 use armci_transport::LatencyModel;
 use serde::{Deserialize, Error, Serialize, Value};
 
@@ -133,6 +133,13 @@ pub struct ArmciCfg {
     /// after a reconnect. A sender that outruns the window by this many
     /// frames with no acknowledgement progress declares the peer dead.
     pub replay_window: usize,
+    /// Which netfab IO driver moves bytes (ignored by the emulator):
+    /// `Some(IoDriver::EventLoop)` pins the single-thread nonblocking
+    /// `poll(2)` loop, `Some(IoDriver::Threaded)` pins the legacy
+    /// two-threads-per-peer model, and `None` (the default) resolves via
+    /// the `ARMCI_NETFAB_IO` environment variable or the platform default
+    /// (event loop on unix).
+    pub io_driver: Option<IoDriver>,
 }
 
 impl Default for ArmciCfg {
@@ -155,6 +162,7 @@ impl Default for ArmciCfg {
             suspect_after: Duration::from_secs(2),
             detect_slice: Duration::from_millis(25),
             replay_window: 1024,
+            io_driver: None,
         }
     }
 }
@@ -252,6 +260,13 @@ impl ArmciCfg {
     /// [`ArmciCfg::replay_window`]).
     pub fn with_replay_window(mut self, n: usize) -> Self {
         self.replay_window = n;
+        self
+    }
+
+    /// Pin the netfab IO driver (see [`ArmciCfg::io_driver`]); `None`
+    /// restores env/platform resolution.
+    pub fn with_io_driver(mut self, d: Option<IoDriver>) -> Self {
+        self.io_driver = d;
         self
     }
 
@@ -423,6 +438,12 @@ impl ArmciCfgBuilder {
         self
     }
 
+    /// Pin the netfab IO driver (`None` = env/platform resolution).
+    pub fn io_driver(mut self, d: Option<IoDriver>) -> Self {
+        self.cfg.io_driver = d;
+        self
+    }
+
     /// Validate and produce the config.
     pub fn build(self) -> Result<ArmciCfg, ConfigError> {
         self.cfg.validate()?;
@@ -512,6 +533,7 @@ impl Serialize for ArmciCfg {
             ("suspect_after_us", Value::U64(self.suspect_after.as_micros() as u64)),
             ("detect_slice_us", Value::U64(self.detect_slice.as_micros() as u64)),
             ("replay_window", Value::U64(self.replay_window as u64)),
+            ("io_driver", Value::Str(self.io_driver.map_or("auto", IoDriver::name).to_string())),
         ])
     }
 }
@@ -536,6 +558,12 @@ impl Deserialize for ArmciCfg {
             suspect_after: Duration::from_micros(u64::from_value(v.field("suspect_after_us")?)?),
             detect_slice: Duration::from_micros(u64::from_value(v.field("detect_slice_us")?)?),
             replay_window: u64::from_value(v.field("replay_window")?)? as usize,
+            io_driver: match v.field("io_driver")?.as_str()? {
+                "auto" => None,
+                name => {
+                    Some(IoDriver::from_name(name).ok_or_else(|| Error::new(format!("unknown io driver {name:?}")))?)
+                }
+            },
         })
     }
 }
@@ -585,6 +613,7 @@ mod tests {
             suspect_after: Duration::from_millis(750),
             detect_slice: Duration::from_millis(5),
             replay_window: 33,
+            io_driver: Some(armci_netfab::IoDriver::Threaded),
         };
         let json = serde::to_string(&cfg);
         let back: ArmciCfg = serde::from_str(&json).unwrap();
@@ -605,6 +634,13 @@ mod tests {
         assert_eq!(back.suspect_after, Duration::from_millis(750));
         assert_eq!(back.detect_slice, Duration::from_millis(5));
         assert_eq!(back.replay_window, 33);
+        assert_eq!(back.io_driver, Some(armci_netfab::IoDriver::Threaded));
+
+        // The default (`None` = resolve via env/platform) serializes as
+        // "auto" and survives the trip too.
+        let auto = ArmciCfg::default();
+        let back: ArmciCfg = serde::from_str(&serde::to_string(&auto)).unwrap();
+        assert_eq!(back.io_driver, None);
     }
 
     #[test]

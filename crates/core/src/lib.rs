@@ -56,7 +56,7 @@ pub mod strided;
 mod try_error_paths;
 
 pub use armci::{Armci, LockId};
-pub use armci_netfab::{FaultAction, FaultPlan, FaultSpec};
+pub use armci_netfab::{FaultAction, FaultPlan, FaultSpec, IoDriver};
 pub use chaos::{chaos_plan, chaos_workload, ChaosError, ChaosRng};
 pub use config::{AckMode, ArmciCfg, ArmciCfgBuilder, LockAlgo};
 pub use errors::{ArmciError, ConfigError};

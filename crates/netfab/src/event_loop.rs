@@ -1,0 +1,941 @@
+//! The event-loop IO driver: one nonblocking loop per node owning every
+//! peer socket, instead of two blocking threads per peer.
+//!
+//! The loop multiplexes all peer links over [`crate::poller::PollSet`]
+//! (`poll(2)`): readiness-driven reads feed the shared
+//! [`crate::frames::FrameDecoder`]; writes drain per-peer channels into a
+//! per-peer output buffer (coalescing a burst into one `write`), with
+//! partial writes resumed on the next writability event. Every
+//! time-driven behaviour — heartbeat cadence, staleness and ring-full
+//! watchdogs, reconnect retry pacing, scripted `StallWriter` expiry —
+//! hangs off one [`crate::timer::TimerWheel`], so heartbeats keep firing
+//! no matter how busy the IO queues are. Decoded frames land in the same
+//! per-endpoint inboxes through [`crate::frames::deliver`], and all
+//! session bookkeeping goes through [`crate::frames::session_step`] —
+//! identical semantics to the threaded driver, O(1) threads per node.
+//!
+//! The only blocking work — the reconnect handshake on either side — runs
+//! on short-lived helper threads that install the negotiated stream into
+//! the [`Session`] and ring the loop's [`WakePipe`]; the loop itself never
+//! blocks outside `poll`.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)] // IO loop: every failure must become a session transition
+
+use std::io::{BufReader, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use armci_transport::{BodyPool, Msg, Topology};
+use crossbeam_channel::{Receiver, Sender, TryRecvError};
+
+use crate::fabric::{KillSwitch, WireMsg};
+use crate::fault::{FaultAction, FaultSpec};
+use crate::frames::{self, FrameDecoder, Progress, SessionStep};
+use crate::poller::{Interest, PollSet, WakeHandle, WakePipe};
+use crate::session::{self, EnqueueError, Session, SessionCfg, SESS_SUSPECT, SESS_UP};
+use crate::timer::TimerWheel;
+use crate::wire;
+
+/// Pause pulling new messages once this many encoded-but-unflushed bytes
+/// are pending on a link (writability events resume the drain).
+const HIGH_WATER: usize = 256 * 1024;
+
+/// Reconnect retry cadence while a session is suspect.
+const RECONNECT_TICK: Duration = Duration::from_millis(20);
+
+/// Poll-timeout ceiling: an idle loop still looks around this often (so
+/// e.g. channel disconnects missed between a wake and a sleep are picked
+/// up promptly even if no doorbell rings again).
+const IDLE_POLL: Duration = Duration::from_millis(50);
+
+const TOK_WAKE: usize = 0;
+const TOK_LISTENER: usize = 1;
+const TOK_BASE: usize = 2;
+
+/// Everything [`run`] needs for one peer link.
+pub(crate) struct PeerSeed {
+    pub peer: usize,
+    pub sess: Arc<Session>,
+    pub rx: Receiver<WireMsg>,
+    /// Scripted faults targeting this connection, each consumed once.
+    pub faults: Vec<Option<FaultSpec>>,
+    /// The peer's boot-listener address, dialed on reconnect.
+    pub addr: String,
+}
+
+/// Everything [`run`] needs for one node's loop.
+pub(crate) struct LoopCfg {
+    pub node: u32,
+    pub topo: Topology,
+    pub local_txs: Vec<Option<Sender<Msg>>>,
+    pub session: SessionCfg,
+    pub kill: Arc<KillSwitch>,
+    pub node_dead: Arc<AtomicBool>,
+    /// The fabric's shutdown flag (stops accepting reconnects).
+    pub shutdown: Arc<AtomicBool>,
+    /// Retained boot listener, present only with recovery enabled.
+    pub listener: Option<TcpListener>,
+    pub peers: Vec<PeerSeed>,
+}
+
+/// A timer-wheel entry, keyed by link index.
+enum Timer {
+    /// Heartbeat-cadence health tick: idle bare ack, staleness check,
+    /// ring-full watchdog (recovery mode only).
+    Health(usize),
+    /// Suspect-session reconnect round.
+    Reconnect(usize),
+    /// A scripted `StallWriter` expired; resume the link's write pump.
+    StallOver(usize),
+}
+
+/// One peer link's loop-local state.
+struct PeerLink {
+    peer: usize,
+    sess: Arc<Session>,
+    rx: Receiver<WireMsg>,
+    /// False once the fabric-side senders disconnected (teardown).
+    rx_open: bool,
+    faults: Vec<Option<FaultSpec>>,
+    addr: String,
+    /// The attached stream (read via the buffer, written via `get_ref`);
+    /// `None` while disconnected or after teardown.
+    stream: Option<BufReader<TcpStream>>,
+    /// Cached stream generation, compared against the session's.
+    gen: u64,
+    dec: FrameDecoder,
+    pool: BodyPool,
+    /// Encoded-but-unflushed output (preambles + frames); `out_pos` marks
+    /// how much a partial write already consumed.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// A message that could not be sequenced yet (replay ring full or a
+    /// stall in progress); retried before the channel is drained further.
+    head: Option<WireMsg>,
+    /// Frames sequenced on this connection, for fault trigger points.
+    sent: u64,
+    /// Scripted `StallWriter` in effect until this instant.
+    stalled_until: Option<Instant>,
+    /// When the replay ring was first observed full with no ack progress.
+    ring_full_since: Option<Instant>,
+    /// Whether a data frame went out since the last health tick (data
+    /// preambles carry acks, so no bare ack is needed).
+    wrote_data: bool,
+    /// A reconnect dial thread is in flight for this link.
+    dial_inflight: Arc<AtomicBool>,
+    /// A `Reconnect` timer is armed for this link.
+    reconnect_armed: bool,
+    /// The clean-teardown half-close has been performed.
+    write_shut: bool,
+}
+
+impl PeerLink {
+    fn new(seed: PeerSeed) -> PeerLink {
+        PeerLink {
+            peer: seed.peer,
+            sess: seed.sess,
+            rx: seed.rx,
+            rx_open: true,
+            faults: seed.faults,
+            addr: seed.addr,
+            stream: None,
+            gen: 0,
+            dec: FrameDecoder::new(),
+            pool: BodyPool::new(8),
+            out: Vec::new(),
+            out_pos: 0,
+            head: None,
+            sent: 0,
+            stalled_until: None,
+            ring_full_since: None,
+            wrote_data: false,
+            dial_inflight: Arc::new(AtomicBool::new(false)),
+            reconnect_armed: false,
+            write_shut: false,
+        }
+    }
+
+    /// Take the next fault due at `sent` frames, if any.
+    fn due_fault(&mut self) -> Option<FaultSpec> {
+        let sent = self.sent;
+        self.faults.iter_mut().find(|f| f.as_ref().is_some_and(|f| f.after_frames <= sent)).and_then(Option::take)
+    }
+
+    fn pending_out(&self) -> usize {
+        self.out.len() - self.out_pos
+    }
+
+    /// Drop the attached stream and any output staged for it (ringed
+    /// frames are replayed on reconnect; without recovery the peer is
+    /// terminal anyway).
+    fn drop_stream(&mut self) {
+        self.stream = None;
+        self.out.clear();
+        self.out_pos = 0;
+        self.dec.reset();
+    }
+
+    /// The write half has nothing more to do: the fabric disconnected the
+    /// channel and everything accepted was flushed (or the session died).
+    fn writer_done(&self) -> bool {
+        self.sess.is_terminal() || (!self.rx_open && self.head.is_none() && self.pending_out() == 0)
+    }
+
+    /// The read half has nothing more to do.
+    fn reader_done(&self) -> bool {
+        self.sess.is_terminal() || (self.stream.is_none() && self.sess.teardown_begun())
+    }
+}
+
+/// Loop-wide immutable-ish context (only `local_txs` is ever mutated:
+/// the senders are dropped once every link's reader is done, mirroring
+/// the threaded driver's reader threads exiting).
+struct Ctx {
+    node: u32,
+    topo: Topology,
+    local_txs: Vec<Option<Sender<Msg>>>,
+    session: SessionCfg,
+    kill: Arc<KillSwitch>,
+    shutdown: Arc<AtomicBool>,
+    wake: Arc<WakeHandle>,
+}
+
+/// Adopt a freshly installed stream: nonblocking mode, fresh decoder,
+/// discarded stale output, and (recovery) the unacked ring replayed with
+/// current acks.
+fn adopt(link: &mut PeerLink, _ctx: &Ctx) {
+    let Some(s) = link.sess.fresh_stream(&mut link.gen) else {
+        return;
+    };
+    if s.set_nonblocking(true).is_err() {
+        link.sess.mark_dead();
+        link.drop_stream();
+        return;
+    }
+    link.drop_stream();
+    for (seq, bytes) in link.sess.unacked() {
+        let ack = link.sess.recv_cursor.load(Ordering::Acquire);
+        let _ = wire::write_preamble(&mut link.out, wire::Preamble::Data { seq, ack });
+        link.out.extend_from_slice(&bytes);
+    }
+    link.stream = Some(BufReader::with_capacity(64 * 1024, s));
+}
+
+/// The link's stream failed (or desynced): sever it and transition the
+/// session — suspect + reconnect driving with recovery, dead without.
+fn on_stream_error(link: &mut PeerLink, ctx: &Ctx, wheel: &mut TimerWheel<Timer>, idx: usize) {
+    link.drop_stream();
+    if !ctx.session.recovery {
+        link.sess.mark_dead();
+        return;
+    }
+    if link.sess.mark_suspect(link.gen) {
+        arm_reconnect(link, wheel, idx);
+    }
+}
+
+fn arm_reconnect(link: &mut PeerLink, wheel: &mut TimerWheel<Timer>, idx: usize) {
+    if !link.reconnect_armed && !link.sess.teardown_begun() && !link.sess.is_terminal() {
+        link.reconnect_armed = true;
+        // First round fires immediately; retries pace at RECONNECT_TICK.
+        wheel.insert(Instant::now(), Timer::Reconnect(idx));
+    }
+}
+
+/// Flush as much pending output as the socket accepts right now.
+fn flush(link: &mut PeerLink, ctx: &Ctx, wheel: &mut TimerWheel<Timer>, idx: usize) {
+    if link.stream.is_none() {
+        link.out.clear();
+        link.out_pos = 0;
+        return;
+    }
+    let mut failed = false;
+    while link.out_pos < link.out.len() {
+        let Some(r) = &link.stream else { break };
+        let mut w: &TcpStream = r.get_ref();
+        match w.write(&link.out[link.out_pos..]) {
+            Ok(0) => {
+                failed = true;
+                break;
+            }
+            Ok(n) => link.out_pos += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                failed = true;
+                break;
+            }
+        }
+    }
+    if failed {
+        on_stream_error(link, ctx, wheel, idx);
+        return;
+    }
+    if link.out_pos == link.out.len() {
+        link.out.clear();
+        link.out_pos = 0;
+    }
+}
+
+/// Control flow after enacting one scripted fault in the write pump.
+enum FaultFlow {
+    Continue,
+    /// Stall in effect or link/loop is done with this peer for now.
+    Stop,
+}
+
+/// Enact one scripted fault (see [`crate::fault`]) against `link`. `m` is
+/// the trigger message, not yet sequenced.
+fn enact_fault(
+    f: FaultSpec,
+    link: &mut PeerLink,
+    ctx: &Ctx,
+    wheel: &mut TimerWheel<Timer>,
+    idx: usize,
+    m: &WireMsg,
+    now: Instant,
+) -> FaultFlow {
+    match f.action {
+        FaultAction::StallWriter { millis } => {
+            // The threaded writer sleeps in place; the loop must not, so
+            // the stall is a timer and the trigger message waits in
+            // `head` (the pump skips a stalled link entirely).
+            let until = now + Duration::from_millis(millis);
+            link.stalled_until = Some(until);
+            wheel.insert(until, Timer::StallOver(idx));
+            FaultFlow::Stop
+        }
+        FaultAction::ResetConn => {
+            if let Some(r) = &link.stream {
+                let _ = r.get_ref().shutdown(Shutdown::Both);
+            }
+            link.drop_stream();
+            if ctx.session.recovery {
+                if link.sess.mark_suspect(link.gen) {
+                    arm_reconnect(link, wheel, idx);
+                }
+                // The trigger frame still gets sequenced and ringed below
+                // (streamless), so the reconnect replays it.
+                FaultFlow::Continue
+            } else {
+                link.sess.mark_dead();
+                FaultFlow::Stop
+            }
+        }
+        FaultAction::TruncateFrame => {
+            // Flush what is staged, then a preamble and half a header:
+            // the peer observes EOF mid-frame, the crashed-writer
+            // signature. Best effort — the socket dies right after.
+            if let Some(r) = &link.stream {
+                let mut w: &TcpStream = r.get_ref();
+                let _ = w.write_all(&link.out[link.out_pos..]);
+                let mut frame = Vec::new();
+                let _ = wire::write_preamble(&mut frame, wire::Preamble::Data { seq: 0, ack: 0 });
+                let _ = wire::write_frame(&mut frame, m.dst, m.src, m.tag, &m.body);
+                let cut = (wire::PREAMBLE_LEN + wire::HEADER_LEN / 2).min(frame.len());
+                let _ = w.write_all(&frame[..cut]);
+                let _ = r.get_ref().shutdown(Shutdown::Both);
+            }
+            link.drop_stream();
+            if ctx.session.recovery {
+                if link.sess.mark_suspect(link.gen) {
+                    arm_reconnect(link, wheel, idx);
+                }
+                FaultFlow::Continue
+            } else {
+                link.sess.mark_dead();
+                FaultFlow::Stop
+            }
+        }
+        FaultAction::KillNode => {
+            ctx.kill.fire();
+            FaultFlow::Stop
+        }
+        // Boot-path only; filtered out of wire fault lists.
+        FaultAction::DialFail { .. } => FaultFlow::Continue,
+    }
+}
+
+/// Drain the link's channel into its output buffer (encoding + session
+/// sequencing per frame) and flush. Stops at the byte high-water mark, a
+/// full replay ring, a scripted stall, or the channel running dry.
+fn pump_writes(link: &mut PeerLink, ctx: &Ctx, wheel: &mut TimerWheel<Timer>, idx: usize, now: Instant) {
+    if link.stalled_until.is_some_and(|t| now < t) {
+        return;
+    }
+    link.stalled_until = None;
+    flush(link, ctx, wheel, idx);
+    'fill: while link.pending_out() < HIGH_WATER {
+        if link.sess.is_terminal() {
+            // Parity with the threaded writer exiting its loop: whatever
+            // is still queued is dropped, not half-sent.
+            link.head = None;
+            break 'fill;
+        }
+        let m = match link.head.take() {
+            Some(m) => m,
+            None => match link.rx.try_recv() {
+                Ok(m) => m,
+                Err(TryRecvError::Empty) => break 'fill,
+                Err(TryRecvError::Disconnected) => {
+                    link.rx_open = false;
+                    break 'fill;
+                }
+            },
+        };
+        // Scripted faults fire just before the frame that would take the
+        // per-connection count past `after_frames`.
+        while let Some(f) = link.due_fault() {
+            match enact_fault(f, link, ctx, wheel, idx, &m, now) {
+                FaultFlow::Continue => {}
+                FaultFlow::Stop => {
+                    if link.stalled_until.is_some() {
+                        // The stalled trigger message is retried after the
+                        // stall expires.
+                        link.head = Some(m);
+                    }
+                    break 'fill;
+                }
+            }
+        }
+        if link.sess.is_terminal() {
+            break 'fill;
+        }
+        let Some(encoded) = frames::encode_frame(m.dst, m.src, m.tag, &m.body) else {
+            break 'fill;
+        };
+        match link.sess.try_enqueue(&ctx.session, encoded.clone()) {
+            Ok(seq) => {
+                link.sent += 1;
+                link.ring_full_since = None;
+                // Streamless sends (mid-reconnect) are ringed only: the
+                // replay on the next adopt covers them.
+                if link.stream.is_some() {
+                    let ack = link.sess.recv_cursor.load(Ordering::Acquire);
+                    let _ = wire::write_preamble(&mut link.out, wire::Preamble::Data { seq, ack });
+                    link.out.extend_from_slice(&encoded);
+                    link.wrote_data = true;
+                }
+            }
+            Err(EnqueueError::Full) => {
+                // Retried once the peer's next ack prunes the ring (an
+                // incoming readable event); the health tick gives up after
+                // a full suspect window without progress, mirroring the
+                // threaded driver's blocking enqueue.
+                link.head = Some(m);
+                link.ring_full_since.get_or_insert(now);
+                break 'fill;
+            }
+            Err(EnqueueError::Terminal) => break 'fill,
+        }
+    }
+    flush(link, ctx, wheel, idx);
+}
+
+/// Decode and deliver everything the socket has for us right now.
+fn pump_reads(link: &mut PeerLink, ctx: &Ctx, wheel: &mut TimerWheel<Timer>, idx: usize) {
+    let recovery = ctx.session.recovery;
+    loop {
+        let Some(r) = &mut link.stream else { return };
+        match link.dec.poll_step(r, &ctx.topo, &mut link.pool) {
+            Ok(Progress::NeedMore) => return,
+            Ok(Progress::Item(p, f)) => match frames::session_step(&link.sess, recovery, p) {
+                SessionStep::Deliver => {
+                    if let Some(f) = f {
+                        frames::deliver(&ctx.topo, &ctx.local_txs, f);
+                    }
+                }
+                SessionStep::Skip => {}
+                SessionStep::Desync => {
+                    on_stream_error(link, ctx, wheel, idx);
+                    return;
+                }
+            },
+            Ok(Progress::CleanEof) => {
+                if recovery {
+                    // Same as the threaded reader: suspect and (unless we
+                    // are tearing down too) drive a reconnect; replayed
+                    // sequence numbers deduplicate.
+                    on_stream_error(link, ctx, wheel, idx);
+                } else {
+                    // Collective teardown (or a peer death at an exact
+                    // boundary, which is indistinguishable).
+                    link.sess.mark_closed();
+                    link.drop_stream();
+                }
+                return;
+            }
+            Err(_) => {
+                on_stream_error(link, ctx, wheel, idx);
+                return;
+            }
+        }
+    }
+}
+
+/// Heartbeat-cadence health tick (recovery mode): idle bare ack,
+/// peer-staleness check, ring-full watchdog. Re-arms itself until the
+/// session is terminal.
+fn health_tick(link: &mut PeerLink, ctx: &Ctx, wheel: &mut TimerWheel<Timer>, idx: usize, now: Instant) {
+    if link.sess.is_terminal() {
+        return;
+    }
+    if link.ring_full_since.is_some_and(|t| now.duration_since(t) >= ctx.session.suspect_after) {
+        // A full replay ring with no ack progress for a whole suspect
+        // window: the peer is not consuming. Give up on it.
+        link.sess.mark_dead();
+        link.drop_stream();
+        return;
+    }
+    let state = link.sess.state();
+    if state == SESS_UP {
+        if link.sess.silent_for() > ctx.session.suspect_after {
+            // TCP says up but the peer has been silent past the budget
+            // (it would have heartbeat if alive): declare it.
+            link.sess.mark_dead();
+            link.drop_stream();
+            return;
+        }
+        if link.stream.is_some() && !link.wrote_data && !link.write_shut {
+            // Idle link: a bare ack both proves our liveness and advances
+            // the peer's replay-ring pruning. Staged here, flushed by the
+            // next write pump (immediately after timer dispatch).
+            let ack = link.sess.recv_cursor.load(Ordering::Acquire);
+            if wire::write_preamble(&mut link.out, wire::Preamble::Ack { ack }).is_ok() {
+                link.sess.hb_sent.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    } else if state == SESS_SUSPECT {
+        // Belt and braces: suspicion raised outside the loop (e.g. the
+        // session layer) still gets reconnect driving.
+        arm_reconnect(link, wheel, idx);
+    }
+    link.wrote_data = false;
+    wheel.insert(now + ctx.session.heartbeat_interval, Timer::Health(idx));
+}
+
+/// One reconnect round for a suspect session: enforce the suspect
+/// deadline, and (as the higher-numbered node) dial the peer's retained
+/// boot listener on a short-lived helper thread. Re-arms itself while the
+/// session stays suspect.
+fn reconnect_tick(link: &mut PeerLink, ctx: &Ctx, wheel: &mut TimerWheel<Timer>, idx: usize, now: Instant) {
+    link.reconnect_armed = false;
+    let sess = &link.sess;
+    if sess.is_terminal() || sess.teardown_begun() || sess.state() != SESS_SUSPECT {
+        return;
+    }
+    let Some(deadline) = sess.suspect_deadline(&ctx.session) else {
+        // Raced a concurrent install; the loop top adopts it.
+        return;
+    };
+    if now >= deadline {
+        sess.mark_dead();
+        return;
+    }
+    let dialer = ctx.node as usize > link.peer && !link.addr.is_empty();
+    if dialer && !link.dial_inflight.swap(true, Ordering::AcqRel) {
+        let sess = link.sess.clone();
+        let addr = link.addr.clone();
+        let node = ctx.node;
+        let cursor = sess.recv_cursor.load(Ordering::Acquire);
+        let inflight = link.dial_inflight.clone();
+        let wake = ctx.wake.clone();
+        let spawned = std::thread::Builder::new().name(format!("netfab-dial{node}")).spawn(move || {
+            match session::reconnect_dial(&addr, node, cursor, deadline) {
+                Ok((s, peer_cursor)) => {
+                    sess.install_stream(s, peer_cursor);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::ConnectionAborted => {
+                    // Explicit rejection: the peer knows the session is
+                    // dead. Terminal, no more retries.
+                    sess.mark_dead();
+                }
+                Err(_) => {}
+            }
+            inflight.store(false, Ordering::Release);
+            wake.wake();
+        });
+        if spawned.is_err() {
+            link.dial_inflight.store(false, Ordering::Release);
+        }
+    }
+    link.reconnect_armed = true;
+    wheel.insert(now + RECONNECT_TICK, Timer::Reconnect(idx));
+}
+
+/// Accept every pending reconnect dial and run each handshake on a
+/// short-lived helper thread (its reads block with a bounded timeout).
+fn accept_reconnects(
+    listener: &TcpListener,
+    sessions: &Arc<Vec<Option<Arc<Session>>>>,
+    node_dead: &Arc<AtomicBool>,
+    ctx: &Ctx,
+) {
+    while let Ok((s, _)) = listener.accept() {
+        if ctx.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let sessions = sessions.clone();
+        let node_dead = node_dead.clone();
+        let wake = ctx.wake.clone();
+        let node = ctx.node;
+        let _ = std::thread::Builder::new().name(format!("netfab-hs{node}")).spawn(move || {
+            let mut s = s;
+            if s.set_nonblocking(false).is_err() {
+                return;
+            }
+            let Ok(hello) = session::read_reconnect_hello(&mut s, Duration::from_secs(2)) else {
+                return;
+            };
+            let Some(sess) = sessions.get(hello.peer as usize).and_then(|o| o.as_ref()) else {
+                return;
+            };
+            if node_dead.load(Ordering::Acquire) || sess.is_terminal() {
+                session::reject_reconnect(&mut s);
+                return;
+            }
+            let cursor = sess.recv_cursor.load(Ordering::Acquire);
+            if session::accept_reconnect(&mut s, cursor).is_ok() {
+                sess.install_stream(s, hello.peer_cursor);
+            }
+            wake.wake();
+        });
+    }
+}
+
+/// The node's IO loop. Returns once every peer link is finished (and,
+/// when a reconnect listener is held, the fabric has signalled shutdown —
+/// a dead node must keep *rejecting* reconnect dials until then).
+pub(crate) fn run(cfg: LoopCfg, mut wake: WakePipe) {
+    let LoopCfg { node, topo, local_txs, session, kill, node_dead, shutdown, listener, peers } = cfg;
+    let mut ctx = Ctx { node, topo, local_txs, session, kill, shutdown, wake: wake.handle() };
+    let mut links: Vec<PeerLink> = peers.into_iter().map(PeerLink::new).collect();
+    let mut sessions_by_node: Vec<Option<Arc<Session>>> = Vec::new();
+    for l in &links {
+        if sessions_by_node.len() <= l.peer {
+            sessions_by_node.resize(l.peer + 1, None);
+        }
+        sessions_by_node[l.peer] = Some(l.sess.clone());
+    }
+    let sessions_by_node = Arc::new(sessions_by_node);
+    let listener = listener.filter(|l| l.set_nonblocking(true).is_ok());
+
+    let mut wheel: TimerWheel<Timer> = TimerWheel::new(Instant::now());
+    if ctx.session.recovery {
+        let now = Instant::now();
+        for i in 0..links.len() {
+            wheel.insert(now + ctx.session.heartbeat_interval, Timer::Health(i));
+        }
+    }
+
+    let mut set = PollSet::new();
+    let mut inboxes_open = true;
+    loop {
+        let now = Instant::now();
+        for (i, link) in links.iter_mut().enumerate() {
+            adopt(link, &ctx);
+            pump_writes(link, &ctx, &mut wheel, i, now);
+        }
+        for link in &mut links {
+            if !link.write_shut && link.writer_done() {
+                // Clean-teardown half-close: the peer's reader sees EOF at
+                // a transmission boundary. Terminal sessions already shut
+                // their stream.
+                if link.sess.state() == SESS_UP {
+                    if let Some(r) = &link.stream {
+                        let _ = r.get_ref().shutdown(Shutdown::Write);
+                    }
+                }
+                link.sess.begin_teardown();
+                link.write_shut = true;
+            }
+        }
+        if inboxes_open && links.iter().all(PeerLink::reader_done) {
+            // Mirror the threaded reader threads exiting: drop our inbox
+            // senders so endpoints blocked in recv get their RecvError as
+            // soon as the fabric side lets go too.
+            for tx in ctx.local_txs.iter_mut() {
+                *tx = None;
+            }
+            inboxes_open = false;
+        }
+        let all_done = links.iter().all(|l| l.writer_done() && l.reader_done());
+        if all_done && (listener.is_none() || ctx.shutdown.load(Ordering::Acquire)) {
+            return;
+        }
+
+        set.clear();
+        set.register(wake.fd(), TOK_WAKE, Interest::READ);
+        if let Some(l) = &listener {
+            if !ctx.shutdown.load(Ordering::Acquire) {
+                set.register(l.as_raw_fd(), TOK_LISTENER, Interest::READ);
+            }
+        }
+        for (i, link) in links.iter().enumerate() {
+            if let Some(r) = &link.stream {
+                let want_write = link.pending_out() > 0 && link.stalled_until.is_none();
+                let interest = if want_write { Interest::READ_WRITE } else { Interest::READ };
+                set.register(r.get_ref().as_raw_fd(), TOK_BASE + i, interest);
+            }
+        }
+        let mut timeout = IDLE_POLL;
+        if let Some(d) = wheel.next_deadline() {
+            timeout = timeout.min(d.saturating_duration_since(Instant::now()));
+        }
+        match set.poll(timeout) {
+            Ok(_) => {}
+            Err(_) => {
+                // poll(2) failing outright (EBADF would be a bug, ENOMEM a
+                // dying host): back off instead of spinning.
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        let ready: Vec<(usize, crate::poller::Readiness)> = set.ready().collect();
+        for (tok, r) in ready {
+            match tok {
+                TOK_WAKE => wake.drain(),
+                TOK_LISTENER => {
+                    if let Some(l) = &listener {
+                        accept_reconnects(l, &sessions_by_node, &node_dead, &ctx);
+                    }
+                }
+                _ => {
+                    let i = tok - TOK_BASE;
+                    if r.readable {
+                        pump_reads(&mut links[i], &ctx, &mut wheel, i);
+                    }
+                    if r.writable {
+                        // Resume a partial write now; the loop-top pump
+                        // refills from the channel afterwards.
+                        flush(&mut links[i], &ctx, &mut wheel, i);
+                    }
+                }
+            }
+        }
+        for t in wheel.expire(Instant::now()) {
+            let now = Instant::now();
+            match t {
+                Timer::Health(i) => health_tick(&mut links[i], &ctx, &mut wheel, i, now),
+                Timer::Reconnect(i) => reconnect_tick(&mut links[i], &ctx, &mut wheel, i, now),
+                Timer::StallOver(i) => links[i].stalled_until = None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::fabric::{IoDriver, NodeFabric};
+    use crate::fault::{FaultPlan, FaultSpec};
+    use armci_transport::{Endpoint, NodeId, ProcId, Tag};
+
+    fn ev_loopback(topo: &Topology, faults: FaultPlan, session: SessionCfg) -> Vec<NodeFabric> {
+        NodeFabric::loopback_driver(topo, false, faults, session, Some(IoDriver::EventLoop)).unwrap()
+    }
+
+    fn shutdown_all(fabrics: impl IntoIterator<Item = NodeFabric>) {
+        let handles: Vec<_> = fabrics.into_iter().map(|f| std::thread::spawn(move || f.shutdown())).collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    fn recovery_cfg(suspect_after: Duration) -> SessionCfg {
+        SessionCfg { recovery: true, heartbeat_interval: Duration::from_millis(20), suspect_after, replay_window: 1024 }
+    }
+
+    #[test]
+    fn cross_node_traffic_and_fifo_on_the_event_loop() {
+        let topo = Topology::new(2, 1);
+        let mut fabrics = ev_loopback(&topo, FaultPlan::new(), SessionCfg::default());
+        let mut f1 = fabrics.pop().unwrap();
+        let mut f0 = fabrics.pop().unwrap();
+        let mut a = f0.take_proc(ProcId(0));
+        let mut b = f1.take_proc(ProcId(1));
+        let t = std::thread::spawn(move || {
+            for i in 0..200u8 {
+                let m = b.recv().unwrap();
+                assert_eq!(m.src, Endpoint::Proc(ProcId(0)));
+                assert_eq!(m.body, vec![i, i.wrapping_add(1)]);
+            }
+            b.send(Endpoint::Proc(ProcId(0)), Tag(9), vec![0xAB]);
+            b
+        });
+        for i in 0..200u8 {
+            a.send(Endpoint::Proc(ProcId(1)), Tag(4), vec![i, i.wrapping_add(1)]);
+        }
+        assert_eq!(a.recv().unwrap().body, vec![0xAB]);
+        let b = t.join().unwrap();
+        drop(a);
+        drop(b);
+        shutdown_all([f0, f1]);
+    }
+
+    #[test]
+    fn shutdown_flushes_messages_queued_before_teardown() {
+        // Regression: `NodeFabric::shutdown` flags session teardown before
+        // the loop has drained the write channels. Queued messages must
+        // still reach the peer (the threaded driver's blocking writer
+        // always drained them); `try_enqueue` rejecting on the teardown
+        // flag silently dropped them, wedging the peer's final barrier.
+        let topo = Topology::new(2, 1);
+        let mut fabrics = ev_loopback(&topo, FaultPlan::new(), SessionCfg::default());
+        let mut f1 = fabrics.pop().unwrap();
+        let mut f0 = fabrics.pop().unwrap();
+        let mut a = f0.take_proc(ProcId(0));
+        let mut b = f1.take_proc(ProcId(1));
+        for i in 0..500u32 {
+            a.send(Endpoint::Proc(ProcId(1)), Tag(1), i.to_le_bytes().to_vec());
+        }
+        // Tear down the sender immediately: the loop races the teardown
+        // flag against a channel full of undelivered messages.
+        drop(a);
+        let t0 = std::thread::spawn(move || f0.shutdown());
+        for i in 0..500u32 {
+            let m = b.recv().unwrap();
+            assert_eq!(m.body, i.to_le_bytes(), "message {i} lost or reordered across teardown");
+        }
+        t0.join().unwrap();
+        drop(b);
+        f1.shutdown();
+    }
+
+    #[test]
+    fn heartbeats_fire_under_sustained_outbound_load() {
+        // Satellite check for the writer-idle-tick coupling bug: under the
+        // threaded driver, heartbeats only fired when the writer's
+        // blocking receive timed out, so a saturated channel starved them.
+        // On the timer wheel they are due when the clock says so. Flood
+        // A -> B; B's write path stays idle (it only acks), so B must keep
+        // emitting bare acks at heartbeat cadence while its loop is busy
+        // reading the flood.
+        let topo = Topology::new(2, 1);
+        let mut fabrics = ev_loopback(&topo, FaultPlan::new(), recovery_cfg(Duration::from_secs(5)));
+        let mut f1 = fabrics.pop().unwrap();
+        let mut f0 = fabrics.pop().unwrap();
+        let mut a = f0.take_proc(ProcId(0));
+        let mut b = f1.take_proc(ProcId(1));
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let flood = std::thread::spawn(move || {
+            let payload = vec![7u8; 512];
+            let mut n: u64 = 0;
+            while !stop2.load(Ordering::Acquire) {
+                a.send(Endpoint::Proc(ProcId(1)), Tag(1), payload.clone());
+                n += 1;
+                if n.is_multiple_of(64) {
+                    // Pace roughly to what the receiver drains so the
+                    // flood is sustained, not just an unbounded backlog.
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+            (a, n)
+        });
+        let t0 = Instant::now();
+        let mut received: u64 = 0;
+        while t0.elapsed() < Duration::from_millis(400) {
+            if b.recv_timeout(Duration::from_millis(50)).unwrap().is_some() {
+                received += 1;
+            }
+        }
+        stop.store(true, Ordering::Release);
+        let (a, sent) = flood.join().unwrap();
+        // Drain the backlog so teardown stays clean.
+        while received < sent {
+            match b.recv_timeout(Duration::from_secs(5)).unwrap() {
+                Some(_) => received += 1,
+                None => panic!("flood backlog never drained"),
+            }
+        }
+        assert!(sent > 100, "flood too slow to count as sustained load ({sent} msgs)");
+        // B wrote no data frames, so every ack it sent was a bare
+        // heartbeat; at 20ms cadence over 400ms of load it gets ~20
+        // chances. Demand a conservative handful.
+        let hb = f1.heartbeats_sent(NodeId(0));
+        assert!(hb >= 5, "receiver sent only {hb} heartbeats under sustained inbound load");
+        drop(a);
+        drop(b);
+        shutdown_all([f0, f1]);
+    }
+
+    #[test]
+    fn reconnect_replays_after_reset_on_the_event_loop() {
+        // Node 1 resets its connection to node 0 after 5 frames; with
+        // recovery on, the loop's reconnect timer re-dials and replays
+        // the unacked tail. All 50 messages arrive in order, once.
+        let faults =
+            FaultPlan::new().with(FaultSpec { node: 1, peer: 0, after_frames: 5, action: FaultAction::ResetConn });
+        let topo = Topology::new(2, 1);
+        let mut fabrics = ev_loopback(&topo, faults, recovery_cfg(Duration::from_secs(5)));
+        let mut f1 = fabrics.pop().unwrap();
+        let mut f0 = fabrics.pop().unwrap();
+        let mut a = f0.take_proc(ProcId(0));
+        let mut b = f1.take_proc(ProcId(1));
+        for i in 0..50u8 {
+            b.send(Endpoint::Proc(ProcId(0)), Tag(1), vec![i]);
+        }
+        for i in 0..50u8 {
+            let got = a.recv_timeout(Duration::from_secs(10)).unwrap().expect("timed out mid-recovery");
+            assert_eq!(got.body, vec![i]);
+        }
+        assert!(a.lost_peers().is_empty(), "recovered peer must not be reported lost");
+        drop(a);
+        drop(b);
+        shutdown_all([f0, f1]);
+    }
+
+    #[test]
+    fn stalled_writer_delays_but_delivers() {
+        let faults = FaultPlan::new().with(FaultSpec {
+            node: 0,
+            peer: 1,
+            after_frames: 2,
+            action: FaultAction::StallWriter { millis: 120 },
+        });
+        let topo = Topology::new(2, 1);
+        let mut fabrics = ev_loopback(&topo, faults, SessionCfg::default());
+        let mut f1 = fabrics.pop().unwrap();
+        let mut f0 = fabrics.pop().unwrap();
+        let mut a = f0.take_proc(ProcId(0));
+        let mut b = f1.take_proc(ProcId(1));
+        let t0 = Instant::now();
+        for i in 0..6u8 {
+            a.send(Endpoint::Proc(ProcId(1)), Tag(2), vec![i]);
+        }
+        for i in 0..6u8 {
+            assert_eq!(b.recv_timeout(Duration::from_secs(10)).unwrap().unwrap().body, vec![i]);
+        }
+        assert!(t0.elapsed() >= Duration::from_millis(120), "stall was not enacted");
+        drop(a);
+        drop(b);
+        shutdown_all([f0, f1]);
+    }
+
+    #[test]
+    fn kill_node_severs_all_links_under_the_event_loop() {
+        let suspect_after = Duration::from_millis(400);
+        let faults =
+            FaultPlan::new().with(FaultSpec { node: 1, peer: 0, after_frames: 0, action: FaultAction::KillNode });
+        let topo = Topology::new(2, 1);
+        let mut fabrics = ev_loopback(&topo, faults, recovery_cfg(suspect_after));
+        let mut f1 = fabrics.pop().unwrap();
+        let mut f0 = fabrics.pop().unwrap();
+        let a = f0.take_proc(ProcId(0));
+        let mut b = f1.take_proc(ProcId(1));
+        b.send(Endpoint::Proc(ProcId(0)), Tag(1), vec![1]);
+        let deadline = Instant::now() + suspect_after + Duration::from_secs(5);
+        while !a.peer_is_lost(NodeId(1)) {
+            assert!(Instant::now() < deadline, "survivor never declared the killed node dead");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(b.peer_is_lost(NodeId(1)), "soft-killed node must report itself lost");
+        drop(a);
+        drop(b);
+        shutdown_all([f0, f1]);
+    }
+}

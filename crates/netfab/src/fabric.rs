@@ -47,11 +47,80 @@ use crossbeam_channel::{Receiver, Sender};
 
 use crate::boot::{self, BootOpts, Mesh};
 use crate::fault::{FaultAction, FaultPlan, FaultSpec};
+use crate::frames;
+#[cfg(unix)]
+use crate::poller::WakeHandle;
 use crate::session::{self, Session, SessionCfg, SESS_CLOSED, SESS_SUSPECT, SESS_UP};
 use crate::wire;
 
+/// Which IO engine a [`NodeFabric`] runs its peer links on.
+///
+/// The env var `ARMCI_NETFAB_IO` (values `threaded` / `event_loop`)
+/// overrides the *default* — an explicit selection in [`NetOpts`] (or
+/// `ArmciCfg`) always wins. That lets CI rerun whole suites under the
+/// non-default driver without touching each test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoDriver {
+    /// Legacy model: one blocking writer thread and one blocking reader
+    /// thread per peer (2·(n−1) threads per node), plus an accept thread
+    /// under recovery.
+    Threaded,
+    /// One nonblocking event loop per node owning every peer socket:
+    /// O(1) threads regardless of cluster size. Requires unix `poll(2)`;
+    /// on other targets it falls back to [`IoDriver::Threaded`].
+    EventLoop,
+}
+
+impl IoDriver {
+    /// The compiled-in default for this platform.
+    pub const fn platform_default() -> IoDriver {
+        if cfg!(unix) {
+            IoDriver::EventLoop
+        } else {
+            IoDriver::Threaded
+        }
+    }
+
+    /// Parse a driver name as used in config files and `ARMCI_NETFAB_IO`.
+    pub fn from_name(name: &str) -> Option<IoDriver> {
+        match name {
+            "threaded" => Some(IoDriver::Threaded),
+            "event_loop" | "event-loop" => Some(IoDriver::EventLoop),
+            _ => None,
+        }
+    }
+
+    /// The canonical config-file name of this driver.
+    pub fn name(self) -> &'static str {
+        match self {
+            IoDriver::Threaded => "threaded",
+            IoDriver::EventLoop => "event_loop",
+        }
+    }
+
+    /// The driver named by `ARMCI_NETFAB_IO`, if set and valid.
+    pub fn from_env() -> Option<IoDriver> {
+        std::env::var("ARMCI_NETFAB_IO").ok().as_deref().and_then(IoDriver::from_name)
+    }
+
+    /// Resolve an optional explicit selection: explicit > env > platform
+    /// default, clamped to [`IoDriver::Threaded`] where the event loop is
+    /// unavailable.
+    pub fn resolve(explicit: Option<IoDriver>) -> IoDriver {
+        let picked = explicit.or_else(IoDriver::from_env).unwrap_or(IoDriver::platform_default());
+        if cfg!(unix) {
+            picked
+        } else {
+            IoDriver::Threaded
+        }
+    }
+}
+
 /// Options for building a [`NodeFabric`].
 pub struct NetOpts {
+    /// IO engine for the peer links; `None` resolves via
+    /// [`IoDriver::resolve`] (env override, then the platform default).
+    pub io_driver: Option<IoDriver>,
     /// Record sends into this trace (shard = sender's dense endpoint
     /// index, as on the emulator). For loopback runs one trace is shared
     /// by every node; in multi-process runs each process naturally traces
@@ -77,6 +146,7 @@ pub struct NetOpts {
 impl Default for NetOpts {
     fn default() -> Self {
         NetOpts {
+            io_driver: None,
             trace: None,
             coalesce: 64,
             faults: FaultPlan::new(),
@@ -90,7 +160,7 @@ impl Default for NetOpts {
 /// Shared trigger for [`FaultAction::KillNode`]: aborts the process in
 /// spawned mode, or declares this node dead and severs every peer
 /// session at once in loopback mode.
-struct KillSwitch {
+pub(crate) struct KillSwitch {
     /// Every peer session of this node, so one writer can cut all links.
     sessions: Vec<Arc<Session>>,
     /// Loopback-mode "this whole node is dead" flag, reported by the
@@ -101,7 +171,7 @@ struct KillSwitch {
 }
 
 impl KillSwitch {
-    fn fire(&self) {
+    pub(crate) fn fire(&self) {
         if self.process_kill {
             // Equivalent to an external `kill -9`: no flushes, no
             // destructors; the kernel closes the sockets.
@@ -114,12 +184,13 @@ impl KillSwitch {
     }
 }
 
-/// A message bound for another node, queued to that peer's writer thread.
-struct WireMsg {
-    dst: Endpoint,
-    src: Endpoint,
-    tag: Tag,
-    body: Body,
+/// A message bound for another node, queued to that peer's write path
+/// (the writer thread or the event loop's per-peer queue).
+pub(crate) struct WireMsg {
+    pub(crate) dst: Endpoint,
+    pub(crate) src: Endpoint,
+    pub(crate) tag: Tag,
+    pub(crate) body: Body,
 }
 
 /// State shared by every local endpoint's mailbox (and nothing else: the
@@ -144,6 +215,11 @@ struct NodeShared {
     sessions: Vec<Option<Arc<Session>>>,
     /// Set by a soft [`FaultAction::KillNode`]: this node itself is gone.
     node_dead: Arc<AtomicBool>,
+    /// Event-loop doorbell: rung after queueing a wire message so the
+    /// loop wakes from `poll`. `None` under the threaded driver (blocking
+    /// channel receives need no doorbell).
+    #[cfg(unix)]
+    waker: Option<Arc<WakeHandle>>,
 }
 
 /// The TCP implementation of [`MailboxBackend`].
@@ -183,6 +259,10 @@ impl MailboxBackend for NetMailbox {
             sh.wire_bytes[self.my_index].fetch_add(body.len() as u64, Ordering::Relaxed);
             if let Some(tx) = &sh.peer_txs[dst_node.idx()] {
                 let _ = tx.send(WireMsg { dst, src: self.me, tag, body });
+                #[cfg(unix)]
+                if let Some(w) = &sh.waker {
+                    w.wake();
+                }
             }
         }
     }
@@ -295,12 +375,10 @@ enum StepOutcome {
 /// Encode and transmit one message: assign a session sequence, ring the
 /// encoded frame for replay (recovery mode), and write preamble + frame.
 fn send_frame(sess: &Session, ctx: &WriterCtx, w: &mut Option<BufWriter<TcpStream>>, m: &WireMsg) -> SendOutcome {
-    let mut buf = Vec::with_capacity(wire::HEADER_LEN + m.body.len());
-    if wire::write_frame(&mut buf, m.dst, m.src, m.tag, &m.body).is_err() {
+    let Some(encoded) = frames::encode_frame(m.dst, m.src, m.tag, &m.body) else {
         // Writing into a Vec cannot fail; bail out instead of unwrapping.
         return SendOutcome::Terminal;
-    }
-    let encoded = Arc::new(buf);
+    };
     let Some(seq) = sess.enqueue(&ctx.session, encoded.clone()) else {
         return SendOutcome::Terminal;
     };
@@ -520,7 +598,11 @@ fn writer_loop(rx: Receiver<WireMsg>, sess: Arc<Session>, mut ctx: WriterCtx) {
             let hb_failed = match w.as_mut() {
                 Some(out) => {
                     let ack = sess.recv_cursor.load(Ordering::Acquire);
-                    wire::write_preamble(out, wire::Preamble::Ack { ack }).and_then(|()| out.flush()).is_err()
+                    let sent = wire::write_preamble(out, wire::Preamble::Ack { ack }).and_then(|()| out.flush());
+                    if sent.is_ok() {
+                        sess.hb_sent.fetch_add(1, Ordering::Relaxed);
+                    }
+                    sent.is_err()
                 }
                 None => false,
             };
@@ -583,28 +665,6 @@ fn writer_loop(rx: Receiver<WireMsg>, sess: Arc<Session>, mut ctx: WriterCtx) {
     sess.begin_teardown();
 }
 
-/// One decoded unit off the stream: a session preamble, plus the data
-/// frame it announced (absent for bare-ack transmissions). `Ok(None)` is
-/// clean EOF at a transmission boundary.
-fn read_transmission(
-    r: &mut BufReader<TcpStream>,
-    topo: &Topology,
-    pool: &mut BodyPool,
-) -> std::io::Result<Option<(wire::Preamble, Option<wire::Frame>)>> {
-    let Some(p) = wire::read_preamble(r)? else {
-        return Ok(None);
-    };
-    match p {
-        wire::Preamble::Ack { .. } => Ok(Some((p, None))),
-        wire::Preamble::Data { .. } => match wire::read_frame(r, topo, pool)? {
-            Some(f) => Ok(Some((p, Some(f)))),
-            None => {
-                Err(std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "connection closed after data preamble"))
-            }
-        },
-    }
-}
-
 /// Park until a replacement stream is installed (reattaching the reader
 /// to it), or the session goes terminal / teardown starts.
 fn reader_recover(sess: &Session, gen: &mut u64, r: &mut BufReader<TcpStream>) -> bool {
@@ -636,7 +696,7 @@ fn reader_loop(sess: Arc<Session>, topo: Topology, local_txs: Vec<Option<Sender<
     // reader parks until a replacement stream is installed; sequence
     // numbers in the preambles deduplicate whatever the peer replays.
     loop {
-        match read_transmission(&mut r, &topo, &mut pool) {
+        match frames::read_transmission(&mut r, &topo, &mut pool) {
             Ok(None) => {
                 if recovery {
                     if !reader_recover(&sess, &mut gen, &mut r) {
@@ -647,37 +707,19 @@ fn reader_loop(sess: Arc<Session>, topo: Topology, local_txs: Vec<Option<Sender<
                     break;
                 }
             }
-            Ok(Some((wire::Preamble::Ack { ack }, _))) => {
-                if recovery {
-                    sess.note_heard(ack);
-                }
-            }
-            Ok(Some((wire::Preamble::Data { seq, ack }, frame))) => {
-                if recovery {
-                    sess.note_heard(ack);
-                    let cur = sess.recv_cursor.load(Ordering::Acquire);
-                    if seq <= cur {
-                        // Replayed duplicate: body consumed off the
-                        // stream, dropped before delivery.
-                        continue;
-                    }
-                    if seq != cur + 1 {
-                        // Sequence gap: the stream is desynchronized
-                        // (should be impossible over TCP; treat as a
-                        // connection fault).
-                        if !reader_recover(&sess, &mut gen, &mut r) {
-                            break;
-                        }
-                        continue;
-                    }
-                    sess.recv_cursor.store(seq, Ordering::Release);
-                }
-                if let Some(f) = frame {
-                    if let Some(tx) = &local_txs[endpoint_index(&topo, f.dst)] {
-                        let _ = tx.send(Msg { src: f.src, tag: f.tag, body: f.body });
+            Ok(Some((preamble, frame))) => match frames::session_step(&sess, recovery, preamble) {
+                frames::SessionStep::Deliver => {
+                    if let Some(f) = frame {
+                        frames::deliver(&topo, &local_txs, f);
                     }
                 }
-            }
+                frames::SessionStep::Skip => {}
+                frames::SessionStep::Desync => {
+                    if !reader_recover(&sess, &mut gen, &mut r) {
+                        break;
+                    }
+                }
+            },
             Err(_) => {
                 if recovery {
                     if !reader_recover(&sess, &mut gen, &mut r) {
@@ -752,7 +794,7 @@ pub struct NodeFabric {
 impl NodeFabric {
     /// Wire a node over an established mesh.
     pub fn from_mesh(topo: Topology, mesh: Mesh, opts: NetOpts) -> std::io::Result<Self> {
-        let Mesh { node, streams, listener, addrs } = mesh;
+        let Mesh { node, streams, mut listener, addrs } = mesh;
         let n_endpoints = endpoint_count(&topo);
 
         let mut local_txs: Vec<Option<Sender<Msg>>> = (0..n_endpoints).map(|_| None).collect();
@@ -782,49 +824,91 @@ impl NodeFabric {
             process_kill: opts.process_faults,
         });
         let wire_faults = opts.faults.wire_faults_for(node.0);
+        let driver = IoDriver::resolve(opts.io_driver);
 
         let mut io_threads = Vec::new();
         let mut peer_txs: Vec<Option<Sender<WireMsg>>> = (0..topo.nnodes()).map(|_| None).collect();
-        for (peer, sess) in sessions.iter().enumerate() {
-            let Some(sess) = sess else { continue };
-            let (tx, rx) = crossbeam_channel::unbounded();
-            peer_txs[peer] = Some(tx);
-            let ctx = WriterCtx {
-                node: node.0,
-                coalesce: opts.coalesce.max(1),
-                faults: wire_faults.iter().filter(|f| f.peer as usize == peer).map(|&f| Some(f)).collect(),
-                kill: kill.clone(),
-                session: opts.session.clone(),
-                peer_addr: addrs.get(peer).cloned().unwrap_or_default(),
-            };
-            let wsess = sess.clone();
-            io_threads.push(
-                std::thread::Builder::new()
-                    .name(format!("netfab-w{}-{}", node.0, peer))
-                    .spawn(move || writer_loop(rx, wsess, ctx))?,
-            );
-            let rsess = sess.clone();
-            let topo2 = topo.clone();
-            let txs2 = local_txs.clone();
-            let recovery = opts.session.recovery;
-            io_threads.push(
-                std::thread::Builder::new()
-                    .name(format!("netfab-r{}-{}", node.0, peer))
-                    .spawn(move || reader_loop(rsess, topo2, txs2, recovery))?,
-            );
-        }
-
         let accept_shutdown = Arc::new(AtomicBool::new(false));
-        if opts.session.recovery {
-            if let Some(listener) = listener {
-                let sessions2 = sessions.clone();
-                let nd = node_dead.clone();
-                let sd = accept_shutdown.clone();
+        #[cfg(unix)]
+        let mut waker: Option<Arc<WakeHandle>> = None;
+
+        #[cfg(unix)]
+        if driver == IoDriver::EventLoop {
+            let wake = crate::poller::WakePipe::new()?;
+            waker = Some(wake.handle());
+            let mut peers = Vec::new();
+            for (peer, sess) in sessions.iter().enumerate() {
+                let Some(sess) = sess else { continue };
+                let (tx, rx) = crossbeam_channel::unbounded();
+                peer_txs[peer] = Some(tx);
+                peers.push(crate::event_loop::PeerSeed {
+                    peer,
+                    sess: sess.clone(),
+                    rx,
+                    faults: wire_faults.iter().filter(|f| f.peer as usize == peer).map(|&f| Some(f)).collect(),
+                    addr: addrs.get(peer).cloned().unwrap_or_default(),
+                });
+            }
+            let lc = crate::event_loop::LoopCfg {
+                node: node.0,
+                topo: topo.clone(),
+                local_txs: local_txs.clone(),
+                session: opts.session.clone(),
+                kill: kill.clone(),
+                node_dead: node_dead.clone(),
+                shutdown: accept_shutdown.clone(),
+                listener: if opts.session.recovery { listener.take() } else { None },
+                peers,
+            };
+            if !lc.peers.is_empty() || lc.listener.is_some() {
                 io_threads.push(
                     std::thread::Builder::new()
-                        .name(format!("netfab-a{}", node.0))
-                        .spawn(move || accept_loop(listener, sessions2, nd, sd))?,
+                        .name(format!("netfab-ev{}", node.0))
+                        .spawn(move || crate::event_loop::run(lc, wake))?,
                 );
+            }
+        }
+
+        if driver == IoDriver::Threaded {
+            for (peer, sess) in sessions.iter().enumerate() {
+                let Some(sess) = sess else { continue };
+                let (tx, rx) = crossbeam_channel::unbounded();
+                peer_txs[peer] = Some(tx);
+                let ctx = WriterCtx {
+                    node: node.0,
+                    coalesce: opts.coalesce.max(1),
+                    faults: wire_faults.iter().filter(|f| f.peer as usize == peer).map(|&f| Some(f)).collect(),
+                    kill: kill.clone(),
+                    session: opts.session.clone(),
+                    peer_addr: addrs.get(peer).cloned().unwrap_or_default(),
+                };
+                let wsess = sess.clone();
+                io_threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("netfab-w{}-{}", node.0, peer))
+                        .spawn(move || writer_loop(rx, wsess, ctx))?,
+                );
+                let rsess = sess.clone();
+                let topo2 = topo.clone();
+                let txs2 = local_txs.clone();
+                let recovery = opts.session.recovery;
+                io_threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("netfab-r{}-{}", node.0, peer))
+                        .spawn(move || reader_loop(rsess, topo2, txs2, recovery))?,
+                );
+            }
+            if opts.session.recovery {
+                if let Some(listener) = listener.take() {
+                    let sessions2 = sessions.clone();
+                    let nd = node_dead.clone();
+                    let sd = accept_shutdown.clone();
+                    io_threads.push(
+                        std::thread::Builder::new()
+                            .name(format!("netfab-a{}", node.0))
+                            .spawn(move || accept_loop(listener, sessions2, nd, sd))?,
+                    );
+                }
             }
         }
 
@@ -839,6 +923,8 @@ impl NodeFabric {
             trace: opts.trace,
             sessions,
             node_dead,
+            #[cfg(unix)]
+            waker,
         });
 
         let mut mailboxes: Vec<Option<Mailbox>> = (0..n_endpoints).map(|_| None).collect();
@@ -888,9 +974,23 @@ impl NodeFabric {
         faults: FaultPlan,
         session: SessionCfg,
     ) -> std::io::Result<Vec<Self>> {
+        Self::loopback_driver(topo, trace, faults, session, None)
+    }
+
+    /// [`NodeFabric::loopback_cfg`] with an explicit IO driver selection
+    /// (`None` resolves via [`IoDriver::resolve`]). This is how pinned
+    /// tests and benches stay immune to the `ARMCI_NETFAB_IO` override.
+    pub fn loopback_driver(
+        topo: &Topology,
+        trace: bool,
+        faults: FaultPlan,
+        session: SessionCfg,
+        io_driver: Option<IoDriver>,
+    ) -> std::io::Result<Vec<Self>> {
         let nnodes = topo.nnodes();
         let shared_trace = trace.then(|| Arc::new(Trace::new(endpoint_count(topo))));
         let opts_for = |trace: Option<Arc<Trace>>| NetOpts {
+            io_driver,
             trace,
             faults: faults.clone(),
             session: session.clone(),
@@ -964,6 +1064,13 @@ impl NodeFabric {
         self.take(Endpoint::Nic(self.node))
     }
 
+    /// How many bare ack/heartbeat transmissions this node has sent to
+    /// `peer` (observability for tests and diagnostics; only advances in
+    /// recovery mode, where idle links are probed).
+    pub fn heartbeats_sent(&self, peer: NodeId) -> u64 {
+        self.shared.sessions.get(peer.idx()).and_then(|s| s.as_ref()).map_or(0, |s| s.hb_sent.load(Ordering::Relaxed))
+    }
+
     /// Total wire traffic sent by this node's endpoints.
     pub fn wire_totals(&self) -> WireCounters {
         WireCounters {
@@ -987,11 +1094,19 @@ impl NodeFabric {
         for sess in self.shared.sessions.iter().flatten() {
             sess.begin_teardown();
         }
+        #[cfg(unix)]
+        let waker = self.shared.waker.clone();
         self.mailboxes.clear();
         let threads = std::mem::take(&mut self.io_threads);
         // Dropping `self` drops the last local `Arc<NodeShared>`, which
         // disconnects the writer channels.
         drop(self);
+        // Ring the event loop so it notices the disconnects now instead of
+        // on its next poll timeout.
+        #[cfg(unix)]
+        if let Some(w) = waker {
+            w.wake();
+        }
         for h in threads {
             let _ = h.join();
         }
@@ -1004,6 +1119,10 @@ impl Drop for NodeFabric {
         // risk joining while mailboxes are still alive; they exit when the
         // channels and sockets die with the process.
         self.accept_shutdown.store(true, Ordering::Release);
+        #[cfg(unix)]
+        if let Some(w) = &self.shared.waker {
+            w.wake();
+        }
         for h in self.io_threads.drain(..) {
             drop(h);
         }

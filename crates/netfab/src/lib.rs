@@ -17,10 +17,13 @@
 //! * [`boot`] — rendezvous bootstrap: a coordinator collects each node's
 //!   listener address and broadcasts the table, then the nodes form a
 //!   full TCP mesh directly;
-//! * [`fabric`] — [`NodeFabric`]: per-peer reader threads demuxing
-//!   frames into per-endpoint inboxes and per-peer writer threads with
-//!   write coalescing, behind the [`armci_transport::MailboxBackend`]
-//!   contract;
+//! * [`fabric`] — [`NodeFabric`]: per-endpoint inboxes behind the
+//!   [`armci_transport::MailboxBackend`] contract, fed by one of two IO
+//!   drivers ([`IoDriver`]): the legacy *threaded* model (one blocking
+//!   reader + writer thread per peer) or the default *event loop* (one
+//!   nonblocking `poll(2)` loop per node owning every peer socket — O(1)
+//!   threads regardless of cluster size, with write coalescing, idle
+//!   heartbeats and reconnect driving all on a single timer wheel);
 //! * [`launch`] — helpers for spawning one process per node (used by the
 //!   `armci-launch` tool and `armci-core`'s self-spawning
 //!   `run_cluster_spawned`).
@@ -33,14 +36,21 @@
 //! discrete-event simulator.
 
 pub mod boot;
+#[cfg(unix)]
+mod event_loop;
 pub mod fabric;
 pub mod fault;
+mod frames;
 pub mod launch;
+#[cfg(unix)]
+mod poller;
 pub mod session;
+#[cfg(unix)]
+mod timer;
 pub mod wire;
 
 pub use boot::{coordinate, coordinate_deadline, join_mesh, join_mesh_opts, BootOpts, Mesh};
-pub use fabric::{NetMailbox, NetOpts, NodeFabric};
+pub use fabric::{IoDriver, NetMailbox, NetOpts, NodeFabric};
 pub use fault::{FaultAction, FaultPlan, FaultSpec};
 pub use launch::{
     bind_rendezvous, kill_nodes, node_spec_from_env, spawn_nodes, wait_nodes, wait_nodes_deadline, NodeSpec,

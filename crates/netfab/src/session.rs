@@ -117,11 +117,23 @@ pub(crate) struct Session {
     /// Last time we heard anything from the peer, as milliseconds since
     /// `born` (atomic so the writer's staleness check is lock-free).
     pub heard_at_ms: AtomicU64,
+    /// Bare ack / heartbeat transmissions emitted on this session
+    /// (observability: the heartbeat-under-load test reads it).
+    pub hb_sent: AtomicU64,
     /// Session creation time, the epoch for `heard_at_ms`.
     pub born: Instant,
     pub inner: Mutex<SessionInner>,
     /// Signalled on stream install, ring pruning, and terminal states.
     pub cv: Condvar,
+}
+
+/// Why [`Session::try_enqueue`] could not assign a sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EnqueueError {
+    /// The replay ring is at capacity; retry after the peer acks progress.
+    Full,
+    /// The session is terminal (or tearing down); stop sending.
+    Terminal,
 }
 
 /// An encoded frame scheduled for (re)transmission: its sequence number
@@ -136,6 +148,7 @@ impl Session {
             recv_cursor: AtomicU64::new(0),
             peer_acked: AtomicU64::new(0),
             heard_at_ms: AtomicU64::new(0),
+            hb_sent: AtomicU64::new(0),
             born: Instant::now(),
             inner: Mutex::new(SessionInner {
                 stream_gen: u64::from(stream.is_some()),
@@ -295,6 +308,42 @@ impl Session {
             inner.ring.push_back(encoded);
         }
         Some(seq)
+    }
+
+    /// Nonblocking [`Session::enqueue`]: assign the next sequence number
+    /// (ringing the frame when recovery is on) or report why not. Used by
+    /// the event-loop driver, which must never park on a condvar — a full
+    /// ring is retried after the next ack arrives (ack arrival is a
+    /// readable event on the same loop).
+    pub fn try_enqueue(&self, cfg: &SessionCfg, encoded: Arc<Vec<u8>>) -> Result<u64, EnqueueError> {
+        let Ok(mut inner) = self.inner.lock() else { return Err(EnqueueError::Terminal) };
+        if self.is_terminal() {
+            return Err(EnqueueError::Terminal);
+        }
+        if cfg.recovery {
+            Self::prune_ring(&mut inner, self.peer_acked.load(Ordering::Acquire));
+            if inner.ring.len() >= cfg.replay_window.max(1) {
+                // Teardown began with the ring still full: parity with the
+                // blocking `enqueue` giving up its ring wait. A teardown
+                // with ring room keeps accepting — messages queued before
+                // `begin_teardown` must still reach the peer (the fabric
+                // flags teardown *before* the loop drains the channel).
+                return Err(if inner.teardown { EnqueueError::Terminal } else { EnqueueError::Full });
+            }
+        }
+        inner.next_seq += 1;
+        let seq = inner.next_seq;
+        if cfg.recovery {
+            debug_assert_eq!(inner.ring_first + inner.ring.len() as u64, seq);
+            inner.ring.push_back(encoded);
+        }
+        Ok(seq)
+    }
+
+    /// Whether [`Session::begin_teardown`] has run (the local fabric is
+    /// shutting down this link).
+    pub fn teardown_begun(&self) -> bool {
+        self.inner.lock().map(|i| i.teardown).unwrap_or(true)
     }
 
     /// Snapshot every unacked ring frame (sequence > the peer's

@@ -122,6 +122,47 @@ pub fn write_preamble(w: &mut impl Write, p: Preamble) -> io::Result<()> {
     w.write_all(&buf)
 }
 
+/// Decode a complete preamble from its fixed-size wire image. Shared by
+/// the blocking reader ([`read_preamble`]) and the event loop's
+/// incremental decoder, so the two drivers cannot drift.
+pub fn parse_preamble(buf: &[u8; PREAMBLE_LEN]) -> io::Result<Preamble> {
+    let seq = u64::from_le_bytes(buf[1..9].try_into().unwrap());
+    let ack = u64::from_le_bytes(buf[9..17].try_into().unwrap());
+    match buf[0] {
+        SESSION_DATA => Ok(Preamble::Data { seq, ack }),
+        SESSION_ACK => Ok(Preamble::Ack { ack }),
+        k => Err(io::Error::new(io::ErrorKind::InvalidData, format!("bad session preamble kind {k}"))),
+    }
+}
+
+/// A decoded frame header: addressing, tag, and the announced body length
+/// (validated against [`MAX_BODY`] and the topology).
+#[derive(Debug, Clone, Copy)]
+pub struct FrameHeader {
+    /// The endpoint on this node the frame is addressed to.
+    pub dst: Endpoint,
+    /// The sending endpoint on the peer node.
+    pub src: Endpoint,
+    /// Protocol tag.
+    pub tag: Tag,
+    /// Announced body length in bytes.
+    pub len: u32,
+}
+
+/// Decode a complete frame header from its fixed-size wire image. Shared
+/// by the blocking reader ([`read_frame`]) and the event loop's
+/// incremental decoder.
+pub fn parse_header(hdr: &[u8; HEADER_LEN], topo: &Topology) -> io::Result<FrameHeader> {
+    let dst = decode_endpoint(hdr[0], u32::from_le_bytes(hdr[1..5].try_into().unwrap()), topo)?;
+    let src = decode_endpoint(hdr[5], u32::from_le_bytes(hdr[6..10].try_into().unwrap()), topo)?;
+    let tag = Tag(u32::from_le_bytes(hdr[10..14].try_into().unwrap()));
+    let len = u32::from_le_bytes(hdr[14..18].try_into().unwrap());
+    if len > MAX_BODY {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, format!("frame body of {len} bytes")));
+    }
+    Ok(FrameHeader { dst, src, tag, len })
+}
+
 /// Read one session preamble from `r`.
 ///
 /// Returns `Ok(None)` on a clean EOF at a transmission boundary (normal
@@ -140,13 +181,7 @@ pub fn read_preamble(r: &mut impl Read) -> io::Result<Option<Preamble>> {
         }
         got += n;
     }
-    let seq = u64::from_le_bytes(buf[1..9].try_into().unwrap());
-    let ack = u64::from_le_bytes(buf[9..17].try_into().unwrap());
-    match buf[0] {
-        SESSION_DATA => Ok(Some(Preamble::Data { seq, ack })),
-        SESSION_ACK => Ok(Some(Preamble::Ack { ack })),
-        k => Err(io::Error::new(io::ErrorKind::InvalidData, format!("bad session preamble kind {k}"))),
-    }
+    parse_preamble(&buf).map(Some)
 }
 
 /// Serialize one frame into `w` (no flush — the writer thread batches).
@@ -183,13 +218,7 @@ pub fn read_frame(r: &mut impl Read, topo: &Topology, pool: &mut BodyPool) -> io
         }
         got += n;
     }
-    let dst = decode_endpoint(hdr[0], u32::from_le_bytes(hdr[1..5].try_into().unwrap()), topo)?;
-    let src = decode_endpoint(hdr[5], u32::from_le_bytes(hdr[6..10].try_into().unwrap()), topo)?;
-    let tag = Tag(u32::from_le_bytes(hdr[10..14].try_into().unwrap()));
-    let len = u32::from_le_bytes(hdr[14..18].try_into().unwrap());
-    if len > MAX_BODY {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, format!("frame body of {len} bytes")));
-    }
+    let FrameHeader { dst, src, tag, len } = parse_header(&hdr, topo)?;
     let mut read_err = Ok(());
     let body = pool.with_buf(|buf| {
         buf.resize(len as usize, 0);

@@ -1,0 +1,127 @@
+//! Thread-budget contract of the two netfab IO drivers, counted against
+//! the live process via `/proc/self/task`.
+//!
+//! The event-loop driver's reason to exist is O(1) IO threads per node:
+//! one `netfab-ev*` loop thread owns every peer socket, regardless of
+//! cluster size (the budget is ≤3 counting the transient reconnect
+//! dial/handshake helpers, which only appear under recovery faults). The
+//! legacy threaded driver spends one blocking writer plus one blocking
+//! reader per peer — 2·(n−1) threads per node — which this test also
+//! pins down so the comparison stays honest.
+
+#![cfg(target_os = "linux")]
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use armci_netfab::{FaultPlan, IoDriver, NodeFabric, SessionCfg};
+use armci_transport::{Endpoint, Mailbox, ProcId, Tag, Topology};
+
+/// Names of live threads in this process that belong to a netfab fabric.
+/// (`/proc` comm names are truncated to 15 bytes — long enough for every
+/// netfab thread name at these node counts.)
+fn netfab_threads() -> Vec<String> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir("/proc/self/task").expect("read /proc/self/task") {
+        let mut path = entry.expect("task dir entry").path();
+        path.push("comm");
+        // A thread may exit between readdir and this read; skip the hole.
+        if let Ok(name) = std::fs::read_to_string(&path) {
+            let name = name.trim();
+            if name.starts_with("netfab-") {
+                out.push(name.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// The node index embedded in a netfab thread name: the first digit run
+/// after the role tag (`netfab-ev3`, `netfab-w0-2`, `netfab-r1-0`, …).
+fn node_of(name: &str) -> u32 {
+    let tail = name.trim_start_matches("netfab-").trim_start_matches(|c: char| c.is_ascii_alphabetic());
+    let digits: String = tail.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().unwrap_or_else(|_| panic!("unparseable netfab thread name {name:?}"))
+}
+
+fn per_node_counts(names: &[String]) -> HashMap<u32, usize> {
+    let mut counts = HashMap::new();
+    for n in names {
+        *counts.entry(node_of(n)).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Prove every cross-node link is live: each rank sends one frame to
+/// rank 0, which drains them all.
+fn exchange(fabrics: &mut [NodeFabric], nodes: u32) {
+    let mut boxes: Vec<Mailbox> = fabrics.iter_mut().enumerate().map(|(i, f)| f.take_proc(ProcId(i as u32))).collect();
+    let mut root = boxes.remove(0);
+    for (i, mb) in boxes.iter_mut().enumerate() {
+        mb.send(Endpoint::Proc(ProcId(0)), Tag(7), vec![i as u8]);
+    }
+    for _ in 1..nodes {
+        root.recv().expect("root recv");
+    }
+}
+
+fn shutdown_all(fabrics: Vec<NodeFabric>) {
+    let handles: Vec<_> = fabrics.into_iter().map(|f| std::thread::spawn(move || f.shutdown())).collect();
+    for h in handles {
+        h.join().expect("shutdown runner");
+    }
+}
+
+fn wait_for_drain(phase: &str) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let left = netfab_threads();
+        if left.is_empty() {
+            return;
+        }
+        assert!(Instant::now() < deadline, "{phase}: netfab threads leaked after shutdown: {left:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// One #[test] with sequential phases: thread counting is process-global,
+/// so the phases must not overlap with each other (or any concurrent
+/// fabric).
+#[test]
+fn event_loop_runs_o1_threads_per_node_where_threaded_runs_o_peers() {
+    // Phase 1 — event loop, 16 loopback nodes in this one process.
+    let nodes = 16u32;
+    let topo = Topology::new(nodes, 1);
+    let mut fabrics =
+        NodeFabric::loopback_driver(&topo, false, FaultPlan::new(), SessionCfg::default(), Some(IoDriver::EventLoop))
+            .expect("event-loop loopback fabric");
+    exchange(&mut fabrics, nodes);
+
+    let names = netfab_threads();
+    let ev = names.iter().filter(|n| n.starts_with("netfab-ev")).count();
+    assert_eq!(ev, nodes as usize, "one loop thread per node, found {names:?}");
+    for (node, count) in per_node_counts(&names) {
+        assert!(count <= 3, "node {node} over the event-loop thread budget ({count} > 3): {names:?}");
+    }
+    shutdown_all(fabrics);
+    wait_for_drain("event loop");
+
+    // Phase 2 — threaded driver, 4 nodes: 2·(n−1) = 6 threads per node
+    // (one writer + one reader per peer; no accept thread without
+    // recovery). This is the O(n) budget the event loop replaces.
+    let nodes = 4u32;
+    let topo = Topology::new(nodes, 1);
+    let mut fabrics =
+        NodeFabric::loopback_driver(&topo, false, FaultPlan::new(), SessionCfg::default(), Some(IoDriver::Threaded))
+            .expect("threaded loopback fabric");
+    exchange(&mut fabrics, nodes);
+
+    let names = netfab_threads();
+    let per_peer = 2 * (nodes as usize - 1);
+    for (node, count) in per_node_counts(&names) {
+        assert_eq!(count, per_peer, "node {node} under the threaded driver: {names:?}");
+    }
+    assert_eq!(names.len(), per_peer * nodes as usize);
+    shutdown_all(fabrics);
+    wait_for_drain("threaded");
+}
