@@ -11,7 +11,7 @@
 use std::time::{Duration, Instant};
 
 use armci_core::msg::{Req, ReqView};
-use armci_core::{run_cluster, run_cluster_net_loopback, ArmciCfg, GlobalAddr, IoDriver};
+use armci_core::{run_cluster, run_cluster_net_loopback, run_cluster_spawned, ArmciCfg, GlobalAddr, IoDriver};
 use armci_transport::{LatencyModel, ProcId, SegId};
 use criterion::{black_box, BenchmarkGroup, Criterion};
 
@@ -73,6 +73,49 @@ fn net_put_round(iters: u64, driver: IoDriver) -> Duration {
             for i in 0..iters {
                 a.put_u64(dst, i);
                 a.fence(ProcId(1));
+            }
+            total = t0.elapsed();
+        }
+        a.barrier();
+        total
+    });
+    out[0]
+}
+
+/// Intra-node cross-process round trips: two OS processes on this host,
+/// each round one 8 B `put_u64` plus a blocking `get` at the other
+/// process's segment. With `shm_on` the ops go through the shared-memory
+/// data plane (direct stores/loads into the peer's mapped segment, zero
+/// wire messages); without it every round is two full TCP round trips.
+/// The head-to-head number for the server-bypass claim.
+///
+/// This is the bench suite's single `run_cluster_spawned` call site: the
+/// spawned node-1 process re-enters `main`, which short-circuits straight
+/// back here on the launch environment (config comes from the payload,
+/// so `iters`/`shm_on` only matter in the parent, where rank 0 lives).
+fn xproc_put_get_round(iters: u64, shm_on: bool) -> Duration {
+    let cfg = ArmciCfg {
+        nodes: 2,
+        procs_per_node: 1,
+        latency: LatencyModel::zero(),
+        shm_plane: Some(shm_on),
+        ..Default::default()
+    };
+    let out = run_cluster_spawned(cfg, &[], move |a| {
+        let seg = a.malloc(4096);
+        let dst = GlobalAddr::new(ProcId(1), seg, 0);
+        a.barrier();
+        let mut total = Duration::ZERO;
+        if a.rank() == 0 {
+            let mut buf = [0u8; 8];
+            for i in 0..32u64 {
+                a.put_u64(dst, i);
+                a.get(dst, &mut buf);
+            }
+            let t0 = Instant::now();
+            for i in 0..iters {
+                a.put_u64(dst, i);
+                a.get(dst, &mut buf);
             }
             total = t0.elapsed();
         }
@@ -148,6 +191,15 @@ fn bench_into(
 }
 
 fn main() {
+    // Spawned-node re-entry: node 1 of a cross-process round-trip bench
+    // run must reach the `run_cluster_spawned` call site directly, not
+    // replay the whole bench suite. Its config comes from the launch
+    // payload, so the arguments here are placeholders.
+    if armci_netfab::node_spec_from_env().is_some() {
+        xproc_put_get_round(0, false);
+        return;
+    }
+
     let mut c = Criterion::default();
     let mut recs: Vec<Rec> = Vec::new();
 
@@ -165,6 +217,11 @@ fn main() {
         bench_into(&mut g, &mut recs, "net_small_put_round_event_loop", 8, |iters| {
             net_put_round(iters, IoDriver::EventLoop)
         });
+        // Cross-process rounds spawn a real second OS process per sample:
+        // keep the sample count low, the per-round numbers are stable.
+        g.sample_size(10);
+        bench_into(&mut g, &mut recs, "xproc_put_get_round_wire", 8, |iters| xproc_put_get_round(iters, false));
+        bench_into(&mut g, &mut recs, "xproc_put_get_round_shm", 8, |iters| xproc_put_get_round(iters, true));
         g.sample_size(20000);
         bench_into(&mut g, &mut recs, "encode_small_owned_before", 25, encode_small_owned);
         bench_into(&mut g, &mut recs, "encode_small_pooled_after", 25, encode_small_pooled);

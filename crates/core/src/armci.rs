@@ -20,6 +20,7 @@ use crate::gptr::GlobalAddr;
 use crate::layout;
 use crate::msg::{enc, Req, RmwOp, TAG_FENCE_ACK, TAG_GET_REPLY, TAG_PUT_ACK, TAG_REQ, TAG_RMW_REPLY};
 use crate::server::apply_rmw;
+use crate::shm::ShmDataPlane;
 use crate::stats::Stats;
 use crate::strided::Strided2D;
 
@@ -92,6 +93,16 @@ pub struct Armci {
     pub(crate) recovery: bool,
     /// Next free lock slot per owner (for [`Armci::create_lock`]).
     pub(crate) lock_alloc: Vec<u32>,
+    /// Cross-process shared-memory data plane (`ArmciCfg::shm_plane`):
+    /// when present, segments of same-host peers in *other processes* are
+    /// mapped and served with direct loads/stores/CAS instead of wire
+    /// messages. `None` = every non-node-local target rides the wire.
+    pub(crate) shm: Option<Arc<ShmDataPlane>>,
+    /// Lease epoch observed when this process last acquired an MCS lock
+    /// (recovery mode): validated at release so a holder whose lease was
+    /// reclaimed abandons its stale release instead of corrupting the
+    /// queue — the SIGMOD one-sided-CAS guideline.
+    pub(crate) mcs_lease_epoch_seen: u64,
     pub(crate) stats: Stats,
     /// Reusable request-encode buffers: every outgoing request is framed
     /// into a pooled (or inline) [`Body`], so steady-state sends do not
@@ -196,6 +207,16 @@ impl Armci {
 
     fn seg_of(&self, addr: GlobalAddr) -> Arc<Segment> {
         self.registry.lookup(addr.proc, addr.seg)
+    }
+
+    /// Shared-memory route to a *non-node-local* peer's segment (same
+    /// host, different process), or `None` for the wire. Callers check
+    /// [`Armci::is_local`] first — node-local targets use the in-process
+    /// registry directly. Operations served this way are synchronous, so
+    /// they are never counted for fences (`note_put` is skipped), exactly
+    /// like node-local operations.
+    pub(crate) fn shm_route(&self, p: ProcId, seg: SegId) -> Option<Arc<Segment>> {
+        self.shm.as_ref()?.route(p, seg)
     }
 
     // ------------------------------------------------------------------
@@ -320,9 +341,20 @@ impl Armci {
     /// Collective allocation (`ARMCI_Malloc`): every process registers a
     /// segment of `len` bytes and receives the same [`SegId`]. Includes a
     /// barrier so no process can address a peer's segment before it
-    /// exists.
+    /// exists — which also orders shm-plane file creation before any peer
+    /// could try to map the new segment.
     pub fn malloc(&mut self, len: usize) -> SegId {
-        let (id, _) = self.registry.register(self.me, len);
+        let id = match &self.shm {
+            Some(shm) => {
+                let next = self.registry.count_for(self.me) as u32;
+                match shm.create_local(self.me, next, len) {
+                    Some(seg) => self.registry.register_segment(self.me, seg),
+                    // File creation failed: heap segment, peers use the wire.
+                    None => self.registry.register(self.me, len).0,
+                }
+            }
+            None => self.registry.register(self.me, len).0,
+        };
         armci_msglib::barrier(self);
         id
     }
@@ -364,6 +396,9 @@ impl Armci {
         if self.is_local(dst.proc) {
             self.seg_of(dst).write_bytes(dst.offset, data);
             self.stats.local_puts += 1;
+        } else if let Some(s) = self.shm_route(dst.proc, dst.seg) {
+            s.write_bytes(dst.offset, data);
+            self.stats.shm_puts += 1;
         } else {
             let node = self.server_of(dst.proc);
             // Frame the user's slice straight into a pooled buffer: no
@@ -378,9 +413,12 @@ impl Armci {
     /// Fallible [`Armci::put`]: refuse to queue data for a destination
     /// node whose connection is already known dead. A put is one-way, so
     /// this is the only failure a sender can observe at issue time; later
-    /// losses surface at the next fence or barrier.
+    /// losses surface at the next fence or barrier. A target reachable
+    /// through the shm plane succeeds even when its *wire* link is down —
+    /// the memory is mapped, no connection is involved (this is how lease
+    /// reclamation clears a dead holder's words for real under shm).
     pub fn try_put(&mut self, dst: GlobalAddr, data: &[u8]) -> Result<(), ArmciError> {
-        if !self.is_local(dst.proc) {
+        if !self.is_local(dst.proc) && self.shm_route(dst.proc, dst.seg).is_none() {
             let node = self.server_of(dst.proc);
             if self.mb.peer_is_lost(node) {
                 return Err(ArmciError::PeerLost { peer: node });
@@ -402,6 +440,9 @@ impl Armci {
         if self.is_local(dst.proc) {
             self.seg_of(dst).write_u64(dst.offset, val);
             self.stats.local_puts += 1;
+        } else if let Some(s) = self.shm_route(dst.proc, dst.seg) {
+            s.write_u64(dst.offset, val);
+            self.stats.shm_puts += 1;
         } else {
             let req = Req::PutU64 { dst: dst.proc, seg: dst.seg, offset: dst.offset as u64, val };
             let agent = self.sync_agent(self.server_of(dst.proc));
@@ -411,7 +452,9 @@ impl Armci {
     }
 
     /// Non-blocking atomic pair put (paired-long variant of
-    /// [`Armci::put_u64`]).
+    /// [`Armci::put_u64`]). Always rides the wire for other processes —
+    /// pair atomicity is stripe-lock-based, so the shm plane never serves
+    /// it (see [`RmwOp::is_pair`]).
     pub fn put_pair(&mut self, dst: GlobalAddr, val: [u64; 2]) {
         if self.is_local(dst.proc) {
             self.seg_of(dst).pair_swap(dst.offset, val);
@@ -446,13 +489,20 @@ impl Armci {
     /// ```
     pub fn put_strided(&mut self, dst: ProcId, seg: SegId, desc: Strided2D, data: &[u8]) {
         assert_eq!(data.len(), desc.total_bytes(), "payload does not match strided shape");
-        if self.is_local(dst) {
-            let s = self.registry.lookup(dst, seg);
+        let direct = if self.is_local(dst) {
+            self.stats.local_puts += 1;
+            Some(self.registry.lookup(dst, seg))
+        } else if let Some(s) = self.shm_route(dst, seg) {
+            self.stats.shm_puts += 1;
+            Some(s)
+        } else {
+            None
+        };
+        if let Some(s) = direct {
             desc.validate(s.len());
             for (row, off) in desc.row_offsets().enumerate() {
                 s.write_bytes(off, &data[row * desc.row_bytes..(row + 1) * desc.row_bytes]);
             }
-            self.stats.local_puts += 1;
         } else {
             let node = self.server_of(dst);
             self.send_req_framed(Endpoint::Server(node), |buf| enc::put_strided(buf, dst, seg, &desc, data));
@@ -468,14 +518,21 @@ impl Armci {
     pub fn put_vector(&mut self, dst: ProcId, seg: SegId, runs: &[(u64, u32)], data: &[u8]) {
         let total: usize = runs.iter().map(|&(_, l)| l as usize).sum();
         assert_eq!(data.len(), total, "payload does not match run list");
-        if self.is_local(dst) {
-            let s = self.registry.lookup(dst, seg);
+        let direct = if self.is_local(dst) {
+            self.stats.local_puts += 1;
+            Some(self.registry.lookup(dst, seg))
+        } else if let Some(s) = self.shm_route(dst, seg) {
+            self.stats.shm_puts += 1;
+            Some(s)
+        } else {
+            None
+        };
+        if let Some(s) = direct {
             let mut pos = 0usize;
             for &(off, len) in runs {
                 s.write_bytes(off as usize, &data[pos..pos + len as usize]);
                 pos += len as usize;
             }
-            self.stats.local_puts += 1;
         } else {
             let node = self.server_of(dst);
             self.send_req_framed(Endpoint::Server(node), |buf| enc::put_vector(buf, dst, seg, runs, data));
@@ -486,8 +543,16 @@ impl Armci {
     /// Blocking generalized I/O-vector get (`ARMCI_GetV`): gather the
     /// listed runs into one contiguous result.
     pub fn get_vector(&mut self, src: ProcId, seg: SegId, runs: &[(u64, u32)]) -> Vec<u8> {
-        if self.is_local(src) {
-            let s = self.registry.lookup(src, seg);
+        let direct = if self.is_local(src) {
+            self.stats.local_gets += 1;
+            Some(self.registry.lookup(src, seg))
+        } else if let Some(s) = self.shm_route(src, seg) {
+            self.stats.shm_gets += 1;
+            Some(s)
+        } else {
+            None
+        };
+        if let Some(s) = direct {
             let total: usize = runs.iter().map(|&(_, l)| l as usize).sum();
             let mut out = vec![0u8; total];
             let mut pos = 0usize;
@@ -495,7 +560,6 @@ impl Armci {
                 s.read_bytes(off as usize, &mut out[pos..pos + len as usize]);
                 pos += len as usize;
             }
-            self.stats.local_gets += 1;
             out
         } else {
             let node = self.server_of(src);
@@ -518,6 +582,10 @@ impl Armci {
             self.seg_of(src).read_bytes(src.offset, out);
             self.stats.local_gets += 1;
             Ok(())
+        } else if let Some(s) = self.shm_route(src.proc, src.seg) {
+            s.read_bytes(src.offset, out);
+            self.stats.shm_gets += 1;
+            Ok(())
         } else {
             let node = self.server_of(src.proc);
             let req = Req::Get { dst: src.proc, seg: src.seg, offset: src.offset as u64, len: out.len() as u32 };
@@ -531,14 +599,21 @@ impl Armci {
 
     /// Blocking strided get; returns the packed rows.
     pub fn get_strided(&mut self, src: ProcId, seg: SegId, desc: Strided2D) -> Vec<u8> {
-        if self.is_local(src) {
-            let s = self.registry.lookup(src, seg);
+        let direct = if self.is_local(src) {
+            self.stats.local_gets += 1;
+            Some(self.registry.lookup(src, seg))
+        } else if let Some(s) = self.shm_route(src, seg) {
+            self.stats.shm_gets += 1;
+            Some(s)
+        } else {
+            None
+        };
+        if let Some(s) = direct {
             desc.validate(s.len());
             let mut out = vec![0u8; desc.total_bytes()];
             for (row, off) in desc.row_offsets().enumerate() {
                 s.read_bytes(off, &mut out[row * desc.row_bytes..(row + 1) * desc.row_bytes]);
             }
-            self.stats.local_gets += 1;
             out
         } else {
             let node = self.server_of(src);
@@ -553,12 +628,21 @@ impl Armci {
     /// `f64` elements. Element-wise atomic, so concurrent accumulates
     /// from any mix of local processes and the server never lose updates.
     pub fn acc_f64(&mut self, dst: GlobalAddr, scale: f64, vals: &[f64]) {
-        if self.is_local(dst.proc) {
-            let s = self.seg_of(dst);
+        let direct = if self.is_local(dst.proc) {
+            self.stats.local_puts += 1;
+            Some(self.seg_of(dst))
+        } else if let Some(s) = self.shm_route(dst.proc, dst.seg) {
+            // Element-wise CAS loops are cross-process safe: every mapping
+            // of the page resolves to the same physical word.
+            self.stats.shm_puts += 1;
+            Some(s)
+        } else {
+            None
+        };
+        if let Some(s) = direct {
             for (i, &v) in vals.iter().enumerate() {
                 s.fetch_add_f64(dst.offset + 8 * i, scale * v);
             }
-            self.stats.local_puts += 1;
         } else {
             let node = self.server_of(dst.proc);
             self.send_req_framed(Endpoint::Server(node), |buf| {
@@ -640,6 +724,13 @@ impl Armci {
             self.seg_of(src).read_bytes(src.offset, &mut out);
             self.stats.local_gets += 1;
             NbGet::Ready(out)
+        } else if let Some(s) = self.shm_route(src.proc, src.seg) {
+            // Shared-memory sources complete immediately, like node-local
+            // ones; they never join the per-node FIFO reply stream.
+            let mut out = vec![0u8; len];
+            s.read_bytes(src.offset, &mut out);
+            self.stats.shm_gets += 1;
+            NbGet::Ready(out)
         } else {
             let node = self.server_of(src.proc);
             let req = Req::Get { dst: src.proc, seg: src.seg, offset: src.offset as u64, len: len as u32 };
@@ -654,7 +745,8 @@ impl Armci {
     /// Issue a non-blocking strided get; same ordering rules as
     /// [`Armci::nbget`].
     pub fn nbget_strided(&mut self, src: ProcId, seg: SegId, desc: Strided2D) -> NbGet {
-        if self.is_local(src) {
+        if self.is_local(src) || self.shm_route(src, seg).is_some() {
+            // `get_strided` re-resolves and takes the matching direct path.
             let out = self.get_strided(src, seg, desc);
             NbGet::Ready(out)
         } else {
@@ -717,6 +809,16 @@ impl Armci {
             self.stats.local_rmws += 1;
             Ok(apply_rmw(&self.seg_of(dst), dst.offset, op))
         } else {
+            // Single-word rmws are plain `AtomicU64` operations, safe
+            // across independent mappings of the same page. Pair ops are
+            // serialized by process-local stripe locks, so they must keep
+            // round-tripping through the owner's server.
+            if !op.is_pair() {
+                if let Some(s) = self.shm_route(dst.proc, dst.seg) {
+                    self.stats.shm_rmws += 1;
+                    return Ok(apply_rmw(&s, dst.offset, op));
+                }
+            }
             let agent = self.sync_agent(self.server_of(dst.proc));
             self.send_req_to(agent, &Req::Rmw { dst: dst.proc, seg: dst.seg, offset: dst.offset as u64, op });
             self.stats.remote_rmws += 1;

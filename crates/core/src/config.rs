@@ -140,6 +140,19 @@ pub struct ArmciCfg {
     /// the `ARMCI_NETFAB_IO` environment variable or the platform default
     /// (event loop on unix).
     pub io_driver: Option<IoDriver>,
+    /// Cross-process shared-memory data plane (netfab backends only):
+    /// segments are backed by `mmap`ed tmpfs files so same-host peers in
+    /// *other processes* serve put/get/acc/rmw with direct loads, stores
+    /// and `AtomicU64` CAS — zero wire messages for reachable targets,
+    /// with a per-peer fallback to the wire when mapping fails.
+    /// `Some(true)`/`Some(false)` pin it; `None` (the default) resolves
+    /// via the `ARMCI_SHM_PLANE` environment variable (`on`/`off`,
+    /// default off) — the same knob pattern as `io_driver`.
+    pub shm_plane: Option<bool>,
+    /// Base directory for shm-plane segment files. `None` (the default)
+    /// picks `/dev/shm` when present, else the system temp dir. Must be
+    /// an absolute path when set.
+    pub shm_dir: Option<String>,
 }
 
 impl Default for ArmciCfg {
@@ -163,6 +176,8 @@ impl Default for ArmciCfg {
             detect_slice: Duration::from_millis(25),
             replay_window: 1024,
             io_driver: None,
+            shm_plane: None,
+            shm_dir: None,
         }
     }
 }
@@ -270,6 +285,32 @@ impl ArmciCfg {
         self
     }
 
+    /// Pin the shm data plane on or off (see [`ArmciCfg::shm_plane`]);
+    /// `None` restores `ARMCI_SHM_PLANE` resolution. Tests comparing wire
+    /// traffic against the emulator pin `Some(false)` to stay immune to
+    /// the env override, mirroring `with_io_driver`.
+    pub fn with_shm_plane(mut self, on: Option<bool>) -> Self {
+        self.shm_plane = on;
+        self
+    }
+
+    /// Override the shm-plane base directory (see [`ArmciCfg::shm_dir`]).
+    pub fn with_shm_dir(mut self, dir: Option<String>) -> Self {
+        self.shm_dir = dir;
+        self
+    }
+
+    /// Resolve the effective shm-plane switch: an explicit
+    /// [`ArmciCfg::shm_plane`] wins, else the `ARMCI_SHM_PLANE`
+    /// environment variable (`on`/`1`/`true` enable, anything else —
+    /// including unset — disables).
+    pub fn shm_plane_enabled(&self) -> bool {
+        if let Some(on) = self.shm_plane {
+            return on;
+        }
+        matches!(std::env::var("ARMCI_SHM_PLANE").ok().as_deref().map(str::trim), Some("on") | Some("1") | Some("true"))
+    }
+
     /// Start a validating builder. Unlike the infallible `with_*` chain
     /// (kept for tests and benchmarks that construct known-good configs),
     /// [`ArmciCfgBuilder::build`] rejects degenerate cluster shapes, zero
@@ -305,6 +346,21 @@ impl ArmciCfg {
         }
         if self.recovery && self.replay_window == 0 {
             return Err(ConfigError::ZeroReplayWindow);
+        }
+        if let Some(dir) = &self.shm_dir {
+            if dir.is_empty() {
+                return Err(ConfigError::BadShmDir { detail: "shm_dir must not be empty".into() });
+            }
+            if !std::path::Path::new(dir).is_absolute() {
+                return Err(ConfigError::BadShmDir {
+                    detail: format!(
+                        "shm_dir must be absolute (every node process must resolve it identically), got {dir:?}"
+                    ),
+                });
+            }
+            if self.shm_plane == Some(false) {
+                return Err(ConfigError::BadShmDir { detail: "shm_dir set but shm_plane explicitly disabled".into() });
+            }
         }
         validate_latency(&self.latency)
     }
@@ -444,6 +500,19 @@ impl ArmciCfgBuilder {
         self
     }
 
+    /// Pin the shm data plane (`None` = `ARMCI_SHM_PLANE` resolution).
+    pub fn shm_plane(mut self, on: Option<bool>) -> Self {
+        self.cfg.shm_plane = on;
+        self
+    }
+
+    /// Override the shm-plane base directory (must be a nonempty absolute
+    /// path, and is rejected when the plane is explicitly disabled).
+    pub fn shm_dir(mut self, dir: Option<String>) -> Self {
+        self.cfg.shm_dir = dir;
+        self
+    }
+
     /// Validate and produce the config.
     pub fn build(self) -> Result<ArmciCfg, ConfigError> {
         self.cfg.validate()?;
@@ -534,6 +603,15 @@ impl Serialize for ArmciCfg {
             ("detect_slice_us", Value::U64(self.detect_slice.as_micros() as u64)),
             ("replay_window", Value::U64(self.replay_window as u64)),
             ("io_driver", Value::Str(self.io_driver.map_or("auto", IoDriver::name).to_string())),
+            (
+                "shm_plane",
+                Value::Str(match self.shm_plane {
+                    None => "auto".to_string(),
+                    Some(true) => "on".to_string(),
+                    Some(false) => "off".to_string(),
+                }),
+            ),
+            ("shm_dir", self.shm_dir.to_value()),
         ])
     }
 }
@@ -564,6 +642,13 @@ impl Deserialize for ArmciCfg {
                     Some(IoDriver::from_name(name).ok_or_else(|| Error::new(format!("unknown io driver {name:?}")))?)
                 }
             },
+            shm_plane: match v.field("shm_plane")?.as_str()? {
+                "auto" => None,
+                "on" => Some(true),
+                "off" => Some(false),
+                other => return Err(Error::new(format!("unknown shm_plane setting {other:?}"))),
+            },
+            shm_dir: Option::<String>::from_value(v.field("shm_dir")?)?,
         })
     }
 }
@@ -614,6 +699,8 @@ mod tests {
             detect_slice: Duration::from_millis(5),
             replay_window: 33,
             io_driver: Some(armci_netfab::IoDriver::Threaded),
+            shm_plane: Some(true),
+            shm_dir: Some("/dev/shm/armci-test".to_string()),
         };
         let json = serde::to_string(&cfg);
         let back: ArmciCfg = serde::from_str(&json).unwrap();
@@ -635,12 +722,60 @@ mod tests {
         assert_eq!(back.detect_slice, Duration::from_millis(5));
         assert_eq!(back.replay_window, 33);
         assert_eq!(back.io_driver, Some(armci_netfab::IoDriver::Threaded));
+        assert_eq!(back.shm_plane, Some(true));
+        assert_eq!(back.shm_dir.as_deref(), Some("/dev/shm/armci-test"));
 
         // The default (`None` = resolve via env/platform) serializes as
         // "auto" and survives the trip too.
         let auto = ArmciCfg::default();
         let back: ArmciCfg = serde::from_str(&serde::to_string(&auto)).unwrap();
         assert_eq!(back.io_driver, None);
+        assert_eq!(back.shm_plane, None);
+        assert_eq!(back.shm_dir, None);
+    }
+
+    #[test]
+    fn shm_plane_tristate_roundtrips_and_rejects_junk() {
+        for plane in [None, Some(true), Some(false)] {
+            let cfg = ArmciCfg::default().with_shm_plane(plane);
+            let back: ArmciCfg = serde::from_str(&serde::to_string(&cfg)).unwrap();
+            assert_eq!(back.shm_plane, plane);
+        }
+        let json = serde::to_string(&ArmciCfg::default()).replace("\"auto\"", "\"sideways\"");
+        assert!(serde::from_str::<ArmciCfg>(&json).is_err());
+    }
+
+    #[test]
+    fn builder_validates_shm_settings() {
+        use crate::errors::ConfigError;
+        // Valid combinations.
+        assert!(ArmciCfg::builder().shm_plane(Some(true)).build().is_ok());
+        assert!(ArmciCfg::builder().shm_plane(Some(true)).shm_dir(Some("/dev/shm".into())).build().is_ok());
+        assert!(ArmciCfg::builder().shm_dir(Some("/tmp/armci".into())).build().is_ok());
+        // Degenerate shm_dir values.
+        assert!(matches!(
+            ArmciCfg::builder().shm_dir(Some(String::new())).build().unwrap_err(),
+            ConfigError::BadShmDir { .. }
+        ));
+        assert!(matches!(
+            ArmciCfg::builder().shm_dir(Some("relative/path".into())).build().unwrap_err(),
+            ConfigError::BadShmDir { .. }
+        ));
+        // A directory override for a plane that is pinned off is a
+        // contradiction the builder refuses.
+        assert!(matches!(
+            ArmciCfg::builder().shm_plane(Some(false)).shm_dir(Some("/dev/shm".into())).build().unwrap_err(),
+            ConfigError::BadShmDir { .. }
+        ));
+    }
+
+    #[test]
+    fn shm_plane_env_resolution_prefers_explicit() {
+        // Explicit pins ignore the environment entirely; we only test the
+        // explicit arms here because tests run concurrently and the env
+        // var is process-global.
+        assert!(ArmciCfg::default().with_shm_plane(Some(true)).shm_plane_enabled());
+        assert!(!ArmciCfg::default().with_shm_plane(Some(false)).shm_plane_enabled());
     }
 
     #[test]

@@ -77,6 +77,13 @@ pub enum ConfigError {
     /// `recovery` was enabled with a zero `replay_window` — a session that
     /// can buffer no unacked frames can never replay after a reconnect.
     ZeroReplayWindow,
+    /// The shm-plane settings are unusable: `shm_dir` was empty or
+    /// relative (node processes must resolve it identically), or a
+    /// directory override was combined with an explicitly disabled plane.
+    BadShmDir {
+        /// What was wrong with it.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -91,6 +98,7 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroReplayWindow => {
                 write!(f, "replay_window must be nonzero when recovery is enabled")
             }
+            ConfigError::BadShmDir { detail } => write!(f, "bad shm plane settings: {detail}"),
         }
     }
 }

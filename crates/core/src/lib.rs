@@ -50,6 +50,7 @@ pub mod model;
 pub mod msg;
 pub mod runtime;
 pub mod server;
+pub(crate) mod shm;
 pub mod stats;
 pub mod strided;
 #[cfg(test)]

@@ -283,6 +283,32 @@ impl Armci {
         self.try_put(self.mcs_lease_holder_addr(id), &holder.to_le_bytes())
     }
 
+    /// Snapshot the lock's reclamation epoch at acquire time. Release
+    /// paths validate against this snapshot before touching the queue
+    /// words (lease-validated one-sided handoff): if a survivor's
+    /// reclamation advanced the epoch while we held the lock — it
+    /// believed our node dead — the queue was reset and our release
+    /// must not be applied to it.
+    fn mcs_lease_epoch_snapshot(&mut self, id: LockId) -> Result<(), ArmciError> {
+        if self.recovery {
+            self.mcs_lease_epoch_seen = self.try_rmw(self.mcs_lease_epoch_addr(id), RmwOp::FetchAddU64(0))?[0];
+        }
+        Ok(())
+    }
+
+    /// Has the lock been reclaimed since our acquire-time epoch snapshot?
+    /// An unreadable epoch word (lock host unreachable) counts as *not*
+    /// stale: the normal release path will surface the same fault.
+    fn mcs_lease_stale(&mut self, id: LockId) -> bool {
+        if !self.recovery {
+            return false;
+        }
+        match self.try_rmw(self.mcs_lease_epoch_addr(id), RmwOp::FetchAddU64(0)) {
+            Ok(v) => v[0] != self.mcs_lease_epoch_seen,
+            Err(_) => false,
+        }
+    }
+
     /// Acquire with the software queuing lock (Figure 5, `request`).
     pub fn lock_mcs(&mut self, id: LockId) {
         unwrap_op(self.try_lock_mcs(id));
@@ -356,6 +382,10 @@ impl Armci {
                     eng.poll(McsAcquireEvent::LockedCleared, &mut acts);
                 }
                 McsAcquireAction::SetLease => {
+                    // Epoch first, lease second: if a reclamation races in
+                    // between, the release sees an advanced epoch and
+                    // abandons — the safe direction.
+                    self.mcs_lease_epoch_snapshot(id)?;
                     let me_rank = u64::from(self.me().0) + 1;
                     self.mcs_lease_set(id, me_rank)?;
                 }
@@ -371,9 +401,19 @@ impl Armci {
 
     /// Release the software queuing lock (Figure 5, `release`), driving
     /// one [`McsRelease`] plan.
+    ///
+    /// With session recovery on, the release first validates the lease
+    /// epoch captured at acquire time: if reclamation advanced it (a
+    /// survivor believed this node dead and reset the queue), the release
+    /// is abandoned rather than applied to a queue that no longer
+    /// describes us.
     pub fn unlock_mcs(&mut self, id: LockId) {
         self.check_lock_id(id);
         assert_eq!(self.mcs_held, Some(id), "releasing an MCS lock not held");
+        if self.mcs_lease_stale(id) {
+            self.mcs_held = None;
+            return;
+        }
         let me_ptr = self.my_mcs_node().pack();
         let mut eng: McsRelease<GlobalAddr> = McsRelease::new(self.recovery);
         let mut acts = Vec::new();
@@ -513,6 +553,11 @@ impl Armci {
     pub fn unlock_mcs_swap(&mut self, id: LockId) {
         self.check_lock_id(id);
         assert_eq!(self.mcs_held, Some(id), "releasing an MCS lock not held");
+        if self.mcs_lease_stale(id) {
+            // Same lease-epoch validation as [`Armci::unlock_mcs`].
+            self.mcs_held = None;
+            return;
+        }
         let me_ptr = self.my_mcs_node().pack();
 
         let next = PackedPtr(self.my_sync.read_u64(layout::MCS_NEXT));

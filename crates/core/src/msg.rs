@@ -58,6 +58,15 @@ pub enum RmwOp {
     },
 }
 
+impl RmwOp {
+    /// True for the paired-long (128-bit) operations. Pair atomicity
+    /// comes from process-local stripe locks, so these must be serialized
+    /// by the owner's server — the shm data plane never routes them.
+    pub fn is_pair(&self) -> bool {
+        matches!(self, RmwOp::PairSwap(_) | RmwOp::PairCas { .. })
+    }
+}
+
 /// A request to a server thread.
 #[derive(Clone, PartialEq, Debug)]
 pub enum Req {

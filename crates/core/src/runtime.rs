@@ -26,6 +26,7 @@ use crate::errors::ArmciError;
 use crate::layout;
 use crate::msg::Req;
 use crate::server::server_loop;
+use crate::shm::ShmDataPlane;
 
 /// Run `f` as an SPMD program on an emulated cluster described by `cfg`:
 /// one thread per user process (each receiving its own [`Armci`] handle)
@@ -102,7 +103,10 @@ where
         .map(|n| {
             let procs = topo.procs_on(n).map(|r| (ProcId(r), cluster.take_proc(ProcId(r)))).collect();
             let nic = cfg.nic_assist.then(|| cluster.take_nic(n));
-            spawn_node(n, procs, cluster.take_server(n), nic, &registry, &cfg, &f)
+            // The emulator keeps every node in this process: the in-process
+            // registry already covers all memory, so no shm plane.
+            let mem = MemPlanes { registry: &registry, shm: &None };
+            spawn_node(n, procs, cluster.take_server(n), nic, mem, &cfg, &f)
         })
         .collect();
     (join_nodes(nodes), trace)
@@ -114,6 +118,13 @@ struct NodeThreads<T> {
     users: Vec<std::thread::JoinHandle<T>>,
 }
 
+/// The memory planes a node's endpoint threads share: the process-wide
+/// segment registry plus the optional cross-process shm data plane.
+struct MemPlanes<'a> {
+    registry: &'a Arc<MemoryRegistry>,
+    shm: &'a Option<Arc<ShmDataPlane>>,
+}
+
 /// Spawn one node's endpoint threads over already-taken mailboxes: the
 /// host server, the NIC agent when enabled, and one user-process thread
 /// per local rank. Backend-agnostic — the mailboxes may be emulator or
@@ -123,7 +134,7 @@ fn spawn_node<T, F>(
     procs: Vec<(ProcId, Mailbox)>,
     server_mb: Mailbox,
     nic_mb: Option<Mailbox>,
-    registry: &Arc<MemoryRegistry>,
+    mem: MemPlanes<'_>,
     cfg: &ArmciCfg,
     f: &Arc<F>,
 ) -> NodeThreads<T>
@@ -133,7 +144,7 @@ where
 {
     let mut servers = Vec::new();
     {
-        let registry = registry.clone();
+        let registry = mem.registry.clone();
         let ack = cfg.ack_mode;
         servers.push(
             std::thread::Builder::new()
@@ -145,7 +156,7 @@ where
     if let Some(mb) = nic_mb {
         // NIC agents run the same request loop; they only ever receive
         // the synchronization traffic the processes route to them.
-        let registry = registry.clone();
+        let registry = mem.registry.clone();
         let ack = cfg.ack_mode;
         servers.push(
             std::thread::Builder::new()
@@ -158,12 +169,13 @@ where
     let users = procs
         .into_iter()
         .map(|(p, mb)| {
-            let registry = registry.clone();
+            let registry = mem.registry.clone();
+            let shm = mem.shm.clone();
             let f = f.clone();
             let cfg = cfg.clone();
             std::thread::Builder::new()
                 .name(format!("proc-{}", p.0))
-                .spawn(move || user_proc_main(p, mb, registry, &cfg, &*f))
+                .spawn(move || user_proc_main(p, mb, registry, shm, &cfg, &*f))
                 .expect("spawn user process thread")
         })
         .collect();
@@ -176,7 +188,14 @@ where
 /// 0 stops every server). Shutdowns go through the same counted send path
 /// as every other request, so `Stats::server_msgs` and the transport
 /// trace agree message-for-message.
-fn user_proc_main<T, F>(p: ProcId, mb: Mailbox, registry: Arc<MemoryRegistry>, cfg: &ArmciCfg, f: &F) -> T
+fn user_proc_main<T, F>(
+    p: ProcId,
+    mb: Mailbox,
+    registry: Arc<MemoryRegistry>,
+    shm: Option<Arc<ShmDataPlane>>,
+    cfg: &ArmciCfg,
+    f: &F,
+) -> T
 where
     F: Fn(&mut Armci) -> T,
 {
@@ -207,6 +226,8 @@ where
         op_timeout: cfg.op_timeout,
         detect_slice: cfg.detect_slice,
         recovery: cfg.recovery,
+        shm,
+        mcs_lease_epoch_seen: 0,
     };
     let out = f(&mut armci);
     // When the teardown barrier fails — a peer lost or desynchronized —
@@ -281,16 +302,29 @@ where
     );
     let node = fabric.node();
 
+    // The cross-process shm data plane (when enabled): every node of a
+    // run derives the same namespace from the rendezvous address, so
+    // same-host peers can map each other's segments with zero wire
+    // messages. `None` (disabled, anonymous mesh, unsupported platform)
+    // means everything below falls back to heap segments and the wire.
+    let shm = ShmDataPlane::for_run(&cfg, fabric.rendezvous());
+
     let registry = Arc::new(MemoryRegistry::new(topo.nprocs()));
     let sync_len = layout::sync_segment_len(cfg.locks_per_proc);
     for r in topo.procs_on(node) {
-        let (id, _) = registry.register(ProcId(r), sync_len);
+        // Sync segments are created before any user thread exists, so
+        // peers' bounded map retry covers the remaining bootstrap skew.
+        let id = match shm.as_ref().and_then(|s| s.create_local(ProcId(r), 0, sync_len)) {
+            Some(seg) => registry.register_segment(ProcId(r), seg),
+            None => registry.register(ProcId(r), sync_len).0,
+        };
         assert_eq!(id, SegId(0), "sync segment must be the first registration");
     }
 
     let procs = topo.procs_on(node).map(|r| (ProcId(r), fabric.take_proc(ProcId(r)))).collect();
     let nic = cfg.nic_assist.then(|| fabric.take_nic());
-    let nt = spawn_node(node, procs, fabric.take_server(), nic, &registry, &cfg, &f);
+    let mem = MemPlanes { registry: &registry, shm: &shm };
+    let nt = spawn_node(node, procs, fabric.take_server(), nic, mem, &cfg, &f);
     let results = join_nodes(vec![nt]);
     fabric.shutdown();
     results
@@ -499,6 +533,11 @@ where
         if verdict.is_ok() {
             verdict = Err(ArmciError::Boot { detail: format!("node process failure: {e}") });
         }
+    }
+    // All node processes are reaped: sweep the run's shm namespace so
+    // segment files leaked by killed children don't accumulate in tmpfs.
+    if cfg.shm_plane_enabled() {
+        ShmDataPlane::purge_run(&cfg, &addr);
     }
     (results, verdict)
 }

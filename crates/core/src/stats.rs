@@ -24,6 +24,15 @@ pub struct Stats {
     pub remote_rmws: u64,
     /// Read-modify-writes applied directly to node-local memory.
     pub local_rmws: u64,
+    /// Put-class operations served by the cross-process shm data plane
+    /// (direct stores into a same-host peer process's mapped segment —
+    /// zero wire messages, never counted for fences).
+    pub shm_puts: u64,
+    /// Gets served by the shm data plane.
+    pub shm_gets: u64,
+    /// Read-modify-writes served by the shm data plane (one-sided
+    /// `AtomicU64` CAS/fetch-add on the mapped segment).
+    pub shm_rmws: u64,
     /// Fence confirmation round-trips issued (GM mode).
     pub fence_roundtrips: u64,
     /// `ARMCI_Barrier()` invocations.

@@ -136,6 +136,8 @@ fn stub_armci(mode: StubMode) -> Armci {
         op_timeout: Duration::from_millis(40),
         detect_slice: Duration::from_millis(5),
         recovery: false,
+        shm: None,
+        mcs_lease_epoch_seen: 0,
     }
 }
 

@@ -107,6 +107,10 @@ fn node_kill_surfaces_peer_lost_and_lock_is_reclaimed() {
         .recovery(true)
         .heartbeat_interval(Duration::from_millis(25))
         .suspect_after(suspect_after)
+        // The kill is triggered by the doomed rank's put storm crossing
+        // the wire; pinned off so the shm CI leg can't reroute it (the
+        // shm-plane variant below covers that configuration).
+        .shm_plane(Some(false))
         .faults(faults)
         .build()
         .expect("valid config");
@@ -167,6 +171,79 @@ fn node_kill_surfaces_peer_lost_and_lock_is_reclaimed() {
             ),
             Err(e) => panic!("surviving rank {rank} failed: {e}"),
         }
+    }
+}
+
+/// The node-kill acceptance scenario with the **shm data plane on**: the
+/// victim's one-sided traffic crosses no wire, so the kill is driven by
+/// barrier frames instead of a put storm, and the dead holder's MCS lock
+/// must still be reclaimed — the lease words live in rank 0's mapped
+/// sync segment and survivors clear them with one-sided CAS/puts that
+/// never touch the (dead) wire link.
+#[test]
+#[cfg(unix)]
+fn node_kill_with_shm_plane_reclaims_lock() {
+    let suspect_after = Duration::from_millis(600);
+    let faults = FaultPlan::new().with(FaultSpec { node: 1, peer: 0, after_frames: 30, action: FaultAction::KillNode });
+    let cfg = ArmciCfg::builder()
+        .nodes(3)
+        .procs_per_node(1)
+        .latency(LatencyModel::zero())
+        .lock_algo(LockAlgo::Mcs)
+        .op_timeout(Duration::from_secs(2))
+        .recovery(true)
+        .heartbeat_interval(Duration::from_millis(25))
+        .suspect_after(suspect_after)
+        .shm_plane(Some(true))
+        .faults(faults)
+        .build()
+        .expect("valid config");
+
+    let out = run_cluster_net_loopback(cfg, move |a| {
+        let lock = LockId { owner: ProcId(0), idx: 0 };
+        let me = a.me().0;
+        if me == 1 {
+            // Doomed rank: take the lock, then keep the barrier traffic
+            // flowing until the scripted kill fires on the wire.
+            a.try_lock(lock).map_err(ChaosError::Op)?;
+            a.try_barrier().map_err(ChaosError::Op)?;
+            for _ in 0..10_000 {
+                a.try_barrier().map_err(ChaosError::Op)?;
+            }
+            return Err(ChaosError::Invariant("doomed rank outlived its kill".into()));
+        }
+        // Survivors: barrier until the failure detector speaks.
+        a.try_barrier().map_err(ChaosError::Op)?;
+        let detect_start = Instant::now();
+        loop {
+            match a.try_barrier() {
+                Err(ArmciError::PeerLost { .. }) => break,
+                Ok(()) | Err(ArmciError::Timeout { .. }) => {
+                    if detect_start.elapsed() > suspect_after + Duration::from_secs(10) {
+                        return Err(ChaosError::Invariant("survivor never observed PeerLost".into()));
+                    }
+                }
+                Err(e) => return Err(ChaosError::Op(e)),
+            }
+        }
+        // The dead rank holds the lock; the lease lets survivors reclaim
+        // it through the shared mapping and lock again.
+        let reclaim_start = Instant::now();
+        loop {
+            match a.try_lock(lock) {
+                Ok(()) => break,
+                Err(_) if reclaim_start.elapsed() < Duration::from_secs(15) => {}
+                Err(e) => return Err(ChaosError::Op(e)),
+            }
+        }
+        a.unlock(lock);
+        Ok(())
+    });
+
+    assert_eq!(out.len(), 3);
+    assert!(out[1].is_err(), "killed rank must fail, got {:?}", out[1]);
+    for rank in [0usize, 2] {
+        assert!(out[rank].is_ok(), "surviving rank {rank} failed: {:?}", out[rank]);
     }
 }
 

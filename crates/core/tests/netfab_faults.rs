@@ -23,6 +23,10 @@ fn faulty_cfg(op_timeout: Duration, faults: FaultPlan) -> ArmciCfg {
         .procs_per_node(1)
         .latency(LatencyModel::zero())
         .op_timeout(op_timeout)
+        // These tests assert that *wire* faults surface as errors; the
+        // shm plane would legitimately route around a dead link, so it
+        // stays off regardless of `ARMCI_SHM_PLANE`.
+        .shm_plane(Some(false))
         .faults(faults)
         .build()
         .expect("valid config")

@@ -8,7 +8,7 @@
 //! backends; results must agree wherever the scenario is deterministic.
 
 use armci_core::runtime::{run_cluster, run_cluster_net_loopback};
-use armci_core::{AckMode, Armci, ArmciCfg, GlobalAddr, LockAlgo, LockId, Strided2D};
+use armci_core::{run_cluster_spawned, AckMode, Armci, ArmciCfg, GlobalAddr, LockAlgo, LockId, Strided2D};
 use armci_transport::{LatencyModel, ProcId};
 
 #[derive(Clone, Copy, Debug)]
@@ -273,9 +273,17 @@ fn allfence_then_barrier_both_backends() {
 // netfab-only checks
 // ----------------------------------------------------------------------
 
+/// The wire-count checks below compare *wire* structure between
+/// backends, so they pin the shm plane off: under `ARMCI_SHM_PLANE=on`
+/// (the shm CI leg) loopback nodes would serve each other through
+/// mapped segments and the counts they assert would legitimately drop.
+fn wire_pinned(nodes: u32) -> ArmciCfg {
+    zero_lat(nodes).with_shm_plane(Some(false))
+}
+
 #[test]
 fn tcp_wire_counters_populate_stats() {
-    let out = run_cluster_net_loopback(zero_lat(2), |a| {
+    let out = run_cluster_net_loopback(wire_pinned(2), |a| {
         let seg = a.malloc(64);
         a.barrier();
         let peer = ProcId(((a.rank() + 1) % 2) as u32);
@@ -300,7 +308,7 @@ fn emulator_and_tcp_agree_on_wire_message_counts() {
     // must be identical across backends — the emulator's hop counting
     // and netfab's frame counting measure the same structure.
     let wire_counts = |b: Backend| -> Vec<u64> {
-        run(b, zero_lat(3), |a| {
+        run(b, wire_pinned(3), |a| {
             let seg = a.malloc(64);
             a.barrier();
             if a.rank() == 0 {
@@ -319,7 +327,7 @@ fn emulator_and_tcp_agree_on_wire_message_counts() {
 #[test]
 fn tcp_loopback_trace_matches_emulator_structure() {
     use armci_core::runtime::{run_cluster_net_loopback_traced, run_cluster_traced};
-    let mut cfg = zero_lat(2);
+    let mut cfg = wire_pinned(2);
     cfg.trace = true;
     let scenario = |a: &mut Armci| {
         let seg = a.malloc(32);
@@ -347,4 +355,90 @@ fn tcp_loopback_trace_matches_emulator_structure() {
         v
     };
     assert_eq!(key(&emu), key(&tcp));
+}
+
+// ----------------------------------------------------------------------
+// shm data plane: two ranks, one host, separate OS processes
+// ----------------------------------------------------------------------
+
+/// The probe both shm-plane runs execute: one-sided put/get/rmw at the
+/// other process, then an MCS lock ping-pong, with the wire-message
+/// delta measured across the whole contention region (no barriers
+/// inside it). Each rank ships its delta to rank 0 so node 0's result
+/// carries both.
+///
+/// Returns `(echoed, ticket, counter, delta_rank0, delta_rank1)`; the
+/// first three are the data results and must be identical whether the
+/// ops rode the shm plane or the wire.
+fn shm_probe(a: &mut Armci) -> (u64, u64, u64, u64, u64) {
+    let seg = a.malloc(256);
+    let lock = LockId { owner: ProcId(0), idx: 0 };
+    let me = a.rank() as u64;
+    let peer = ProcId(((a.rank() + 1) % 2) as u32);
+    a.barrier();
+
+    let wire_before = a.stats().wire_msgs;
+    // Direct one-sided data ops against the other process's segment.
+    a.put_u64(GlobalAddr::new(peer, seg, 8 * a.rank()), me + 0xA0);
+    let ticket = a.fetch_add_u64(GlobalAddr::new(peer, seg, 64), me + 1);
+    let echoed = a.get_u64(GlobalAddr::new(peer, seg, 8 * a.rank()));
+    // MCS lock handoff between the two processes: a deliberately
+    // non-atomic increment under the lock proves mutual exclusion.
+    let ctr = GlobalAddr::new(ProcId(0), seg, 128);
+    for _ in 0..5 {
+        a.lock(lock);
+        let v = a.get_u64(ctr);
+        a.put_u64(ctr, v + 1);
+        a.fence(ProcId(0));
+        a.unlock(lock);
+    }
+    let wire_delta = a.stats().wire_msgs - wire_before;
+
+    a.barrier();
+    // +1 so a genuine zero delta is distinguishable from an unwritten slot.
+    a.put_u64(GlobalAddr::new(ProcId(0), seg, 160 + 8 * a.rank()), wire_delta + 1);
+    a.barrier();
+    let counter = a.get_u64(ctr);
+    a.barrier();
+    if a.rank() == 0 {
+        let mine = a.local_segment(seg);
+        (echoed, ticket, counter, mine.read_u64(160) - 1, mine.read_u64(168) - 1)
+    } else {
+        (echoed, ticket, counter, 0, 0)
+    }
+}
+
+/// The single `run_cluster_spawned` call site of this binary: children
+/// re-enter `shm_plane_spawned_zero_wire` with an `--exact` filter, land
+/// here, and take their cluster config from the environment payload —
+/// so the parent can invoke it for both the shm-on and shm-off runs.
+fn run_shm_probe(shm_on: bool) -> (u64, u64, u64, u64, u64) {
+    let cfg = ArmciCfg {
+        nodes: 2,
+        procs_per_node: 1,
+        latency: LatencyModel::zero(),
+        lock_algo: LockAlgo::Mcs,
+        shm_plane: Some(shm_on),
+        ..Default::default()
+    };
+    let child_args: Vec<String> =
+        ["shm_plane_spawned_zero_wire", "--exact", "--test-threads=1"].iter().map(|s| s.to_string()).collect();
+    run_cluster_spawned(cfg, &child_args, shm_probe)[0]
+}
+
+#[test]
+#[cfg(unix)]
+fn shm_plane_spawned_zero_wire() {
+    // Two OS processes on this host, with the shm plane on and off.
+    let on = run_shm_probe(true);
+    let off = run_shm_probe(false);
+    // Identical data results either way — the plane changes the route,
+    // never the bytes.
+    assert_eq!((on.0, on.1, on.2), (off.0, off.1, off.2), "shm and wire paths disagree: {on:?} vs {off:?}");
+    assert_eq!((on.0, on.1, on.2), (0xA0, 0, 10));
+    // With the plane on, the whole put/get/rmw + MCS-lock region crossed
+    // the wire exactly zero times in *both* processes...
+    assert_eq!((on.3, on.4), (0, 0), "local-target ops sent wire messages with shm plane on: {on:?}");
+    // ...and with it off, the same region demonstrably used the wire.
+    assert!(off.3 > 0 && off.4 > 0, "wire run produced no wire traffic to compare against: {off:?}");
 }

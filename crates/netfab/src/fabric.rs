@@ -789,6 +789,12 @@ pub struct NodeFabric {
     io_threads: Vec<JoinHandle<()>>,
     /// Stops the reconnect accept loop (no-op when none was spawned).
     accept_shutdown: Arc<AtomicBool>,
+    /// The rendezvous address this fabric bootstrapped against (empty for
+    /// meshes wired without one, e.g. single-node loopback). Every node of
+    /// a run shares it, which makes it the run-unique token the shm data
+    /// plane derives its per-host segment namespace from — the descriptor
+    /// exchange costs zero extra wire messages.
+    rendezvous: String,
 }
 
 impl NodeFabric {
@@ -934,7 +940,7 @@ impl NodeFabric {
             mailboxes[i] = Some(Mailbox::from_backend(Box::new(backend)));
         }
 
-        Ok(NodeFabric { topo, node, shared, mailboxes, io_threads, accept_shutdown })
+        Ok(NodeFabric { topo, node, shared, mailboxes, io_threads, accept_shutdown, rendezvous: String::new() })
     }
 
     /// Bootstrap this node against a coordinator at `rendezvous` (see
@@ -945,7 +951,9 @@ impl NodeFabric {
         let mut bopts = opts.boot.clone();
         bopts.dial_faults = opts.faults.dial_faults_for(node.0);
         let mesh = boot::join_mesh_opts(rendezvous, topo, node, &bopts)?;
-        Self::from_mesh(topo.clone(), mesh, opts)
+        let mut fab = Self::from_mesh(topo.clone(), mesh, opts)?;
+        fab.rendezvous = rendezvous.to_string();
+        Ok(fab)
     }
 
     /// Build every node's fabric inside one process, connected over
@@ -1039,6 +1047,13 @@ impl NodeFabric {
     /// The shared trace, if one was configured.
     pub fn trace(&self) -> Option<Arc<Trace>> {
         self.shared.trace.clone()
+    }
+
+    /// The rendezvous address this fabric bootstrapped against, or `""`
+    /// when the mesh was wired without one (single-node loopback,
+    /// hand-built meshes). Run-unique, shared by every node of the run.
+    pub fn rendezvous(&self) -> &str {
+        &self.rendezvous
     }
 
     fn take(&mut self, ep: Endpoint) -> Mailbox {

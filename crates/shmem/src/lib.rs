@@ -67,19 +67,33 @@ impl Shmem {
     /// All PEs must call with the same size in the same order (standard
     /// SHMEM discipline); a barrier enforces the collectiveness.
     pub fn shmalloc(&mut self, armci: &mut Armci, bytes: usize) -> Option<SymAddr> {
-        let aligned = bytes.div_ceil(16) * 16;
-        let addr = (self.next + aligned <= self.heap_len).then(|| {
-            let a = SymAddr(self.next);
-            self.next += aligned;
-            a
-        });
+        // Checked alignment/cursor math: a huge request must exhaust the
+        // heap, not wrap the cursor around and "succeed".
+        let addr = bytes
+            .checked_next_multiple_of(16)
+            .and_then(|aligned| self.next.checked_add(aligned))
+            .filter(|&end| end <= self.heap_len)
+            .map(|end| {
+                let a = SymAddr(self.next);
+                self.next = end;
+                a
+            });
         armci.barrier();
         addr
     }
 
-    /// Symmetric allocation of `count` `u64`s.
+    /// Symmetric allocation of `count` `u64`s. `None` when the heap is
+    /// exhausted (including byte counts that overflow `usize`).
     pub fn malloc_u64(&mut self, armci: &mut Armci, count: usize) -> Option<SymAddr> {
-        self.shmalloc(armci, count * 8)
+        match count.checked_mul(8) {
+            Some(bytes) => self.shmalloc(armci, bytes),
+            None => {
+                // Even a failed allocation is collective: keep the barrier
+                // so PEs stay in lockstep.
+                armci.barrier();
+                None
+            }
+        }
     }
 
     /// Remaining symmetric heap bytes.
@@ -204,6 +218,21 @@ mod tests {
             (a1.is_some(), a2.is_none())
         });
         assert!(out.into_iter().all(|(x, y)| x && y));
+    }
+
+    #[test]
+    fn oversized_requests_fail_instead_of_wrapping() {
+        let out = run_cluster(cfg(2), |a| {
+            let mut shm = Shmem::init(a, 64);
+            // Alignment round-up would overflow `usize`.
+            let near_max = shm.shmalloc(a, usize::MAX - 7);
+            // Byte count itself overflows (count * 8).
+            let huge_words = shm.malloc_u64(a, usize::MAX / 2);
+            // The cursor math must survive: a normal allocation still works.
+            let ok = shm.shmalloc(a, 16);
+            (near_max.is_none(), huge_words.is_none(), ok == Some(SymAddr(0)), shm.heap_remaining())
+        });
+        assert!(out.into_iter().all(|t| t == (true, true, true, 48)));
     }
 
     #[test]

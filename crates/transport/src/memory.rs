@@ -46,10 +46,46 @@ pub struct SegId(pub u32);
 /// Number of stripe locks serializing pair (128-bit) operations.
 const PAIR_STRIPES: usize = 64;
 
+/// Backing storage for a segment's atomic words: either an owned heap
+/// allocation (the default) or a *foreign* region such as an `mmap`ed
+/// shared-memory file supplied by the shm data plane. The foreign variant
+/// keeps its owner alive so the pointer stays valid for the segment's
+/// lifetime.
+enum WordStore {
+    Heap(Box<[AtomicU64]>),
+    Foreign { ptr: *const AtomicU64, count: usize, _owner: Box<dyn std::any::Any + Send + Sync> },
+}
+
+// Foreign storage is shared memory reached only through `&AtomicU64`; the
+// raw pointer carries no thread affinity and the owner is Send + Sync.
+unsafe impl Send for WordStore {}
+unsafe impl Sync for WordStore {}
+
+impl WordStore {
+    #[inline]
+    fn word(&self, i: usize) -> &AtomicU64 {
+        match self {
+            WordStore::Heap(words) => &words[i],
+            WordStore::Foreign { ptr, count, .. } => {
+                assert!(i < *count, "word index {i} out of bounds ({count} words)");
+                // SAFETY: in-bounds per the assert; validity and alignment
+                // are the `from_foreign_words` caller's contract, and the
+                // owner box keeps the mapping alive.
+                unsafe { &*ptr.add(i) }
+            }
+        }
+    }
+}
+
 /// A registered global-memory segment: `len` bytes backed by 64-bit atomic
 /// words, plus stripe locks for the paper's paired-long atomics.
+///
+/// Note the stripe locks are **process-local**: pair (128-bit) operations
+/// are atomic only among users of the same `Segment` value. Segments
+/// backed by cross-process shared memory must therefore keep pair ops on
+/// the owner's server (the wire path) — the shm plane routes accordingly.
 pub struct Segment {
-    words: Box<[AtomicU64]>,
+    store: WordStore,
     len: usize,
     pair_stripes: Box<[Mutex<()>]>,
 }
@@ -60,7 +96,33 @@ impl Segment {
         let nwords = len.div_ceil(8);
         let words: Box<[AtomicU64]> = (0..nwords).map(|_| AtomicU64::new(0)).collect();
         let pair_stripes: Box<[Mutex<()>]> = (0..PAIR_STRIPES).map(|_| Mutex::new(())).collect();
-        Segment { words, len, pair_stripes }
+        Segment { store: WordStore::Heap(words), len, pair_stripes }
+    }
+
+    /// Build a segment over `words` foreign `AtomicU64` cells at `ptr`
+    /// (e.g. an `mmap`ed shared-memory file), exposing `len` bytes.
+    /// `owner` is held for the segment's lifetime to keep `ptr` valid.
+    ///
+    /// # Safety
+    /// `ptr` must be 8-aligned and point to `words` cells that are
+    /// readable and writable for as long as `owner` lives, and the memory
+    /// must only ever be accessed as `u64` atomics (which any other
+    /// `Segment` mapping of the same region guarantees).
+    pub unsafe fn from_foreign_words(
+        ptr: *const AtomicU64,
+        words: usize,
+        len: usize,
+        owner: Box<dyn std::any::Any + Send + Sync>,
+    ) -> Self {
+        assert!(len.div_ceil(8) <= words, "len {len} exceeds {words} foreign words");
+        assert!((ptr as usize).is_multiple_of(8), "foreign word storage must be 8-aligned");
+        let pair_stripes: Box<[Mutex<()>]> = (0..PAIR_STRIPES).map(|_| Mutex::new(())).collect();
+        Segment { store: WordStore::Foreign { ptr, count: words, _owner: owner }, len, pair_stripes }
+    }
+
+    #[inline]
+    fn word(&self, i: usize) -> &AtomicU64 {
+        self.store.word(i)
     }
 
     /// Segment length in bytes.
@@ -108,7 +170,7 @@ impl Segment {
         let mut w = off / 8;
         while src.len() >= 8 {
             let v = u64::from_le_bytes(src[..8].try_into().unwrap());
-            self.words[w].store(v, Ordering::Relaxed);
+            self.word(w).store(v, Ordering::Relaxed);
             w += 1;
             src = &src[8..];
         }
@@ -127,7 +189,7 @@ impl Segment {
             val |= (b as u64) << (8 * (lane + i));
             mask |= 0xFFu64 << (8 * (lane + i));
         }
-        let word = &self.words[w];
+        let word = self.word(w);
         let mut cur = word.load(Ordering::Relaxed);
         loop {
             let new = (cur & !mask) | val;
@@ -147,20 +209,20 @@ impl Segment {
         let head = off % 8;
         if head != 0 && !dst.is_empty() {
             let n = (8 - head).min(dst.len());
-            let w = self.words[off / 8].load(Ordering::Relaxed).to_le_bytes();
+            let w = self.word(off / 8).load(Ordering::Relaxed).to_le_bytes();
             dst[..n].copy_from_slice(&w[head..head + n]);
             off += n;
             dst = &mut dst[n..];
         }
         let mut w = off / 8;
         while dst.len() >= 8 {
-            let v = self.words[w].load(Ordering::Relaxed).to_le_bytes();
+            let v = self.word(w).load(Ordering::Relaxed).to_le_bytes();
             dst[..8].copy_from_slice(&v);
             w += 1;
             dst = &mut dst[8..];
         }
         if !dst.is_empty() {
-            let v = self.words[w].load(Ordering::Relaxed).to_le_bytes();
+            let v = self.word(w).load(Ordering::Relaxed).to_le_bytes();
             let n = dst.len();
             dst.copy_from_slice(&v[..n]);
         }
@@ -190,7 +252,7 @@ impl Segment {
     pub fn atomic_u64(&self, offset: usize) -> &AtomicU64 {
         assert!(offset.is_multiple_of(8), "atomic access requires 8-aligned offset, got {offset}");
         self.check_range(offset, 8);
-        &self.words[offset / 8]
+        self.word(offset / 8)
     }
 
     /// Atomic fetch-and-add on the `u64` at `offset` (AcqRel), returning
@@ -259,9 +321,9 @@ impl Segment {
         self.check_range(offset, 16);
         let _g = self.pair_stripe(offset).lock();
         let w = offset / 8;
-        let old = [self.words[w].load(Ordering::Acquire), self.words[w + 1].load(Ordering::Acquire)];
-        self.words[w].store(new[0], Ordering::Release);
-        self.words[w + 1].store(new[1], Ordering::Release);
+        let old = [self.word(w).load(Ordering::Acquire), self.word(w + 1).load(Ordering::Acquire)];
+        self.word(w).store(new[0], Ordering::Release);
+        self.word(w + 1).store(new[1], Ordering::Release);
         old
     }
 
@@ -273,10 +335,10 @@ impl Segment {
         self.check_range(offset, 16);
         let _g = self.pair_stripe(offset).lock();
         let w = offset / 8;
-        let old = [self.words[w].load(Ordering::Acquire), self.words[w + 1].load(Ordering::Acquire)];
+        let old = [self.word(w).load(Ordering::Acquire), self.word(w + 1).load(Ordering::Acquire)];
         if old == expect {
-            self.words[w].store(new[0], Ordering::Release);
-            self.words[w + 1].store(new[1], Ordering::Release);
+            self.word(w).store(new[0], Ordering::Release);
+            self.word(w + 1).store(new[1], Ordering::Release);
         }
         old
     }
@@ -287,7 +349,7 @@ impl Segment {
         self.check_range(offset, 16);
         let _g = self.pair_stripe(offset).lock();
         let w = offset / 8;
-        [self.words[w].load(Ordering::Acquire), self.words[w + 1].load(Ordering::Acquire)]
+        [self.word(w).load(Ordering::Acquire), self.word(w + 1).load(Ordering::Acquire)]
     }
 }
 
@@ -312,11 +374,19 @@ impl MemoryRegistry {
     /// id (dense, in registration order per process).
     pub fn register(&self, proc: ProcId, len: usize) -> (SegId, Arc<Segment>) {
         let seg = Arc::new(Segment::new(len));
+        let id = self.register_segment(proc, seg.clone());
+        (id, seg)
+    }
+
+    /// Register an already-built segment (e.g. one backed by shared
+    /// memory) owned by `proc`; returns its id (dense, in registration
+    /// order per process).
+    pub fn register_segment(&self, proc: ProcId, seg: Arc<Segment>) -> SegId {
         let mut map = self.per_proc.write();
         let list = &mut map[proc.idx()];
         let id = SegId(list.len() as u32);
-        list.push(seg.clone());
-        (id, seg)
+        list.push(seg);
+        id
     }
 
     /// Look up a segment. Panics if it was never registered — addressing
@@ -423,6 +493,45 @@ mod tests {
     #[should_panic]
     fn out_of_bounds_write_panics() {
         Segment::new(16).write_bytes(12, &[0; 8]);
+    }
+
+    #[test]
+    fn foreign_backed_segment_shares_storage() {
+        let backing: Arc<[AtomicU64]> = (0..8).map(|_| AtomicU64::new(0)).collect();
+        let owner: Box<dyn std::any::Any + Send + Sync> = Box::new(backing.clone());
+        let s = unsafe { Segment::from_foreign_words(backing.as_ptr(), 8, 60, owner) };
+        assert_eq!(s.len(), 60);
+        // Writes through the segment land in the shared backing store.
+        s.write_bytes(0, &[0xAB; 16]);
+        assert_eq!(backing[0].load(Ordering::Relaxed), u64::from_le_bytes([0xAB; 8]));
+        assert_eq!(backing[1].load(Ordering::Relaxed), u64::from_le_bytes([0xAB; 8]));
+        // Atomics and unaligned partial-word traffic work as on heap.
+        s.write_u64(16, 7);
+        assert_eq!(s.fetch_add_u64(16, 1), 7);
+        assert_eq!(backing[2].load(Ordering::Relaxed), 8);
+        s.write_bytes(57, &[0xCD; 3]);
+        let mut out = [0u8; 3];
+        s.read_bytes(57, &mut out);
+        assert_eq!(out, [0xCD; 3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn foreign_segment_respects_len_bound() {
+        let backing: Arc<[AtomicU64]> = (0..8).map(|_| AtomicU64::new(0)).collect();
+        let owner: Box<dyn std::any::Any + Send + Sync> = Box::new(backing.clone());
+        let s = unsafe { Segment::from_foreign_words(backing.as_ptr(), 8, 60, owner) };
+        s.write_bytes(56, &[0; 8]);
+    }
+
+    #[test]
+    fn registry_register_segment_interleaves_with_register() {
+        let r = MemoryRegistry::new(1);
+        let (a, _) = r.register(ProcId(0), 8);
+        let b = r.register_segment(ProcId(0), Arc::new(Segment::new(16)));
+        assert_eq!(a, SegId(0));
+        assert_eq!(b, SegId(1));
+        assert_eq!(r.lookup(ProcId(0), b).len(), 16);
     }
 
     #[test]
