@@ -70,7 +70,7 @@ fn bench_strided_vs_rowwise(c: &mut Criterion) {
 }
 
 fn bench_collectives(c: &mut Criterion) {
-    use armci_msglib::{allreduce_sum_u64, barrier_binary_exchange};
+    use armci_msglib::Group;
     let mut g = c.benchmark_group("collectives_zero_latency");
     g.sample_size(10).measurement_time(Duration::from_secs(6));
     for n in [4u32, 8] {
@@ -79,7 +79,7 @@ fn bench_collectives(c: &mut Criterion) {
                 let out = run_cluster(ArmciCfg::flat(n, LatencyModel::zero()), move |a| {
                     let t0 = std::time::Instant::now();
                     for _ in 0..iters {
-                        barrier_binary_exchange(a);
+                        Group::world(a.nprocs()).barrier_binary_exchange(a);
                     }
                     t0.elapsed()
                 });
@@ -92,7 +92,7 @@ fn bench_collectives(c: &mut Criterion) {
                     let mut v = vec![1u64; a.nprocs()];
                     let t0 = std::time::Instant::now();
                     for _ in 0..iters {
-                        allreduce_sum_u64(a, &mut v);
+                        Group::world(a.nprocs()).allreduce_sum_u64(a, &mut v);
                     }
                     t0.elapsed()
                 });

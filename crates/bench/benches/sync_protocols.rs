@@ -12,10 +12,11 @@ use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
 use armci_proto::{
-    BarrierAction, BarrierEvent, CombinedBarrier, Exchange, FenceEngine, FenceMode, HybridAcquire, HybridEvent,
-    HybridHome, McsAcquire, McsAcquireAction, McsAcquireEvent, McsRelease, McsReleaseAction, McsReleaseEvent,
-    PipeConfirm, SeqConfirm, XchgAction, XchgEvent, XchgMsg,
+    BarrierAction, BarrierEvent, CombinedBarrier, Exchange, FenceEngine, FenceMode, HierAction, HierBarrier, HierEvent,
+    HybridAcquire, HybridEvent, HybridHome, McsAcquire, McsAcquireAction, McsAcquireEvent, McsRelease,
+    McsReleaseAction, McsReleaseEvent, PipeConfirm, SeqConfirm, XchgAction, XchgEvent, XchgMsg,
 };
+use armci_simnet::protocols::sync::sweep_hier_vs_flat;
 use criterion::{black_box, BenchmarkGroup, Criterion};
 
 /// One full n-rank binary-exchange schedule, messages routed in memory.
@@ -92,6 +93,32 @@ fn combined_barrier(iters: u64, n: usize) -> Duration {
             }
         }
         debug_assert!(engines.iter().all(CombinedBarrier::is_complete));
+        black_box(&engines);
+    }
+    t0.elapsed()
+}
+
+/// One full hierarchical group barrier over `ndomains` SMP domains of
+/// `ppn` members each, every leg (counter arrives/releases included)
+/// routed in memory as a message — the engine-decision cost of the
+/// topology-hierarchical schedule.
+fn hier_barrier(iters: u64, ndomains: usize, ppn: usize) -> Duration {
+    let domains: Vec<Vec<usize>> = (0..ndomains).map(|d| (d * ppn..(d + 1) * ppn).collect()).collect();
+    let n = ndomains * ppn;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let mut engines: Vec<HierBarrier> = (0..n).map(|me| HierBarrier::new(me, domains.clone())).collect();
+        let mut wire: VecDeque<(usize, armci_proto::HierMsg)> = VecDeque::new();
+        let mut out: Vec<HierAction> = Vec::new();
+        for eng in engines.iter_mut() {
+            eng.poll(HierEvent::Start, &mut out);
+            wire.extend(out.drain(..).map(|a| (a.to, a.msg)));
+        }
+        while let Some((to, msg)) = wire.pop_front() {
+            engines[to].poll(HierEvent::Recv(msg), &mut out);
+            wire.extend(out.drain(..).map(|a| (a.to, a.msg)));
+        }
+        debug_assert!(engines.iter().all(HierBarrier::is_complete));
         black_box(&engines);
     }
     t0.elapsed()
@@ -267,6 +294,8 @@ fn main() {
         bench_into(&mut g, &mut recs, "exchange_n5_nonpow2", 5, |it| exchange_schedule(it, 5));
         bench_into(&mut g, &mut recs, "combined_barrier_n8", 8, |it| combined_barrier(it, 8));
         bench_into(&mut g, &mut recs, "combined_barrier_n16", 16, |it| combined_barrier(it, 16));
+        bench_into(&mut g, &mut recs, "hier_barrier_16x16_n256", 256, |it| hier_barrier(it, 16, 16));
+        bench_into(&mut g, &mut recs, "hier_barrier_32x32_n1024", 1024, |it| hier_barrier(it, 32, 32));
         bench_into(&mut g, &mut recs, "fence_allfence_8nodes_64puts", 8, |it| fence_allfence(it, 8, 64));
         bench_into(&mut g, &mut recs, "hybrid_lock_convoy_n8", 8, |it| hybrid_lock_cycle(it, 8));
         bench_into(&mut g, &mut recs, "mcs_lock_convoy_n8", 8, |it| mcs_lock_cycle(it, 8));
@@ -279,6 +308,20 @@ fn main() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"ranks\": {}, \"ns_per_op\": {:.1}}}{}\n",
             r.name, r.ranks, r.ns_per_op, sep
+        ));
+    }
+    // Deterministic scaling sweep (simulator, unit-latency inter-node
+    // wire): critical-path step counts of the flat combined barrier vs
+    // the topology-hierarchical barrier on square SMP clusters. The
+    // hierarchy halves the flat SMP step count — log2(nodes) inter-node
+    // rounds instead of 2·log2(ranks·ppn)/2.
+    json.push_str("  ],\n  \"sweep_steps\": [\n");
+    let rows = sweep_hier_vs_flat(&[(16, 16), (32, 32), (64, 64)]);
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"ranks\": {}, \"ppn\": {}, \"flat_steps\": {}, \"hier_steps\": {}}}{}\n",
+            r.nprocs, r.ppn, r.flat_steps, r.hier_steps, sep
         ));
     }
     json.push_str("  ]\n}\n");

@@ -20,7 +20,7 @@ use armci_bench::table::{ratio, us, Table};
 use armci_bench::{PAPER_PROCS, WALLCLOCK_LATENCY_NS};
 use armci_core::{model, run_cluster, AckMode, ArmciCfg, GlobalAddr, LockAlgo};
 use armci_ga::SyncAlg;
-use armci_msglib::allreduce_sum_f64;
+use armci_msglib::Group;
 use armci_simnet::NetModel;
 use armci_transport::{LatencyModel, ProcId};
 
@@ -334,14 +334,14 @@ fn ablation_ack(quick: bool) {
                         a.put_u64(GlobalAddr::new(ProcId(r as u32), seg, 8 * a.rank()), 1);
                     }
                 }
-                armci_msglib::barrier_binary_exchange(a);
+                Group::world(a.nprocs()).barrier_binary_exchange(a);
                 let t0 = Instant::now();
                 a.allfence();
                 total += t0.elapsed().as_nanos() as f64;
                 a.barrier();
             }
             let mut v = [total / iters as f64];
-            allreduce_sum_f64(a, &mut v);
+            Group::world(a.nprocs()).allreduce_sum_f64(a, &mut v);
             v[0] / a.nprocs() as f64
         });
         t.row(vec![name.to_string(), us(out[0])]);

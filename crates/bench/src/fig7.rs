@@ -10,7 +10,7 @@ use std::time::Instant;
 
 use armci_core::{run_cluster, run_cluster_spawned, ArmciCfg};
 use armci_ga::{GlobalArray, SyncAlg};
-use armci_msglib::{allreduce_sum_f64, barrier_binary_exchange};
+use armci_msglib::Group;
 use armci_transport::LatencyModel;
 
 use crate::workloads::{bench_latency, scatter_remote_writes};
@@ -35,15 +35,15 @@ pub fn measure_ga_sync(n: usize, alg: SyncAlg, iters: usize, latency_ns: u64) ->
         for it in 0..iters {
             scatter_remote_writes(a, &ga, it as f64);
             // Paper: MPI_Barrier before timing, to remove process skew.
-            barrier_binary_exchange(a);
+            Group::world(a.nprocs()).barrier_binary_exchange(a);
             let t0 = Instant::now();
-            ga.sync(a, alg);
+            ga.sync_world(a, alg);
             total_ns += t0.elapsed().as_nanos() as f64;
         }
         // Average over processes with an allreduce, as the paper averages
         // over all iterations and all processes.
         let mut v = [total_ns / iters as f64];
-        allreduce_sum_f64(a, &mut v);
+        Group::world(a.nprocs()).allreduce_sum_f64(a, &mut v);
         v[0] / a.nprocs() as f64
     });
     Fig7Point { n, mean_ns: out[0] }
@@ -75,15 +75,15 @@ pub fn measure_ga_sync_net_pair(n: usize, iters: usize, child_args: &[String]) -
             // have cold-start noise the emulator planes never see.
             for it in 0..warmup + iters {
                 scatter_remote_writes(a, &ga, it as f64);
-                barrier_binary_exchange(a);
+                Group::world(a.nprocs()).barrier_binary_exchange(a);
                 let t0 = Instant::now();
-                ga.sync(a, alg);
+                ga.sync_world(a, alg);
                 if it >= warmup {
                     total_ns += t0.elapsed().as_nanos() as f64;
                 }
             }
             let mut v = [total_ns / iters as f64];
-            allreduce_sum_f64(a, &mut v);
+            Group::world(a.nprocs()).allreduce_sum_f64(a, &mut v);
             means[i] = v[0] / a.nprocs() as f64;
         }
         means

@@ -10,7 +10,7 @@
 use std::time::Instant;
 
 use armci_core::{run_cluster, ArmciCfg, LockAlgo, LockId};
-use armci_msglib::allreduce_sum_f64;
+use armci_msglib::Group;
 use armci_transport::ProcId;
 
 use crate::workloads::bench_latency;
@@ -46,7 +46,7 @@ fn measure_contended(algo: LockAlgo, n: usize, iters: usize, latency_ns: u64) ->
         }
         a.barrier();
         let mut v = [acq / iters as f64, rel / iters as f64];
-        allreduce_sum_f64(a, &mut v);
+        Group::world(a.nprocs()).allreduce_sum_f64(a, &mut v);
         [v[0] / a.nprocs() as f64, v[1] / a.nprocs() as f64]
     });
     let [acquire_ns, release_ns] = out[0];

@@ -48,7 +48,7 @@ mod tests {
             let ga = GlobalArray::create(a, 16, 16);
             scatter_remote_writes(a, &ga, 3.0);
             let touched = a.stats().remote_puts;
-            ga.sync(a, SyncAlg::CombinedBarrier);
+            ga.sync_world(a, SyncAlg::CombinedBarrier);
             touched
         });
         for puts in out {
@@ -61,7 +61,7 @@ mod tests {
         let out = run_cluster(ArmciCfg::flat(4, LatencyModel::zero()), |a| {
             let ga = GlobalArray::create(a, 16, 16);
             scatter_remote_writes(a, &ga, 7.5);
-            ga.sync(a, SyncAlg::CombinedBarrier);
+            ga.sync_world(a, SyncAlg::CombinedBarrier);
             // My own corner was written by every remote rank (same patch),
             // so it must hold 7.5.
             let own = ga.owned_patch(a.rank());

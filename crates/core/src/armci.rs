@@ -6,9 +6,11 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use armci_msglib::{allreduce_tag, barrier_binary_exchange, barrier_bx_tag, CommError, P2p};
+use armci_msglib::{allreduce_tag, barrier_bx_tag, CommError, Group, P2p};
 use armci_msglib::{Reader, Writer};
-use armci_proto::{BarrierAction, BarrierEvent, CombinedBarrier, FenceEngine, SendRecord, SeqConfirm, STAGE_ALLREDUCE};
+use armci_proto::{
+    BarrierAction, BarrierEvent, CombinedBarrier, FenceEngine, HierRecord, SendRecord, SeqConfirm, STAGE_ALLREDUCE,
+};
 use armci_transport::wait::spin_until_deadline;
 use armci_transport::{
     Body, BodyPool, Endpoint, Mailbox, MemoryRegistry, Msg, NodeId, ProcId, SegId, Segment, Tag, Topology,
@@ -71,6 +73,13 @@ pub struct Armci {
     /// [`Armci::take_barrier_log`] for the cross-harness conformance
     /// suite.
     pub(crate) last_barrier_log: Vec<SendRecord>,
+    /// Whether groups form the node-locality hierarchy at creation
+    /// (`ArmciCfg::hier_collectives`) and group barriers run the
+    /// hierarchical sweep instead of the flat member-set exchange.
+    pub(crate) hier_collectives: bool,
+    /// Send log of the most recent hierarchical group barrier, drained by
+    /// [`Armci::take_hier_log`].
+    pub(crate) last_hier_log: Vec<HierRecord>,
     pub(crate) epoch: u32,
     /// MCS nesting guards: each variant has one node structure per
     /// process, so at most one lock of that variant may be held.
@@ -294,7 +303,7 @@ impl Armci {
     }
 
     /// Map a collective-layer error into the ARMCI taxonomy.
-    fn from_comm(op: &'static str, e: CommError) -> ArmciError {
+    pub(crate) fn from_comm(op: &'static str, e: CommError) -> ArmciError {
         match e {
             CommError::Timeout => ArmciError::Timeout { op },
             CommError::PeerLost(peer) => ArmciError::PeerLost { peer },
@@ -355,7 +364,7 @@ impl Armci {
             }
             None => self.registry.register(self.me, len).0,
         };
-        armci_msglib::barrier(self);
+        Group::world(self.nprocs()).barrier(self);
         id
     }
 
@@ -379,7 +388,7 @@ impl Armci {
         let idx = self.lock_alloc[owner.idx()];
         assert!(idx < self.locks_per_proc, "no free lock slots at {owner} (locks_per_proc = {})", self.locks_per_proc);
         self.lock_alloc[owner.idx()] += 1;
-        armci_msglib::barrier(self);
+        Group::world(self.nprocs()).barrier(self);
         LockId { owner, idx }
     }
 
@@ -942,7 +951,7 @@ impl Armci {
 
     /// Drain every outstanding put acknowledgement (VIA mode) within
     /// `deadline`; no-op in GM mode (nothing is ever unacked there).
-    fn try_drain_all_acks(&mut self, deadline: Instant) -> Result<(), ArmciError> {
+    pub(crate) fn try_drain_all_acks(&mut self, deadline: Instant) -> Result<(), ArmciError> {
         while self.fence.any_acks_pending() {
             self.try_consume_put_ack(deadline)?;
         }
@@ -1030,7 +1039,7 @@ impl Armci {
     /// `GA_Sync()` did before the paper's optimization.
     pub fn sync_baseline(&mut self) {
         self.allfence();
-        barrier_binary_exchange(self);
+        Group::world(self.nprocs()).barrier_binary_exchange(self);
     }
 
     /// `ARMCI_Barrier()` — the paper's new combined global fence +

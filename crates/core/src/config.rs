@@ -146,13 +146,23 @@ pub struct ArmciCfg {
     /// and `AtomicU64` CAS — zero wire messages for reachable targets,
     /// with a per-peer fallback to the wire when mapping fails.
     /// `Some(true)`/`Some(false)` pin it; `None` (the default) resolves
-    /// via the `ARMCI_SHM_PLANE` environment variable (`on`/`off`,
-    /// default off) — the same knob pattern as `io_driver`.
+    /// via the `ARMCI_SHM_PLANE` environment variable (`on`/`off`) — off
+    /// for in-process runs, **on** for [`crate::run_cluster_spawned`]
+    /// (which resolves the default to a pin before serializing the config
+    /// for its child node processes) — the same knob pattern as
+    /// `io_driver`.
     pub shm_plane: Option<bool>,
     /// Base directory for shm-plane segment files. `None` (the default)
     /// picks `/dev/shm` when present, else the system temp dir. Must be
     /// an absolute path when set.
     pub shm_dir: Option<String>,
+    /// Topology-hierarchical group collectives: when on, a group barrier
+    /// synchronizes each node's co-located members through a shared
+    /// counter (shm plane or in-process atomics), and one leader per node
+    /// runs the inter-node binary exchange — `log2(nodes)` inter-node
+    /// rounds instead of `log2(ranks)`. When off (the default), group
+    /// barriers run the flat combined protocol over all members.
+    pub hier_collectives: bool,
 }
 
 impl Default for ArmciCfg {
@@ -178,6 +188,7 @@ impl Default for ArmciCfg {
             io_driver: None,
             shm_plane: None,
             shm_dir: None,
+            hier_collectives: false,
         }
     }
 }
@@ -297,6 +308,13 @@ impl ArmciCfg {
     /// Override the shm-plane base directory (see [`ArmciCfg::shm_dir`]).
     pub fn with_shm_dir(mut self, dir: Option<String>) -> Self {
         self.shm_dir = dir;
+        self
+    }
+
+    /// Enable topology-hierarchical group collectives (see
+    /// [`ArmciCfg::hier_collectives`]).
+    pub fn with_hier_collectives(mut self, on: bool) -> Self {
+        self.hier_collectives = on;
         self
     }
 
@@ -506,6 +524,12 @@ impl ArmciCfgBuilder {
         self
     }
 
+    /// Enable topology-hierarchical group collectives.
+    pub fn hier_collectives(mut self, on: bool) -> Self {
+        self.cfg.hier_collectives = on;
+        self
+    }
+
     /// Override the shm-plane base directory (must be a nonempty absolute
     /// path, and is rejected when the plane is explicitly disabled).
     pub fn shm_dir(mut self, dir: Option<String>) -> Self {
@@ -612,6 +636,7 @@ impl Serialize for ArmciCfg {
                 }),
             ),
             ("shm_dir", self.shm_dir.to_value()),
+            ("hier_collectives", Value::Bool(self.hier_collectives)),
         ])
     }
 }
@@ -649,6 +674,7 @@ impl Deserialize for ArmciCfg {
                 other => return Err(Error::new(format!("unknown shm_plane setting {other:?}"))),
             },
             shm_dir: Option::<String>::from_value(v.field("shm_dir")?)?,
+            hier_collectives: bool::from_value(v.field("hier_collectives")?)?,
         })
     }
 }
@@ -701,6 +727,7 @@ mod tests {
             io_driver: Some(armci_netfab::IoDriver::Threaded),
             shm_plane: Some(true),
             shm_dir: Some("/dev/shm/armci-test".to_string()),
+            hier_collectives: true,
         };
         let json = serde::to_string(&cfg);
         let back: ArmciCfg = serde::from_str(&json).unwrap();
@@ -724,6 +751,7 @@ mod tests {
         assert_eq!(back.io_driver, Some(armci_netfab::IoDriver::Threaded));
         assert_eq!(back.shm_plane, Some(true));
         assert_eq!(back.shm_dir.as_deref(), Some("/dev/shm/armci-test"));
+        assert!(back.hier_collectives);
 
         // The default (`None` = resolve via env/platform) serializes as
         // "auto" and survives the trip too.

@@ -1,0 +1,423 @@
+//! Processor groups and the topology-hierarchical barrier (runtime side).
+//!
+//! A [`ProcGroup`] is the runtime's communicator: the msglib [`Group`]
+//! (ordered member list, group↔world rank translation, per-group message
+//! epochs) plus, when [`crate::ArmciCfg::hier_collectives`] is on, the
+//! *hierarchy* formed at group creation — the partition of members into
+//! shared-memory domains, the elected per-domain leaders, and handles on
+//! the domain counter block each member synchronizes through.
+//!
+//! Domain formation is memory-driven, not name-driven: a member joins
+//! group-rank 0's domain iff it can reach rank 0's sync segment without
+//! the wire (same node through the in-process registry, or same host
+//! through the shm plane); everyone else partitions by topology node,
+//! where the registry always reaches. Reachability bits are allgathered
+//! over the group so every member derives the identical partition. The
+//! first-listed member of each domain is its leader; leaders of
+//! multi-member domains claim one counter slot
+//! ([`layout::hier_arrive`]/[`layout::hier_release`]) in their own sync
+//! segment and the slot index is allgathered so members can map it.
+//!
+//! The barrier itself ([`Armci::barrier_group`]) drives the sans-IO
+//! [`HierBarrier`] engine: intra-domain `Arrive`/`Release` actions become
+//! fetch-adds and spins on the cumulative counters (zero wire messages),
+//! leader-to-leader exchange messages ride the wire under a group-epoch
+//! [`hier_bx_tag`] — `log2(domains)` inter-node rounds instead of
+//! `log2(ranks)`.
+
+use std::cell::Cell;
+use std::sync::Arc;
+
+use armci_msglib::{allreduce_tag, barrier_bx_tag, hier_bx_tag, Group, P2p};
+use armci_proto::{
+    BarrierAction, BarrierEvent, CombinedBarrier, HierBarrier, HierEvent, HierExpect, HierMsg, HierRecord, XchgMsg,
+    STAGE_ALLREDUCE,
+};
+use armci_transport::{NodeId, ProcId, SegId, Segment};
+
+use crate::armci::{unwrap_op, Armci};
+use crate::config::AckMode;
+use crate::errors::ArmciError;
+use crate::layout;
+
+/// A processor group: an ordered subset of world ranks with its own
+/// collective scope, created collectively by its members via
+/// [`Armci::group`]. Wraps the msglib [`Group`] (rank translation,
+/// group-scoped message epochs) and, when hierarchical collectives are
+/// configured, the node-locality hierarchy the group barrier exploits.
+pub struct ProcGroup {
+    msg: Group,
+    hier: Option<HierState>,
+}
+
+impl ProcGroup {
+    /// The message-layer group: member list, rank translation, and the
+    /// group-scoped msglib collectives (`allreduce`, `bcast`, …).
+    pub fn msg(&self) -> &Group {
+        &self.msg
+    }
+
+    /// Number of members.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.msg.len()
+    }
+
+    /// Whether this group synchronizes hierarchically
+    /// ([`crate::ArmciCfg::hier_collectives`]).
+    pub fn is_hierarchical(&self) -> bool {
+        self.hier.is_some()
+    }
+
+    /// The shared-memory domain partition (group ranks, leader first), or
+    /// `None` for a flat group. Exposed for the conformance suite, which
+    /// replays the same partition through the simulator.
+    pub fn domains(&self) -> Option<&[Vec<usize>]> {
+        self.hier.as_ref().map(|h| h.domains.as_slice())
+    }
+}
+
+/// The hierarchy of one group, fixed at creation.
+struct HierState {
+    /// Group ranks per domain, leader first; ordered by least group rank.
+    domains: Vec<Vec<usize>>,
+    /// Index of this member's domain.
+    my_dom: usize,
+    /// This member's handle on its domain's counter pair (`None` when the
+    /// domain has a single member — no intra-domain sweep to run).
+    counters: Option<DomainCounters>,
+    /// Completed barriers on this group: the cumulative counter protocol
+    /// compares against `round · k` thresholds, so the counters are never
+    /// reset and back-to-back barriers cannot race a slow reader.
+    round: Cell<u64>,
+}
+
+/// Where a domain's arrive/release counters live: a slot in the *leader's*
+/// sync segment, reached through the in-process registry (same node) or
+/// the shm plane (same host, different process).
+struct DomainCounters {
+    seg: Arc<Segment>,
+    arrive: usize,
+    release: usize,
+}
+
+/// Wire encoding of a leader-exchange message (`[0]`=Enter, `[1]`=Exit,
+/// `[2, r]`=Round(r)).
+fn encode_xchg(m: XchgMsg) -> Vec<u8> {
+    match m {
+        XchgMsg::Enter => vec![0],
+        XchgMsg::Exit => vec![1],
+        XchgMsg::Round(r) => vec![2, r],
+    }
+}
+
+fn decode_xchg(b: &[u8]) -> XchgMsg {
+    match b[0] {
+        0 => XchgMsg::Enter,
+        1 => XchgMsg::Exit,
+        2 => XchgMsg::Round(b[1]),
+        k => unreachable!("bad exchange wire byte {k}"),
+    }
+}
+
+impl Armci {
+    /// Create a processor group from `ranks` (world ranks, any order, no
+    /// duplicates). **Collective among the members and only the members**:
+    /// every member must call with the identical list, non-members must
+    /// not call. With [`crate::ArmciCfg::hier_collectives`] on, creation
+    /// also forms the shared-memory hierarchy (one allgather over the
+    /// group for the reachability bits, one for the counter slots).
+    ///
+    /// Groups may overlap freely; each carries its own message-epoch
+    /// space, so collectives on overlapping groups cannot cross-talk.
+    pub fn group(&mut self, ranks: &[usize]) -> ProcGroup {
+        let msg = Group::from_ranks(ranks);
+        let me_g = msg.group_rank(self.rank()).expect("group() is collective among the members only");
+        let hier = self.hier_collectives.then(|| self.form_hier(&msg, me_g));
+        ProcGroup { msg, hier }
+    }
+
+    /// Form the node-locality hierarchy for a new group (see module docs).
+    fn form_hier(&mut self, g: &Group, me_g: usize) -> HierState {
+        let leader0 = ProcId(g.world_rank(0) as u32);
+        // Can I reach group-rank 0's sync segment without the wire?
+        let reach0 = self.is_local(leader0) || self.shm_route(leader0, SegId(0)).is_some();
+        let bits = g.allgather(self, vec![reach0 as u8]);
+
+        // Domain 0: members memory-adjacent to rank 0 (rank 0's own bit is
+        // always set). The rest partition by topology node, in group-rank
+        // order — so domains are ordered by least group rank throughout.
+        let mut domains: Vec<Vec<usize>> = vec![Vec::new()];
+        let mut by_node: Vec<(NodeId, Vec<usize>)> = Vec::new();
+        for (gr, bit) in bits.iter().enumerate() {
+            if bit[0] != 0 {
+                domains[0].push(gr);
+            } else {
+                let node = self.topology().node_of(ProcId(g.world_rank(gr) as u32));
+                match by_node.iter_mut().find(|(d, _)| *d == node) {
+                    Some((_, members)) => members.push(gr),
+                    None => by_node.push((node, vec![gr])),
+                }
+            }
+        }
+        domains.extend(by_node.into_iter().map(|(_, members)| members));
+        let my_dom = domains.iter().position(|d| d.contains(&me_g)).expect("member missing from its own partition");
+
+        // Leaders of multi-member domains claim one counter slot in their
+        // own sync segment; the slot (+1, so 0 reads as "none") is
+        // allgathered for the members to map.
+        let i_lead = domains[my_dom][0] == me_g;
+        let multi = domains[my_dom].len() > 1;
+        let my_slot = if i_lead && multi {
+            let s = self.my_sync.fetch_add_u64(layout::hier_next(self.locks_per_proc), 1);
+            assert!(s < layout::HIER_SLOTS as u64, "out of hierarchical-barrier counter slots (HIER_SLOTS)");
+            s as u8 + 1
+        } else {
+            0
+        };
+        let slots = g.allgather(self, vec![my_slot]);
+
+        let counters = multi.then(|| {
+            let leader_g = domains[my_dom][0];
+            let slot = u32::from(slots[leader_g][0].checked_sub(1).expect("domain leader claimed no counter slot"));
+            let lw = ProcId(g.world_rank(leader_g) as u32);
+            let seg = if i_lead {
+                self.my_sync.clone()
+            } else if self.is_local(lw) {
+                self.registry.lookup(lw, SegId(0))
+            } else {
+                self.shm_route(lw, SegId(0)).expect("domain member lost its shm route to the leader")
+            };
+            DomainCounters {
+                seg,
+                arrive: layout::hier_arrive(self.locks_per_proc, slot),
+                release: layout::hier_release(self.locks_per_proc, slot),
+            }
+        });
+        HierState { domains, my_dom, counters, round: Cell::new(0) }
+    }
+
+    /// Group-scoped `ARMCI_AllFence()`: block until every put this
+    /// process issued toward a *member* of `g` has completed at its
+    /// destination. Traffic to non-members is not waited for (though a
+    /// confirmation round-trip, which flushes a whole node FIFO, may
+    /// confirm some of it as a side effect).
+    pub fn allfence_group(&mut self, g: &ProcGroup) {
+        unwrap_op(self.try_allfence_group(g));
+    }
+
+    /// Fallible [`Armci::allfence_group`].
+    pub fn try_allfence_group(&mut self, g: &ProcGroup) -> Result<(), ArmciError> {
+        let deadline = self.op_deadline();
+        let members: Vec<usize> = g.msg.ranks().collect();
+        match self.ack_mode {
+            AckMode::Gm => {
+                // Sequential confirm over the member-hosting nodes with
+                // member-directed traffic (the group-restricted form of
+                // the `2·(k-1)` baseline). Each round-trip flushes the
+                // whole node FIFO, so `try_fence_node`'s full
+                // `node_confirmed` is exact, not an over-claim.
+                for (node, _) in self.fence.group_confirm_targets(&members) {
+                    self.try_fence_node(NodeId(node as u32), deadline)?;
+                }
+            }
+            AckMode::Via => {
+                // Acknowledged puts: draining our outstanding acks
+                // confirms everything we issued, members included.
+                self.try_drain_all_acks(deadline)?;
+                self.fence.all_confirmed();
+            }
+        }
+        Ok(())
+    }
+
+    /// Group-scoped `ARMCI_Barrier()`: fence + barrier over the members
+    /// of `g` only. Flat groups run the paper's combined three-stage
+    /// protocol over the member set (`2·log2(|g|)` latencies, with the
+    /// stage-2 wait counting only member-initiated puts via the per-source
+    /// `op_from` counters). Hierarchical groups fence first, then run the
+    /// [`HierBarrier`] sweep: co-located members synchronize through a
+    /// shared counter and one leader per domain joins the `log2(domains)`
+    /// inter-node exchange.
+    pub fn barrier_group(&mut self, g: &ProcGroup) {
+        unwrap_op(self.try_barrier_group(g));
+    }
+
+    /// Fallible [`Armci::barrier_group`].
+    pub fn try_barrier_group(&mut self, g: &ProcGroup) -> Result<(), ArmciError> {
+        match &g.hier {
+            Some(hs) if g.msg.len() > 1 => self.try_barrier_group_hier(g, hs),
+            _ => self.try_barrier_group_flat(g),
+        }
+    }
+
+    /// The flat group barrier: the combined three-stage protocol of
+    /// [`Armci::try_barrier`], scoped to the member set.
+    fn try_barrier_group_flat(&mut self, g: &ProcGroup) -> Result<(), ArmciError> {
+        self.stats.barriers += 1;
+        let deadline = self.op_deadline();
+        let members: Vec<usize> = g.msg.ranks().collect();
+        if self.ack_mode == AckMode::Via {
+            self.try_drain_all_acks(deadline)?;
+        }
+        let me_g = g.msg.group_rank(self.rank()).expect("barrier_group called by a non-member");
+        let mut eng = CombinedBarrier::new(me_g, self.fence.barrier_vector_for(&members));
+        let mut acts = Vec::new();
+        eng.poll(BarrierEvent::Start, &mut acts);
+        let ar_tag = allreduce_tag(g.msg.scoped(self).next_epoch());
+        let mut bx_tag = 0;
+        let mut scratch: Vec<u64> = Vec::with_capacity(members.len());
+        loop {
+            let mut i = 0;
+            while i < acts.len() {
+                match std::mem::replace(&mut acts[i], BarrierAction::Done) {
+                    BarrierAction::Send { stage, to, vals, .. } => {
+                        let (tag, body) = if stage == STAGE_ALLREDUCE {
+                            let mut w = armci_msglib::Writer::with_capacity(vals.len() * 8);
+                            for &v in &vals {
+                                w = w.u64(v);
+                            }
+                            (ar_tag, w.finish())
+                        } else {
+                            (bx_tag, Vec::new())
+                        };
+                        let world_to = g.msg.world_rank(to);
+                        self.send_to(world_to, tag, body);
+                    }
+                    BarrierAction::AwaitOpDone { target } => {
+                        // Stage 2: every *member-initiated* put destined
+                        // to me must complete — the per-source op_from
+                        // split, so non-member traffic cannot satisfy the
+                        // wait early.
+                        let sync = self.my_sync.clone();
+                        let offs: Vec<usize> =
+                            members.iter().map(|&m| layout::op_from(self.locks_per_proc, m as u32)).collect();
+                        self.wait_local_cond("group_barrier", deadline, move || {
+                            offs.iter()
+                                .map(|&o| sync.atomic_u64(o).load(std::sync::atomic::Ordering::Acquire))
+                                .sum::<u64>()
+                                >= target
+                        })?;
+                        bx_tag = barrier_bx_tag(g.msg.scoped(self).next_epoch());
+                        eng.poll(BarrierEvent::OpDoneReached, &mut acts);
+                    }
+                    BarrierAction::Done => {}
+                }
+                i += 1;
+            }
+            acts.clear();
+            if eng.is_complete() {
+                break;
+            }
+            let (stage, from, kind) = eng.expected_recv().expect("blocking group barrier driver stalled");
+            let tag = if stage == STAGE_ALLREDUCE { ar_tag } else { bx_tag };
+            let world_from = g.msg.world_rank(from);
+            let body =
+                self.recv_from_deadline(world_from, tag, deadline).map_err(|e| Self::from_comm("group_barrier", e))?;
+            scratch.clear();
+            if stage == STAGE_ALLREDUCE {
+                let mut r = armci_msglib::Reader::new(&body);
+                for _ in 0..members.len() {
+                    scratch.push(r.u64());
+                }
+            }
+            eng.poll(BarrierEvent::Recv { stage, msg: kind, vals: &scratch }, &mut acts);
+        }
+        self.last_barrier_log = eng.take_log();
+        // Only member-directed traffic is known complete.
+        self.fence.group_confirmed(&members);
+        Ok(())
+    }
+
+    /// The hierarchical group barrier: group fence, then the three-sweep
+    /// [`HierBarrier`] schedule with counter-backed intra-domain legs.
+    fn try_barrier_group_hier(&mut self, g: &ProcGroup, hs: &HierState) -> Result<(), ArmciError> {
+        // The hier sweep carries no op counts, so outstanding puts are
+        // fenced (group-scoped) before anyone can be released.
+        self.try_allfence_group(g)?;
+        self.stats.barriers += 1;
+        let deadline = self.op_deadline();
+        let me_g = g.msg.group_rank(self.rank()).expect("barrier_group called by a non-member");
+        // Every member burns one group epoch per hier barrier — leaders
+        // use it to tag exchange messages; non-leaders stay aligned.
+        let tag = hier_bx_tag(g.msg.scoped(self).next_epoch());
+        let round = hs.round.get() + 1;
+        hs.round.set(round);
+        let locals = (hs.domains[hs.my_dom].len() - 1) as u64;
+
+        let mut eng = HierBarrier::new(me_g, hs.domains.clone());
+        let mut acts = Vec::new();
+        let mut released = false;
+        eng.poll(HierEvent::Start, &mut acts);
+        loop {
+            for a in std::mem::take(&mut acts) {
+                match a.msg {
+                    HierMsg::Arrive { .. } => {
+                        // Check in with my leader: one shared-memory add.
+                        let c = hs.counters.as_ref().expect("Arrive action in a single-member domain");
+                        c.seg.fetch_add_u64(c.arrive, 1);
+                    }
+                    HierMsg::Xchg(m) => {
+                        let world_to = g.msg.world_rank(a.to);
+                        self.send_to(world_to, tag, encode_xchg(m));
+                    }
+                    HierMsg::Release => {
+                        // One add releases the whole domain (members spin
+                        // on the same counter); the engine logs one
+                        // Release per member either way, so its trace
+                        // matches the simulator's message-based one.
+                        if !released {
+                            released = true;
+                            let c = hs.counters.as_ref().expect("Release action in a single-member domain");
+                            c.seg.fetch_add_u64(c.release, 1);
+                        }
+                    }
+                }
+            }
+            let Some(exp) = eng.expected_recv() else { break };
+            match exp {
+                HierExpect::Arrive(_) => {
+                    // Leader: the domain has gathered when the cumulative
+                    // arrive counter reaches round·(members−1).
+                    let c = hs.counters.as_ref().expect("gather wait in a single-member domain");
+                    let seg = c.seg.clone();
+                    let off = c.arrive;
+                    let want = round * locals;
+                    self.wait_local_cond("group_barrier", deadline, move || {
+                        seg.atomic_u64(off).load(std::sync::atomic::Ordering::Acquire) >= want
+                    })?;
+                    for i in 1..hs.domains[hs.my_dom].len() {
+                        let from = hs.domains[hs.my_dom][i] as u32;
+                        eng.poll(HierEvent::Recv(HierMsg::Arrive { from }), &mut acts);
+                    }
+                }
+                HierExpect::Xchg(from_g, _) => {
+                    let world_from = g.msg.world_rank(from_g);
+                    let body = self
+                        .recv_from_deadline(world_from, tag, deadline)
+                        .map_err(|e| Self::from_comm("group_barrier", e))?;
+                    eng.poll(HierEvent::Recv(HierMsg::Xchg(decode_xchg(&body))), &mut acts);
+                }
+                HierExpect::Release(_) => {
+                    let c = hs.counters.as_ref().expect("release wait in a single-member domain");
+                    let seg = c.seg.clone();
+                    let off = c.release;
+                    self.wait_local_cond("group_barrier", deadline, move || {
+                        seg.atomic_u64(off).load(std::sync::atomic::Ordering::Acquire) >= round
+                    })?;
+                    eng.poll(HierEvent::Recv(HierMsg::Release), &mut acts);
+                }
+            }
+        }
+        self.last_hier_log = eng.take_log();
+        Ok(())
+    }
+
+    /// Drain the send log of the most recent hierarchical
+    /// [`Armci::barrier_group`] — the [`HierBarrier`] engine's emitted
+    /// schedule, counter legs included — for the cross-harness
+    /// conformance suite.
+    pub fn take_hier_log(&mut self) -> Vec<HierRecord> {
+        std::mem::take(&mut self.last_hier_log)
+    }
+}

@@ -74,9 +74,44 @@ pub fn mcs_lease_epoch(idx: u32) -> usize {
     hybrid_ticket(idx) + 56
 }
 
-/// Total sync-segment size for `locks_per_proc` lock slots.
-pub fn sync_segment_len(locks_per_proc: u32) -> usize {
+/// Number of hierarchical-barrier counter slots per process. Each live
+/// group with a shared-memory domain led from this process consumes one
+/// slot for the lifetime of the group; 32 concurrent groups per leader is
+/// far beyond any workload in the repo.
+pub const HIER_SLOTS: u32 = 32;
+
+/// Offset of the hier-slot allocation cursor: leaders `fetch_add(1)` it
+/// to claim a counter slot for a new group's domain.
+pub fn hier_next(locks_per_proc: u32) -> usize {
     LOCK_SLOTS + locks_per_proc as usize * LOCK_SLOT_SIZE
+}
+
+/// Per-slot offset of a hier domain's *arrive* counter: each non-leader
+/// member increments it once per barrier; the leader spins until it
+/// reaches `round · (members − 1)`.
+pub fn hier_arrive(locks_per_proc: u32, slot: u32) -> usize {
+    hier_next(locks_per_proc) + 8 + slot as usize * 16
+}
+
+/// Per-slot offset of a hier domain's *release* counter: the leader
+/// increments it once per barrier; members spin until it reaches the
+/// round number. Both counters are cumulative — never reset — so
+/// back-to-back barriers on the same group cannot race a slow reader.
+pub fn hier_release(locks_per_proc: u32, slot: u32) -> usize {
+    hier_arrive(locks_per_proc, slot) + 8
+}
+
+/// Offset of the per-source completed-put counter for initiator `src`:
+/// the server splits [`OP_DONE`] by initiating process, so a *group*
+/// barrier's stage-2 wait can count only member-initiated puts.
+pub fn op_from(locks_per_proc: u32, src: u32) -> usize {
+    hier_arrive(locks_per_proc, HIER_SLOTS) + src as usize * 8
+}
+
+/// Total sync-segment size for `locks_per_proc` lock slots in a world of
+/// `nprocs` processes.
+pub fn sync_segment_len(locks_per_proc: u32, nprocs: u32) -> usize {
+    op_from(locks_per_proc, nprocs)
 }
 
 #[cfg(test)]
@@ -115,7 +150,19 @@ mod tests {
 
     #[test]
     fn segment_len_covers_all_slots() {
-        let n = 8;
-        assert_eq!(sync_segment_len(n), mcs_lease_epoch(n - 1) + 8);
+        let locks = 8;
+        let nprocs = 4;
+        assert_eq!(hier_next(locks), mcs_lease_epoch(locks - 1) + 8);
+        assert_eq!(sync_segment_len(locks, nprocs), op_from(locks, nprocs - 1) + 8);
+    }
+
+    #[test]
+    fn hier_slots_are_disjoint_from_op_from() {
+        let locks = 2;
+        for s in 0..HIER_SLOTS {
+            assert!(hier_arrive(locks, s) > hier_next(locks));
+            assert_eq!(hier_release(locks, s), hier_arrive(locks, s) + 8);
+            assert!(hier_release(locks, s) + 8 <= op_from(locks, 0));
+        }
     }
 }

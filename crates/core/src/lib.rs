@@ -44,6 +44,7 @@ pub mod chaos;
 pub mod config;
 pub mod errors;
 pub mod gptr;
+pub mod group;
 pub mod layout;
 pub mod lock;
 pub mod model;
@@ -62,6 +63,7 @@ pub use chaos::{chaos_plan, chaos_workload, ChaosError, ChaosRng};
 pub use config::{AckMode, ArmciCfg, ArmciCfgBuilder, LockAlgo};
 pub use errors::{ArmciError, ConfigError};
 pub use gptr::{GlobalAddr, PackedPtr};
+pub use group::ProcGroup;
 pub use msg::{Req, ReqView, RmwOp};
 pub use runtime::{
     run_cluster, run_cluster_net, run_cluster_net_loopback, run_cluster_net_loopback_traced, run_cluster_spawned,

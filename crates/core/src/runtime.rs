@@ -91,7 +91,7 @@ where
 
     // Register every process's sync segment up front (deterministically
     // SegId(0)) so servers and peers can address them immediately.
-    let sync_len = layout::sync_segment_len(cfg.locks_per_proc);
+    let sync_len = layout::sync_segment_len(cfg.locks_per_proc, topo.nprocs() as u32);
     for p in topo.all_procs() {
         let (id, _) = registry.register(p, sync_len);
         assert_eq!(id, SegId(0), "sync segment must be the first registration");
@@ -146,10 +146,11 @@ where
     {
         let registry = mem.registry.clone();
         let ack = cfg.ack_mode;
+        let locks = cfg.locks_per_proc;
         servers.push(
             std::thread::Builder::new()
                 .name(format!("server-{}", node.0))
-                .spawn(move || server_loop(server_mb, registry, ack))
+                .spawn(move || server_loop(server_mb, registry, ack, locks))
                 .expect("spawn server thread"),
         );
     }
@@ -158,10 +159,11 @@ where
         // the synchronization traffic the processes route to them.
         let registry = mem.registry.clone();
         let ack = cfg.ack_mode;
+        let locks = cfg.locks_per_proc;
         servers.push(
             std::thread::Builder::new()
                 .name(format!("nic-{}", node.0))
-                .spawn(move || server_loop(mb, registry, ack))
+                .spawn(move || server_loop(mb, registry, ack, locks))
                 .expect("spawn NIC agent thread"),
         );
     }
@@ -215,6 +217,8 @@ where
         my_sync,
         fence: armci_proto::FenceEngine::new(cfg.ack_mode.fence_mode(), nprocs, nnodes),
         last_barrier_log: Vec::new(),
+        hier_collectives: cfg.hier_collectives,
+        last_hier_log: Vec::new(),
         epoch: 0,
         mcs_held: None,
         mcs_pair_held: None,
@@ -310,7 +314,7 @@ where
     let shm = ShmDataPlane::for_run(&cfg, fabric.rendezvous());
 
     let registry = Arc::new(MemoryRegistry::new(topo.nprocs()));
-    let sync_len = layout::sync_segment_len(cfg.locks_per_proc);
+    let sync_len = layout::sync_segment_len(cfg.locks_per_proc, topo.nprocs() as u32);
     for r in topo.procs_on(node) {
         // Sync segments are created before any user thread exists, so
         // peers' bounded map retry covers the remaining bootstrap skew.
@@ -448,7 +452,11 @@ fn session_cfg_of(cfg: &ArmciCfg) -> armci_netfab::SessionCfg {
 /// Spawned child processes additionally convert their own bootstrap
 /// failures into an `exit(1)` (with a diagnostic on stderr) rather than a
 /// panic, which the parent then observes through the verdict.
-pub fn run_cluster_spawned_result<T, F>(cfg: ArmciCfg, child_args: &[String], f: F) -> (Vec<T>, Result<(), ArmciError>)
+pub fn run_cluster_spawned_result<T, F>(
+    mut cfg: ArmciCfg,
+    child_args: &[String],
+    f: F,
+) -> (Vec<T>, Result<(), ArmciError>)
 where
     T: Send + 'static,
     F: Fn(&mut Armci) -> T + Send + Sync + 'static,
@@ -479,6 +487,20 @@ where
         }
         drop(results);
         std::process::exit(0);
+    }
+
+    // Spawned runs default the shm plane **on**: an explicit cfg pin
+    // wins, then the `ARMCI_SHM_PLANE` escape hatch (`off`/`0`/`false`
+    // disables), then on wherever the plane is supported. The decision is
+    // resolved to a pin *here*, before the config is serialized, so child
+    // node processes inherit it through the payload instead of each
+    // re-reading the environment.
+    if cfg.shm_plane.is_none() {
+        cfg.shm_plane = Some(match std::env::var("ARMCI_SHM_PLANE").ok().as_deref().map(str::trim) {
+            Some("off") | Some("0") | Some("false") => false,
+            Some("on") | Some("1") | Some("true") => true,
+            _ => cfg!(unix),
+        });
     }
 
     let topo = Topology::new(cfg.nodes, cfg.procs_per_node);

@@ -41,7 +41,7 @@ pub(crate) fn apply_rmw(seg: &Segment, offset: usize, op: RmwOp) -> [u64; 2] {
 /// The same loop drives both the host **server thread** and, in
 /// NIC-assisted mode, the per-node **NIC agent** — they differ only in
 /// which requests the user processes route to them.
-pub(crate) fn server_loop(mut mb: Mailbox, registry: Arc<MemoryRegistry>, ack_mode: AckMode) {
+pub(crate) fn server_loop(mut mb: Mailbox, registry: Arc<MemoryRegistry>, ack_mode: AckMode, locks_per_proc: u32) {
     let my_node = match mb.me() {
         Endpoint::Server(n) | Endpoint::Nic(n) => n,
         Endpoint::Proc(_) => unreachable!("server loop started on a process endpoint"),
@@ -178,8 +178,14 @@ pub(crate) fn server_loop(mut mb: Mailbox, registry: Arc<MemoryRegistry>, ack_mo
         if let Some(dst) = counted_dst {
             // op_done lives at the head of the destination's sync segment;
             // AcqRel makes the deposit visible to a process that observes
-            // the incremented counter (ARMCI_Barrier stage 2).
-            registry.lookup(dst, SegId(0)).fetch_add_u64(layout::OP_DONE, 1);
+            // the incremented counter (ARMCI_Barrier stage 2). The
+            // per-initiator split (op_from) feeds group-scoped barriers,
+            // whose stage-2 wait counts only member-initiated puts.
+            let sync = registry.lookup(dst, SegId(0));
+            if let Some(initiator) = src.proc() {
+                sync.fetch_add_u64(layout::op_from(locks_per_proc, initiator.0), 1);
+            }
+            sync.fetch_add_u64(layout::OP_DONE, 1);
             if ack_mode == AckMode::Via {
                 mb.send(src, TAG_PUT_ACK, Body::from(my_node.0.to_le_bytes()));
             }

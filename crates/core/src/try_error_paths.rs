@@ -102,7 +102,7 @@ fn stub_armci(mode: StubMode) -> Armci {
     let me = ProcId(0);
     let registry = Arc::new(MemoryRegistry::new(topo.nprocs()));
     for r in 0..topo.nprocs() {
-        registry.register(ProcId(r as u32), layout::sync_segment_len(LOCKS_PER_PROC));
+        registry.register(ProcId(r as u32), layout::sync_segment_len(LOCKS_PER_PROC, topo.nprocs() as u32));
     }
     let my_sync = registry.lookup(me, SegId(0));
     let mb = Mailbox::from_backend(Box::new(StubBackend {
@@ -125,6 +125,8 @@ fn stub_armci(mode: StubMode) -> Armci {
         my_sync,
         fence: armci_proto::FenceEngine::new(AckMode::Gm.fence_mode(), nprocs, nnodes),
         last_barrier_log: Vec::new(),
+        hier_collectives: false,
+        last_hier_log: Vec::new(),
         epoch: 0,
         mcs_held: None,
         mcs_pair_held: None,

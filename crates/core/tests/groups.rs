@@ -1,0 +1,228 @@
+//! Processor groups end to end on the threaded emulator: flat subset
+//! barriers (member-scoped op counting + fencing), overlapping groups,
+//! non-power-of-two member counts, and the topology-hierarchical barrier
+//! with its `log2(nodes)` leader exchange.
+
+use armci_core::{run_cluster, ArmciCfg, GlobalAddr};
+use armci_proto::HierMsg;
+use armci_transport::{LatencyModel, ProcId};
+
+fn flat(n: u32) -> ArmciCfg {
+    ArmciCfg::flat(n, LatencyModel::zero())
+}
+
+/// A flat subset group: each member puts into the next member's segment,
+/// the group barrier completes that traffic, and everyone reads its
+/// predecessor's value — while the non-members never participate.
+#[test]
+fn flat_group_barrier_completes_member_puts() {
+    let members = [1usize, 3, 4]; // non-pow2, non-contiguous
+    let out = run_cluster(flat(6), move |a| {
+        let seg = a.malloc(8);
+        let mut ok = true;
+        if members.contains(&a.rank()) {
+            let g = a.group(&members);
+            assert!(!g.is_hierarchical());
+            assert_eq!(g.len(), 3);
+            let me_g = members.iter().position(|&m| m == a.rank()).unwrap();
+            let next = members[(me_g + 1) % members.len()];
+            a.put_u64(GlobalAddr::new(ProcId(next as u32), seg, 0), 100 + a.rank() as u64);
+            a.barrier_group(&g);
+            let prev = members[(me_g + members.len() - 1) % members.len()];
+            ok = a.local_segment(seg).read_u64(0) == 100 + prev as u64;
+        }
+        a.barrier();
+        ok
+    });
+    assert!(out.into_iter().all(|ok| ok));
+}
+
+/// Member-initiated traffic is what the group barrier waits for; a
+/// non-member hammering a member with unfenced puts neither blocks the
+/// group barrier nor is mistaken for member traffic.
+#[test]
+fn flat_group_barrier_ignores_non_member_traffic() {
+    let members = [0usize, 2, 3];
+    let out = run_cluster(flat(4), move |a| {
+        let seg = a.malloc(16);
+        if a.rank() == 1 {
+            // Non-member: unfenced puts into member 2's segment.
+            for i in 0..20u64 {
+                a.put_u64(GlobalAddr::new(ProcId(2), seg, 8), i);
+            }
+            a.allfence();
+        } else {
+            let g = a.group(&members);
+            let me_g = members.iter().position(|&m| m == a.rank()).unwrap();
+            let next = members[(me_g + 1) % members.len()];
+            a.put_u64(GlobalAddr::new(ProcId(next as u32), seg, 0), 7 + me_g as u64);
+            // Must complete promptly despite rank 1's outstanding noise.
+            a.barrier_group(&g);
+            let prev_g = (me_g + members.len() - 1) % members.len();
+            assert_eq!(a.local_segment(seg).read_u64(0), 7 + prev_g as u64);
+        }
+        a.barrier();
+        true
+    });
+    assert!(out.into_iter().all(|ok| ok));
+}
+
+/// Two overlapping groups with distinct epoch spaces run collectives in
+/// sequence without cross-talk, even though ranks 2 and 3 belong to both
+/// and rank 4 races ahead to the second group's barrier.
+#[test]
+fn overlapping_groups_do_not_cross_talk() {
+    let g1_m = [0usize, 1, 2, 3];
+    let g2_m = [2usize, 3, 4];
+    let out = run_cluster(flat(5), move |a| {
+        let seg = a.malloc(16);
+        let g1 = g1_m.contains(&a.rank()).then(|| a.group(&g1_m));
+        let g2 = g2_m.contains(&a.rank()).then(|| a.group(&g2_m));
+        if let Some(g) = &g1 {
+            let me_g = g1_m.iter().position(|&m| m == a.rank()).unwrap();
+            let next = g1_m[(me_g + 1) % g1_m.len()];
+            a.put_u64(GlobalAddr::new(ProcId(next as u32), seg, 0), 10 + me_g as u64);
+            a.barrier_group(g);
+            let prev_g = (me_g + g1_m.len() - 1) % g1_m.len();
+            assert_eq!(a.local_segment(seg).read_u64(0), 10 + prev_g as u64);
+        }
+        if let Some(g) = &g2 {
+            let me_g = g2_m.iter().position(|&m| m == a.rank()).unwrap();
+            let next = g2_m[(me_g + 1) % g2_m.len()];
+            a.put_u64(GlobalAddr::new(ProcId(next as u32), seg, 8), 20 + me_g as u64);
+            a.barrier_group(g);
+            let prev_g = (me_g + g2_m.len() - 1) % g2_m.len();
+            assert_eq!(a.local_segment(seg).read_u64(8), 20 + prev_g as u64);
+        }
+        a.barrier();
+        true
+    });
+    assert!(out.into_iter().all(|ok| ok));
+}
+
+/// Group-scoped allfence completes member-directed puts only; a get
+/// issued afterwards observes the fenced value.
+#[test]
+fn allfence_group_completes_member_directed_puts() {
+    let members = [0usize, 2];
+    let out = run_cluster(flat(3), move |a| {
+        let seg = a.malloc(8);
+        a.barrier();
+        if a.rank() == 0 {
+            let g = a.group(&members);
+            a.put_u64(GlobalAddr::new(ProcId(2), seg, 0), 42);
+            a.allfence_group(&g);
+            let mut b = [0u8; 8];
+            a.get(GlobalAddr::new(ProcId(2), seg, 0), &mut b);
+            assert_eq!(u64::from_le_bytes(b), 42);
+        } else if a.rank() == 2 {
+            let g = a.group(&members);
+            // Member 2 has nothing outstanding; its fence is trivial.
+            a.allfence_group(&g);
+        }
+        a.barrier();
+        true
+    });
+    assert!(out.into_iter().all(|ok| ok));
+}
+
+/// The hierarchical world-group barrier on an SMP emulator cluster:
+/// domains are exactly the node partition, data put before the barrier is
+/// visible after it, and each node's leader runs precisely
+/// `log2(nodes)` inter-node exchange rounds while non-leaders send none.
+#[test]
+fn hier_barrier_domains_are_nodes_and_leaders_exchange_log2_rounds() {
+    let cfg = ArmciCfg { nodes: 4, procs_per_node: 2, latency: LatencyModel::zero(), ..Default::default() }
+        .with_hier_collectives(true);
+    let out = run_cluster(cfg, |a| {
+        let n = a.nprocs();
+        let members: Vec<usize> = (0..n).collect();
+        let seg = a.malloc(8 * n);
+        let g = a.group(&members);
+        assert!(g.is_hierarchical());
+        let domains = g.domains().unwrap().to_vec();
+        assert_eq!(domains, vec![vec![0, 1], vec![2, 3], vec![4, 5], vec![6, 7]]);
+        // Three back-to-back rounds: the cumulative counters must not
+        // confuse consecutive barriers.
+        for round in 1..=3u64 {
+            let next = ProcId(((a.rank() + 1) % n) as u32);
+            a.put_u64(GlobalAddr::new(next, seg, 8 * a.rank()), round * 1000 + a.rank() as u64);
+            a.barrier_group(&g);
+            let prev = (a.rank() + n - 1) % n;
+            assert_eq!(a.local_segment(seg).read_u64(8 * prev), round * 1000 + prev as u64);
+            let log = a.take_hier_log();
+            let xchg = log.iter().filter(|r| matches!(r.msg, HierMsg::Xchg(_))).count();
+            let is_leader = a.rank() % 2 == 0;
+            if is_leader {
+                assert_eq!(xchg, 2, "log2(4 nodes) exchange rounds per leader");
+            } else {
+                assert_eq!(xchg, 0, "non-leaders never touch the wire");
+                let arrives = log.iter().filter(|r| matches!(r.msg, HierMsg::Arrive { .. })).count();
+                assert_eq!(arrives, 1, "non-leaders check in exactly once");
+            }
+            // Separate the read from the next round's overwrite.
+            a.barrier_group(&g);
+        }
+        a.barrier();
+        true
+    });
+    assert!(out.into_iter().all(|ok| ok));
+}
+
+/// A hierarchical *subset* group with ragged domains (one node
+/// contributes a single member, member count is non-pow2) still
+/// synchronizes correctly.
+#[test]
+fn hier_subset_group_with_ragged_domains() {
+    let cfg = ArmciCfg { nodes: 4, procs_per_node: 2, latency: LatencyModel::zero(), ..Default::default() }
+        .with_hier_collectives(true);
+    let members = [0usize, 1, 2, 3, 4]; // node 2 contributes only rank 4; node 3 absent
+    let out = run_cluster(cfg, move |a| {
+        let seg = a.malloc(8);
+        let mut ok = true;
+        if members.contains(&a.rank()) {
+            let g = a.group(&members);
+            assert_eq!(g.domains().unwrap(), &[vec![0, 1], vec![2, 3], vec![4]]);
+            let me_g = members.iter().position(|&m| m == a.rank()).unwrap();
+            let next = members[(me_g + 1) % members.len()];
+            a.put_u64(GlobalAddr::new(ProcId(next as u32), seg, 0), 300 + me_g as u64);
+            a.barrier_group(&g);
+            let prev_g = (me_g + members.len() - 1) % members.len();
+            ok = a.local_segment(seg).read_u64(0) == 300 + prev_g as u64;
+        }
+        a.barrier();
+        ok
+    });
+    assert!(out.into_iter().all(|ok| ok));
+}
+
+/// Two hierarchical groups coexisting on the same node claim distinct
+/// counter slots: barriers on both, interleaved, stay correct.
+#[test]
+fn two_hier_groups_claim_distinct_counter_slots() {
+    let cfg = ArmciCfg { nodes: 2, procs_per_node: 2, latency: LatencyModel::zero(), ..Default::default() }
+        .with_hier_collectives(true);
+    let g2_m = [0usize, 1]; // single-node group: one domain, no exchange
+    let out = run_cluster(cfg, move |a| {
+        let n = a.nprocs();
+        let seg = a.malloc(8 * n);
+        let world: Vec<usize> = (0..n).collect();
+        let g1 = a.group(&world);
+        let g2 = g2_m.contains(&a.rank()).then(|| a.group(&g2_m));
+        for round in 1..=2u64 {
+            let next = ProcId(((a.rank() + 1) % n) as u32);
+            a.put_u64(GlobalAddr::new(next, seg, 8 * a.rank()), round * 10 + a.rank() as u64);
+            a.barrier_group(&g1);
+            let prev = (a.rank() + n - 1) % n;
+            assert_eq!(a.local_segment(seg).read_u64(8 * prev), round * 10 + prev as u64);
+            if let Some(g) = &g2 {
+                a.barrier_group(g);
+            }
+            // Separate the read from the next round's overwrite.
+            a.barrier_group(&g1);
+        }
+        a.barrier();
+        true
+    });
+    assert!(out.into_iter().all(|ok| ok));
+}

@@ -123,7 +123,7 @@ fn pipelined_allfence_is_correct() {
             }
         }
         a.allfence_pipelined();
-        armci_msglib::barrier_binary_exchange(a);
+        armci_msglib::Group::world(a.nprocs()).barrier_binary_exchange(a);
         let mine = a.local_segment(seg);
         (0..a.nprocs()).filter(|&r| r != a.rank()).all(|r| mine.read_u64(8 * r) == 5)
     });

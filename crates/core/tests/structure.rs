@@ -42,7 +42,7 @@ fn allfence_sends_one_request_per_touched_server() {
                 a.put_u64(GlobalAddr::new(ProcId(r as u32), seg, 8 * a.rank()), 1);
             }
             a.allfence();
-            armci_msglib::barrier_binary_exchange(a);
+            armci_msglib::Group::world(a.nprocs()).barrier_binary_exchange(a);
         });
         let trace = trace.unwrap();
         // Requests to servers: n-1 puts + n-1 fence confirmations per proc.
@@ -61,7 +61,7 @@ fn allfence_sends_one_request_per_touched_server() {
 fn binary_exchange_partner_pattern() {
     let n = 8usize;
     let (_, trace) = run_cluster_traced(traced_cfg(n as u32), |a| {
-        armci_msglib::barrier_binary_exchange(a);
+        armci_msglib::Group::world(a.nprocs()).barrier_binary_exchange(a);
     });
     let trace = trace.unwrap();
     for ev in trace.snapshot() {

@@ -1,6 +1,6 @@
 //! The distributed dense 2-D array and its one-sided patch operations.
 
-use armci_core::{Armci, GlobalAddr, Strided2D};
+use armci_core::{Armci, GlobalAddr, ProcGroup, Strided2D};
 use armci_transport::ProcId;
 
 use crate::dist::Distribution;
@@ -17,6 +17,38 @@ pub enum SyncAlg {
     /// The paper's `ARMCI_Barrier()`: op-count exchange + local wait +
     /// barrier, `2·log2(N)` latencies.
     CombinedBarrier,
+}
+
+/// The one sync implementation behind every `sync` surface in the crate
+/// ([`GlobalArray::sync`], [`crate::GlobalVector::sync`] and their
+/// `sync_world` conveniences): completion of outstanding one-sided
+/// operations *toward the group* plus a barrier *over the group*, with
+/// the selected algorithm.
+///
+/// A flat group spanning every rank takes the classic world paths
+/// (wire-identical to the historical `GA_Sync` implementations);
+/// hierarchical groups always go through the group engines so the
+/// node-locality hierarchy is exploited even at world scope.
+pub(crate) fn run_sync(armci: &mut Armci, alg: SyncAlg, group: &ProcGroup) {
+    if group.is_hierarchical() || group.len() < armci.nprocs() {
+        match alg {
+            SyncAlg::Baseline => {
+                armci.allfence_group(group);
+                group.msg().barrier_binary_exchange(armci);
+            }
+            SyncAlg::CombinedBarrier => armci.barrier_group(group),
+        }
+    } else {
+        run_sync_world(armci, alg);
+    }
+}
+
+/// [`run_sync`] at world scope, without needing a group in hand.
+pub(crate) fn run_sync_world(armci: &mut Armci, alg: SyncAlg) {
+    match alg {
+        SyncAlg::Baseline => armci.sync_baseline(),
+        SyncAlg::CombinedBarrier => armci.barrier(),
+    }
 }
 
 /// A dense `rows x cols` array of `f64`, block-distributed over all
@@ -122,13 +154,18 @@ impl GlobalArray {
         }
     }
 
-    /// `GA_Sync()`: global completion of all outstanding array operations
-    /// plus a barrier, with the selected algorithm.
-    pub fn sync(&self, armci: &mut Armci, alg: SyncAlg) {
-        match alg {
-            SyncAlg::Baseline => armci.sync_baseline(),
-            SyncAlg::CombinedBarrier => armci.barrier(),
-        }
+    /// Group-scoped `GA_Sync()`: completion of outstanding array
+    /// operations toward the members of `group` plus a barrier over the
+    /// group, with the selected algorithm. Collective over the group's
+    /// members. Use [`GlobalArray::sync_world`] for the classic
+    /// whole-world sync.
+    pub fn sync(&self, armci: &mut Armci, alg: SyncAlg, group: &ProcGroup) {
+        run_sync(armci, alg, group);
+    }
+
+    /// `GA_Sync()` over all processes — the historical surface.
+    pub fn sync_world(&self, armci: &mut Armci, alg: SyncAlg) {
+        run_sync_world(armci, alg);
     }
 
     /// Collectively fill the whole array with `value`.
@@ -139,7 +176,7 @@ impl GlobalArray {
         for i in 0..own.len() {
             seg.write_bytes(i * 8, &bytes);
         }
-        self.sync(armci, SyncAlg::CombinedBarrier);
+        self.sync_world(armci, SyncAlg::CombinedBarrier);
     }
 
     /// Read this process's own block (row-major), via shared memory.

@@ -62,9 +62,9 @@ impl GhostArray {
     /// array — `GA_Update_ghosts`. Collective: ends with a barrier so no
     /// process reads ghosts while a neighbour is still writing.
     pub fn update(&mut self, armci: &mut Armci) {
-        self.ga.sync(armci, SyncAlg::CombinedBarrier);
+        self.ga.sync_world(armci, SyncAlg::CombinedBarrier);
         self.buf = self.ga.get(armci, self.ext);
-        armci_msglib::barrier(armci);
+        armci_msglib::Group::world(armci.nprocs()).barrier(armci);
     }
 
     /// Read element `(r, c)` in *global* coordinates; must lie within the
@@ -91,7 +91,7 @@ impl GhostArray {
             }
         }
         self.ga.put(armci, self.own, &interior);
-        self.ga.sync(armci, SyncAlg::CombinedBarrier);
+        self.ga.sync_world(armci, SyncAlg::CombinedBarrier);
     }
 
     /// The wrapped global array.

@@ -23,7 +23,7 @@
 //!         let patch = Patch::new(3, 5, 0, 8);
 //!         ga.put(a, patch, &vec![1.5; 16]);
 //!     }
-//!     ga.sync(a, SyncAlg::CombinedBarrier);
+//!     ga.sync_world(a, SyncAlg::CombinedBarrier);
 //!     ga.get(a, Patch::new(3, 4, 0, 8)) // everyone reads a written row
 //! });
 //! assert!(out.iter().all(|row| row.iter().all(|&v| v == 1.5)));

@@ -6,7 +6,7 @@
 //! implements these calls over ARMCI.
 
 use armci_core::Armci;
-use armci_msglib::allreduce_sum_f64;
+use armci_msglib::Group;
 
 use crate::array::{GlobalArray, SyncAlg};
 
@@ -19,7 +19,7 @@ impl GlobalArray {
             let v = f64::from_bits(seg.read_u64(i * 8));
             seg.write_u64(i * 8, (v * alpha).to_bits());
         }
-        self.sync(armci, SyncAlg::CombinedBarrier);
+        self.sync_world(armci, SyncAlg::CombinedBarrier);
     }
 
     /// Collective `GA_Add`: `self = alpha * x + beta * y`, element-wise.
@@ -36,7 +36,7 @@ impl GlobalArray {
             let yv = f64::from_bits(ys.read_u64(i * 8));
             dst.write_u64(i * 8, (alpha * xv + beta * yv).to_bits());
         }
-        self.sync(armci, SyncAlg::CombinedBarrier);
+        self.sync_world(armci, SyncAlg::CombinedBarrier);
     }
 
     /// Collective `GA_Ddot`: the global dot product `sum(A .* B)`.
@@ -51,7 +51,7 @@ impl GlobalArray {
             partial += f64::from_bits(a.read_u64(i * 8)) * f64::from_bits(b.read_u64(i * 8));
         }
         let mut v = [partial];
-        allreduce_sum_f64(armci, &mut v);
+        Group::world(armci.nprocs()).allreduce_sum_f64(armci, &mut v);
         v[0]
     }
 
@@ -65,7 +65,7 @@ impl GlobalArray {
         let mut buf = vec![0u8; own.len() * 8];
         s.read_bytes(0, &mut buf);
         dst.write_bytes(0, &buf);
-        self.sync(armci, SyncAlg::CombinedBarrier);
+        self.sync_world(armci, SyncAlg::CombinedBarrier);
     }
 
     /// Collective `GA_Transpose`: `dst = selfᵀ`. Each process transposes
@@ -91,7 +91,7 @@ impl GlobalArray {
         }
         let mirrored = crate::Patch::new(own.col_lo, own.col_hi, own.row_lo, own.row_hi);
         dst.put(armci, mirrored, &t);
-        dst.sync(armci, SyncAlg::CombinedBarrier);
+        dst.sync_world(armci, SyncAlg::CombinedBarrier);
     }
 
     /// Global sum of all elements (a dot with an implicit ones-array).
@@ -103,7 +103,7 @@ impl GlobalArray {
             partial += f64::from_bits(seg.read_u64(i * 8));
         }
         let mut v = [partial];
-        allreduce_sum_f64(armci, &mut v);
+        Group::world(armci.nprocs()).allreduce_sum_f64(armci, &mut v);
         v[0]
     }
 }
@@ -161,7 +161,7 @@ mod tests {
                     let data: Vec<f64> = (0..12).flat_map(|i| (0..8).map(move |j| (i * 100 + j) as f64)).collect();
                     x.put(a, p, &data);
                 }
-                x.sync(a, SyncAlg::CombinedBarrier);
+                x.sync_world(a, SyncAlg::CombinedBarrier);
                 x.transpose_into(a, &t);
                 t.get(a, crate::Patch::new(0, 8, 0, 12))
             });
@@ -186,7 +186,7 @@ mod tests {
                 let data: Vec<f64> = (0..36).map(|v| v as f64).collect();
                 x.put(a, p, &data);
             }
-            x.sync(a, SyncAlg::CombinedBarrier);
+            x.sync_world(a, SyncAlg::CombinedBarrier);
             y.copy_from(a, &x);
             y.dot(a, &x) // sum of squares 0..35
         });

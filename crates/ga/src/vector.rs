@@ -5,10 +5,10 @@
 
 use std::collections::BTreeMap;
 
-use armci_core::{Armci, GlobalAddr};
+use armci_core::{Armci, GlobalAddr, ProcGroup};
 use armci_transport::{ProcId, SegId};
 
-use crate::array::SyncAlg;
+use crate::array::{run_sync, run_sync_world, SyncAlg};
 
 /// Element positions grouped by owning rank: `(input position, (byte offset, len))`.
 type RunsByOwner = BTreeMap<u32, Vec<(usize, (u64, u32))>>;
@@ -126,15 +126,18 @@ impl GlobalVector {
         for i in 0..self.owned_range(armci.rank()).len() {
             seg.write_u64(i * 8, v.to_bits());
         }
-        self.sync(armci, SyncAlg::CombinedBarrier);
+        self.sync_world(armci, SyncAlg::CombinedBarrier);
     }
 
-    /// Global completion + barrier.
-    pub fn sync(&self, armci: &mut Armci, alg: SyncAlg) {
-        match alg {
-            SyncAlg::Baseline => armci.sync_baseline(),
-            SyncAlg::CombinedBarrier => armci.barrier(),
-        }
+    /// Group-scoped completion + barrier (collective over the group's
+    /// members); see [`crate::GlobalArray::sync`].
+    pub fn sync(&self, armci: &mut Armci, alg: SyncAlg, group: &ProcGroup) {
+        run_sync(armci, alg, group);
+    }
+
+    /// Completion + barrier over all processes — the historical surface.
+    pub fn sync_world(&self, armci: &mut Armci, alg: SyncAlg) {
+        run_sync_world(armci, alg);
     }
 
     /// Global dot product with another vector of the same shape.
@@ -148,7 +151,7 @@ impl GlobalVector {
             partial += f64::from_bits(a.read_u64(i * 8)) * f64::from_bits(b.read_u64(i * 8));
         }
         let mut v = [partial];
-        armci_msglib::allreduce_sum_f64(armci, &mut v);
+        armci_msglib::Group::world(armci.nprocs()).allreduce_sum_f64(armci, &mut v);
         v[0]
     }
 
@@ -187,7 +190,7 @@ mod tests {
                     v.put_elem(a, i, i as f64 * 1.5);
                 }
             }
-            v.sync(a, SyncAlg::CombinedBarrier);
+            v.sync_world(a, SyncAlg::CombinedBarrier);
             (0..16).map(|i| v.get_elem(a, i)).collect::<Vec<_>>()
         });
         for got in out {
@@ -206,7 +209,7 @@ mod tests {
                 let vals: Vec<f64> = idx.iter().map(|&i| 100.0 + i as f64).collect();
                 v.scatter(a, &idx, &vals);
             }
-            v.sync(a, SyncAlg::CombinedBarrier);
+            v.sync_world(a, SyncAlg::CombinedBarrier);
             let got = v.gather(a, &idx);
             let untouched = v.get_elem(a, 5);
             (got, untouched)

@@ -19,7 +19,7 @@ fn whole_array_write_and_read_back() {
                 let data: Vec<f64> = (0..144).map(|x| x as f64).collect();
                 ga.put(a, Patch::new(0, 12, 0, 12), &data);
             }
-            ga.sync(a, SyncAlg::CombinedBarrier);
+            ga.sync_world(a, SyncAlg::CombinedBarrier);
             let got = ga.get(a, Patch::new(0, 12, 0, 12));
             got == (0..144).map(|x| x as f64).collect::<Vec<_>>()
         });
@@ -40,7 +40,7 @@ fn each_rank_writes_remote_patches_paper_workload() {
             let p = ga.owned_patch(target);
             let data = vec![a.rank() as f64 + 1.0; p.len()];
             ga.put(a, p, &data);
-            ga.sync(a, alg);
+            ga.sync_world(a, alg);
             // My block must now hold my predecessor's value.
             let prev = (a.rank() + n - 1) % n;
             ga.local_block(a).iter().all(|&v| v == prev as f64 + 1.0)
@@ -60,7 +60,7 @@ fn spanning_patch_put_get() {
             let data: Vec<f64> = (0..16).map(|x| 100.0 + x as f64).collect();
             ga.put(a, p, &data);
         }
-        ga.sync(a, SyncAlg::CombinedBarrier);
+        ga.sync_world(a, SyncAlg::CombinedBarrier);
         let got = ga.get(a, Patch::new(2, 6, 2, 6));
         let inside_ok = got == (0..16).map(|x| 100.0 + x as f64).collect::<Vec<_>>();
         let border = ga.get(a, Patch::new(0, 2, 0, 8));
@@ -78,7 +78,7 @@ fn accumulate_from_all_ranks() {
         // Everyone accumulates 1.0 into the same spanning patch.
         let p = Patch::new(1, 7, 1, 7);
         ga.acc(a, p, 1.0, &vec![1.0; p.len()]);
-        ga.sync(a, SyncAlg::CombinedBarrier);
+        ga.sync_world(a, SyncAlg::CombinedBarrier);
         let got = ga.get(a, p);
         got.iter().all(|&v| v == 1.0 + a.nprocs() as f64)
     });
@@ -95,7 +95,7 @@ fn uneven_array_dimensions() {
             let data: Vec<f64> = (0..70).map(|x| x as f64 * 0.5).collect();
             ga.put(a, p, &data);
         }
-        ga.sync(a, SyncAlg::CombinedBarrier);
+        ga.sync_world(a, SyncAlg::CombinedBarrier);
         ga.get(a, Patch::new(6, 7, 8, 10)) == vec![34.0, 34.5]
     });
     assert!(out.into_iter().all(|ok| ok));
@@ -111,13 +111,13 @@ fn repeated_sync_rounds_both_algorithms() {
             let target = (a.rank() + 1 + round) % a.nprocs();
             let p = ga.owned_patch(target);
             ga.put(a, p, &vec![round as f64; p.len()]);
-            ga.sync(a, alg);
+            ga.sync_world(a, alg);
             // All writes of this round must be visible everywhere.
             let full = ga.get(a, Patch::new(0, 8, 0, 8));
             if !full.iter().all(|&v| v == round as f64) {
                 return false;
             }
-            ga.sync(a, SyncAlg::CombinedBarrier);
+            ga.sync_world(a, SyncAlg::CombinedBarrier);
         }
         true
     });
@@ -131,7 +131,7 @@ fn smp_distribution() {
         let ga = GlobalArray::create(a, 8, 8);
         let p = ga.owned_patch(a.rank());
         ga.put(a, p, &vec![a.rank() as f64; p.len()]);
-        ga.sync(a, SyncAlg::CombinedBarrier);
+        ga.sync_world(a, SyncAlg::CombinedBarrier);
         let full = ga.get(a, Patch::new(0, 8, 0, 8));
         // Every element equals its owner's rank.
         let d = *ga.distribution();

@@ -1,21 +1,30 @@
 //! MPI-style collectives over any [`P2p`] implementation.
 //!
+//! The public surface lives on [`crate::Group`] — collectives are methods
+//! on a group handle (`group.barrier(p)`), and the world is the trivial
+//! group. This module holds the algorithm implementations, which run over
+//! an already-scoped endpoint (see [`crate::group::Scoped`]), plus
+//! deprecated world-scoped free-function shims kept so external callers
+//! migrate at their own pace.
+//!
 //! Two barrier algorithms are provided because the paper uses both roles:
 //!
-//! * [`barrier_binary_exchange`] — the pairwise-exchange (hypercube)
-//!   algorithm the paper attributes to `MPI_Barrier()` (§3.1.2): in each
-//!   of `log2(N)` phases a process exchanges a message with `me XOR x` and
-//!   the phases' messages overlap, so the barrier costs `log2(N)` one-way
-//!   latencies. Non-powers of two are handled by folding the surplus
-//!   ranks onto partners in the power-of-two core (two extra latencies).
-//! * [`barrier`] — the dissemination algorithm, which handles any `N` in
-//!   `ceil(log2 N)` rounds without the fold; used where an algorithm-
-//!   agnostic barrier is all that is needed.
+//! * [`Group::barrier_binary_exchange`](crate::Group::barrier_binary_exchange)
+//!   — the pairwise-exchange (hypercube) algorithm the paper attributes to
+//!   `MPI_Barrier()` (§3.1.2): in each of `log2(N)` phases a process
+//!   exchanges a message with `me XOR x` and the phases' messages overlap,
+//!   so the barrier costs `log2(N)` one-way latencies. Non-powers of two
+//!   are handled by folding the surplus ranks onto partners in the
+//!   power-of-two core (two extra latencies).
+//! * [`Group::barrier`](crate::Group::barrier) — the dissemination
+//!   algorithm, which handles any `N` in `ceil(log2 N)` rounds without the
+//!   fold; used where an algorithm-agnostic barrier is all that is needed.
 //!
-//! [`allreduce`] is the recursive-doubling exchange of Figure 2 of the
-//! paper — the "all-scatter/all-to-all" step that distributes and sums the
-//! `op_init[]` arrays in `ARMCI_Barrier()` — generalized to arbitrary
-//! element types and non-power-of-two process counts.
+//! [`Group::allreduce`](crate::Group::allreduce) is the recursive-doubling
+//! exchange of Figure 2 of the paper — the "all-scatter/all-to-all" step
+//! that distributes and sums the `op_init[]` arrays in `ARMCI_Barrier()` —
+//! generalized to arbitrary element types and non-power-of-two process
+//! counts.
 
 use std::time::{Duration, Instant};
 
@@ -23,11 +32,12 @@ use armci_proto::{Exchange, XchgAction, XchgEvent, XchgMsg};
 
 use crate::codec::{Reader, Writer};
 use crate::comm::{CommError, P2p};
+use crate::group::Group;
 
 /// A deadline far enough out to mean "block forever": the infallible
 /// collectives delegate to their `try_` twins with this, so both spellings
 /// share one implementation (and one message structure).
-fn far_future() -> Instant {
+pub(crate) fn far_future() -> Instant {
     Instant::now() + Duration::from_secs(60 * 60 * 24 * 365)
 }
 
@@ -39,6 +49,7 @@ mod op {
     pub const ALLREDUCE: u32 = 4;
     pub const ALLGATHER: u32 = 5;
     pub const SCAN: u32 = 6;
+    pub const HIER_BX: u32 = 7;
 }
 
 /// Compose a collective tag from an op code and the caller's epoch.
@@ -46,7 +57,10 @@ mod op {
 /// The epoch (mod 4096) guards against a fast rank's *next* collective
 /// being matched by a slow rank's *current* one; per-pair FIFO delivery
 /// makes collisions after wrap-around impossible in practice because at
-/// most a handful of collectives can be in flight between a pair.
+/// most a handful of collectives can be in flight between a pair. Subset
+/// groups seed their epoch counters with a member-list fingerprint so
+/// overlapping groups occupy different epoch windows (see
+/// [`crate::group`]).
 fn mk_tag(opcode: u32, epoch: u32) -> u32 {
     (opcode << 12) | (epoch & 0xFFF)
 }
@@ -62,6 +76,13 @@ pub fn allreduce_tag(epoch: u32) -> u32 {
 /// [`allreduce_tag`]).
 pub fn barrier_bx_tag(epoch: u32) -> u32 {
     mk_tag(op::BARRIER_BX, epoch)
+}
+
+/// Tag of the hierarchical barrier's inter-domain leg for a given epoch
+/// (see [`allreduce_tag`]; the ARMCI runtime drives the
+/// `armci-proto` `HierBarrier` engine directly).
+pub fn hier_bx_tag(epoch: u32) -> u32 {
+    mk_tag(op::HIER_BX, epoch)
 }
 
 /// Drive one [`Exchange`] schedule to completion over a blocking [`P2p`]
@@ -102,8 +123,8 @@ fn drive_exchange<S: ?Sized>(
     }
 }
 
-/// Dissemination barrier: `ceil(log2 N)` rounds, any `N`.
-pub fn barrier(p: &mut impl P2p) {
+/// Dissemination barrier over an already-scoped endpoint.
+pub(crate) fn barrier_impl(p: &mut impl P2p) {
     let n = p.size();
     if n == 1 {
         return;
@@ -120,18 +141,15 @@ pub fn barrier(p: &mut impl P2p) {
     }
 }
 
-/// Binary-exchange (pairwise XOR) barrier — the paper's `MPI_Barrier()`
-/// pattern. `log2(N)` phases for powers of two; non-powers of two fold
-/// the surplus ranks onto core partners for two extra latencies.
-pub fn barrier_binary_exchange(p: &mut impl P2p) {
-    try_barrier_binary_exchange(p, far_future()).expect("transport disconnected during barrier")
+/// Binary-exchange barrier over an already-scoped endpoint.
+pub(crate) fn barrier_binary_exchange_impl(p: &mut impl P2p) {
+    try_barrier_binary_exchange_impl(p, far_future()).expect("transport disconnected during barrier")
 }
 
-/// Fallible [`barrier_binary_exchange`]: give up at `deadline` (or as soon
-/// as a partner is known dead) instead of blocking forever. Sends are
-/// identical to the infallible barrier — only the receive waits differ —
-/// so the two spellings are indistinguishable on the wire.
-pub fn try_barrier_binary_exchange(p: &mut impl P2p, deadline: Instant) -> Result<(), CommError> {
+/// Fallible binary-exchange barrier over an already-scoped endpoint.
+/// Sends are identical to the infallible barrier — only the receive waits
+/// differ — so the two spellings are indistinguishable on the wire.
+pub(crate) fn try_barrier_binary_exchange_impl(p: &mut impl P2p, deadline: Instant) -> Result<(), CommError> {
     if p.size() == 1 {
         return Ok(());
     }
@@ -140,7 +158,7 @@ pub fn try_barrier_binary_exchange(p: &mut impl P2p, deadline: Instant) -> Resul
     drive_exchange(p, tag, deadline, &mut (), |_| Vec::new(), |_, _, _| ())
 }
 
-/// Element codec for [`allreduce`] vectors.
+/// Element codec for allreduce vectors.
 pub trait Elem: Copy {
     /// Append `self` to a message body.
     fn enc(self, w: Writer) -> Writer;
@@ -191,23 +209,14 @@ fn dec_combine<T: Elem>(local: &mut [T], body: &[u8], combine: &impl Fn(T, T) ->
     debug_assert_eq!(r.remaining(), 0, "allreduce vector length mismatch");
 }
 
-/// Element-wise allreduce by recursive doubling — the Figure 2 algorithm.
-///
-/// On return, `local[i]` holds `combine` folded over all ranks' initial
-/// `local[i]`, on every rank. `combine` must be associative and
-/// commutative (the reduction order differs across ranks).
-///
-/// Cost: `log2(N)` one-way latencies for powers of two (each phase's two
-/// messages overlap), plus two latencies of fold for other `N`.
-pub fn allreduce<T: Elem, F: Fn(T, T) -> T>(p: &mut impl P2p, local: &mut [T], combine: F) {
-    try_allreduce(p, local, combine, far_future()).expect("transport disconnected during allreduce")
+/// Allreduce by recursive doubling over an already-scoped endpoint.
+pub(crate) fn allreduce_impl<T: Elem, F: Fn(T, T) -> T>(p: &mut impl P2p, local: &mut [T], combine: F) {
+    try_allreduce_impl(p, local, combine, far_future()).expect("transport disconnected during allreduce")
 }
 
-/// Fallible [`allreduce`]: give up at `deadline` (or as soon as a partner
-/// is known dead) instead of blocking forever. On `Err`, `local` holds a
-/// partial reduction and must not be used. Sends match the infallible
-/// allreduce message-for-message.
-pub fn try_allreduce<T: Elem, F: Fn(T, T) -> T>(
+/// Fallible allreduce over an already-scoped endpoint. On `Err`, `local`
+/// holds a partial reduction and must not be used.
+pub(crate) fn try_allreduce_impl<T: Elem, F: Fn(T, T) -> T>(
     p: &mut impl P2p,
     local: &mut [T],
     combine: F,
@@ -238,32 +247,9 @@ pub fn try_allreduce<T: Elem, F: Fn(T, T) -> T>(
     )
 }
 
-/// Sum-allreduce of a `u64` vector — exactly the `op_init[]` distribution
-/// step of `ARMCI_Barrier()` (paper Figure 2, with `+` as the operator).
-pub fn allreduce_sum_u64(p: &mut impl P2p, local: &mut [u64]) {
-    allreduce(p, local, |a, b| a.wrapping_add(b));
-}
-
-/// Fallible [`allreduce_sum_u64`] with a deadline (see [`try_allreduce`]).
-pub fn try_allreduce_sum_u64(p: &mut impl P2p, local: &mut [u64], deadline: Instant) -> Result<(), CommError> {
-    try_allreduce(p, local, |a, b| a.wrapping_add(b), deadline)
-}
-
-/// Sum-allreduce of an `f64` vector.
-pub fn allreduce_sum_f64(p: &mut impl P2p, local: &mut [f64]) {
-    allreduce(p, local, |a, b| a + b);
-}
-
-/// Max-allreduce of an `f64` vector (used to aggregate per-rank timings in
-/// the benchmark harness).
-pub fn allreduce_max_f64(p: &mut impl P2p, local: &mut [f64]) {
-    allreduce(p, local, f64::max);
-}
-
-/// Inclusive prefix reduction (`MPI_Scan`) by the Hillis–Steele doubling
-/// scheme: after the call, rank `r` holds `combine` folded over ranks
-/// `0..=r`. `combine` must be associative. `ceil(log2 N)` rounds.
-pub fn scan<T: Elem, F: Fn(T, T) -> T>(p: &mut impl P2p, local: &mut [T], combine: F) {
+/// Inclusive prefix reduction by Hillis–Steele doubling over an
+/// already-scoped endpoint.
+pub(crate) fn scan_impl<T: Elem, F: Fn(T, T) -> T>(p: &mut impl P2p, local: &mut [T], combine: F) {
     let n = p.size();
     if n == 1 {
         return;
@@ -290,14 +276,8 @@ pub fn scan<T: Elem, F: Fn(T, T) -> T>(p: &mut impl P2p, local: &mut [T], combin
     }
 }
 
-/// Inclusive prefix sum of a `u64` vector.
-pub fn scan_sum_u64(p: &mut impl P2p, local: &mut [u64]) {
-    scan(p, local, |a, b| a.wrapping_add(b));
-}
-
-/// Binomial-tree broadcast of `data` from `root`; returns the payload on
-/// every rank. `O(log N)` latencies.
-pub fn bcast(p: &mut impl P2p, root: usize, data: Vec<u8>) -> Vec<u8> {
+/// Binomial-tree broadcast over an already-scoped endpoint.
+pub(crate) fn bcast_impl(p: &mut impl P2p, root: usize, data: Vec<u8>) -> Vec<u8> {
     let n = p.size();
     if n == 1 {
         return data;
@@ -324,9 +304,8 @@ pub fn bcast(p: &mut impl P2p, root: usize, data: Vec<u8>) -> Vec<u8> {
     have.expect("every rank receives in a binomial bcast")
 }
 
-/// Ring allgather: returns every rank's contribution, indexed by rank.
-/// `N-1` steps; correctness for any `N`.
-pub fn allgather(p: &mut impl P2p, mine: Vec<u8>) -> Vec<Vec<u8>> {
+/// Ring allgather over an already-scoped endpoint.
+pub(crate) fn allgather_impl(p: &mut impl P2p, mine: Vec<u8>) -> Vec<Vec<u8>> {
     let n = p.size();
     let me = p.rank();
     let tag = mk_tag(op::ALLGATHER, p.next_epoch());
@@ -347,6 +326,96 @@ pub fn allgather(p: &mut impl P2p, mine: Vec<u8>) -> Vec<Vec<u8>> {
     out
 }
 
+// ---- deprecated world-scoped shims -----------------------------------
+//
+// The pre-group API: every collective as a free function implicitly
+// scoped to the whole world. Kept as one-line shims over `Group::world`
+// so out-of-tree callers keep compiling; in-tree code uses the group
+// methods.
+
+/// Dissemination barrier over all ranks.
+#[deprecated(note = "use `Group::world(p.size()).barrier(p)` or a subset group")]
+pub fn barrier(p: &mut impl P2p) {
+    Group::world(p.size()).barrier(p);
+}
+
+/// Binary-exchange barrier over all ranks.
+#[deprecated(note = "use `Group::world(p.size()).barrier_binary_exchange(p)` or a subset group")]
+pub fn barrier_binary_exchange(p: &mut impl P2p) {
+    Group::world(p.size()).barrier_binary_exchange(p);
+}
+
+/// Fallible binary-exchange barrier over all ranks.
+#[deprecated(note = "use `Group::world(p.size()).try_barrier_binary_exchange(p, deadline)`")]
+pub fn try_barrier_binary_exchange(p: &mut impl P2p, deadline: Instant) -> Result<(), CommError> {
+    Group::world(p.size()).try_barrier_binary_exchange(p, deadline)
+}
+
+/// Element-wise allreduce over all ranks.
+#[deprecated(note = "use `Group::world(p.size()).allreduce(p, local, combine)`")]
+pub fn allreduce<T: Elem, F: Fn(T, T) -> T>(p: &mut impl P2p, local: &mut [T], combine: F) {
+    Group::world(p.size()).allreduce(p, local, combine);
+}
+
+/// Fallible element-wise allreduce over all ranks.
+#[deprecated(note = "use `Group::world(p.size()).try_allreduce(p, local, combine, deadline)`")]
+pub fn try_allreduce<T: Elem, F: Fn(T, T) -> T>(
+    p: &mut impl P2p,
+    local: &mut [T],
+    combine: F,
+    deadline: Instant,
+) -> Result<(), CommError> {
+    Group::world(p.size()).try_allreduce(p, local, combine, deadline)
+}
+
+/// Sum-allreduce of a `u64` vector over all ranks.
+#[deprecated(note = "use `Group::world(p.size()).allreduce_sum_u64(p, local)`")]
+pub fn allreduce_sum_u64(p: &mut impl P2p, local: &mut [u64]) {
+    Group::world(p.size()).allreduce_sum_u64(p, local);
+}
+
+/// Fallible sum-allreduce of a `u64` vector over all ranks.
+#[deprecated(note = "use `Group::world(p.size()).try_allreduce_sum_u64(p, local, deadline)`")]
+pub fn try_allreduce_sum_u64(p: &mut impl P2p, local: &mut [u64], deadline: Instant) -> Result<(), CommError> {
+    Group::world(p.size()).try_allreduce_sum_u64(p, local, deadline)
+}
+
+/// Sum-allreduce of an `f64` vector over all ranks.
+#[deprecated(note = "use `Group::world(p.size()).allreduce_sum_f64(p, local)`")]
+pub fn allreduce_sum_f64(p: &mut impl P2p, local: &mut [f64]) {
+    Group::world(p.size()).allreduce_sum_f64(p, local);
+}
+
+/// Max-allreduce of an `f64` vector over all ranks.
+#[deprecated(note = "use `Group::world(p.size()).allreduce_max_f64(p, local)`")]
+pub fn allreduce_max_f64(p: &mut impl P2p, local: &mut [f64]) {
+    Group::world(p.size()).allreduce_max_f64(p, local);
+}
+
+/// Inclusive prefix reduction over all ranks.
+#[deprecated(note = "use `Group::world(p.size()).scan(p, local, combine)`")]
+pub fn scan<T: Elem, F: Fn(T, T) -> T>(p: &mut impl P2p, local: &mut [T], combine: F) {
+    Group::world(p.size()).scan(p, local, combine);
+}
+
+/// Inclusive prefix sum of a `u64` vector over all ranks.
+#[deprecated(note = "use `Group::world(p.size()).scan_sum_u64(p, local)`")]
+pub fn scan_sum_u64(p: &mut impl P2p, local: &mut [u64]) {
+    Group::world(p.size()).scan_sum_u64(p, local);
+}
+
+/// Binomial-tree broadcast from `root` to all ranks.
+#[deprecated(note = "use `Group::world(p.size()).bcast(p, root, data)`")]
+pub fn bcast(p: &mut impl P2p, root: usize, data: Vec<u8>) -> Vec<u8> {
+    Group::world(p.size()).bcast(p, root, data)
+}
+
+/// Ring allgather over all ranks, indexed by rank.
+#[deprecated(note = "use `Group::world(p.size()).allgather(p, mine)`")]
+pub fn allgather(p: &mut impl P2p, mine: Vec<u8>) -> Vec<Vec<u8>> {
+    Group::world(p.size()).allgather(p, mine)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -359,13 +428,14 @@ mod tests {
         Cluster::builder().nodes(n).procs_per_node(1).latency(LatencyModel::zero()).build()
     }
 
-    fn check_barrier_semantics(n: u32, which: fn(&mut Comm)) {
+    fn check_barrier_semantics(n: u32, which: fn(&Group, &mut Comm)) {
         let before = Arc::new(AtomicUsize::new(0));
         let b2 = before.clone();
         let out = cluster(n).run_spmd(move |mb| {
             let mut comm = Comm::new(mb);
+            let world = Group::world(comm.size());
             b2.fetch_add(1, Ordering::SeqCst);
-            which(&mut comm);
+            which(&world, &mut comm);
             // After the barrier, every rank must have checked in.
             b2.load(Ordering::SeqCst)
         });
@@ -377,14 +447,14 @@ mod tests {
     #[test]
     fn dissemination_barrier_all_sizes() {
         for n in 1..=9 {
-            check_barrier_semantics(n, barrier);
+            check_barrier_semantics(n, |g, c| g.barrier(c));
         }
     }
 
     #[test]
     fn binary_exchange_barrier_all_sizes() {
         for n in 1..=9 {
-            check_barrier_semantics(n, barrier_binary_exchange);
+            check_barrier_semantics(n, |g, c| g.barrier_binary_exchange(c));
         }
     }
 
@@ -392,8 +462,9 @@ mod tests {
     fn repeated_barriers_do_not_cross_talk() {
         let out = cluster(4).run_spmd(|mb| {
             let mut comm = Comm::new(mb);
+            let world = Group::world(comm.size());
             for _ in 0..50 {
-                barrier_binary_exchange(&mut comm);
+                world.barrier_binary_exchange(&mut comm);
             }
             comm.rank()
         });
@@ -405,10 +476,11 @@ mod tests {
         for n in 1..=9u32 {
             let out = cluster(n).run_spmd(move |mb| {
                 let mut comm = Comm::new(mb);
+                let world = Group::world(comm.size());
                 let me = comm.rank() as u64;
                 // v[i] = rank * 10 + i; column sums are sum(rank)*.. per i.
                 let mut v = vec![me * 10, me * 10 + 1, me * 10 + 2];
-                allreduce_sum_u64(&mut comm, &mut v);
+                world.allreduce_sum_u64(&mut comm, &mut v);
                 v
             });
             let nn = n as u64;
@@ -424,8 +496,9 @@ mod tests {
     fn allreduce_max_f64_picks_max() {
         let out = cluster(5).run_spmd(|mb| {
             let mut comm = Comm::new(mb);
+            let world = Group::world(comm.size());
             let mut v = vec![comm.rank() as f64, -(comm.rank() as f64)];
-            allreduce_max_f64(&mut comm, &mut v);
+            world.allreduce_max_f64(&mut comm, &mut v);
             v
         });
         for v in out {
@@ -438,8 +511,9 @@ mod tests {
         for n in 1..=9u32 {
             let out = cluster(n).run_spmd(|mb| {
                 let mut comm = Comm::new(mb);
+                let world = Group::world(comm.size());
                 let mut v = vec![comm.rank() as u64 + 1, 1u64];
-                scan_sum_u64(&mut comm, &mut v);
+                world.scan_sum_u64(&mut comm, &mut v);
                 v
             });
             for (r, v) in out.into_iter().enumerate() {
@@ -451,17 +525,13 @@ mod tests {
 
     #[test]
     fn scan_with_noncommutative_safety() {
-        // Scan only requires associativity; check with string-ish
-        // concatenation encoded as (len, digest) pairs — emulated by
-        // positional weights so a wrong order changes the result.
+        // Scan only requires associativity; check with prefix max, where
+        // order cannot matter but prefix coverage still checks.
         let out = cluster(5).run_spmd(|mb| {
             let mut comm = Comm::new(mb);
+            let world = Group::world(comm.size());
             let mut v = vec![comm.rank() as u64 + 1];
-            // combine(a, b) = a * 10 + b is associative? No — use an
-            // associative, non-commutative op instead: 2x2 matrix-like
-            // (a, b) composition packed in u64 is overkill; use max, then
-            // order cannot matter but prefix coverage still checks.
-            scan(&mut comm, &mut v, u64::max);
+            world.scan(&mut comm, &mut v, u64::max);
             v[0]
         });
         for (r, v) in out.into_iter().enumerate() {
@@ -475,8 +545,9 @@ mod tests {
             for root in 0..n as usize {
                 let out = cluster(n).run_spmd(move |mb| {
                     let mut comm = Comm::new(mb);
+                    let world = Group::world(comm.size());
                     let data = if comm.rank() == root { vec![root as u8, 0xAB] } else { Vec::new() };
-                    bcast(&mut comm, root, data)
+                    world.bcast(&mut comm, root, data)
                 });
                 for v in out {
                     assert_eq!(v, vec![root as u8, 0xAB], "n={n} root={root}");
@@ -490,8 +561,9 @@ mod tests {
         for n in 1..=6u32 {
             let out = cluster(n).run_spmd(|mb| {
                 let mut comm = Comm::new(mb);
+                let world = Group::world(comm.size());
                 let mine = vec![comm.rank() as u8; comm.rank() + 1];
-                allgather(&mut comm, mine)
+                world.allgather(&mut comm, mine)
             });
             for v in out {
                 for (r, block) in v.iter().enumerate() {
@@ -505,13 +577,27 @@ mod tests {
     fn collectives_compose_in_sequence() {
         let out = cluster(4).run_spmd(|mb| {
             let mut comm = Comm::new(mb);
+            let world = Group::world(comm.size());
             let mut v = vec![1u64];
-            allreduce_sum_u64(&mut comm, &mut v);
-            barrier(&mut comm);
-            let b = bcast(&mut comm, 0, vec![v[0] as u8]);
-            barrier_binary_exchange(&mut comm);
+            world.allreduce_sum_u64(&mut comm, &mut v);
+            world.barrier(&mut comm);
+            let b = world.bcast(&mut comm, 0, vec![v[0] as u8]);
+            world.barrier_binary_exchange(&mut comm);
             b[0]
         });
         assert_eq!(out, vec![4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn deprecated_shims_still_work() {
+        #![allow(deprecated)]
+        let out = cluster(3).run_spmd(|mb| {
+            let mut comm = Comm::new(mb);
+            let mut v = vec![1u64];
+            allreduce_sum_u64(&mut comm, &mut v);
+            barrier(&mut comm);
+            v[0]
+        });
+        assert_eq!(out, vec![3, 3, 3]);
     }
 }

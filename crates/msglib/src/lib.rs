@@ -14,9 +14,14 @@
 //! * [`Comm`], the canonical implementation over a transport [`Mailbox`](armci_transport::Mailbox)
 //!   (`armci_core::Armci` implements `P2p` too, so the same collectives
 //!   run inside the ARMCI runtime);
-//! * collectives: dissemination and binary-exchange barriers, binomial
+//! * [`Group`], the communicator handle: an ordered subset of world ranks
+//!   owning group↔world rank translation, with the collectives as
+//!   methods — dissemination and binary-exchange barriers, binomial
 //!   broadcast, recursive-doubling allreduce (the exact Figure 2
-//!   algorithm, generalized to non-powers of two), ring allgather.
+//!   algorithm, generalized to non-powers of two), ring allgather —
+//!   all scoped to the group's members. `Group::world(n)` is the
+//!   classical world scope; the historical world-scoped free functions
+//!   remain as deprecated shims.
 //!
 //! All collectives cost `O(log N)` one-way latencies except allgather,
 //! matching the structures the paper reasons with.
@@ -24,13 +29,16 @@
 pub mod codec;
 pub mod collectives;
 pub mod comm;
+pub mod group;
 pub mod rooted;
 
 pub use codec::{BufWriter, Reader, Writer};
+#[allow(deprecated)]
 pub use collectives::{
-    allgather, allreduce, allreduce_max_f64, allreduce_sum_f64, allreduce_sum_u64, allreduce_tag, barrier,
-    barrier_binary_exchange, barrier_bx_tag, bcast, scan, scan_sum_u64, try_allreduce, try_allreduce_sum_u64,
-    try_barrier_binary_exchange,
+    allgather, allreduce, allreduce_max_f64, allreduce_sum_f64, allreduce_sum_u64, barrier, barrier_binary_exchange,
+    bcast, scan, scan_sum_u64, try_allreduce, try_allreduce_sum_u64, try_barrier_binary_exchange,
 };
+pub use collectives::{allreduce_tag, barrier_bx_tag, hier_bx_tag, Elem};
 pub use comm::{Comm, CommError, P2p};
+pub use group::{Group, Scoped};
 pub use rooted::{gather, reduce, reduce_sum_f64, reduce_sum_u64, scatter};

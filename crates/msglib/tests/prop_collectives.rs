@@ -3,7 +3,7 @@
 //! and contents.
 
 use armci_msglib::rooted::{gather, reduce_sum_u64, scatter};
-use armci_msglib::{allgather, allreduce_sum_u64, barrier_binary_exchange, bcast, scan_sum_u64, Comm, P2p};
+use armci_msglib::{Comm, Group, P2p};
 use armci_transport::{Cluster, LatencyModel};
 use proptest::prelude::*;
 
@@ -27,7 +27,7 @@ proptest! {
         let out = cluster(n).run_spmd(move |mb| {
             let mut c = Comm::new(mb);
             let mut v = inputs2[c.rank()].clone();
-            allreduce_sum_u64(&mut c, &mut v);
+            Group::world(n).allreduce_sum_u64(&mut c, &mut v);
             v
         });
         for v in out {
@@ -42,7 +42,7 @@ proptest! {
         let out = cluster(n).run_spmd(move |mb| {
             let mut c = Comm::new(mb);
             let mut v = vec![inputs2[c.rank()]];
-            scan_sum_u64(&mut c, &mut v);
+            Group::world(n).scan_sum_u64(&mut c, &mut v);
             v[0]
         });
         let mut acc = 0u64;
@@ -92,10 +92,10 @@ proptest! {
         let out = cluster(n).run_spmd(move |mb| {
             let mut c = Comm::new(mb);
             let data = if c.rank() == root { payload2.clone() } else { Vec::new() };
-            let b = bcast(&mut c, root, data);
+            let b = Group::world(n).bcast(&mut c, root, data);
             let mine = vec![c.rank() as u8];
-            let all = allgather(&mut c, mine);
-            barrier_binary_exchange(&mut c);
+            let all = Group::world(n).allgather(&mut c, mine);
+            Group::world(n).barrier_binary_exchange(&mut c);
             (b, all)
         });
         for (b, all) in out {

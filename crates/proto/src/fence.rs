@@ -55,6 +55,13 @@ pub struct FenceEngine {
     unfenced: Vec<u64>,
     unfenced_nic: Vec<u64>,
     unacked: Vec<u64>,
+    /// Per-destination split of `unfenced`/`unfenced_nic`, so a
+    /// group-scoped fence can confirm only member-directed traffic.
+    unfenced_to: Vec<u64>,
+    unfenced_to_nic: Vec<u64>,
+    /// Which node each destination lives on, learned at `note_put`
+    /// (`usize::MAX` until first targeted).
+    dst_node: Vec<usize>,
 }
 
 impl FenceEngine {
@@ -66,6 +73,9 @@ impl FenceEngine {
             unfenced: vec![0; nnodes],
             unfenced_nic: vec![0; nnodes],
             unacked: vec![0; nnodes],
+            unfenced_to: vec![0; nprocs],
+            unfenced_to_nic: vec![0; nprocs],
+            dst_node: vec![usize::MAX; nprocs],
         }
     }
 
@@ -73,10 +83,13 @@ impl FenceEngine {
     /// `node`, issued through the NIC agent when `via_nic`.
     pub fn note_put(&mut self, dst: usize, node: usize, via_nic: bool) {
         self.op_init[dst] += 1;
+        self.dst_node[dst] = node;
         if via_nic {
             self.unfenced_nic[node] += 1;
+            self.unfenced_to_nic[dst] += 1;
         } else {
             self.unfenced[node] += 1;
+            self.unfenced_to[dst] += 1;
         }
         if self.mode == FenceMode::DrainAcks {
             self.unacked[node] += 1;
@@ -95,9 +108,57 @@ impl FenceEngine {
         self.op_init.clone()
     }
 
+    /// [`FenceEngine::barrier_vector`] restricted to `members` (world
+    /// ranks, in group order) — the vector a *group-scoped* combined
+    /// barrier allreduces over the group.
+    pub fn barrier_vector_for(&self, members: &[usize]) -> Vec<u64> {
+        members.iter().map(|&m| self.op_init[m]).collect()
+    }
+
     /// Confirm-mode: which agents of `node` need a fence round-trip.
     pub fn confirm_targets(&self, node: usize) -> ConfirmTargets {
         ConfirmTargets { server: self.unfenced[node] > 0, nic: self.unfenced_nic[node] > 0 }
+    }
+
+    /// Confirm-mode: the nodes (ascending) a *group* fence must
+    /// round-trip with — those hosting a member of `members` with
+    /// member-directed unfenced traffic — and the agents involved.
+    pub fn group_confirm_targets(&self, members: &[usize]) -> Vec<(usize, ConfirmTargets)> {
+        let mut nodes: Vec<(usize, ConfirmTargets)> = Vec::new();
+        for &m in members {
+            let t = ConfirmTargets { server: self.unfenced_to[m] > 0, nic: self.unfenced_to_nic[m] > 0 };
+            if t.is_empty() {
+                continue;
+            }
+            let node = self.dst_node[m];
+            match nodes.iter_mut().find(|(n, _)| *n == node) {
+                Some((_, agg)) => {
+                    agg.server |= t.server;
+                    agg.nic |= t.nic;
+                }
+                None => nodes.push((node, t)),
+            }
+        }
+        nodes.sort_by_key(|&(n, _)| n);
+        nodes
+    }
+
+    /// Confirm-mode: a group fence's round-trips completed. Clears the
+    /// member-directed counters and decrements the node aggregates by the
+    /// cleared amounts (a round-trip flushes the whole node FIFO, but
+    /// only member-directed traffic is *known* confirmed to callers of
+    /// the world-scoped API, so non-member counts are left armed).
+    pub fn group_confirmed(&mut self, members: &[usize]) {
+        for &m in members {
+            let node = self.dst_node[m];
+            if node == usize::MAX {
+                continue;
+            }
+            self.unfenced[node] = self.unfenced[node].saturating_sub(self.unfenced_to[m]);
+            self.unfenced_nic[node] = self.unfenced_nic[node].saturating_sub(self.unfenced_to_nic[m]);
+            self.unfenced_to[m] = 0;
+            self.unfenced_to_nic[m] = 0;
+        }
     }
 
     /// Confirm-mode: the round-trip(s) for `node` completed; its counters
@@ -105,6 +166,12 @@ impl FenceEngine {
     pub fn node_confirmed(&mut self, node: usize) {
         self.unfenced[node] = 0;
         self.unfenced_nic[node] = 0;
+        for (dst, &n) in self.dst_node.iter().enumerate() {
+            if n == node {
+                self.unfenced_to[dst] = 0;
+                self.unfenced_to_nic[dst] = 0;
+            }
+        }
     }
 
     /// DrainAcks-mode: outstanding acks from `node`.
@@ -129,6 +196,8 @@ impl FenceEngine {
     pub fn all_confirmed(&mut self) {
         self.unfenced.iter_mut().for_each(|c| *c = 0);
         self.unfenced_nic.iter_mut().for_each(|c| *c = 0);
+        self.unfenced_to.iter_mut().for_each(|c| *c = 0);
+        self.unfenced_to_nic.iter_mut().for_each(|c| *c = 0);
     }
 }
 
@@ -233,6 +302,52 @@ mod tests {
         f.all_confirmed();
         assert!(f.confirm_targets(1).is_empty());
         assert_eq!(f.barrier_vector(), vec![0, 1]);
+    }
+
+    #[test]
+    fn group_fence_confirms_only_member_directed_traffic() {
+        // 6 procs, 2 per node. Traffic to 2 (node 1, server), 3 (node 1,
+        // nic) and 5 (node 2, server).
+        let mut f = FenceEngine::new(FenceMode::Confirm, 6, 3);
+        f.note_put(2, 1, false);
+        f.note_put(3, 1, true);
+        f.note_put(5, 2, false);
+        // Group {0, 2, 4}: only the put to 2 is member-directed.
+        assert_eq!(f.barrier_vector_for(&[0, 2, 4]), vec![0, 1, 0]);
+        let t = f.group_confirm_targets(&[0, 2, 4]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].0, 1);
+        assert!(t[0].1.server && !t[0].1.nic);
+        f.group_confirmed(&[0, 2, 4]);
+        // Node 1 still owes the NIC-side confirmation for proc 3; node 2
+        // is untouched by the group fence.
+        let left = f.confirm_targets(1);
+        assert!(!left.server && left.nic);
+        assert!(f.confirm_targets(2).server);
+        assert!(f.group_confirm_targets(&[0, 2, 4]).is_empty());
+    }
+
+    #[test]
+    fn group_targets_aggregate_members_per_node() {
+        let mut f = FenceEngine::new(FenceMode::Confirm, 4, 2);
+        f.note_put(2, 1, false);
+        f.note_put(3, 1, true);
+        let t = f.group_confirm_targets(&[2, 3]);
+        assert_eq!(t.len(), 1);
+        assert!(t[0].1.server && t[0].1.nic);
+    }
+
+    #[test]
+    fn node_confirmed_clears_per_dst_counters_too() {
+        let mut f = FenceEngine::new(FenceMode::Confirm, 4, 2);
+        f.note_put(2, 1, false);
+        f.note_put(3, 1, false);
+        f.node_confirmed(1);
+        assert!(f.group_confirm_targets(&[2, 3]).is_empty());
+        // And group_confirmed after that must not underflow aggregates.
+        f.note_put(2, 1, false);
+        f.group_confirmed(&[2, 3]);
+        assert!(f.confirm_targets(1).is_empty());
     }
 
     #[test]

@@ -1,0 +1,407 @@
+//! Topology-hierarchical barrier as a pure state machine.
+//!
+//! One [`HierBarrier`] instance is one rank's view of one hierarchical
+//! barrier over a processor group partitioned into *domains* — sets of
+//! ranks that share a fast synchronization plane (the processes of one
+//! SMP node reaching each other's memory, or same-host processes bridged
+//! by the shm plane). The schedule is the classical three-sweep tree:
+//!
+//! 1. **Gather**: every non-leader sends `Arrive` to its domain leader
+//!    (the first-listed member of the domain);
+//! 2. **Exchange**: the leaders — one per domain — run a binary-exchange
+//!    barrier ([`Exchange`]) over `log2(domains)` rounds, so the
+//!    inter-domain step count scales with *domains*, not ranks;
+//! 3. **Release**: each leader sends `Release` to its domain members.
+//!
+//! Like every engine in this crate it is sans-IO: harnesses perform the
+//! emitted [`HierAction`]s and feed [`HierEvent`]s back. The *runtime*
+//! harness maps intra-domain `Arrive`/`Release` sends onto shared-memory
+//! counter operations (zero wire messages) and only the leaders' exchange
+//! onto real sends; the *simulator* harness maps everything onto modelled
+//! messages. Both drive the identical schedule, which is what the
+//! cross-harness conformance suite asserts via [`HierBarrier::take_log`].
+
+use crate::exchange::{Exchange, XchgAction, XchgEvent, XchgMsg};
+use crate::math::{log2_exact, pow2_floor};
+
+/// A protocol message of the hierarchical schedule.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HierMsg {
+    /// A domain member checks in with its leader (gather sweep). Carries
+    /// the sender's group rank so counter-based transports can tell the
+    /// leader who has arrived without a wire message.
+    Arrive {
+        /// Group rank of the arriving member.
+        from: u32,
+    },
+    /// An inter-domain exchange message between two leaders.
+    Xchg(XchgMsg),
+    /// A leader releases a domain member (release sweep).
+    Release,
+}
+
+/// An input to [`HierBarrier::poll`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HierEvent {
+    /// The harness reached the barrier; the engine may start sending.
+    Start,
+    /// A message arrived. Inter-domain messages may legitimately arrive
+    /// before this rank's own domain has fully gathered — they are
+    /// buffered and acted on in schedule order.
+    Recv(HierMsg),
+}
+
+/// An action emitted by [`HierBarrier::poll`]: transmit `msg` to group
+/// rank `to`. Intra-domain sends (`Arrive`/`Release`) always target a
+/// rank in the sender's own domain; harnesses with a shared-memory plane
+/// turn them into counter operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HierAction {
+    /// Destination group rank.
+    pub to: usize,
+    /// Which schedule message to send.
+    pub msg: HierMsg,
+}
+
+/// One send the engine performed, for cross-harness conformance tracing
+/// (the hierarchical counterpart of [`crate::SendRecord`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HierRecord {
+    /// Destination group rank.
+    pub to: u32,
+    /// Which schedule message was sent.
+    pub msg: HierMsg,
+}
+
+/// What a *blocking* driver must wait for next (see
+/// [`HierBarrier::expected_recv`]). Event-driven harnesses ignore this.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HierExpect {
+    /// Wait for `Arrive` from this group rank (leaders, gather sweep).
+    Arrive(usize),
+    /// Wait for this exchange message from this group rank (leaders).
+    Xchg(usize, XchgMsg),
+    /// Wait for `Release` from this group rank (non-leaders).
+    Release(usize),
+}
+
+/// One rank's hierarchical barrier schedule (see module docs).
+#[derive(Clone, Debug)]
+pub struct HierBarrier {
+    me: usize,
+    /// Group ranks per domain; `domains[d][0]` is domain `d`'s leader.
+    domains: Vec<Vec<usize>>,
+    my_dom: usize,
+    /// Leaders' inter-domain exchange (`None` for non-leaders).
+    exchange: Option<Exchange>,
+    active: bool,
+    /// Gather sweep: `Arrive`s received so far (leaders).
+    arrived: usize,
+    /// Arrive sent / exchange started.
+    started: bool,
+    released: bool,
+    complete: bool,
+    log: Vec<HierRecord>,
+}
+
+impl HierBarrier {
+    /// Engine for group rank `me` under the given domain partition.
+    ///
+    /// `domains` lists every group rank exactly once; the first member of
+    /// each domain is its leader. All ranks of one barrier must be
+    /// constructed with the identical partition.
+    pub fn new(me: usize, domains: Vec<Vec<usize>>) -> Self {
+        let n: usize = domains.iter().map(Vec::len).sum();
+        debug_assert!({
+            let mut seen = vec![false; n];
+            domains.iter().flatten().all(|&r| r < n && !std::mem::replace(&mut seen[r], true))
+        });
+        let my_dom = domains.iter().position(|d| d.contains(&me)).expect("rank not in any domain");
+        let exchange = (domains[my_dom][0] == me).then(|| Exchange::new(domains.len(), my_dom));
+        HierBarrier {
+            me,
+            domains,
+            my_dom,
+            exchange,
+            active: false,
+            arrived: 0,
+            started: false,
+            released: false,
+            complete: false,
+            log: Vec::new(),
+        }
+    }
+
+    /// Whether every send and receive of this rank's schedule is done.
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// True if this rank leads its domain (first-listed member).
+    pub fn is_leader(&self) -> bool {
+        self.exchange.is_some()
+    }
+
+    /// Number of domains (= participants in the inter-domain exchange).
+    pub fn ndomains(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// The members of this rank's domain, leader first.
+    pub fn my_domain(&self) -> &[usize] {
+        &self.domains[self.my_dom]
+    }
+
+    /// Pairwise rounds of the leaders' exchange:
+    /// `log2(pow2_floor(domains))` — the `log2(nodes)` inter-node step
+    /// count the hierarchy exists to deliver (surplus domains add the
+    /// usual two-latency fold).
+    pub fn inter_domain_rounds(&self) -> usize {
+        log2_exact(pow2_floor(self.domains.len()))
+    }
+
+    /// Drain the send log (for conformance tracing).
+    pub fn take_log(&mut self) -> Vec<HierRecord> {
+        std::mem::take(&mut self.log)
+    }
+
+    /// Borrow the send log without draining it (simulator-side tracing).
+    pub fn log(&self) -> &[HierRecord] {
+        &self.log
+    }
+
+    /// Feed one event; emitted actions are appended to `out`.
+    pub fn poll(&mut self, ev: HierEvent, out: &mut Vec<HierAction>) {
+        match ev {
+            HierEvent::Start => self.active = true,
+            HierEvent::Recv(HierMsg::Arrive { .. }) => {
+                debug_assert!(self.is_leader(), "non-leader received Arrive");
+                self.arrived += 1;
+            }
+            HierEvent::Recv(HierMsg::Release) => {
+                debug_assert!(!self.is_leader(), "leader received Release");
+                self.released = true;
+            }
+            HierEvent::Recv(HierMsg::Xchg(m)) => {
+                // The inner exchange buffers out-of-order (and pre-Start)
+                // messages itself; sends stay gated on its own Start,
+                // which we only deliver once the domain has gathered.
+                let ex = self.exchange.as_mut().expect("non-leader received exchange message");
+                let mut acts = Vec::new();
+                ex.poll(XchgEvent::Recv(m), &mut acts);
+                self.relay_exchange(acts, out);
+            }
+        }
+        if self.active {
+            self.advance(out);
+        }
+    }
+
+    /// The single message a blocking driver must wait for next; `None`
+    /// once complete (or before `Start`).
+    pub fn expected_recv(&self) -> Option<HierExpect> {
+        if self.complete || !self.active {
+            return None;
+        }
+        if let Some(ex) = &self.exchange {
+            let locals = self.domains[self.my_dom].len() - 1;
+            if self.arrived < locals {
+                return Some(HierExpect::Arrive(self.domains[self.my_dom][1 + self.arrived]));
+            }
+            return ex.expected_recv().map(|(dom, msg)| HierExpect::Xchg(self.domains[dom][0], msg));
+        }
+        Some(HierExpect::Release(self.domains[self.my_dom][0]))
+    }
+
+    /// Run the schedule as far as the received set allows.
+    fn advance(&mut self, out: &mut Vec<HierAction>) {
+        if self.complete {
+            return;
+        }
+        match &mut self.exchange {
+            None => {
+                if !self.started {
+                    self.started = true;
+                    self.send(self.domains[self.my_dom][0], HierMsg::Arrive { from: self.me as u32 }, out);
+                }
+                if self.released {
+                    self.complete = true;
+                }
+            }
+            Some(ex) => {
+                let locals = self.domains[self.my_dom].len() - 1;
+                if !self.started && self.arrived == locals {
+                    self.started = true;
+                    let mut acts = Vec::new();
+                    ex.poll(XchgEvent::Start, &mut acts);
+                    self.relay_exchange(acts, out);
+                }
+                if self.started && self.exchange.as_ref().is_some_and(Exchange::is_complete) {
+                    for i in 1..self.domains[self.my_dom].len() {
+                        self.send(self.domains[self.my_dom][i], HierMsg::Release, out);
+                    }
+                    self.complete = true;
+                }
+            }
+        }
+    }
+
+    /// Translate inner-exchange actions (domain indices) into group-rank
+    /// sends to the partner domains' leaders.
+    fn relay_exchange(&mut self, acts: Vec<XchgAction>, out: &mut Vec<HierAction>) {
+        for a in acts {
+            if let XchgAction::Send { to, msg } = a {
+                self.send(self.domains[to][0], HierMsg::Xchg(msg), out);
+            }
+        }
+    }
+
+    fn send(&mut self, to: usize, msg: HierMsg, out: &mut Vec<HierAction>) {
+        self.log.push(HierRecord { to: to as u32, msg });
+        out.push(HierAction { to, msg });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive all ranks to completion with a FIFO mail loop; returns the
+    /// per-rank send logs.
+    fn run_all(domains: Vec<Vec<usize>>) -> Vec<Vec<HierRecord>> {
+        let n: usize = domains.iter().map(Vec::len).sum();
+        let mut engines: Vec<HierBarrier> = (0..n).map(|me| HierBarrier::new(me, domains.clone())).collect();
+        let mut queue: std::collections::VecDeque<(usize, HierMsg)> = Default::default();
+        let mut out = Vec::new();
+        for e in engines.iter_mut() {
+            e.poll(HierEvent::Start, &mut out);
+            for a in out.drain(..) {
+                queue.push_back((a.to, a.msg));
+            }
+        }
+        let mut delivered = 0;
+        while let Some((to, msg)) = queue.pop_front() {
+            delivered += 1;
+            assert!(delivered < 10_000, "hierarchical barrier does not converge");
+            engines[to].poll(HierEvent::Recv(msg), &mut out);
+            for a in out.drain(..) {
+                queue.push_back((a.to, a.msg));
+            }
+        }
+        engines
+            .iter_mut()
+            .enumerate()
+            .map(|(me, e)| {
+                assert!(e.is_complete(), "rank {me} incomplete");
+                e.take_log()
+            })
+            .collect()
+    }
+
+    fn chunked(nodes: usize, ppn: usize) -> Vec<Vec<usize>> {
+        (0..nodes).map(|d| (d * ppn..(d + 1) * ppn).collect()).collect()
+    }
+
+    #[test]
+    fn completes_for_assorted_shapes() {
+        for (nodes, ppn) in [(1, 1), (1, 4), (2, 1), (2, 2), (3, 2), (4, 2), (5, 3), (8, 1)] {
+            run_all(chunked(nodes, ppn));
+        }
+        // Ragged domains and non-contiguous membership.
+        run_all(vec![vec![0, 3, 4], vec![1], vec![2, 5]]);
+        run_all(vec![vec![5, 0], vec![1, 2, 3, 4]]);
+    }
+
+    #[test]
+    fn leaders_send_log2_domains_exchange_messages() {
+        for nodes in [2usize, 4, 8, 16] {
+            let logs = run_all(chunked(nodes, 2));
+            for d in 0..nodes {
+                let leader = d * 2;
+                let xchg = logs[leader].iter().filter(|r| matches!(r.msg, HierMsg::Xchg(_))).count();
+                assert_eq!(xchg, nodes.trailing_zeros() as usize, "leader {leader} of {nodes} domains");
+            }
+        }
+    }
+
+    #[test]
+    fn non_leaders_send_exactly_one_arrive() {
+        let logs = run_all(chunked(3, 3));
+        for (me, log) in logs.iter().enumerate() {
+            if me % 3 == 0 {
+                continue;
+            }
+            assert_eq!(log.len(), 1);
+            assert_eq!(log[0], HierRecord { to: (me / 3 * 3) as u32, msg: HierMsg::Arrive { from: me as u32 } });
+        }
+    }
+
+    #[test]
+    fn leaders_release_every_member_once() {
+        let logs = run_all(chunked(2, 4));
+        for leader in [0usize, 4] {
+            let releases: Vec<u32> =
+                logs[leader].iter().filter(|r| matches!(r.msg, HierMsg::Release)).map(|r| r.to).collect();
+            let want: Vec<u32> = (leader as u32 + 1..leader as u32 + 4).collect();
+            assert_eq!(releases, want);
+        }
+    }
+
+    #[test]
+    fn single_domain_needs_no_exchange() {
+        let logs = run_all(vec![vec![0, 1, 2, 3]]);
+        assert!(logs[0].iter().all(|r| matches!(r.msg, HierMsg::Release)));
+        assert_eq!(logs[0].len(), 3);
+        for log in &logs[1..] {
+            assert_eq!(log.len(), 1);
+        }
+    }
+
+    #[test]
+    fn blocking_replay_via_expected_recv() {
+        // Leader of domain 0 in a 2x2 cluster: gather rank 1, exchange
+        // with leader 2, release rank 1.
+        let domains = chunked(2, 2);
+        let mut e = HierBarrier::new(0, domains);
+        let mut out = Vec::new();
+        e.poll(HierEvent::Start, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(e.expected_recv(), Some(HierExpect::Arrive(1)));
+        e.poll(HierEvent::Recv(HierMsg::Arrive { from: 1 }), &mut out);
+        assert_eq!(out, vec![HierAction { to: 2, msg: HierMsg::Xchg(XchgMsg::Round(0)) }]);
+        out.clear();
+        assert_eq!(e.expected_recv(), Some(HierExpect::Xchg(2, XchgMsg::Round(0))));
+        e.poll(HierEvent::Recv(HierMsg::Xchg(XchgMsg::Round(0))), &mut out);
+        assert_eq!(out, vec![HierAction { to: 1, msg: HierMsg::Release }]);
+        assert!(e.is_complete());
+        assert_eq!(e.expected_recv(), None);
+    }
+
+    #[test]
+    fn early_exchange_message_is_buffered_until_domain_gathers() {
+        let domains = chunked(2, 2);
+        let mut e = HierBarrier::new(0, domains);
+        let mut out = Vec::new();
+        e.poll(HierEvent::Start, &mut out);
+        // Partner leader's round 0 lands before our local member arrives.
+        e.poll(HierEvent::Recv(HierMsg::Xchg(XchgMsg::Round(0))), &mut out);
+        assert!(out.is_empty(), "exchange must not act before the gather completes");
+        e.poll(HierEvent::Recv(HierMsg::Arrive { from: 1 }), &mut out);
+        // Gather done: round 0 send, buffered recv consumed, release.
+        assert_eq!(
+            out,
+            vec![
+                HierAction { to: 2, msg: HierMsg::Xchg(XchgMsg::Round(0)) },
+                HierAction { to: 1, msg: HierMsg::Release },
+            ]
+        );
+        assert!(e.is_complete());
+    }
+
+    #[test]
+    fn rounds_accessor_matches_domain_count() {
+        assert_eq!(HierBarrier::new(0, chunked(8, 2)).inter_domain_rounds(), 3);
+        assert_eq!(HierBarrier::new(0, chunked(5, 1)).inter_domain_rounds(), 2);
+        assert_eq!(HierBarrier::new(0, chunked(1, 4)).inter_domain_rounds(), 0);
+    }
+}

@@ -26,18 +26,23 @@
 //!   stage), non-power-of-two folding included;
 //! * [`CombinedBarrier`] — the full `ARMCI_Barrier()`:
 //!   allreduce(`op_init`) → `op_done` wait → barrier;
+//! * [`HierBarrier`] — the topology-hierarchical barrier: domain
+//!   gather → leaders-only [`Exchange`] (`log2(domains)` rounds) →
+//!   domain release;
 //! * [`HybridHome`]/[`HybridAcquire`], [`McsAcquire`]/[`McsRelease`]/
 //!   [`McsReclaim`], [`Backoff`] — lock word transitions.
 
 pub mod barrier;
 pub mod exchange;
 pub mod fence;
+pub mod hier;
 pub mod lock;
 pub mod math;
 
 pub use barrier::{BarrierAction, BarrierEvent, CombinedBarrier, STAGE_ALLREDUCE, STAGE_BARRIER};
 pub use exchange::{Exchange, SendRecord, XchgAction, XchgEvent, XchgMsg};
 pub use fence::{ConfirmTargets, FenceEngine, FenceMode, PipeConfirm, SeqConfirm};
+pub use hier::{HierAction, HierBarrier, HierEvent, HierExpect, HierMsg, HierRecord};
 pub use lock::{
     Backoff, HybridAcquire, HybridAction, HybridEvent, HybridHome, McsAcquire, McsAcquireAction, McsAcquireEvent,
     McsReclaim, McsRelease, McsReleaseAction, McsReleaseEvent, ReclaimAction, ReclaimEvent,

@@ -306,7 +306,7 @@ mod tests {
             let x = shm.malloc_u64(a, 1).unwrap();
             shm.put_u64(a, x, (shm.my_pe(a) + 1) % shm.n_pes(a), &[9]);
             shm.quiet(a);
-            armci_msglib::barrier(a);
+            armci_msglib::Group::world(a.nprocs()).barrier(a);
             shm.local_u64(a, x)
         });
         assert_eq!(out, vec![9, 9, 9]);

@@ -21,4 +21,7 @@ pub use lock_adapter as lock;
 pub use sync_adapter as sync;
 
 pub use lock_adapter::{simulate_lock, LockAlgo, LockResult};
-pub use sync_adapter::{simulate_combined_barrier, simulate_sync_baseline, SyncResult};
+pub use sync_adapter::{
+    simulate_combined_barrier, simulate_hier_barrier_logged, simulate_hier_barrier_smp, simulate_sync_baseline,
+    sweep_hier_vs_flat, HierSweepRow, SyncResult,
+};

@@ -29,7 +29,9 @@
 //!   (message size `8·n` bytes), a zero-cost `op_done` wait (puts are
 //!   complete), and the binary-exchange barrier: `2·log2(n)` latencies.
 
-use armci_proto::{Exchange as XchgEngine, SendRecord, XchgAction, XchgEvent, XchgMsg};
+use armci_proto::{
+    Exchange as XchgEngine, HierBarrier, HierEvent, HierMsg, HierRecord, SendRecord, XchgAction, XchgEvent, XchgMsg,
+};
 
 use crate::net::NetModel;
 use crate::sim::{Actor, ActorId, Ctx, Sim, Time};
@@ -497,6 +499,148 @@ pub fn simulate_combined_barrier_skewed(n: usize, skew_step: Time, model: NetMod
     })
 }
 
+// ---------------------------------------------------------------------
+// Hierarchical group barrier (the group/communicator tentpole)
+// ---------------------------------------------------------------------
+
+/// A process driving the [`HierBarrier`] engine over the modeled network.
+/// Every engine action — the intra-domain `Arrive`/`Release` legs the
+/// runtime turns into shared-memory counter ops as well as the leaders'
+/// inter-domain exchange — becomes a modeled message, so intra-domain
+/// traffic is costed at `intra_node` (zero in shared-memory-faithful
+/// models) while leader-to-leader hops pay the wire.
+struct HierProc {
+    eng: HierBarrier,
+    out: Vec<armci_proto::HierAction>,
+    start_at: Time,
+    started: bool,
+    finish_at: Option<Time>,
+}
+
+/// Message type of the hierarchical barrier simulation.
+#[derive(Clone, Copy, Debug)]
+pub enum HierSimMsg {
+    /// Self-timer: a skewed process begins its barrier now.
+    Start,
+    /// An engine message (arrive, exchange, or release).
+    Proto(HierMsg),
+}
+
+impl HierProc {
+    fn advance(&mut self, ctx: &mut Ctx<'_, HierSimMsg>) {
+        for a in self.out.drain(..) {
+            // Exchange payloads are 1-2 bytes; arrive/release are counter
+            // bumps. All small enough that size-dependent cost is noise.
+            ctx.send(a.to, HierSimMsg::Proto(a.msg), 0);
+        }
+        if self.eng.is_complete() && self.finish_at.is_none() {
+            self.finish_at = Some(ctx.now);
+        }
+    }
+}
+
+impl Actor<HierSimMsg> for HierProc {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, HierSimMsg>) {
+        if self.start_at == 0 {
+            self.started = true;
+            self.eng.poll(HierEvent::Start, &mut self.out);
+            self.advance(ctx);
+        } else {
+            ctx.wake_after(self.start_at, HierSimMsg::Start);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, HierSimMsg>, _from: ActorId, msg: HierSimMsg) {
+        match msg {
+            HierSimMsg::Start => {
+                assert!(!self.started, "duplicate start");
+                self.started = true;
+                self.eng.poll(HierEvent::Start, &mut self.out);
+            }
+            // The engine buffers pre-gather exchange deliveries itself, so
+            // messages can be fed in arrival order unconditionally.
+            HierSimMsg::Proto(m) => self.eng.poll(HierEvent::Recv(m), &mut self.out),
+        }
+        self.advance(ctx);
+    }
+}
+
+/// Simulate one hierarchical group barrier over the given domain
+/// partition (`domains[d]` = group ranks of domain `d`, leader first —
+/// the same shape [`armci_proto::HierBarrier::new`] takes and the
+/// runtime's group formation produces). Each domain is placed on its own
+/// node, so intra-domain legs cost `intra_node` and leader exchanges pay
+/// the full wire. Returns per-rank sync times plus each rank's engine
+/// send trace for cross-harness conformance.
+pub fn simulate_hier_barrier_logged(domains: &[Vec<usize>], model: NetModel) -> (SyncResult, Vec<Vec<HierRecord>>) {
+    let n: usize = domains.iter().map(|d| d.len()).sum();
+    let mut node_of = vec![0usize; n];
+    for (d, members) in domains.iter().enumerate() {
+        for &g in members {
+            node_of[g] = d;
+        }
+    }
+    let actors: Vec<HierProc> = (0..n)
+        .map(|g| HierProc {
+            eng: HierBarrier::new(g, domains.to_vec()),
+            out: Vec::new(),
+            start_at: 0,
+            started: false,
+            finish_at: None,
+        })
+        .collect();
+    let mut sim = Sim::new(actors, node_of, model);
+    sim.run(10_000_000);
+    let mut per_proc = Vec::with_capacity(n);
+    let mut logs = Vec::with_capacity(n);
+    for g in 0..n {
+        let p = sim.actor(g);
+        per_proc.push(p.finish_at.unwrap_or_else(|| panic!("rank {g} never finished the hier barrier")));
+        logs.push(p.eng.log().to_vec());
+    }
+    (SyncResult { per_proc, messages: sim.delivered() }, logs)
+}
+
+/// [`simulate_hier_barrier_logged`] over the uniform `nodes × ppn`
+/// partition (domain `d` = ranks `d*ppn..(d+1)*ppn`).
+pub fn simulate_hier_barrier_smp(nodes: usize, ppn: usize, model: NetModel) -> SyncResult {
+    let domains: Vec<Vec<usize>> = (0..nodes).map(|d| (d * ppn..(d + 1) * ppn).collect()).collect();
+    simulate_hier_barrier_logged(&domains, model).0
+}
+
+/// One row of the flat-vs-hierarchical cost sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct HierSweepRow {
+    /// Total ranks (`nodes * ppn`).
+    pub nprocs: usize,
+    /// Processes per node.
+    pub ppn: usize,
+    /// Inter-node latency steps of the flat combined barrier
+    /// (virtual time / wire latency under an intra-node-free model).
+    pub flat_steps: u64,
+    /// Inter-node latency steps of the hierarchical barrier.
+    pub hier_steps: u64,
+}
+
+/// Sweep flat combined barrier vs hierarchical barrier at `(nodes, ppn)`
+/// shapes, measuring *inter-node latency steps*: the network model
+/// charges one unit per inter-node hop and nothing intra-node, so the
+/// critical-path virtual time *is* the inter-node step count — the
+/// `2·log2(N)` vs `log2(nodes)`-ish structural comparison the
+/// hierarchy exists to win.
+pub fn sweep_hier_vs_flat(shapes: &[(usize, usize)]) -> Vec<HierSweepRow> {
+    let m = NetModel::latency_only(1);
+    shapes
+        .iter()
+        .map(|&(nodes, ppn)| HierSweepRow {
+            nprocs: nodes * ppn,
+            ppn,
+            flat_steps: simulate_combined_barrier_smp(nodes, ppn, m).max(),
+            hier_steps: simulate_hier_barrier_smp(nodes, ppn, m).max(),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -685,6 +829,55 @@ mod tests {
         );
         // The last process to start sees close to the skew-free time.
         assert!(skewed.per_proc[7] < 2 * aligned.per_proc[7] + 1, "{}", skewed.per_proc[7]);
+    }
+
+    #[test]
+    fn hier_barrier_inter_node_steps_are_log2_nodes() {
+        // intra_node = 0 in the latency-only model, so the critical path
+        // is exactly the leaders' exchange: log2(nodes) wire latencies.
+        let l = 1000;
+        for (nodes, ppn) in [(2usize, 2usize), (4, 2), (8, 4), (16, 2)] {
+            let r = simulate_hier_barrier_smp(nodes, ppn, NetModel::latency_only(l));
+            assert_eq!(r.max(), nodes.trailing_zeros() as u64 * l, "nodes={nodes} ppn={ppn}");
+        }
+    }
+
+    #[test]
+    fn hier_sweep_halves_flat_smp_steps() {
+        // Flat combined barrier: 2 exchange stages, each log2(nodes)
+        // inter-node rounds (intra-node rounds are free). Hier: one
+        // log2(nodes) leader exchange. Exactly half.
+        for row in sweep_hier_vs_flat(&[(4, 2), (8, 8), (32, 32), (64, 16)]) {
+            assert_eq!(row.flat_steps, 2 * row.hier_steps, "nprocs={} ppn={}", row.nprocs, row.ppn);
+            assert_eq!(row.hier_steps, (row.nprocs / row.ppn).trailing_zeros() as u64);
+        }
+    }
+
+    #[test]
+    fn hier_barrier_handles_ragged_and_non_pow2_domains() {
+        let l = 1000;
+        // 3 domains of different sizes, non-contiguous membership.
+        let domains = vec![vec![0, 3, 5], vec![1, 4], vec![2, 6, 7, 8]];
+        let (r, logs) = simulate_hier_barrier_logged(&domains, NetModel::latency_only(l));
+        assert_eq!(r.per_proc.len(), 9);
+        // Fold: pow2_floor(3)=2 → 1 exchange round plus Enter/Exit legs.
+        assert!(r.max() >= l && r.max() <= 4 * l, "got {}", r.max());
+        // Every non-leader logs exactly one Arrive to its leader.
+        for &g in domains.iter().flat_map(|d| &d[1..]) {
+            let arrives = logs[g].iter().filter(|rec| matches!(rec.msg, armci_proto::HierMsg::Arrive { .. })).count();
+            assert_eq!(arrives, 1, "rank {g}");
+        }
+    }
+
+    #[test]
+    fn hier_logged_leaders_send_log2_domains_exchange_rounds() {
+        let domains: Vec<Vec<usize>> = (0..8).map(|d| (d * 2..d * 2 + 2).collect()).collect();
+        let (_, logs) = simulate_hier_barrier_logged(&domains, NetModel::latency_only(1000));
+        for d in 0..8 {
+            let leader = d * 2;
+            let xchg = logs[leader].iter().filter(|rec| matches!(rec.msg, armci_proto::HierMsg::Xchg(_))).count();
+            assert_eq!(xchg, 3, "leader {leader}: log2(8) exchange rounds");
+        }
     }
 
     #[test]

@@ -31,7 +31,7 @@ fn main() {
         let data: Vec<f64> =
             (own.row_lo..own.row_hi).flat_map(|i| (own.col_lo..own.col_hi).map(move |j| (i * N + j) as f64)).collect();
         a.put(armci, own, &data);
-        a.sync(armci, SyncAlg::CombinedBarrier);
+        a.sync_world(armci, SyncAlg::CombinedBarrier);
 
         let mut timings = Vec::new();
         for alg in [SyncAlg::Baseline, SyncAlg::CombinedBarrier] {
@@ -48,9 +48,9 @@ fn main() {
                 let dst = Patch::new(own.col_lo, own.col_hi, own.row_lo, own.row_hi);
                 b.put(armci, dst, &tblock);
 
-                barrier_binary_exchange(armci); // align, then time the sync
+                Group::world(armci.nprocs()).barrier_binary_exchange(armci); // align, then time the sync
                 let t0 = Instant::now();
-                b.sync(armci, alg);
+                b.sync_world(armci, alg);
                 total_ns += t0.elapsed().as_nanos();
             }
             timings.push(total_ns as f64 / ROUNDS as f64 / 1000.0); // us

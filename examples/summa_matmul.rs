@@ -32,7 +32,7 @@ fn main() {
         fill(&a, armci, &|i, j| ((i * 7 + j * 3) % 11) as f64 - 5.0);
         fill(&b, armci, &|i, j| ((i * 5 + j * 2) % 13) as f64 - 6.0);
         c.fill(armci, 0.0);
-        a.sync(armci, SyncAlg::CombinedBarrier);
+        a.sync_world(armci, SyncAlg::CombinedBarrier);
 
         // SUMMA over the grid's inner dimension: my C block accumulates
         // A[my_rows, kband] x B[kband, my_cols] for every k-band.
@@ -57,7 +57,7 @@ fn main() {
             }
         }
         c.put(armci, own, &acc);
-        c.sync(armci, SyncAlg::CombinedBarrier);
+        c.sync_world(armci, SyncAlg::CombinedBarrier);
 
         // Spot-verify a row of C from every rank against a serial multiply.
         let serial = |i: usize, j: usize| -> f64 {

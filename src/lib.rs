@@ -27,8 +27,9 @@ pub use armci_transport;
 
 /// Convenience prelude for examples and tests.
 pub mod prelude {
+    pub use armci_core::ProcGroup;
     pub use armci_core::{run_cluster, AckMode, Armci, ArmciCfg, GlobalAddr, LockAlgo, LockId, RmwOp, Strided2D};
     pub use armci_ga::{GlobalArray, Patch, SharedCounters, SyncAlg};
-    pub use armci_msglib::{allreduce_sum_f64, allreduce_sum_u64, barrier, barrier_binary_exchange, bcast};
+    pub use armci_msglib::Group;
     pub use armci_transport::{LatencyModel, NodeId, ProcId, SegId};
 }

@@ -88,7 +88,7 @@ fn chaos_run(seed: u64, nodes: u32, ppn: u32, algo: LockAlgo, rounds: usize) {
             a.barrier();
             let counter_now = a.get_u64(counter);
             let mut sums = vec![my_lock_increments];
-            armci_repro::armci_msglib::allreduce_sum_u64(a, &mut sums);
+            armci_repro::armci_msglib::Group::world(a.nprocs()).allreduce_sum_u64(a, &mut sums);
             assert_eq!(counter_now, sums[0], "lost locked increments at round {round}");
             a.barrier();
         }
@@ -169,7 +169,7 @@ fn chaos_nic_assist() {
         a.barrier();
         let total = a.get_u64(ctr);
         let mut sums = vec![mine];
-        armci_repro::armci_msglib::allreduce_sum_u64(a, &mut sums);
+        armci_repro::armci_msglib::Group::world(a.nprocs()).allreduce_sum_u64(a, &mut sums);
         (total, sums[0])
     });
     let _ = nprocs;

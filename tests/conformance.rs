@@ -93,7 +93,7 @@ fn sync_algorithms_equivalent_across_matrix() {
                 let target = (a.rank() + 1) % a.nprocs();
                 let p = ga.owned_patch(target);
                 ga.put(a, p, &vec![5.5; p.len()]);
-                ga.sync(a, alg);
+                ga.sync_world(a, alg);
                 ga.local_block(a).iter().all(|&v| v == 5.5)
             });
             assert!(out.into_iter().all(|ok| ok), "nodes={nodes} ppn={ppn} alg={alg:?}");

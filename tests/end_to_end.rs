@@ -24,7 +24,7 @@ fn full_stack_ga_plus_locks_plus_barriers() {
             a.fence(ProcId(0));
             a.unlock(lock);
             let alg = if round % 2 == 0 { SyncAlg::Baseline } else { SyncAlg::CombinedBarrier };
-            ga.sync(a, alg);
+            ga.sync_world(a, alg);
         }
         ga.get(a, Patch::new(0, 1, 0, 1))[0]
     });
@@ -78,14 +78,14 @@ fn via_mode_full_stack() {
         let target = (a.rank() + 1) % a.nprocs();
         let p = ga.owned_patch(target);
         ga.put(a, p, &vec![a.rank() as f64; p.len()]);
-        ga.sync(a, SyncAlg::Baseline); // VIA baseline drains acks
+        ga.sync_world(a, SyncAlg::Baseline); // VIA baseline drains acks
         let prev = (a.rank() + a.nprocs() - 1) % a.nprocs();
         let ok1 = ga.local_block(a).iter().all(|&v| v == prev as f64);
         // Keep round 2's puts from racing with round 1's reads.
-        armci_msglib::barrier(a);
+        armci_msglib::Group::world(a.nprocs()).barrier(a);
 
         ga.put(a, p, &vec![(10 + a.rank()) as f64; p.len()]);
-        ga.sync(a, SyncAlg::CombinedBarrier); // and the combined op in VIA
+        ga.sync_world(a, SyncAlg::CombinedBarrier); // and the combined op in VIA
         let ok2 = ga.local_block(a).iter().all(|&v| v == (10 + prev) as f64);
         ok1 && ok2
     });
@@ -99,8 +99,8 @@ fn msglib_collectives_inside_armci_runtime() {
         let seg = a.malloc(64);
         a.put_u64(GlobalAddr::new(ProcId(0), seg, 8 * a.rank()), 1);
         let mut v = vec![a.rank() as u64 + 1];
-        allreduce_sum_u64(a, &mut v);
-        let b = bcast(a, 2, if a.rank() == 2 { vec![9, 9] } else { vec![] });
+        Group::world(a.nprocs()).allreduce_sum_u64(a, &mut v);
+        let b = Group::world(a.nprocs()).bcast(a, 2, if a.rank() == 2 { vec![9, 9] } else { vec![] });
         a.barrier();
         (v[0], b)
     });

@@ -13,7 +13,7 @@ fn workload(a: &mut Armci) -> (u64, u64) {
 
     // allreduce: every rank contributes rank+1 twice; all must agree.
     let mut v = vec![a.rank() as u64 + 1, (a.rank() as u64 + 1) * 10];
-    allreduce_sum_u64(a, &mut v);
+    Group::world(n).allreduce_sum_u64(a, &mut v);
     assert_eq!(v[1], v[0] * 10);
 
     // barrier_binary_exchange: pure barrier between two put phases — no
@@ -21,7 +21,7 @@ fn workload(a: &mut Armci) -> (u64, u64) {
     let seg = a.malloc(8 * n);
     a.put_u64(GlobalAddr::new(ProcId(((a.rank() + 1) % n) as u32), seg, 8 * a.rank()), 1);
     a.fence(ProcId(((a.rank() + 1) % n) as u32));
-    barrier_binary_exchange(a);
+    Group::world(n).barrier_binary_exchange(a);
     let seen: u64 = {
         let mine = a.local_segment(seg);
         (0..n).map(|r| mine.read_u64(8 * r)).sum()

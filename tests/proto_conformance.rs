@@ -6,7 +6,7 @@
 //! message sequences (stage, destination, schedule message), so the
 //! model plane provably simulates the protocol the runtime executes.
 
-use armci_proto::SendRecord;
+use armci_proto::{HierMsg, HierRecord, SendRecord};
 use armci_repro::prelude::*;
 
 /// Deterministic per-rank put schedule: a few counted puts at seeded
@@ -85,4 +85,169 @@ fn trace_is_seed_invariant_on_the_runtime() {
     let a = emulator_logs(6, 1);
     let b = emulator_logs(6, 999);
     assert_eq!(a, b);
+}
+
+// ---- Group-scoped conformance -------------------------------------------
+
+/// Seeded puts restricted to the members of a group (so the group fence
+/// and the per-source op counts see member traffic only).
+fn seeded_member_puts(a: &mut Armci, seg: SegId, members: &[usize], seed: u64) {
+    let mut x = seed ^ (a.rank() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for _ in 0..(1 + a.rank() % 3) {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let dst = members[((x >> 33) as usize) % members.len()];
+        a.put_u64(GlobalAddr::new(ProcId(dst as u32), seg, 8 * a.rank()), x);
+    }
+}
+
+/// Per-member flat group-barrier trace (indexed by group rank) from
+/// either in-process runtime (`net` selects netfab loopback).
+fn group_logs(n: u32, members: &'static [usize], seed: u64, net: bool) -> Vec<Vec<SendRecord>> {
+    let cfg = ArmciCfg::flat(n, LatencyModel::zero());
+    let body = move |a: &mut Armci| {
+        let seg = a.malloc(8 * a.nprocs());
+        if !members.contains(&a.rank()) {
+            a.barrier();
+            return None;
+        }
+        let g = a.group(members);
+        seeded_member_puts(a, seg, members, seed);
+        a.barrier_group(&g);
+        let log = a.take_barrier_log();
+        a.barrier();
+        Some(log)
+    };
+    let per_rank = if net {
+        armci_repro::armci_core::run_cluster_net_loopback(cfg, body)
+    } else {
+        armci_repro::armci_core::run_cluster(cfg, body)
+    };
+    members.iter().map(|&m| per_rank[m].clone().expect("member produced no log")).collect()
+}
+
+/// The flat group barrier's engine schedule depends only on (group size,
+/// group rank): a subset group's trace is message-identical to the
+/// simulator's whole-world trace at the group's size — including a
+/// non-power-of-two 5-of-8 subset.
+#[test]
+fn group_barrier_trace_identical_emulator_vs_simnet() {
+    for (members, seed) in [(&[1usize, 3, 4, 6][..], 13u64), (&[0, 2, 3, 5, 7][..], 29)] {
+        let emu = group_logs(8, members, seed, false);
+        let sim = simnet_logs(members.len());
+        for g_rank in 0..members.len() {
+            assert_eq!(
+                emu[g_rank], sim[g_rank],
+                "members={members:?} group-rank={g_rank}: group runtime and simulator engines diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn group_barrier_trace_identical_netfab_vs_simnet() {
+    let members: &[usize] = &[0, 2, 3];
+    let net = group_logs(4, members, 19, true);
+    let sim = simnet_logs(members.len());
+    for g_rank in 0..members.len() {
+        assert_eq!(net[g_rank], sim[g_rank], "group-rank={g_rank}: netfab group and simulator engines diverged");
+    }
+}
+
+/// Two overlapping groups barrier back to back; each group's trace is
+/// identical to the simulator trace at that group's size, and the
+/// overlap (ranks in both) does not perturb either schedule.
+#[test]
+fn overlapping_group_traces_each_match_simnet() {
+    let g1_m: &[usize] = &[0, 1, 2, 3, 4];
+    let g2_m: &[usize] = &[3, 4, 5];
+    let logs = armci_repro::armci_core::run_cluster(ArmciCfg::flat(6, LatencyModel::zero()), move |a| {
+        let seg = a.malloc(8 * a.nprocs());
+        let g1 = g1_m.contains(&a.rank()).then(|| a.group(g1_m));
+        let g2 = g2_m.contains(&a.rank()).then(|| a.group(g2_m));
+        let l1 = g1.map(|g| {
+            seeded_member_puts(a, seg, g1_m, 3);
+            a.barrier_group(&g);
+            a.take_barrier_log()
+        });
+        let l2 = g2.map(|g| {
+            a.barrier_group(&g);
+            a.take_barrier_log()
+        });
+        a.barrier();
+        (l1, l2)
+    });
+    let sim1 = simnet_logs(g1_m.len());
+    let sim2 = simnet_logs(g2_m.len());
+    for (g_rank, &m) in g1_m.iter().enumerate() {
+        assert_eq!(logs[m].0.as_ref().unwrap(), &sim1[g_rank], "g1 rank {g_rank}");
+    }
+    for (g_rank, &m) in g2_m.iter().enumerate() {
+        assert_eq!(logs[m].1.as_ref().unwrap(), &sim2[g_rank], "g2 rank {g_rank}");
+    }
+}
+
+// ---- Hierarchical conformance -------------------------------------------
+
+/// Per-rank (domains, hier log) from an SMP cluster with hierarchical
+/// collectives on, via the emulator or netfab loopback.
+fn hier_logs(nodes: u32, ppn: u32, net: bool) -> Vec<(Vec<Vec<usize>>, Vec<HierRecord>)> {
+    let cfg = ArmciCfg { nodes, procs_per_node: ppn, latency: LatencyModel::zero(), ..Default::default() }
+        .with_hier_collectives(true);
+    let body = |a: &mut Armci| {
+        let members: Vec<usize> = (0..a.nprocs()).collect();
+        let g = a.group(&members);
+        let domains = g.domains().expect("hier_collectives on").to_vec();
+        a.barrier_group(&g);
+        let log = a.take_hier_log();
+        a.barrier();
+        (domains, log)
+    };
+    if net {
+        armci_repro::armci_core::run_cluster_net_loopback(cfg, body)
+    } else {
+        armci_repro::armci_core::run_cluster(cfg, body)
+    }
+}
+
+/// The hierarchical barrier's schedule — counter legs and leader
+/// exchange alike — is identical whether the engine is driven by the
+/// emulator runtime or by the simulator replaying the same domain
+/// partition; leaders send exactly `log2(domains)` exchange messages.
+#[test]
+fn hier_barrier_trace_identical_emulator_vs_simnet() {
+    for (nodes, ppn) in [(2u32, 2u32), (4, 2), (4, 3)] {
+        let per_rank = hier_logs(nodes, ppn, false);
+        let domains = per_rank[0].0.clone();
+        assert_eq!(domains.len(), nodes as usize, "domains are the node partition");
+        let (_, sim) = armci_repro::armci_simnet::protocols::sync::simulate_hier_barrier_logged(
+            &domains,
+            armci_repro::armci_simnet::NetModel::myrinet_2000(),
+        );
+        let rounds = (nodes as usize).ilog2() as usize;
+        for (rank, (doms, log)) in per_rank.iter().enumerate() {
+            assert_eq!(doms, &domains, "rank {rank}: divergent domain partition");
+            assert_eq!(log, &sim[rank], "nodes={nodes} ppn={ppn} rank={rank}: hier engines diverged");
+            let xchg = log.iter().filter(|r| matches!(r.msg, HierMsg::Xchg(_))).count();
+            let is_leader = domains.iter().any(|d| d[0] == rank);
+            if is_leader {
+                assert_eq!(xchg, rounds, "leader exchange rounds must be log2(nodes)");
+            } else {
+                assert_eq!(xchg, 0, "non-leaders never exchange");
+            }
+        }
+    }
+}
+
+#[test]
+fn hier_barrier_trace_identical_netfab_vs_simnet() {
+    let per_rank = hier_logs(2, 2, true);
+    let domains = per_rank[0].0.clone();
+    let (_, sim) = armci_repro::armci_simnet::protocols::sync::simulate_hier_barrier_logged(
+        &domains,
+        armci_repro::armci_simnet::NetModel::myrinet_2000(),
+    );
+    for (rank, (doms, log)) in per_rank.iter().enumerate() {
+        assert_eq!(doms, &domains);
+        assert_eq!(log, &sim[rank], "rank={rank}: netfab and simulator hier engines diverged");
+    }
 }
