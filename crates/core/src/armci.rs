@@ -9,14 +9,15 @@ use std::time::{Duration, Instant};
 use armci_msglib::{allreduce_tag, barrier_bx_tag, CommError, Group, P2p};
 use armci_msglib::{Reader, Writer};
 use armci_proto::{
-    BarrierAction, BarrierEvent, CombinedBarrier, FenceEngine, HierRecord, SendRecord, SeqConfirm, STAGE_ALLREDUCE,
+    BarrierAction, BarrierEvent, CombinedBarrier, FenceEngine, HierRecord, MemberEvent, Membership, MembershipView,
+    SendRecord, SeqConfirm, STAGE_ALLREDUCE,
 };
 use armci_transport::wait::spin_until_deadline;
 use armci_transport::{
     Body, BodyPool, Endpoint, Mailbox, MemoryRegistry, Msg, NodeId, ProcId, SegId, Segment, Tag, Topology,
 };
 
-use crate::config::{AckMode, LockAlgo};
+use crate::config::{AckMode, LockAlgo, OnPeerLoss};
 use crate::errors::ArmciError;
 use crate::gptr::GlobalAddr;
 use crate::layout;
@@ -112,6 +113,17 @@ pub struct Armci {
     /// reclaimed abandons its stale release instead of corrupting the
     /// queue — the SIGMOD one-sided-CAS guideline.
     pub(crate) mcs_lease_epoch_seen: u64,
+    /// Epoch-stamped cluster membership (`armci_proto::Membership`):
+    /// confirmed transport-level losses are folded in as evictions, so
+    /// `PeerLost` errors carry the view epoch and degraded-mode callers
+    /// can shrink groups to the survivor set.
+    pub(crate) membership: Membership,
+    /// Reaction to a confirmed peer death (`ArmciCfg::on_peer_loss`):
+    /// `Abort` keeps the historical byte-identical error semantics,
+    /// `Degrade` lets in-flight barrier-stage exchanges fold the dead
+    /// rank out and survivors rebuild groups via
+    /// [`Armci::try_shrink_group`].
+    pub(crate) on_peer_loss: OnPeerLoss,
     pub(crate) stats: Stats,
     /// Reusable request-encode buffers: every outgoing request is framed
     /// into a pooled (or inline) [`Body`], so steady-state sends do not
@@ -237,9 +249,58 @@ impl Armci {
         Instant::now() + self.op_timeout
     }
 
-    /// First peer node the transport knows to be dead, if any.
-    fn lost_peer(&mut self) -> Option<NodeId> {
-        self.mb.lost_peers().into_iter().next()
+    /// First peer node the transport knows to be dead, if any, with the
+    /// membership epoch after its ranks were evicted.
+    fn lost_peer(&mut self) -> Option<(NodeId, u64)> {
+        let node = self.mb.lost_peers().into_iter().next()?;
+        Some((node, self.observe_loss(node)))
+    }
+
+    /// Fold a confirmed node death into the membership engine: every rank
+    /// hosted on `node` is evicted (idempotent — re-observing a known
+    /// loss emits nothing). In degraded mode the dead node's fence
+    /// counters are also forgotten, so later fences do not wait on
+    /// confirmations that can never arrive. Returns the view epoch.
+    pub(crate) fn observe_loss(&mut self, node: NodeId) -> u64 {
+        let mut acts = Vec::new();
+        for r in 0..self.nprocs() {
+            if self.mb.topology().node_of(ProcId(r as u32)) == node {
+                self.membership.poll(MemberEvent::Dead { rank: r }, &mut acts);
+            }
+        }
+        if !acts.is_empty() && self.on_peer_loss == OnPeerLoss::Degrade {
+            self.fence.forget_node(node.idx());
+        }
+        self.membership.epoch()
+    }
+
+    /// Deterministically inject a membership eviction for every rank
+    /// hosted on `node`, exactly as if the failure detector had confirmed
+    /// the node dead (idempotent — re-evicting a known-dead node changes
+    /// nothing). Returns the resulting view epoch.
+    ///
+    /// Exposed for the cross-harness conformance suite and fault drills:
+    /// the emulator backend never loses peers, so deterministic eviction
+    /// scenarios inject the event instead of scripting a real death. The
+    /// evicted node's processes are *not* informed — membership is a
+    /// local view, converged only because every survivor observes the
+    /// same confirmed losses.
+    pub fn evict_node(&mut self, node: NodeId) -> u64 {
+        self.observe_loss(node)
+    }
+
+    /// Snapshot the epoch-stamped membership view: which world ranks this
+    /// process believes alive, and how many evictions produced the view.
+    /// Views converge across survivors (epoch = eviction count, and node
+    /// death is observed by every survivor), so two live ranks holding
+    /// the same epoch hold the same alive set.
+    pub fn membership_view(&mut self) -> MembershipView {
+        // Fold in any losses the transport knows about but no blocking
+        // wait has surfaced yet.
+        for node in self.mb.lost_peers() {
+            self.observe_loss(node);
+        }
+        self.membership.view()
     }
 
     /// Wait for a message matching `pred`, giving up at `deadline` or as
@@ -259,8 +320,8 @@ impl Armci {
             match self.mb.recv_match_deadline(&mut pred, until) {
                 Ok(Some(m)) => return Ok(m),
                 Ok(None) => {
-                    if let Some(peer) = self.lost_peer() {
-                        return Err(ArmciError::PeerLost { peer });
+                    if let Some((peer, epoch)) = self.lost_peer() {
+                        return Err(ArmciError::PeerLost { peer, epoch });
                     }
                     if Instant::now() >= deadline {
                         return Err(ArmciError::Timeout { op });
@@ -293,8 +354,8 @@ impl Armci {
             if spin_until_deadline(&mut cond, until) {
                 return Ok(());
             }
-            if let Some(peer) = self.lost_peer() {
-                return Err(ArmciError::PeerLost { peer });
+            if let Some((peer, epoch)) = self.lost_peer() {
+                return Err(ArmciError::PeerLost { peer, epoch });
             }
             if Instant::now() >= deadline {
                 return Err(ArmciError::Timeout { op });
@@ -302,11 +363,16 @@ impl Armci {
         }
     }
 
-    /// Map a collective-layer error into the ARMCI taxonomy.
-    pub(crate) fn from_comm(op: &'static str, e: CommError) -> ArmciError {
+    /// Map a collective-layer error into the ARMCI taxonomy. `&mut self`
+    /// so a peer loss picks up the membership epoch (the collective layer
+    /// reports the node; membership stamps the view).
+    pub(crate) fn map_comm_err(&mut self, op: &'static str, e: CommError) -> ArmciError {
         match e {
             CommError::Timeout => ArmciError::Timeout { op },
-            CommError::PeerLost(peer) => ArmciError::PeerLost { peer },
+            CommError::PeerLost(peer) => {
+                let epoch = self.observe_loss(peer);
+                ArmciError::PeerLost { peer, epoch }
+            }
             CommError::Disconnected => ArmciError::TransportDown { op },
         }
     }
@@ -430,7 +496,8 @@ impl Armci {
         if !self.is_local(dst.proc) && self.shm_route(dst.proc, dst.seg).is_none() {
             let node = self.server_of(dst.proc);
             if self.mb.peer_is_lost(node) {
-                return Err(ArmciError::PeerLost { peer: node });
+                let epoch = self.observe_loss(node);
+                return Err(ArmciError::PeerLost { peer: node, epoch });
             }
         }
         self.put(dst, data);
@@ -1132,7 +1199,26 @@ impl Armci {
             }
             let (stage, from, kind) = eng.expected_recv().expect("blocking barrier driver stalled");
             let tag = if stage == STAGE_ALLREDUCE { ar_tag } else { bx_tag };
-            let body = self.recv_from_deadline(from, tag, deadline).map_err(|e| Self::from_comm("barrier", e))?;
+            let body = match self.recv_from_deadline(from, tag, deadline) {
+                Ok(b) => b,
+                Err(CommError::PeerLost(peer)) if self.on_peer_loss == OnPeerLoss::Degrade => {
+                    // Degraded mode: fold the dead node's ranks out of the
+                    // in-flight engine when sound (barrier stage), else
+                    // abort with the epoch so survivors can shrink+retry.
+                    let epoch = self.observe_loss(peer);
+                    let dead: Vec<usize> =
+                        (0..self.nprocs()).filter(|&r| self.mb.topology().node_of(ProcId(r as u32)) == peer).collect();
+                    let mut folded = true;
+                    for r in dead {
+                        folded &= eng.evict(r, &mut acts);
+                    }
+                    if !folded {
+                        return Err(ArmciError::PeerLost { peer, epoch });
+                    }
+                    continue;
+                }
+                Err(e) => return Err(self.map_comm_err("barrier", e)),
+            };
             scratch.clear();
             if stage == STAGE_ALLREDUCE {
                 let mut r = Reader::new(&body);
@@ -1190,7 +1276,7 @@ impl P2p for Armci {
         match self.recv_wait("collective", deadline, |m| m.src == want_src && m.tag == want_tag) {
             Ok(m) => Ok(m.body.into_vec()),
             Err(ArmciError::Timeout { .. }) => Err(CommError::Timeout),
-            Err(ArmciError::PeerLost { peer }) => Err(CommError::PeerLost(peer)),
+            Err(ArmciError::PeerLost { peer, .. }) => Err(CommError::PeerLost(peer)),
             Err(_) => Err(CommError::Disconnected),
         }
     }

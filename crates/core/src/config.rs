@@ -4,7 +4,7 @@
 
 use std::time::Duration;
 
-use armci_netfab::{FaultPlan, IoDriver};
+use armci_netfab::{FaultPlan, IoDriver, RetryPolicy};
 use armci_transport::LatencyModel;
 use serde::{Deserialize, Error, Serialize, Value};
 
@@ -68,6 +68,24 @@ pub enum LockAlgo {
     /// (Fu/Tzeng-style). Usurpers may overtake queued waiters, so
     /// ordering is no longer strictly FIFO.
     McsSwap,
+}
+
+/// What the synchronization layer does when membership confirms a peer
+/// death (see [`ArmciCfg::on_peer_loss`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum OnPeerLoss {
+    /// Surface [`crate::ArmciError::PeerLost`] from every affected
+    /// operation and keep doing so — the cluster is considered broken.
+    /// The historical behavior, and the default: wire traffic and error
+    /// semantics are byte-identical to pre-membership revisions.
+    #[default]
+    Abort,
+    /// Degraded mode: in-flight collectives still abort deterministically
+    /// with `PeerLost { epoch }` (or fold the dead rank out of a
+    /// barrier-stage exchange when that is sound), but survivors may then
+    /// call [`crate::Armci::try_shrink_group`] to rebuild groups over the
+    /// epoch-stamped survivor view and continue.
+    Degrade,
 }
 
 /// Configuration for [`crate::runtime::run_cluster`].
@@ -163,6 +181,17 @@ pub struct ArmciCfg {
     /// rounds instead of `log2(ranks)`. When off (the default), group
     /// barriers run the flat combined protocol over all members.
     pub hier_collectives: bool,
+    /// Reaction to a confirmed peer death: [`OnPeerLoss::Abort`] (the
+    /// default — every affected operation errors forever, historical
+    /// semantics) or [`OnPeerLoss::Degrade`] (survivors converge on an
+    /// epoch-stamped membership view and may shrink groups to continue
+    /// over the survivor set).
+    pub on_peer_loss: OnPeerLoss,
+    /// Unified retry policy for transient-failure loops: rendezvous
+    /// dials, node-process spawn rechecks, and lock-lease reclamation
+    /// retries all derive their attempt budgets and backoff from this
+    /// one policy instead of scattered ad-hoc constants.
+    pub retry: RetryPolicy,
 }
 
 impl Default for ArmciCfg {
@@ -189,6 +218,8 @@ impl Default for ArmciCfg {
             shm_plane: None,
             shm_dir: None,
             hier_collectives: false,
+            on_peer_loss: OnPeerLoss::Abort,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -318,6 +349,18 @@ impl ArmciCfg {
         self
     }
 
+    /// Set the peer-loss reaction (see [`ArmciCfg::on_peer_loss`]).
+    pub fn with_on_peer_loss(mut self, p: OnPeerLoss) -> Self {
+        self.on_peer_loss = p;
+        self
+    }
+
+    /// Set the unified retry policy (see [`ArmciCfg::retry`]).
+    pub fn with_retry(mut self, r: RetryPolicy) -> Self {
+        self.retry = r;
+        self
+    }
+
     /// Resolve the effective shm-plane switch: an explicit
     /// [`ArmciCfg::shm_plane`] wins, else the `ARMCI_SHM_PLANE`
     /// environment variable (`on`/`1`/`true` enable, anything else —
@@ -364,6 +407,9 @@ impl ArmciCfg {
         }
         if self.recovery && self.replay_window == 0 {
             return Err(ConfigError::ZeroReplayWindow);
+        }
+        if self.retry.attempts == 0 {
+            return Err(ConfigError::ZeroRetryAttempts);
         }
         if let Some(dir) = &self.shm_dir {
             if dir.is_empty() {
@@ -530,6 +576,18 @@ impl ArmciCfgBuilder {
         self
     }
 
+    /// Set the peer-loss reaction.
+    pub fn on_peer_loss(mut self, p: OnPeerLoss) -> Self {
+        self.cfg.on_peer_loss = p;
+        self
+    }
+
+    /// Set the unified retry policy (must allow at least one attempt).
+    pub fn retry(mut self, r: RetryPolicy) -> Self {
+        self.cfg.retry = r;
+        self
+    }
+
     /// Override the shm-plane base directory (must be a nonempty absolute
     /// path, and is rejected when the plane is explicitly disabled).
     pub fn shm_dir(mut self, dir: Option<String>) -> Self {
@@ -606,6 +664,31 @@ impl Deserialize for LockAlgo {
     }
 }
 
+impl OnPeerLoss {
+    fn name(self) -> &'static str {
+        match self {
+            OnPeerLoss::Abort => "abort",
+            OnPeerLoss::Degrade => "degrade",
+        }
+    }
+}
+
+impl Serialize for OnPeerLoss {
+    fn to_value(&self) -> Value {
+        Value::Str(self.name().to_string())
+    }
+}
+
+impl Deserialize for OnPeerLoss {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v.as_str()? {
+            "abort" => Ok(OnPeerLoss::Abort),
+            "degrade" => Ok(OnPeerLoss::Degrade),
+            other => Err(Error::new(format!("unknown peer-loss policy {other:?}"))),
+        }
+    }
+}
+
 impl Serialize for ArmciCfg {
     fn to_value(&self) -> Value {
         Value::map(vec![
@@ -637,6 +720,8 @@ impl Serialize for ArmciCfg {
             ),
             ("shm_dir", self.shm_dir.to_value()),
             ("hier_collectives", Value::Bool(self.hier_collectives)),
+            ("on_peer_loss", self.on_peer_loss.to_value()),
+            ("retry", self.retry.to_value()),
         ])
     }
 }
@@ -675,6 +760,8 @@ impl Deserialize for ArmciCfg {
             },
             shm_dir: Option::<String>::from_value(v.field("shm_dir")?)?,
             hier_collectives: bool::from_value(v.field("hier_collectives")?)?,
+            on_peer_loss: OnPeerLoss::from_value(v.field("on_peer_loss")?)?,
+            retry: RetryPolicy::from_value(v.field("retry")?)?,
         })
     }
 }
@@ -728,6 +815,13 @@ mod tests {
             shm_plane: Some(true),
             shm_dir: Some("/dev/shm/armci-test".to_string()),
             hier_collectives: true,
+            on_peer_loss: OnPeerLoss::Degrade,
+            retry: RetryPolicy {
+                attempts: 5,
+                base: Duration::from_millis(3),
+                cap: Duration::from_millis(96),
+                jitter: true,
+            },
         };
         let json = serde::to_string(&cfg);
         let back: ArmciCfg = serde::from_str(&json).unwrap();
@@ -752,6 +846,8 @@ mod tests {
         assert_eq!(back.shm_plane, Some(true));
         assert_eq!(back.shm_dir.as_deref(), Some("/dev/shm/armci-test"));
         assert!(back.hier_collectives);
+        assert_eq!(back.on_peer_loss, OnPeerLoss::Degrade);
+        assert_eq!(back.retry, cfg.retry);
 
         // The default (`None` = resolve via env/platform) serializes as
         // "auto" and survives the trip too.
@@ -849,6 +945,22 @@ mod tests {
             ArmciCfg::builder().recovery(true).replay_window(0).build().unwrap_err(),
             ConfigError::ZeroReplayWindow
         );
+        // A retry policy with no attempts can never succeed.
+        assert_eq!(
+            ArmciCfg::builder().retry(RetryPolicy { attempts: 0, ..Default::default() }).build().unwrap_err(),
+            ConfigError::ZeroRetryAttempts
+        );
+    }
+
+    #[test]
+    fn on_peer_loss_roundtrips_and_rejects_junk() {
+        for p in [OnPeerLoss::Abort, OnPeerLoss::Degrade] {
+            let cfg = ArmciCfg::default().with_on_peer_loss(p);
+            let back: ArmciCfg = serde::from_str(&serde::to_string(&cfg)).unwrap();
+            assert_eq!(back.on_peer_loss, p);
+        }
+        assert!(serde::from_str::<OnPeerLoss>("\"limp\"").is_err());
+        assert_eq!(OnPeerLoss::default(), OnPeerLoss::Abort);
     }
 
     #[test]

@@ -28,6 +28,11 @@ pub enum ArmciError {
     PeerLost {
         /// The node whose link failed.
         peer: NodeId,
+        /// The membership epoch after this process evicted the peer's
+        /// ranks (eviction count — see `armci_proto::MembershipView`).
+        /// Zero when membership is not tracking the loss (emulator
+        /// stubs, transport-level detection before eviction).
+        epoch: u64,
     },
     /// The local transport is torn down (every channel disconnected) —
     /// typically an endpoint used after shutdown.
@@ -47,7 +52,7 @@ impl fmt::Display for ArmciError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ArmciError::Timeout { op } => write!(f, "{op} timed out"),
-            ArmciError::PeerLost { peer } => write!(f, "peer {peer} lost"),
+            ArmciError::PeerLost { peer, .. } => write!(f, "peer {peer} lost"),
             ArmciError::TransportDown { op } => write!(f, "transport down during {op}"),
             ArmciError::Boot { detail } => write!(f, "bootstrap failed: {detail}"),
         }
@@ -84,6 +89,9 @@ pub enum ConfigError {
         /// What was wrong with it.
         detail: String,
     },
+    /// The unified retry policy allows zero attempts — no retried
+    /// operation could ever run, let alone succeed.
+    ZeroRetryAttempts,
 }
 
 impl fmt::Display for ConfigError {
@@ -99,6 +107,7 @@ impl fmt::Display for ConfigError {
                 write!(f, "replay_window must be nonzero when recovery is enabled")
             }
             ConfigError::BadShmDir { detail } => write!(f, "bad shm plane settings: {detail}"),
+            ConfigError::ZeroRetryAttempts => write!(f, "retry.attempts must be at least 1"),
         }
     }
 }

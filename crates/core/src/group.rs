@@ -28,7 +28,7 @@
 use std::cell::Cell;
 use std::sync::Arc;
 
-use armci_msglib::{allreduce_tag, barrier_bx_tag, hier_bx_tag, Group, P2p};
+use armci_msglib::{allreduce_tag, barrier_bx_tag, hier_bx_tag, CommError, Group, P2p};
 use armci_proto::{
     BarrierAction, BarrierEvent, CombinedBarrier, HierBarrier, HierEvent, HierExpect, HierMsg, HierRecord, XchgMsg,
     STAGE_ALLREDUCE,
@@ -36,7 +36,7 @@ use armci_proto::{
 use armci_transport::{NodeId, ProcId, SegId, Segment};
 
 use crate::armci::{unwrap_op, Armci};
-use crate::config::AckMode;
+use crate::config::{AckMode, OnPeerLoss};
 use crate::errors::ArmciError;
 use crate::layout;
 
@@ -135,6 +135,34 @@ impl Armci {
         let me_g = msg.group_rank(self.rank()).expect("group() is collective among the members only");
         let hier = self.hier_collectives.then(|| self.form_hier(&msg, me_g));
         ProcGroup { msg, hier }
+    }
+
+    /// Shrink a group to its survivors under this process's current
+    /// membership view (see [`Armci::membership_view`]): the members of
+    /// `g` still alive, in `g`'s order, with the shared-memory hierarchy
+    /// re-formed from scratch over the survivors. **Collective among the
+    /// survivors**: after an eviction every surviving member must call
+    /// with the same (converged) view — survivor views agree because the
+    /// alive set is a pure function of the evicted set.
+    ///
+    /// Group-scoped fence accounting needs no rebuild here: eviction
+    /// under [`crate::OnPeerLoss::Degrade`] already folds the dead node
+    /// out of the fence counters (`FenceEngine::forget_node`), and each
+    /// group barrier reads its member vector fresh. Hierarchical groups
+    /// claim *fresh* domain counter slots — slots owned by old groups are
+    /// never reused, so a dead rank's stale counters cannot alias a
+    /// survivor's (retired slots are reclaimed only at namespace GC).
+    pub fn shrink_group(&mut self, g: &ProcGroup) -> ProcGroup {
+        unwrap_op(self.try_shrink_group(g))
+    }
+
+    /// Fallible [`Armci::shrink_group`].
+    pub fn try_shrink_group(&mut self, g: &ProcGroup) -> Result<ProcGroup, ArmciError> {
+        let view = self.membership_view();
+        let msg = g.msg.shrink(&view);
+        let me_g = msg.group_rank(self.rank()).expect("shrink_group caller evicted itself from its own view");
+        let hier = self.hier_collectives.then(|| self.form_hier(&msg, me_g));
+        Ok(ProcGroup { msg, hier })
     }
 
     /// Form the node-locality hierarchy for a new group (see module docs).
@@ -312,8 +340,28 @@ impl Armci {
             let (stage, from, kind) = eng.expected_recv().expect("blocking group barrier driver stalled");
             let tag = if stage == STAGE_ALLREDUCE { ar_tag } else { bx_tag };
             let world_from = g.msg.world_rank(from);
-            let body =
-                self.recv_from_deadline(world_from, tag, deadline).map_err(|e| Self::from_comm("group_barrier", e))?;
+            let body = match self.recv_from_deadline(world_from, tag, deadline) {
+                Ok(b) => b,
+                Err(CommError::PeerLost(peer)) if self.on_peer_loss == OnPeerLoss::Degrade => {
+                    // Fold the dead node's member ranks out of the
+                    // schedule when the stage allows it (closing barrier
+                    // stage); value-carrying stages must abort — the dead
+                    // members' contributions are unrecoverable.
+                    let epoch = self.observe_loss(peer);
+                    let dead: Vec<usize> = (0..members.len())
+                        .filter(|&gr| self.topology().node_of(ProcId(members[gr] as u32)) == peer)
+                        .collect();
+                    let mut folded = true;
+                    for gr in dead {
+                        folded &= eng.evict(gr, &mut acts);
+                    }
+                    if !folded {
+                        return Err(ArmciError::PeerLost { peer, epoch });
+                    }
+                    continue;
+                }
+                Err(e) => return Err(self.map_comm_err("group_barrier", e)),
+            };
             scratch.clear();
             if stage == STAGE_ALLREDUCE {
                 let mut r = armci_msglib::Reader::new(&body);
@@ -393,9 +441,10 @@ impl Armci {
                 }
                 HierExpect::Xchg(from_g, _) => {
                     let world_from = g.msg.world_rank(from_g);
-                    let body = self
-                        .recv_from_deadline(world_from, tag, deadline)
-                        .map_err(|e| Self::from_comm("group_barrier", e))?;
+                    let body = match self.recv_from_deadline(world_from, tag, deadline) {
+                        Ok(b) => b,
+                        Err(e) => return Err(self.map_comm_err("group_barrier", e)),
+                    };
                     eng.poll(HierEvent::Recv(HierMsg::Xchg(decode_xchg(&body))), &mut acts);
                 }
                 HierExpect::Release(_) => {

@@ -58,9 +58,9 @@ pub mod strided;
 mod try_error_paths;
 
 pub use armci::{Armci, LockId};
-pub use armci_netfab::{FaultAction, FaultPlan, FaultSpec, IoDriver};
+pub use armci_netfab::{FaultAction, FaultPlan, FaultSpec, IoDriver, RetryPolicy};
 pub use chaos::{chaos_plan, chaos_workload, ChaosError, ChaosRng};
-pub use config::{AckMode, ArmciCfg, ArmciCfgBuilder, LockAlgo};
+pub use config::{AckMode, ArmciCfg, ArmciCfgBuilder, LockAlgo, OnPeerLoss};
 pub use errors::{ArmciError, ConfigError};
 pub use gptr::{GlobalAddr, PackedPtr};
 pub use group::ProcGroup;

@@ -498,8 +498,12 @@ impl Armci {
                     eng.poll(ReclaimEvent::Holder(holder), &mut acts);
                 }
                 ReclaimAction::CheckAlive(rank) => {
+                    // Both failure sources count: a transport-level lost
+                    // link and a membership eviction already recorded by
+                    // this process (the eviction may predate this call,
+                    // e.g. during a post-eviction lease sweep).
                     let holder_node = self.topology().node_of(ProcId(rank as u32));
-                    let alive = !self.mb.peer_is_lost(holder_node);
+                    let alive = !self.mb.peer_is_lost(holder_node) && self.membership.is_alive(rank as usize);
                     eng.poll(ReclaimEvent::AliveResult(alive), &mut acts);
                 }
                 ReclaimAction::ReadEpoch => {
@@ -524,6 +528,44 @@ impl Armci {
             i += 1;
         }
         Ok(won)
+    }
+
+    /// Sweep every *reachable* MCS lock slot for a lease still recorded
+    /// to an evicted rank, reclaiming each such lock
+    /// ([`Armci::try_reclaim_mcs`]). Returns how many locks this process
+    /// reclaimed (other survivors may win some of the epoch races —
+    /// those count for the winner, not for us; either way the slot ends
+    /// up clean).
+    ///
+    /// Reachable means slots hosted by *surviving* owners: a slot in an
+    /// evicted rank's own sync segment dies with that rank — no one can
+    /// name it again (`try_lock` toward a dead owner fails with
+    /// `PeerLost`), and its backing file is swept by the shm-plane
+    /// namespace GC. The same holds for hierarchical-barrier counter
+    /// slots led by an evicted rank: shrunk groups claim fresh slots in
+    /// survivors' segments ([`Armci::shrink_group`]), so dead leaders'
+    /// counters need no reclamation, only file-level GC.
+    ///
+    /// Call after observing an eviction (e.g. when a `try_lock` fails
+    /// with `PeerLost` under `OnPeerLoss::Degrade`) to stop dead holders
+    /// from wedging locks until each is individually contended.
+    pub fn try_reclaim_dead_leases(&mut self) -> Result<usize, ArmciError> {
+        let view = self.membership_view();
+        let mut reclaimed = 0;
+        for owner in 0..self.nprocs() {
+            if !view.alive.contains(owner) {
+                continue;
+            }
+            for idx in 0..self.locks_per_proc {
+                let id = LockId { owner: ProcId(owner as u32), idx };
+                let holder = self.try_rmw(self.mcs_lease_holder_addr(id), RmwOp::FetchAddU64(0))?[0];
+                let dead = holder != 0 && !view.alive.contains(holder as usize - 1);
+                if dead && self.try_reclaim_mcs(id)? {
+                    reclaimed += 1;
+                }
+            }
+        }
+        Ok(reclaimed)
     }
 
     // ------------------------------------------------------------------

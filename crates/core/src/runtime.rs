@@ -216,6 +216,8 @@ where
         nic_assist: cfg.nic_assist,
         my_sync,
         fence: armci_proto::FenceEngine::new(cfg.ack_mode.fence_mode(), nprocs, nnodes),
+        membership: armci_proto::Membership::new(nprocs, p.0 as usize, cfg.suspect_after.as_millis() as u64),
+        on_peer_loss: cfg.on_peer_loss,
         last_barrier_log: Vec::new(),
         hier_collectives: cfg.hier_collectives,
         last_hier_log: Vec::new(),
@@ -425,7 +427,7 @@ fn net_opts_for(cfg: &ArmciCfg, process_faults: bool) -> armci_netfab::NetOpts {
         io_driver: cfg.io_driver,
         faults: cfg.faults.clone(),
         process_faults,
-        boot: armci_netfab::BootOpts { deadline: cfg.boot_timeout, ..Default::default() },
+        boot: armci_netfab::BootOpts { dial: cfg.retry, deadline: cfg.boot_timeout, ..Default::default() },
         session: session_cfg_of(cfg),
         ..Default::default()
     }

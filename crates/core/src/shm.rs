@@ -26,6 +26,7 @@ use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use armci_netfab::RetryPolicy;
 use armci_shm_plane::{base_dir, namespace_token, ShmPlane, ShmSegment};
 use armci_transport::{ProcId, SegId, Segment};
 use parking_lot::RwLock;
@@ -44,6 +45,9 @@ pub(crate) struct ShmDataPlane {
     plane: ShmPlane,
     routes: RwLock<RouteMap>,
     map_timeout: Duration,
+    /// Paces the missing-file retry in `map_peer` (unified policy; the
+    /// deadline still has the final word).
+    retry: RetryPolicy,
 }
 
 impl ShmDataPlane {
@@ -55,11 +59,19 @@ impl ShmDataPlane {
             return None;
         }
         let base = base_dir(cfg.shm_dir.as_deref());
+        // Crash-safe reclamation: before creating this run's namespace,
+        // sweep namespaces whose owning processes are all dead (segment
+        // files leaked by killed runs — see `armci_shm_plane::gc_stale`).
+        armci_shm_plane::gc_stale(&base);
         let plane = ShmPlane::new(&base, &namespace_token(rendezvous)).ok()?;
         Some(Arc::new(ShmDataPlane {
             plane,
             routes: RwLock::new(HashMap::new()),
             map_timeout: cfg.boot_timeout.min(MAP_RETRY_CAP),
+            // Rescale the policy to file-poll granularity: the segment
+            // file usually appears within a few ms, so the backoff starts
+            // at 1 ms and caps low enough to stay responsive.
+            retry: RetryPolicy { base: Duration::from_millis(1), cap: Duration::from_millis(10), ..cfg.retry },
         }))
     }
 
@@ -78,10 +90,15 @@ impl ShmDataPlane {
         if let Some(cached) = self.routes.read().get(&(proc, seg)) {
             return cached.clone();
         }
-        let mapped = self.plane.map_peer(proc.0, seg.0, Instant::now() + self.map_timeout).ok().map(|shm| {
-            let len = shm.len();
-            Arc::new(wrap(shm, len))
-        });
+        let deadline = Instant::now() + self.map_timeout;
+        // Pace the missing-file retry with the unified policy, seeded by
+        // the target so contending mappers spread deterministically.
+        let seed = u64::from(proc.0) << 32 | u64::from(seg.0);
+        let mapped =
+            self.plane.map_peer_paced(proc.0, seg.0, deadline, |a| self.retry.delay(a, seed)).ok().map(|shm| {
+                let len = shm.len();
+                Arc::new(wrap(shm, len))
+            });
         // A racing mapper may have inserted first; keep that one so every
         // caller agrees on the route (both mappings would be valid).
         self.routes.write().entry((proc, seg)).or_insert(mapped).clone()

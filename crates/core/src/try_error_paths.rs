@@ -124,6 +124,8 @@ fn stub_armci(mode: StubMode) -> Armci {
         nic_assist: false,
         my_sync,
         fence: armci_proto::FenceEngine::new(AckMode::Gm.fence_mode(), nprocs, nnodes),
+        membership: armci_proto::Membership::new(nprocs, 0, 1),
+        on_peer_loss: crate::config::OnPeerLoss::Abort,
         last_barrier_log: Vec::new(),
         hier_collectives: false,
         last_hier_log: Vec::new(),
@@ -187,7 +189,7 @@ fn silent_transport_times_out_every_blocking_op() {
 fn lost_peer_surfaces_peer_lost_from_every_blocking_op() {
     for_each_blocking_op(StubMode::LostPeer(NodeId(1)), |op, r| {
         assert!(
-            matches!(r, Err(ArmciError::PeerLost { peer: NodeId(1) })),
+            matches!(r, Err(ArmciError::PeerLost { peer: NodeId(1), .. })),
             "{op}: expected PeerLost(node 1), got {r:?}"
         );
     });
@@ -210,7 +212,7 @@ fn peer_lost_preempts_a_generous_deadline() {
     let t = Instant::now();
     let r = a.try_barrier();
     let elapsed = t.elapsed();
-    assert!(matches!(r, Err(ArmciError::PeerLost { peer: NodeId(1) })), "got {r:?}");
+    assert!(matches!(r, Err(ArmciError::PeerLost { peer: NodeId(1), .. })), "got {r:?}");
     assert!(elapsed < Duration::from_secs(5), "detection took {elapsed:?}, should be ~detect_slice");
 }
 

@@ -15,7 +15,7 @@ use std::time::{Duration, Instant};
 
 use armci_core::{
     chaos_plan, chaos_workload, run_cluster_net_loopback, ArmciCfg, ArmciError, ChaosError, FaultAction, FaultPlan,
-    FaultSpec, GlobalAddr, LockAlgo, LockId,
+    FaultSpec, GlobalAddr, LockAlgo, LockId, OnPeerLoss,
 };
 use armci_transport::{LatencyModel, ProcId};
 
@@ -244,6 +244,111 @@ fn node_kill_with_shm_plane_reclaims_lock() {
     assert!(out[1].is_err(), "killed rank must fail, got {:?}", out[1]);
     for rank in [0usize, 2] {
         assert!(out[rank].is_ok(), "surviving rank {rank} failed: {:?}", out[rank]);
+    }
+}
+
+/// Degraded-mode acceptance: a node kill under `OnPeerLoss::Degrade` must
+/// not strand the survivors — each one converges on the shrunk membership
+/// view (epoch bumped, dead rank evicted), rebuilds the world group over
+/// the survivor set, and completes a group barrier on it, all within
+/// twice the suspect window. Data plane correctness rides along: the
+/// survivors then exchange one-sided puts over the shrunk group and the
+/// FNV digest of each survivor's visible state must match a locally
+/// computed shadow model (the dead rank's slot stays out of the digest).
+#[test]
+fn node_kill_under_degrade_converges_and_completes_shrunk_barrier() {
+    let suspect_after = Duration::from_secs(1);
+    let budget = 2 * suspect_after;
+    let faults = FaultPlan::new().with(FaultSpec { node: 1, peer: 0, after_frames: 30, action: FaultAction::KillNode });
+    let cfg = ArmciCfg::builder()
+        .nodes(3)
+        .procs_per_node(1)
+        .latency(LatencyModel::zero())
+        .lock_algo(LockAlgo::Mcs)
+        .op_timeout(Duration::from_secs(2))
+        .recovery(true)
+        .heartbeat_interval(Duration::from_millis(25))
+        .suspect_after(suspect_after)
+        .on_peer_loss(OnPeerLoss::Degrade)
+        // The kill is driven by the doomed rank's put storm crossing the
+        // wire; pinned off so a shm CI leg cannot reroute it.
+        .shm_plane(Some(false))
+        .faults(faults)
+        .build()
+        .expect("valid config");
+
+    fn fnv(h: u64, w: u64) -> u64 {
+        (h ^ w).wrapping_mul(0x100_0000_01b3)
+    }
+
+    let out = run_cluster_net_loopback(cfg, move |a| {
+        let me = a.rank();
+        let my_val = SEED ^ (0xa5a5_0000 + me as u64);
+        a.try_barrier().map_err(ChaosError::Op)?;
+        let seg = a.malloc(24);
+        // Publish this rank's value in its own slot (node-local put).
+        a.put_u64(GlobalAddr::new(ProcId(me as u32), seg, 8 * me), my_val);
+        if me == 1 {
+            // Doomed rank: storm puts at rank 0 until the scripted kill.
+            let dst = GlobalAddr::new(ProcId(0), seg, 8);
+            for i in 0..10_000u64 {
+                a.try_put(dst, &i.to_le_bytes()).map_err(ChaosError::Op)?;
+                a.try_fence(ProcId(0)).map_err(ChaosError::Op)?;
+            }
+            return Err(ChaosError::Invariant("doomed rank outlived its kill".into()));
+        }
+        // Survivors: watch the failure detector fold the loss into the
+        // membership view. No collective traffic is needed — heartbeat
+        // silence alone must drive the eviction.
+        let start = Instant::now();
+        loop {
+            let view = a.membership_view();
+            if view.epoch > 0 && !view.alive.contains(1) {
+                break;
+            }
+            if start.elapsed() > suspect_after + Duration::from_secs(10) {
+                return Err(ChaosError::Invariant("survivor never converged on the eviction".into()));
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Rebuild the world group over the survivors and synchronize on
+        // it. `group()` is communication-free for flat groups, so the
+        // dead member's presence in the input list is harmless.
+        let world = a.group(&[0, 1, 2]);
+        let shrunk = a.try_shrink_group(&world).map_err(ChaosError::Op)?;
+        if shrunk.len() != 2 {
+            return Err(ChaosError::Invariant(format!("shrunk group has {} members, want 2", shrunk.len())));
+        }
+        a.try_barrier_group(&shrunk).map_err(ChaosError::Op)?;
+        let converged = start.elapsed();
+        // Degraded data plane: cross-put between the survivors, ordered
+        // by a second shrunk-group barrier (stage 2 counts only
+        // member-initiated puts, so the dead rank's storm cannot skew it).
+        let other = if me == 0 { 2usize } else { 0 };
+        a.try_put(GlobalAddr::new(ProcId(other as u32), seg, 8 * me), &my_val.to_le_bytes()).map_err(ChaosError::Op)?;
+        a.try_barrier_group(&shrunk).map_err(ChaosError::Op)?;
+        let mut digest = 0xcbf2_9ce4_8422_2325u64;
+        let mut shadow = digest;
+        for r in [0usize, 2] {
+            digest = fnv(digest, a.local_segment(seg).read_u64(8 * r));
+            shadow = fnv(shadow, SEED ^ (0xa5a5_0000 + r as u64));
+        }
+        if digest != shadow {
+            return Err(ChaosError::Invariant(format!("state digest {digest:#x} != shadow {shadow:#x}")));
+        }
+        Ok(converged)
+    });
+
+    assert_eq!(out.len(), 3);
+    assert!(out[1].is_err(), "killed rank must fail, got {:?}", out[1]);
+    for rank in [0usize, 2] {
+        match &out[rank] {
+            Ok(converged) => assert!(
+                *converged < budget,
+                "rank {rank} took {converged:?} to complete the shrunk-group barrier (budget {budget:?})"
+            ),
+            Err(e) => panic!("surviving rank {rank} failed: {e}"),
+        }
     }
 }
 

@@ -8,7 +8,8 @@
 
 use std::time::Duration;
 
-use armci_core::{ArmciCfg, FaultAction, FaultPlan, FaultSpec};
+use armci_core::{ArmciCfg, FaultAction, FaultPlan, FaultSpec, OnPeerLoss, RetryPolicy};
+use armci_proto::{MembershipView, RankSet};
 use armci_transport::LatencyModel;
 use proptest::prelude::*;
 
@@ -127,6 +128,80 @@ proptest! {
         let back: ArmciCfg = serde::from_str(&json).unwrap();
         prop_assert_eq!(back.shm_plane, shm_plane);
         prop_assert_eq!(back.shm_dir, shm_dir);
+        prop_assert_eq!(serde::to_string(&back), json);
+    }
+
+    /// Membership views cross process boundaries in degraded-mode
+    /// harnesses; an arbitrary epoch/alive-set pair must survive the
+    /// vendored serde bit-exactly (capacity included — a view of a
+    /// 65-rank world with rank 64 alive exercises the bitmap tail).
+    #[test]
+    fn any_membership_view_roundtrips(
+        capacity in 0usize..130,
+        dead in proptest::collection::vec(any::<bool>(), 130..131),
+        epoch in any::<u64>(),
+    ) {
+        let mut alive = RankSet::full(capacity);
+        for (r, d) in dead.iter().enumerate().take(capacity) {
+            if *d {
+                alive.remove(r);
+            }
+        }
+        let view = MembershipView { epoch, alive };
+        let json = serde::to_string(&view);
+        let back: MembershipView = serde::from_str(&json).unwrap();
+        prop_assert_eq!(&back, &view);
+        prop_assert_eq!(back.alive.capacity(), capacity);
+        prop_assert_eq!(serde::to_string(&back), json);
+    }
+
+    /// The unified retry policy rides the launch payload; every field
+    /// combination must round-trip (durations as whole microseconds —
+    /// the codec's resolution).
+    #[test]
+    fn any_retry_policy_roundtrips(
+        attempts in 1u32..10_000,
+        base_us in 0u64..100_000_000,
+        cap_us in 0u64..100_000_000,
+        jitter in any::<bool>(),
+    ) {
+        let p = RetryPolicy {
+            attempts,
+            base: Duration::from_micros(base_us),
+            cap: Duration::from_micros(cap_us),
+            jitter,
+        };
+        let json = serde::to_string(&p);
+        let back: RetryPolicy = serde::from_str(&json).unwrap();
+        prop_assert_eq!(back, p);
+        prop_assert_eq!(serde::to_string(&back), json);
+    }
+
+    /// `on_peer_loss` and the retry policy travel with the rest of the
+    /// cluster config; both settings must survive the payload and the
+    /// re-encoded form must be byte-identical.
+    #[test]
+    fn peer_loss_and_retry_roundtrip_through_launch_payload(
+        degrade in any::<bool>(),
+        attempts in 1u32..64,
+        base_us in 0u64..10_000_000,
+        jitter in any::<bool>(),
+    ) {
+        let policy = RetryPolicy {
+            attempts,
+            base: Duration::from_micros(base_us),
+            cap: Duration::from_micros(base_us.saturating_mul(64)),
+            jitter,
+        };
+        let mode = if degrade { OnPeerLoss::Degrade } else { OnPeerLoss::Abort };
+        let cfg = ArmciCfg::flat(2, LatencyModel::zero())
+            .with_on_peer_loss(mode)
+            .with_retry(policy);
+        cfg.validate().unwrap();
+        let json = serde::to_string(&cfg);
+        let back: ArmciCfg = serde::from_str(&json).unwrap();
+        prop_assert_eq!(back.on_peer_loss, mode);
+        prop_assert_eq!(back.retry, policy);
         prop_assert_eq!(serde::to_string(&back), json);
     }
 

@@ -25,20 +25,20 @@ use std::time::{Duration, Instant};
 
 use armci_transport::{NodeId, Topology};
 
+use crate::retry::RetryPolicy;
+
 /// Bootstrap retry/backoff and deadline policy.
 ///
 /// The defaults are generous enough that a healthy cluster never notices
-/// them: 8 dial attempts with exponential backoff starting at 10 ms, and
-/// a 30 s overall deadline covering registration, table exchange, mesh
-/// dials and accepts. A missing or dead peer therefore surfaces as a
-/// `TimedOut`/`ConnectionRefused` error instead of an infinite hang.
+/// them: the [`RetryPolicy`] default (8 dial attempts, exponential
+/// backoff from 10 ms) and a 30 s overall deadline covering
+/// registration, table exchange, mesh dials and accepts. A missing or
+/// dead peer therefore surfaces as a `TimedOut`/`ConnectionRefused`
+/// error instead of an infinite hang.
 #[derive(Clone, Debug)]
 pub struct BootOpts {
-    /// Maximum attempts per dial (coordinator registration and mesh
-    /// hellos) before giving up.
-    pub dial_attempts: u32,
-    /// Backoff before the second attempt; doubles each retry.
-    pub dial_backoff: Duration,
+    /// Per-dial retry policy (coordinator registration and mesh hellos).
+    pub dial: RetryPolicy,
     /// Overall deadline for the whole bootstrap of this node.
     pub deadline: Duration,
     /// Scripted `(peer, remaining_failures)` dial faults: the first
@@ -50,27 +50,24 @@ pub struct BootOpts {
 
 impl Default for BootOpts {
     fn default() -> Self {
-        BootOpts {
-            dial_attempts: 8,
-            dial_backoff: Duration::from_millis(10),
-            deadline: Duration::from_secs(30),
-            dial_faults: Vec::new(),
-        }
+        BootOpts { dial: RetryPolicy::default(), deadline: Duration::from_secs(30), dial_faults: Vec::new() }
     }
 }
 
-/// Dial `addr` with retry/backoff, bounded by `deadline`. `fail_budget`
-/// artificially fails that many leading attempts (scripted dial faults).
+/// Dial `addr` under the policy's retry/backoff, bounded by `deadline`.
+/// `fail_budget` artificially fails that many leading attempts (scripted
+/// dial faults). The jitter seed is hashed from the address, so two nodes
+/// redialing the same target desynchronize while staying deterministic.
 fn connect_retry(addr: &str, opts: &BootOpts, deadline: Instant, fail_budget: &mut u32) -> io::Result<TcpStream> {
-    let mut backoff = opts.dial_backoff;
+    let seed = addr.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3));
     let mut last_err = None;
-    for attempt in 0..opts.dial_attempts.max(1) {
+    for attempt in 0..opts.dial.attempts.max(1) {
         if attempt > 0 {
-            if Instant::now() + backoff > deadline {
+            let pause = opts.dial.delay(attempt - 1, seed);
+            if Instant::now() + pause > deadline {
                 break;
             }
-            std::thread::sleep(backoff);
-            backoff = backoff.saturating_mul(2);
+            std::thread::sleep(pause);
         }
         if *fail_budget > 0 {
             *fail_budget -= 1;
@@ -342,8 +339,11 @@ mod tests {
         };
         // Node 1 dials node 0 with its first two attempts scripted to
         // fail; the retry/backoff path must still form the mesh.
-        let opts =
-            BootOpts { dial_backoff: Duration::from_millis(1), dial_faults: vec![(0, 2)], ..BootOpts::default() };
+        let opts = BootOpts {
+            dial: RetryPolicy { base: Duration::from_millis(1), ..RetryPolicy::default() },
+            dial_faults: vec![(0, 2)],
+            ..BootOpts::default()
+        };
         let m1 = join_mesh_opts(&addr, &topo, NodeId(1), &opts).unwrap();
         assert!(m1.streams[0].is_some());
         let m0 = t0.join().unwrap();
@@ -365,8 +365,7 @@ mod tests {
             std::thread::spawn(move || join_mesh_opts(&addr, &topo, NodeId(0), &opts))
         };
         let opts = BootOpts {
-            dial_attempts: 2,
-            dial_backoff: Duration::from_millis(1),
+            dial: RetryPolicy { attempts: 2, base: Duration::from_millis(1), ..RetryPolicy::default() },
             deadline: Duration::from_secs(2),
             dial_faults: vec![(0, 100)],
         };

@@ -14,10 +14,11 @@
 //! session bookkeeping goes through [`crate::frames::session_step`] —
 //! identical semantics to the threaded driver, O(1) threads per node.
 //!
-//! The only blocking work — the reconnect handshake on either side — runs
-//! on short-lived helper threads that install the negotiated stream into
-//! the [`Session`] and ring the loop's [`WakePipe`]; the loop itself never
-//! blocks outside `poll`.
+//! Reconnect handshakes are loop-resident too: the dial side is a
+//! [`DialAttempt`] (nonblocking `connect(2)` + hello + reply) and the
+//! accept side an [`AcceptAttempt`], both registered on the same poll set
+//! and stepped every iteration — no helper threads, the loop never blocks
+//! outside `poll`, and each node's IO is exactly one thread.
 
 #![deny(clippy::unwrap_used, clippy::expect_used)] // IO loop: every failure must become a session transition
 
@@ -31,11 +32,12 @@ use std::time::{Duration, Instant};
 use armci_transport::{BodyPool, Msg, Topology};
 use crossbeam_channel::{Receiver, Sender, TryRecvError};
 
+use crate::dial::{AcceptAttempt, AcceptStep, DialAttempt, DialStep};
 use crate::fabric::{KillSwitch, WireMsg};
 use crate::fault::{FaultAction, FaultSpec};
 use crate::frames::{self, FrameDecoder, Progress, SessionStep};
-use crate::poller::{Interest, PollSet, WakeHandle, WakePipe};
-use crate::session::{self, EnqueueError, Session, SessionCfg, SESS_SUSPECT, SESS_UP};
+use crate::poller::{Interest, PollSet, WakePipe};
+use crate::session::{EnqueueError, Session, SessionCfg, SESS_SUSPECT, SESS_UP};
 use crate::timer::TimerWheel;
 use crate::wire;
 
@@ -51,9 +53,17 @@ const RECONNECT_TICK: Duration = Duration::from_millis(20);
 /// up promptly even if no doorbell rings again).
 const IDLE_POLL: Duration = Duration::from_millis(50);
 
+/// How long a pending accept-side handshake may take before it is
+/// abandoned (same budget the old helper threads gave `read_timeout`).
+const ACCEPT_HANDSHAKE: Duration = Duration::from_secs(2);
+
 const TOK_WAKE: usize = 0;
 const TOK_LISTENER: usize = 1;
 const TOK_BASE: usize = 2;
+/// Handshake-machine fds: registered only to wake `poll`; the machines
+/// themselves are stepped unconditionally every iteration, so readiness
+/// dispatch has nothing to do for this token.
+const TOK_MACHINE: usize = usize::MAX;
 
 /// Everything [`run`] needs for one peer link.
 pub(crate) struct PeerSeed {
@@ -124,8 +134,8 @@ struct PeerLink {
     /// Whether a data frame went out since the last health tick (data
     /// preambles carry acks, so no bare ack is needed).
     wrote_data: bool,
-    /// A reconnect dial thread is in flight for this link.
-    dial_inflight: Arc<AtomicBool>,
+    /// An in-flight reconnect dial handshake, stepped by the loop.
+    dial: Option<DialAttempt>,
     /// A `Reconnect` timer is armed for this link.
     reconnect_armed: bool,
     /// The clean-teardown half-close has been performed.
@@ -152,7 +162,7 @@ impl PeerLink {
             stalled_until: None,
             ring_full_since: None,
             wrote_data: false,
-            dial_inflight: Arc::new(AtomicBool::new(false)),
+            dial: None,
             reconnect_armed: false,
             write_shut: false,
         }
@@ -200,7 +210,6 @@ struct Ctx {
     session: SessionCfg,
     kill: Arc<KillSwitch>,
     shutdown: Arc<AtomicBool>,
-    wake: Arc<WakeHandle>,
 }
 
 /// Adopt a freshly installed stream: nonblocking mode, fresh decoder,
@@ -518,9 +527,9 @@ fn health_tick(link: &mut PeerLink, ctx: &Ctx, wheel: &mut TimerWheel<Timer>, id
 }
 
 /// One reconnect round for a suspect session: enforce the suspect
-/// deadline, and (as the higher-numbered node) dial the peer's retained
-/// boot listener on a short-lived helper thread. Re-arms itself while the
-/// session stays suspect.
+/// deadline, and (as the higher-numbered node) start a nonblocking dial
+/// of the peer's retained boot listener — the loop steps it from here on.
+/// Re-arms itself while the session stays suspect.
 fn reconnect_tick(link: &mut PeerLink, ctx: &Ctx, wheel: &mut TimerWheel<Timer>, idx: usize, now: Instant) {
     link.reconnect_armed = false;
     let sess = &link.sess;
@@ -536,74 +545,85 @@ fn reconnect_tick(link: &mut PeerLink, ctx: &Ctx, wheel: &mut TimerWheel<Timer>,
         return;
     }
     let dialer = ctx.node as usize > link.peer && !link.addr.is_empty();
-    if dialer && !link.dial_inflight.swap(true, Ordering::AcqRel) {
-        let sess = link.sess.clone();
-        let addr = link.addr.clone();
-        let node = ctx.node;
+    if dialer && link.dial.is_none() {
         let cursor = sess.recv_cursor.load(Ordering::Acquire);
-        let inflight = link.dial_inflight.clone();
-        let wake = ctx.wake.clone();
-        let spawned = std::thread::Builder::new().name(format!("netfab-dial{node}")).spawn(move || {
-            match session::reconnect_dial(&addr, node, cursor, deadline) {
-                Ok((s, peer_cursor)) => {
-                    sess.install_stream(s, peer_cursor);
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::ConnectionAborted => {
-                    // Explicit rejection: the peer knows the session is
-                    // dead. Terminal, no more retries.
-                    sess.mark_dead();
-                }
-                Err(_) => {}
-            }
-            inflight.store(false, Ordering::Release);
-            wake.wake();
-        });
-        if spawned.is_err() {
-            link.dial_inflight.store(false, Ordering::Release);
-        }
+        // Start failures (socket exhaustion, refused-at-once) just leave
+        // `dial` empty; the next tick retries.
+        link.dial = DialAttempt::start(&link.addr, ctx.node, cursor, deadline).ok();
     }
     link.reconnect_armed = true;
     wheel.insert(now + RECONNECT_TICK, Timer::Reconnect(idx));
 }
 
-/// Accept every pending reconnect dial and run each handshake on a
-/// short-lived helper thread (its reads block with a bounded timeout).
-fn accept_reconnects(
-    listener: &TcpListener,
-    sessions: &Arc<Vec<Option<Arc<Session>>>>,
-    node_dead: &Arc<AtomicBool>,
-    ctx: &Ctx,
-) {
+/// Step a link's in-flight reconnect dial as far as its socket allows.
+fn step_dial(link: &mut PeerLink, now: Instant) {
+    let Some(dial) = &mut link.dial else { return };
+    let sess = &link.sess;
+    if sess.is_terminal() || sess.teardown_begun() || sess.state() != SESS_SUSPECT {
+        // The session resolved some other way (accept-side install won
+        // the race, or it died); the attempt is stale.
+        link.dial = None;
+        return;
+    }
+    match dial.step(now) {
+        DialStep::Pending => {}
+        DialStep::Done(s, peer_cursor) => {
+            sess.install_stream(s, peer_cursor);
+            link.dial = None;
+        }
+        DialStep::Rejected => {
+            // Explicit rejection: the peer knows the session is dead.
+            // Terminal, no more retries.
+            sess.mark_dead();
+            link.dial = None;
+        }
+        DialStep::Failed => link.dial = None,
+    }
+}
+
+/// Adopt every pending reconnect dial as an [`AcceptAttempt`] handshaken
+/// on the loop itself.
+fn accept_reconnects(listener: &TcpListener, accepts: &mut Vec<AcceptAttempt>, ctx: &Ctx) {
     while let Ok((s, _)) = listener.accept() {
         if ctx.shutdown.load(Ordering::Acquire) {
             return;
         }
-        let sessions = sessions.clone();
-        let node_dead = node_dead.clone();
-        let wake = ctx.wake.clone();
-        let node = ctx.node;
-        let _ = std::thread::Builder::new().name(format!("netfab-hs{node}")).spawn(move || {
-            let mut s = s;
-            if s.set_nonblocking(false).is_err() {
-                return;
-            }
-            let Ok(hello) = session::read_reconnect_hello(&mut s, Duration::from_secs(2)) else {
-                return;
-            };
-            let Some(sess) = sessions.get(hello.peer as usize).and_then(|o| o.as_ref()) else {
-                return;
-            };
-            if node_dead.load(Ordering::Acquire) || sess.is_terminal() {
-                session::reject_reconnect(&mut s);
-                return;
-            }
-            let cursor = sess.recv_cursor.load(Ordering::Acquire);
-            if session::accept_reconnect(&mut s, cursor).is_ok() {
-                sess.install_stream(s, hello.peer_cursor);
-            }
-            wake.wake();
-        });
+        if let Ok(acc) = AcceptAttempt::start(s, Instant::now() + ACCEPT_HANDSHAKE) {
+            accepts.push(acc);
+        }
     }
+}
+
+/// Step every accept-side handshake; completed/failed attempts drop out.
+fn step_accepts(
+    accepts: &mut Vec<AcceptAttempt>,
+    sessions: &[Option<Arc<Session>>],
+    node_dead: &AtomicBool,
+    now: Instant,
+) {
+    accepts.retain_mut(|acc| loop {
+        match acc.step(now) {
+            AcceptStep::Pending => return true,
+            AcceptStep::Hello(h) => {
+                let Some(sess) = sessions.get(h.peer as usize).and_then(|o| o.as_ref()) else {
+                    return false; // unknown peer: drop the socket, as before
+                };
+                if node_dead.load(Ordering::Acquire) || sess.is_terminal() {
+                    acc.reject();
+                } else {
+                    acc.accept(sess.recv_cursor.load(Ordering::Acquire));
+                }
+                // Loop: the reply usually flushes in this same step.
+            }
+            AcceptStep::Done { stream, peer, peer_cursor } => {
+                if let Some(sess) = sessions.get(peer as usize).and_then(|o| o.as_ref()) {
+                    sess.install_stream(stream, peer_cursor);
+                }
+                return false;
+            }
+            AcceptStep::Failed => return false,
+        }
+    });
 }
 
 /// The node's IO loop. Returns once every peer link is finished (and,
@@ -611,7 +631,7 @@ fn accept_reconnects(
 /// a dead node must keep *rejecting* reconnect dials until then).
 pub(crate) fn run(cfg: LoopCfg, mut wake: WakePipe) {
     let LoopCfg { node, topo, local_txs, session, kill, node_dead, shutdown, listener, peers } = cfg;
-    let mut ctx = Ctx { node, topo, local_txs, session, kill, shutdown, wake: wake.handle() };
+    let mut ctx = Ctx { node, topo, local_txs, session, kill, shutdown };
     let mut links: Vec<PeerLink> = peers.into_iter().map(PeerLink::new).collect();
     let mut sessions_by_node: Vec<Option<Arc<Session>>> = Vec::new();
     for l in &links {
@@ -620,8 +640,8 @@ pub(crate) fn run(cfg: LoopCfg, mut wake: WakePipe) {
         }
         sessions_by_node[l.peer] = Some(l.sess.clone());
     }
-    let sessions_by_node = Arc::new(sessions_by_node);
     let listener = listener.filter(|l| l.set_nonblocking(true).is_ok());
+    let mut accepts: Vec<AcceptAttempt> = Vec::new();
 
     let mut wheel: TimerWheel<Timer> = TimerWheel::new(Instant::now());
     if ctx.session.recovery {
@@ -680,6 +700,16 @@ pub(crate) fn run(cfg: LoopCfg, mut wake: WakePipe) {
                 let interest = if want_write { Interest::READ_WRITE } else { Interest::READ };
                 set.register(r.get_ref().as_raw_fd(), TOK_BASE + i, interest);
             }
+            // Handshake machines only need poll woken on their readiness;
+            // they are stepped unconditionally after dispatch.
+            if let Some(fd) = link.dial.as_ref().and_then(DialAttempt::fd) {
+                set.register(fd, TOK_MACHINE, link.dial.as_ref().map_or(Interest::READ, DialAttempt::interest));
+            }
+        }
+        for acc in &accepts {
+            if let Some(fd) = acc.fd() {
+                set.register(fd, TOK_MACHINE, acc.interest());
+            }
         }
         let mut timeout = IDLE_POLL;
         if let Some(d) = wheel.next_deadline() {
@@ -699,9 +729,10 @@ pub(crate) fn run(cfg: LoopCfg, mut wake: WakePipe) {
                 TOK_WAKE => wake.drain(),
                 TOK_LISTENER => {
                     if let Some(l) = &listener {
-                        accept_reconnects(l, &sessions_by_node, &node_dead, &ctx);
+                        accept_reconnects(l, &mut accepts, &ctx);
                     }
                 }
+                TOK_MACHINE => {}
                 _ => {
                     let i = tok - TOK_BASE;
                     if r.readable {
@@ -723,6 +754,14 @@ pub(crate) fn run(cfg: LoopCfg, mut wake: WakePipe) {
                 Timer::StallOver(i) => links[i].stalled_until = None,
             }
         }
+        // Step every handshake machine: after timers, so a dial started by
+        // a reconnect tick makes its first hop (loopback connects usually
+        // complete at once) within the same iteration.
+        let now = Instant::now();
+        for link in &mut links {
+            step_dial(link, now);
+        }
+        step_accepts(&mut accepts, &sessions_by_node, &node_dead, now);
     }
 }
 

@@ -88,17 +88,13 @@ pub fn spawn_nodes(
             }
             // Transient spawn failures (EAGAIN under fork pressure) are
             // retried briefly; persistent errors still surface.
-            let mut backoff = Duration::from_millis(10);
-            let mut result = cmd.spawn();
-            for _ in 0..2 {
-                if result.is_ok() {
-                    break;
-                }
-                std::thread::sleep(backoff);
-                backoff *= 2;
-                result = cmd.spawn();
-            }
-            result
+            let retry = crate::retry::RetryPolicy {
+                attempts: 3,
+                base: Duration::from_millis(10),
+                cap: Duration::from_millis(40),
+                jitter: false,
+            };
+            retry.run(u64::from(n), |_| cmd.spawn())
         })
         .collect()
 }

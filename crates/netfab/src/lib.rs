@@ -37,6 +37,8 @@
 
 pub mod boot;
 #[cfg(unix)]
+mod dial;
+#[cfg(unix)]
 mod event_loop;
 pub mod fabric;
 pub mod fault;
@@ -44,6 +46,7 @@ mod frames;
 pub mod launch;
 #[cfg(unix)]
 mod poller;
+pub mod retry;
 pub mod session;
 #[cfg(unix)]
 mod timer;
@@ -55,4 +58,5 @@ pub use fault::{FaultAction, FaultPlan, FaultSpec};
 pub use launch::{
     bind_rendezvous, kill_nodes, node_spec_from_env, spawn_nodes, wait_nodes, wait_nodes_deadline, NodeSpec,
 };
+pub use retry::RetryPolicy;
 pub use session::SessionCfg;

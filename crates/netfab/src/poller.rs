@@ -50,6 +50,7 @@ pub(crate) struct Interest {
 
 impl Interest {
     pub const READ: Interest = Interest { readable: true, writable: false };
+    pub const WRITE: Interest = Interest { readable: false, writable: true };
     pub const READ_WRITE: Interest = Interest { readable: true, writable: true };
 }
 

@@ -174,6 +174,24 @@ impl FenceEngine {
         }
     }
 
+    /// Membership evicted every rank on `node`: drop all accounting that
+    /// would make a fence wait on it — unfenced counters (a confirmation
+    /// round-trip can never complete) and outstanding acks (they died
+    /// with the node). Cumulative `op_init` toward its ranks is kept:
+    /// group shrink removes those ranks from the member set, so the
+    /// counters simply stop being summed.
+    pub fn forget_node(&mut self, node: usize) {
+        self.unfenced[node] = 0;
+        self.unfenced_nic[node] = 0;
+        self.unacked[node] = 0;
+        for (dst, &n) in self.dst_node.iter().enumerate() {
+            if n == node {
+                self.unfenced_to[dst] = 0;
+                self.unfenced_to_nic[dst] = 0;
+            }
+        }
+    }
+
     /// DrainAcks-mode: outstanding acks from `node`.
     pub fn acks_pending(&self, node: usize) -> u64 {
         self.unacked[node]
@@ -348,6 +366,20 @@ mod tests {
         f.note_put(2, 1, false);
         f.group_confirmed(&[2, 3]);
         assert!(f.confirm_targets(1).is_empty());
+    }
+
+    #[test]
+    fn forget_node_clears_every_wait_source_but_keeps_op_init() {
+        let mut f = FenceEngine::new(FenceMode::DrainAcks, 4, 2);
+        f.note_put(2, 1, false);
+        f.note_put(3, 1, true);
+        assert_eq!(f.acks_pending(1), 2);
+        f.forget_node(1);
+        assert!(f.confirm_targets(1).is_empty());
+        assert_eq!(f.acks_pending(1), 0);
+        assert!(f.group_confirm_targets(&[2, 3]).is_empty());
+        // op_init survives: the shrunk group stops summing those slots.
+        assert_eq!(f.op_init(), &[0, 0, 1, 1]);
     }
 
     #[test]

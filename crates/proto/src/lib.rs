@@ -30,7 +30,10 @@
 //!   gather → leaders-only [`Exchange`] (`log2(domains)` rounds) →
 //!   domain release;
 //! * [`HybridHome`]/[`HybridAcquire`], [`McsAcquire`]/[`McsRelease`]/
-//!   [`McsReclaim`], [`Backoff`] — lock word transitions.
+//!   [`McsReclaim`], [`Backoff`] — lock word transitions;
+//! * [`Membership`] — epoch-stamped cluster membership views
+//!   (suspect → confirm → evict) that degraded-mode collectives shrink
+//!   to.
 
 pub mod barrier;
 pub mod exchange;
@@ -38,6 +41,7 @@ pub mod fence;
 pub mod hier;
 pub mod lock;
 pub mod math;
+pub mod membership;
 
 pub use barrier::{BarrierAction, BarrierEvent, CombinedBarrier, STAGE_ALLREDUCE, STAGE_BARRIER};
 pub use exchange::{Exchange, SendRecord, XchgAction, XchgEvent, XchgMsg};
@@ -47,3 +51,4 @@ pub use lock::{
     Backoff, HybridAcquire, HybridAction, HybridEvent, HybridHome, McsAcquire, McsAcquireAction, McsAcquireEvent,
     McsReclaim, McsRelease, McsReleaseAction, McsReleaseEvent, ReclaimAction, ReclaimEvent,
 };
+pub use membership::{MemberAction, MemberEvent, Membership, MembershipView, RankSet};

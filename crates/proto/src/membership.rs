@@ -1,0 +1,439 @@
+//! Cluster membership as a pure state machine: epoch-stamped views that
+//! survivors converge on without a coordinator.
+//!
+//! The paper's protocols assume a fixed process set; the recovery stack
+//! (sessions, heartbeats, lock leases) detects failures but until now
+//! could only surface them as terminal `PeerLost` errors. [`Membership`]
+//! promotes the transport's suspicion signals into **views**:
+//!
+//! ```text
+//! Alive ──Suspect──▶ Suspect ──Tick past confirm budget──▶ Evicted
+//!   ▲                   │
+//!   └──────Heard────────┘            Dead ─────────────────▶ Evicted
+//! ```
+//!
+//! A [`MembershipView`] is `{ epoch, alive }` where `epoch` counts
+//! evictions. Convergence is quorum-free and order-free: every survivor
+//! that observes the same set of deaths — and node death is a global
+//! fact, every survivor's session to the dead node expires — reaches the
+//! *same* view, because the alive set is a pure function of the evicted
+//! set and the epoch is its cardinality. No two live ranks can disagree
+//! about an epoch's meaning: epoch `e` always names a view with exactly
+//! `n - e` survivors.
+//!
+//! Like every engine in this crate the machine is sans-IO and clock-free:
+//! time enters only through explicit [`MemberEvent::Tick`] timestamps, so
+//! the event loop's timer wheel, the threaded driver's idle ticks, and
+//! the conformance harness's virtual clock all drive it identically.
+
+/// A fixed-capacity set of ranks, stored as a bitmap.
+///
+/// The alive-set half of a [`MembershipView`]. Capacity is the group
+/// size at construction and never changes; membership only shrinks.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RankSet {
+    bits: Vec<u64>,
+    capacity: usize,
+}
+
+impl RankSet {
+    /// The full set `{0, .., n-1}`.
+    pub fn full(n: usize) -> Self {
+        let mut bits = vec![u64::MAX; n.div_ceil(64).max(1)];
+        // Clear the tail past `n`.
+        if !n.is_multiple_of(64) {
+            if let Some(last) = bits.last_mut() {
+                *last = if n == 0 { 0 } else { (1u64 << (n % 64)) - 1 };
+            }
+        }
+        if n == 0 {
+            bits.iter_mut().for_each(|w| *w = 0);
+        }
+        RankSet { bits, capacity: n }
+    }
+
+    /// The empty set with capacity `n`.
+    pub fn empty(n: usize) -> Self {
+        RankSet { bits: vec![0; n.div_ceil(64).max(1)], capacity: n }
+    }
+
+    /// Capacity (the original group size), not the live count.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether `rank` is in the set.
+    pub fn contains(&self, rank: usize) -> bool {
+        rank < self.capacity && self.bits[rank / 64] & (1 << (rank % 64)) != 0
+    }
+
+    /// Insert `rank`; returns whether it was absent.
+    pub fn insert(&mut self, rank: usize) -> bool {
+        debug_assert!(rank < self.capacity);
+        let was = self.contains(rank);
+        self.bits[rank / 64] |= 1 << (rank % 64);
+        !was
+    }
+
+    /// Remove `rank`; returns whether it was present.
+    pub fn remove(&mut self, rank: usize) -> bool {
+        let was = self.contains(rank);
+        if rank < self.capacity {
+            self.bits[rank / 64] &= !(1 << (rank % 64));
+        }
+        was
+    }
+
+    /// Number of ranks in the set.
+    pub fn count(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterate members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.capacity).filter(move |&r| self.contains(r))
+    }
+
+    /// The members as a vector (ascending).
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+}
+
+/// An epoch-stamped membership view: which ranks are alive, and how many
+/// evictions produced this view. Two survivors holding views with equal
+/// epochs hold *identical* alive sets (see module docs).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MembershipView {
+    /// Eviction count — bumps by one per evicted rank.
+    pub epoch: u64,
+    /// Ranks currently believed alive.
+    pub alive: RankSet,
+}
+
+impl MembershipView {
+    /// The initial view: everyone alive, epoch 0.
+    pub fn initial(n: usize) -> Self {
+        MembershipView { epoch: 0, alive: RankSet::full(n) }
+    }
+}
+
+impl serde::Serialize for MembershipView {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::map(vec![
+            ("epoch", serde::Value::U64(self.epoch)),
+            ("capacity", serde::Value::U64(self.alive.capacity() as u64)),
+            ("alive", serde::Value::Seq(self.alive.iter().map(|r| serde::Value::U64(r as u64)).collect())),
+        ])
+    }
+}
+
+impl serde::Deserialize for MembershipView {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let capacity = v.field("capacity")?.as_u64()? as usize;
+        let mut alive = RankSet::empty(capacity);
+        for r in v.field("alive")?.as_seq()? {
+            let r = r.as_u64()? as usize;
+            if r >= capacity {
+                return Err(serde::Error::new(format!("alive rank {r} out of capacity {capacity}")));
+            }
+            alive.insert(r);
+        }
+        Ok(MembershipView { epoch: v.field("epoch")?.as_u64()?, alive })
+    }
+}
+
+/// Per-rank liveness state inside [`Membership`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum MemberState {
+    Alive,
+    /// Heartbeat silence crossed the suspect threshold at `since_ms`;
+    /// eviction confirms after `confirm_after_ms` more silence.
+    Suspect {
+        since_ms: u64,
+    },
+    Evicted,
+}
+
+/// An input to [`Membership::poll`]. Timestamps are caller-supplied
+/// milliseconds on any monotonic scale (the engine only compares them).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MemberEvent {
+    /// The failure detector suspects `rank` (heartbeat silence) at
+    /// `now_ms`. Idempotent while already suspect.
+    Suspect {
+        /// The suspected rank.
+        rank: usize,
+        /// Current time.
+        now_ms: u64,
+    },
+    /// Traffic from `rank` arrived: clear suspicion. Ignored for evicted
+    /// ranks — eviction is terminal (a revenant must rejoin as a new
+    /// incarnation, out of scope here).
+    Heard {
+        /// The rank heard from.
+        rank: usize,
+    },
+    /// The transport *confirmed* death (connection aborted, kill
+    /// observed, session terminal): evict immediately.
+    Dead {
+        /// The dead rank.
+        rank: usize,
+    },
+    /// Timer tick: suspects whose confirm budget elapsed are evicted.
+    Tick {
+        /// Current time.
+        now_ms: u64,
+    },
+}
+
+/// An output of [`Membership::poll`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MemberAction {
+    /// `rank` was evicted; the view epoch after this eviction is `epoch`.
+    /// Harnesses deliver this into in-flight collective engines (fold the
+    /// rank out or abort with `PeerLost { epoch }`) and to the lease
+    /// sweeper.
+    Evicted {
+        /// The evicted rank.
+        rank: usize,
+        /// View epoch after the eviction.
+        epoch: u64,
+    },
+}
+
+/// The membership engine: one per process, covering all `n` world ranks
+/// (the local rank is pinned alive — a process does not evict itself).
+#[derive(Clone, Debug)]
+pub struct Membership {
+    me: usize,
+    states: Vec<MemberState>,
+    epoch: u64,
+    confirm_after_ms: u64,
+}
+
+impl Membership {
+    /// Engine for rank `me` of `n`, evicting suspects after
+    /// `confirm_after_ms` of unbroken silence past the suspect mark.
+    pub fn new(n: usize, me: usize, confirm_after_ms: u64) -> Self {
+        debug_assert!(me < n);
+        Membership { me, states: vec![MemberState::Alive; n], epoch: 0, confirm_after_ms }
+    }
+
+    /// Current view epoch (eviction count).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether `rank` has not been evicted.
+    pub fn is_alive(&self, rank: usize) -> bool {
+        rank < self.states.len() && self.states[rank] != MemberState::Evicted
+    }
+
+    /// Snapshot the current view.
+    pub fn view(&self) -> MembershipView {
+        let mut alive = RankSet::empty(self.states.len());
+        for (r, s) in self.states.iter().enumerate() {
+            if *s != MemberState::Evicted {
+                alive.insert(r);
+            }
+        }
+        MembershipView { epoch: self.epoch, alive }
+    }
+
+    /// The deadline (ms) of the earliest pending eviction, for timer
+    /// scheduling; `None` with no suspects outstanding.
+    pub fn next_deadline_ms(&self) -> Option<u64> {
+        self.states
+            .iter()
+            .filter_map(|s| match s {
+                MemberState::Suspect { since_ms } => Some(since_ms + self.confirm_after_ms),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Feed one event; emitted actions are appended to `out`.
+    pub fn poll(&mut self, ev: MemberEvent, out: &mut Vec<MemberAction>) {
+        match ev {
+            MemberEvent::Suspect { rank, now_ms } => {
+                if rank != self.me && self.states.get(rank) == Some(&MemberState::Alive) {
+                    self.states[rank] = MemberState::Suspect { since_ms: now_ms };
+                }
+            }
+            MemberEvent::Heard { rank } => {
+                if matches!(self.states.get(rank), Some(MemberState::Suspect { .. })) {
+                    self.states[rank] = MemberState::Alive;
+                }
+            }
+            MemberEvent::Dead { rank } => {
+                if rank != self.me && rank < self.states.len() {
+                    self.evict(rank, out);
+                }
+            }
+            MemberEvent::Tick { now_ms } => {
+                // Ascending rank order keeps simultaneous evictions
+                // deterministic across harnesses.
+                for rank in 0..self.states.len() {
+                    if let MemberState::Suspect { since_ms } = self.states[rank] {
+                        if now_ms >= since_ms + self.confirm_after_ms {
+                            self.evict(rank, out);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn evict(&mut self, rank: usize, out: &mut Vec<MemberAction>) {
+        if self.states[rank] == MemberState::Evicted {
+            return;
+        }
+        self.states[rank] = MemberState::Evicted;
+        self.epoch += 1;
+        out.push(MemberAction::Evicted { rank, epoch: self.epoch });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(m: &mut Membership, evs: &[MemberEvent]) -> Vec<MemberAction> {
+        let mut out = Vec::new();
+        for &ev in evs {
+            m.poll(ev, &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn rankset_full_empty_and_edges() {
+        for n in [0usize, 1, 5, 63, 64, 65, 130] {
+            let full = RankSet::full(n);
+            assert_eq!(full.count(), n, "n={n}");
+            assert_eq!(full.to_vec(), (0..n).collect::<Vec<_>>());
+            assert!(!full.contains(n));
+            let empty = RankSet::empty(n);
+            assert_eq!(empty.count(), 0);
+        }
+        let mut s = RankSet::full(65);
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.count(), 64);
+        assert!(s.insert(64));
+        assert!(!s.insert(64));
+    }
+
+    #[test]
+    fn suspect_then_silence_evicts_after_confirm_budget() {
+        let mut m = Membership::new(4, 0, 100);
+        let acts = drive(&mut m, &[MemberEvent::Suspect { rank: 2, now_ms: 1000 }, MemberEvent::Tick { now_ms: 1099 }]);
+        assert!(acts.is_empty(), "confirm budget not yet elapsed");
+        assert_eq!(m.next_deadline_ms(), Some(1100));
+        let acts = drive(&mut m, &[MemberEvent::Tick { now_ms: 1100 }]);
+        assert_eq!(acts, vec![MemberAction::Evicted { rank: 2, epoch: 1 }]);
+        assert!(!m.is_alive(2));
+        assert_eq!(m.view().alive.to_vec(), vec![0, 1, 3]);
+        assert_eq!(m.view().epoch, 1);
+        assert_eq!(m.next_deadline_ms(), None);
+    }
+
+    #[test]
+    fn heard_clears_suspicion() {
+        let mut m = Membership::new(3, 0, 50);
+        let acts = drive(
+            &mut m,
+            &[
+                MemberEvent::Suspect { rank: 1, now_ms: 0 },
+                MemberEvent::Heard { rank: 1 },
+                MemberEvent::Tick { now_ms: 1000 },
+            ],
+        );
+        assert!(acts.is_empty());
+        assert!(m.is_alive(1));
+        // Re-suspicion restarts the budget from the new mark.
+        let acts = drive(&mut m, &[MemberEvent::Suspect { rank: 1, now_ms: 2000 }, MemberEvent::Tick { now_ms: 2049 }]);
+        assert!(acts.is_empty());
+        let acts = drive(&mut m, &[MemberEvent::Tick { now_ms: 2050 }]);
+        assert_eq!(acts, vec![MemberAction::Evicted { rank: 1, epoch: 1 }]);
+    }
+
+    #[test]
+    fn dead_evicts_immediately_and_is_terminal() {
+        let mut m = Membership::new(3, 0, 1_000_000);
+        let acts = drive(&mut m, &[MemberEvent::Dead { rank: 2 }]);
+        assert_eq!(acts, vec![MemberAction::Evicted { rank: 2, epoch: 1 }]);
+        // Eviction is terminal: later Heard/Dead/Suspect are no-ops.
+        let acts = drive(
+            &mut m,
+            &[
+                MemberEvent::Heard { rank: 2 },
+                MemberEvent::Dead { rank: 2 },
+                MemberEvent::Suspect { rank: 2, now_ms: 5 },
+                MemberEvent::Tick { now_ms: u64::MAX },
+            ],
+        );
+        assert!(acts.is_empty());
+        assert_eq!(m.epoch(), 1);
+    }
+
+    #[test]
+    fn own_rank_is_never_evicted() {
+        let mut m = Membership::new(2, 0, 10);
+        let acts = drive(
+            &mut m,
+            &[
+                MemberEvent::Suspect { rank: 0, now_ms: 0 },
+                MemberEvent::Dead { rank: 0 },
+                MemberEvent::Tick { now_ms: 1000 },
+            ],
+        );
+        assert!(acts.is_empty());
+        assert!(m.is_alive(0));
+    }
+
+    #[test]
+    fn views_converge_regardless_of_observation_order() {
+        // Two survivors see the same two deaths in opposite orders and
+        // through different paths (confirmed vs timeout): identical views.
+        let mut a = Membership::new(5, 0, 100);
+        let mut b = Membership::new(5, 1, 100);
+        drive(
+            &mut a,
+            &[
+                MemberEvent::Dead { rank: 3 },
+                MemberEvent::Suspect { rank: 4, now_ms: 0 },
+                MemberEvent::Tick { now_ms: 100 },
+            ],
+        );
+        drive(
+            &mut b,
+            &[
+                MemberEvent::Suspect { rank: 4, now_ms: 7 },
+                MemberEvent::Tick { now_ms: 107 },
+                MemberEvent::Dead { rank: 3 },
+            ],
+        );
+        assert_eq!(a.view(), b.view());
+        assert_eq!(a.view().epoch, 2);
+        assert_eq!(a.view().alive.to_vec(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn simultaneous_evictions_fire_in_ascending_rank_order() {
+        let mut m = Membership::new(6, 0, 10);
+        let acts = drive(
+            &mut m,
+            &[
+                MemberEvent::Suspect { rank: 4, now_ms: 0 },
+                MemberEvent::Suspect { rank: 2, now_ms: 0 },
+                MemberEvent::Tick { now_ms: 10 },
+            ],
+        );
+        assert_eq!(
+            acts,
+            vec![MemberAction::Evicted { rank: 2, epoch: 1 }, MemberAction::Evicted { rank: 4, epoch: 2 },]
+        );
+    }
+}

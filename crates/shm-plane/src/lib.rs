@@ -110,13 +110,72 @@ pub struct ShmPlane {
     own_files: Mutex<Vec<PathBuf>>,
 }
 
+/// Filename of a process's liveness marker inside a namespace directory.
+/// Every [`ShmPlane::new`] plants one; [`gc_stale`] probes the pids to
+/// decide whether a namespace is orphaned.
+fn pid_marker(pid: u32) -> String {
+    format!("own-{pid}.pid")
+}
+
+/// Parse a liveness-marker filename back to its pid.
+fn marker_pid(name: &str) -> Option<u32> {
+    name.strip_prefix("own-")?.strip_suffix(".pid")?.parse().ok()
+}
+
+/// Sweep `base` for run namespaces (`armci-shm-*` directories) whose
+/// owning processes are **all dead**, removing each — segment files
+/// leaked by killed runs included. Returns the number of namespaces
+/// removed.
+///
+/// Liveness is decided by the `own-<pid>.pid` markers every plane plants
+/// at creation, probed with `kill(pid, 0)` (`EPERM` counts as alive — the
+/// process exists under another uid). A directory with *no* markers is
+/// left alone: it may belong to a run mid-creation (the marker lands one
+/// syscall after `mkdir`) or to a foreign tool sharing the prefix, and
+/// either way there is no evidence it is dead. Run this at startup,
+/// before creating your own namespace, so tmpfs does not accumulate the
+/// remains of crashed runs.
+pub fn gc_stale(base: &Path) -> usize {
+    let Ok(entries) = fs::read_dir(base) else { return 0 };
+    let mut removed = 0;
+    for e in entries.flatten() {
+        let name = e.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if !name.starts_with("armci-shm-") || !e.path().is_dir() {
+            continue;
+        }
+        let dir = e.path();
+        let mut owners = 0;
+        let mut alive = false;
+        if let Ok(files) = fs::read_dir(&dir) {
+            for f in files.flatten() {
+                if let Some(pid) = f.file_name().to_str().and_then(marker_pid) {
+                    owners += 1;
+                    if sys::pid_alive(pid) {
+                        alive = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if owners > 0 && !alive && fs::remove_dir_all(&dir).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
+}
+
 impl ShmPlane {
-    /// Open (creating if needed) the namespace directory under `base`.
+    /// Open (creating if needed) the namespace directory under `base`,
+    /// planting this process's liveness marker so [`gc_stale`] can tell
+    /// a crashed run's remains from a live run's files.
     pub fn new(base: &Path, namespace: &str) -> io::Result<ShmPlane> {
         sys::ensure_supported()?;
         let dir = base.join(namespace);
         fs::create_dir_all(&dir)?;
-        Ok(ShmPlane { dir, own_files: Mutex::new(Vec::new()) })
+        let marker = dir.join(pid_marker(std::process::id()));
+        fs::write(&marker, std::process::id().to_string())?;
+        Ok(ShmPlane { dir, own_files: Mutex::new(vec![marker]) })
     }
 
     pub fn dir(&self) -> &Path {
@@ -147,7 +206,22 @@ impl ShmPlane {
     /// other than not-found (and timeout itself) is final and the
     /// caller falls back to the wire for this peer.
     pub fn map_peer(&self, proc: u32, seg: u32, deadline: Instant) -> io::Result<ShmSegment> {
+        self.map_peer_paced(proc, seg, deadline, |_| Duration::from_millis(1))
+    }
+
+    /// [`ShmPlane::map_peer`] with a caller-supplied pacing schedule:
+    /// `pause(attempt)` is the sleep after the `attempt`-th miss
+    /// (0-based). This crate stays dependency-free, so callers with a
+    /// unified retry policy pass its backoff in as a closure.
+    pub fn map_peer_paced(
+        &self,
+        proc: u32,
+        seg: u32,
+        deadline: Instant,
+        mut pause: impl FnMut(u32) -> Duration,
+    ) -> io::Result<ShmSegment> {
         let path = self.seg_path(proc, seg);
+        let mut attempt = 0u32;
         loop {
             match fs::OpenOptions::new().read(true).write(true).open(&path) {
                 Ok(file) => {
@@ -169,7 +243,9 @@ impl ShmPlane {
                 }
                 Err(e) => return Err(e),
             }
-            std::thread::sleep(Duration::from_millis(1));
+            let p = pause(attempt).min(deadline.saturating_duration_since(Instant::now()));
+            std::thread::sleep(p);
+            attempt += 1;
         }
     }
 
@@ -207,10 +283,22 @@ mod sys {
     extern "C" {
         fn mmap(addr: *mut c_void, len: usize, prot: c_int, flags: c_int, fd: c_int, offset: i64) -> *mut c_void;
         fn munmap(addr: *mut c_void, len: usize) -> c_int;
+        fn kill(pid: c_int, sig: c_int) -> c_int;
     }
 
     pub fn ensure_supported() -> io::Result<()> {
         Ok(())
+    }
+
+    /// Signal-0 liveness probe. `EPERM` means the process exists under
+    /// another uid — alive. Pid 0 would signal our own process group, so
+    /// it is never probed and reads as alive (the conservative answer).
+    pub fn pid_alive(pid: u32) -> bool {
+        if pid == 0 {
+            return true;
+        }
+        let r = unsafe { kill(pid as c_int, 0) };
+        r == 0 || io::Error::last_os_error().raw_os_error() == Some(1 /* EPERM */)
     }
 
     pub fn map(file: &File, bytes: usize) -> io::Result<super::ShmSegment> {
@@ -237,6 +325,11 @@ mod sys {
 
     pub fn ensure_supported() -> io::Result<()> {
         Err(io::Error::new(io::ErrorKind::Unsupported, "shm plane requires a unix mmap"))
+    }
+
+    /// No probe without `kill(2)`: report alive so nothing is unlinked.
+    pub fn pid_alive(_pid: u32) -> bool {
+        true
     }
 
     pub fn map(_file: &File, _bytes: usize) -> io::Result<super::ShmSegment> {
@@ -303,6 +396,43 @@ mod tests {
         assert!(start.elapsed() >= Duration::from_millis(25));
         drop(plane);
         ShmPlane::purge(&base, &ns);
+    }
+
+    #[test]
+    fn gc_stale_sweeps_dead_namespaces_and_keeps_live_ones() {
+        // Private base dir: the scan must not race other tests (or real
+        // runs) sharing /dev/shm.
+        let base = std::env::temp_dir().join(format!("armci-gc-test-{}", std::process::id()));
+        fs::create_dir_all(&base).unwrap();
+
+        // A crashed run's remains: an orphan segment file plus a liveness
+        // marker naming an already-reaped child process.
+        let dead_pid = {
+            let mut child = std::process::Command::new("true").spawn().expect("spawn true");
+            let pid = child.id();
+            child.wait().unwrap();
+            pid
+        };
+        let dead_ns = base.join("armci-shm-dead");
+        fs::create_dir_all(&dead_ns).unwrap();
+        fs::write(dead_ns.join("p0-s0.seg"), vec![0u8; 64]).unwrap();
+        fs::write(dead_ns.join(pid_marker(dead_pid)), dead_pid.to_string()).unwrap();
+
+        // A live run: this process's own plane, marker planted by new().
+        let live = ShmPlane::new(&base, "armci-shm-live").unwrap();
+        let _seg = live.create_segment(0, 0, 64).unwrap();
+        assert!(live.dir().join(pid_marker(std::process::id())).exists());
+
+        // No markers: mid-creation or foreign — must be left alone.
+        fs::create_dir_all(base.join("armci-shm-markerless")).unwrap();
+
+        assert_eq!(gc_stale(&base), 1);
+        assert!(!dead_ns.exists(), "orphaned namespace must be swept");
+        assert!(live.dir().join("p0-s0.seg").exists(), "live run's files must survive");
+        assert!(base.join("armci-shm-markerless").exists(), "markerless dir must survive");
+
+        drop(live);
+        let _ = fs::remove_dir_all(&base);
     }
 
     #[test]
