@@ -98,6 +98,41 @@ fn combined_barrier(iters: u64, n: usize) -> Duration {
     t0.elapsed()
 }
 
+/// One round of a notified ring exchange: every rank `Issue`s a
+/// notification to both neighbours, then `Expect`s and completes on the
+/// observed counter — the engine-decision cost `TransferPlan::sync`
+/// pays per iteration, the head-to-head against `combined_barrier` for
+/// plans whose pattern is known up front.
+fn notify_ring(iters: u64, n: usize) -> Duration {
+    use armci_proto::{NotifyAction, NotifyEngine, NotifyEvent};
+    let dests: Vec<[usize; 2]> = (0..n).map(|p| [(p + 1) % n, (p + n - 1) % n]).collect();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let mut engines: Vec<NotifyEngine> = (0..n).map(|_| NotifyEngine::new(n)).collect();
+        let mut counters = vec![0u64; n];
+        let mut out = Vec::new();
+        for p in 0..n {
+            for &d in &dests[p] {
+                engines[p].poll(NotifyEvent::Issue { dst: d, slot: 0 }, &mut out);
+                for a in out.drain(..) {
+                    if let NotifyAction::Send { .. } = a {
+                        counters[d] += 1; // the modeled remote fetch-add
+                    }
+                }
+            }
+        }
+        for p in 0..n {
+            engines[p].poll(NotifyEvent::Expect { slot: 0, target: 2, producers: dests[p].to_vec() }, &mut out);
+            out.clear();
+            engines[p].poll(NotifyEvent::Observed { slot: 0, value: counters[p] }, &mut out);
+            debug_assert!(out.iter().any(|a| matches!(a, NotifyAction::Complete { .. })));
+            out.clear();
+        }
+        black_box(&engines);
+    }
+    t0.elapsed()
+}
+
 /// One full hierarchical group barrier over `ndomains` SMP domains of
 /// `ppn` members each, every leg (counter arrives/releases included)
 /// routed in memory as a message — the engine-decision cost of the
@@ -294,6 +329,8 @@ fn main() {
         bench_into(&mut g, &mut recs, "exchange_n5_nonpow2", 5, |it| exchange_schedule(it, 5));
         bench_into(&mut g, &mut recs, "combined_barrier_n8", 8, |it| combined_barrier(it, 8));
         bench_into(&mut g, &mut recs, "combined_barrier_n16", 16, |it| combined_barrier(it, 16));
+        bench_into(&mut g, &mut recs, "notify_ring_n8", 8, |it| notify_ring(it, 8));
+        bench_into(&mut g, &mut recs, "notify_ring_n16", 16, |it| notify_ring(it, 16));
         bench_into(&mut g, &mut recs, "hier_barrier_16x16_n256", 256, |it| hier_barrier(it, 16, 16));
         bench_into(&mut g, &mut recs, "hier_barrier_32x32_n1024", 1024, |it| hier_barrier(it, 32, 32));
         bench_into(&mut g, &mut recs, "fence_allfence_8nodes_64puts", 8, |it| fence_allfence(it, 8, 64));

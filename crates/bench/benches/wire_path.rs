@@ -125,6 +125,35 @@ fn xproc_put_get_round(iters: u64, shm_on: bool) -> Duration {
     out[0]
 }
 
+/// The pre-optimization segment store: bulk transfers (the shm plane's
+/// strided rows and I/O-vector runs land here) applied one aligned word
+/// at a time, each paying its own bounds check and index arithmetic.
+fn seg_write_64k_per_word(iters: u64) -> Duration {
+    let seg = armci_transport::Segment::new(64 * 1024);
+    let data = vec![0xA5u8; 64 * 1024];
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        for (w, chunk) in data.chunks_exact(8).enumerate() {
+            seg.write_u64(8 * w, u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        black_box(&seg);
+    }
+    t0.elapsed()
+}
+
+/// The new segment store: one `write_bytes` over the whole run — a
+/// single bounds check, then a straight sweep over the word slice.
+fn seg_write_64k_batched(iters: u64) -> Duration {
+    let seg = armci_transport::Segment::new(64 * 1024);
+    let data = vec![0xA5u8; 64 * 1024];
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        seg.write_bytes(0, black_box(&data));
+        black_box(&seg);
+    }
+    t0.elapsed()
+}
+
 /// The pre-optimization client encode: a fresh heap `Vec` per request.
 fn encode_small_owned(iters: u64) -> Duration {
     let req = Req::PutU64 { dst: ProcId(1), seg: SegId(0), offset: 16, val: 42 };
@@ -222,6 +251,9 @@ fn main() {
         g.sample_size(10);
         bench_into(&mut g, &mut recs, "xproc_put_get_round_wire", 8, |iters| xproc_put_get_round(iters, false));
         bench_into(&mut g, &mut recs, "xproc_put_get_round_shm", 8, |iters| xproc_put_get_round(iters, true));
+        g.sample_size(2000);
+        bench_into(&mut g, &mut recs, "seg_write_64k_per_word_before", 64 * 1024, seg_write_64k_per_word);
+        bench_into(&mut g, &mut recs, "seg_write_64k_batched_after", 64 * 1024, seg_write_64k_batched);
         g.sample_size(20000);
         bench_into(&mut g, &mut recs, "encode_small_owned_before", 25, encode_small_owned);
         bench_into(&mut g, &mut recs, "encode_small_pooled_after", 25, encode_small_pooled);

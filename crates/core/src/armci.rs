@@ -10,7 +10,7 @@ use armci_msglib::{allreduce_tag, barrier_bx_tag, CommError, Group, P2p};
 use armci_msglib::{Reader, Writer};
 use armci_proto::{
     BarrierAction, BarrierEvent, CombinedBarrier, FenceEngine, HierRecord, MemberEvent, Membership, MembershipView,
-    SendRecord, SeqConfirm, STAGE_ALLREDUCE,
+    NotifyAction, NotifyEngine, NotifyEvent, NotifyRecord, SendRecord, SeqConfirm, STAGE_ALLREDUCE,
 };
 use armci_transport::wait::spin_until_deadline;
 use armci_transport::{
@@ -70,6 +70,16 @@ pub struct Armci {
     /// array plus the per-node unfenced/unacked counters — the same
     /// `armci-proto` engine the simulator drives.
     pub(crate) fence: FenceEngine,
+    /// Sans-IO notified-RMA engine (`put_notify`/`wait_notify`):
+    /// per-destination issue counts, armed consumer waits, and the
+    /// route-independent conformance log — same `armci-proto` module as
+    /// the fence ledger, so notified puts and fences share one
+    /// accounting scheme.
+    pub(crate) notify: NotifyEngine,
+    /// Producer set registered per notification slot (who is expected
+    /// to feed it): consulted by degraded-mode waits so a dead producer
+    /// aborts the wait with `PeerLost` instead of wedging it.
+    pub(crate) notify_producers: Vec<Vec<usize>>,
     /// Send log of the most recent `ARMCI_Barrier()`, drained by
     /// [`Armci::take_barrier_log`] for the cross-harness conformance
     /// suite.
@@ -950,6 +960,206 @@ impl Armci {
     /// Atomic compare&swap on a remote pair; returns the observed pair.
     pub fn pair_cas(&mut self, dst: GlobalAddr, expect: [u64; 2], new: [u64; 2]) -> [u64; 2] {
         self.rmw(dst, RmwOp::PairCas { expect, new })
+    }
+
+    // ------------------------------------------------------------------
+    // Notified RMA (put_notify / wait_notify)
+    // ------------------------------------------------------------------
+
+    /// Non-blocking contiguous put that additionally increments
+    /// notification counter `slot` at the *destination process* once the
+    /// data has landed — UNR-style notified RMA. The consumer pairs it
+    /// with [`Armci::wait_notify`] on the same slot, synchronizing on
+    /// exactly the transfers it depends on instead of fencing the world.
+    ///
+    /// Notification counters are cumulative (never reset), so iterative
+    /// exchanges wait on monotonically growing targets; see
+    /// [`crate::plan::TransferPlan`] for the reusable-schedule layer on
+    /// top.
+    ///
+    /// ```
+    /// use armci_core::{run_cluster, ArmciCfg, GlobalAddr};
+    /// use armci_transport::{LatencyModel, ProcId};
+    ///
+    /// run_cluster(ArmciCfg::flat(2, LatencyModel::zero()), |a| {
+    ///     let seg = a.malloc(64);
+    ///     if a.rank() == 0 {
+    ///         a.put_notify(GlobalAddr::new(ProcId(1), seg, 0), &7u64.to_le_bytes(), 0);
+    ///     } else {
+    ///         // One notification on slot 0 implies the data is visible.
+    ///         a.wait_notify(0, 1);
+    ///         assert_eq!(a.local_segment(seg).read_u64(0), 7);
+    ///     }
+    ///     a.barrier();
+    /// });
+    /// ```
+    pub fn put_notify(&mut self, dst: GlobalAddr, data: &[u8], slot: u32) {
+        self.put_notify_v(dst.proc, dst.seg, &[(dst.offset as u64, data.len() as u32)], data, slot);
+    }
+
+    /// Fallible [`Armci::put_notify`]: refuse to queue a notified put for
+    /// a destination node whose connection is already known dead (same
+    /// issue-time contract as [`Armci::try_put`]).
+    pub fn try_put_notify(&mut self, dst: GlobalAddr, data: &[u8], slot: u32) -> Result<(), ArmciError> {
+        if !self.is_local(dst.proc) && self.shm_route(dst.proc, dst.seg).is_none() {
+            let node = self.server_of(dst.proc);
+            if self.mb.peer_is_lost(node) {
+                let epoch = self.observe_loss(node);
+                return Err(ArmciError::PeerLost { peer: node, epoch });
+            }
+        }
+        self.put_notify(dst, data, slot);
+        Ok(())
+    }
+
+    /// I/O-vector [`Armci::put_notify`]: scatter `data` into the listed
+    /// `(offset, len)` runs of the destination segment and bump
+    /// notification `slot` once, all as a single operation — one wire
+    /// message no matter how many runs, which is what lets a
+    /// [`crate::plan::TransferPlan`] aggregate many small puts under one
+    /// notification.
+    pub fn put_notify_v(&mut self, dst: ProcId, seg: SegId, runs: &[(u64, u32)], data: &[u8], slot: u32) {
+        let total: usize = runs.iter().map(|&(_, l)| l as usize).sum();
+        assert_eq!(data.len(), total, "payload does not match run list");
+        assert!(slot < layout::NOTIFY_SLOTS, "notify slot {slot} out of range");
+        // Drive the sans-IO engine first: issue accounting and the
+        // conformance log are route-independent by construction.
+        let mut acts = Vec::new();
+        self.notify.poll(NotifyEvent::Issue { dst: dst.idx(), slot }, &mut acts);
+        debug_assert!(matches!(acts.as_slice(), [NotifyAction::Send { .. }]));
+        let notify_at = layout::notify_slot(self.locks_per_proc, self.nprocs() as u32, slot);
+        // A direct route must cover *both* the data segment and the sync
+        // segment (the notification counter lives in the latter); anything
+        // less rides the wire so data and notification stay one operation.
+        let direct = if self.is_local(dst) {
+            self.stats.local_puts += 1;
+            Some((self.registry.lookup(dst, seg), self.registry.lookup(dst, SegId(0))))
+        } else {
+            match (self.shm_route(dst, seg), self.shm_route(dst, SegId(0))) {
+                (Some(s), Some(sync)) => {
+                    // Zero-wire fast path: the data store and the
+                    // notification bump are both direct stores into the
+                    // peer's mapped segments.
+                    self.stats.shm_puts += 1;
+                    Some((s, sync))
+                }
+                _ => None,
+            }
+        };
+        match direct {
+            Some((s, sync)) => {
+                let mut pos = 0usize;
+                for &(off, len) in runs {
+                    s.write_bytes(off as usize, &data[pos..pos + len as usize]);
+                    pos += len as usize;
+                }
+                // Bump strictly after the data, mirroring the server's
+                // completion-site order: a consumer observing the counter
+                // sees the payload.
+                sync.fetch_add_u64(notify_at, 1);
+            }
+            None => {
+                let node = self.server_of(dst);
+                self.send_req_framed(Endpoint::Server(node), |buf| enc::put_notify(buf, dst, seg, slot, runs, data));
+                // A notified put is a counted put: it feeds the same
+                // ledger fences and barriers drain.
+                self.note_counted_put(dst);
+            }
+        }
+    }
+
+    /// Register the producer set feeding notification slot `slot` — the
+    /// world ranks whose `put_notify` calls target it. Only consulted
+    /// under [`OnPeerLoss::Degrade`]: a wait on a slot fed by an evicted
+    /// producer aborts with [`ArmciError::PeerLost`] (carrying the view
+    /// epoch) instead of wedging until the timeout.
+    pub fn set_notify_producers(&mut self, slot: u32, producers: &[ProcId]) {
+        self.notify_producers[slot as usize] = producers.iter().map(|p| p.idx()).collect();
+    }
+
+    /// Current cumulative value of this process's notification counter
+    /// `slot`.
+    pub fn notify_value(&self, slot: u32) -> u64 {
+        self.my_sync.read_u64(layout::notify_slot(self.locks_per_proc, self.mb.topology().nprocs() as u32, slot))
+    }
+
+    /// Block until this process's notification counter `slot` reaches
+    /// `target` cumulative notifications (see [`Armci::put_notify`]).
+    pub fn wait_notify(&mut self, slot: u32, target: u64) {
+        unwrap_op(self.try_wait_notify(slot, target));
+    }
+
+    /// Fallible [`Armci::wait_notify`]: an expired deadline or a dead
+    /// peer surfaces as an [`ArmciError`]. Under
+    /// [`OnPeerLoss::Degrade`], only the eviction of a *registered
+    /// producer* ([`Armci::set_notify_producers`]) aborts the wait —
+    /// unrelated deaths leave it running, since the notifications it
+    /// needs can still arrive.
+    pub fn try_wait_notify(&mut self, slot: u32, target: u64) -> Result<(), ArmciError> {
+        let deadline = self.op_deadline();
+        let at = layout::notify_slot(self.locks_per_proc, self.nprocs() as u32, slot);
+        let producers = self.notify_producers[slot as usize].clone();
+        let mut acts = Vec::new();
+        self.notify.poll(NotifyEvent::Expect { slot, target, producers: producers.clone() }, &mut acts);
+        let sync = self.my_sync.clone();
+        loop {
+            let until = deadline.min(Instant::now() + self.detect_slice);
+            let mut cond = || sync.atomic_u64(at).load(std::sync::atomic::Ordering::Acquire) >= target;
+            if spin_until_deadline(&mut cond, until) {
+                acts.clear();
+                self.notify.poll(NotifyEvent::Observed { slot, value: sync.read_u64(at) }, &mut acts);
+                debug_assert!(acts.contains(&NotifyAction::Complete { slot }));
+                return Ok(());
+            }
+            match self.on_peer_loss {
+                OnPeerLoss::Abort => {
+                    // Historical semantics: any confirmed loss aborts.
+                    if let Some((peer, epoch)) = self.lost_peer() {
+                        self.disarm_notify_wait(slot);
+                        return Err(ArmciError::PeerLost { peer, epoch });
+                    }
+                }
+                OnPeerLoss::Degrade => {
+                    // Fold confirmed transport losses into membership,
+                    // then abort only if a producer of *this* slot died
+                    // (deterministic evictions injected via
+                    // `evict_node` are already folded in).
+                    for node in self.mb.lost_peers() {
+                        self.observe_loss(node);
+                    }
+                    if let Some(&dead) = producers.iter().find(|&&r| !self.membership.is_alive(r)) {
+                        let epoch = self.membership.epoch();
+                        acts.clear();
+                        self.notify.poll(NotifyEvent::Evict { rank: dead, epoch }, &mut acts);
+                        debug_assert!(acts.iter().any(|a| matches!(a, NotifyAction::Abort { .. })));
+                        let peer = self.topology().node_of(ProcId(dead as u32));
+                        return Err(ArmciError::PeerLost { peer, epoch });
+                    }
+                }
+            }
+            if Instant::now() >= deadline {
+                self.disarm_notify_wait(slot);
+                return Err(ArmciError::Timeout { op: "wait_notify" });
+            }
+        }
+    }
+
+    /// Drop an armed engine watch on `slot` after a failed wait, so a
+    /// later retry can re-arm it (the engine rejects two concurrent
+    /// waits on one slot).
+    fn disarm_notify_wait(&mut self, slot: u32) {
+        if self.notify.is_waiting(slot) {
+            let mut acts = Vec::new();
+            self.notify.poll(NotifyEvent::Observed { slot, value: u64::MAX }, &mut acts);
+        }
+    }
+
+    /// Drain the issue log of this process's notified puts — the
+    /// `(to, slot, seq)` sequence the notify engine emitted — used by
+    /// the cross-harness conformance suite to compare the runtime
+    /// against the simulator.
+    pub fn take_notify_log(&mut self) -> Vec<NotifyRecord> {
+        self.notify.take_log()
     }
 
     // ------------------------------------------------------------------

@@ -174,12 +174,14 @@ pub struct ArmciCfg {
     /// picks `/dev/shm` when present, else the system temp dir. Must be
     /// an absolute path when set.
     pub shm_dir: Option<String>,
-    /// Topology-hierarchical group collectives: when on, a group barrier
-    /// synchronizes each node's co-located members through a shared
-    /// counter (shm plane or in-process atomics), and one leader per node
-    /// runs the inter-node binary exchange — `log2(nodes)` inter-node
-    /// rounds instead of `log2(ranks)`. When off (the default), group
-    /// barriers run the flat combined protocol over all members.
+    /// Topology-hierarchical group collectives: when on (the default), a
+    /// group barrier synchronizes each node's co-located members through
+    /// a shared counter (shm plane or in-process atomics), and one leader
+    /// per node runs the inter-node binary exchange — `log2(nodes)`
+    /// inter-node rounds instead of `log2(ranks)`. Set to `false` for
+    /// the flat combined protocol over all members (the escape hatch
+    /// wire-count and trace suites pin so their expected schedules stay
+    /// topology-independent).
     pub hier_collectives: bool,
     /// Reaction to a confirmed peer death: [`OnPeerLoss::Abort`] (the
     /// default — every affected operation errors forever, historical
@@ -217,7 +219,7 @@ impl Default for ArmciCfg {
             io_driver: None,
             shm_plane: None,
             shm_dir: None,
-            hier_collectives: false,
+            hier_collectives: true,
             on_peer_loss: OnPeerLoss::Abort,
             retry: RetryPolicy::default(),
         }

@@ -133,7 +133,7 @@ impl Armci {
     pub fn group(&mut self, ranks: &[usize]) -> ProcGroup {
         let msg = Group::from_ranks(ranks);
         let me_g = msg.group_rank(self.rank()).expect("group() is collective among the members only");
-        let hier = self.hier_collectives.then(|| self.form_hier(&msg, me_g));
+        let hier = self.maybe_form_hier(&msg, me_g);
         ProcGroup { msg, hier }
     }
 
@@ -161,8 +161,33 @@ impl Armci {
         let view = self.membership_view();
         let msg = g.msg.shrink(&view);
         let me_g = msg.group_rank(self.rank()).expect("shrink_group caller evicted itself from its own view");
-        let hier = self.hier_collectives.then(|| self.form_hier(&msg, me_g));
+        let hier = self.maybe_form_hier(&msg, me_g);
         Ok(ProcGroup { msg, hier })
+    }
+
+    /// Form the hierarchy only when the group can actually hold one.
+    ///
+    /// - A group listing an **evicted** member gets no hierarchy: the
+    ///   formation allgathers are collective over the members, and a dead
+    ///   rank will never contribute. Survivors converge on the same view
+    ///   before rebuilding groups (the alive set is a pure function of
+    ///   the evicted set), so every caller skips in lockstep; shrink the
+    ///   group to form a fresh hierarchy over the survivors.
+    /// - An **all-singleton** partition (no two members memory-adjacent)
+    ///   is discarded: there is nothing for the counter legs to exploit,
+    ///   and the flat combined barrier is the paper's protocol at equal
+    ///   or better cost. This keeps every flat-cluster group on the
+    ///   classic schedule even with `hier_collectives` defaulted on.
+    fn maybe_form_hier(&mut self, g: &Group, me_g: usize) -> Option<HierState> {
+        if !self.hier_collectives {
+            return None;
+        }
+        let view = self.membership_view();
+        if g.ranks().any(|r| !view.alive.contains(r)) {
+            return None;
+        }
+        let hs = self.form_hier(g, me_g);
+        hs.domains.iter().any(|d| d.len() > 1).then_some(hs)
     }
 
     /// Form the node-locality hierarchy for a new group (see module docs).

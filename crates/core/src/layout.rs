@@ -11,7 +11,9 @@
 //!   packed-pointer and paired-long encodings;
 //! * `locks_per_proc` lock slots, each holding the hybrid lock's
 //!   `ticket`/`counter` words and the MCS `Lock` variable (again in both
-//!   encodings).
+//!   encodings);
+//! * per-source `op_from` completed-put counters (group barriers) and
+//!   [`NOTIFY_SLOTS`] notification counters (`put_notify`/`wait_notify`).
 //!
 //! Keeping this state in an ordinary registered segment (rather than
 //! private runtime fields) is what lets node-local processes operate on
@@ -108,10 +110,23 @@ pub fn op_from(locks_per_proc: u32, src: u32) -> usize {
     hier_arrive(locks_per_proc, HIER_SLOTS) + src as usize * 8
 }
 
+/// Number of notification-counter slots per process (notified RMA:
+/// `put_notify` bumps one of the *target's* slots after its data lands,
+/// `wait_notify` polls a local slot). Slots are cumulative counters —
+/// never reset — so back-to-back iterations of a transfer plan wait on
+/// monotonically growing targets, like the hier counters above.
+pub const NOTIFY_SLOTS: u32 = 16;
+
+/// Offset of notification counter `slot` in the sync segment.
+pub fn notify_slot(locks_per_proc: u32, nprocs: u32, slot: u32) -> usize {
+    debug_assert!(slot < NOTIFY_SLOTS, "notify slot {slot} out of range");
+    op_from(locks_per_proc, nprocs) + slot as usize * 8
+}
+
 /// Total sync-segment size for `locks_per_proc` lock slots in a world of
 /// `nprocs` processes.
 pub fn sync_segment_len(locks_per_proc: u32, nprocs: u32) -> usize {
-    op_from(locks_per_proc, nprocs)
+    op_from(locks_per_proc, nprocs) + NOTIFY_SLOTS as usize * 8
 }
 
 #[cfg(test)]
@@ -153,7 +168,7 @@ mod tests {
         let locks = 8;
         let nprocs = 4;
         assert_eq!(hier_next(locks), mcs_lease_epoch(locks - 1) + 8);
-        assert_eq!(sync_segment_len(locks, nprocs), op_from(locks, nprocs - 1) + 8);
+        assert_eq!(sync_segment_len(locks, nprocs), notify_slot(locks, nprocs, NOTIFY_SLOTS - 1) + 8);
     }
 
     #[test]
@@ -164,5 +179,18 @@ mod tests {
             assert_eq!(hier_release(locks, s), hier_arrive(locks, s) + 8);
             assert!(hier_release(locks, s) + 8 <= op_from(locks, 0));
         }
+    }
+
+    #[test]
+    fn notify_slots_follow_op_from_and_are_disjoint() {
+        let (locks, nprocs) = (4u32, 6u32);
+        // The op_from region ends exactly where the notify region starts.
+        assert_eq!(notify_slot(locks, nprocs, 0), op_from(locks, nprocs));
+        for s in 0..NOTIFY_SLOTS - 1 {
+            assert_eq!(notify_slot(locks, nprocs, s) + 8, notify_slot(locks, nprocs, s + 1));
+        }
+        assert!(notify_slot(locks, nprocs, NOTIFY_SLOTS - 1) + 8 <= sync_segment_len(locks, nprocs));
+        // Word-aligned, like every other sync-segment counter.
+        assert_eq!(notify_slot(locks, nprocs, 3) % 8, 0);
     }
 }

@@ -49,6 +49,7 @@ pub mod layout;
 pub mod lock;
 pub mod model;
 pub mod msg;
+pub mod plan;
 pub mod runtime;
 pub mod server;
 pub(crate) mod shm;
@@ -65,6 +66,7 @@ pub use errors::{ArmciError, ConfigError};
 pub use gptr::{GlobalAddr, PackedPtr};
 pub use group::ProcGroup;
 pub use msg::{Req, ReqView, RmwOp};
+pub use plan::{PlanBuilder, TransferPlan};
 pub use runtime::{
     run_cluster, run_cluster_net, run_cluster_net_loopback, run_cluster_net_loopback_traced, run_cluster_spawned,
     run_cluster_spawned_result, run_cluster_traced,

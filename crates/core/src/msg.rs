@@ -184,6 +184,23 @@ pub enum Req {
         /// Source runs to gather.
         runs: Vec<(u64, u32)>,
     },
+    /// Non-blocking put-with-notify (UNR-style notified RMA): scatter
+    /// `data` into the listed runs like [`Req::PutVector`], then bump
+    /// notification counter `slot` in the destination's sync segment —
+    /// data and notification in one wire message, so a consumer's
+    /// `wait_notify` replaces the producer's fence.
+    PutNotify {
+        /// Destination process.
+        dst: ProcId,
+        /// Destination segment.
+        seg: SegId,
+        /// Notification slot bumped after the data lands.
+        slot: u32,
+        /// Destination runs; `data` holds their concatenation.
+        runs: Vec<(u64, u32)>,
+        /// Concatenated payload.
+        data: Vec<u8>,
+    },
     /// GM-mode fence: confirm all previously received puts from this
     /// sender are complete. FIFO channels make the reply itself the
     /// confirmation (§3.1.1).
@@ -222,6 +239,7 @@ mod opcode {
     pub const PUT_PAIR: u8 = 12;
     pub const PUT_VECTOR: u8 = 13;
     pub const GET_VECTOR: u8 = 14;
+    pub const PUT_NOTIFY: u8 = 15;
 }
 
 /// Bytes of one encoded `(offset, len)` run record.
@@ -292,6 +310,11 @@ pub(crate) mod enc {
         enc_runs(BufWriter::new(out).u8(opcode::PUT_VECTOR).u32(dst.0).u32(seg.0), runs).bytes(data);
     }
 
+    pub(crate) fn put_notify(out: &mut Vec<u8>, dst: ProcId, seg: SegId, slot: u32, runs: &[(u64, u32)], data: &[u8]) {
+        out.reserve(data.len() + runs.len() * RUN_RECORD_BYTES + 21);
+        enc_runs(BufWriter::new(out).u8(opcode::PUT_NOTIFY).u32(dst.0).u32(seg.0).u32(slot), runs).bytes(data);
+    }
+
     pub(crate) fn acc_f64(out: &mut Vec<u8>, dst: ProcId, seg: SegId, offset: u64, scale: f64, vals: &[f64]) {
         out.reserve(vals.len() * 8 + 29);
         BufWriter::new(out).u8(opcode::ACC_F64).u32(dst.0).u32(seg.0).u64(offset).f64(scale).f64_slice(vals);
@@ -310,8 +333,19 @@ impl Req {
                 | Req::PutU64 { .. }
                 | Req::PutPair { .. }
                 | Req::PutVector { .. }
+                | Req::PutNotify { .. }
                 | Req::AccF64 { .. }
         )
+    }
+
+    /// The notification slot this request bumps after its data lands
+    /// (`Some` only for [`Req::PutNotify`]) — the argument fed to
+    /// [`armci_proto::completion_sites`].
+    pub fn notify_slot(&self) -> Option<u32> {
+        match self {
+            Req::PutNotify { slot, .. } => Some(*slot),
+            _ => None,
+        }
     }
 
     /// Encode onto the end of `out`. Callers pass a pooled buffer to
@@ -349,6 +383,7 @@ impl Req {
                 };
             }
             Req::PutVector { dst, seg, runs, data } => enc::put_vector(out, *dst, *seg, runs, data),
+            Req::PutNotify { dst, seg, slot, runs, data } => enc::put_notify(out, *dst, *seg, *slot, runs, data),
             Req::GetVector { dst, seg, runs } => {
                 out.reserve(runs.len() * RUN_RECORD_BYTES + 13);
                 enc_runs(BufWriter::new(out).u8(opcode::GET_VECTOR).u32(dst.0).u32(seg.0), runs);
@@ -428,6 +463,11 @@ impl Req {
             opcode::GET_VECTOR => {
                 let (dst, seg) = (ProcId(r.u32()), SegId(r.u32()));
                 Req::GetVector { dst, seg, runs: dec_runs(&mut r) }
+            }
+            opcode::PUT_NOTIFY => {
+                let (dst, seg, slot) = (ProcId(r.u32()), SegId(r.u32()), r.u32());
+                let runs = dec_runs(&mut r);
+                Req::PutNotify { dst, seg, slot, runs, data: r.bytes().to_vec() }
             }
             opcode::FENCE => Req::FenceReq,
             opcode::LOCK => Req::LockReq { owner: ProcId(r.u32()), idx: r.u32() },
@@ -614,6 +654,19 @@ pub enum ReqView<'a> {
         /// Source runs, read in place from the body.
         runs: RunsView<'a>,
     },
+    /// See [`Req::PutNotify`]; `runs` and `data` borrow the body.
+    PutNotify {
+        /// Destination process.
+        dst: ProcId,
+        /// Destination segment.
+        seg: SegId,
+        /// Notification slot bumped after the data lands.
+        slot: u32,
+        /// Destination runs, read in place from the body.
+        runs: RunsView<'a>,
+        /// Concatenated payload, borrowed from the body.
+        data: &'a [u8],
+    },
     /// See [`Req::FenceReq`].
     FenceReq,
     /// See [`Req::LockReq`].
@@ -691,6 +744,11 @@ impl<'a> ReqView<'a> {
                 let (dst, seg) = (ProcId(r.u32()), SegId(r.u32()));
                 ReqView::GetVector { dst, seg, runs: dec_runs_view(&mut r) }
             }
+            opcode::PUT_NOTIFY => {
+                let (dst, seg, slot) = (ProcId(r.u32()), SegId(r.u32()), r.u32());
+                let runs = dec_runs_view(&mut r);
+                ReqView::PutNotify { dst, seg, slot, runs, data: r.bytes() }
+            }
             opcode::FENCE => ReqView::FenceReq,
             opcode::LOCK => ReqView::LockReq { owner: ProcId(r.u32()), idx: r.u32() },
             opcode::UNLOCK => ReqView::UnlockReq { owner: ProcId(r.u32()), idx: r.u32() },
@@ -708,8 +766,17 @@ impl<'a> ReqView<'a> {
                 | ReqView::PutU64 { .. }
                 | ReqView::PutPair { .. }
                 | ReqView::PutVector { .. }
+                | ReqView::PutNotify { .. }
                 | ReqView::AccF64 { .. }
         )
+    }
+
+    /// Same accessor as [`Req::notify_slot`].
+    pub fn notify_slot(&self) -> Option<u32> {
+        match self {
+            ReqView::PutNotify { slot, .. } => Some(*slot),
+            _ => None,
+        }
     }
 
     /// Materialize an owned [`Req`] (copies borrowed payloads).
@@ -729,6 +796,9 @@ impl<'a> ReqView<'a> {
                 Req::PutVector { dst, seg, runs: runs.to_vec(), data: data.to_vec() }
             }
             ReqView::GetVector { dst, seg, runs } => Req::GetVector { dst, seg, runs: runs.to_vec() },
+            ReqView::PutNotify { dst, seg, slot, runs, data } => {
+                Req::PutNotify { dst, seg, slot, runs: runs.to_vec(), data: data.to_vec() }
+            }
             ReqView::FenceReq => Req::FenceReq,
             ReqView::LockReq { owner, idx } => Req::LockReq { owner, idx },
             ReqView::UnlockReq { owner, idx } => Req::UnlockReq { owner, idx },
@@ -766,6 +836,13 @@ mod tests {
         });
         roundtrip(Req::PutVector { dst: ProcId(2), seg: SegId(1), runs: vec![(0, 4), (100, 8)], data: vec![1; 12] });
         roundtrip(Req::GetVector { dst: ProcId(2), seg: SegId(1), runs: vec![(8, 16)] });
+        roundtrip(Req::PutNotify {
+            dst: ProcId(3),
+            seg: SegId(2),
+            slot: 5,
+            runs: vec![(16, 8), (200, 4)],
+            data: vec![7; 12],
+        });
         roundtrip(Req::FenceReq);
         roundtrip(Req::LockReq { owner: ProcId(5), idx: 2 });
         roundtrip(Req::UnlockReq { owner: ProcId(5), idx: 2 });
@@ -794,6 +871,13 @@ mod tests {
         assert!(!Req::Get { dst: ProcId(0), seg: SegId(0), offset: 0, len: 1 }.is_counted_put());
         assert!(!Req::FenceReq.is_counted_put());
         assert!(!Req::LockReq { owner: ProcId(0), idx: 0 }.is_counted_put());
+        // A notified put is a counted put — its fence accounting must be
+        // identical to a plain vector put's.
+        let pn = Req::PutNotify { dst: ProcId(0), seg: SegId(0), slot: 1, runs: vec![(0, 4)], data: vec![0; 4] };
+        assert!(pn.is_counted_put());
+        assert_eq!(pn.notify_slot(), Some(1));
+        assert_eq!(Req::FenceReq.notify_slot(), None);
+        assert_eq!(ReqView::decode(&pn.encode()).notify_slot(), Some(1));
     }
 
     #[test]

@@ -216,6 +216,8 @@ where
         nic_assist: cfg.nic_assist,
         my_sync,
         fence: armci_proto::FenceEngine::new(cfg.ack_mode.fence_mode(), nprocs, nnodes),
+        notify: armci_proto::NotifyEngine::new(nprocs),
+        notify_producers: vec![Vec::new(); layout::NOTIFY_SLOTS as usize],
         membership: armci_proto::Membership::new(nprocs, p.0 as usize, cfg.suspect_after.as_millis() as u64),
         on_peer_loss: cfg.on_peer_loss,
         last_barrier_log: Vec::new(),

@@ -14,7 +14,7 @@
 use std::sync::Arc;
 
 use armci_msglib::Reader;
-use armci_proto::HybridHome;
+use armci_proto::{completion_sites, CompletionSite, HybridHome};
 use armci_transport::{Body, BodyPool, Endpoint, Mailbox, MemoryRegistry, ProcId, SegId, Segment};
 
 use crate::armci::encode_rmw_reply;
@@ -68,15 +68,18 @@ pub(crate) fn server_loop(mut mb: Mailbox, registry: Arc<MemoryRegistry>, ack_mo
             "node-local processes must use shared memory, not the server"
         );
 
-        // Completion accounting: bump the destination's op_done after the
-        // deposit is applied, and acknowledge in VIA mode.
+        // Completion accounting: bump the destination's counters after
+        // the deposit is applied (the plan comes from the unified
+        // completion module, shared with the initiator-side ledger), and
+        // acknowledge in VIA mode.
         let counted_dst = match &req {
             ReqView::Put { dst, .. }
             | ReqView::PutStrided { dst, .. }
             | ReqView::PutU64 { dst, .. }
             | ReqView::PutPair { dst, .. }
             | ReqView::PutVector { dst, .. }
-            | ReqView::AccF64 { dst, .. } => Some(*dst),
+            | ReqView::PutNotify { dst, .. }
+            | ReqView::AccF64 { dst, .. } => Some((*dst, req.notify_slot())),
             _ => None,
         };
 
@@ -105,6 +108,18 @@ pub(crate) fn server_loop(mut mb: Mailbox, registry: Arc<MemoryRegistry>, ack_mo
                 }
             }
             ReqView::PutVector { dst, seg, runs, data } => {
+                let s = registry.lookup(dst, seg);
+                let mut pos = 0usize;
+                for (off, len) in runs.iter() {
+                    s.write_bytes(off as usize, &data[pos..pos + len as usize]);
+                    pos += len as usize;
+                }
+                debug_assert_eq!(pos, data.len());
+            }
+            ReqView::PutNotify { dst, seg, runs, data, .. } => {
+                // Data exactly like PutVector; the notification bump rides
+                // in the counted-put accounting below, *after* the data is
+                // applied — a consumer observing the counter sees the data.
                 let s = registry.lookup(dst, seg);
                 let mut pos = 0usize;
                 for (off, len) in runs.iter() {
@@ -175,17 +190,27 @@ pub(crate) fn server_loop(mut mb: Mailbox, registry: Arc<MemoryRegistry>, ack_mo
             ReqView::Shutdown => break,
         }
 
-        if let Some(dst) = counted_dst {
-            // op_done lives at the head of the destination's sync segment;
-            // AcqRel makes the deposit visible to a process that observes
-            // the incremented counter (ARMCI_Barrier stage 2). The
-            // per-initiator split (op_from) feeds group-scoped barriers,
-            // whose stage-2 wait counts only member-initiated puts.
+        if let Some((dst, notify)) = counted_dst {
+            // The counters live at well-known offsets in the destination's
+            // sync segment; which ones to bump — per-source op_from (group
+            // barriers), aggregate op_done (ARMCI_Barrier stage 2), and a
+            // notification slot for notified puts, ordered last so a
+            // consumer observing it sees everything — is the completion
+            // module's plan, shared with the initiator-side ledger.
             let sync = registry.lookup(dst, SegId(0));
             if let Some(initiator) = src.proc() {
-                sync.fetch_add_u64(layout::op_from(locks_per_proc, initiator.0), 1);
+                let nprocs = mb.topology().nprocs() as u32;
+                for site in completion_sites(initiator.0 as usize, notify) {
+                    let at = match site {
+                        CompletionSite::OpFrom { src } => layout::op_from(locks_per_proc, src as u32),
+                        CompletionSite::OpDone => layout::OP_DONE,
+                        CompletionSite::Notify { slot } => layout::notify_slot(locks_per_proc, nprocs, slot),
+                    };
+                    sync.fetch_add_u64(at, 1);
+                }
+            } else {
+                sync.fetch_add_u64(layout::OP_DONE, 1);
             }
-            sync.fetch_add_u64(layout::OP_DONE, 1);
             if ack_mode == AckMode::Via {
                 mb.send(src, TAG_PUT_ACK, Body::from(my_node.0.to_le_bytes()));
             }

@@ -124,6 +124,8 @@ fn stub_armci(mode: StubMode) -> Armci {
         nic_assist: false,
         my_sync,
         fence: armci_proto::FenceEngine::new(AckMode::Gm.fence_mode(), nprocs, nnodes),
+        notify: armci_proto::NotifyEngine::new(nprocs),
+        notify_producers: vec![Vec::new(); layout::NOTIFY_SLOTS as usize],
         membership: armci_proto::Membership::new(nprocs, 0, 1),
         on_peer_loss: crate::config::OnPeerLoss::Abort,
         last_barrier_log: Vec::new(),
@@ -214,6 +216,47 @@ fn peer_lost_preempts_a_generous_deadline() {
     let elapsed = t.elapsed();
     assert!(matches!(r, Err(ArmciError::PeerLost { peer: NodeId(1), .. })), "got {r:?}");
     assert!(elapsed < Duration::from_secs(5), "detection took {elapsed:?}, should be ~detect_slice");
+}
+
+/// `wait_notify` is a pure local-memory wait (no receive channel), so a
+/// silent transport runs it to its deadline, while a confirmed peer loss
+/// in the default Abort mode cuts it short.
+#[test]
+fn wait_notify_times_out_or_aborts_by_mode() {
+    let r = stub_armci(StubMode::Silent).try_wait_notify(0, 1);
+    assert!(matches!(r, Err(ArmciError::Timeout { op: "wait_notify" })), "got {r:?}");
+    let r = stub_armci(StubMode::LostPeer(NodeId(1))).try_wait_notify(0, 1);
+    assert!(matches!(r, Err(ArmciError::PeerLost { peer: NodeId(1), .. })), "got {r:?}");
+}
+
+/// Degraded mode is membership-aware: a wait on a slot fed by a dead
+/// producer aborts with the view epoch, while a slot with no dead
+/// producers keeps waiting (here: to its deadline) even though *some*
+/// peer died.
+#[test]
+fn degraded_wait_notify_aborts_only_for_dead_producers() {
+    let mut a = stub_armci(StubMode::LostPeer(NodeId(1)));
+    a.on_peer_loss = crate::config::OnPeerLoss::Degrade;
+    a.set_notify_producers(0, &[ProcId(1)]); // rank 1 lives on node 1
+    let r = a.try_wait_notify(0, 1);
+    assert!(matches!(r, Err(ArmciError::PeerLost { peer: NodeId(1), epoch }) if epoch > 0), "got {r:?}");
+
+    let mut a = stub_armci(StubMode::LostPeer(NodeId(1)));
+    a.on_peer_loss = crate::config::OnPeerLoss::Degrade;
+    // No producers registered for slot 1: the dead node is irrelevant.
+    let r = a.try_wait_notify(1, 1);
+    assert!(matches!(r, Err(ArmciError::Timeout { op: "wait_notify" })), "got {r:?}");
+}
+
+/// A failed wait must disarm its engine watch so a retry can re-arm it.
+#[test]
+fn failed_wait_notify_can_be_retried() {
+    let mut a = stub_armci(StubMode::Silent);
+    assert!(a.try_wait_notify(0, 1).is_err());
+    // Satisfy the counter by hand, then retry the same slot.
+    let at = layout::notify_slot(LOCKS_PER_PROC, 2, 0);
+    a.my_sync.fetch_add_u64(at, 1);
+    assert!(a.try_wait_notify(0, 1).is_ok());
 }
 
 /// The timeout error must name the operation that ran out of budget —

@@ -8,7 +8,9 @@ use armci_proto::HierMsg;
 use armci_transport::{LatencyModel, ProcId};
 
 fn flat(n: u32) -> ArmciCfg {
-    ArmciCfg::flat(n, LatencyModel::zero())
+    // These suites exercise the *flat* member-scoped protocol; pin the
+    // hierarchy off so an active shm plane can't promote the groups.
+    ArmciCfg::flat(n, LatencyModel::zero()).with_hier_collectives(false)
 }
 
 /// A flat subset group: each member puts into the next member's segment,

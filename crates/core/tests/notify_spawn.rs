@@ -1,0 +1,48 @@
+//! Multi-process notified-RMA test: two single-process "nodes" (separate
+//! OS processes on the same host) reach each other through the shm
+//! plane, so `put_notify` takes the zero-wire fast path — the payload
+//! store and the notification-counter bump are both direct stores into
+//! the peer's mapped segments, and `wait_notify` spins on local shared
+//! memory. The contrast leg pins the shm plane off: the same notified
+//! put must then ride the wire as a PUT_NOTIFY request.
+//!
+//! Kept to exactly one test function so the spawned children's libtest
+//! filter can never match anything else (see `netfab_spawn.rs`).
+
+use armci_core::{run_cluster_spawned, Armci, ArmciCfg, GlobalAddr};
+use armci_transport::{LatencyModel, ProcId};
+
+/// Notified put to the peer, wait for the peer's notification, read what
+/// it wrote. Returns `(shm_puts, wire_msgs)` spent on the exchange.
+fn notify_exchange(a: &mut Armci) -> (u64, u64) {
+    let seg = a.malloc(8);
+    a.barrier();
+    let before = a.stats();
+    let other = ProcId(((a.rank() + 1) % 2) as u32);
+    let word = 40 + a.rank() as u64;
+    a.put_notify(GlobalAddr::new(other, seg, 0), &word.to_le_bytes(), 3);
+    a.wait_notify(3, 1);
+    let shm = a.stats().shm_puts - before.shm_puts;
+    let wire = a.stats().wire_msgs - before.wire_msgs;
+    assert_eq!(a.local_segment(seg).read_u64(0), 40 + other.0 as u64, "peer's notified put not visible after wait");
+    a.barrier();
+    (shm, wire)
+}
+
+#[test]
+fn put_notify_is_zero_wire_intra_host() {
+    let child_args: Vec<String> =
+        ["put_notify_is_zero_wire_intra_host", "--exact", "--test-threads=1"].iter().map(|s| s.to_string()).collect();
+    let base = ArmciCfg { nodes: 2, procs_per_node: 1, latency: LatencyModel::zero(), ..Default::default() };
+
+    // Shm plane on: the notified put is one direct shm store pair (data
+    // then counter), zero wire messages end to end.
+    let on = run_cluster_spawned(base.clone().with_shm_plane(Some(true)), &child_args, notify_exchange);
+    assert_eq!(on, vec![(1, 0)], "same host must serve put_notify through shared memory, zero-wire");
+
+    // Shm plane off: the processes cannot reach each other's memory, so
+    // the notified put becomes a PUT_NOTIFY wire request.
+    let off = run_cluster_spawned(base.with_shm_plane(Some(false)), &child_args, notify_exchange);
+    assert_eq!(off[0].0, 0, "no shm plane, no shm puts");
+    assert!(off[0].1 > 0, "without the shm plane the notified put must use the wire");
+}

@@ -70,6 +70,16 @@ fn arb_req() -> impl Strategy<Value = Req> {
             }),
         (proc.clone(), seg.clone(), proptest::collection::vec((any::<u32>().prop_map(|o| o as u64), 0u32..64), 0..16))
             .prop_map(|(dst, seg, runs)| Req::GetVector { dst, seg, runs }),
+        (
+            proc.clone(),
+            seg.clone(),
+            0u32..16,
+            proptest::collection::vec((any::<u32>().prop_map(|o| o as u64), 0u32..64), 0..16)
+        )
+            .prop_map(|(dst, seg, slot, runs)| {
+                let total: usize = runs.iter().map(|&(_, l)| l as usize).sum();
+                Req::PutNotify { dst, seg, slot, runs, data: vec![0xAB; total] }
+            }),
         Just(Req::FenceReq),
         (proc.clone(), 0u32..8).prop_map(|(owner, idx)| Req::LockReq { owner, idx }),
         (proc, 0u32..8).prop_map(|(owner, idx)| Req::UnlockReq { owner, idx }),

@@ -17,6 +17,16 @@ pub enum SyncAlg {
     /// The paper's `ARMCI_Barrier()`: op-count exchange + local wait +
     /// barrier, `2·log2(N)` latencies.
     CombinedBarrier,
+    /// Notified RMA over a reusable transfer plan: producers tag each
+    /// transfer with a notification-counter bump and consumers wait on
+    /// exactly the counts the plan predicts — no `op_init` allreduce, no
+    /// exchange barrier, **zero synchronization messages** per
+    /// iteration. Requires a known, repeating transfer pattern, so the
+    /// pattern-free `sync`/`sync_world` surfaces reject it: drive it
+    /// through [`armci_core::TransferPlan::sync`] (see
+    /// [`crate::GhostArray::plan_update`] for the ghost-exchange
+    /// driver).
+    Notify,
 }
 
 /// The one sync implementation behind every `sync` surface in the crate
@@ -37,6 +47,7 @@ pub(crate) fn run_sync(armci: &mut Armci, alg: SyncAlg, group: &ProcGroup) {
                 group.msg().barrier_binary_exchange(armci);
             }
             SyncAlg::CombinedBarrier => armci.barrier_group(group),
+            SyncAlg::Notify => notify_needs_a_plan(),
         }
     } else {
         run_sync_world(armci, alg);
@@ -48,7 +59,18 @@ pub(crate) fn run_sync_world(armci: &mut Armci, alg: SyncAlg) {
     match alg {
         SyncAlg::Baseline => armci.sync_baseline(),
         SyncAlg::CombinedBarrier => armci.barrier(),
+        SyncAlg::Notify => notify_needs_a_plan(),
     }
+}
+
+/// [`SyncAlg::Notify`] cannot synchronize an unknown transfer pattern —
+/// the whole point is waiting on counts a plan predicted in advance.
+fn notify_needs_a_plan() -> ! {
+    panic!(
+        "SyncAlg::Notify requires a transfer plan: build an \
+         armci_core::TransferPlan (or GhostArray::plan_update) and call \
+         its post/sync methods instead of the pattern-free sync surfaces"
+    )
 }
 
 /// A dense `rows x cols` array of `f64`, block-distributed over all

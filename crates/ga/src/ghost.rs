@@ -7,11 +7,34 @@
 //! ring with one-sided gets (clipped at the global boundary), which is
 //! exactly what stencil codes otherwise hand-roll (compare
 //! `examples/stencil.rs`).
+//!
+//! For iterative stencils the pull-based `update` pays a full `GA_Sync`
+//! every step. [`GhostArray::plan_update`] builds the notified-RMA
+//! alternative once — a [`GhostUpdatePlan`] in which every rank *pushes*
+//! its boundary rows straight into its neighbours' halo buffers with
+//! `put_notify` — and [`GhostArray::update_with_plan`] then completes
+//! each step by waiting on notification counts alone: no `op_init`
+//! exchange, no barrier, zero synchronization messages.
 
-use armci_core::Armci;
+use armci_core::{Armci, ArmciError, TransferPlan};
+use armci_transport::{ProcId, SegId};
 
 use crate::array::{GlobalArray, SyncAlg};
 use crate::patch::Patch;
+
+/// The halo-extended patch `own` grows to with a ghost ring of `width`,
+/// clipped at the global boundary. Deterministic from the distribution,
+/// so any rank can compute any other rank's extended patch — which is
+/// what lets [`GhostArray::plan_update`] plan *pushes* into remote halo
+/// buffers without an exchange of shapes.
+fn ext_patch(own: &Patch, width: usize, rows: usize, cols: usize) -> Patch {
+    Patch::new(
+        own.row_lo.saturating_sub(width),
+        (own.row_hi + width).min(rows),
+        own.col_lo.saturating_sub(width),
+        (own.col_hi + width).min(cols),
+    )
+}
 
 /// A process-local view of one block of a [`GlobalArray`] with ghost
 /// cells around it.
@@ -31,12 +54,7 @@ impl GhostArray {
     pub fn new(armci: &mut Armci, ga: GlobalArray, width: usize) -> Self {
         let own = ga.owned_patch(armci.rank());
         let (rows, cols) = ga.shape();
-        let ext = Patch::new(
-            own.row_lo.saturating_sub(width),
-            (own.row_hi + width).min(rows),
-            own.col_lo.saturating_sub(width),
-            (own.col_hi + width).min(cols),
-        );
+        let ext = ext_patch(&own, width, rows, cols);
         let buf = vec![0.0; ext.len()];
         let mut g = GhostArray { ga, width, own, ext, buf };
         g.update(armci);
@@ -98,6 +116,122 @@ impl GhostArray {
     pub fn global(&self) -> &GlobalArray {
         &self.ga
     }
+
+    /// Collectively build the notified-RMA ghost exchange
+    /// ([`SyncAlg::Notify`] for this access pattern): a halo segment on
+    /// every rank plus two [`TransferPlan`]s (notify slots `slot` and
+    /// `slot + 1`) in which each rank records one put per boundary row it
+    /// contributes to each rank's halo — including its own, so the
+    /// interior flows through the same plan. Batching collapses all rows
+    /// bound for one neighbour into a single `put_notify` message.
+    ///
+    /// Two plans alternate over a double-buffered halo: a neighbour may
+    /// only post iteration `k + 2` after syncing `k + 1`, which needs
+    /// this rank's `k + 1` rows, which are sent only after iteration `k`
+    /// of the halo has been copied out — so a fast neighbour can never
+    /// overwrite a half that is still being read, with no extra
+    /// messages.
+    pub fn plan_update(&self, armci: &mut Armci, slot: u32) -> GhostUpdatePlan {
+        let halo = armci.malloc(self.ext.len().max(1) * 8 * 2);
+        let dist = *self.ga.distribution();
+        let (rows, cols) = self.ga.shape();
+        let me = armci.rank();
+        let mut src = Vec::new();
+        let mut plans = Vec::with_capacity(2);
+        for parity in 0..2usize {
+            let mut b = TransferPlan::builder(slot + parity as u32);
+            for q in 0..armci.nprocs() {
+                let ext_q = ext_patch(&dist.owned_patch(q), self.width, rows, cols);
+                for (owner, piece) in dist.split_by_owner(&ext_q) {
+                    if owner != me {
+                        continue;
+                    }
+                    for r in piece.row_lo..piece.row_hi {
+                        let dst_off = parity * ext_q.len() * 8
+                            + ((r - ext_q.row_lo) * ext_q.cols() + (piece.col_lo - ext_q.col_lo)) * 8;
+                        b.put(ProcId(q as u32), halo, dst_off, piece.cols() * 8);
+                        if parity == 0 {
+                            let src_off =
+                                ((r - self.own.row_lo) * self.own.cols() + (piece.col_lo - self.own.col_lo)) * 8;
+                            src.push((src_off, piece.cols() * 8));
+                        }
+                    }
+                }
+            }
+            plans.push(b.build(armci)); // collective
+        }
+        let odd = plans.pop().expect("two plans");
+        let even = plans.pop().expect("two plans");
+        GhostUpdatePlan { halo, plans: [even, odd], src, parity: 0 }
+    }
+
+    /// One notified ghost exchange: push this rank's current block rows
+    /// (read from the authoritative [`GlobalArray`] storage) into every
+    /// consumer's halo, wait on the notification counter, and refresh the
+    /// local buffer from the halo. Collective over the plan's builders;
+    /// sends **zero** synchronization messages.
+    pub fn update_with_plan(&mut self, armci: &mut Armci, plan: &mut GhostUpdatePlan) {
+        if let Err(e) = self.try_update_with_plan(armci, plan) {
+            panic!("ghost plan update failed: {e}");
+        }
+    }
+
+    /// Fallible [`GhostArray::update_with_plan`]: a dead producer
+    /// (degraded mode) or an expired deadline surfaces as an
+    /// [`ArmciError`] instead of panicking.
+    pub fn try_update_with_plan(&mut self, armci: &mut Armci, plan: &mut GhostUpdatePlan) -> Result<(), ArmciError> {
+        let seg = armci.local_segment(self.ga.seg_id());
+        let mut payloads = Vec::with_capacity(plan.src.len());
+        for &(off, len) in &plan.src {
+            let mut bytes = vec![0u8; len];
+            seg.read_bytes(off, &mut bytes);
+            payloads.push(bytes);
+        }
+        let refs: Vec<&[u8]> = payloads.iter().map(|p| p.as_slice()).collect();
+        let p = plan.parity;
+        plan.plans[p].post(armci, &refs);
+        plan.plans[p].try_sync(armci)?;
+        plan.parity ^= 1;
+        let half = self.ext.len() * 8;
+        let halo = armci.local_segment(plan.halo);
+        let mut bytes = vec![0u8; half];
+        halo.read_bytes(p * half, &mut bytes);
+        for (i, c) in bytes.chunks_exact(8).enumerate() {
+            self.buf[i] = f64::from_le_bytes(c.try_into().unwrap());
+        }
+        Ok(())
+    }
+}
+
+/// A built notified ghost-exchange schedule — see
+/// [`GhostArray::plan_update`]. Holds the double-buffered halo segment,
+/// the even/odd [`TransferPlan`]s, and the local source row map.
+pub struct GhostUpdatePlan {
+    halo: SegId,
+    plans: [TransferPlan; 2],
+    /// Per recorded put, in payload order: `(byte offset, byte length)`
+    /// of the source row inside this rank's own block.
+    src: Vec<(usize, usize)>,
+    /// Which plan (and halo half) the next update uses.
+    parity: usize,
+}
+
+impl GhostUpdatePlan {
+    /// The halo segment updates are pushed into (two halves).
+    pub fn halo_seg(&self) -> SegId {
+        self.halo
+    }
+
+    /// Notifications this rank receives per exchange.
+    pub fn expected_per_iter(&self) -> u64 {
+        self.plans[0].expected_per_iter()
+    }
+
+    /// Put-class messages this rank sends per exchange (each at most one
+    /// wire message; zero when served by shared memory).
+    pub fn batches_per_iter(&self) -> usize {
+        self.plans[0].batches_per_iter()
+    }
 }
 
 #[cfg(test)]
@@ -144,6 +278,60 @@ mod tests {
             }
             if a.rank() == 3 {
                 assert_eq!(g.extended(), Patch::new(2, 8, 2, 8));
+            }
+            a.barrier();
+            true
+        });
+        assert!(out.into_iter().all(|ok| ok));
+    }
+
+    #[test]
+    fn plan_update_matches_pull_update() {
+        let out = run_cluster(cfg(4), |a| {
+            let ga = GlobalArray::create(a, 8, 8);
+            let own = ga.owned_patch(a.rank());
+            let base: Vec<f64> = (own.row_lo..own.row_hi)
+                .flat_map(|r| (own.col_lo..own.col_hi).map(move |c| (r * 8 + c) as f64))
+                .collect();
+            ga.put(a, own, &base);
+            let mut g = GhostArray::new(a, ga, 1);
+            let mut plan = g.plan_update(a, 0);
+            // Three exchanges so both parities and the cumulative counter
+            // targets are exercised.
+            for step in 1..=3u64 {
+                let bump: Vec<f64> = base.iter().map(|v| v + 1000.0 * step as f64).collect();
+                ga.put(a, own, &bump); // local-only write to own block
+                g.update_with_plan(a, &mut plan);
+                let ext = g.extended();
+                for r in ext.row_lo..ext.row_hi {
+                    for c in ext.col_lo..ext.col_hi {
+                        assert_eq!(g.at(r, c), (r * 8 + c) as f64 + 1000.0 * step as f64, "({r},{c}) step {step}");
+                    }
+                }
+            }
+            a.barrier();
+            true
+        });
+        assert!(out.into_iter().all(|ok| ok));
+    }
+
+    #[test]
+    fn plan_update_non_pow2_ranks() {
+        // 3 ranks form a 1x3 grid: only east/west neighbours, and the
+        // middle rank has two producers while the edges have one (plus
+        // themselves). 8x9 keeps block columns uneven-free (3 each).
+        let out = run_cluster(cfg(3), |a| {
+            let ga = GlobalArray::create(a, 8, 9);
+            let own = ga.owned_patch(a.rank());
+            ga.put(a, own, &vec![a.rank() as f64; own.len()]);
+            let mut g = GhostArray::new(a, ga, 1);
+            let mut plan = g.plan_update(a, 2);
+            g.update_with_plan(a, &mut plan);
+            let ext = g.extended();
+            for r in ext.row_lo..ext.row_hi {
+                for c in ext.col_lo..ext.col_hi {
+                    assert_eq!(g.at(r, c), (c / 3) as f64, "({r},{c})");
+                }
             }
             a.barrier();
             true

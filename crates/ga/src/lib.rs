@@ -39,7 +39,7 @@ pub mod vector;
 
 pub use array::{GlobalArray, SyncAlg};
 pub use dist::{Distribution, ProcGrid};
-pub use ghost::GhostArray;
+pub use ghost::{GhostArray, GhostUpdatePlan};
 pub use nxtval::SharedCounters;
 pub use patch::Patch;
 pub use vector::GlobalVector;

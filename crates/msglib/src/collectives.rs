@@ -3,9 +3,7 @@
 //! The public surface lives on [`crate::Group`] — collectives are methods
 //! on a group handle (`group.barrier(p)`), and the world is the trivial
 //! group. This module holds the algorithm implementations, which run over
-//! an already-scoped endpoint (see [`crate::group::Scoped`]), plus
-//! deprecated world-scoped free-function shims kept so external callers
-//! migrate at their own pace.
+//! an already-scoped endpoint (see [`crate::group::Scoped`]).
 //!
 //! Two barrier algorithms are provided because the paper uses both roles:
 //!
@@ -32,7 +30,6 @@ use armci_proto::{Exchange, XchgAction, XchgEvent, XchgMsg};
 
 use crate::codec::{Reader, Writer};
 use crate::comm::{CommError, P2p};
-use crate::group::Group;
 
 /// A deadline far enough out to mean "block forever": the infallible
 /// collectives delegate to their `try_` twins with this, so both spellings
@@ -326,100 +323,11 @@ pub(crate) fn allgather_impl(p: &mut impl P2p, mine: Vec<u8>) -> Vec<Vec<u8>> {
     out
 }
 
-// ---- deprecated world-scoped shims -----------------------------------
-//
-// The pre-group API: every collective as a free function implicitly
-// scoped to the whole world. Kept as one-line shims over `Group::world`
-// so out-of-tree callers keep compiling; in-tree code uses the group
-// methods.
-
-/// Dissemination barrier over all ranks.
-#[deprecated(note = "use `Group::world(p.size()).barrier(p)` or a subset group")]
-pub fn barrier(p: &mut impl P2p) {
-    Group::world(p.size()).barrier(p);
-}
-
-/// Binary-exchange barrier over all ranks.
-#[deprecated(note = "use `Group::world(p.size()).barrier_binary_exchange(p)` or a subset group")]
-pub fn barrier_binary_exchange(p: &mut impl P2p) {
-    Group::world(p.size()).barrier_binary_exchange(p);
-}
-
-/// Fallible binary-exchange barrier over all ranks.
-#[deprecated(note = "use `Group::world(p.size()).try_barrier_binary_exchange(p, deadline)`")]
-pub fn try_barrier_binary_exchange(p: &mut impl P2p, deadline: Instant) -> Result<(), CommError> {
-    Group::world(p.size()).try_barrier_binary_exchange(p, deadline)
-}
-
-/// Element-wise allreduce over all ranks.
-#[deprecated(note = "use `Group::world(p.size()).allreduce(p, local, combine)`")]
-pub fn allreduce<T: Elem, F: Fn(T, T) -> T>(p: &mut impl P2p, local: &mut [T], combine: F) {
-    Group::world(p.size()).allreduce(p, local, combine);
-}
-
-/// Fallible element-wise allreduce over all ranks.
-#[deprecated(note = "use `Group::world(p.size()).try_allreduce(p, local, combine, deadline)`")]
-pub fn try_allreduce<T: Elem, F: Fn(T, T) -> T>(
-    p: &mut impl P2p,
-    local: &mut [T],
-    combine: F,
-    deadline: Instant,
-) -> Result<(), CommError> {
-    Group::world(p.size()).try_allreduce(p, local, combine, deadline)
-}
-
-/// Sum-allreduce of a `u64` vector over all ranks.
-#[deprecated(note = "use `Group::world(p.size()).allreduce_sum_u64(p, local)`")]
-pub fn allreduce_sum_u64(p: &mut impl P2p, local: &mut [u64]) {
-    Group::world(p.size()).allreduce_sum_u64(p, local);
-}
-
-/// Fallible sum-allreduce of a `u64` vector over all ranks.
-#[deprecated(note = "use `Group::world(p.size()).try_allreduce_sum_u64(p, local, deadline)`")]
-pub fn try_allreduce_sum_u64(p: &mut impl P2p, local: &mut [u64], deadline: Instant) -> Result<(), CommError> {
-    Group::world(p.size()).try_allreduce_sum_u64(p, local, deadline)
-}
-
-/// Sum-allreduce of an `f64` vector over all ranks.
-#[deprecated(note = "use `Group::world(p.size()).allreduce_sum_f64(p, local)`")]
-pub fn allreduce_sum_f64(p: &mut impl P2p, local: &mut [f64]) {
-    Group::world(p.size()).allreduce_sum_f64(p, local);
-}
-
-/// Max-allreduce of an `f64` vector over all ranks.
-#[deprecated(note = "use `Group::world(p.size()).allreduce_max_f64(p, local)`")]
-pub fn allreduce_max_f64(p: &mut impl P2p, local: &mut [f64]) {
-    Group::world(p.size()).allreduce_max_f64(p, local);
-}
-
-/// Inclusive prefix reduction over all ranks.
-#[deprecated(note = "use `Group::world(p.size()).scan(p, local, combine)`")]
-pub fn scan<T: Elem, F: Fn(T, T) -> T>(p: &mut impl P2p, local: &mut [T], combine: F) {
-    Group::world(p.size()).scan(p, local, combine);
-}
-
-/// Inclusive prefix sum of a `u64` vector over all ranks.
-#[deprecated(note = "use `Group::world(p.size()).scan_sum_u64(p, local)`")]
-pub fn scan_sum_u64(p: &mut impl P2p, local: &mut [u64]) {
-    Group::world(p.size()).scan_sum_u64(p, local);
-}
-
-/// Binomial-tree broadcast from `root` to all ranks.
-#[deprecated(note = "use `Group::world(p.size()).bcast(p, root, data)`")]
-pub fn bcast(p: &mut impl P2p, root: usize, data: Vec<u8>) -> Vec<u8> {
-    Group::world(p.size()).bcast(p, root, data)
-}
-
-/// Ring allgather over all ranks, indexed by rank.
-#[deprecated(note = "use `Group::world(p.size()).allgather(p, mine)`")]
-pub fn allgather(p: &mut impl P2p, mine: Vec<u8>) -> Vec<Vec<u8>> {
-    Group::world(p.size()).allgather(p, mine)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::comm::Comm;
+    use crate::group::Group;
     use armci_transport::{Cluster, LatencyModel};
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
@@ -586,18 +494,5 @@ mod tests {
             b[0]
         });
         assert_eq!(out, vec![4, 4, 4, 4]);
-    }
-
-    #[test]
-    fn deprecated_shims_still_work() {
-        #![allow(deprecated)]
-        let out = cluster(3).run_spmd(|mb| {
-            let mut comm = Comm::new(mb);
-            let mut v = vec![1u64];
-            allreduce_sum_u64(&mut comm, &mut v);
-            barrier(&mut comm);
-            v[0]
-        });
-        assert_eq!(out, vec![3, 3, 3]);
     }
 }

@@ -20,8 +20,8 @@
 //!   broadcast, recursive-doubling allreduce (the exact Figure 2
 //!   algorithm, generalized to non-powers of two), ring allgather —
 //!   all scoped to the group's members. `Group::world(n)` is the
-//!   classical world scope; the historical world-scoped free functions
-//!   remain as deprecated shims.
+//!   classical world scope (the historical world-scoped free functions
+//!   have been removed in its favour).
 //!
 //! All collectives cost `O(log N)` one-way latencies except allgather,
 //! matching the structures the paper reasons with.
@@ -33,11 +33,6 @@ pub mod group;
 pub mod rooted;
 
 pub use codec::{BufWriter, Reader, Writer};
-#[allow(deprecated)]
-pub use collectives::{
-    allgather, allreduce, allreduce_max_f64, allreduce_sum_f64, allreduce_sum_u64, barrier, barrier_binary_exchange,
-    bcast, scan, scan_sum_u64, try_allreduce, try_allreduce_sum_u64, try_barrier_binary_exchange,
-};
 pub use collectives::{allreduce_tag, barrier_bx_tag, hier_bx_tag, Elem};
 pub use comm::{Comm, CommError, P2p};
 pub use group::{Group, Scoped};

@@ -17,6 +17,12 @@
 //! paper compares: confirm one node at a time (the baseline whose cost is
 //! `2·(N-1)` latencies) or fire every confirmation and collect the acks
 //! overlapped (the pipelined optimization).
+//!
+//! The counters themselves live in the unified completion
+//! [`Ledger`](crate::completion::Ledger); [`FenceEngine`] is the
+//! fence-mode policy layer over it.
+
+use crate::completion::Ledger;
 
 /// How the interconnect completes remote stores (paper §2).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -48,76 +54,63 @@ impl ConfirmTargets {
 }
 
 /// Per-rank fence accounting engine (see module docs).
+///
+/// The counter storage is the unified [`Ledger`] in
+/// [`crate::completion`] — shared bookkeeping for every counted
+/// operation, fenced or notified; this type adds the fence-mode policy
+/// (which counters a fence waits on) over it.
 #[derive(Clone, Debug)]
 pub struct FenceEngine {
     mode: FenceMode,
-    op_init: Vec<u64>,
-    unfenced: Vec<u64>,
-    unfenced_nic: Vec<u64>,
-    unacked: Vec<u64>,
-    /// Per-destination split of `unfenced`/`unfenced_nic`, so a
-    /// group-scoped fence can confirm only member-directed traffic.
-    unfenced_to: Vec<u64>,
-    unfenced_to_nic: Vec<u64>,
-    /// Which node each destination lives on, learned at `note_put`
-    /// (`usize::MAX` until first targeted).
-    dst_node: Vec<usize>,
+    ledger: Ledger,
 }
 
 impl FenceEngine {
     /// Fresh engine for a group of `nprocs` processes on `nnodes` nodes.
     pub fn new(mode: FenceMode, nprocs: usize, nnodes: usize) -> Self {
-        FenceEngine {
-            mode,
-            op_init: vec![0; nprocs],
-            unfenced: vec![0; nnodes],
-            unfenced_nic: vec![0; nnodes],
-            unacked: vec![0; nnodes],
-            unfenced_to: vec![0; nprocs],
-            unfenced_to_nic: vec![0; nprocs],
-            dst_node: vec![usize::MAX; nprocs],
-        }
+        FenceEngine { mode, ledger: Ledger::new(nprocs, nnodes, mode == FenceMode::DrainAcks) }
     }
 
     /// Record one counted remote operation toward process `dst` on node
     /// `node`, issued through the NIC agent when `via_nic`.
     pub fn note_put(&mut self, dst: usize, node: usize, via_nic: bool) {
-        self.op_init[dst] += 1;
-        self.dst_node[dst] = node;
-        if via_nic {
-            self.unfenced_nic[node] += 1;
-            self.unfenced_to_nic[dst] += 1;
-        } else {
-            self.unfenced[node] += 1;
-            self.unfenced_to[dst] += 1;
-        }
-        if self.mode == FenceMode::DrainAcks {
-            self.unacked[node] += 1;
-        }
+        self.ledger.note(dst, node, via_nic);
+    }
+
+    /// The fence mode this engine was built with.
+    pub fn mode(&self) -> FenceMode {
+        self.mode
+    }
+
+    /// The shared completion ledger (read-only): notified-RMA paths
+    /// consult the same books the fence maintains.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
     }
 
     /// The per-target initiation counts (cumulative), as allreduced by
     /// the combined barrier.
     pub fn op_init(&self) -> &[u64] {
-        &self.op_init
+        self.ledger.op_init()
     }
 
     /// Snapshot of [`FenceEngine::op_init`] to seed a
     /// [`crate::CombinedBarrier`].
     pub fn barrier_vector(&self) -> Vec<u64> {
-        self.op_init.clone()
+        self.ledger.op_init().to_vec()
     }
 
     /// [`FenceEngine::barrier_vector`] restricted to `members` (world
     /// ranks, in group order) — the vector a *group-scoped* combined
     /// barrier allreduces over the group.
     pub fn barrier_vector_for(&self, members: &[usize]) -> Vec<u64> {
-        members.iter().map(|&m| self.op_init[m]).collect()
+        self.ledger.op_init_for(members)
     }
 
     /// Confirm-mode: which agents of `node` need a fence round-trip.
     pub fn confirm_targets(&self, node: usize) -> ConfirmTargets {
-        ConfirmTargets { server: self.unfenced[node] > 0, nic: self.unfenced_nic[node] > 0 }
+        let (server, nic) = self.ledger.unfenced(node);
+        ConfirmTargets { server: server > 0, nic: nic > 0 }
     }
 
     /// Confirm-mode: the nodes (ascending) a *group* fence must
@@ -126,11 +119,12 @@ impl FenceEngine {
     pub fn group_confirm_targets(&self, members: &[usize]) -> Vec<(usize, ConfirmTargets)> {
         let mut nodes: Vec<(usize, ConfirmTargets)> = Vec::new();
         for &m in members {
-            let t = ConfirmTargets { server: self.unfenced_to[m] > 0, nic: self.unfenced_to_nic[m] > 0 };
+            let (server, nic) = self.ledger.unfenced_to(m);
+            let t = ConfirmTargets { server: server > 0, nic: nic > 0 };
             if t.is_empty() {
                 continue;
             }
-            let node = self.dst_node[m];
+            let node = self.ledger.node_of(m);
             match nodes.iter_mut().find(|(n, _)| *n == node) {
                 Some((_, agg)) => {
                     agg.server |= t.server;
@@ -149,29 +143,13 @@ impl FenceEngine {
     /// only member-directed traffic is *known* confirmed to callers of
     /// the world-scoped API, so non-member counts are left armed).
     pub fn group_confirmed(&mut self, members: &[usize]) {
-        for &m in members {
-            let node = self.dst_node[m];
-            if node == usize::MAX {
-                continue;
-            }
-            self.unfenced[node] = self.unfenced[node].saturating_sub(self.unfenced_to[m]);
-            self.unfenced_nic[node] = self.unfenced_nic[node].saturating_sub(self.unfenced_to_nic[m]);
-            self.unfenced_to[m] = 0;
-            self.unfenced_to_nic[m] = 0;
-        }
+        self.ledger.group_confirmed(members);
     }
 
     /// Confirm-mode: the round-trip(s) for `node` completed; its counters
     /// reset.
     pub fn node_confirmed(&mut self, node: usize) {
-        self.unfenced[node] = 0;
-        self.unfenced_nic[node] = 0;
-        for (dst, &n) in self.dst_node.iter().enumerate() {
-            if n == node {
-                self.unfenced_to[dst] = 0;
-                self.unfenced_to_nic[dst] = 0;
-            }
-        }
+        self.ledger.node_confirmed(node);
     }
 
     /// Membership evicted every rank on `node`: drop all accounting that
@@ -181,41 +159,29 @@ impl FenceEngine {
     /// group shrink removes those ranks from the member set, so the
     /// counters simply stop being summed.
     pub fn forget_node(&mut self, node: usize) {
-        self.unfenced[node] = 0;
-        self.unfenced_nic[node] = 0;
-        self.unacked[node] = 0;
-        for (dst, &n) in self.dst_node.iter().enumerate() {
-            if n == node {
-                self.unfenced_to[dst] = 0;
-                self.unfenced_to_nic[dst] = 0;
-            }
-        }
+        self.ledger.forget_node(node);
     }
 
     /// DrainAcks-mode: outstanding acks from `node`.
     pub fn acks_pending(&self, node: usize) -> u64 {
-        self.unacked[node]
+        self.ledger.acks_pending(node)
     }
 
     /// DrainAcks-mode: any node with outstanding acks?
     pub fn any_acks_pending(&self) -> bool {
-        self.unacked.iter().any(|&c| c > 0)
+        self.ledger.any_acks_pending()
     }
 
     /// DrainAcks-mode: one ack from `node` arrived.
     pub fn ack_received(&mut self, node: usize) {
-        debug_assert!(self.unacked[node] > 0, "ack with none outstanding");
-        self.unacked[node] = self.unacked[node].saturating_sub(1);
+        self.ledger.ack_received(node);
     }
 
     /// A completed barrier or full `AllFence` confirms everything: reset
     /// the per-node unfenced counters (cumulative `op_init` is never
     /// reset — the allreduce relies on monotonicity).
     pub fn all_confirmed(&mut self) {
-        self.unfenced.iter_mut().for_each(|c| *c = 0);
-        self.unfenced_nic.iter_mut().for_each(|c| *c = 0);
-        self.unfenced_to.iter_mut().for_each(|c| *c = 0);
-        self.unfenced_to_nic.iter_mut().for_each(|c| *c = 0);
+        self.ledger.all_confirmed();
     }
 }
 

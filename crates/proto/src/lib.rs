@@ -20,8 +20,13 @@
 //!
 //! Engines:
 //!
+//! * [`Ledger`] + [`NotifyEngine`] — unified completion accounting:
+//!   one set of counted-op books shared by fences and notified RMA,
+//!   plus the put-with-notify engine (issue counting, consumer waits,
+//!   membership-aware aborts);
 //! * [`FenceEngine`] + [`SeqConfirm`]/[`PipeConfirm`] — fence
-//!   accounting and `AllFence` confirmation plans;
+//!   accounting (a mode-policy layer over the ledger) and `AllFence`
+//!   confirmation plans;
 //! * [`Exchange`] — the binary-exchange schedule (barrier or allreduce
 //!   stage), non-power-of-two folding included;
 //! * [`CombinedBarrier`] — the full `ARMCI_Barrier()`:
@@ -36,6 +41,7 @@
 //!   to.
 
 pub mod barrier;
+pub mod completion;
 pub mod exchange;
 pub mod fence;
 pub mod hier;
@@ -44,6 +50,7 @@ pub mod math;
 pub mod membership;
 
 pub use barrier::{BarrierAction, BarrierEvent, CombinedBarrier, STAGE_ALLREDUCE, STAGE_BARRIER};
+pub use completion::{completion_sites, CompletionSite, Ledger, NotifyAction, NotifyEngine, NotifyEvent, NotifyRecord};
 pub use exchange::{Exchange, SendRecord, XchgAction, XchgEvent, XchgMsg};
 pub use fence::{ConfirmTargets, FenceEngine, FenceMode, PipeConfirm, SeqConfirm};
 pub use hier::{HierAction, HierBarrier, HierEvent, HierExpect, HierMsg, HierRecord};

@@ -30,7 +30,8 @@
 //!   complete), and the binary-exchange barrier: `2·log2(n)` latencies.
 
 use armci_proto::{
-    Exchange as XchgEngine, HierBarrier, HierEvent, HierMsg, HierRecord, SendRecord, XchgAction, XchgEvent, XchgMsg,
+    Exchange as XchgEngine, HierBarrier, HierEvent, HierMsg, HierRecord, NotifyAction, NotifyEngine, NotifyEvent,
+    NotifyRecord, SendRecord, XchgAction, XchgEvent, XchgMsg,
 };
 
 use crate::net::NetModel;
@@ -558,6 +559,167 @@ pub fn simulate_combined_barrier_skewed(n: usize, skew_step: Time, model: NetMod
 }
 
 // ---------------------------------------------------------------------
+// Notified RMA exchange (put_notify / wait_notify over a transfer plan)
+// ---------------------------------------------------------------------
+
+/// Message type of the notified-exchange simulation: a notified put
+/// landing at its consumer, stamped with the producer engine's sequence
+/// number.
+#[derive(Clone, Copy, Debug)]
+pub struct NotifyMsg {
+    /// Notification slot the put bumps.
+    pub slot: u32,
+    /// Producer-side sequence number (see [`NotifyRecord::seq`]).
+    pub seq: u64,
+}
+
+/// A process repeating `iters` notified exchanges: post one `put_notify`
+/// to each destination, then wait until the cumulative notification
+/// count covers every producer's puts for all iterations so far — the
+/// [`armci_core` `TransferPlan`] loop under the virtual clock, driving
+/// the same [`NotifyEngine`] the runtime drives so the send schedules
+/// can be compared record for record.
+///
+/// [`armci_core` `TransferPlan`]: https://docs.rs/armci-core
+struct NotifyProc {
+    eng: NotifyEngine,
+    slot: u32,
+    /// Ranks this process notifies each iteration, in post order.
+    dests: Vec<usize>,
+    /// Ranks that notify this process (for the engine's producer set).
+    producers: Vec<usize>,
+    /// Notifications received per iteration (`producers` weighted by
+    /// multiplicity — here one put per producer per iteration).
+    expected_per_iter: u64,
+    iters: u64,
+    posted: u64,
+    done: u64,
+    /// Cumulative notifications received (the simulated counter word).
+    received: u64,
+    bytes: usize,
+    out: Vec<NotifyAction>,
+    finish_at: Option<Time>,
+}
+
+impl NotifyProc {
+    fn advance(&mut self, ctx: &mut Ctx<'_, NotifyMsg>) {
+        loop {
+            if self.done == self.iters {
+                if self.finish_at.is_none() {
+                    self.finish_at = Some(ctx.now);
+                }
+                return;
+            }
+            if self.posted == self.done {
+                // Post this iteration's puts; data movement and the
+                // counter bump ride one modeled message.
+                self.posted += 1;
+                for i in 0..self.dests.len() {
+                    let dst = self.dests[i];
+                    self.eng.poll(NotifyEvent::Issue { dst, slot: self.slot }, &mut self.out);
+                    for a in self.out.drain(..) {
+                        if let NotifyAction::Send { to, slot, seq } = a {
+                            ctx.send(to, NotifyMsg { slot, seq }, self.bytes);
+                        }
+                    }
+                }
+                if self.expected_per_iter > 0 {
+                    let target = self.posted * self.expected_per_iter;
+                    self.eng.poll(
+                        NotifyEvent::Expect { slot: self.slot, target, producers: self.producers.clone() },
+                        &mut self.out,
+                    );
+                }
+            }
+            // The wait: observe the counter; Complete ends the iteration.
+            if self.expected_per_iter > 0 {
+                self.eng.poll(NotifyEvent::Observed { slot: self.slot, value: self.received }, &mut self.out);
+                let completed = self.out.drain(..).any(|a| matches!(a, NotifyAction::Complete { .. }));
+                if !completed {
+                    return; // parked until more notifications land
+                }
+            }
+            self.done += 1;
+        }
+    }
+}
+
+impl Actor<NotifyMsg> for NotifyProc {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, NotifyMsg>) {
+        self.advance(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, NotifyMsg>, _from: ActorId, msg: NotifyMsg) {
+        assert_eq!(msg.slot, self.slot, "single-slot simulation");
+        self.received += 1;
+        self.advance(ctx);
+    }
+}
+
+/// Simulate `iters` iterations of a notified exchange: `dests[p]` lists
+/// the ranks `p` posts one `put_notify` of `bytes` to each iteration
+/// (the batch set of a built transfer plan). Processes are placed one
+/// per node; the per-iteration synchronization cost is pure data-path
+/// latency — **zero dedicated sync messages**, the structural win over
+/// the combined barrier's `2·log2(n)` exchange. Returns per-rank times
+/// and each rank's [`NotifyEngine`] send trace for cross-harness
+/// conformance.
+pub fn simulate_notify_exchange_logged(
+    dests: &[Vec<usize>],
+    bytes: usize,
+    iters: u64,
+    model: NetModel,
+) -> (SyncResult, Vec<Vec<NotifyRecord>>) {
+    let n = dests.len();
+    let mut producers: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (p, ds) in dests.iter().enumerate() {
+        for &d in ds {
+            assert!(d < n, "destination {d} out of range");
+            producers[d].push(p);
+        }
+    }
+    let actors: Vec<NotifyProc> = (0..n)
+        .map(|p| NotifyProc {
+            eng: NotifyEngine::new(n),
+            slot: 0,
+            dests: dests[p].clone(),
+            producers: {
+                let mut u = producers[p].clone();
+                u.dedup();
+                u
+            },
+            expected_per_iter: producers[p].len() as u64,
+            iters,
+            posted: 0,
+            done: 0,
+            received: 0,
+            bytes,
+            out: Vec::new(),
+            finish_at: None,
+        })
+        .collect();
+    let mut sim = Sim::new(actors, (0..n).collect(), model);
+    sim.run(10_000_000);
+    let mut per_proc = Vec::with_capacity(n);
+    let mut logs = Vec::with_capacity(n);
+    for p in 0..n {
+        let a = sim.actor(p);
+        per_proc.push(a.finish_at.unwrap_or_else(|| panic!("rank {p} never finished the notified exchange")));
+        logs.push(a.eng.log().to_vec());
+    }
+    (SyncResult { per_proc, messages: sim.delivered() }, logs)
+}
+
+/// [`simulate_notify_exchange_logged`] for the ring ghost pattern every
+/// rank notifying both neighbours — the 1-D halo exchange — returning
+/// only the cost.
+pub fn simulate_notify_ring(n: usize, bytes: usize, iters: u64, model: NetModel) -> SyncResult {
+    let dests: Vec<Vec<usize>> =
+        (0..n).map(|p| if n == 1 { Vec::new() } else { vec![(p + 1) % n, (p + n - 1) % n] }).collect();
+    simulate_notify_exchange_logged(&dests, bytes, iters, model).0
+}
+
+// ---------------------------------------------------------------------
 // Hierarchical group barrier (the group/communicator tentpole)
 // ---------------------------------------------------------------------
 
@@ -887,6 +1049,64 @@ mod tests {
         );
         // The last process to start sees close to the skew-free time.
         assert!(skewed.per_proc[7] < 2 * aligned.per_proc[7] + 1, "{}", skewed.per_proc[7]);
+    }
+
+    #[test]
+    fn notify_ring_costs_one_latency_per_iteration() {
+        // Each iteration's wait is satisfied as soon as both neighbours'
+        // puts land: one wire latency, independent of n — versus the
+        // combined barrier's 2·log2(n).
+        let l = 1000;
+        for n in [2usize, 4, 8, 16] {
+            let r = simulate_notify_ring(n, 8, 1, NetModel::latency_only(l));
+            assert_eq!(r.max(), l, "n={n}");
+            let r3 = simulate_notify_ring(n, 8, 3, NetModel::latency_only(l));
+            assert_eq!(r3.max(), 3 * l, "n={n}, pipelined iterations");
+        }
+    }
+    #[test]
+    fn notify_sync_beats_combined_barrier_per_iteration() {
+        let model = NetModel::myrinet_2000();
+        for n in [8usize, 16, 32] {
+            let notify = simulate_notify_ring(n, 8, 1, model);
+            let barrier = simulate_combined_barrier(n, model);
+            assert!(
+                notify.max() < barrier.max(),
+                "n={n}: notified exchange {} !< combined barrier {}",
+                notify.max(),
+                barrier.max()
+            );
+            // And it moves only the data puts: 2 messages per rank, no
+            // sync traffic at all.
+            assert_eq!(notify.messages, 2 * n as u64);
+        }
+    }
+
+    #[test]
+    fn notify_log_matches_post_schedule() {
+        let dests = vec![vec![1, 2], vec![2], vec![]];
+        let (_, logs) = simulate_notify_exchange_logged(&dests, 8, 2, NetModel::latency_only(10));
+        // Rank 0: one put to 1 and one to 2 per iteration, per-dest seq.
+        assert_eq!(
+            logs[0],
+            vec![
+                NotifyRecord { to: 1, slot: 0, seq: 1 },
+                NotifyRecord { to: 2, slot: 0, seq: 1 },
+                NotifyRecord { to: 1, slot: 0, seq: 2 },
+                NotifyRecord { to: 2, slot: 0, seq: 2 },
+            ]
+        );
+        assert_eq!(logs[2], vec![], "pure consumer issues nothing");
+    }
+
+    #[test]
+    fn notify_exchange_deterministic_and_non_pow2() {
+        let dests: Vec<Vec<usize>> = (0..5).map(|p| vec![(p + 1) % 5]).collect();
+        let a = simulate_notify_exchange_logged(&dests, 64, 4, NetModel::myrinet_2000());
+        let b = simulate_notify_exchange_logged(&dests, 64, 4, NetModel::myrinet_2000());
+        assert_eq!(a.0.per_proc, b.0.per_proc);
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.0.messages, 5 * 4);
     }
 
     #[test]

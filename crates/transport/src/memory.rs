@@ -75,6 +75,25 @@ impl WordStore {
             }
         }
     }
+
+    /// Borrow `n` consecutive word cells starting at `w0` — one bounds
+    /// check per *bulk transfer* instead of one per word, which is what
+    /// lets the byte-copy loops below run over a plain slice.
+    #[inline]
+    fn words(&self, w0: usize, n: usize) -> &[AtomicU64] {
+        match self {
+            WordStore::Heap(words) => &words[w0..w0 + n],
+            WordStore::Foreign { ptr, count, .. } => {
+                assert!(
+                    w0.checked_add(n).is_some_and(|end| end <= *count),
+                    "word range {w0}+{n} out of bounds ({count} words)"
+                );
+                // SAFETY: in-bounds per the assert; same contract as
+                // `word` above, extended over a contiguous range.
+                unsafe { std::slice::from_raw_parts(ptr.add(w0), n) }
+            }
+        }
+    }
 }
 
 /// A registered global-memory segment: `len` bytes backed by 64-bit atomic
@@ -166,13 +185,16 @@ impl Segment {
             off += n;
             src = &src[n..];
         }
-        // Full words.
+        // Full words: resolve the cell slice once, then stream relaxed
+        // stores over it (word-atomicity per cell is unchanged).
         let mut w = off / 8;
-        while src.len() >= 8 {
-            let v = u64::from_le_bytes(src[..8].try_into().unwrap());
-            self.word(w).store(v, Ordering::Relaxed);
-            w += 1;
-            src = &src[8..];
+        let nfull = src.len() / 8;
+        if nfull > 0 {
+            for (cell, chunk) in self.store.words(w, nfull).iter().zip(src.chunks_exact(8)) {
+                cell.store(u64::from_le_bytes(chunk.try_into().unwrap()), Ordering::Relaxed);
+            }
+            w += nfull;
+            src = &src[nfull * 8..];
         }
         // Trailing partial word.
         if !src.is_empty() {
@@ -215,11 +237,14 @@ impl Segment {
             dst = &mut dst[n..];
         }
         let mut w = off / 8;
-        while dst.len() >= 8 {
-            let v = self.word(w).load(Ordering::Relaxed).to_le_bytes();
-            dst[..8].copy_from_slice(&v);
-            w += 1;
-            dst = &mut dst[8..];
+        let nfull = dst.len() / 8;
+        if nfull > 0 {
+            let (full, rest) = dst.split_at_mut(nfull * 8);
+            for (cell, chunk) in self.store.words(w, nfull).iter().zip(full.chunks_exact_mut(8)) {
+                chunk.copy_from_slice(&cell.load(Ordering::Relaxed).to_le_bytes());
+            }
+            w += nfull;
+            dst = rest;
         }
         if !dst.is_empty() {
             let v = self.word(w).load(Ordering::Relaxed).to_le_bytes();

@@ -103,7 +103,9 @@ fn seeded_member_puts(a: &mut Armci, seg: SegId, members: &[usize], seed: u64) {
 /// Per-member flat group-barrier trace (indexed by group rank) from
 /// either in-process runtime (`net` selects netfab loopback).
 fn group_logs(n: u32, members: &'static [usize], seed: u64, net: bool) -> Vec<Vec<SendRecord>> {
-    let cfg = ArmciCfg::flat(n, LatencyModel::zero());
+    // The *flat* group protocol is under test; pin the hierarchy off so
+    // an active shm plane can't merge same-host ranks into one domain.
+    let cfg = ArmciCfg::flat(n, LatencyModel::zero()).with_hier_collectives(false);
     let body = move |a: &mut Armci| {
         let seg = a.malloc(8 * a.nprocs());
         if !members.contains(&a.rank()) {
@@ -160,7 +162,8 @@ fn group_barrier_trace_identical_netfab_vs_simnet() {
 fn overlapping_group_traces_each_match_simnet() {
     let g1_m: &[usize] = &[0, 1, 2, 3, 4];
     let g2_m: &[usize] = &[3, 4, 5];
-    let logs = armci_repro::armci_core::run_cluster(ArmciCfg::flat(6, LatencyModel::zero()), move |a| {
+    let cfg = ArmciCfg::flat(6, LatencyModel::zero()).with_hier_collectives(false);
+    let logs = armci_repro::armci_core::run_cluster(cfg, move |a| {
         let seg = a.malloc(8 * a.nprocs());
         let g1 = g1_m.contains(&a.rank()).then(|| a.group(g1_m));
         let g2 = g2_m.contains(&a.rank()).then(|| a.group(g2_m));
@@ -195,7 +198,9 @@ fn overlapping_group_traces_each_match_simnet() {
 /// never loses peers, so deterministic scenarios inject instead of
 /// scripting a death), shrink the world group, and barrier over it.
 fn evicted_runtime_logs(n: u32, victim: usize, net: bool) -> Vec<Vec<SendRecord>> {
-    let cfg = ArmciCfg::flat(n, LatencyModel::zero()).with_on_peer_loss(armci_repro::armci_core::OnPeerLoss::Degrade);
+    let cfg = ArmciCfg::flat(n, LatencyModel::zero())
+        .with_on_peer_loss(armci_repro::armci_core::OnPeerLoss::Degrade)
+        .with_hier_collectives(false); // flat-schedule trace comparison
     let body = move |a: &mut Armci| {
         let seg = a.malloc(8 * a.nprocs());
         a.barrier();
